@@ -1,0 +1,121 @@
+//! Ablation studies for the design choices DESIGN.md §5 calls out:
+//!
+//! 1. **Fan-out degree** — how many of the P local ranks act as internode
+//!    objects in the small-message allgather (k = 1 is the classic
+//!    single-leader design; k = P is PiP-MColl).
+//! 2. **Overlap** — the large-message allgather with the intranode
+//!    broadcast overlapped vs. serialised.
+//! 3. **Mechanism swap** — the PiP-MColl algorithms priced over POSIX /
+//!    CMA / LiMiC / XPMEM instead of PiP, separating the algorithmic win
+//!    from the mechanism win.
+//! 4. **Switch-points** — PiP-MColl's published 64 kB / 8 k-count
+//!    thresholds vs. the simulated crossovers (also see the `tuner`
+//!    example).
+
+use pipmcoll_bench::{harness_machine, harness_nodes, harness_ppn, Figure, Series};
+use pipmcoll_core::mcoll::{allgather_mcoll_large_opts, allgather_mcoll_small_k};
+use pipmcoll_core::{AllgatherParams, LibraryProfile};
+use pipmcoll_engine::{simulate, EngineConfig};
+use pipmcoll_model::Mechanism;
+use pipmcoll_sched::record_with_sizes;
+
+fn simulate_allgather(
+    cfg: &EngineConfig,
+    cb: usize,
+    algo: impl FnMut(&mut pipmcoll_sched::TraceComm),
+) -> f64 {
+    let topo = cfg.machine.topo;
+    let p = AllgatherParams { cb };
+    let sched = record_with_sizes(topo, p.buf_sizes(topo), algo);
+    sched.validate().expect("valid schedule");
+    simulate(cfg, &sched).expect("simulate").makespan.as_us_f64()
+}
+
+fn main() {
+    let nodes = harness_nodes().min(64); // ablations don't need full scale
+    let machine = harness_machine(nodes);
+    let ppn = harness_ppn();
+    let cfg = EngineConfig::pip_mcoll(machine);
+
+    // --- 1. Fan-out degree sweep (small allgather, 64 B). ----------------
+    let degrees: Vec<usize> = {
+        let mut v = vec![1usize];
+        let mut k = 2;
+        while k < ppn {
+            v.push(k);
+            k *= 2;
+        }
+        v.push(ppn);
+        v
+    };
+    let mut fan_points = Vec::new();
+    for &k in &degrees {
+        let p = AllgatherParams { cb: 64 };
+        let us = simulate_allgather(&cfg, 64, |c| allgather_mcoll_small_k(c, &p, k));
+        fan_points.push((k as f64, us));
+    }
+    Figure {
+        id: "ablation_fanout".into(),
+        title: format!("fan-out degree k (allgather 64 B, {nodes} nodes x {ppn} ppn)"),
+        x_name: "objects".into(),
+        y_name: "time (us)".into(),
+        series: vec![Series {
+            label: "mcoll_small_k".into(),
+            points: fan_points,
+        }],
+    }
+    .emit();
+
+    // --- 2. Overlap on/off (large allgather across sizes). ---------------
+    let sizes = [64 * 1024usize, 128 * 1024, 256 * 1024];
+    let mut on = Vec::new();
+    let mut off = Vec::new();
+    for &cb in &sizes {
+        let p = AllgatherParams { cb };
+        on.push((
+            cb as f64,
+            simulate_allgather(&cfg, cb, |c| allgather_mcoll_large_opts(c, &p, true)),
+        ));
+        off.push((
+            cb as f64,
+            simulate_allgather(&cfg, cb, |c| allgather_mcoll_large_opts(c, &p, false)),
+        ));
+    }
+    Figure {
+        id: "ablation_overlap".into(),
+        title: format!("intra/internode overlap (ring allgather, {nodes} nodes)"),
+        x_name: "bytes".into(),
+        y_name: "time (us)".into(),
+        series: vec![
+            Series { label: "overlap".into(), points: on },
+            Series { label: "no_overlap".into(), points: off },
+        ],
+    }
+    .emit();
+
+    // --- 3. Mechanism swap (small allgather, 64 B and 4 KiB). ------------
+    let mut series = Vec::new();
+    for mech in Mechanism::ALL {
+        let cfg = EngineConfig::pip_mcoll(machine).with_shared_mech(mech);
+        let mut pts = Vec::new();
+        for cb in [64usize, 4096] {
+            let p = AllgatherParams { cb };
+            pts.push((
+                cb as f64,
+                simulate_allgather(&cfg, cb, |c| LibraryProfile::PipMColl.allgather(c, &p)),
+            ));
+        }
+        series.push(Series {
+            label: mech.name().into(),
+            points: pts,
+        });
+    }
+    Figure {
+        id: "ablation_mechanism".into(),
+        title: format!("MColl algorithms over each shared-memory mechanism ({nodes} nodes)"),
+        x_name: "bytes".into(),
+        y_name: "time (us)".into(),
+        series,
+    }
+    .emit();
+}

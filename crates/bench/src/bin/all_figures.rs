@@ -1,0 +1,29 @@
+//! Regenerate every figure in sequence (convenience wrapper). Equivalent to
+//! running each fig* binary; honours PIPMCOLL_NODES / PIPMCOLL_PPN.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig01_pt2pt",
+        "fig06_scatter_scaling",
+        "fig07_allgather_scaling",
+        "fig08_allreduce_scaling",
+        "fig09_scatter_small",
+        "fig10_allgather_small",
+        "fig11_allreduce_small",
+        "fig12_scatter_large",
+        "fig13_allgather_large",
+        "fig14_allreduce_large",
+        "analytic_check",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for b in bins {
+        eprintln!("==> {b}");
+        let status = Command::new(dir.join(b))
+            .status()
+            .unwrap_or_else(|e| panic!("spawn {b}: {e}"));
+        assert!(status.success(), "{b} failed");
+    }
+}

@@ -1,0 +1,74 @@
+//! A1: cross-check the discrete-event engine against the paper's §III
+//! closed-form runtimes for the PiP-MColl algorithms. The two models differ
+//! (the DES prices contention the closed forms ignore), so the check
+//! reports ratios and trend agreement rather than demanding equality.
+
+use pipmcoll_bench::{harness_machine, harness_nodes, harness_ppn, measure_us};
+use pipmcoll_core::{
+    AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile, ScatterParams,
+};
+use pipmcoll_model::analytic;
+
+fn main() {
+    let nodes = harness_nodes();
+    let ppn = harness_ppn();
+    let machine = harness_machine(nodes);
+    let h = machine.hockney();
+    let lib = LibraryProfile::PipMColl;
+
+    println!("# analytic_check — engine vs. paper closed forms ({nodes} nodes x {ppn} ppn)");
+    println!(
+        "{:>24} {:>10} {:>14} {:>14} {:>8}",
+        "experiment", "size", "analytic_us", "engine_us", "ratio"
+    );
+
+    let mut rows: Vec<(String, usize, f64, f64)> = Vec::new();
+    for cb in [64usize, 1024, 65536] {
+        let a = analytic::scatter_total(&h, cb as u64, ppn, nodes).as_us_f64();
+        let e = measure_us(lib, machine, &CollectiveSpec::Scatter(ScatterParams { cb, root: 0 }));
+        rows.push((format!("scatter cb={cb}"), cb, a, e));
+    }
+    for cb in [64usize, 1024] {
+        let a = analytic::allgather_small_total(&h, cb as u64, ppn, nodes).as_us_f64();
+        let e = measure_us(lib, machine, &CollectiveSpec::Allgather(AllgatherParams { cb }));
+        rows.push((format!("allgather-small cb={cb}"), cb, a, e));
+    }
+    {
+        let cb = 128 * 1024usize;
+        let a = analytic::allgather_large_total(&h, cb as u64, ppn, nodes).as_us_f64();
+        let e = measure_us(lib, machine, &CollectiveSpec::Allgather(AllgatherParams { cb }));
+        rows.push((format!("allgather-large cb={cb}"), cb, a, e));
+    }
+    for count in [16usize, 512] {
+        let cb = count * 8;
+        let a = analytic::allreduce_small_total(&h, cb as u64, ppn, nodes).as_us_f64();
+        let e = measure_us(
+            lib,
+            machine,
+            &CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(count)),
+        );
+        rows.push((format!("allreduce-small n={count}"), cb, a, e));
+    }
+    {
+        let count = 65536usize;
+        let cb = count * 8;
+        let a = analytic::allreduce_large_total(&h, cb as u64, ppn, nodes).as_us_f64();
+        let e = measure_us(
+            lib,
+            machine,
+            &CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(count)),
+        );
+        rows.push((format!("allreduce-large n={count}"), cb, a, e));
+    }
+
+    for (name, size, a, e) in &rows {
+        println!(
+            "{:>24} {:>10} {:>14.3} {:>14.3} {:>8.2}",
+            name,
+            size,
+            a,
+            e,
+            e / a
+        );
+    }
+}

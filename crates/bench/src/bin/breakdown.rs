@@ -1,0 +1,67 @@
+//! Where does the time go? Per-collective, per-library decomposition of
+//! the bottleneck rank's virtual time into operation categories — the
+//! analysis behind the paper's §IV explanations (e.g. the baseline's
+//! small-message time is receive/handshake-dominated, PiP-MColl's
+//! large-message time is copy/bandwidth-dominated).
+
+use pipmcoll_bench::{harness_machine, harness_nodes};
+use pipmcoll_core::{
+    run_collective, AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile,
+    ScatterParams,
+};
+use pipmcoll_engine::report::OpCategory;
+
+fn main() {
+    let nodes = harness_nodes().min(32); // analysis doesn't need full scale
+    let machine = harness_machine(nodes);
+    let cases = [
+        (
+            "scatter 256B",
+            CollectiveSpec::Scatter(ScatterParams { cb: 256, root: 0 }),
+        ),
+        (
+            "allgather 64B",
+            CollectiveSpec::Allgather(AllgatherParams { cb: 64 }),
+        ),
+        (
+            "allgather 256kB",
+            CollectiveSpec::Allgather(AllgatherParams { cb: 256 * 1024 }),
+        ),
+        (
+            "allreduce 64d",
+            CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(64)),
+        ),
+        (
+            "allreduce 512kd",
+            CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(512 * 1024)),
+        ),
+    ];
+    println!("# bottleneck-rank time breakdown, {nodes} nodes x {} ppn", machine.topo.ppn());
+    println!(
+        "{:<18} {:<12} {:>10} {:>9} | {}",
+        "collective",
+        "library",
+        "total_us",
+        "share%",
+        OpCategory::ALL.map(|c| format!("{:>9}", c.name())).join(" ")
+    );
+    for (name, spec) in &cases {
+        for lib in [LibraryProfile::PipMColl, LibraryProfile::PipMpich] {
+            let r = run_collective(lib, machine, spec).expect("simulate");
+            let b = r.bottleneck_breakdown();
+            let total = r.makespan.as_us_f64();
+            let attributed: f64 = b.iter().map(|t| t.as_us_f64()).sum();
+            let cols = OpCategory::ALL
+                .map(|c| format!("{:>8.1}%", 100.0 * b[c.idx()].as_us_f64() / total.max(1e-12)))
+                .join(" ");
+            println!(
+                "{:<18} {:<12} {:>10.2} {:>8.1}% | {}",
+                name,
+                lib.name(),
+                total,
+                100.0 * attributed / total.max(1e-12),
+                cols
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Extension benchmarks: the global multi-object MPI_Bcast / MPI_Gather /
+//! MPI_Reduce (the paper's natural next collectives, built from the same
+//! primitives) against the binomial-tree baselines every MPI library ships.
+
+use pipmcoll_bench::{harness_machine, harness_nodes, harness_ppn, Figure, Series};
+use pipmcoll_core::baseline::{
+    barrier_dissemination, bcast_binomial, gather_binomial, reduce_binomial,
+};
+use pipmcoll_core::mcoll::{barrier_mcoll, bcast_mcoll, gather_mcoll, reduce_mcoll};
+use pipmcoll_core::AllreduceParams;
+use pipmcoll_engine::{simulate, EngineConfig};
+use pipmcoll_sched::{record_with_sizes, BufSizes};
+
+fn main() {
+    let nodes = harness_nodes();
+    let ppn = harness_ppn();
+    let machine = harness_machine(nodes);
+    let world = nodes * ppn;
+    let cfg_mcoll = EngineConfig::pip_mcoll(machine);
+    let cfg_base = EngineConfig::pip_mpich(machine);
+
+    let run = |cfg: &EngineConfig,
+               sizes: &dyn Fn(usize) -> BufSizes,
+               algo: &mut dyn FnMut(&mut pipmcoll_sched::TraceComm)| {
+        let sched = record_with_sizes(machine.topo, sizes, algo);
+        sched.validate().expect("valid schedule");
+        simulate(cfg, &sched).expect("simulate").makespan.as_us_f64()
+    };
+
+    let sizes_axis: Vec<usize> = (0..8).map(|i| 64usize << (2 * i)).collect(); // 64 B .. 1 MiB
+
+    // --- Bcast. -----------------------------------------------------------
+    let mut mcoll_pts = Vec::new();
+    let mut base_pts = Vec::new();
+    for &cb in &sizes_axis {
+        let sizes = move |r: usize| BufSizes::new(if r == 0 { cb } else { 0 }, cb);
+        mcoll_pts.push((
+            cb as f64,
+            run(&cfg_mcoll, &sizes, &mut |c| bcast_mcoll(c, cb, 0)),
+        ));
+        base_pts.push((
+            cb as f64,
+            run(&cfg_base, &sizes, &mut |c| bcast_binomial(c, cb, 0)),
+        ));
+    }
+    Figure {
+        id: "ext_bcast".into(),
+        title: format!("extension: multi-object MPI_Bcast vs binomial ({nodes}x{ppn})"),
+        x_name: "bytes".into(),
+        y_name: "time (us)".into(),
+        series: vec![
+            Series { label: "mcoll".into(), points: mcoll_pts },
+            Series { label: "binomial".into(), points: base_pts },
+        ],
+    }
+    .emit();
+
+    // --- Gather (per-rank contribution sweep). ----------------------------
+    let gather_axis: Vec<usize> = (0..6).map(|i| 16usize << (2 * i)).collect();
+    let mut mcoll_pts = Vec::new();
+    let mut base_pts = Vec::new();
+    for &cb in &gather_axis {
+        let sizes = move |r: usize| BufSizes::new(cb, if r == 0 { world * cb } else { 0 });
+        mcoll_pts.push((
+            cb as f64,
+            run(&cfg_mcoll, &sizes, &mut |c| gather_mcoll(c, cb, 0)),
+        ));
+        base_pts.push((
+            cb as f64,
+            run(&cfg_base, &sizes, &mut |c| gather_binomial(c, cb, 0)),
+        ));
+    }
+    Figure {
+        id: "ext_gather".into(),
+        title: format!("extension: multi-object MPI_Gather vs binomial ({nodes}x{ppn})"),
+        x_name: "bytes".into(),
+        y_name: "time (us)".into(),
+        series: vec![
+            Series { label: "mcoll".into(), points: mcoll_pts },
+            Series { label: "binomial".into(), points: base_pts },
+        ],
+    }
+    .emit();
+
+    // --- Barrier (node-count sweep). ---------------------------------------
+    let mut mcoll_pts = Vec::new();
+    let mut base_pts = Vec::new();
+    let mut node_grid = vec![2usize, 8, 32, nodes.max(2)];
+    node_grid.sort_unstable();
+    node_grid.dedup();
+    for nn in node_grid {
+        let m = harness_machine(nn);
+        let flat = {
+            let sched = record_with_sizes(m.topo, &|_| BufSizes::new(0, 0), barrier_dissemination);
+            sched.validate().expect("valid schedule");
+            simulate(&EngineConfig::pip_mpich(m), &sched)
+                .expect("simulate")
+                .makespan
+                .as_us_f64()
+        };
+        let hier = {
+            let sched = record_with_sizes(m.topo, &|_| BufSizes::new(0, 0), barrier_mcoll);
+            sched.validate().expect("valid schedule");
+            simulate(&EngineConfig::pip_mcoll(m), &sched)
+                .expect("simulate")
+                .makespan
+                .as_us_f64()
+        };
+        mcoll_pts.push((nn as f64, hier));
+        base_pts.push((nn as f64, flat));
+    }
+    Figure {
+        id: "ext_barrier".into(),
+        title: format!("extension: hierarchical PiP barrier vs flat dissemination ({ppn} ppn)"),
+        x_name: "nodes".into(),
+        y_name: "time (us)".into(),
+        series: vec![
+            Series { label: "hierarchical".into(), points: mcoll_pts },
+            Series { label: "dissemination".into(), points: base_pts },
+        ],
+    }
+    .emit();
+
+    // --- Reduce (double counts). ------------------------------------------
+    let count_axis: Vec<usize> = (0..7).map(|i| 8usize << (2 * i)).collect();
+    let mut mcoll_pts = Vec::new();
+    let mut base_pts = Vec::new();
+    for &count in &count_axis {
+        let p = AllreduceParams::sum_doubles(count);
+        let cb = p.cb();
+        let sizes = move |r: usize| BufSizes::new(cb, if r == 0 { cb } else { 0 });
+        mcoll_pts.push((
+            count as f64,
+            run(&cfg_mcoll, &sizes, &mut |c| reduce_mcoll(c, &p, 0)),
+        ));
+        base_pts.push((
+            count as f64,
+            run(&cfg_base, &sizes, &mut |c| reduce_binomial(c, &p, 0)),
+        ));
+    }
+    Figure {
+        id: "ext_reduce".into(),
+        title: format!("extension: multi-object MPI_Reduce vs binomial ({nodes}x{ppn})"),
+        x_name: "doubles".into(),
+        y_name: "time (us)".into(),
+        series: vec![
+            Series { label: "mcoll".into(), points: mcoll_pts },
+            Series { label: "binomial".into(), points: base_pts },
+        ],
+    }
+    .emit();
+}

@@ -1,0 +1,45 @@
+//! Figure 1: internode point-to-point message rate (4 KiB) and throughput
+//! (128 KiB) vs. number of concurrent sender/receiver pairs on two nodes —
+//! the hardware premise of the multi-object design.
+
+use pipmcoll_bench::{harness_ppn, Figure, Series};
+use pipmcoll_engine::pt2pt::sweep_pairs;
+use pipmcoll_engine::EngineConfig;
+use pipmcoll_model::presets;
+
+fn main() {
+    let ppn = harness_ppn();
+    let cfg = EngineConfig::pip_mcoll(presets::bebop(2, ppn));
+
+    let rate = sweep_pairs(&cfg, 4096, 60).expect("4 KiB sweep");
+    Figure {
+        id: "fig01a_msgrate_4k".into(),
+        title: "pt2pt message rate, 4 KiB messages, 2 nodes (paper Fig. 1a)".into(),
+        x_name: "pairs".into(),
+        y_name: "Mmsg/s".into(),
+        series: vec![Series {
+            label: "msg_rate_Mmsgs".into(),
+            points: rate
+                .iter()
+                .map(|p| (p.pairs as f64, p.msg_rate / 1e6))
+                .collect(),
+        }],
+    }
+    .emit();
+
+    let tp = sweep_pairs(&cfg, 128 * 1024, 12).expect("128 KiB sweep");
+    Figure {
+        id: "fig01b_throughput_128k".into(),
+        title: "pt2pt throughput, 128 KiB messages, 2 nodes (paper Fig. 1b)".into(),
+        x_name: "pairs".into(),
+        y_name: "GB/s".into(),
+        series: vec![Series {
+            label: "throughput_GBs".into(),
+            points: tp
+                .iter()
+                .map(|p| (p.pairs as f64, p.throughput / 1e9))
+                .collect(),
+        }],
+    }
+    .emit();
+}

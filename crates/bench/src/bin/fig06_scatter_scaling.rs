@@ -1,0 +1,20 @@
+//! Figure 6: MPI_Scatter vs. node count at 16 B and 1 kB per rank,
+//! PiP-MColl vs. the PiP-MPICH baseline.
+
+use pipmcoll_bench::{grids, harness_nodes, node_sweep};
+use pipmcoll_core::{CollectiveSpec, LibraryProfile, ScatterParams};
+
+fn main() {
+    let libs = [LibraryProfile::PipMColl, LibraryProfile::PipMpich];
+    let grid = grids::node_grid(harness_nodes());
+    for (sub, cb) in [("a", 16usize), ("b", 1024)] {
+        node_sweep(
+            &format!("fig06{sub}_scatter_nodes_{cb}B"),
+            &format!("MPI_Scatter node scaling, {cb} B per rank (paper Fig. 6{sub})"),
+            &grid,
+            &libs,
+            CollectiveSpec::Scatter(ScatterParams { cb, root: 0 }),
+        )
+        .emit();
+    }
+}

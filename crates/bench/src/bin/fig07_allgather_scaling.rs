@@ -1,0 +1,20 @@
+//! Figure 7: MPI_Allgather vs. node count at 16 B and 1 kB per rank,
+//! PiP-MColl vs. the PiP-MPICH baseline.
+
+use pipmcoll_bench::{grids, harness_nodes, node_sweep};
+use pipmcoll_core::{AllgatherParams, CollectiveSpec, LibraryProfile};
+
+fn main() {
+    let libs = [LibraryProfile::PipMColl, LibraryProfile::PipMpich];
+    let grid = grids::node_grid(harness_nodes());
+    for (sub, cb) in [("a", 16usize), ("b", 1024)] {
+        node_sweep(
+            &format!("fig07{sub}_allgather_nodes_{cb}B"),
+            &format!("MPI_Allgather node scaling, {cb} B per rank (paper Fig. 7{sub})"),
+            &grid,
+            &libs,
+            CollectiveSpec::Allgather(AllgatherParams { cb }),
+        )
+        .emit();
+    }
+}

@@ -1,0 +1,20 @@
+//! Figure 8: MPI_Allreduce vs. node count at 16 and 1 k double counts,
+//! PiP-MColl vs. the PiP-MPICH baseline.
+
+use pipmcoll_bench::{grids, harness_nodes, node_sweep};
+use pipmcoll_core::{AllreduceParams, CollectiveSpec, LibraryProfile};
+
+fn main() {
+    let libs = [LibraryProfile::PipMColl, LibraryProfile::PipMpich];
+    let grid = grids::node_grid(harness_nodes());
+    for (sub, count) in [("a", 16usize), ("b", 1024)] {
+        node_sweep(
+            &format!("fig08{sub}_allreduce_nodes_{count}d"),
+            &format!("MPI_Allreduce node scaling, {count} doubles (paper Fig. 8{sub})"),
+            &grid,
+            &libs,
+            CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(count)),
+        )
+        .emit();
+    }
+}

@@ -1,0 +1,18 @@
+//! Figure 9: MPI_Scatter with small per-rank sizes (16 B – 1 kB) at full
+//! scale, all five libraries, normalised to PiP-MColl.
+
+use pipmcoll_bench::{grids, library_sweep};
+use pipmcoll_core::{CollectiveSpec, LibraryProfile, ScatterParams};
+
+fn main() {
+    library_sweep(
+        "fig09_scatter_small",
+        "MPI_Scatter, small message sizes, 128 nodes (paper Fig. 9)",
+        "bytes",
+        &grids::small_bytes(),
+        &LibraryProfile::FIGURE_SET,
+        |cb| CollectiveSpec::Scatter(ScatterParams { cb, root: 0 }),
+    )
+    .normalised_to_first()
+    .emit();
+}

@@ -1,0 +1,19 @@
+//! Figure 10: MPI_Allgather with small per-rank sizes (16 B – 512 B) at
+//! full scale, all five libraries, normalised to PiP-MColl. The paper's
+//! headline 4.6x happens here (64 B).
+
+use pipmcoll_bench::{grids, library_sweep};
+use pipmcoll_core::{AllgatherParams, CollectiveSpec, LibraryProfile};
+
+fn main() {
+    library_sweep(
+        "fig10_allgather_small",
+        "MPI_Allgather, small message sizes, 128 nodes (paper Fig. 10)",
+        "bytes",
+        &grids::small_bytes_512(),
+        &LibraryProfile::FIGURE_SET,
+        |cb| CollectiveSpec::Allgather(AllgatherParams { cb }),
+    )
+    .normalised_to_first()
+    .emit();
+}

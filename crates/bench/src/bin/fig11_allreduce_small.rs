@@ -1,0 +1,18 @@
+//! Figure 11: MPI_Allreduce with small double counts (2 – 128) at full
+//! scale, all five libraries, normalised to PiP-MColl.
+
+use pipmcoll_bench::{grids, library_sweep};
+use pipmcoll_core::{AllreduceParams, CollectiveSpec, LibraryProfile};
+
+fn main() {
+    library_sweep(
+        "fig11_allreduce_small",
+        "MPI_Allreduce, small double counts, 128 nodes (paper Fig. 11)",
+        "doubles",
+        &grids::small_counts(),
+        &LibraryProfile::FIGURE_SET,
+        |count| CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(count)),
+    )
+    .normalised_to_first()
+    .emit();
+}

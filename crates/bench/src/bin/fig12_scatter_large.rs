@@ -1,0 +1,18 @@
+//! Figure 12: MPI_Scatter with medium/large sizes (1 kB – 512 kB) at full
+//! scale — PiP-MColl uses the same algorithm at every size (§IV-D1).
+
+use pipmcoll_bench::{grids, library_sweep};
+use pipmcoll_core::{CollectiveSpec, LibraryProfile, ScatterParams};
+
+fn main() {
+    library_sweep(
+        "fig12_scatter_large",
+        "MPI_Scatter, medium/large message sizes, 128 nodes (paper Fig. 12)",
+        "bytes",
+        &grids::large_bytes(),
+        &LibraryProfile::FIGURE_SET,
+        |cb| CollectiveSpec::Scatter(ScatterParams { cb, root: 0 }),
+    )
+    .normalised_to_first()
+    .emit();
+}

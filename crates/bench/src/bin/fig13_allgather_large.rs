@@ -1,0 +1,28 @@
+//! Figure 13: MPI_Allgather with medium/large sizes (1 kB – 512 kB) at
+//! full scale, including the PiP-MColl-small ablation line (the
+//! small-message algorithm used at every size). PiP-MColl switches to the
+//! ring algorithm at 64 kB.
+
+use pipmcoll_bench::{grids, library_sweep};
+use pipmcoll_core::{AllgatherParams, CollectiveSpec, LibraryProfile};
+
+fn main() {
+    let libs = [
+        LibraryProfile::PipMColl,
+        LibraryProfile::PipMCollSmall,
+        LibraryProfile::PipMpich,
+        LibraryProfile::IntelMpi,
+        LibraryProfile::OpenMpi,
+        LibraryProfile::Mvapich2,
+    ];
+    library_sweep(
+        "fig13_allgather_large",
+        "MPI_Allgather, medium/large message sizes, 128 nodes (paper Fig. 13)",
+        "bytes",
+        &grids::large_bytes(),
+        &libs,
+        |cb| CollectiveSpec::Allgather(AllgatherParams { cb }),
+    )
+    .normalised_to_first()
+    .emit();
+}

@@ -1,0 +1,27 @@
+//! Figure 14: MPI_Allreduce with medium/large double counts (1 k – 512 k)
+//! at full scale, including the PiP-MColl-small ablation. PiP-MColl
+//! switches to reduce-scatter + allgather at 8 k counts.
+
+use pipmcoll_bench::{grids, library_sweep};
+use pipmcoll_core::{AllreduceParams, CollectiveSpec, LibraryProfile};
+
+fn main() {
+    let libs = [
+        LibraryProfile::PipMColl,
+        LibraryProfile::PipMCollSmall,
+        LibraryProfile::PipMpich,
+        LibraryProfile::IntelMpi,
+        LibraryProfile::OpenMpi,
+        LibraryProfile::Mvapich2,
+    ];
+    library_sweep(
+        "fig14_allreduce_large",
+        "MPI_Allreduce, medium/large double counts, 128 nodes (paper Fig. 14)",
+        "doubles",
+        &grids::large_counts(),
+        &libs,
+        |count| CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(count)),
+    )
+    .normalised_to_first()
+    .emit();
+}

@@ -1,0 +1,142 @@
+//! High-level entry points: build a schedule for (library, collective) and
+//! simulate it on a machine.
+
+use pipmcoll_engine::{simulate, SimError, SimReport};
+use pipmcoll_model::{MachineConfig, Topology};
+use pipmcoll_sched::{record_with_sizes, Schedule};
+
+use crate::library::LibraryProfile;
+use crate::{AllgatherParams, AllreduceParams, ScatterParams};
+
+/// Which collective to run (without its size parameters).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// `MPI_Scatter`.
+    Scatter,
+    /// `MPI_Allgather`.
+    Allgather,
+    /// `MPI_Allreduce`.
+    Allreduce,
+}
+
+/// A fully-specified collective invocation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CollectiveSpec {
+    /// `MPI_Scatter` with its parameters.
+    Scatter(ScatterParams),
+    /// `MPI_Allgather` with its parameters.
+    Allgather(AllgatherParams),
+    /// `MPI_Allreduce` with its parameters.
+    Allreduce(AllreduceParams),
+}
+
+impl CollectiveSpec {
+    /// The collective's kind.
+    pub fn kind(&self) -> CollectiveKind {
+        match self {
+            CollectiveSpec::Scatter(_) => CollectiveKind::Scatter,
+            CollectiveSpec::Allgather(_) => CollectiveKind::Allgather,
+            CollectiveSpec::Allreduce(_) => CollectiveKind::Allreduce,
+        }
+    }
+
+    /// Per-process message size in bytes (`C_b`) — the size axis of every
+    /// figure in the paper.
+    pub fn cb(&self) -> usize {
+        match self {
+            CollectiveSpec::Scatter(p) => p.cb,
+            CollectiveSpec::Allgather(p) => p.cb,
+            CollectiveSpec::Allreduce(p) => p.cb(),
+        }
+    }
+}
+
+/// Record the schedule `lib` produces for `spec` on `topo`.
+pub fn build_schedule(lib: LibraryProfile, topo: Topology, spec: &CollectiveSpec) -> Schedule {
+    match *spec {
+        CollectiveSpec::Scatter(p) => {
+            record_with_sizes(topo, p.buf_sizes(topo), |c| lib.scatter(c, &p))
+        }
+        CollectiveSpec::Allgather(p) => {
+            record_with_sizes(topo, p.buf_sizes(topo), |c| lib.allgather(c, &p))
+        }
+        CollectiveSpec::Allreduce(p) => {
+            record_with_sizes(topo, p.buf_sizes(), |c| lib.allreduce(c, &p))
+        }
+    }
+}
+
+/// Record, validate and simulate one collective under `lib` on `machine`.
+/// Returns the simulator's timing/traffic report — the quantity the paper's
+/// microbenchmarks measure.
+///
+/// ```
+/// use pipmcoll_core::{run_collective, AllreduceParams, CollectiveSpec, LibraryProfile};
+/// use pipmcoll_model::presets;
+///
+/// // A 64-double allreduce on a 4-node slice of the paper's testbed.
+/// let machine = presets::bebop(4, 18);
+/// let spec = CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(64));
+/// let mcoll = run_collective(LibraryProfile::PipMColl, machine, &spec).unwrap();
+/// let base = run_collective(LibraryProfile::PipMpich, machine, &spec).unwrap();
+/// assert!(mcoll.makespan < base.makespan, "multi-object wins");
+/// assert_eq!(mcoll.syscalls, 0, "PiP never traps into the kernel");
+/// ```
+pub fn run_collective(
+    lib: LibraryProfile,
+    machine: MachineConfig,
+    spec: &CollectiveSpec,
+) -> Result<SimReport, SimError> {
+    let sched = build_schedule(lib, machine.topo, spec);
+    sched.validate().map_err(|e| SimError {
+        message: format!("schedule validation failed: {e}"),
+    })?;
+    let cfg = lib.engine_config(machine, spec.cb());
+    simulate(&cfg, &sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipmcoll_model::presets;
+
+    #[test]
+    fn end_to_end_all_collectives_all_libraries() {
+        let machine = presets::bebop(3, 2);
+        let specs = [
+            CollectiveSpec::Scatter(ScatterParams { cb: 64, root: 0 }),
+            CollectiveSpec::Allgather(AllgatherParams { cb: 64 }),
+            CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(16)),
+        ];
+        for lib in LibraryProfile::ALL {
+            for spec in &specs {
+                let r = run_collective(lib, machine, spec)
+                    .unwrap_or_else(|e| panic!("{lib:?} {spec:?}: {e}"));
+                assert!(r.makespan.as_ps() > 0, "{lib:?} {spec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mcoll_beats_baseline_small_allgather() {
+        // The headline shape: at small sizes on several nodes, PiP-MColl's
+        // multi-object allgather beats the handshake-burdened baseline.
+        let machine = presets::bebop(8, 6);
+        let spec = CollectiveSpec::Allgather(AllgatherParams { cb: 64 });
+        let mcoll = run_collective(LibraryProfile::PipMColl, machine, &spec).unwrap();
+        let base = run_collective(LibraryProfile::PipMpich, machine, &spec).unwrap();
+        assert!(
+            mcoll.makespan < base.makespan,
+            "mcoll {} vs baseline {}",
+            mcoll.makespan,
+            base.makespan
+        );
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let s = CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(1024));
+        assert_eq!(s.kind(), CollectiveKind::Allreduce);
+        assert_eq!(s.cb(), 8192);
+    }
+}

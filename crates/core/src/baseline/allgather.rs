@@ -1,0 +1,168 @@
+//! Baseline allgather algorithms: Bruck \[22\], recursive doubling \[23\] and
+//! ring — the conventional single-object designs MPICH/Open MPI dispatch
+//! between by message size.
+
+use pipmcoll_sched::{BufId, Comm, Region};
+
+use crate::params::tags;
+use crate::util::is_pof2;
+use crate::AllgatherParams;
+
+/// Bruck allgather (works for any world size; MPICH's small-message choice
+/// for non-powers-of-two). `⌈log₂ size⌉` rounds; data is assembled in a
+/// rotated workspace and shifted into place at the end.
+pub fn allgather_bruck<C: Comm>(c: &mut C, p: &AllgatherParams) {
+    let size = c.topo().world_size();
+    let cb = p.cb;
+    let rank = c.rank();
+    if size == 1 {
+        c.local_copy(
+            Region::new(BufId::Send, 0, cb),
+            Region::new(BufId::Recv, 0, cb),
+        );
+        return;
+    }
+    let work = c.alloc_temp(size * cb);
+    c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(work, 0, cb));
+
+    let mut d = 1usize;
+    let mut step = 0u32;
+    while d < size {
+        let cnt = d.min(size - d);
+        let dst = (rank + size - d) % size;
+        let src = (rank + d) % size;
+        let sreq = c.isend(dst, tags::ALLGATHER + step, Region::new(work, 0, cnt * cb));
+        let rreq = c.irecv(src, tags::ALLGATHER + step, Region::new(work, d * cb, cnt * cb));
+        c.wait(sreq);
+        c.wait(rreq);
+        d <<= 1;
+        step += 1;
+    }
+
+    // Block k of the workspace holds rank (rank + k) % size's data; rotate
+    // into the real-rank layout required by MPI.
+    for k in 0..size {
+        let owner = (rank + k) % size;
+        c.local_copy(
+            Region::new(work, k * cb, cb),
+            Region::new(BufId::Recv, owner * cb, cb),
+        );
+    }
+}
+
+/// Recursive-doubling allgather (power-of-two world sizes only; MPICH's
+/// small-message choice for powers of two). Falls back to Bruck otherwise.
+pub fn allgather_recursive_doubling<C: Comm>(c: &mut C, p: &AllgatherParams) {
+    let size = c.topo().world_size();
+    if !is_pof2(size) {
+        return allgather_bruck(c, p);
+    }
+    let cb = p.cb;
+    let rank = c.rank();
+    c.local_copy(
+        Region::new(BufId::Send, 0, cb),
+        Region::new(BufId::Recv, rank * cb, cb),
+    );
+    let mut mask = 1usize;
+    let mut step = 0u32;
+    while mask < size {
+        let partner = rank ^ mask;
+        let my_base = rank & !(mask - 1);
+        let partner_base = partner & !(mask - 1);
+        let sreq = c.isend(
+            partner,
+            tags::ALLGATHER + step,
+            Region::new(BufId::Recv, my_base * cb, mask * cb),
+        );
+        let rreq = c.irecv(
+            partner,
+            tags::ALLGATHER + step,
+            Region::new(BufId::Recv, partner_base * cb, mask * cb),
+        );
+        c.wait(sreq);
+        c.wait(rreq);
+        mask <<= 1;
+        step += 1;
+    }
+}
+
+/// Ring allgather (MPICH's large-message choice): `size-1` steps, each rank
+/// forwarding the block it received in the previous step to its right
+/// neighbour. Minimises per-step bandwidth at the cost of `O(size)` latency.
+pub fn allgather_ring<C: Comm>(c: &mut C, p: &AllgatherParams) {
+    let size = c.topo().world_size();
+    let cb = p.cb;
+    let rank = c.rank();
+    c.local_copy(
+        Region::new(BufId::Send, 0, cb),
+        Region::new(BufId::Recv, rank * cb, cb),
+    );
+    if size == 1 {
+        return;
+    }
+    let right = (rank + 1) % size;
+    let left = (rank + size - 1) % size;
+    for t in 0..size - 1 {
+        let sblk = (rank + size - t) % size;
+        let rblk = (rank + size - t - 1) % size;
+        // One tag for every step: messages between a fixed pair are
+        // strictly ordered (wait before the next step), so FIFO matching is
+        // exact and the channel table stays O(world) at 128-node scale.
+        let sreq = c.isend(
+            right,
+            tags::ALLGATHER + 64,
+            Region::new(BufId::Recv, sblk * cb, cb),
+        );
+        let rreq = c.irecv(
+            left,
+            tags::ALLGATHER + 64,
+            Region::new(BufId::Recv, rblk * cb, cb),
+        );
+        c.wait(sreq);
+        c.wait(rreq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipmcoll_model::Topology;
+    use pipmcoll_sched::record_with_sizes;
+    use pipmcoll_sched::verify::check_allgather;
+
+    fn run(algo: fn(&mut pipmcoll_sched::TraceComm, &AllgatherParams), nodes: usize, ppn: usize, cb: usize) {
+        let topo = Topology::new(nodes, ppn);
+        let p = AllgatherParams { cb };
+        let sched = record_with_sizes(topo, p.buf_sizes(topo), |c| algo(c, &p));
+        check_allgather(&sched, cb).unwrap();
+    }
+
+    #[test]
+    fn bruck_various_sizes() {
+        run(allgather_bruck, 1, 1, 8);
+        run(allgather_bruck, 2, 2, 16);
+        run(allgather_bruck, 3, 3, 8);
+        run(allgather_bruck, 7, 1, 4);
+        run(allgather_bruck, 4, 5, 8);
+    }
+
+    #[test]
+    fn recursive_doubling_pof2() {
+        run(allgather_recursive_doubling, 2, 2, 16);
+        run(allgather_recursive_doubling, 4, 4, 8);
+        run(allgather_recursive_doubling, 8, 2, 4);
+    }
+
+    #[test]
+    fn recursive_doubling_fallback_non_pof2() {
+        run(allgather_recursive_doubling, 3, 2, 8);
+    }
+
+    #[test]
+    fn ring_various_sizes() {
+        run(allgather_ring, 1, 1, 8);
+        run(allgather_ring, 2, 2, 16);
+        run(allgather_ring, 5, 2, 8);
+        run(allgather_ring, 3, 4, 4);
+    }
+}

@@ -1,0 +1,151 @@
+//! Binomial-tree scatter (MPICH's default, \[21\]) — the single-object
+//! algorithm the paper's MPI_Scatter improves on: exactly one
+//! sender/receiver pair is active per tree edge.
+
+use pipmcoll_sched::{BufId, Comm, Region};
+
+use crate::baseline::{real_of, real_segments, vrank};
+use crate::params::tags;
+use crate::ScatterParams;
+
+/// Binomial scatter: the root holds `world*cb` bytes (rank `i`'s chunk at
+/// offset `i*cb`); every rank receives its chunk in `Recv`.
+///
+/// Intermediate ranks stage their whole subtree's data in a scratch buffer
+/// (virtual-rank-contiguous). Because MPI buffer layout is by *real* rank
+/// while binomial subtrees are contiguous in *virtual* rank, transfers that
+/// touch the root's buffer may be split into two segments.
+pub fn scatter_binomial<C: Comm>(c: &mut C, p: &ScatterParams) {
+    let size = c.topo().world_size();
+    let cb = p.cb;
+    let root = p.root;
+    let rank = c.rank();
+    if size == 1 {
+        c.local_copy(
+            Region::new(BufId::Send, 0, cb),
+            Region::new(BufId::Recv, 0, cb),
+        );
+        return;
+    }
+    let vr = vrank(c, root);
+
+    // Phase 1: receive my subtree from my parent.
+    let mut mask = 1usize;
+    let mut temp = None;
+    if vr != 0 {
+        while mask < size {
+            if vr & mask != 0 {
+                let span = mask.min(size - vr);
+                let t = c.alloc_temp(span * cb);
+                temp = Some(t);
+                let parent_vr = vr - mask;
+                let parent = real_of(parent_vr, root, size);
+                if parent_vr == 0 {
+                    // The root sends from the user buffer in real layout:
+                    // up to two contiguous segments.
+                    let (segs, n) = real_segments(vr, span, root, size);
+                    let mut off = 0usize;
+                    for (j, (_, len)) in segs[..n].iter().enumerate() {
+                        c.recv(
+                            parent,
+                            tags::BINOMIAL + j as u32,
+                            Region::new(t, off, len * cb),
+                        );
+                        off += len * cb;
+                    }
+                } else {
+                    c.recv(parent, tags::BINOMIAL, Region::whole(t, span * cb));
+                }
+                break;
+            }
+            mask <<= 1;
+        }
+    } else {
+        while mask < size {
+            mask <<= 1;
+        }
+    }
+
+    // Phase 2: forward sub-subtrees to children at decreasing distances.
+    mask >>= 1;
+    while mask > 0 {
+        if vr & mask == 0 && vr + mask < size {
+            let child_vr = vr + mask;
+            let cspan = mask.min(size - child_vr);
+            let child = real_of(child_vr, root, size);
+            if vr == 0 {
+                let (segs, n) = real_segments(child_vr, cspan, root, size);
+                for (j, (real_lo, len)) in segs[..n].iter().enumerate() {
+                    c.send(
+                        child,
+                        tags::BINOMIAL + j as u32,
+                        Region::new(BufId::Send, real_lo * cb, len * cb),
+                    );
+                }
+            } else {
+                let t = temp.expect("non-root forwarding rank received a subtree");
+                c.send(
+                    child,
+                    tags::BINOMIAL,
+                    Region::new(t, (child_vr - vr) * cb, cspan * cb),
+                );
+            }
+        }
+        mask >>= 1;
+    }
+
+    // Phase 3: my own chunk.
+    if vr == 0 {
+        c.local_copy(
+            Region::new(BufId::Send, rank * cb, cb),
+            Region::new(BufId::Recv, 0, cb),
+        );
+    } else {
+        let t = temp.expect("non-root rank received its subtree");
+        c.local_copy(Region::new(t, 0, cb), Region::new(BufId::Recv, 0, cb));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipmcoll_model::Topology;
+    use pipmcoll_sched::record_with_sizes;
+    use pipmcoll_sched::verify::check_scatter;
+
+    fn run(nodes: usize, ppn: usize, cb: usize, root: usize) {
+        let topo = Topology::new(nodes, ppn);
+        let p = ScatterParams { cb, root };
+        let sched = record_with_sizes(topo, p.buf_sizes(topo), |c| scatter_binomial(c, &p));
+        check_scatter(&sched, root, cb).unwrap();
+    }
+
+    #[test]
+    fn scatter_power_of_two() {
+        run(4, 2, 16, 0);
+    }
+
+    #[test]
+    fn scatter_odd_world() {
+        run(3, 3, 8, 0);
+        run(7, 1, 4, 0);
+    }
+
+    #[test]
+    fn scatter_nonzero_root() {
+        run(4, 2, 16, 3);
+        run(3, 3, 8, 8);
+        run(5, 2, 4, 7);
+    }
+
+    #[test]
+    fn scatter_single_rank() {
+        run(1, 1, 32, 0);
+    }
+
+    #[test]
+    fn scatter_large_world() {
+        run(8, 4, 4, 0);
+        run(8, 4, 4, 17);
+    }
+}

@@ -1,0 +1,32 @@
+//! # pipmcoll-core — the PiP-MColl collective algorithms
+//!
+//! This crate implements the paper's contribution: **multi-object
+//! Process-in-Process MPI collectives** for `MPI_Scatter`, `MPI_Allgather`
+//! and `MPI_Allreduce` (§III), the auxiliary intranode collectives they
+//! build on (`MPI_Bcast`, `MPI_Gather`, `MPI_Reduce`, §III-C), and the
+//! *baseline* algorithms the paper compares against (binomial trees, Bruck,
+//! recursive doubling, ring, Rabenseifner — the algorithms MPICH, Open MPI,
+//! MVAPICH2 and Intel MPI ship).
+//!
+//! Every algorithm is a plain function over the [`pipmcoll_sched::Comm`]
+//! trait, so the same code runs on the trace recorder (→ discrete-event
+//! simulation at the paper's 128×18 scale), the dataflow interpreter
+//! (→ correctness ground truth), and the thread runtime (→ real wall-clock
+//! intranode measurements).
+//!
+//! High-level entry points live in [`api`]; library-emulation profiles
+//! (which algorithm each MPI library picks at which size, and over which
+//! shared-memory mechanism) live in [`library`]; the size switch-points the
+//! paper uses (64 kB allgather, 8 k-count allreduce) live in [`tuning`].
+
+pub mod api;
+pub mod baseline;
+pub mod library;
+pub mod mcoll;
+pub mod params;
+pub mod tuning;
+pub mod util;
+
+pub use api::{build_schedule, run_collective, CollectiveKind, CollectiveSpec};
+pub use library::LibraryProfile;
+pub use params::{AllgatherParams, AllreduceParams, ScatterParams};

@@ -1,0 +1,150 @@
+//! PiP-MColl medium/large-message allgather (§III-B1, Fig. 4): a
+//! multi-object ring with overlapped intranode broadcast.
+//!
+//! The node block circulates around a ring of nodes, but each of the P
+//! local ranks carries its own `cb`-byte *slice* of the block — P parallel
+//! rings saturating the link. The intranode broadcast of the
+//! previously-received block is issued *between* posting the next ring
+//! step's nonblocking transfers and waiting for them, so block copies
+//! overlap wire time exactly as in the paper's Fig. 4. Linear in `C_b`
+//! (vs. the small-message algorithm's quadratic term) — the 64 kB
+//! switchover of Fig. 13.
+
+use pipmcoll_sched::{BufId, Comm, Region, RemoteRegion};
+
+use crate::mcoll::allgather_small::allgather_mcoll_small;
+use crate::params::{slots, tags};
+use crate::AllgatherParams;
+
+/// Multi-object ring allgather: every rank contributes `cb` bytes and ends
+/// with the rank-ordered `world·cb` result in `Recv`.
+pub fn allgather_mcoll_large<C: Comm>(c: &mut C, p: &AllgatherParams) {
+    allgather_mcoll_large_opts(c, p, true)
+}
+
+/// [`allgather_mcoll_large`] with the intra/internode **overlap** made
+/// optional — the ablation axis of DESIGN.md §5.2. With `overlap = false`
+/// the intranode block broadcast runs only after the ring step's transfers
+/// complete, serialising copy time behind wire time.
+pub fn allgather_mcoll_large_opts<C: Comm>(c: &mut C, p: &AllgatherParams, overlap: bool) {
+    let topo = c.topo();
+    let n = topo.nodes();
+    if n == 1 {
+        // No ring to run; the small-message path is exactly the intranode
+        // gather + broadcast this case needs.
+        return allgather_mcoll_small(c, p);
+    }
+    let ppn = topo.ppn();
+    let cb = p.cb;
+    let nb = ppn * cb;
+    let node = c.node();
+    let l = c.local();
+    let local_root = topo.local_root(node);
+
+    // Phase 1: intranode gather straight into the local root's Recv at the
+    // block's final position (no staging buffer at all).
+    if l == 0 {
+        c.post_addr(slots::RECV, Region::new(BufId::Recv, 0, n * nb));
+        c.local_copy(
+            Region::new(BufId::Send, 0, cb),
+            Region::new(BufId::Recv, node * nb, cb),
+        );
+    } else {
+        c.copy_out(
+            Region::new(BufId::Send, 0, cb),
+            RemoteRegion::new(local_root, slots::RECV, node * nb + l * cb, cb),
+        );
+    }
+    c.node_barrier();
+
+    // Phase 2: N−1 ring steps, slice-parallel. `pending` is the block that
+    // completed in the previous step and is broadcast intranode while the
+    // current step's transfers are in flight.
+    let right = topo.rank_of((node + 1) % n, l);
+    let left = topo.rank_of((node + n - 1) % n, l);
+    let mut pending = node;
+    for t in 0..n - 1 {
+        let sblk = (node + n - t) % n;
+        let rblk = (node + n - t - 1) % n;
+        // Constant tag: per-pair messages are strictly ordered by the
+        // wait + barrier in each step, so FIFO matching is exact.
+        let tag = tags::MCOLL_AG_LARGE;
+        let sreq = c.isend_shared(
+            right,
+            tag,
+            RemoteRegion::new(local_root, slots::RECV, sblk * nb + l * cb, cb),
+        );
+        let rreq = c.irecv_shared(
+            left,
+            tag,
+            RemoteRegion::new(local_root, slots::RECV, rblk * nb + l * cb, cb),
+        );
+        // Overlapped intranode broadcast of the previous block (the local
+        // root's own Recv is the shared buffer, so it skips the copy).
+        // Issued between posting the nonblocking transfers and waiting for
+        // them, so copy time hides behind wire time; the ablation variant
+        // defers it until after the waits.
+        if overlap && l != 0 {
+            c.copy_in(
+                RemoteRegion::new(local_root, slots::RECV, pending * nb, nb),
+                Region::new(BufId::Recv, pending * nb, nb),
+            );
+        }
+        c.wait(sreq);
+        c.wait(rreq);
+        if !overlap && l != 0 {
+            c.copy_in(
+                RemoteRegion::new(local_root, slots::RECV, pending * nb, nb),
+                Region::new(BufId::Recv, pending * nb, nb),
+            );
+        }
+        c.node_barrier();
+        pending = rblk;
+    }
+    // Broadcast the final block.
+    if l != 0 {
+        c.copy_in(
+            RemoteRegion::new(local_root, slots::RECV, pending * nb, nb),
+            Region::new(BufId::Recv, pending * nb, nb),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipmcoll_model::Topology;
+    use pipmcoll_sched::record_with_sizes;
+    use pipmcoll_sched::verify::check_allgather;
+
+    fn run(nodes: usize, ppn: usize, cb: usize) {
+        let topo = Topology::new(nodes, ppn);
+        let p = AllgatherParams { cb };
+        let sched = record_with_sizes(topo, p.buf_sizes(topo), |c| allgather_mcoll_large(c, &p));
+        check_allgather(&sched, cb).unwrap();
+    }
+
+    #[test]
+    fn single_node_falls_back() {
+        run(1, 4, 64);
+    }
+
+    #[test]
+    fn two_nodes() {
+        run(2, 3, 32);
+        run(2, 1, 8);
+    }
+
+    #[test]
+    fn ring_various_shapes() {
+        run(3, 2, 16);
+        run(5, 3, 8);
+        run(8, 2, 4);
+        run(7, 1, 8);
+    }
+
+    #[test]
+    fn larger_payloads() {
+        run(4, 4, 1024);
+    }
+}

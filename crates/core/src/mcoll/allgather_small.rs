@@ -1,0 +1,168 @@
+//! PiP-MColl small-message allgather (§III-A2, Fig. 3): a multi-object
+//! radix-(P+1) Bruck algorithm over node-sized blocks.
+//!
+//! Per step, every local rank `l` concurrently exchanges with the nodes at
+//! distance `(l+1)·S_p` — P simultaneous sender/receiver objects per node,
+//! all transmitting directly from / into the local root's workspace
+//! (`isend_shared`/`irecv_shared`). `⌈log_{P+1} N⌉` steps instead of
+//! `⌈log₂ N⌉`. Non-power node counts are folded by the classic Bruck
+//! `min(S_p, N − dist)` partial-block trick. Per-step node barriers realise
+//! the multi-object synchronisation the paper discusses in §IV-B3.
+//!
+//! Correction to the paper's text: the paired process rank is
+//! `N_src·P + R_l` (the text's `N_src·N + R_l` is a dimensional typo).
+
+use pipmcoll_sched::{BufId, Comm, Region, RemoteRegion};
+
+use crate::params::{slots, tags};
+use crate::AllgatherParams;
+
+/// Multi-object Bruck allgather: every rank contributes `cb` bytes and ends
+/// with the rank-ordered `world·cb` result in `Recv`.
+pub fn allgather_mcoll_small<C: Comm>(c: &mut C, p: &AllgatherParams) {
+    let k = c.topo().ppn();
+    allgather_mcoll_small_k(c, p, k)
+}
+
+/// [`allgather_mcoll_small`] with an explicit **fan-out degree** `k` ≤ P:
+/// only local ranks `0..k` act as internode objects, making the algorithm
+/// radix-(k+1). `k = 1` degenerates to the classic single-leader Bruck —
+/// the ablation axis of DESIGN.md §5.1.
+pub fn allgather_mcoll_small_k<C: Comm>(c: &mut C, p: &AllgatherParams, k: usize) {
+    let topo = c.topo();
+    let n = topo.nodes();
+    let ppn = topo.ppn();
+    assert!(k >= 1 && k <= ppn, "fan-out degree must be in 1..=P");
+    let cb = p.cb;
+    let nb = ppn * cb; // node block size
+    let node = c.node();
+    let l = c.local();
+    let local_root = topo.local_root(node);
+
+    // Phase 1: intranode gather into block 0 of the local root's workspace.
+    let work = if l == 0 {
+        let t = c.alloc_temp(n * nb);
+        c.post_addr(slots::WORK, Region::whole(t, n * nb));
+        c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(t, 0, cb));
+        Some(t)
+    } else {
+        c.copy_out(
+            Region::new(BufId::Send, 0, cb),
+            RemoteRegion::new(local_root, slots::WORK, l * cb, cb),
+        );
+        None
+    };
+    c.node_barrier();
+
+    // Phase 2: radix-(P+1) Bruck steps. Invariant: before a step with
+    // distance unit S_p, workspace blocks [0, S_p) hold the data of nodes
+    // (node + j) % N for j < S_p.
+    let mut sp = 1usize;
+    let mut step = 0u32;
+    while sp < n {
+        let dist = (l + 1) * sp;
+        if l < k && dist < n {
+            let cnt = sp.min(n - dist);
+            let dst_node = (node + n - dist) % n;
+            let src_node = (node + dist) % n;
+            let dst = topo.rank_of(dst_node, l);
+            let src = topo.rank_of(src_node, l);
+            let tag = tags::MCOLL_AG_SMALL + step;
+            let sreq = c.isend_shared(
+                dst,
+                tag,
+                RemoteRegion::new(local_root, slots::WORK, 0, cnt * nb),
+            );
+            let rreq = c.irecv_shared(
+                src,
+                tag,
+                RemoteRegion::new(local_root, slots::WORK, dist * nb, cnt * nb),
+            );
+            c.wait(sreq);
+            c.wait(rreq);
+        }
+        c.node_barrier();
+        sp *= k + 1;
+        step += 1;
+    }
+
+    // Phase 3: workspace block k holds node (node + k) % N's data. Every
+    // rank copies all blocks into its own Recv with the rotation applied —
+    // this is the paper's "shift into the correct sequence and broadcast".
+    for k in 0..n {
+        let owner = (node + k) % n;
+        if let Some(t) = work {
+            c.local_copy(
+                Region::new(t, k * nb, nb),
+                Region::new(BufId::Recv, owner * nb, nb),
+            );
+        } else {
+            c.copy_in(
+                RemoteRegion::new(local_root, slots::WORK, k * nb, nb),
+                Region::new(BufId::Recv, owner * nb, nb),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipmcoll_model::Topology;
+    use pipmcoll_sched::record_with_sizes;
+    use pipmcoll_sched::verify::check_allgather;
+
+    fn run(nodes: usize, ppn: usize, cb: usize) {
+        let topo = Topology::new(nodes, ppn);
+        let p = AllgatherParams { cb };
+        let sched = record_with_sizes(topo, p.buf_sizes(topo), |c| allgather_mcoll_small(c, &p));
+        check_allgather(&sched, cb).unwrap();
+    }
+
+    #[test]
+    fn single_node() {
+        run(1, 4, 16);
+        run(1, 1, 8);
+    }
+
+    #[test]
+    fn power_of_radix() {
+        run(3, 2, 8); // radix 3, N = 3
+        run(9, 2, 8); // radix 3, N = 9
+        run(4, 3, 4); // radix 4, N = 4
+    }
+
+    #[test]
+    fn non_power_node_counts() {
+        run(2, 3, 8);
+        run(5, 2, 8);
+        run(7, 2, 4);
+        run(10, 3, 8);
+        run(6, 1, 8); // P = 1 degenerates to classic radix-2 Bruck
+    }
+
+    #[test]
+    fn wide_nodes() {
+        run(13, 2, 4);
+    }
+
+    #[test]
+    fn fan_out_degrees_all_correct() {
+        // The ablation axis: every k from single-leader to full multi-object.
+        for k in 1..=4 {
+            let topo = Topology::new(6, 4);
+            let p = AllgatherParams { cb: 8 };
+            let sched =
+                record_with_sizes(topo, p.buf_sizes(topo), |c| allgather_mcoll_small_k(c, &p, k));
+            check_allgather(&sched, 8).unwrap_or_else(|e| panic!("k={k}: {e}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out degree")]
+    fn fan_out_zero_rejected() {
+        let topo = Topology::new(2, 2);
+        let p = AllgatherParams { cb: 8 };
+        let _ = record_with_sizes(topo, p.buf_sizes(topo), |c| allgather_mcoll_small_k(c, &p, 0));
+    }
+}

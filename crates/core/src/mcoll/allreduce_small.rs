@@ -1,0 +1,262 @@
+//! PiP-MColl small-message allreduce (§III-A3): intranode binomial reduce,
+//! then a multi-object radix-(P+1) internode allreduce, then intranode
+//! broadcast.
+//!
+//! Per internode step every local rank `l` sends the node's current partial
+//! sum (read directly from the local root's buffer) to the node at distance
+//! `(l+1)·S_p` and receives one partial in return — P concurrent objects in
+//! each direction, `⌈log_{P+1} N⌉` steps. Received partials are merged
+//! **chunk-parallel**: local rank `l` reduces element-chunk `l` of all P
+//! received buffers into the root's accumulator, so reduction bandwidth
+//! also scales with P (the same idea as the paper's Fig. 5).
+//!
+//! Remainder handling: the paper's inline remainder description (§III-A3
+//! steps ❺–❻) is ambiguous, so we use a provably-correct fold/unfold
+//! generalisation — the `rem = N − (P+1)^⌊log⌋` extra nodes fold their
+//! partials into the power-of-radix core before the steps and receive the
+//! result afterwards, with both directions spread across local ranks
+//! (multi-object). See DESIGN.md §2.
+
+use pipmcoll_sched::{BufId, Comm, Region, RemoteRegion};
+
+use crate::mcoll::intranode::intra_reduce_binomial_at;
+use crate::params::{slots, tags};
+use crate::util::{pow_floor, split_even};
+use crate::AllreduceParams;
+
+/// Slot for the binomial-reduce accumulators of phase 1.
+const SLOT_BINOM: u16 = 8;
+/// Flag base for the binomial-reduce levels of phase 1.
+const FLAG_BINOM: u16 = 16;
+
+/// Multi-object small-message allreduce: every rank contributes `count`
+/// elements in `Send` and receives the reduction in `Recv`.
+pub fn allreduce_mcoll_small<C: Comm>(c: &mut C, p: &AllreduceParams) {
+    let topo = c.topo();
+    let n = topo.nodes();
+    let ppn = topo.ppn();
+    let count = p.count;
+    let esz = p.dt.size();
+    let cb = count * esz;
+    let node = c.node();
+    let l = c.local();
+    let local_root = topo.local_root(node);
+    let radix = ppn + 1;
+    let pof = pow_floor(radix, n);
+    let rem = n - pof;
+
+    // Phase 1: intranode binomial reduce into the local root's Recv.
+    intra_reduce_binomial_at(c, cb, p.op, p.dt, SLOT_BINOM, FLAG_BINOM);
+
+    // Post the boards used by the internode phases: every rank exposes a
+    // partial-receive scratch buffer; the root exposes its accumulator.
+    let tmp = c.alloc_temp(cb);
+    c.post_addr(slots::AUX, Region::whole(tmp, cb));
+    if l == 0 {
+        c.post_addr(slots::RECV, Region::new(BufId::Recv, 0, cb));
+    }
+    // My merge chunk (element-aligned) and its staging buffer.
+    let (elo, ehi) = split_even(count, ppn, l);
+    let (coff, clen) = (elo * esz, (ehi - elo) * esz);
+    let stage = c.alloc_temp(clen.max(1));
+    c.node_barrier();
+
+    // Chunk-parallel merge of the partials held in `holders`' AUX buffers
+    // into the root's accumulator. Disjoint chunks → no write races; the
+    // caller brackets this with node barriers.
+    let merge = |c: &mut C, holders: &[usize]| {
+        if clen == 0 || holders.is_empty() {
+            return;
+        }
+        if l == 0 {
+            for &h in holders {
+                if h == 0 {
+                    c.local_reduce(
+                        Region::new(tmp, coff, clen),
+                        Region::new(BufId::Recv, coff, clen),
+                        p.op,
+                        p.dt,
+                    );
+                } else {
+                    c.reduce_in(
+                        RemoteRegion::new(topo.rank_of(node, h), slots::AUX, coff, clen),
+                        Region::new(BufId::Recv, coff, clen),
+                        p.op,
+                        p.dt,
+                    );
+                }
+            }
+        } else {
+            c.copy_in(
+                RemoteRegion::new(local_root, slots::RECV, coff, clen),
+                Region::new(stage, 0, clen),
+            );
+            for &h in holders {
+                if h == l {
+                    c.local_reduce(
+                        Region::new(tmp, coff, clen),
+                        Region::new(stage, 0, clen),
+                        p.op,
+                        p.dt,
+                    );
+                } else {
+                    c.reduce_in(
+                        RemoteRegion::new(topo.rank_of(node, h), slots::AUX, coff, clen),
+                        Region::new(stage, 0, clen),
+                        p.op,
+                        p.dt,
+                    );
+                }
+            }
+            c.copy_out(
+                Region::new(stage, 0, clen),
+                RemoteRegion::new(local_root, slots::RECV, coff, clen),
+            );
+        }
+    };
+
+    if node >= pof {
+        // Extra node: fold my partial into core node (node-pof) % pof, from
+        // local rank (node-pof)/pof so concurrent folds use distinct pairs.
+        let li = (node - pof) / pof;
+        if l == li {
+            let dst = topo.rank_of((node - pof) % pof, li);
+            let r = c.isend_shared(
+                dst,
+                tags::MCOLL_AR_SMALL,
+                RemoteRegion::new(local_root, slots::RECV, 0, cb),
+            );
+            c.wait(r);
+        }
+        // ... idle through the core; receive the result afterwards.
+        let li = (node - pof) / pof;
+        if l == li {
+            let src = topo.rank_of((node - pof) % pof, li);
+            let r = c.irecv_shared(
+                src,
+                tags::MCOLL_AR_SMALL + 64,
+                RemoteRegion::new(local_root, slots::RECV, 0, cb),
+            );
+            c.wait(r);
+        }
+        c.node_barrier();
+    } else {
+        // Core node: absorb folded partials first.
+        if rem > 0 {
+            let folds = (0..)
+                .map(|m| pof + node + m * pof)
+                .take_while(|&x| x < n)
+                .count();
+            if l < folds {
+                let src = topo.rank_of(pof + node + l * pof, l);
+                c.recv(src, tags::MCOLL_AR_SMALL, Region::whole(tmp, cb));
+            }
+            c.node_barrier();
+            let holders: Vec<usize> = (0..folds).collect();
+            merge(c, &holders);
+            c.node_barrier();
+        }
+
+        // Multi-object radix steps over the power-of-radix core.
+        let mut sp = 1usize;
+        let mut step = 1u32;
+        while sp < pof {
+            let dist = (l + 1) * sp;
+            debug_assert!(dist < pof, "radix geometry guarantees dist < pof");
+            let dst = topo.rank_of((node + pof - dist) % pof, l);
+            let src = topo.rank_of((node + dist) % pof, l);
+            let tag = tags::MCOLL_AR_SMALL + step;
+            let sreq = c.isend_shared(
+                dst,
+                tag,
+                RemoteRegion::new(local_root, slots::RECV, 0, cb),
+            );
+            let rreq = c.irecv(src, tag, Region::whole(tmp, cb));
+            c.wait(sreq);
+            c.wait(rreq);
+            c.node_barrier();
+            let holders: Vec<usize> = (0..ppn).collect();
+            merge(c, &holders);
+            c.node_barrier();
+            sp *= radix;
+            step += 1;
+        }
+
+        // Unfold: return the result to my folded satellites.
+        if rem > 0 {
+            let folds = (0..)
+                .map(|m| pof + node + m * pof)
+                .take_while(|&x| x < n)
+                .count();
+            if l < folds {
+                let dst = topo.rank_of(pof + node + l * pof, l);
+                let r = c.isend_shared(
+                    dst,
+                    tags::MCOLL_AR_SMALL + 64,
+                    RemoteRegion::new(local_root, slots::RECV, 0, cb),
+                );
+                c.wait(r);
+            }
+            c.node_barrier();
+        }
+    }
+
+    // Phase 3: intranode broadcast of the final result.
+    if l != 0 {
+        c.copy_in(
+            RemoteRegion::new(local_root, slots::RECV, 0, cb),
+            Region::new(BufId::Recv, 0, cb),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipmcoll_model::Topology;
+    use pipmcoll_sched::record_with_sizes;
+    use pipmcoll_sched::verify::check_allreduce_sum;
+
+    fn run(nodes: usize, ppn: usize, count: usize) {
+        let topo = Topology::new(nodes, ppn);
+        let p = AllreduceParams::sum_doubles(count);
+        let sched = record_with_sizes(topo, p.buf_sizes(), |c| allreduce_mcoll_small(c, &p));
+        check_allreduce_sum(&sched, count).unwrap();
+    }
+
+    #[test]
+    fn single_node() {
+        run(1, 4, 16);
+        run(1, 1, 3);
+    }
+
+    #[test]
+    fn power_of_radix_cores() {
+        run(3, 2, 8); // radix 3, N = 3
+        run(9, 2, 8); // radix 3, N = 9
+        run(4, 3, 6); // radix 4, N = 4
+        run(2, 1, 5); // radix 2, N = 2
+    }
+
+    #[test]
+    fn with_remainder_nodes() {
+        run(4, 2, 8); // pof 3, rem 1
+        run(5, 2, 8); // pof 3, rem 2
+        run(8, 2, 8); // pof 3, rem 5
+        run(7, 3, 10); // pof 4, rem 3
+        run(5, 1, 7); // radix 2: pof 4, rem 1
+    }
+
+    #[test]
+    fn fewer_nodes_than_radix() {
+        // N < P+1 → pof = 1: everything folds into node 0.
+        run(2, 4, 8);
+        run(3, 4, 8);
+    }
+
+    #[test]
+    fn tiny_counts_leave_empty_chunks() {
+        run(4, 6, 2); // count < P: most merge chunks are empty
+        run(3, 5, 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Auxiliary intranode collectives (§III-C): PiP-based broadcast, gather
+//! and reduce. These are both standalone collectives (benchmarked against
+//! binomial baselines) and the building blocks of the primary MColl
+//! algorithms.
+//!
+//! All of them follow the paper's pattern: one rank posts a buffer address,
+//! the others access it directly in userspace, and completion is signalled
+//! with flags — no system calls, no double copies.
+
+use pipmcoll_model::{Datatype, ReduceOp};
+use pipmcoll_sched::{BufId, Comm, Region, RemoteRegion};
+
+use crate::params::{flags, slots};
+use crate::util::split_even;
+
+/// Intranode broadcast, small-message variant: the root copies its payload
+/// into a scratch buffer, posts the scratch address, and every peer copies
+/// out (so the root's user buffer is immediately reusable). The root waits
+/// for all peers' DONE signals.
+///
+/// Buffers: root's payload in `Send`; everyone (root included) ends with it
+/// in `Recv`.
+pub fn intra_bcast_small<C: Comm>(c: &mut C, cb: usize) {
+    let p = c.topo().ppn();
+    let root = c.local_root();
+    if c.is_local_root() {
+        let staging = c.alloc_temp(cb);
+        c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(staging, 0, cb));
+        c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(BufId::Recv, 0, cb));
+        c.post_addr(slots::WORK, Region::new(staging, 0, cb));
+        if p > 1 {
+            c.wait_flag(flags::DONE, (p - 1) as u32);
+        }
+    } else {
+        c.copy_in(
+            RemoteRegion::new(root, slots::WORK, 0, cb),
+            Region::new(BufId::Recv, 0, cb),
+        );
+        c.signal(root, flags::DONE);
+    }
+}
+
+/// Intranode broadcast, large-message variant: the root posts its source
+/// buffer directly (no staging copy — the double copy is exactly what PiP
+/// eliminates) and waits until every peer has copied out.
+pub fn intra_bcast_large<C: Comm>(c: &mut C, cb: usize) {
+    let p = c.topo().ppn();
+    let root = c.local_root();
+    if c.is_local_root() {
+        c.post_addr(slots::WORK, Region::new(BufId::Send, 0, cb));
+        c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(BufId::Recv, 0, cb));
+        if p > 1 {
+            c.wait_flag(flags::DONE, (p - 1) as u32);
+        }
+    } else {
+        c.copy_in(
+            RemoteRegion::new(root, slots::WORK, 0, cb),
+            Region::new(BufId::Recv, 0, cb),
+        );
+        c.signal(root, flags::DONE);
+    }
+}
+
+/// Intranode gather (§III-C): the root posts its destination buffer; every
+/// peer copies its `cb` bytes into position `local·cb` concurrently; the
+/// root waits for all DONE signals. One copy per contributor, all in
+/// parallel — the multi-object intranode pattern.
+pub fn intra_gather<C: Comm>(c: &mut C, cb: usize) {
+    let p = c.topo().ppn();
+    let root = c.local_root();
+    let l = c.local();
+    if c.is_local_root() {
+        c.post_addr(slots::RECV, Region::new(BufId::Recv, 0, p * cb));
+        c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(BufId::Recv, 0, cb));
+        if p > 1 {
+            c.wait_flag(flags::DONE, (p - 1) as u32);
+        }
+    } else {
+        c.copy_out(
+            Region::new(BufId::Send, 0, cb),
+            RemoteRegion::new(root, slots::RECV, l * cb, cb),
+        );
+        c.signal(root, flags::DONE);
+    }
+}
+
+/// Intranode reduce, small-message variant: binomial tree over local
+/// ranks. Each sender posts its accumulator and signals; the receiver
+/// pulls it with a single `reduce_in`. `⌈log₂P⌉` levels — the paper's
+/// `T_intra-reduces` term.
+///
+/// Buffers: everyone contributes `Send`; the root's result lands in `Recv`.
+pub fn intra_reduce_binomial<C: Comm>(c: &mut C, cb: usize, op: ReduceOp, dt: Datatype) {
+    intra_reduce_binomial_at(c, cb, op, dt, slots::AUX, flags::LEVEL)
+}
+
+/// [`intra_reduce_binomial`] with explicit slot and flag bases, for use
+/// inside composed algorithms whose other phases also post addresses —
+/// address-board slots must never be reused across phases (a reposted slot
+/// could be resolved by a straggling peer access from the earlier phase).
+pub fn intra_reduce_binomial_at<C: Comm>(
+    c: &mut C,
+    cb: usize,
+    op: ReduceOp,
+    dt: Datatype,
+    slot: u16,
+    flag_base: u16,
+) {
+    let topo = c.topo();
+    let p = topo.ppn();
+    let l = c.local();
+    let node = c.node();
+    // Accumulator: the root reduces in place in Recv; others use scratch.
+    let acc = if l == 0 {
+        c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(BufId::Recv, 0, cb));
+        Region::new(BufId::Recv, 0, cb)
+    } else {
+        let t = c.alloc_temp(cb);
+        c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(t, 0, cb));
+        Region::new(t, 0, cb)
+    };
+    let mut mask = 1usize;
+    let mut level: u16 = 0;
+    while mask < p {
+        if l & mask != 0 {
+            // Expose my accumulator to my parent and retire.
+            let parent = topo.rank_of(node, l - mask);
+            c.post_addr(slot, acc);
+            c.signal(parent, flag_base + level);
+            break;
+        }
+        if l + mask < p {
+            let child = topo.rank_of(node, l + mask);
+            c.wait_flag(flag_base + level, 1);
+            c.reduce_in(RemoteRegion::new(child, slot, 0, cb), acc, op, dt);
+        }
+        mask <<= 1;
+        level += 1;
+    }
+}
+
+/// Intranode reduce, large-message variant (§III-C, Fig. 5): every rank
+/// posts its source buffer and the root posts its destination; the buffer
+/// is split into `P` chunks and local rank `i` reduces chunk `i` of *all*
+/// source buffers into chunk `i` of the root's destination — `P`-way
+/// parallel reduction bandwidth.
+///
+/// `count`/`dt` give the element geometry (chunks are element-aligned).
+pub fn intra_reduce_chunked<C: Comm>(c: &mut C, count: usize, op: ReduceOp, dt: Datatype) {
+    let topo = c.topo();
+    let p = topo.ppn();
+    let l = c.local();
+    let node = c.node();
+    let root = c.local_root();
+    let esz = dt.size();
+    let cb = count * esz;
+    // Everyone exposes its contribution; the root exposes the destination.
+    c.post_addr(slots::SEND, Region::new(BufId::Send, 0, cb));
+    if l == 0 {
+        c.post_addr(slots::RECV, Region::new(BufId::Recv, 0, cb));
+    }
+    c.node_barrier();
+    // My chunk, element-aligned.
+    let (elo, ehi) = split_even(count, p, l);
+    let (off, len) = (elo * esz, (ehi - elo) * esz);
+    if len > 0 {
+        let stage = c.alloc_temp(len);
+        c.local_copy(Region::new(BufId::Send, off, len), Region::new(stage, 0, len));
+        for peer_l in 0..p {
+            if peer_l == l {
+                continue;
+            }
+            let peer = topo.rank_of(node, peer_l);
+            c.reduce_in(
+                RemoteRegion::new(peer, slots::SEND, off, len),
+                Region::new(stage, 0, len),
+                op,
+                dt,
+            );
+        }
+        if l == 0 {
+            c.local_copy(Region::new(stage, 0, len), Region::new(BufId::Recv, off, len));
+        } else {
+            c.copy_out(
+                Region::new(stage, 0, len),
+                RemoteRegion::new(root, slots::RECV, off, len),
+            );
+        }
+    }
+    c.node_barrier();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipmcoll_model::dtype::{bytes_to_doubles, doubles_to_bytes};
+    use pipmcoll_model::Topology;
+    use pipmcoll_sched::dataflow::execute_race_checked;
+    use pipmcoll_sched::verify::{double_pattern, pattern, reference_reduce};
+    use pipmcoll_sched::{record, record_with_sizes, BufSizes};
+
+    #[test]
+    fn bcast_small_delivers() {
+        let topo = Topology::new(1, 6);
+        let cb = 48;
+        let sched = record(topo, BufSizes::new(cb, cb), |c| intra_bcast_small(c, cb));
+        sched.validate().unwrap();
+        let res = execute_race_checked(&sched, |r| pattern(r, cb)).unwrap();
+        for rank in 0..6 {
+            assert_eq!(res.recv[rank], pattern(0, cb), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn bcast_large_delivers() {
+        let topo = Topology::new(1, 4);
+        let cb = 4096;
+        let sched = record(topo, BufSizes::new(cb, cb), |c| intra_bcast_large(c, cb));
+        sched.validate().unwrap();
+        let res = execute_race_checked(&sched, |r| pattern(r, cb)).unwrap();
+        for rank in 0..4 {
+            assert_eq!(res.recv[rank], pattern(0, cb));
+        }
+    }
+
+    #[test]
+    fn bcast_single_process_node() {
+        let topo = Topology::new(1, 1);
+        let sched = record(topo, BufSizes::new(8, 8), |c| intra_bcast_small(c, 8));
+        sched.validate().unwrap();
+        let res = execute_race_checked(&sched, |r| pattern(r, 8)).unwrap();
+        assert_eq!(res.recv[0], pattern(0, 8));
+    }
+
+    #[test]
+    fn gather_collects_in_local_rank_order() {
+        let topo = Topology::new(1, 5);
+        let cb = 16;
+        let sched = record_with_sizes(
+            topo,
+            |r| BufSizes::new(cb, if r == 0 { 5 * cb } else { 0 }),
+            |c| intra_gather(c, cb),
+        );
+        sched.validate().unwrap();
+        let res = execute_race_checked(&sched, |r| pattern(r, cb)).unwrap();
+        let mut expect = Vec::new();
+        for r in 0..5 {
+            expect.extend_from_slice(&pattern(r, cb));
+        }
+        assert_eq!(res.recv[0], expect);
+    }
+
+    #[test]
+    fn reduce_binomial_sums() {
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            let topo = Topology::new(1, p);
+            let count = 10;
+            let cb = count * 8;
+            let sched = record(topo, BufSizes::new(cb, cb), |c| {
+                intra_reduce_binomial(c, cb, ReduceOp::Sum, Datatype::Double)
+            });
+            sched.validate().unwrap();
+            let res = execute_race_checked(&sched, |r| {
+                doubles_to_bytes(&double_pattern(r, count))
+            })
+            .unwrap();
+            assert_eq!(
+                bytes_to_doubles(&res.recv[0]),
+                reference_reduce(ReduceOp::Sum, p, count),
+                "P = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_chunked_sums() {
+        for (p, count) in [(4usize, 16usize), (3, 10), (5, 3), (1, 8), (6, 100)] {
+            let topo = Topology::new(1, p);
+            let cb = count * 8;
+            let sched = record(topo, BufSizes::new(cb, cb), |c| {
+                intra_reduce_chunked(c, count, ReduceOp::Sum, Datatype::Double)
+            });
+            sched.validate().unwrap();
+            let res = execute_race_checked(&sched, |r| {
+                doubles_to_bytes(&double_pattern(r, count))
+            })
+            .unwrap();
+            assert_eq!(
+                bytes_to_doubles(&res.recv[0]),
+                reference_reduce(ReduceOp::Sum, p, count),
+                "P = {p}, count = {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_chunked_max() {
+        let topo = Topology::new(1, 4);
+        let count = 12;
+        let cb = count * 8;
+        let sched = record(topo, BufSizes::new(cb, cb), |c| {
+            intra_reduce_chunked(c, count, ReduceOp::Max, Datatype::Double)
+        });
+        sched.validate().unwrap();
+        let res =
+            execute_race_checked(&sched, |r| doubles_to_bytes(&double_pattern(r, count)))
+                .unwrap();
+        assert_eq!(
+            bytes_to_doubles(&res.recv[0]),
+            reference_reduce(ReduceOp::Max, 4, count)
+        );
+    }
+
+    #[test]
+    fn multi_node_intranode_collectives_are_independent() {
+        // Two nodes run independent intranode gathers.
+        let topo = Topology::new(2, 3);
+        let cb = 8;
+        let sched = record_with_sizes(
+            topo,
+            |r| BufSizes::new(cb, if r % 3 == 0 { 3 * cb } else { 0 }),
+            |c| intra_gather(c, cb),
+        );
+        sched.validate().unwrap();
+        let res = execute_race_checked(&sched, |r| pattern(r, cb)).unwrap();
+        for node in 0..2 {
+            let root = node * 3;
+            let mut expect = Vec::new();
+            for l in 0..3 {
+                expect.extend_from_slice(&pattern(node * 3 + l, cb));
+            }
+            assert_eq!(res.recv[root], expect, "node {node}");
+        }
+    }
+}

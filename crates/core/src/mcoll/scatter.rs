@@ -1,0 +1,274 @@
+//! PiP-MColl multi-object scatter (§III-A1, Fig. 2).
+//!
+//! A recursive (P+1)-ary tree over *nodes*: each data-holding node uses all
+//! of its local ranks as concurrent senders, transmitting sub-ranges
+//! straight out of the local root's buffer (`isend_shared` — no staging
+//! copy). The intranode scatter of the node's own chunk overlaps with the
+//! internode sends because the sends are nonblocking. One algorithm serves
+//! all message sizes (the paper's analysis shows it is already scalable in
+//! `C_b`), matching Fig. 12's "same algorithm as for small message sizes".
+//!
+//! Generalisation beyond the paper: arbitrary `N` (not just powers of
+//! `P+1`) via balanced range splits, and arbitrary root *nodes* via virtual
+//! node numbering (the root rank itself must be a local root — the paper's
+//! stated assumption). Transfers that read the root's user buffer may split
+//! into two real-layout segments.
+
+use pipmcoll_sched::{BufId, Comm, Region, RemoteRegion, Req};
+
+use crate::params::{slots, tags};
+use crate::util::split_even;
+use crate::ScatterParams;
+
+/// Node-range segments of the root's *real-layout* send buffer covering
+/// virtual nodes `[v_lo, v_lo + span)`: returns ≤2 `(real_node_start, node_len)`.
+/// Shared with the gather extension (the same wrap logic in reverse).
+pub(crate) fn node_segments(
+    v_lo: usize,
+    span: usize,
+    root_node: usize,
+    n: usize,
+) -> ([(usize, usize); 2], usize) {
+    let real_lo = (v_lo + root_node) % n;
+    let first = span.min(n - real_lo);
+    if first == span {
+        ([(real_lo, span), (0, 0)], 1)
+    } else {
+        ([(real_lo, first), (0, span - first)], 2)
+    }
+}
+
+/// Multi-object scatter: the root rank (which must be a local root) holds
+/// `world·cb` bytes; every rank receives its `cb`-byte chunk in `Recv`.
+pub fn scatter_mcoll<C: Comm>(c: &mut C, p: &ScatterParams) {
+    let topo = c.topo();
+    let n = topo.nodes();
+    let ppn = topo.ppn();
+    let cb = p.cb;
+    let nb = ppn * cb; // bytes per node chunk
+    assert!(
+        topo.is_local_root(p.root),
+        "PiP-MColl scatter requires the root to be a local root (paper §III-A1)"
+    );
+    let root_node = topo.node_of(p.root);
+    let rank = c.rank();
+    let node = c.node();
+    let l = c.local();
+    let vnode = (node + n - root_node) % n;
+    let on_root_node = vnode == 0;
+
+    // The root exposes its user send buffer immediately; every other node's
+    // local root exposes a scratch buffer once it has received its range.
+    if on_root_node && l == 0 {
+        c.post_addr(slots::WORK, Region::new(BufId::Send, 0, n * nb));
+    }
+
+    // Walk the recursion tree from [0, N). `base` is the virtual start of
+    // the buffer my node's local root holds (constant once acquired: a head
+    // always keeps sub-range 0).
+    let mut lo = 0usize;
+    let mut hi = n;
+    let mut base = 0usize;
+    let mut have_data = on_root_node;
+    let mut round = 0u32;
+    let mut temp: Option<BufId> = None;
+    let mut send_reqs: Vec<Req> = Vec::new();
+
+    while hi - lo > 1 {
+        let len = hi - lo;
+        let k = (ppn + 1).min(len);
+        // Which sub-range contains my virtual node?
+        let rel = vnode - lo;
+        let mut my_part = 0usize;
+        for j in 0..k {
+            let (plo, phi) = split_even(len, k, j);
+            if rel >= plo && rel < phi {
+                my_part = j;
+                break;
+            }
+        }
+        if my_part == 0 {
+            // My node stays with the head's sub-range; if my node IS the
+            // head, all locals 0..k-2 send sub-ranges 1..k-1 concurrently.
+            if have_data {
+                let jj = l + 1;
+                if jj < k {
+                    let (plo, phi) = split_even(len, k, jj);
+                    let span = phi - plo;
+                    let tgt_vnode = lo + plo;
+                    let tgt_real = (tgt_vnode + root_node) % n;
+                    let tgt = topo.rank_of(tgt_real, 0);
+                    let local_root = topo.local_root(node);
+                    if on_root_node {
+                        // Root buffer is real-layout: ≤2 segments.
+                        let (segs, nseg) = node_segments(tgt_vnode, span, root_node, n);
+                        for (s, (real_start, nlen)) in segs[..nseg].iter().enumerate() {
+                            let region_off = real_start * nb;
+                            let region_len = nlen * nb;
+                            let tag = tags::MCOLL_SCATTER + round * 4 + s as u32;
+                            let req = if l == 0 {
+                                c.isend(tgt, tag, Region::new(BufId::Send, region_off, region_len))
+                            } else {
+                                c.isend_shared(
+                                    tgt,
+                                    tag,
+                                    RemoteRegion::new(local_root, slots::WORK, region_off, region_len),
+                                )
+                            };
+                            send_reqs.push(req);
+                        }
+                    } else {
+                        // Scratch buffers are virtual-contiguous: 1 segment.
+                        let off = (lo + plo - base) * nb;
+                        let tag = tags::MCOLL_SCATTER + round * 4;
+                        let req = if l == 0 {
+                            let t = temp.expect("head node holds a scratch buffer");
+                            c.isend(tgt, tag, Region::new(t, off, span * nb))
+                        } else {
+                            c.isend_shared(
+                                tgt,
+                                tag,
+                                RemoteRegion::new(local_root, slots::WORK, off, span * nb),
+                            )
+                        };
+                        send_reqs.push(req);
+                    }
+                }
+            }
+            let (_, p0hi) = split_even(len, k, 0);
+            hi = lo + p0hi;
+        } else {
+            let (plo, phi) = split_even(len, k, my_part);
+            let span = phi - plo;
+            let head_vnode = lo + plo;
+            if vnode == head_vnode {
+                // My node receives its range now; the sender is local rank
+                // `my_part - 1` on the current head node.
+                have_data = true;
+                base = head_vnode;
+                let sender = topo.rank_of((lo + root_node) % n, my_part - 1);
+                if l == 0 {
+                    let t = c.alloc_temp(span * nb);
+                    temp = Some(t);
+                    if lo == 0 {
+                        // Data comes from the root's real-layout buffer.
+                        let (segs, nseg) = node_segments(head_vnode, span, root_node, n);
+                        let mut off = 0usize;
+                        for (s, (_, nlen)) in segs[..nseg].iter().enumerate() {
+                            let tag = tags::MCOLL_SCATTER + round * 4 + s as u32;
+                            c.recv(sender, tag, Region::new(t, off, nlen * nb));
+                            off += nlen * nb;
+                        }
+                    } else {
+                        let tag = tags::MCOLL_SCATTER + round * 4;
+                        c.recv(sender, tag, Region::whole(t, span * nb));
+                    }
+                    // Expose the received range to my node's locals — this
+                    // unblocks both their forwarding sends and the final
+                    // intranode scatter.
+                    c.post_addr(slots::WORK, Region::whole(t, span * nb));
+                }
+            }
+            lo = head_vnode;
+            hi = head_vnode + span;
+        }
+        round += 1;
+    }
+
+    // Intranode scatter of my node's own chunk (overlaps the still-in-flight
+    // sends above). My node's chunk sits at (vnode - base) within the held
+    // buffer — for the root node, at the *real* node offset instead.
+    let local_root = topo.local_root(node);
+    if on_root_node {
+        let off = node * nb + l * cb; // real layout, my node IS node `node`
+        if rank == p.root {
+            c.local_copy(Region::new(BufId::Send, off, cb), Region::new(BufId::Recv, 0, cb));
+        } else {
+            c.copy_in(
+                RemoteRegion::new(local_root, slots::WORK, off, cb),
+                Region::new(BufId::Recv, 0, cb),
+            );
+        }
+    } else {
+        let off = (vnode - base) * nb + l * cb;
+        if l == 0 {
+            let t = temp.expect("every non-root node receives a range");
+            c.local_copy(Region::new(t, off, cb), Region::new(BufId::Recv, 0, cb));
+        } else {
+            c.copy_in(
+                RemoteRegion::new(local_root, slots::WORK, off, cb),
+                Region::new(BufId::Recv, 0, cb),
+            );
+        }
+    }
+    c.wait_all(&send_reqs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipmcoll_model::Topology;
+    use pipmcoll_sched::record_with_sizes;
+    use pipmcoll_sched::verify::check_scatter;
+
+    fn run(nodes: usize, ppn: usize, cb: usize, root: usize) {
+        let topo = Topology::new(nodes, ppn);
+        let p = ScatterParams { cb, root };
+        let sched = record_with_sizes(topo, p.buf_sizes(topo), |c| scatter_mcoll(c, &p));
+        check_scatter(&sched, root, cb).unwrap();
+    }
+
+    #[test]
+    fn single_node() {
+        run(1, 4, 16, 0);
+        run(1, 1, 8, 0);
+    }
+
+    #[test]
+    fn power_of_p_plus_one() {
+        // P = 2 → radix 3; N = 9 = 3².
+        run(9, 2, 8, 0);
+        run(3, 2, 8, 0);
+    }
+
+    #[test]
+    fn arbitrary_node_counts() {
+        run(2, 3, 8, 0);
+        run(5, 2, 16, 0);
+        run(7, 3, 4, 0);
+        run(10, 2, 8, 0);
+    }
+
+    #[test]
+    fn more_nodes_than_radix_squared() {
+        // P = 1 → radix 2, N = 11 forces 4 recursion levels.
+        run(11, 1, 8, 0);
+    }
+
+    #[test]
+    fn nonzero_root_node() {
+        run(5, 2, 8, 4); // root = local root of node 2
+        run(4, 3, 8, 9); // root = local root of node 3
+    }
+
+    #[test]
+    #[should_panic(expected = "local root")]
+    fn non_local_root_rejected() {
+        run(2, 2, 8, 1);
+    }
+
+    #[test]
+    fn node_segments_cover() {
+        for n in [4usize, 7, 9] {
+            for rn in 0..n {
+                for v in 0..n {
+                    for span in 1..=(n - v) {
+                        let (segs, k) = node_segments(v, span, rn, n);
+                        let total: usize = segs[..k].iter().map(|s| s.1).sum();
+                        assert_eq!(total, span);
+                    }
+                }
+            }
+        }
+    }
+}

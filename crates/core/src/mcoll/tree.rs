@@ -1,0 +1,209 @@
+//! The radix-(P+1) node-tree recursion shared by the multi-object
+//! scatter-family algorithms (scatter, and the bcast/gather/reduce
+//! extensions).
+//!
+//! The recursion over virtual node range `[0, N)`: the head of a range
+//! splits it into `k = min(P+1, len)` balanced parts, keeps part 0 and
+//! hands parts `1..k` to their first nodes (one local rank per part — the
+//! multi-object fan-out). [`node_role`] computes, for one node, its single
+//! *attach* event (where it enters the tree) and the levels at which it
+//! *heads* a range — everything an algorithm needs to lay out transfers
+//! without re-walking the tree at every rank.
+
+use crate::util::split_even;
+
+/// Where a node receives its range from (absent for virtual node 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttachEvent {
+    /// Recursion level (0 = the whole `[0, N)` range).
+    pub level: u32,
+    /// Which part of the parent's range I head (`1..k`); the transfer is
+    /// driven by the parent head's local rank `part - 1`.
+    pub part: usize,
+    /// My range start (virtual nodes) — also my buffer base thereafter.
+    pub lo: usize,
+    /// My range length (virtual nodes).
+    pub span: usize,
+    /// The parent head's range start (virtual nodes).
+    pub parent_lo: usize,
+}
+
+/// One level at which a node heads a range of more than one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeadLevel {
+    /// Recursion level.
+    pub level: u32,
+    /// Range start (constant across a node's head levels).
+    pub lo: usize,
+    /// Range length at this level.
+    pub len: usize,
+    /// Number of parts the range splits into (`min(radix, len)`).
+    pub k: usize,
+}
+
+/// A node's complete part in the recursion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeRole {
+    /// How I receive my range (None for virtual node 0, which starts with
+    /// the data).
+    pub attach: Option<AttachEvent>,
+    /// Levels at which I head a multi-node range, outermost first.
+    pub head_levels: Vec<HeadLevel>,
+    /// Start of the largest range I ever hold (my buffer base).
+    pub base: usize,
+    /// Length of the largest range I ever hold.
+    pub max_span: usize,
+}
+
+/// Bounds of part `j` of a `len`-node range split `k` ways (relative).
+#[inline]
+pub fn part_bounds(len: usize, k: usize, j: usize) -> (usize, usize) {
+    split_even(len, k, j)
+}
+
+/// Compute `vnode`'s role in the radix recursion over `[0, n)`.
+pub fn node_role(n: usize, radix: usize, vnode: usize) -> NodeRole {
+    assert!(radix >= 2, "radix must be at least 2");
+    assert!(vnode < n, "vnode {vnode} out of {n}");
+    let mut lo = 0usize;
+    let mut hi = n;
+    let mut level = 0u32;
+    let mut attach = None;
+    let mut head_levels = Vec::new();
+    let mut base = 0usize;
+    let mut max_span = if vnode == 0 { n } else { 0 };
+    while hi - lo > 1 {
+        let len = hi - lo;
+        let k = radix.min(len);
+        let rel = vnode - lo;
+        let mut part = 0usize;
+        for j in 0..k {
+            let (plo, phi) = part_bounds(len, k, j);
+            if rel >= plo && rel < phi {
+                part = j;
+                break;
+            }
+        }
+        if part == 0 {
+            if vnode == lo {
+                head_levels.push(HeadLevel { level, lo, len, k });
+            }
+            let (_, p0hi) = part_bounds(len, k, 0);
+            hi = lo + p0hi;
+        } else {
+            let (plo, phi) = part_bounds(len, k, part);
+            let head = lo + plo;
+            if vnode == head {
+                attach = Some(AttachEvent {
+                    level,
+                    part,
+                    lo: head,
+                    span: phi - plo,
+                    parent_lo: lo,
+                });
+                base = head;
+                max_span = phi - plo;
+            }
+            lo = head;
+            hi = lo + (phi - plo);
+        }
+        level += 1;
+    }
+    NodeRole {
+        attach,
+        head_levels,
+        base,
+        max_span,
+    }
+}
+
+/// Total number of parts a node receives across all its head levels —
+/// i.e. how many child transfers target it in a gather/reduce direction.
+pub fn total_child_parts(role: &NodeRole) -> usize {
+    role.head_levels.iter().map(|h| h.k - 1).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every node except 0 attaches exactly once, and the claimed sender
+    /// (parent head, local part-1) matches a head level of the parent.
+    fn check_consistency(n: usize, radix: usize) {
+        let roles: Vec<NodeRole> = (0..n).map(|v| node_role(n, radix, v)).collect();
+        assert!(roles[0].attach.is_none());
+        for (v, role) in roles.iter().enumerate().skip(1) {
+            let a = role.attach.unwrap_or_else(|| panic!("node {v} never attaches"));
+            // The parent must head a range starting at parent_lo at that level.
+            let parent = &roles[a.parent_lo];
+            let hl = parent
+                .head_levels
+                .iter()
+                .find(|h| h.level == a.level)
+                .unwrap_or_else(|| panic!("n={n} r={radix}: parent of {v} missing level"));
+            assert_eq!(hl.lo, a.parent_lo);
+            let (plo, phi) = part_bounds(hl.len, hl.k, a.part);
+            assert_eq!(hl.lo + plo, a.lo, "part bounds agree");
+            assert_eq!(phi - plo, a.span);
+            assert!(a.part >= 1 && a.part < hl.k);
+        }
+        // Ranges of attaches partition [1, n).
+        let mut covered: Vec<usize> = vec![0; n];
+        covered[0] = 1;
+        for (v, role) in roles.iter().enumerate().skip(1) {
+            let a = role.attach.unwrap();
+            assert_eq!(a.lo, v, "a node heads the range it receives");
+            for slot in covered.iter_mut().skip(a.lo).take(a.span) {
+                *slot += 1;
+            }
+        }
+        // Every node covered; node 0 once, others possibly nested but at
+        // least once.
+        assert!(covered.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn consistency_across_shapes() {
+        for n in [1usize, 2, 3, 5, 8, 16, 19, 27, 100, 128] {
+            for radix in [2usize, 3, 7, 19] {
+                check_consistency(n, radix);
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_root_heads_outermost() {
+        let r = node_role(128, 19, 0);
+        assert!(r.attach.is_none());
+        assert_eq!(r.head_levels[0].level, 0);
+        assert_eq!(r.head_levels[0].len, 128);
+        assert_eq!(r.head_levels[0].k, 19);
+        assert_eq!(r.base, 0);
+        assert_eq!(r.max_span, 128);
+    }
+
+    #[test]
+    fn levels_match_log_radix() {
+        // 128 nodes, radix 19 → at most 2 levels of recursion anywhere.
+        for v in 0..128 {
+            let r = node_role(128, 19, v);
+            for h in &r.head_levels {
+                assert!(h.level <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn child_part_counting() {
+        let r = node_role(9, 3, 0);
+        // Level 0: k=3 (2 children); level 1: k=3 over len 3 (2 children).
+        assert_eq!(total_child_parts(&r), 4);
+    }
+
+    #[test]
+    fn single_node_trivial() {
+        let r = node_role(1, 19, 0);
+        assert!(r.attach.is_none());
+        assert!(r.head_levels.is_empty());
+    }
+}

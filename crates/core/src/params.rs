@@ -1,0 +1,170 @@
+//! Parameter structs and namespace constants shared by all algorithms.
+
+use pipmcoll_model::{Datatype, ReduceOp, Topology};
+use pipmcoll_sched::BufSizes;
+
+/// Parameters of an `MPI_Scatter`: the root distributes `cb` bytes to each
+/// of the `world` ranks (root send buffer holds `world * cb`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScatterParams {
+    /// Bytes delivered to each rank.
+    pub cb: usize,
+    /// Root rank. PiP-MColl requires the root to be a local root (the
+    /// paper's stated assumption); baselines accept any root.
+    pub root: usize,
+}
+
+impl ScatterParams {
+    /// The buffer sizes each rank declares for this scatter.
+    pub fn buf_sizes(&self, topo: Topology) -> impl Fn(usize) -> BufSizes + '_ {
+        let world = topo.world_size();
+        let root = self.root;
+        let cb = self.cb;
+        move |rank| {
+            if rank == root {
+                BufSizes::new(world * cb, cb)
+            } else {
+                BufSizes::new(0, cb)
+            }
+        }
+    }
+}
+
+/// Parameters of an `MPI_Allgather`: every rank contributes `cb` bytes and
+/// receives `world * cb`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllgatherParams {
+    /// Bytes contributed by each rank.
+    pub cb: usize,
+}
+
+impl AllgatherParams {
+    /// The buffer sizes each rank declares for this allgather.
+    pub fn buf_sizes(&self, topo: Topology) -> impl Fn(usize) -> BufSizes {
+        let world = topo.world_size();
+        let cb = self.cb;
+        move |_| BufSizes::new(cb, world * cb)
+    }
+}
+
+/// Parameters of an `MPI_Allreduce`: every rank contributes `count`
+/// elements of `dt` reduced with `op`; every rank receives the result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllreduceParams {
+    /// Element count per rank.
+    pub count: usize,
+    /// Element type.
+    pub dt: Datatype,
+    /// Reduction operator (must be commutative+associative; all are).
+    pub op: ReduceOp,
+}
+
+impl AllreduceParams {
+    /// Message size in bytes (`C_b` in the paper).
+    pub fn cb(&self) -> usize {
+        self.count * self.dt.size()
+    }
+
+    /// The buffer sizes each rank declares.
+    pub fn buf_sizes(&self) -> impl Fn(usize) -> BufSizes {
+        let cb = self.cb();
+        move |_| BufSizes::new(cb, cb)
+    }
+
+    /// Sum of doubles — the configuration the paper's experiments use.
+    pub fn sum_doubles(count: usize) -> Self {
+        AllreduceParams {
+            count,
+            dt: Datatype::Double,
+            op: ReduceOp::Sum,
+        }
+    }
+}
+
+/// Tag-space bases. Each algorithm phase gets a disjoint tag range so
+/// composed schedules (e.g. allreduce-large = reduce-scatter + allgather)
+/// never cross-match.
+pub mod tags {
+    /// Baseline binomial trees (bcast/scatter/gather).
+    pub const BINOMIAL: u32 = 0x0100;
+    /// Baseline Bruck / recursive-doubling / ring allgather.
+    pub const ALLGATHER: u32 = 0x0200;
+    /// Baseline allreduce phases.
+    pub const ALLREDUCE: u32 = 0x0400;
+    /// MColl scatter rounds (`+ 4*round + segment`).
+    pub const MCOLL_SCATTER: u32 = 0x1000;
+    /// MColl allgather Bruck steps (`+ step`).
+    pub const MCOLL_AG_SMALL: u32 = 0x2000;
+    /// MColl allgather ring steps (`+ step`).
+    pub const MCOLL_AG_LARGE: u32 = 0x3000;
+    /// MColl allreduce small rounds.
+    pub const MCOLL_AR_SMALL: u32 = 0x4000;
+    /// MColl allreduce large (reduce-scatter phase).
+    pub const MCOLL_AR_LARGE: u32 = 0x5000;
+}
+
+/// Address-board slot assignments (per rank).
+pub mod slots {
+    /// The local root's main workspace (gather target / Bruck buffer).
+    pub const WORK: u16 = 0;
+    /// A rank's user send buffer (chunked reduce reads peers' inputs).
+    pub const SEND: u16 = 1;
+    /// The local root's user recv buffer.
+    pub const RECV: u16 = 2;
+    /// Secondary scratch (remainder buffers).
+    pub const AUX: u16 = 3;
+}
+
+/// Flag-id assignments (per rank).
+pub mod flags {
+    /// "Your data / my phase-1 contribution is ready."
+    pub const READY: u16 = 0;
+    /// "I have finished copying out of your buffer."
+    pub const DONE: u16 = 1;
+    /// Per-level binomial-reduce flags start here (`+ level`).
+    pub const LEVEL: u16 = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_sizes() {
+        let topo = Topology::new(2, 3);
+        let p = ScatterParams { cb: 10, root: 0 };
+        let f = p.buf_sizes(topo);
+        assert_eq!(f(0), BufSizes::new(60, 10));
+        assert_eq!(f(5), BufSizes::new(0, 10));
+    }
+
+    #[test]
+    fn allreduce_cb() {
+        let p = AllreduceParams::sum_doubles(1024);
+        assert_eq!(p.cb(), 8192);
+        assert_eq!(p.dt, Datatype::Double);
+        assert_eq!(p.op, ReduceOp::Sum);
+    }
+
+    #[test]
+    fn tag_spaces_disjoint() {
+        let bases = [
+            tags::BINOMIAL,
+            tags::ALLGATHER,
+            tags::ALLREDUCE,
+            tags::MCOLL_SCATTER,
+            tags::MCOLL_AG_SMALL,
+            tags::MCOLL_AG_LARGE,
+            tags::MCOLL_AR_SMALL,
+            tags::MCOLL_AR_LARGE,
+        ];
+        for (i, a) in bases.iter().enumerate() {
+            for b in &bases[i + 1..] {
+                assert!(
+                    a.abs_diff(*b) >= 0x100,
+                    "tag bases too close: {a:#x} vs {b:#x}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Algorithm switch-points.
+//!
+//! PiP-MColl's published switch-points (§IV-D): allgather changes to the
+//! large-message algorithm at 64 kB per-process message size (Fig. 13);
+//! allreduce changes at 8 k double counts = 64 kB (Fig. 14). Scatter uses
+//! one algorithm for all sizes (§IV-D1).
+//!
+//! The baseline-library decision rules model MPICH's documented dispatch
+//! (\[23\]): allgather by total received bytes (recursive doubling / Bruck
+//! below 512 kB, ring above), allreduce by message size and count
+//! (recursive doubling below 2 kB or when the count is smaller than the
+//! power-of-two rank count, Rabenseifner otherwise).
+
+use crate::util::is_pof2;
+
+/// Per-process allgather message size (bytes) at which PiP-MColl switches
+/// to the multi-object ring algorithm.
+pub const MCOLL_ALLGATHER_SWITCH_BYTES: usize = 64 * 1024;
+
+/// Allreduce element count at which PiP-MColl switches to the
+/// reduce-scatter + allgather algorithm (8 k doubles = 64 kB).
+pub const MCOLL_ALLREDUCE_SWITCH_COUNT: usize = 8 * 1024;
+
+/// MPICH's allgather long-message threshold (total bytes received).
+pub const MPICH_ALLGATHER_LONG_TOTAL: usize = 512 * 1024;
+
+/// MPICH's allreduce short-message threshold (bytes).
+pub const MPICH_ALLREDUCE_SHORT_BYTES: usize = 2048;
+
+/// Which allgather algorithm a conventional MPICH-like library picks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllgatherChoice {
+    /// Recursive doubling (short, power-of-two world).
+    RecursiveDoubling,
+    /// Bruck (short, non-power-of-two world).
+    Bruck,
+    /// Ring (long messages).
+    Ring,
+}
+
+/// MPICH's allgather dispatch rule.
+pub fn mpich_allgather_choice(world: usize, cb: usize) -> AllgatherChoice {
+    let total = world * cb;
+    if total < MPICH_ALLGATHER_LONG_TOTAL {
+        if is_pof2(world) {
+            AllgatherChoice::RecursiveDoubling
+        } else {
+            AllgatherChoice::Bruck
+        }
+    } else {
+        AllgatherChoice::Ring
+    }
+}
+
+/// Which allreduce algorithm a conventional MPICH-like library picks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllreduceChoice {
+    /// Recursive doubling (short messages or counts below pof2 ranks).
+    RecursiveDoubling,
+    /// Rabenseifner reduce-scatter + allgather (long messages).
+    Rabenseifner,
+}
+
+/// MPICH's allreduce dispatch rule.
+pub fn mpich_allreduce_choice(world: usize, count: usize, esz: usize) -> AllreduceChoice {
+    let bytes = count * esz;
+    let pof2 = crate::util::pof2_floor(world.max(1));
+    if bytes <= MPICH_ALLREDUCE_SHORT_BYTES || count < pof2 {
+        AllreduceChoice::RecursiveDoubling
+    } else {
+        AllreduceChoice::Rabenseifner
+    }
+}
+
+/// Whether PiP-MColl uses the large-message allgather at this size.
+pub fn mcoll_allgather_uses_large(cb: usize) -> bool {
+    cb >= MCOLL_ALLGATHER_SWITCH_BYTES
+}
+
+/// Whether PiP-MColl uses the large-message allreduce at this count.
+pub fn mcoll_allreduce_uses_large(count: usize) -> bool {
+    count >= MCOLL_ALLREDUCE_SWITCH_COUNT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_switch_points() {
+        assert!(!mcoll_allgather_uses_large(32 * 1024));
+        assert!(mcoll_allgather_uses_large(64 * 1024));
+        assert!(!mcoll_allreduce_uses_large(4096));
+        assert!(mcoll_allreduce_uses_large(8192));
+    }
+
+    #[test]
+    fn mpich_allgather_rules() {
+        assert_eq!(
+            mpich_allgather_choice(1024, 16),
+            AllgatherChoice::RecursiveDoubling
+        );
+        assert_eq!(mpich_allgather_choice(2304, 16), AllgatherChoice::Bruck);
+        assert_eq!(mpich_allgather_choice(2304, 4096), AllgatherChoice::Ring);
+    }
+
+    #[test]
+    fn mpich_allreduce_rules() {
+        assert_eq!(
+            mpich_allreduce_choice(2304, 16, 8),
+            AllreduceChoice::RecursiveDoubling
+        );
+        // Large count but fewer elements than pof2 ranks → still RD.
+        assert_eq!(
+            mpich_allreduce_choice(2304, 1024, 8),
+            AllreduceChoice::RecursiveDoubling
+        );
+        assert_eq!(
+            mpich_allreduce_choice(2304, 65536, 8),
+            AllreduceChoice::Rabenseifner
+        );
+        assert_eq!(
+            mpich_allreduce_choice(4, 65536, 8),
+            AllreduceChoice::Rabenseifner
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Small shared helpers: balanced partitions and power-of-two utilities.
+
+/// Balanced integer partition: the bounds of part `i` of `parts` over
+/// `total` items, i.e. `[i*total/parts, (i+1)*total/parts)`. Parts differ in
+/// size by at most one and are contiguous and exhaustive.
+///
+/// # Panics
+/// Panics if `parts == 0` or `i >= parts`.
+#[inline]
+pub fn split_even(total: usize, parts: usize, i: usize) -> (usize, usize) {
+    assert!(parts > 0, "cannot split into zero parts");
+    assert!(i < parts, "part index {i} out of {parts}");
+    (i * total / parts, (i + 1) * total / parts)
+}
+
+/// The largest power of two ≤ `n`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[inline]
+pub fn pof2_floor(n: usize) -> usize {
+    assert!(n > 0);
+    1usize << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// The largest power of `base` that is ≤ `n`.
+///
+/// # Panics
+/// Panics if `base < 2` or `n == 0`.
+pub fn pow_floor(base: usize, n: usize) -> usize {
+    assert!(base >= 2 && n > 0);
+    let mut p = 1usize;
+    while p <= n / base {
+        p *= base;
+    }
+    p
+}
+
+/// Whether `n` is a power of two.
+#[inline]
+pub fn is_pof2(n: usize) -> bool {
+    n > 0 && n & (n - 1) == 0
+}
+
+/// Euclidean modulo for ring arithmetic on node indices that may go
+/// "negative" (computed as wrapping offsets).
+#[inline]
+pub fn ring_sub(a: usize, b: usize, n: usize) -> usize {
+    debug_assert!(a < n && b <= n);
+    (a + n - b % n) % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_even_covers_everything() {
+        for total in [0usize, 1, 7, 100] {
+            for parts in [1usize, 2, 3, 7, 19] {
+                let mut covered = 0;
+                for i in 0..parts {
+                    let (lo, hi) = split_even(total, parts, i);
+                    assert!(lo <= hi);
+                    assert_eq!(lo, covered, "contiguous");
+                    covered = hi;
+                }
+                assert_eq!(covered, total);
+            }
+        }
+    }
+
+    #[test]
+    fn split_even_balanced() {
+        for i in 0..19 {
+            let (lo, hi) = split_even(128, 19, i);
+            let sz = hi - lo;
+            assert!(sz == 6 || sz == 7, "size {sz}");
+        }
+    }
+
+    #[test]
+    fn pof2_values() {
+        assert_eq!(pof2_floor(1), 1);
+        assert_eq!(pof2_floor(2), 2);
+        assert_eq!(pof2_floor(3), 2);
+        assert_eq!(pof2_floor(2304), 2048);
+        assert!(is_pof2(1024));
+        assert!(!is_pof2(2304));
+    }
+
+    #[test]
+    fn pow_floor_values() {
+        assert_eq!(pow_floor(19, 128), 19);
+        assert_eq!(pow_floor(19, 361), 361);
+        assert_eq!(pow_floor(19, 360), 19);
+        assert_eq!(pow_floor(2, 1), 1);
+        assert_eq!(pow_floor(3, 80), 27);
+    }
+
+    #[test]
+    fn ring_sub_wraps() {
+        assert_eq!(ring_sub(0, 1, 8), 7);
+        assert_eq!(ring_sub(3, 5, 8), 6);
+        assert_eq!(ring_sub(3, 0, 8), 3);
+    }
+}

@@ -1,0 +1,84 @@
+//! Engine configuration: machine plus the library-dependent knobs.
+
+use pipmcoll_model::{MachineConfig, Mechanism};
+
+/// How the simulated MPI library behaves, beyond raw hardware.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Hardware description.
+    pub machine: MachineConfig,
+    /// The shared-memory mechanism used for *point-to-point* intranode
+    /// messages (the library's CH3/CH4 shm transport). PiP-MColl's direct
+    /// `CopyIn`/`CopyOut` ops always behave as PiP regardless of this.
+    pub intranode_mech: Mechanism,
+    /// Whether intranode point-to-point pays PiP's message-size
+    /// synchronisation handshake. True for the PiP-MPICH baseline: the
+    /// paper attributes its small-message slowness to exactly this
+    /// ("processes need to synchronize message sizes before any
+    /// communications"). PiP-MColl's algorithm designs avoid it.
+    pub pip_handshake: bool,
+    /// Which mechanism prices the *shared-address* ops
+    /// (`CopyIn`/`CopyOut`/`ReduceIn` and the shared sends/receives).
+    /// Normally [`Mechanism::Pip`]; the mechanism-swap ablation
+    /// (DESIGN.md §5.3) runs the MColl algorithms over CMA/XPMEM/POSIX
+    /// pricing instead, isolating how much of the win is the mechanism vs
+    /// the algorithm.
+    pub shared_mech: Mechanism,
+}
+
+impl EngineConfig {
+    /// A PiP-MColl-style configuration on the given machine: PiP intranode,
+    /// no handshake.
+    pub fn pip_mcoll(machine: MachineConfig) -> Self {
+        EngineConfig {
+            machine,
+            intranode_mech: Mechanism::Pip,
+            pip_handshake: false,
+            shared_mech: Mechanism::Pip,
+        }
+    }
+
+    /// The PiP-MPICH baseline: PiP single-copy intranode pt2pt, but with
+    /// the size-synchronisation handshake on every message.
+    pub fn pip_mpich(machine: MachineConfig) -> Self {
+        EngineConfig {
+            machine,
+            intranode_mech: Mechanism::Pip,
+            pip_handshake: true,
+            shared_mech: Mechanism::Pip,
+        }
+    }
+
+    /// A conventional library with the given intranode mechanism.
+    pub fn conventional(machine: MachineConfig, mech: Mechanism) -> Self {
+        EngineConfig {
+            machine,
+            intranode_mech: mech,
+            pip_handshake: false,
+            shared_mech: Mechanism::Pip,
+        }
+    }
+
+    /// Price the shared-address ops with `mech` instead of PiP
+    /// (mechanism-swap ablation, DESIGN.md §5.3).
+    pub fn with_shared_mech(mut self, mech: Mechanism) -> Self {
+        self.shared_mech = mech;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipmcoll_model::presets;
+
+    #[test]
+    fn constructors_set_flags() {
+        let m = presets::bebop(2, 2);
+        assert!(!EngineConfig::pip_mcoll(m).pip_handshake);
+        assert!(EngineConfig::pip_mpich(m).pip_handshake);
+        let c = EngineConfig::conventional(m, Mechanism::Cma);
+        assert_eq!(c.intranode_mech, Mechanism::Cma);
+        assert!(!c.pip_handshake);
+    }
+}

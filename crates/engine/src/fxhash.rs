@@ -1,0 +1,97 @@
+//! A minimal Fx-style hasher for the simulator's hot maps.
+//!
+//! The engine hashes millions of small keys (channel tuples, wait keys) per
+//! simulation; SipHash dominates the profile there. This is the well-known
+//! Firefox/rustc multiply-xor hash — not DoS-resistant, which is fine for
+//! keys derived from a schedule we generated ourselves.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` alias using [`FxHasher`].
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` alias using [`FxHasher`].
+pub type FastSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher (word-at-a-time).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        let h = |x: (usize, usize, u32)| {
+            let mut hasher = FxHasher::default();
+            std::hash::Hash::hash(&x, &mut hasher);
+            hasher.finish()
+        };
+        assert_ne!(h((0, 1, 2)), h((1, 0, 2)));
+        assert_ne!(h((0, 1, 2)), h((0, 1, 3)));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<(usize, usize, u32), u32> = FastMap::default();
+        for i in 0..1000usize {
+            m.insert((i, i + 1, 7), i as u32);
+        }
+        for i in 0..1000usize {
+            assert_eq!(m[&(i, i + 1, 7)], i as u32);
+        }
+    }
+}

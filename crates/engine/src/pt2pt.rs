@@ -1,0 +1,142 @@
+//! Multi-pair point-to-point microbenchmark — the engine-level reproduction
+//! of the paper's Figure 1 (message rate and throughput vs. number of
+//! sender/receiver objects on two nodes).
+
+use pipmcoll_model::Topology;
+use pipmcoll_sched::{record, BufId, BufSizes, Comm, Region, Schedule};
+
+use crate::config::EngineConfig;
+use crate::report::SimReport;
+use crate::sim::{simulate, SimError};
+
+/// One measured point of the pt2pt sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct Pt2PtPoint {
+    /// Number of concurrent sender/receiver pairs.
+    pub pairs: usize,
+    /// Message size in bytes.
+    pub bytes: usize,
+    /// Aggregate message rate, messages/s.
+    pub msg_rate: f64,
+    /// Aggregate throughput, bytes/s.
+    pub throughput: f64,
+    /// Simulated wall time of the burst.
+    pub makespan_us: f64,
+}
+
+/// Build the Fig-1 workload: `pairs` local ranks on node 0 stream
+/// `msgs_per_pair` messages of `bytes` bytes to their counterparts on
+/// node 1 (window of nonblocking sends, then wait-all).
+pub fn pt2pt_schedule(ppn: usize, pairs: usize, bytes: usize, msgs_per_pair: usize) -> Schedule {
+    assert!(pairs >= 1 && pairs <= ppn, "pairs must be in 1..=ppn");
+    let topo = Topology::new(2, ppn);
+    let window = bytes * msgs_per_pair;
+    record(topo, BufSizes::new(window, window), move |c| {
+        let l = c.local();
+        if l >= pairs {
+            return;
+        }
+        if c.node() == 0 {
+            let peer = c.topo().rank_of(1, l);
+            let mut reqs = Vec::with_capacity(msgs_per_pair);
+            for i in 0..msgs_per_pair {
+                reqs.push(c.isend(peer, i as u32, Region::new(BufId::Send, i * bytes, bytes)));
+            }
+            c.wait_all(&reqs);
+        } else {
+            let peer = c.topo().rank_of(0, l);
+            let mut reqs = Vec::with_capacity(msgs_per_pair);
+            for i in 0..msgs_per_pair {
+                reqs.push(c.irecv(peer, i as u32, Region::new(BufId::Recv, i * bytes, bytes)));
+            }
+            c.wait_all(&reqs);
+        }
+    })
+}
+
+/// Run one point of the sweep.
+pub fn measure(
+    cfg: &EngineConfig,
+    pairs: usize,
+    bytes: usize,
+    msgs_per_pair: usize,
+) -> Result<Pt2PtPoint, SimError> {
+    let ppn = cfg.machine.topo.ppn();
+    assert_eq!(cfg.machine.topo.nodes(), 2, "pt2pt uses exactly two nodes");
+    let sched = pt2pt_schedule(ppn, pairs, bytes, msgs_per_pair);
+    let report: SimReport = simulate(cfg, &sched)?;
+    Ok(Pt2PtPoint {
+        pairs,
+        bytes,
+        msg_rate: report.net_msg_rate(),
+        throughput: report.net_throughput(),
+        makespan_us: report.makespan.as_us_f64(),
+    })
+}
+
+/// Sweep 1..=ppn pairs at a fixed message size (Fig 1a uses 4 KiB,
+/// Fig 1b 128 KiB).
+pub fn sweep_pairs(
+    cfg: &EngineConfig,
+    bytes: usize,
+    msgs_per_pair: usize,
+) -> Result<Vec<Pt2PtPoint>, SimError> {
+    (1..=cfg.machine.topo.ppn())
+        .map(|k| measure(cfg, k, bytes, msgs_per_pair))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipmcoll_model::presets;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::pip_mcoll(presets::bebop(2, 18))
+    }
+
+    #[test]
+    fn message_rate_ramps_then_saturates_4k() {
+        let pts = sweep_pairs(&cfg(), 4096, 60).unwrap();
+        assert_eq!(pts.len(), 18);
+        // Monotone non-decreasing (within 2% noise from windowing effects).
+        for w in pts.windows(2) {
+            assert!(
+                w[1].msg_rate >= w[0].msg_rate * 0.98,
+                "rate dipped: {} -> {}",
+                w[0].msg_rate,
+                w[1].msg_rate
+            );
+        }
+        // Strong scaling early, saturation late — the Fig 1a shape.
+        assert!(pts[3].msg_rate > 2.0 * pts[0].msg_rate);
+        let last = pts.last().unwrap();
+        let mid = &pts[8];
+        assert!(
+            last.msg_rate < mid.msg_rate * 1.6,
+            "should have saturated: {} vs {}",
+            mid.msg_rate,
+            last.msg_rate
+        );
+    }
+
+    #[test]
+    fn throughput_saturates_link_128k() {
+        let pts = sweep_pairs(&cfg(), 128 * 1024, 12).unwrap();
+        let link = cfg().machine.nic.link_bandwidth;
+        let last = pts.last().unwrap();
+        assert!(
+            last.throughput > 0.75 * link,
+            "18 pairs should approach the link: {:.2} GB/s",
+            last.throughput / 1e9
+        );
+        // One pair cannot saturate.
+        assert!(pts[0].throughput < 0.5 * link);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairs must be in")]
+    fn rejects_zero_pairs() {
+        let _ = pt2pt_schedule(18, 0, 64, 1);
+    }
+}

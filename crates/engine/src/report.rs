@@ -1,0 +1,209 @@
+//! Simulation output: makespan, per-rank finish times, traffic counters
+//! and a per-rank time breakdown by operation category.
+
+use pipmcoll_model::SimTime;
+
+/// Where a rank's virtual time goes. Each executed op's clock advance
+/// (including any blocking it absorbed) is attributed to one category.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpCategory {
+    /// Issuing network sends (incl. shared-buffer sends) and waiting for
+    /// their local completion.
+    NetSend,
+    /// Posting receives and waiting for message delivery.
+    NetRecv,
+    /// Shared-address-space copies/reductions into or out of peer buffers.
+    SharedData,
+    /// Copies/reductions within the rank's own buffers.
+    LocalData,
+    /// Synchronisation: address posts, flags, node barriers.
+    Sync,
+    /// Modelled computation.
+    Compute,
+}
+
+impl OpCategory {
+    /// All categories, in display order.
+    pub const ALL: [OpCategory; 6] = [
+        OpCategory::NetSend,
+        OpCategory::NetRecv,
+        OpCategory::SharedData,
+        OpCategory::LocalData,
+        OpCategory::Sync,
+        OpCategory::Compute,
+    ];
+
+    /// Short label for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpCategory::NetSend => "net_send",
+            OpCategory::NetRecv => "net_recv",
+            OpCategory::SharedData => "shared",
+            OpCategory::LocalData => "local",
+            OpCategory::Sync => "sync",
+            OpCategory::Compute => "compute",
+        }
+    }
+
+    /// Index into a breakdown row.
+    #[inline]
+    pub fn idx(self) -> usize {
+        match self {
+            OpCategory::NetSend => 0,
+            OpCategory::NetRecv => 1,
+            OpCategory::SharedData => 2,
+            OpCategory::LocalData => 3,
+            OpCategory::Sync => 4,
+            OpCategory::Compute => 5,
+        }
+    }
+}
+
+/// One rank's time per category (indexed by [`OpCategory::idx`]).
+pub type Breakdown = [SimTime; 6];
+
+/// The result of simulating one schedule.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Time at which the last rank finishes — the collective's latency.
+    pub makespan: SimTime,
+    /// Per-rank finish times.
+    pub rank_finish: Vec<SimTime>,
+    /// Internode messages transferred.
+    pub net_msgs: u64,
+    /// Internode payload bytes transferred.
+    pub net_bytes: u64,
+    /// Intranode point-to-point messages.
+    pub intra_msgs: u64,
+    /// Intranode bytes physically moved (counting double copies).
+    pub intra_bytes_moved: u64,
+    /// Shared-address-space (PiP direct) operations executed.
+    pub shared_ops: u64,
+    /// System calls incurred (CMA/LiMiC transfers, XPMEM attach).
+    pub syscalls: u64,
+    /// Total ops executed across ranks.
+    pub ops_executed: usize,
+    /// Per-rank time attribution by [`OpCategory`].
+    pub breakdown: Vec<Breakdown>,
+}
+
+impl SimReport {
+    /// The rank that finishes last (the makespan's critical rank).
+    pub fn bottleneck_rank(&self) -> usize {
+        self.rank_finish
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, t)| **t)
+            .map(|(r, _)| r)
+            .unwrap_or(0)
+    }
+
+    /// The bottleneck rank's time per category.
+    pub fn bottleneck_breakdown(&self) -> Breakdown {
+        self.breakdown[self.bottleneck_rank()]
+    }
+
+    /// Render one rank's breakdown as `cat=value` pairs, largest first.
+    pub fn breakdown_summary(&self, rank: usize) -> String {
+        let row = &self.breakdown[rank];
+        let mut items: Vec<(OpCategory, SimTime)> =
+            OpCategory::ALL.iter().map(|&c| (c, row[c.idx()])).collect();
+        items.sort_by_key(|(_, t)| std::cmp::Reverse(*t));
+        items
+            .into_iter()
+            .filter(|(_, t)| *t > SimTime::ZERO)
+            .map(|(c, t)| format!("{}={t}", c.name()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+    /// Mean finish time across ranks (µs) — useful for noisy-neighbour
+    /// style comparisons.
+    pub fn mean_finish_us(&self) -> f64 {
+        if self.rank_finish.is_empty() {
+            return 0.0;
+        }
+        self.rank_finish
+            .iter()
+            .map(|t| t.as_us_f64())
+            .sum::<f64>()
+            / self.rank_finish.len() as f64
+    }
+
+    /// Achieved internode message rate, messages/s.
+    pub fn net_msg_rate(&self) -> f64 {
+        let s = self.makespan.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.net_msgs as f64 / s
+        }
+    }
+
+    /// Achieved internode throughput, bytes/s.
+    pub fn net_throughput(&self) -> f64 {
+        let s = self.makespan.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.net_bytes as f64 / s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            makespan: SimTime::from_us(10),
+            rank_finish: vec![SimTime::from_us(8), SimTime::from_us(10)],
+            net_msgs: 100,
+            net_bytes: 400_000,
+            intra_msgs: 5,
+            intra_bytes_moved: 1000,
+            shared_ops: 3,
+            syscalls: 0,
+            ops_executed: 42,
+            breakdown: vec![[SimTime::ZERO; 6]; 2],
+        }
+    }
+
+    #[test]
+    fn bottleneck_and_summary() {
+        let mut r = report();
+        r.breakdown[1][OpCategory::NetRecv.idx()] = SimTime::from_us(7);
+        r.breakdown[1][OpCategory::Sync.idx()] = SimTime::from_us(3);
+        assert_eq!(r.bottleneck_rank(), 1);
+        let b = r.bottleneck_breakdown();
+        assert_eq!(b[OpCategory::NetRecv.idx()], SimTime::from_us(7));
+        let s = r.breakdown_summary(1);
+        assert!(s.starts_with("net_recv="), "{s}");
+        assert!(s.contains("sync="), "{s}");
+        assert!(!s.contains("compute="), "zero categories omitted: {s}");
+    }
+
+    #[test]
+    fn category_indices_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in OpCategory::ALL {
+            assert!(seen.insert(c.idx()), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn rates_derive_from_makespan() {
+        let r = report();
+        assert!((r.net_msg_rate() - 1e7).abs() < 1.0);
+        assert!((r.net_throughput() - 4e10).abs() < 1.0);
+        assert!((r.mean_finish_us() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_makespan_is_safe() {
+        let mut r = report();
+        r.makespan = SimTime::ZERO;
+        assert_eq!(r.net_msg_rate(), 0.0);
+        assert_eq!(r.net_throughput(), 0.0);
+    }
+}

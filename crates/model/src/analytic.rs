@@ -1,0 +1,215 @@
+//! Closed-form runtimes from §III of the paper, transcribed literally.
+//!
+//! These are the theoretical T equations the paper derives for each
+//! PiP-MColl algorithm. They serve two purposes:
+//!
+//! 1. Cross-check: the discrete-event engine and these formulas must agree
+//!    on *trends* (scaling in `C_b`, `N`, `P`) — asserted in integration
+//!    tests and reported by the `analytic_check` harness.
+//! 2. Documentation: they encode the paper's own scalability arguments
+//!    (e.g. the small-message allgather is quadratic in `C_b`, motivating
+//!    the large-message algorithm).
+//!
+//! Symbols: `cb` = bytes per process (`C_b`), `p` = ranks/node (`P`),
+//! `n` = nodes (`N`). Transcription notes are given where the paper's
+//! formula contains an apparent typo; we keep the literal form because the
+//! point of this module is fidelity to the text.
+
+use crate::hockney::{ceil_log, HockneyParams};
+use crate::time::SimTime;
+
+/// §III-A1: multi-object scatter, intranode part:
+/// `T_intrascatter = α_r + P·C_b·β_r`.
+pub fn scatter_intra(h: &HockneyParams, cb: u64, p: usize) -> SimTime {
+    h.alpha_r + h.intra_bytes(cb * p as u64)
+}
+
+/// §III-A1: multi-object scatter, internode part:
+/// `T_interscatter = α_e·⌈log_{P+1}N⌉ + C_b·(N−1)·P·β_e`.
+pub fn scatter_inter(h: &HockneyParams, cb: u64, p: usize, n: usize) -> SimTime {
+    h.alpha_e * ceil_log(p + 1, n) as u64 + h.inter_bytes(cb * (n as u64 - 1) * p as u64)
+}
+
+/// §III-A1: overall scatter runtime — the overlap makes it the max of the
+/// two phases.
+pub fn scatter_total(h: &HockneyParams, cb: u64, p: usize, n: usize) -> SimTime {
+    scatter_intra(h, cb, p).max(scatter_inter(h, cb, p, n))
+}
+
+/// §III-A2: small-message allgather, intranode gather:
+/// `T_intra-gathers = α_r + (1 + N·P·(P−1))·C_b·β_r`.
+pub fn allgather_small_intra(h: &HockneyParams, cb: u64, p: usize, n: usize) -> SimTime {
+    let factor = 1 + (n as u64) * (p as u64) * (p as u64 - 1);
+    h.alpha_r + h.intra_bytes(factor * cb)
+}
+
+/// §III-A2: small-message allgather, internode part:
+/// `T_inter-allgathers = α_e·⌈log_{P+1}N⌉ + (C_b·P − 1)·C_b·P·β_e`.
+///
+/// Transcription note: the `(C_b·P − 1)·C_b·P` term is quadratic in `C_b`,
+/// which is what the paper's own discussion relies on ("as the message
+/// size increases, T_inter-allgathers has a quadratic growth"), so we keep
+/// it literally.
+pub fn allgather_small_inter(h: &HockneyParams, cb: u64, p: usize, n: usize) -> SimTime {
+    let cbp = cb * p as u64;
+    h.alpha_e * ceil_log(p + 1, n) as u64 + h.inter_bytes(cbp.saturating_sub(1) * cbp)
+}
+
+/// §III-A2: overall small-message allgather (no overlap): sum of phases.
+pub fn allgather_small_total(h: &HockneyParams, cb: u64, p: usize, n: usize) -> SimTime {
+    allgather_small_intra(h, cb, p, n) + allgather_small_inter(h, cb, p, n)
+}
+
+/// §III-A3: small-message allreduce, intranode binomial reduce:
+/// `T_intra-reduces = α_r·⌈log₂P⌉ + C_b·⌈log₂P⌉·β_r + C_b·⌈log₂P⌉·γ`.
+pub fn allreduce_small_intra(h: &HockneyParams, cb: u64, p: usize) -> SimTime {
+    let rounds = ceil_log(2, p.max(1)) as u64;
+    h.alpha_r * rounds + h.intra_bytes(cb * rounds) + h.reduce(cb * rounds)
+}
+
+/// §III-A3: small-message allreduce, internode part:
+/// `T_inter-allreduces = α_e·⌈log_{P+1}N⌉ + C_b·P·⌈log_{P+1}N⌉·β_e
+///  + C_b·⌈log_{P+1}N⌉·γ`.
+pub fn allreduce_small_inter(h: &HockneyParams, cb: u64, p: usize, n: usize) -> SimTime {
+    let rounds = ceil_log(p + 1, n) as u64;
+    h.alpha_e * rounds + h.inter_bytes(cb * p as u64 * rounds) + h.reduce(cb * rounds)
+}
+
+/// §III-A3: overall small-message allreduce: sum of phases.
+pub fn allreduce_small_total(h: &HockneyParams, cb: u64, p: usize, n: usize) -> SimTime {
+    allreduce_small_intra(h, cb, p) + allreduce_small_inter(h, cb, p, n)
+}
+
+/// §III-B1: large-message allgather, intranode gather:
+/// `T_intra-gatherl = α_r + (P−1)·C_b·β_r`.
+pub fn allgather_large_gather(h: &HockneyParams, cb: u64, p: usize) -> SimTime {
+    h.alpha_r + h.intra_bytes(cb * (p as u64 - 1))
+}
+
+/// §III-B1: large-message allgather, overlapped intranode broadcast:
+/// `T_intra-bcastl = α_r·(N−1) + (P−1)·N·P·C_b·β_r`.
+pub fn allgather_large_bcast(h: &HockneyParams, cb: u64, p: usize, n: usize) -> SimTime {
+    h.alpha_r * (n as u64 - 1)
+        + h.intra_bytes((p as u64 - 1) * n as u64 * p as u64 * cb)
+}
+
+/// §III-B1: large-message allgather, internode multi-object ring:
+/// `T_inter-allgatherl = α_e·(N−1) + P·C_b·(N−1)·β_e`.
+pub fn allgather_large_inter(h: &HockneyParams, cb: u64, p: usize, n: usize) -> SimTime {
+    h.alpha_e * (n as u64 - 1) + h.inter_bytes(p as u64 * cb * (n as u64 - 1))
+}
+
+/// §III-B1: overall large-message allgather:
+/// `T = T_intra-gatherl + max(T_intra-bcastl, T_inter-allgatherl)`.
+pub fn allgather_large_total(h: &HockneyParams, cb: u64, p: usize, n: usize) -> SimTime {
+    allgather_large_gather(h, cb, p)
+        + allgather_large_bcast(h, cb, p, n).max(allgather_large_inter(h, cb, p, n))
+}
+
+/// §III-B2: large-message allreduce, intranode chunked reduce:
+/// `T_intra-reducel = α_r·(P−1) + C_b·P·γ`.
+pub fn allreduce_large_reduce(h: &HockneyParams, cb: u64, p: usize) -> SimTime {
+    h.alpha_r * (p as u64 - 1) + h.reduce(cb * p as u64)
+}
+
+/// §III-B2: large-message allreduce, internode reduce-scatter:
+/// `T_inter-rscatterl = α_e·(P−1) + ((N−1)/N)·C_b·β_e + (C_b/N)·(N−1)·γ`.
+pub fn allreduce_large_rscatter(h: &HockneyParams, cb: u64, p: usize, n: usize) -> SimTime {
+    let nm1 = n as u64 - 1;
+    h.alpha_e * (p as u64 - 1)
+        + h.inter_bytes(nm1 * cb / n as u64)
+        + h.reduce(cb / n as u64 * nm1)
+}
+
+/// §III-B2: overall large-message allreduce:
+/// `T = T_intra-reducel + T_inter-rscatterl
+///     + max(T_intra-bcastl, T_inter-allgatherl)` with the allgather terms
+/// evaluated on the `C_b/N`-sized chunks each node contributes.
+pub fn allreduce_large_total(h: &HockneyParams, cb: u64, p: usize, n: usize) -> SimTime {
+    let chunk = (cb / n as u64).max(1) / p as u64;
+    allreduce_large_reduce(h, cb, p)
+        + allreduce_large_rscatter(h, cb, p, n)
+        + allgather_large_bcast(h, chunk.max(1), p, n)
+            .max(allgather_large_inter(h, chunk.max(1), p, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn h() -> HockneyParams {
+        presets::bebop(128, 18).hockney()
+    }
+
+    #[test]
+    fn scatter_scales_linearly_in_cb() {
+        let h = h();
+        let t1 = scatter_total(&h, 1024, 18, 128);
+        let t2 = scatter_total(&h, 2048, 18, 128);
+        // Paper: "the total running time T also increases linearly" in C_b.
+        let ratio = t2.as_secs_f64() / t1.as_secs_f64();
+        assert!(ratio > 1.5 && ratio < 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_allgather_quadratic_in_cb() {
+        let h = h();
+        let t1 = allgather_small_inter(&h, 512, 18, 128);
+        let t2 = allgather_small_inter(&h, 1024, 18, 128);
+        // Quadratic term dominates: doubling C_b should ~4x the beta part.
+        let ratio = (t2 - h.alpha_e * 2).as_secs_f64() / (t1 - h.alpha_e * 2).as_secs_f64();
+        assert!(ratio > 3.0, "expected superlinear growth, got {ratio}");
+    }
+
+    #[test]
+    fn large_allgather_linear_in_cb() {
+        let h = h();
+        let t1 = allgather_large_total(&h, 64 * 1024, 18, 128);
+        let t2 = allgather_large_total(&h, 128 * 1024, 18, 128);
+        let ratio = t2.as_secs_f64() / t1.as_secs_f64();
+        assert!(ratio < 2.2, "large-message algorithm must be linear: {ratio}");
+    }
+
+    #[test]
+    fn large_beats_small_allgather_at_large_sizes() {
+        let h = h();
+        let cb = 256 * 1024;
+        assert!(
+            allgather_large_total(&h, cb, 18, 128) < allgather_small_total(&h, cb, 18, 128),
+            "the paper's motivation for the large-message algorithm"
+        );
+    }
+
+    #[test]
+    fn small_beats_large_allgather_at_small_sizes() {
+        let h = h();
+        // 16 B is the paper's smallest point; the literal quadratic term in
+        // the small-message formula is still negligible there while the
+        // large-message ring pays alpha_e * (N-1).
+        let cb = 16;
+        assert!(
+            allgather_small_total(&h, cb, 18, 128) < allgather_large_total(&h, cb, 18, 128),
+            "crossover must exist"
+        );
+    }
+
+    #[test]
+    fn allreduce_small_log_in_n() {
+        let h = h();
+        // N: 19 -> 361 is one extra round of log_{19}; runtime grows by
+        // roughly one alpha_e + beta term, far less than 19x.
+        let t1 = allreduce_small_total(&h, 128, 18, 19);
+        let t2 = allreduce_small_total(&h, 128, 18, 361);
+        assert!(t2.as_secs_f64() / t1.as_secs_f64() < 2.0);
+    }
+
+    #[test]
+    fn allreduce_large_reduces_transfer_volume() {
+        let h = h();
+        let cb = 512 * 1024 * 8; // 512k doubles
+        assert!(
+            allreduce_large_total(&h, cb, 18, 128) < allreduce_small_total(&h, cb, 18, 128)
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! MPI-like datatypes and reduction operators, with real kernels.
+//!
+//! The dataflow interpreter (`pipmcoll-sched`) and the thread runtime
+//! (`pipmcoll-rt`) both perform *actual* reductions on byte buffers, so the
+//! kernels here are the ground truth for correctness tests. The simulator
+//! only needs `Datatype::size`, but sharing one definition keeps the two
+//! backends consistent.
+
+use std::fmt;
+
+/// Element type carried by a collective.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Datatype {
+    /// Raw bytes (`MPI_BYTE`), element size 1.
+    Byte,
+    /// 32-bit signed integer (`MPI_INT`).
+    Int32,
+    /// 64-bit IEEE double (`MPI_DOUBLE`) — the type used by the paper's
+    /// allreduce experiments ("message counts" are counts of doubles).
+    Double,
+}
+
+impl Datatype {
+    /// Size in bytes of one element.
+    #[inline]
+    pub const fn size(self) -> usize {
+        match self {
+            Datatype::Byte => 1,
+            Datatype::Int32 => 4,
+            Datatype::Double => 8,
+        }
+    }
+
+    /// Number of whole elements in `bytes` bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is not a multiple of the element size.
+    #[inline]
+    pub fn count_of(self, bytes: usize) -> usize {
+        let sz = self.size();
+        assert!(bytes.is_multiple_of(sz), "{bytes} bytes is not a whole number of {self:?}");
+        bytes / sz
+    }
+}
+
+impl fmt::Display for Datatype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datatype::Byte => write!(f, "byte"),
+            Datatype::Int32 => write!(f, "int32"),
+            Datatype::Double => write!(f, "double"),
+        }
+    }
+}
+
+/// Reduction operator (`MPI_Op`). All are commutative and associative, which
+/// the multi-object algorithms rely on (the paper's experiments use SUM).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReduceOp {
+    /// Elementwise sum (`MPI_SUM`).
+    Sum,
+    /// Elementwise maximum (`MPI_MAX`).
+    Max,
+    /// Elementwise minimum (`MPI_MIN`).
+    Min,
+    /// Elementwise product (`MPI_PROD`).
+    Prod,
+}
+
+impl fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReduceOp::Sum => write!(f, "sum"),
+            ReduceOp::Max => write!(f, "max"),
+            ReduceOp::Min => write!(f, "min"),
+            ReduceOp::Prod => write!(f, "prod"),
+        }
+    }
+}
+
+macro_rules! reduce_typed {
+    ($ty:ty, $op:expr, $acc:expr, $src:expr) => {{
+        let esz = std::mem::size_of::<$ty>();
+        debug_assert_eq!($acc.len() % esz, 0);
+        // Chunks are exact because the length check above guarantees whole
+        // elements; from_le_bytes keeps the kernel independent of alignment.
+        for (a, s) in $acc.chunks_exact_mut(esz).zip($src.chunks_exact(esz)) {
+            let av = <$ty>::from_le_bytes(a.try_into().unwrap());
+            let sv = <$ty>::from_le_bytes(s.try_into().unwrap());
+            let r: $ty = match $op {
+                ReduceOp::Sum => av + sv,
+                ReduceOp::Max => if sv > av { sv } else { av },
+                ReduceOp::Min => if sv < av { sv } else { av },
+                ReduceOp::Prod => av * sv,
+            };
+            a.copy_from_slice(&r.to_le_bytes());
+        }
+    }};
+}
+
+/// Reduce `src` into `acc` elementwise: `acc[i] = op(acc[i], src[i])`.
+///
+/// # Panics
+/// Panics if the slices differ in length or are not whole elements.
+pub fn reduce_into(op: ReduceOp, dt: Datatype, acc: &mut [u8], src: &[u8]) {
+    assert_eq!(
+        acc.len(),
+        src.len(),
+        "reduce_into length mismatch: {} vs {}",
+        acc.len(),
+        src.len()
+    );
+    assert_eq!(acc.len() % dt.size(), 0, "partial element in reduce_into");
+    match dt {
+        Datatype::Byte => {
+            for (a, s) in acc.iter_mut().zip(src.iter()) {
+                *a = match op {
+                    ReduceOp::Sum => a.wrapping_add(*s),
+                    ReduceOp::Max => (*a).max(*s),
+                    ReduceOp::Min => (*a).min(*s),
+                    ReduceOp::Prod => a.wrapping_mul(*s),
+                };
+            }
+        }
+        Datatype::Int32 => reduce_typed!(i32, op, acc, src),
+        Datatype::Double => reduce_typed!(f64, op, acc, src),
+    }
+}
+
+/// Encode a slice of doubles into little-endian bytes.
+pub fn doubles_to_bytes(v: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into doubles.
+///
+/// # Panics
+/// Panics if `b.len()` is not a multiple of 8.
+pub fn bytes_to_doubles(b: &[u8]) -> Vec<f64> {
+    assert_eq!(b.len() % 8, 0, "not a whole number of doubles");
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Encode a slice of i32 into little-endian bytes.
+pub fn ints_to_bytes(v: &[i32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 4);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into i32.
+///
+/// # Panics
+/// Panics if `b.len()` is not a multiple of 4.
+pub fn bytes_to_ints(b: &[u8]) -> Vec<i32> {
+    assert_eq!(b.len() % 4, 0, "not a whole number of i32");
+    b.chunks_exact(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Datatype::Byte.size(), 1);
+        assert_eq!(Datatype::Int32.size(), 4);
+        assert_eq!(Datatype::Double.size(), 8);
+        assert_eq!(Datatype::Double.count_of(64), 8);
+    }
+
+    #[test]
+    fn byte_sum_wraps() {
+        let mut a = vec![250u8, 1];
+        reduce_into(ReduceOp::Sum, Datatype::Byte, &mut a, &[10, 2]);
+        assert_eq!(a, vec![4, 3]);
+    }
+
+    #[test]
+    fn double_sum() {
+        let mut a = doubles_to_bytes(&[1.5, -2.0]);
+        let b = doubles_to_bytes(&[0.25, 4.0]);
+        reduce_into(ReduceOp::Sum, Datatype::Double, &mut a, &b);
+        assert_eq!(bytes_to_doubles(&a), vec![1.75, 2.0]);
+    }
+
+    #[test]
+    fn double_max_min() {
+        let mut a = doubles_to_bytes(&[1.0, 9.0]);
+        let b = doubles_to_bytes(&[5.0, 2.0]);
+        reduce_into(ReduceOp::Max, Datatype::Double, &mut a, &b);
+        assert_eq!(bytes_to_doubles(&a), vec![5.0, 9.0]);
+        let mut c = doubles_to_bytes(&[1.0, 9.0]);
+        reduce_into(ReduceOp::Min, Datatype::Double, &mut c, &b);
+        assert_eq!(bytes_to_doubles(&c), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn int_prod() {
+        let mut a = ints_to_bytes(&[3, -2]);
+        let b = ints_to_bytes(&[4, 5]);
+        reduce_into(ReduceOp::Prod, Datatype::Int32, &mut a, &b);
+        assert_eq!(bytes_to_ints(&a), vec![12, -10]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let mut a = vec![0u8; 4];
+        reduce_into(ReduceOp::Sum, Datatype::Byte, &mut a, &[0u8; 5]);
+    }
+
+    #[test]
+    fn sum_is_commutative_int() {
+        let x = ints_to_bytes(&[7, 11, 13]);
+        let y = ints_to_bytes(&[2, 3, 5]);
+        let mut a = x.clone();
+        reduce_into(ReduceOp::Sum, Datatype::Int32, &mut a, &y);
+        let mut b = y.clone();
+        reduce_into(ReduceOp::Sum, Datatype::Int32, &mut b, &x);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,130 @@
+//! The extended Hockney cost model from §III of the paper.
+//!
+//! Hockney prices one message as `α + M·β`. The paper extends it with
+//! separate intra-/internode constants and a reduction speed:
+//!
+//! * `α_r` — intranode start-up latency (one flag/handshake),
+//! * `α_e` — internode start-up latency,
+//! * `β_r` — intranode transfer time per byte,
+//! * `β_e` — internode transfer time per byte,
+//! * `γ`   — reduction time per byte.
+//!
+//! These closed-form constants drive the analytic runtimes in
+//! [`crate::analytic`]; the discrete-event engine uses the richer
+//! [`crate::nic`]/[`crate::memory`] models instead, and the two are
+//! cross-checked in the `analytic_check` bench harness.
+
+use crate::time::SimTime;
+
+/// Extended Hockney parameters (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HockneyParams {
+    /// Intranode start-up latency.
+    pub alpha_r: SimTime,
+    /// Internode start-up latency.
+    pub alpha_e: SimTime,
+    /// Intranode seconds per byte.
+    pub beta_r: f64,
+    /// Internode seconds per byte.
+    pub beta_e: f64,
+    /// Reduction seconds per byte.
+    pub gamma: f64,
+}
+
+impl HockneyParams {
+    /// `α_r + M·β_r`: one intranode message of `bytes` bytes.
+    pub fn intra_msg(&self, bytes: u64) -> SimTime {
+        self.alpha_r + SimTime::from_secs_f64(bytes as f64 * self.beta_r)
+    }
+
+    /// `α_e + M·β_e`: one internode message of `bytes` bytes.
+    pub fn inter_msg(&self, bytes: u64) -> SimTime {
+        self.alpha_e + SimTime::from_secs_f64(bytes as f64 * self.beta_e)
+    }
+
+    /// `M·γ`: reduction of `bytes` bytes.
+    pub fn reduce(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 * self.gamma)
+    }
+
+    /// `M·β_r` without start-up (for per-byte terms in the analytic sums).
+    pub fn intra_bytes(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 * self.beta_r)
+    }
+
+    /// `M·β_e` without start-up.
+    pub fn inter_bytes(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 * self.beta_e)
+    }
+}
+
+/// `ceil(log_base(n))` for the recursion-depth terms (`⌈log_{P+1} N⌉`).
+///
+/// Defined as the number of rounds needed for a radix-`base` doubling
+/// process starting at 1 to reach at least `n`. `n = 1` needs 0 rounds.
+///
+/// # Panics
+/// Panics if `base < 2` or `n == 0`.
+pub fn ceil_log(base: usize, n: usize) -> u32 {
+    assert!(base >= 2, "log base must be >= 2");
+    assert!(n > 0, "log of zero");
+    let mut rounds = 0u32;
+    let mut span: u128 = 1;
+    while span < n as u128 {
+        span *= base as u128;
+        rounds += 1;
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> HockneyParams {
+        HockneyParams {
+            alpha_r: SimTime::from_ns(100),
+            alpha_e: SimTime::from_us(1),
+            beta_r: 1e-10,
+            beta_e: 1e-9,
+            gamma: 2e-10,
+        }
+    }
+
+    #[test]
+    fn intra_msg_is_alpha_plus_beta() {
+        let p = params();
+        let t = p.intra_msg(1000);
+        assert_eq!(t, SimTime::from_ns(100) + SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn inter_dominates_intra() {
+        let p = params();
+        assert!(p.inter_msg(4096) > p.intra_msg(4096));
+    }
+
+    #[test]
+    fn reduce_scales_linearly() {
+        let p = params();
+        assert_eq!(p.reduce(2000).as_ps(), 2 * p.reduce(1000).as_ps());
+    }
+
+    #[test]
+    fn ceil_log_values() {
+        assert_eq!(ceil_log(2, 1), 0);
+        assert_eq!(ceil_log(2, 2), 1);
+        assert_eq!(ceil_log(2, 3), 2);
+        assert_eq!(ceil_log(2, 1024), 10);
+        assert_eq!(ceil_log(19, 128), 2); // 128 nodes, P+1 = 19
+        assert_eq!(ceil_log(19, 19), 1);
+        assert_eq!(ceil_log(19, 361), 2);
+        assert_eq!(ceil_log(19, 362), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ceil_log_rejects_base_one() {
+        ceil_log(1, 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! # pipmcoll-model — cost models and machine description
+//!
+//! This crate holds everything the PiP-MColl reproduction needs to *price*
+//! communication: the extended Hockney model from §III of the paper, an
+//! Omni-Path-like NIC model that explains Figure 1 (message rate and
+//! throughput vs. number of concurrent sender/receiver objects), a node
+//! memory model, and per-mechanism cost models for the shared-memory
+//! techniques the paper compares (PiP, POSIX-SHMEM, CMA, XPMEM, LiMiC/KNEM).
+//!
+//! It also holds the *machine-independent* building blocks shared by every
+//! other crate: simulated time ([`time::SimTime`]), the cluster topology
+//! ([`topology::Topology`]) and MPI-like datatypes and reduction operators
+//! ([`dtype`]).
+//!
+//! The constants in [`presets`] are calibrated to the paper's testbed
+//! (Bebop: 2× Xeon E5-2695v4 per node, 18 ranks/node, Intel Omni-Path
+//! 100 Gbps). They are calibration, not measurement; see `EXPERIMENTS.md`.
+
+pub mod analytic;
+pub mod dtype;
+pub mod hockney;
+pub mod machine;
+pub mod mechanism;
+pub mod memory;
+pub mod nic;
+pub mod presets;
+pub mod time;
+pub mod topology;
+
+pub use dtype::{Datatype, ReduceOp};
+pub use hockney::HockneyParams;
+pub use machine::MachineConfig;
+pub use mechanism::Mechanism;
+pub use memory::MemoryModel;
+pub use nic::NicModel;
+pub use time::SimTime;
+pub use topology::{Rank, Topology};

@@ -1,0 +1,78 @@
+//! Whole-machine description consumed by the discrete-event engine.
+
+use crate::hockney::HockneyParams;
+use crate::mechanism::MechanismCosts;
+use crate::memory::MemoryModel;
+use crate::nic::NicModel;
+use crate::time::SimTime;
+use crate::topology::Topology;
+
+/// Everything the simulator needs to price a run: topology, NIC, memory,
+/// mechanism cost table, and software overheads.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Cluster shape.
+    pub topo: Topology,
+    /// Fabric/NIC model.
+    pub nic: NicModel,
+    /// Node memory model.
+    pub mem: MemoryModel,
+    /// Kernel-interaction price list.
+    pub mech_costs: MechanismCosts,
+    /// Cost of one node-local barrier among `P` ranks (charged as
+    /// `barrier_unit * ceil(log2(P))`).
+    pub barrier_unit: SimTime,
+    /// Extra per-message software overhead of the MPI library being
+    /// modelled (tunes the relative standing of Intel MPI / Open MPI /
+    /// MVAPICH2 bars; see `pipmcoll-core::library`).
+    pub sw_overhead: SimTime,
+}
+
+impl MachineConfig {
+    /// Replace the topology (builder-style).
+    pub fn with_topology(mut self, nodes: usize, ppn: usize) -> Self {
+        self.topo = Topology::new(nodes, ppn);
+        self
+    }
+
+    /// Replace the per-message software overhead (builder-style).
+    pub fn with_sw_overhead(mut self, t: SimTime) -> Self {
+        self.sw_overhead = t;
+        self
+    }
+
+    /// Derive the closed-form Hockney constants this machine implies, for
+    /// the analytic cross-checks. `β_e` uses the single-stream injection
+    /// bandwidth (the analytic model in the paper is single-object).
+    pub fn hockney(&self) -> HockneyParams {
+        HockneyParams {
+            alpha_r: self.mem.alpha_r,
+            alpha_e: self.nic.latency + self.nic.send_overhead + self.nic.recv_overhead,
+            beta_r: 1.0 / self.mem.core_copy_bw,
+            beta_e: 1.0 / self.nic.proc_bandwidth,
+            gamma: self.mem.gamma,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets;
+
+    #[test]
+    fn builder_overrides_topology() {
+        let m = presets::bebop(4, 9);
+        assert_eq!(m.topo.nodes(), 4);
+        assert_eq!(m.topo.ppn(), 9);
+        let m2 = m.with_topology(8, 2);
+        assert_eq!(m2.topo.world_size(), 16);
+    }
+
+    #[test]
+    fn hockney_derivation_sane() {
+        let m = presets::bebop(2, 18);
+        let h = m.hockney();
+        assert!(h.alpha_e > h.alpha_r, "network latency exceeds flag latency");
+        assert!(h.beta_e > h.beta_r, "network slower per byte than memcpy");
+    }
+}

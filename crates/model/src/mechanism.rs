@@ -1,0 +1,212 @@
+//! Shared-memory mechanism models.
+//!
+//! §II of the paper compares five ways two processes on a node can move
+//! data, distinguished by *how many copies* they make and *which system
+//! calls / page faults* they pay. We reproduce those counts exactly:
+//!
+//! | Mechanism | Copies | Per-transfer syscalls | Setup cost | Notes |
+//! |---|---|---|---|---|
+//! | PiP | 1 | none | none | shared address space; plain userspace `memcpy` |
+//! | POSIX-SHMEM | 2 | none | page faults on first touch of the bounce buffer | copy-in + copy-out through a shared bounce buffer, chunked |
+//! | CMA | 1 | 1 (`process_vm_readv`) | none | kernel copies directly |
+//! | LiMiC/KNEM | 1 | 2 (register + read) | none | kernel module, key exchange |
+//! | XPMEM | 1 | none per transfer | expose+attach syscalls, cached per (peer, buffer); page faults on first attach | data *sharing*, like PiP but with setup |
+//!
+//! The PiP *baseline* (PiP-MPICH) additionally pays a message-size
+//! synchronisation handshake per point-to-point operation — the paper calls
+//! this out repeatedly as the reason naive PiP integration is slow for small
+//! messages. PiP-MColl's algorithms amortise it with single-flag
+//! synchronisation; we model that as `handshake_flags` ∈ {1, 2}.
+
+use crate::time::SimTime;
+
+/// An intranode data-movement mechanism.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Mechanism {
+    /// Process-in-Process shared address space (the paper's contribution
+    /// substrate): one userspace copy, no syscalls.
+    Pip,
+    /// POSIX shared memory: double copy through a bounce buffer.
+    Posix,
+    /// Cross Memory Attach: one kernel-assisted copy, one syscall each time.
+    Cma,
+    /// LiMiC/KNEM-style kernel module: one copy, register + read syscalls.
+    Limic,
+    /// XPMEM: one userspace copy after an expose/attach setup (cached).
+    Xpmem,
+}
+
+impl Mechanism {
+    /// All mechanisms, for sweeps and ablations.
+    pub const ALL: [Mechanism; 5] = [
+        Mechanism::Pip,
+        Mechanism::Posix,
+        Mechanism::Cma,
+        Mechanism::Limic,
+        Mechanism::Xpmem,
+    ];
+
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::Pip => "pip",
+            Mechanism::Posix => "posix",
+            Mechanism::Cma => "cma",
+            Mechanism::Limic => "limic",
+            Mechanism::Xpmem => "xpmem",
+        }
+    }
+
+    /// Number of times the payload crosses memory (1 = single copy).
+    pub fn copies(self) -> u32 {
+        match self {
+            Mechanism::Posix => 2,
+            _ => 1,
+        }
+    }
+
+    /// Syscalls paid on *every* transfer.
+    pub fn syscalls_per_transfer(self) -> u32 {
+        match self {
+            Mechanism::Cma => 1,
+            Mechanism::Limic => 2,
+            _ => 0,
+        }
+    }
+
+    /// Whether the mechanism has a cacheable setup (XPMEM expose/attach).
+    pub fn has_cached_setup(self) -> bool {
+        matches!(self, Mechanism::Xpmem)
+    }
+}
+
+/// Price list for mechanism-related kernel interactions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MechanismCosts {
+    /// One system call (trap + return + kernel path), e.g. `process_vm_readv`.
+    pub syscall: SimTime,
+    /// One soft page fault (first touch of a shared mapping).
+    pub page_fault: SimTime,
+    /// XPMEM expose + attach pair, paid once per (peer, buffer) and cached.
+    pub xpmem_attach: SimTime,
+    /// POSIX bounce-buffer chunk size in bytes (pipelined double copy).
+    pub posix_chunk: u64,
+    /// Pages touched per fault-burst; first use of a `M`-byte buffer faults
+    /// `ceil(M / page_size)` pages.
+    pub page_size: u64,
+    /// PiP message-size synchronisation handshake paid by the *baseline*
+    /// (PiP-MPICH) per point-to-point operation; PiP-MColl's algorithm
+    /// designs eliminate it.
+    pub pip_size_sync: SimTime,
+}
+
+impl MechanismCosts {
+    /// Fixed (size-independent) cost of one transfer with `mech`.
+    ///
+    /// `first_use` marks the first transfer touching this (peer, buffer)
+    /// pair — it triggers page faults for POSIX/XPMEM and the XPMEM attach.
+    pub fn per_transfer_overhead(&self, mech: Mechanism, bytes: u64, first_use: bool) -> SimTime {
+        let mut t = self.syscall * mech.syscalls_per_transfer() as u64;
+        if first_use {
+            match mech {
+                Mechanism::Posix => {
+                    // Fault in the bounce buffer (bounded by chunk size).
+                    let pages = self.posix_chunk.min(bytes).div_ceil(self.page_size).max(1);
+                    t += self.page_fault * pages;
+                }
+                Mechanism::Xpmem => {
+                    let pages = bytes.div_ceil(self.page_size).max(1);
+                    t += self.xpmem_attach + self.page_fault * pages;
+                }
+                _ => {}
+            }
+        }
+        t
+    }
+
+    /// Bytes actually moved through memory for a `bytes`-byte payload
+    /// (POSIX moves the payload twice).
+    pub fn bytes_moved(&self, mech: Mechanism, bytes: u64) -> u64 {
+        bytes * mech.copies() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> MechanismCosts {
+        MechanismCosts {
+            syscall: SimTime::from_ns(400),
+            page_fault: SimTime::from_ns(1200),
+            xpmem_attach: SimTime::from_ns(2200),
+            posix_chunk: 8192,
+            page_size: 4096,
+            pip_size_sync: SimTime::from_ns(240),
+        }
+    }
+
+    #[test]
+    fn copy_counts_match_paper_table() {
+        assert_eq!(Mechanism::Pip.copies(), 1);
+        assert_eq!(Mechanism::Posix.copies(), 2);
+        assert_eq!(Mechanism::Cma.copies(), 1);
+        assert_eq!(Mechanism::Limic.copies(), 1);
+        assert_eq!(Mechanism::Xpmem.copies(), 1);
+    }
+
+    #[test]
+    fn syscall_counts_match_paper_table() {
+        assert_eq!(Mechanism::Pip.syscalls_per_transfer(), 0);
+        assert_eq!(Mechanism::Posix.syscalls_per_transfer(), 0);
+        assert_eq!(Mechanism::Cma.syscalls_per_transfer(), 1);
+        assert_eq!(Mechanism::Limic.syscalls_per_transfer(), 2);
+        assert_eq!(Mechanism::Xpmem.syscalls_per_transfer(), 0);
+    }
+
+    #[test]
+    fn pip_has_zero_steady_state_overhead() {
+        let c = costs();
+        assert_eq!(
+            c.per_transfer_overhead(Mechanism::Pip, 1 << 20, true),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn cma_pays_syscall_every_time() {
+        let c = costs();
+        let t1 = c.per_transfer_overhead(Mechanism::Cma, 64, true);
+        let t2 = c.per_transfer_overhead(Mechanism::Cma, 64, false);
+        assert_eq!(t1, t2);
+        assert_eq!(t1, SimTime::from_ns(400));
+    }
+
+    #[test]
+    fn xpmem_setup_amortises() {
+        let c = costs();
+        let first = c.per_transfer_overhead(Mechanism::Xpmem, 16384, true);
+        let later = c.per_transfer_overhead(Mechanism::Xpmem, 16384, false);
+        assert!(first > later);
+        assert_eq!(later, SimTime::ZERO);
+        // 16 KiB = 4 pages faulted + attach.
+        assert_eq!(
+            first,
+            SimTime::from_ns(2200) + SimTime::from_ns(1200) * 4
+        );
+    }
+
+    #[test]
+    fn posix_moves_double_bytes() {
+        let c = costs();
+        assert_eq!(c.bytes_moved(Mechanism::Posix, 1000), 2000);
+        assert_eq!(c.bytes_moved(Mechanism::Pip, 1000), 1000);
+    }
+
+    #[test]
+    fn small_posix_faults_at_least_one_page() {
+        let c = costs();
+        let t = c.per_transfer_overhead(Mechanism::Posix, 16, true);
+        assert_eq!(t, SimTime::from_ns(1200));
+    }
+}

@@ -1,0 +1,104 @@
+//! Node memory system model.
+//!
+//! Intranode data movement is priced with two limiters, mirroring the NIC
+//! model's structure:
+//!
+//! * a **per-core copy bandwidth** (`core_copy_bw`) — one core's `memcpy`
+//!   speed, and
+//! * a **node memory-bus bandwidth** (`node_mem_bw`) — the aggregate DRAM
+//!   bandwidth all ranks of the node share.
+//!
+//! A single copy of `M` bytes therefore takes `M / core_copy_bw` of the
+//! issuing core's time *and* occupies the shared bus for `M / node_mem_bw`.
+//! When 18 ranks copy concurrently, the bus resource serialises them and
+//! the node saturates — this is what makes the paper's chunked parallel
+//! intranode reduce (Fig. 5) profitable, and what bounds the benefit of the
+//! multi-object design for very large messages.
+//!
+//! Reductions additionally pay `gamma` seconds/byte of arithmetic on the
+//! reducing core.
+
+use crate::time::SimTime;
+
+/// Memory-system parameters (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryModel {
+    /// One core's streaming copy bandwidth, bytes/s.
+    pub core_copy_bw: f64,
+    /// Aggregate node memory bandwidth, bytes/s.
+    pub node_mem_bw: f64,
+    /// Reduction arithmetic speed, seconds/byte (the paper's `γ`).
+    pub gamma: f64,
+    /// Fixed per-operation start-up for an intranode transfer (flag write +
+    /// cache-line transfer; the paper's `α_r`).
+    pub alpha_r: SimTime,
+}
+
+impl MemoryModel {
+    /// Core-side busy time for copying `bytes` bytes.
+    pub fn core_copy_time(&self, bytes: u64) -> SimTime {
+        SimTime::for_bytes(bytes, self.core_copy_bw)
+    }
+
+    /// Shared-bus occupancy of a `bytes`-byte copy.
+    pub fn bus_time(&self, bytes: u64) -> SimTime {
+        SimTime::for_bytes(bytes, self.node_mem_bw)
+    }
+
+    /// Arithmetic time to reduce `bytes` bytes on one core.
+    pub fn reduce_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 * self.gamma)
+    }
+
+    /// Effective intranode per-byte time when `k` ranks stream concurrently:
+    /// each is core-limited until `k · core_copy_bw` exceeds the bus.
+    pub fn effective_copy_bw(&self, k: usize) -> f64 {
+        assert!(k > 0);
+        (k as f64 * self.core_copy_bw).min(self.node_mem_bw) / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broadwell() -> MemoryModel {
+        MemoryModel {
+            core_copy_bw: 8e9,
+            node_mem_bw: 60e9,
+            gamma: 0.25e-9,
+            alpha_r: SimTime::from_ns(120),
+        }
+    }
+
+    #[test]
+    fn copy_time_linear() {
+        let m = broadwell();
+        assert_eq!(
+            m.core_copy_time(16_000).as_ps(),
+            2 * m.core_copy_time(8_000).as_ps()
+        );
+    }
+
+    #[test]
+    fn bus_faster_than_core() {
+        let m = broadwell();
+        assert!(m.bus_time(1 << 20) < m.core_copy_time(1 << 20));
+    }
+
+    #[test]
+    fn effective_bw_saturates() {
+        let m = broadwell();
+        // 1 core: core-limited at 8 GB/s.
+        assert_eq!(m.effective_copy_bw(1), 8e9);
+        // 18 cores: bus-limited at 60/18 GB/s each.
+        let per = m.effective_copy_bw(18);
+        assert!((per - 60e9 / 18.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn reduce_time_uses_gamma() {
+        let m = broadwell();
+        assert_eq!(m.reduce_time(4_000_000), SimTime::from_us(1000));
+    }
+}

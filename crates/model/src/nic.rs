@@ -1,0 +1,154 @@
+//! Omni-Path-like NIC model.
+//!
+//! The multi-object design of PiP-MColl rests on one hardware fact
+//! (paper Fig. 1): **a single process cannot saturate the NIC**, neither in
+//! message rate (small messages) nor bandwidth (medium messages); several
+//! concurrent sender/receiver objects can. We model this with three
+//! limiters, each realised as a FIFO resource in the discrete-event engine:
+//!
+//! 1. *Per-process injection*: a rank issues messages no faster than
+//!    `proc_msg_rate` and streams bytes no faster than `proc_bandwidth`
+//!    (one core driving PSM2 cannot fill a 100 Gbps link).
+//! 2. *NIC aggregate message rate*: the HFI processes at most
+//!    `nic_msg_rate` messages per second across all ranks of a node.
+//! 3. *Link bandwidth*: `link_bandwidth` bytes/s per direction.
+//!
+//! With `k` senders of `M`-byte messages the sustained node message rate is
+//! `min(k·proc_msg_rate, k·proc_bandwidth/M, nic_msg_rate, link_bandwidth/M)`
+//! — exactly the saturating-ramp shape of Fig. 1a/1b.
+//!
+//! Messages smaller than `eager_threshold` use the eager protocol (one
+//! network traversal); larger ones use rendezvous (an extra RTS/CTS
+//! round-trip, priced as `2·alpha` control messages).
+
+use crate::time::SimTime;
+
+/// NIC and fabric parameters (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NicModel {
+    /// One-way wire + switch latency.
+    pub latency: SimTime,
+    /// Per-direction link bandwidth, bytes/s.
+    pub link_bandwidth: f64,
+    /// Aggregate NIC message rate, messages/s (all ranks of the node).
+    pub nic_msg_rate: f64,
+    /// A single process's injection message rate, messages/s.
+    pub proc_msg_rate: f64,
+    /// A single process's injection bandwidth, bytes/s.
+    pub proc_bandwidth: f64,
+    /// Sender-side software overhead per message (CPU busy time).
+    pub send_overhead: SimTime,
+    /// Receiver-side software overhead per message.
+    pub recv_overhead: SimTime,
+    /// Messages at or above this size use the rendezvous protocol.
+    pub eager_threshold: u64,
+}
+
+impl NicModel {
+    /// Serialization time of one `bytes`-byte message through the shared
+    /// NIC: limited by both the aggregate message rate and link bandwidth.
+    pub fn nic_occupancy(&self, bytes: u64) -> SimTime {
+        SimTime::per_op(self.nic_msg_rate).max(SimTime::for_bytes(bytes, self.link_bandwidth))
+    }
+
+    /// Injection time of one message through a single process's send engine.
+    pub fn proc_occupancy(&self, bytes: u64) -> SimTime {
+        SimTime::per_op(self.proc_msg_rate).max(SimTime::for_bytes(bytes, self.proc_bandwidth))
+    }
+
+    /// Whether a message of `bytes` uses rendezvous.
+    #[inline]
+    pub fn is_rendezvous(&self, bytes: u64) -> bool {
+        bytes >= self.eager_threshold
+    }
+
+    /// Extra latency charged for the rendezvous handshake (RTS + CTS).
+    pub fn rendezvous_handshake(&self) -> SimTime {
+        // Two control messages, each a latency plus minimal NIC occupancy.
+        (self.latency + SimTime::per_op(self.nic_msg_rate)) * 2
+    }
+
+    /// Steady-state *node* message rate with `k` concurrent senders of
+    /// `bytes`-byte messages (messages/s). This is the closed form behind
+    /// Fig. 1a and is unit-tested against the DES in the engine crate.
+    pub fn steady_msg_rate(&self, k: usize, bytes: u64) -> f64 {
+        assert!(k > 0, "need at least one sender");
+        let per_proc = self
+            .proc_msg_rate
+            .min(self.proc_bandwidth / bytes.max(1) as f64);
+        (k as f64 * per_proc)
+            .min(self.nic_msg_rate)
+            .min(self.link_bandwidth / bytes.max(1) as f64)
+    }
+
+    /// Steady-state node throughput (bytes/s) with `k` concurrent senders.
+    pub fn steady_throughput(&self, k: usize, bytes: u64) -> f64 {
+        self.steady_msg_rate(k, bytes) * bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opa() -> NicModel {
+        NicModel {
+            latency: SimTime::from_ns(900),
+            link_bandwidth: 12.3e9,
+            nic_msg_rate: 30e6,
+            proc_msg_rate: 0.9e6,
+            proc_bandwidth: 3.2e9,
+            send_overhead: SimTime::from_ns(250),
+            recv_overhead: SimTime::from_ns(250),
+            eager_threshold: 64 * 1024,
+        }
+    }
+
+    #[test]
+    fn single_sender_cannot_saturate_small() {
+        let n = opa();
+        // 4 KiB messages: one sender is proc-bandwidth limited.
+        let one = n.steady_msg_rate(1, 4096);
+        let many = n.steady_msg_rate(18, 4096);
+        assert!(many > 3.0 * one, "multi-object must scale: {one} vs {many}");
+    }
+
+    #[test]
+    fn link_caps_throughput_large() {
+        let n = opa();
+        let tp = n.steady_throughput(18, 128 * 1024);
+        assert!((tp - n.link_bandwidth).abs() / n.link_bandwidth < 1e-9);
+    }
+
+    #[test]
+    fn msg_rate_monotone_in_senders() {
+        let n = opa();
+        let mut prev = 0.0;
+        for k in 1..=18 {
+            let r = n.steady_msg_rate(k, 4096);
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn rendezvous_threshold() {
+        let n = opa();
+        assert!(!n.is_rendezvous(1024));
+        assert!(n.is_rendezvous(64 * 1024));
+        assert!(n.rendezvous_handshake() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn occupancy_is_max_of_limits() {
+        let n = opa();
+        // Tiny message: rate-limited.
+        assert_eq!(n.nic_occupancy(8), SimTime::per_op(n.nic_msg_rate));
+        // Huge message: bandwidth-limited.
+        let big = 10_000_000u64;
+        assert_eq!(
+            n.nic_occupancy(big),
+            SimTime::for_bytes(big, n.link_bandwidth)
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Calibrated machine presets.
+//!
+//! `bebop` mirrors the paper's testbed: Argonne's Bebop cluster, dual Xeon
+//! E5-2695v4 (Broadwell, 36 cores), 128 GB DDR4/node, Intel Omni-Path
+//! 100 Gbps with a quoted peak of 97 Mmsg/s. The paper runs 18 ranks/node on
+//! up to 128 nodes.
+//!
+//! Calibration rationale (see DESIGN.md §7):
+//! * link: 100 Gbps minus protocol overheads → 12.3 GB/s effective;
+//! * NIC aggregate message rate: 30 Mmsg/s sustained (97 is the 8 B peak);
+//! * single-process injection: ≈0.9 Mmsg/s and ≈3.2 GB/s — one core driving
+//!   PSM2 cannot saturate either limit, the premise of Fig. 1;
+//! * one-way latency ≈0.9 µs; MPI software overhead ≈250 ns per side;
+//! * per-core copy 8 GB/s, node DRAM 60 GB/s, reduce γ = 0.25 ns/B;
+//! * syscall 400 ns, page fault 1.2 µs, XPMEM attach 2.2 µs,
+//!   POSIX bounce chunk 8 KiB, PiP size-sync handshake 240 ns.
+
+use crate::machine::MachineConfig;
+use crate::mechanism::MechanismCosts;
+use crate::memory::MemoryModel;
+use crate::nic::NicModel;
+use crate::time::SimTime;
+use crate::topology::Topology;
+
+/// The paper's Bebop testbed with a chosen `(nodes, ppn)`.
+pub fn bebop(nodes: usize, ppn: usize) -> MachineConfig {
+    MachineConfig {
+        topo: Topology::new(nodes, ppn),
+        nic: NicModel {
+            latency: SimTime::from_ns(900),
+            link_bandwidth: 12.3e9,
+            nic_msg_rate: 30e6,
+            proc_msg_rate: 0.9e6,
+            proc_bandwidth: 3.2e9,
+            send_overhead: SimTime::from_ns(250),
+            recv_overhead: SimTime::from_ns(250),
+            eager_threshold: 64 * 1024,
+        },
+        mem: MemoryModel {
+            core_copy_bw: 8e9,
+            node_mem_bw: 60e9,
+            gamma: 0.25e-9,
+            alpha_r: SimTime::from_ns(120),
+        },
+        mech_costs: MechanismCosts {
+            syscall: SimTime::from_ns(400),
+            page_fault: SimTime::from_ns(1200),
+            xpmem_attach: SimTime::from_ns(2200),
+            posix_chunk: 8192,
+            page_size: 4096,
+            pip_size_sync: SimTime::from_ns(240),
+        },
+        barrier_unit: SimTime::from_ns(150),
+        sw_overhead: SimTime::ZERO,
+    }
+}
+
+/// The paper's full-scale configuration: 128 nodes × 18 ppn = 2304 ranks.
+pub fn bebop_full() -> MachineConfig {
+    bebop(128, 18)
+}
+
+/// A deliberately small machine for unit tests (fast to simulate, still has
+/// multiple nodes and ranks so every code path is exercised).
+pub fn tiny(nodes: usize, ppn: usize) -> MachineConfig {
+    bebop(nodes, ppn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bebop_full_is_2304_ranks() {
+        assert_eq!(bebop_full().topo.world_size(), 2304);
+    }
+
+    #[test]
+    fn premise_of_fig1_holds() {
+        let m = bebop(2, 18);
+        // One process cannot reach either NIC limit.
+        assert!(m.nic.proc_msg_rate < m.nic.nic_msg_rate);
+        assert!(m.nic.proc_bandwidth < m.nic.link_bandwidth);
+        // 18 can saturate bandwidth.
+        assert!(18.0 * m.nic.proc_bandwidth > m.nic.link_bandwidth);
+    }
+}

@@ -1,0 +1,250 @@
+//! Simulated time.
+//!
+//! All simulator arithmetic is done on integer **picoseconds** so that the
+//! discrete-event engine is exactly deterministic and insensitive to
+//! floating-point summation order. One `u64` of picoseconds covers ~213
+//! simulated days, far beyond any collective we model.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in picoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// Picoseconds per second, as `f64` for rate conversions.
+pub const PS_PER_SEC: f64 = 1e12;
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable time (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Construct from (possibly fractional) seconds. Rounds to nearest ps.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0 && s.is_finite(), "negative/NaN time: {s}");
+        SimTime((s * PS_PER_SEC).round() as u64)
+    }
+
+    /// The raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC
+    }
+
+    /// This time expressed in microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This time expressed in nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Elementwise maximum.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Elementwise minimum.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction (useful for "remaining" computations).
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Time to move `bytes` at `bytes_per_sec`, rounded up to a whole ps.
+    ///
+    /// A zero or non-finite rate is a modelling bug, so it panics in debug
+    /// builds; release builds saturate to `SimTime::MAX`.
+    #[inline]
+    pub fn for_bytes(bytes: u64, bytes_per_sec: f64) -> SimTime {
+        debug_assert!(
+            bytes_per_sec > 0.0 && bytes_per_sec.is_finite(),
+            "invalid rate {bytes_per_sec}"
+        );
+        if bytes_per_sec.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return SimTime::MAX;
+        }
+        SimTime(((bytes as f64 / bytes_per_sec) * PS_PER_SEC).ceil() as u64)
+    }
+
+    /// The gap between successive operations at `ops_per_sec` (e.g. the
+    /// per-message gap implied by a message-rate limit).
+    #[inline]
+    pub fn per_op(ops_per_sec: f64) -> SimTime {
+        debug_assert!(
+            ops_per_sec > 0.0 && ops_per_sec.is_finite(),
+            "invalid rate {ops_per_sec}"
+        );
+        if ops_per_sec.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return SimTime::MAX;
+        }
+        SimTime((PS_PER_SEC / ops_per_sec).ceil() as u64)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime underflow: {self:?} - {rhs:?}");
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Human-readable display with an auto-selected unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps < 1_000 {
+            write!(f, "{ps} ps")
+        } else if ps < 1_000_000 {
+            write!(f, "{:.2} ns", ps as f64 / 1e3)
+        } else if ps < 1_000_000_000 {
+            write!(f, "{:.3} us", ps as f64 / 1e6)
+        } else if ps < 1_000_000_000_000 {
+            write!(f, "{:.3} ms", ps as f64 / 1e9)
+        } else {
+            write!(f, "{:.3} s", ps as f64 / 1e12)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(SimTime::from_ns(1), SimTime::from_ps(1_000));
+        assert_eq!(SimTime::from_us(1), SimTime::from_ns(1_000));
+        assert_eq!(SimTime::from_secs_f64(1e-6), SimTime::from_us(1));
+    }
+
+    #[test]
+    fn bytes_at_rate() {
+        // 1 GiB/s -> 1 byte per ~0.93 ns
+        let t = SimTime::for_bytes(1_000_000_000, 1e9);
+        assert_eq!(t, SimTime::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn per_op_gap() {
+        // 1 Mops/s -> 1 us gap
+        assert_eq!(SimTime::per_op(1e6), SimTime::from_us(1));
+    }
+
+    #[test]
+    fn arithmetic_saturates_up() {
+        assert_eq!(SimTime::MAX + SimTime::from_ns(5), SimTime::MAX);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = SimTime::from_ns(3);
+        let b = SimTime::from_ns(7);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_ps(12)), "12 ps");
+        assert_eq!(format!("{}", SimTime::from_ns(1)), "1.00 ns");
+        assert!(format!("{}", SimTime::from_us(3)).contains("us"));
+    }
+
+    #[test]
+    fn sum_works() {
+        let total: SimTime = (1..=4u64).map(SimTime::from_ns).sum();
+        assert_eq!(total, SimTime::from_ns(10));
+    }
+}

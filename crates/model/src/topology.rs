@@ -1,0 +1,157 @@
+//! Cluster topology: `N` nodes × `P` processes per node.
+//!
+//! The paper's rank layout is *node-major*: the global rank of local rank
+//! `R_l` on node `N_id` is `N_id * P + R_l`. All PiP-MColl algorithms are
+//! expressed in terms of `(node, local)` coordinates, so this module is the
+//! single source of truth for the conversion.
+
+use std::fmt;
+
+/// A global MPI rank (0-based, node-major layout).
+pub type Rank = usize;
+
+/// Cluster shape: `nodes` × `ppn` ranks, node-major.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    nodes: usize,
+    ppn: usize,
+}
+
+impl Topology {
+    /// Create a topology with `nodes` nodes and `ppn` processes per node.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(nodes: usize, ppn: usize) -> Self {
+        assert!(nodes > 0, "topology needs at least one node");
+        assert!(ppn > 0, "topology needs at least one process per node");
+        Topology { nodes, ppn }
+    }
+
+    /// Number of nodes (`N` in the paper).
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Processes per node (`P` in the paper).
+    #[inline]
+    pub fn ppn(&self) -> usize {
+        self.ppn
+    }
+
+    /// Total number of ranks, `N * P`.
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.nodes * self.ppn
+    }
+
+    /// The node id of a global rank.
+    #[inline]
+    pub fn node_of(&self, rank: Rank) -> usize {
+        debug_assert!(rank < self.world_size(), "rank {rank} out of range");
+        rank / self.ppn
+    }
+
+    /// The local rank (`R_l`) of a global rank on its node.
+    #[inline]
+    pub fn local_of(&self, rank: Rank) -> usize {
+        debug_assert!(rank < self.world_size(), "rank {rank} out of range");
+        rank % self.ppn
+    }
+
+    /// The global rank of `(node, local)`.
+    #[inline]
+    pub fn rank_of(&self, node: usize, local: usize) -> Rank {
+        debug_assert!(node < self.nodes, "node {node} out of range");
+        debug_assert!(local < self.ppn, "local {local} out of range");
+        node * self.ppn + local
+    }
+
+    /// The local root of a node (local rank 0), as a global rank.
+    #[inline]
+    pub fn local_root(&self, node: usize) -> Rank {
+        self.rank_of(node, 0)
+    }
+
+    /// Whether `rank` is a local root.
+    #[inline]
+    pub fn is_local_root(&self, rank: Rank) -> bool {
+        self.local_of(rank) == 0
+    }
+
+    /// Iterator over all global ranks on `node`.
+    pub fn ranks_on_node(&self, node: usize) -> impl Iterator<Item = Rank> + '_ {
+        let base = node * self.ppn;
+        (0..self.ppn).map(move |l| base + l)
+    }
+
+    /// Iterator over all global ranks.
+    pub fn all_ranks(&self) -> impl Iterator<Item = Rank> {
+        0..self.world_size()
+    }
+
+    /// Whether two ranks live on the same node (intranode communication).
+    #[inline]
+    pub fn same_node(&self, a: Rank, b: Rank) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+impl fmt::Debug for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Topology({} nodes x {} ppn)", self.nodes, self.ppn)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.nodes, self.ppn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_major_round_trip() {
+        let t = Topology::new(4, 3);
+        for node in 0..4 {
+            for local in 0..3 {
+                let r = t.rank_of(node, local);
+                assert_eq!(t.node_of(r), node);
+                assert_eq!(t.local_of(r), local);
+            }
+        }
+    }
+
+    #[test]
+    fn world_size_and_roots() {
+        let t = Topology::new(128, 18);
+        assert_eq!(t.world_size(), 2304);
+        assert_eq!(t.local_root(5), 90);
+        assert!(t.is_local_root(90));
+        assert!(!t.is_local_root(91));
+    }
+
+    #[test]
+    fn ranks_on_node_contiguous() {
+        let t = Topology::new(3, 4);
+        let v: Vec<_> = t.ranks_on_node(1).collect();
+        assert_eq!(v, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn same_node_detection() {
+        let t = Topology::new(2, 2);
+        assert!(t.same_node(0, 1));
+        assert!(!t.same_node(1, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_nodes_rejected() {
+        let _ = Topology::new(0, 1);
+    }
+}

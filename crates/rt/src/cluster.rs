@@ -1,0 +1,318 @@
+//! Cluster orchestration: spawn one thread per rank, run an algorithm
+//! (optionally many timed iterations), collect final buffers.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use pipmcoll_model::Topology;
+use pipmcoll_sched::BufSizes;
+
+use crate::comm::RtComm;
+use crate::shared::{Board, BufKey, ChannelTable, FlagSet, SharedBuf};
+
+/// Everything the rank threads share — the "node address space".
+pub struct ClusterShared {
+    /// Cluster shape.
+    pub topo: Topology,
+    /// Per-rank user send buffers.
+    send_arc: Vec<Arc<SharedBuf>>,
+    /// Per-rank user receive buffers.
+    recv_arc: Vec<Arc<SharedBuf>>,
+    /// Per-rank scratch buffers (append-only per iteration, reused across
+    /// iterations).
+    temps: Vec<Mutex<Vec<Arc<SharedBuf>>>>,
+    /// Per-rank address boards.
+    pub boards: Vec<Board>,
+    /// Per-rank flag sets.
+    pub flags: Vec<FlagSet>,
+    /// Point-to-point channels.
+    pub chans: ChannelTable,
+    /// Per-node barriers.
+    pub node_barriers: Vec<Barrier>,
+    /// World barrier for iteration framing.
+    pub world_barrier: Barrier,
+}
+
+impl ClusterShared {
+    fn new(
+        topo: Topology,
+        sizes: &dyn Fn(usize) -> BufSizes,
+        init: &dyn Fn(usize) -> Vec<u8>,
+    ) -> Self {
+        let world = topo.world_size();
+        let mut send_arc = Vec::with_capacity(world);
+        let mut recv_arc = Vec::with_capacity(world);
+        for r in 0..world {
+            let sz = sizes(r);
+            let send = init(r);
+            assert_eq!(
+                send.len(),
+                sz.send,
+                "rank {r}: send init produced {} bytes, declared {}",
+                send.len(),
+                sz.send
+            );
+            send_arc.push(Arc::new(SharedBuf::from_vec(send)));
+            recv_arc.push(Arc::new(SharedBuf::new(sz.recv)));
+        }
+        ClusterShared {
+            topo,
+            send_arc,
+            recv_arc,
+            temps: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
+            boards: (0..world).map(|_| Board::default()).collect(),
+            flags: (0..world).map(|_| FlagSet::default()).collect(),
+            chans: ChannelTable::default(),
+            node_barriers: (0..topo.nodes())
+                .map(|_| Barrier::new(topo.ppn()))
+                .collect(),
+            world_barrier: Barrier::new(world),
+        }
+    }
+
+    /// Look up a buffer by key (temps via `Arc` so the lock is short).
+    pub fn buf_of(&self, key: BufKey) -> Arc<SharedBuf> {
+        match key {
+            BufKey::Send(r) => Arc::clone(&self.send_arc[r]),
+            BufKey::Recv(r) => Arc::clone(&self.recv_arc[r]),
+            BufKey::Temp(r, i) => {
+                let g = self.temps[r].lock();
+                Arc::clone(
+                    g.get(i)
+                        .unwrap_or_else(|| panic!("rank {r} temp {i} not allocated")),
+                )
+            }
+        }
+    }
+
+    /// Ensure rank `r`'s temp `idx` exists with `bytes` bytes. Iterations
+    /// re-allocate deterministically, so an existing temp of the right size
+    /// is reused.
+    pub fn ensure_temp(&self, r: usize, idx: usize, bytes: usize) {
+        let mut g = self.temps[r].lock();
+        assert!(idx <= g.len(), "temps must be allocated in order");
+        if idx == g.len() {
+            g.push(Arc::new(SharedBuf::new(bytes)));
+        } else {
+            assert_eq!(
+                g[idx].len(),
+                bytes,
+                "iteration re-allocated temp {idx} with a different size"
+            );
+        }
+    }
+
+    /// Reset mutable cross-iteration state (boards, flags, channels).
+    fn reset(&self) {
+        for b in &self.boards {
+            b.clear();
+        }
+        for f in &self.flags {
+            f.clear();
+        }
+        self.chans.clear();
+    }
+}
+
+/// Result of a cluster run.
+pub struct RtResult {
+    /// Final receive-buffer contents, indexed by rank.
+    pub recv: Vec<Vec<u8>>,
+    /// Wall-clock time across all iterations (excluding thread spawn).
+    pub elapsed: Duration,
+    /// Number of timed iterations.
+    pub iters: usize,
+}
+
+impl RtResult {
+    /// Mean wall-clock time per iteration.
+    pub fn per_iter(&self) -> Duration {
+        self.elapsed / self.iters.max(1) as u32
+    }
+}
+
+/// Run `algo` once per rank on real threads. Buffer sizes and send-buffer
+/// contents are supplied per rank, exactly like the dataflow interpreter's
+/// API — so the two backends can be cross-validated on identical inputs.
+pub fn run_cluster<S, I, F>(topo: Topology, sizes: S, init: I, algo: F) -> RtResult
+where
+    S: Fn(usize) -> BufSizes + Sync,
+    I: Fn(usize) -> Vec<u8> + Sync,
+    F: Fn(&mut RtComm) + Sync,
+{
+    run_cluster_timed(topo, sizes, init, 1, algo)
+}
+
+/// Run `iters` timed iterations of `algo` (shared state is reset between
+/// iterations; scratch buffers are reused). Used by the Criterion benches.
+pub fn run_cluster_timed<S, I, F>(
+    topo: Topology,
+    sizes: S,
+    init: I,
+    iters: usize,
+    algo: F,
+) -> RtResult
+where
+    S: Fn(usize) -> BufSizes + Sync,
+    I: Fn(usize) -> Vec<u8> + Sync,
+    F: Fn(&mut RtComm) + Sync,
+{
+    assert!(iters >= 1);
+    let shared = Arc::new(ClusterShared::new(topo, &sizes, &init));
+    let elapsed = Mutex::new(Duration::ZERO);
+    let world = topo.world_size();
+    std::thread::scope(|scope| {
+        for rank in 0..world {
+            let shared = Arc::clone(&shared);
+            let sizes = &sizes;
+            let algo = &algo;
+            let elapsed = &elapsed;
+            scope.spawn(move || {
+                let mut comm = RtComm::new(Arc::clone(&shared), rank, sizes(rank));
+                shared.world_barrier.wait();
+                let t0 = Instant::now();
+                for it in 0..iters {
+                    comm.reset_iter();
+                    algo(&mut comm);
+                    shared.world_barrier.wait();
+                    if it + 1 < iters {
+                        if rank == 0 {
+                            shared.reset();
+                        }
+                        shared.world_barrier.wait();
+                    }
+                }
+                if rank == 0 {
+                    *elapsed.lock() = t0.elapsed();
+                }
+            });
+        }
+    });
+    let shared = Arc::try_unwrap(shared)
+        .ok()
+        .expect("all worker threads have exited");
+    let recv = shared
+        .recv_arc
+        .into_iter()
+        .map(|a| {
+            Arc::try_unwrap(a)
+                .ok()
+                .expect("no outstanding buffer references")
+                .into_vec()
+        })
+        .collect();
+    RtResult {
+        recv,
+        elapsed: elapsed.into_inner(),
+        iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipmcoll_sched::verify::pattern;
+    use pipmcoll_sched::{BufId, Comm, Region, RemoteRegion};
+
+    #[test]
+    fn pt2pt_roundtrip() {
+        let topo = Topology::new(2, 1);
+        let res = run_cluster(
+            topo,
+            |_| BufSizes::new(8, 8),
+            |r| pattern(r, 8),
+            |c| {
+                if c.rank() == 0 {
+                    c.send(1, 0, Region::new(BufId::Send, 0, 8));
+                } else {
+                    c.recv(0, 0, Region::new(BufId::Recv, 0, 8));
+                }
+            },
+        );
+        assert_eq!(res.recv[1], pattern(0, 8));
+    }
+
+    #[test]
+    fn shared_copy_and_flags() {
+        let topo = Topology::new(1, 3);
+        let res = run_cluster(
+            topo,
+            |_| BufSizes::new(16, 16),
+            |r| pattern(r, 16),
+            |c| {
+                let l = c.local();
+                if l == 0 {
+                    c.post_addr(0, Region::new(BufId::Send, 0, 16));
+                    c.wait_flag(0, 2);
+                } else {
+                    c.copy_in(
+                        RemoteRegion::new(c.local_root(), 0, 0, 16),
+                        Region::new(BufId::Recv, 0, 16),
+                    );
+                    c.signal(c.local_root(), 0);
+                }
+            },
+        );
+        assert_eq!(res.recv[1], pattern(0, 16));
+        assert_eq!(res.recv[2], pattern(0, 16));
+    }
+
+    #[test]
+    fn iterations_reset_state() {
+        let topo = Topology::new(1, 2);
+        let res = run_cluster_timed(
+            topo,
+            |_| BufSizes::new(4, 4),
+            |r| pattern(r, 4),
+            5,
+            |c| {
+                if c.local() == 0 {
+                    c.post_addr(0, Region::new(BufId::Send, 0, 4));
+                    c.wait_flag(0, 1); // would hang if flags weren't reset
+                } else {
+                    c.copy_in(
+                        RemoteRegion::new(c.local_root(), 0, 0, 4),
+                        Region::new(BufId::Recv, 0, 4),
+                    );
+                    c.signal(c.local_root(), 0);
+                }
+            },
+        );
+        assert_eq!(res.iters, 5);
+        assert_eq!(res.recv[1], pattern(0, 4));
+    }
+
+    #[test]
+    fn node_barriers_are_per_node() {
+        let topo = Topology::new(2, 2);
+        // Would deadlock if barriers spanned the world.
+        let res = run_cluster(
+            topo,
+            |_| BufSizes::new(0, 0),
+            |_| Vec::new(),
+            |c| {
+                c.node_barrier();
+                c.node_barrier();
+            },
+        );
+        assert_eq!(res.recv.len(), 4);
+    }
+
+    #[test]
+    fn temps_reused_across_iterations() {
+        let topo = Topology::new(1, 1);
+        let res = run_cluster_timed(
+            topo,
+            |_| BufSizes::new(8, 8),
+            |_| vec![7u8; 8],
+            3,
+            |c| {
+                let t = c.alloc_temp(8);
+                c.local_copy(Region::new(BufId::Send, 0, 8), Region::new(t, 0, 8));
+                c.local_copy(Region::new(t, 0, 8), Region::new(BufId::Recv, 0, 8));
+            },
+        );
+        assert_eq!(res.recv[0], vec![7u8; 8]);
+    }
+}

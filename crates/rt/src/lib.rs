@@ -1,0 +1,34 @@
+//! # pipmcoll-rt — thread-based Process-in-Process runtime
+//!
+//! The substitution for PiP itself (DESIGN.md §2): each MPI "process" is an
+//! OS thread with its own rank-private buffers, all living in one address
+//! space — which is precisely the memory model PiP gives real processes.
+//! Data movement is genuine (`memcpy` between rank-private buffers),
+//! synchronisation is genuine (userspace flags, condvars, barriers), so
+//! wall-clock measurements of the intranode collective paths are real
+//! measurements of the PiP code paths, not simulations.
+//!
+//! The runtime implements the same [`pipmcoll_sched::Comm`] trait as the
+//! trace recorder, so every algorithm in `pipmcoll-core` runs here
+//! unchanged. "Internode" point-to-point is carried over in-process
+//! channels (there is no real fabric in this environment); the runtime is
+//! therefore used for *correctness cross-validation* at small scale and for
+//! *intranode wall-clock benchmarking*, while the discrete-event engine
+//! covers the 128-node scale.
+//!
+//! ## Safety
+//!
+//! Peer-buffer access uses raw pointers inside [`shared::SharedBuf`] —
+//! exactly the PiP model. The safety argument is the PiP application's
+//! argument: accesses are ordered by the algorithm's posts, flags and
+//! barriers (all lock/condvar-based here, so they establish happens-before
+//! edges), and every algorithm's access pattern is verified race-free by
+//! the dataflow interpreter's multi-interleaving check before it is run
+//! here.
+
+pub mod cluster;
+pub mod comm;
+pub mod shared;
+
+pub use cluster::{run_cluster, run_cluster_timed, RtResult};
+pub use comm::RtComm;

@@ -1,0 +1,341 @@
+//! Shared-address-space primitives: buffers peers may touch, the address
+//! board, flag sets and channel tables.
+
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use pipmcoll_model::dtype::reduce_into;
+use pipmcoll_model::{Datatype, ReduceOp};
+
+/// A fixed-size byte buffer other ranks may read/write, PiP-style.
+///
+/// # Safety contract
+/// Concurrent access must be ordered by the runtime's posts/flags/barriers
+/// (which are lock-based and so create happens-before edges). Algorithms
+/// are verified race-free by the dataflow interpreter before running here.
+pub struct SharedBuf {
+    data: UnsafeCell<Box<[u8]>>,
+}
+
+// SAFETY: see the type-level contract; all synchronisation is external and
+// verified by the schedule-level race checker.
+unsafe impl Sync for SharedBuf {}
+unsafe impl Send for SharedBuf {}
+
+impl SharedBuf {
+    /// A zeroed buffer of `len` bytes.
+    pub fn new(len: usize) -> Self {
+        SharedBuf {
+            data: UnsafeCell::new(vec![0u8; len].into_boxed_slice()),
+        }
+    }
+
+    /// A buffer initialised with `content`.
+    pub fn from_vec(content: Vec<u8>) -> Self {
+        SharedBuf {
+            data: UnsafeCell::new(content.into_boxed_slice()),
+        }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        // SAFETY: the box's length is immutable after construction.
+        unsafe { (&*self.data.get()).len() }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn check(&self, offset: usize, len: usize) {
+        assert!(
+            offset + len <= self.len(),
+            "shared access [{offset}, {}) exceeds buffer of {}",
+            offset + len,
+            self.len()
+        );
+    }
+
+    /// Copy `src` into the buffer at `offset`.
+    pub fn write(&self, offset: usize, src: &[u8]) {
+        self.check(offset, src.len());
+        // SAFETY: bounds checked; ordering per type contract.
+        unsafe {
+            let dst = (*self.data.get()).as_mut_ptr().add(offset);
+            std::ptr::copy_nonoverlapping(src.as_ptr(), dst, src.len());
+        }
+    }
+
+    /// Copy `len` bytes at `offset` into `dst`.
+    pub fn read(&self, offset: usize, dst: &mut [u8]) {
+        self.check(offset, dst.len());
+        // SAFETY: bounds checked; ordering per type contract.
+        unsafe {
+            let src = (*self.data.get()).as_ptr().add(offset);
+            std::ptr::copy_nonoverlapping(src, dst.as_mut_ptr(), dst.len());
+        }
+    }
+
+    /// Copy out as a fresh vector.
+    pub fn read_vec(&self, offset: usize, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.read(offset, &mut v);
+        v
+    }
+
+    /// Direct buffer-to-buffer copy (the single-copy PiP fast path).
+    pub fn copy_between(src: &SharedBuf, soff: usize, dst: &SharedBuf, doff: usize, len: usize) {
+        src.check(soff, len);
+        dst.check(doff, len);
+        // SAFETY: bounds checked; distinct buffers or non-overlapping
+        // ranges per the algorithm's region discipline.
+        unsafe {
+            let s = (*src.data.get()).as_ptr().add(soff);
+            let d = (*dst.data.get()).as_mut_ptr().add(doff);
+            std::ptr::copy(s, d, len);
+        }
+    }
+
+    /// Elementwise-reduce `len` bytes of `src` into this buffer at `offset`.
+    pub fn reduce_from(
+        &self,
+        offset: usize,
+        src: &SharedBuf,
+        soff: usize,
+        len: usize,
+        op: ReduceOp,
+        dt: Datatype,
+    ) {
+        self.check(offset, len);
+        src.check(soff, len);
+        // SAFETY: bounds checked; ordering per type contract. The source is
+        // snapshotted to keep the reduce kernel on plain slices.
+        let tmp = src.read_vec(soff, len);
+        unsafe {
+            let acc = &mut (&mut *self.data.get())[offset..offset + len];
+            reduce_into(op, dt, acc, &tmp);
+        }
+    }
+
+    /// Take the final contents (consumes the buffer).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data.into_inner().into_vec()
+    }
+}
+
+/// Which buffer of which rank a posted region points at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BufKey {
+    /// Rank `r`'s user send buffer.
+    Send(usize),
+    /// Rank `r`'s user receive buffer.
+    Recv(usize),
+    /// Rank `r`'s scratch buffer `i`.
+    Temp(usize, usize),
+}
+
+/// A posted address: buffer identity plus the posted window.
+#[derive(Clone, Copy, Debug)]
+pub struct Posted {
+    /// Which buffer.
+    pub key: BufKey,
+    /// Posted window start within the buffer.
+    pub offset: usize,
+    /// Posted window length.
+    pub len: usize,
+}
+
+/// One rank's address board: slot → posted region, with blocking lookup.
+#[derive(Default)]
+pub struct Board {
+    posted: Mutex<HashMap<u16, Posted>>,
+    cv: Condvar,
+}
+
+impl Board {
+    /// Publish `p` under `slot` (a store + release in real PiP).
+    pub fn post(&self, slot: u16, p: Posted) {
+        let mut g = self.posted.lock();
+        g.insert(slot, p);
+        self.cv.notify_all();
+    }
+
+    /// Blocking lookup of `slot`.
+    pub fn fetch(&self, slot: u16) -> Posted {
+        let mut g = self.posted.lock();
+        loop {
+            if let Some(p) = g.get(&slot) {
+                return *p;
+            }
+            self.cv.wait(&mut g);
+        }
+    }
+
+    /// Reset between benchmark iterations.
+    pub fn clear(&self) {
+        self.posted.lock().clear();
+    }
+}
+
+/// One rank's notification flags: counter per flag id, with blocking wait.
+#[derive(Default)]
+pub struct FlagSet {
+    counts: Mutex<HashMap<u16, u32>>,
+    cv: Condvar,
+}
+
+impl FlagSet {
+    /// Increment `flag` (a userspace atomic in real PiP).
+    pub fn signal(&self, flag: u16) {
+        let mut g = self.counts.lock();
+        *g.entry(flag).or_default() += 1;
+        self.cv.notify_all();
+    }
+
+    /// Block until `flag` has been signalled at least `count` times.
+    pub fn wait(&self, flag: u16, count: u32) {
+        let mut g = self.counts.lock();
+        while g.get(&flag).copied().unwrap_or(0) < count {
+            self.cv.wait(&mut g);
+        }
+    }
+
+    /// Reset between benchmark iterations.
+    pub fn clear(&self) {
+        self.counts.lock().clear();
+    }
+}
+
+/// One channel's endpoints.
+type ChanPair = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
+
+/// Lazily-created FIFO channels for point-to-point messages.
+#[derive(Default)]
+pub struct ChannelTable {
+    chans: Mutex<HashMap<(usize, usize, u32), ChanPair>>,
+}
+
+impl ChannelTable {
+    fn pair(&self, key: (usize, usize, u32)) -> ChanPair {
+        let mut g = self.chans.lock();
+        let (s, r) = g.entry(key).or_insert_with(unbounded);
+        (s.clone(), r.clone())
+    }
+
+    /// Send `payload` on channel `key`.
+    pub fn send(&self, key: (usize, usize, u32), payload: Vec<u8>) {
+        let (s, _) = self.pair(key);
+        s.send(payload).expect("channel never closes during a run");
+    }
+
+    /// Blocking receive of the next message on channel `key`.
+    pub fn recv(&self, key: (usize, usize, u32)) -> Vec<u8> {
+        let (_, r) = self.pair(key);
+        r.recv().expect("channel never closes during a run")
+    }
+
+    /// Reset between benchmark iterations (drains stale messages).
+    pub fn clear(&self) {
+        self.chans.lock().clear();
+    }
+}
+
+/// One rank's buffers, visible to the whole node (address space).
+pub struct RankBufs {
+    /// User send buffer.
+    pub send: SharedBuf,
+    /// User receive buffer.
+    pub recv: SharedBuf,
+    /// Scratch buffers, appended as the algorithm allocates them. `Arc` so
+    /// peers can hold a reference without the lock.
+    pub temps: Mutex<Vec<Arc<SharedBuf>>>,
+}
+
+impl RankBufs {
+    /// Fresh buffers with the given user-buffer contents/sizes.
+    pub fn new(send: Vec<u8>, recv_len: usize) -> Self {
+        RankBufs {
+            send: SharedBuf::from_vec(send),
+            recv: SharedBuf::new(recv_len),
+            temps: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let b = SharedBuf::new(16);
+        b.write(4, &[1, 2, 3]);
+        assert_eq!(b.read_vec(4, 3), vec![1, 2, 3]);
+        assert_eq!(b.read_vec(0, 2), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer")]
+    fn oob_write_panics() {
+        SharedBuf::new(4).write(2, &[0; 4]);
+    }
+
+    #[test]
+    fn copy_between_buffers() {
+        let a = SharedBuf::from_vec(vec![9u8; 8]);
+        let b = SharedBuf::new(8);
+        SharedBuf::copy_between(&a, 2, &b, 4, 4);
+        assert_eq!(b.read_vec(0, 8), vec![0, 0, 0, 0, 9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn reduce_from_sums_doubles() {
+        use pipmcoll_model::dtype::doubles_to_bytes;
+        let acc = SharedBuf::from_vec(doubles_to_bytes(&[1.0, 2.0]));
+        let src = SharedBuf::from_vec(doubles_to_bytes(&[10.0, 20.0]));
+        acc.reduce_from(0, &src, 0, 16, ReduceOp::Sum, Datatype::Double);
+        assert_eq!(
+            pipmcoll_model::dtype::bytes_to_doubles(&acc.read_vec(0, 16)),
+            vec![11.0, 22.0]
+        );
+    }
+
+    #[test]
+    fn board_blocks_until_posted() {
+        let board = Arc::new(Board::default());
+        let b2 = board.clone();
+        let t = std::thread::spawn(move || b2.fetch(3));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        board.post(
+            3,
+            Posted {
+                key: BufKey::Send(0),
+                offset: 0,
+                len: 8,
+            },
+        );
+        let p = t.join().unwrap();
+        assert_eq!(p.key, BufKey::Send(0));
+    }
+
+    #[test]
+    fn flags_count_cumulatively() {
+        let f = FlagSet::default();
+        f.signal(1);
+        f.signal(1);
+        f.wait(1, 2); // returns immediately
+    }
+
+    #[test]
+    fn channels_fifo() {
+        let t = ChannelTable::default();
+        t.send((0, 1, 7), vec![1]);
+        t.send((0, 1, 7), vec![2]);
+        assert_eq!(t.recv((0, 1, 7)), vec![1]);
+        assert_eq!(t.recv((0, 1, 7)), vec![2]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Identifiers and buffer-region types used throughout the schedule IR.
+
+use std::fmt;
+
+/// Message tag, matched exactly (no wildcards — collectives never need them).
+pub type Tag = u32;
+
+/// Address-board slot index. A rank publishes the address of one of its
+/// buffers under a slot; node-local peers reference it by `(rank, slot)`.
+/// This mirrors PiP's "post the buffer address" step in §III.
+pub type Slot = u16;
+
+/// Intranode notification flag index. Each rank owns an array of counters;
+/// peers increment them with `Signal`, the owner blocks with `WaitFlag`.
+pub type FlagId = u16;
+
+/// Handle for a pending nonblocking send/receive, returned by
+/// `Comm::isend`/`Comm::irecv` and consumed by `Comm::wait`. The payload is
+/// the index of the issuing op within the rank's program, which both
+/// interpreters use to locate the request.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Req(pub usize);
+
+/// Names one of a rank's private buffers.
+///
+/// Every rank taking part in a collective owns a user send buffer, a user
+/// receive/destination buffer, and any number of algorithm-allocated
+/// scratch buffers. Using symbolic names (rather than raw addresses) lets
+/// the same recorded schedule drive the cost simulator, the dataflow
+/// interpreter and the thread runtime.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BufId {
+    /// The user-provided send buffer (`sendbuf` in MPI).
+    Send,
+    /// The user-provided receive/destination buffer (`recvbuf`).
+    Recv,
+    /// Algorithm scratch buffer `i`, sized via `Comm::alloc_temp`.
+    Temp(u16),
+}
+
+impl fmt::Display for BufId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufId::Send => write!(f, "send"),
+            BufId::Recv => write!(f, "recv"),
+            BufId::Temp(i) => write!(f, "tmp{i}"),
+        }
+    }
+}
+
+/// A byte range within one of the *executing* rank's own buffers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Region {
+    /// Which buffer.
+    pub buf: BufId,
+    /// Byte offset into the buffer.
+    pub offset: usize,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+impl Region {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(buf: BufId, offset: usize, len: usize) -> Self {
+        Region { buf, offset, len }
+    }
+
+    /// The whole of `buf` up to `len` bytes.
+    #[inline]
+    pub fn whole(buf: BufId, len: usize) -> Self {
+        Region { buf, offset: 0, len }
+    }
+
+    /// One byte past the end of the region.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+
+    /// A sub-range of this region (offset relative to the region start).
+    ///
+    /// # Panics
+    /// Panics if the sub-range does not fit.
+    pub fn sub(&self, offset: usize, len: usize) -> Region {
+        assert!(offset + len <= self.len, "sub-region out of bounds");
+        Region {
+            buf: self.buf,
+            offset: self.offset + offset,
+            len,
+        }
+    }
+
+    /// Whether two regions on the same buffer overlap.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.buf == other.buf && self.offset < other.end() && other.offset < self.end()
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}..{}]", self.buf, self.offset, self.end())
+    }
+}
+
+/// A byte range within a *peer* rank's buffer, named indirectly through the
+/// address board: `(rank, slot)` identifies the posted buffer, and
+/// `offset/len` select bytes *relative to the start of the posted region*.
+///
+/// In the PiP substitution this is a raw pointer into the peer's private
+/// memory; in the simulator it is resolved symbolically when the schedule is
+/// interpreted. Remote regions are only legal between ranks on the same
+/// node (validated by [`crate::schedule::Schedule::validate`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RemoteRegion {
+    /// The owning (posting) rank.
+    pub rank: usize,
+    /// The address-board slot the owner posted.
+    pub slot: Slot,
+    /// Byte offset relative to the posted region's start.
+    pub offset: usize,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+impl RemoteRegion {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(rank: usize, slot: Slot, offset: usize, len: usize) -> Self {
+        RemoteRegion { rank, slot, offset, len }
+    }
+}
+
+impl fmt::Display for RemoteRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "r{}:slot{}[{}..{}]",
+            self.rank,
+            self.slot,
+            self.offset,
+            self.offset + self.len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_sub_and_end() {
+        let r = Region::new(BufId::Recv, 100, 50);
+        assert_eq!(r.end(), 150);
+        let s = r.sub(10, 20);
+        assert_eq!(s.offset, 110);
+        assert_eq!(s.len, 20);
+        assert_eq!(s.buf, BufId::Recv);
+    }
+
+    #[test]
+    #[should_panic]
+    fn region_sub_oob() {
+        Region::new(BufId::Send, 0, 10).sub(5, 6);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Region::new(BufId::Recv, 0, 10);
+        let b = Region::new(BufId::Recv, 9, 5);
+        let c = Region::new(BufId::Recv, 10, 5);
+        let d = Region::new(BufId::Send, 0, 10);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(!a.overlaps(&d));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Region::new(BufId::Temp(3), 4, 8).to_string(), "tmp3[4..12]");
+        assert_eq!(RemoteRegion::new(7, 1, 0, 4).to_string(), "r7:slot1[0..4]");
+    }
+}

@@ -1,0 +1,35 @@
+//! # pipmcoll-sched — communication-schedule IR and interpreters
+//!
+//! PiP-MColl's collective algorithms are *data-independent*: given the
+//! topology, message size and algorithm, the sequence of operations each
+//! rank performs is fixed. This crate exploits that to run the **same
+//! algorithm source code** on two backends:
+//!
+//! * **Recording** ([`trace::record`]): each rank's program is executed once
+//!   against a [`trace::TraceComm`], producing a straight-line per-rank op
+//!   list — a [`schedule::Schedule`]. The discrete-event engine
+//!   (`pipmcoll-engine`) replays that schedule over a machine cost model to
+//!   obtain virtual runtimes (the paper's figures).
+//! * **Direct execution**: the thread runtime (`pipmcoll-rt`) implements the
+//!   same [`comm::Comm`] trait with real threads sharing an address space —
+//!   the Process-in-Process substitution — for genuine wall-clock
+//!   measurements of the intranode paths.
+//!
+//! The [`dataflow`] interpreter executes a recorded schedule on *real
+//! buffers*, providing ground truth for correctness: every collective in
+//! `pipmcoll-core` is validated against MPI semantics through it, and
+//! determinism under different interleavings doubles as a race check.
+
+pub mod comm;
+pub mod dataflow;
+pub mod ids;
+pub mod op;
+pub mod schedule;
+pub mod trace;
+pub mod verify;
+
+pub use comm::{BufSizes, Comm};
+pub use ids::{BufId, FlagId, Region, RemoteRegion, Req, Slot, Tag};
+pub use op::Op;
+pub use schedule::{RankProgram, Schedule, ValidationError};
+pub use trace::{record, record_with_sizes, TraceComm};

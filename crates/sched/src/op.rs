@@ -1,0 +1,152 @@
+//! The schedule IR: one straight-line list of `Op`s per rank.
+
+use pipmcoll_model::{Datatype, ReduceOp};
+
+use crate::ids::{FlagId, Region, RemoteRegion, Req, Slot, Tag};
+
+/// One primitive operation in a rank's program.
+///
+/// The set is deliberately small: everything a PiP-MColl collective does is
+/// either internode point-to-point (`ISend`/`IRecv`/`Wait`), a PiP
+/// shared-address-space access (`PostAddr` + `CopyIn`/`CopyOut`/`ReduceIn`),
+/// node-local synchronisation (`Signal`/`WaitFlag`/`NodeBarrier`), or local
+/// work (`LocalCopy`/`LocalReduce`/`Compute`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Nonblocking network send of `src` to rank `dst` with `tag`.
+    ISend { dst: usize, tag: Tag, src: Region },
+    /// Nonblocking network receive from rank `src` with `tag` into `dst`.
+    IRecv { src: usize, tag: Tag, dst: Region },
+    /// Multi-object send: transmit directly *from a node-local peer's
+    /// posted buffer* — the defining PiP-MColl operation (a process sends
+    /// data that lives in the local root's address space, with no staging
+    /// copy). Blocks until the peer has posted the slot.
+    ISendShared { dst: usize, tag: Tag, src: RemoteRegion },
+    /// Multi-object receive: deliver directly *into a node-local peer's
+    /// posted buffer* (e.g. P ranks concurrently filling the local root's
+    /// workspace). Blocks until the peer has posted the slot.
+    IRecvShared { src: usize, tag: Tag, dst: RemoteRegion },
+    /// Block until the request issued at op index `req.0` completes.
+    Wait { req: Req },
+    /// Publish `region`'s address on this rank's board under `slot`
+    /// (§III "posts the address to all processes on the node").
+    PostAddr { slot: Slot, region: Region },
+    /// Pull bytes from a peer's posted buffer into an own buffer.
+    /// Blocks until the peer has posted the slot.
+    CopyIn { from: RemoteRegion, to: Region },
+    /// Push bytes from an own buffer into a peer's posted buffer.
+    /// Blocks until the peer has posted the slot.
+    CopyOut { from: Region, to: RemoteRegion },
+    /// Pull bytes from a peer's posted buffer and reduce them elementwise
+    /// into an own buffer: `to = op(to, *from)`.
+    ReduceIn {
+        from: RemoteRegion,
+        to: Region,
+        op: ReduceOp,
+        dt: Datatype,
+    },
+    /// Copy within this rank's own buffers.
+    LocalCopy { from: Region, to: Region },
+    /// Reduce within this rank's own buffers: `to = op(to, from)`.
+    LocalReduce {
+        from: Region,
+        to: Region,
+        op: ReduceOp,
+        dt: Datatype,
+    },
+    /// Increment flag `flag` on node-local peer `rank` (a userspace atomic
+    /// in PiP; no syscall).
+    Signal { rank: usize, flag: FlagId },
+    /// Block until this rank's own `flag` counter reaches `count`
+    /// (cumulative over the whole program).
+    WaitFlag { flag: FlagId, count: u32 },
+    /// Barrier among all ranks of this rank's node.
+    NodeBarrier,
+    /// Local CPU work proportional to `bytes` (used to model computation
+    /// that is neither a copy nor a reduction).
+    Compute { bytes: u64 },
+}
+
+impl Op {
+    /// Whether this op can block waiting on another rank.
+    pub fn is_blocking(&self) -> bool {
+        matches!(
+            self,
+            Op::Wait { .. }
+                | Op::ISendShared { .. }
+                | Op::IRecvShared { .. }
+                | Op::CopyIn { .. }
+                | Op::CopyOut { .. }
+                | Op::ReduceIn { .. }
+                | Op::WaitFlag { .. }
+                | Op::NodeBarrier
+        )
+    }
+
+    /// Payload bytes this op moves (0 for pure synchronisation).
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Op::ISend { src, .. } => src.len as u64,
+            Op::IRecv { dst, .. } => dst.len as u64,
+            Op::ISendShared { src, .. } => src.len as u64,
+            Op::IRecvShared { dst, .. } => dst.len as u64,
+            Op::CopyIn { to, .. } => to.len as u64,
+            Op::CopyOut { from, .. } => from.len as u64,
+            Op::ReduceIn { to, .. } => to.len as u64,
+            Op::LocalCopy { from, .. } => from.len as u64,
+            Op::LocalReduce { from, .. } => from.len as u64,
+            Op::Compute { bytes } => *bytes,
+            _ => 0,
+        }
+    }
+
+    /// Short mnemonic for diagnostics.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::ISend { .. } => "isend",
+            Op::IRecv { .. } => "irecv",
+            Op::ISendShared { .. } => "isend_sh",
+            Op::IRecvShared { .. } => "irecv_sh",
+            Op::Wait { .. } => "wait",
+            Op::PostAddr { .. } => "post",
+            Op::CopyIn { .. } => "copyin",
+            Op::CopyOut { .. } => "copyout",
+            Op::ReduceIn { .. } => "reducein",
+            Op::LocalCopy { .. } => "lcopy",
+            Op::LocalReduce { .. } => "lreduce",
+            Op::Signal { .. } => "signal",
+            Op::WaitFlag { .. } => "waitflag",
+            Op::NodeBarrier => "barrier",
+            Op::Compute { .. } => "compute",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::BufId;
+
+    #[test]
+    fn blocking_classification() {
+        assert!(Op::NodeBarrier.is_blocking());
+        assert!(Op::Wait { req: Req(0) }.is_blocking());
+        assert!(!Op::Compute { bytes: 8 }.is_blocking());
+        assert!(!Op::PostAddr {
+            slot: 0,
+            region: Region::new(BufId::Send, 0, 4)
+        }
+        .is_blocking());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let r = Region::new(BufId::Send, 0, 128);
+        assert_eq!(
+            Op::ISend { dst: 1, tag: 0, src: r }.bytes(),
+            128
+        );
+        assert_eq!(Op::NodeBarrier.bytes(), 0);
+        assert_eq!(Op::Compute { bytes: 64 }.bytes(), 64);
+    }
+}

@@ -1,0 +1,300 @@
+//! Trace recording: run an algorithm once per rank against a `TraceComm`
+//! to obtain a [`Schedule`].
+
+use pipmcoll_model::{Datatype, ReduceOp, Topology};
+
+use crate::comm::{BufSizes, Comm};
+use crate::ids::{BufId, FlagId, Region, RemoteRegion, Req, Slot, Tag};
+use crate::op::Op;
+use crate::schedule::{RankProgram, Schedule};
+
+/// A `Comm` implementation that records every call as an [`Op`].
+///
+/// Blocking calls return immediately during recording — the blocking
+/// semantics are realised later by whichever interpreter replays the
+/// schedule. This is sound because collective control flow never depends on
+/// transferred data (asserted by the determinism checks in `dataflow`).
+pub struct TraceComm {
+    topo: Topology,
+    rank: usize,
+    sizes: BufSizes,
+    ops: Vec<Op>,
+    temps: Vec<usize>,
+}
+
+impl TraceComm {
+    /// Start recording for `rank`.
+    pub fn new(topo: Topology, rank: usize, sizes: BufSizes) -> Self {
+        assert!(rank < topo.world_size(), "rank {rank} out of range");
+        TraceComm {
+            topo,
+            rank,
+            sizes,
+            ops: Vec::new(),
+            temps: Vec::new(),
+        }
+    }
+
+    /// Finish recording, yielding this rank's program.
+    pub fn finish(self) -> RankProgram {
+        RankProgram {
+            sizes: self.sizes,
+            temps: self.temps,
+            ops: self.ops,
+        }
+    }
+
+    fn push(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    fn check_local(&self, region: &Region) {
+        let cap = match region.buf {
+            BufId::Send => self.sizes.send,
+            BufId::Recv => self.sizes.recv,
+            BufId::Temp(i) => *self
+                .temps
+                .get(i as usize)
+                .unwrap_or_else(|| panic!("rank {}: temp {} not allocated", self.rank, i)),
+        };
+        assert!(
+            region.end() <= cap,
+            "rank {}: region {region} exceeds buffer capacity {cap}",
+            self.rank
+        );
+    }
+
+    fn check_peer(&self, peer: usize) {
+        self.check_peer_allow_self(peer);
+        assert_ne!(peer, self.rank, "shared-address access to self; use local_copy");
+    }
+
+    /// Shared sends/receives may reference the executing rank's own posted
+    /// buffer (the local root transmits from its own workspace like any
+    /// other object); copies/reduces to self must use the local variants.
+    fn check_peer_allow_self(&self, peer: usize) {
+        assert!(
+            self.topo.same_node(self.rank, peer),
+            "rank {}: shared-address access to rank {peer} crosses nodes",
+            self.rank
+        );
+    }
+}
+
+impl Comm for TraceComm {
+    fn topo(&self) -> Topology {
+        self.topo
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn buf_sizes(&self) -> BufSizes {
+        self.sizes
+    }
+
+    fn alloc_temp(&mut self, bytes: usize) -> BufId {
+        self.temps.push(bytes);
+        BufId::Temp((self.temps.len() - 1) as u16)
+    }
+
+    fn isend(&mut self, dst: usize, tag: Tag, src: Region) -> Req {
+        assert!(dst < self.topo.world_size(), "send to invalid rank {dst}");
+        assert_ne!(dst, self.rank, "send to self is not supported");
+        self.check_local(&src);
+        Req(self.push(Op::ISend { dst, tag, src }))
+    }
+
+    fn irecv(&mut self, src: usize, tag: Tag, dst: Region) -> Req {
+        assert!(src < self.topo.world_size(), "recv from invalid rank {src}");
+        assert_ne!(src, self.rank, "recv from self is not supported");
+        self.check_local(&dst);
+        Req(self.push(Op::IRecv { src, tag, dst }))
+    }
+
+    fn isend_shared(&mut self, dst: usize, tag: Tag, src: RemoteRegion) -> Req {
+        assert!(dst < self.topo.world_size(), "send to invalid rank {dst}");
+        assert_ne!(dst, self.rank, "send to self is not supported");
+        self.check_peer_allow_self(src.rank);
+        Req(self.push(Op::ISendShared { dst, tag, src }))
+    }
+
+    fn irecv_shared(&mut self, src: usize, tag: Tag, dst: RemoteRegion) -> Req {
+        assert!(src < self.topo.world_size(), "recv from invalid rank {src}");
+        assert_ne!(src, self.rank, "recv from self is not supported");
+        self.check_peer_allow_self(dst.rank);
+        Req(self.push(Op::IRecvShared { src, tag, dst }))
+    }
+
+    fn wait(&mut self, req: Req) {
+        assert!(
+            matches!(
+                self.ops.get(req.0),
+                Some(Op::ISend { .. })
+                    | Some(Op::IRecv { .. })
+                    | Some(Op::ISendShared { .. })
+                    | Some(Op::IRecvShared { .. })
+            ),
+            "wait on op {} which is not a pending request",
+            req.0
+        );
+        self.push(Op::Wait { req });
+    }
+
+    fn post_addr(&mut self, slot: Slot, region: Region) {
+        self.check_local(&region);
+        self.push(Op::PostAddr { slot, region });
+    }
+
+    fn copy_in(&mut self, from: RemoteRegion, to: Region) {
+        self.check_peer(from.rank);
+        self.check_local(&to);
+        assert_eq!(from.len, to.len, "copy_in length mismatch");
+        self.push(Op::CopyIn { from, to });
+    }
+
+    fn copy_out(&mut self, from: Region, to: RemoteRegion) {
+        self.check_peer(to.rank);
+        self.check_local(&from);
+        assert_eq!(from.len, to.len, "copy_out length mismatch");
+        self.push(Op::CopyOut { from, to });
+    }
+
+    fn reduce_in(&mut self, from: RemoteRegion, to: Region, op: ReduceOp, dt: Datatype) {
+        self.check_peer(from.rank);
+        self.check_local(&to);
+        assert_eq!(from.len, to.len, "reduce_in length mismatch");
+        assert_eq!(to.len % dt.size(), 0, "reduce_in partial element");
+        self.push(Op::ReduceIn { from, to, op, dt });
+    }
+
+    fn local_copy(&mut self, from: Region, to: Region) {
+        self.check_local(&from);
+        self.check_local(&to);
+        assert_eq!(from.len, to.len, "local_copy length mismatch");
+        assert!(!from.overlaps(&to), "local_copy regions overlap");
+        self.push(Op::LocalCopy { from, to });
+    }
+
+    fn local_reduce(&mut self, from: Region, to: Region, op: ReduceOp, dt: Datatype) {
+        self.check_local(&from);
+        self.check_local(&to);
+        assert_eq!(from.len, to.len, "local_reduce length mismatch");
+        assert!(!from.overlaps(&to), "local_reduce regions overlap");
+        self.push(Op::LocalReduce { from, to, op, dt });
+    }
+
+    fn signal(&mut self, rank: usize, flag: FlagId) {
+        // Signalling oneself is legal (it is ordered by program order) and
+        // keeps receiver code uniform when local rank 0 is one of the
+        // multi-object receivers.
+        self.check_peer_allow_self(rank);
+        self.push(Op::Signal { rank, flag });
+    }
+
+    fn wait_flag(&mut self, flag: FlagId, count: u32) {
+        self.push(Op::WaitFlag { flag, count });
+    }
+
+    fn node_barrier(&mut self) {
+        self.push(Op::NodeBarrier);
+    }
+
+    fn compute(&mut self, bytes: u64) {
+        self.push(Op::Compute { bytes });
+    }
+}
+
+/// Record a schedule by running `algo` once per rank with uniform buffer
+/// sizes.
+pub fn record<F>(topo: Topology, sizes: BufSizes, mut algo: F) -> Schedule
+where
+    F: FnMut(&mut TraceComm),
+{
+    record_with_sizes(topo, |_| sizes, &mut algo)
+}
+
+/// Record a schedule with per-rank buffer sizes (e.g. scatter's root has a
+/// world-sized send buffer while everyone else has none).
+pub fn record_with_sizes<S, F>(topo: Topology, mut sizes: S, mut algo: F) -> Schedule
+where
+    S: FnMut(usize) -> BufSizes,
+    F: FnMut(&mut TraceComm),
+{
+    let mut programs = Vec::with_capacity(topo.world_size());
+    for rank in topo.all_ranks() {
+        let mut c = TraceComm::new(topo, rank, sizes(rank));
+        algo(&mut c);
+        programs.push(c.finish());
+    }
+    Schedule::new(topo, programs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(2, 2)
+    }
+
+    #[test]
+    fn records_ops_in_order() {
+        let mut c = TraceComm::new(topo(), 0, BufSizes::new(8, 8));
+        let r = c.isend(2, 5, Region::new(BufId::Send, 0, 8));
+        c.wait(r);
+        c.node_barrier();
+        let p = c.finish();
+        assert_eq!(p.ops.len(), 3);
+        assert_eq!(p.ops[0].mnemonic(), "isend");
+        assert_eq!(p.ops[1], Op::Wait { req: r });
+        assert_eq!(p.ops[2], Op::NodeBarrier);
+    }
+
+    #[test]
+    fn temp_allocation_indexes() {
+        let mut c = TraceComm::new(topo(), 0, BufSizes::default());
+        let a = c.alloc_temp(64);
+        let b = c.alloc_temp(32);
+        assert_eq!(a, BufId::Temp(0));
+        assert_eq!(b, BufId::Temp(1));
+        let p = c.finish();
+        assert_eq!(p.temps, vec![64, 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer capacity")]
+    fn rejects_oob_region() {
+        let mut c = TraceComm::new(topo(), 0, BufSizes::new(4, 4));
+        c.isend(1, 0, Region::new(BufId::Send, 0, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses nodes")]
+    fn rejects_internode_shared_access() {
+        let mut c = TraceComm::new(topo(), 0, BufSizes::new(8, 8));
+        c.copy_in(RemoteRegion::new(3, 0, 0, 4), Region::new(BufId::Recv, 0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "send to self")]
+    fn rejects_self_send() {
+        let mut c = TraceComm::new(topo(), 1, BufSizes::new(8, 8));
+        c.isend(1, 0, Region::new(BufId::Send, 0, 4));
+    }
+
+    #[test]
+    fn record_produces_one_program_per_rank() {
+        let s = record(topo(), BufSizes::new(4, 4), |c| {
+            if c.rank() == 0 {
+                c.compute(1);
+            }
+            c.node_barrier();
+        });
+        assert_eq!(s.programs().len(), 4);
+        assert_eq!(s.programs()[0].ops.len(), 2);
+        assert_eq!(s.programs()[1].ops.len(), 1);
+    }
+}

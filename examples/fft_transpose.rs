@@ -1,0 +1,66 @@
+//! # Multi-node FFT-style data exchange
+//!
+//! The paper's introduction cites large multi-GPU/multi-node FFTs (\[5\]) as
+//! a collective-bound workload: a distributed 3-D FFT alternates local
+//! 1-D transforms with global data redistributions, and pencil-decomposed
+//! implementations commonly build the redistribution from allgathers over
+//! processor rows.
+//!
+//! This example sizes the allgathers for a `grid³` complex-double FFT on
+//! the paper's testbed and compares libraries across FFT sizes — small
+//! grids are latency-bound (multi-object message rate wins), large grids
+//! bandwidth-bound (ring + overlap wins).
+//!
+//! ```text
+//! cargo run --release -p pipmcoll-examples --bin fft_transpose
+//! ```
+
+use pipmcoll_core::{AllgatherParams, CollectiveSpec, LibraryProfile};
+use pipmcoll_examples::{fmt_bytes, simulate_us};
+use pipmcoll_model::presets;
+
+fn main() {
+    let nodes: usize = std::env::var("PIPMCOLL_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let ppn = 18;
+    let machine = presets::bebop(nodes, ppn);
+    let world = nodes * ppn;
+    println!("# 3-D FFT slab exchange (2 allgathers per step), {nodes} nodes x {ppn} ranks\n");
+    println!(
+        "{:<10} {:>12} {:>14} {:>14} {:>14} {:>10}",
+        "grid", "cb/rank", "PiP-MColl", "best other", "other lib", "speedup"
+    );
+
+    for grid in [64usize, 128, 256, 512, 1024] {
+        // One pencil redistribution: each rank contributes its slab share.
+        let total_bytes = grid * grid * grid * 16; // complex double
+        let cb = (total_bytes / world / world).max(16);
+        let spec = CollectiveSpec::Allgather(AllgatherParams { cb });
+        let (mcoll, _) = simulate_us(LibraryProfile::PipMColl, machine, &spec);
+        let mut best = f64::INFINITY;
+        let mut best_lib = "";
+        for lib in [
+            LibraryProfile::PipMpich,
+            LibraryProfile::IntelMpi,
+            LibraryProfile::OpenMpi,
+            LibraryProfile::Mvapich2,
+        ] {
+            let (us, _) = simulate_us(lib, machine, &spec);
+            if us < best {
+                best = us;
+                best_lib = lib.name();
+            }
+        }
+        println!(
+            "{:<10} {:>12} {:>12.1}us {:>12.1}us {:>14} {:>9.2}x",
+            format!("{grid}^3"),
+            fmt_bytes(cb),
+            mcoll,
+            best,
+            best_lib,
+            best / mcoll
+        );
+    }
+}

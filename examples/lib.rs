@@ -1,0 +1,25 @@
+//! Shared helpers for the example binaries.
+
+use pipmcoll_core::{run_collective, CollectiveSpec, LibraryProfile};
+use pipmcoll_model::MachineConfig;
+
+/// Simulate one collective and return (latency µs, internode MB moved).
+pub fn simulate_us(
+    lib: LibraryProfile,
+    machine: MachineConfig,
+    spec: &CollectiveSpec,
+) -> (f64, f64) {
+    let r = run_collective(lib, machine, spec).expect("simulation");
+    (r.makespan.as_us_f64(), r.net_bytes as f64 / 1e6)
+}
+
+/// Pretty byte sizes for report lines.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1024 * 1024 && b.is_multiple_of(1024 * 1024) {
+        format!("{} MiB", b / 1024 / 1024)
+    } else if b >= 1024 && b.is_multiple_of(1024) {
+        format!("{} KiB", b / 1024)
+    } else {
+        format!("{b} B")
+    }
+}

@@ -1,0 +1,89 @@
+//! # Switch-point tuner
+//!
+//! The paper fixes PiP-MColl's algorithm switch-points at 64 kB (allgather)
+//! and 8 k double counts (allreduce) for its testbed. On a different
+//! machine the crossovers move. This example sweeps the simulator to find
+//! where the small- and large-message algorithms actually cross for a
+//! given cluster shape — the tuning step a deployment would run once.
+//!
+//! ```text
+//! cargo run --release -p pipmcoll-examples --bin tuner [nodes] [ppn]
+//! ```
+
+use pipmcoll_core::{AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile};
+use pipmcoll_examples::{fmt_bytes, simulate_us};
+use pipmcoll_model::presets;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nodes: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(16);
+    let ppn: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(18);
+    let machine = presets::bebop(nodes, ppn);
+    println!("# PiP-MColl switch-point tuning for {nodes} nodes x {ppn} ranks\n");
+
+    // --- Allgather: small (radix Bruck) vs large (ring + overlap). -------
+    println!("## MPI_Allgather (paper switch-point: 64 KiB)");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "cb", "small_us", "large_us", "winner"
+    );
+    let mut ag_cross = None;
+    for shift in 6..=19 {
+        let cb = 1usize << shift;
+        let spec = CollectiveSpec::Allgather(AllgatherParams { cb });
+        let (small, _) = simulate_us(LibraryProfile::PipMCollSmall, machine, &spec);
+        // Force the large algorithm regardless of dispatch by recording it
+        // directly.
+        let topo = machine.topo;
+        let p = AllgatherParams { cb };
+        let sched = pipmcoll_sched::record_with_sizes(topo, p.buf_sizes(topo), |c| {
+            pipmcoll_core::mcoll::allgather_mcoll_large(c, &p)
+        });
+        let cfg = LibraryProfile::PipMColl.engine_config(machine, cb);
+        let large = pipmcoll_engine::simulate(&cfg, &sched)
+            .expect("simulate large allgather")
+            .makespan
+            .as_us_f64();
+        let winner = if small <= large { "small" } else { "large" };
+        if small > large && ag_cross.is_none() {
+            ag_cross = Some(cb);
+        }
+        println!("{:>10} {small:>14.2} {large:>14.2} {winner:>8}", fmt_bytes(cb));
+    }
+    match ag_cross {
+        Some(cb) => println!("=> allgather crossover near {}\n", fmt_bytes(cb)),
+        None => println!("=> no crossover in the swept range\n"),
+    }
+
+    // --- Allreduce: small (radix) vs large (reduce-scatter + ring). ------
+    println!("## MPI_Allreduce (paper switch-point: 8k doubles)");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "doubles", "small_us", "large_us", "winner"
+    );
+    let mut ar_cross = None;
+    for shift in 7..=19 {
+        let count = 1usize << shift;
+        let p = AllreduceParams::sum_doubles(count);
+        let spec = CollectiveSpec::Allreduce(p);
+        let (small, _) = simulate_us(LibraryProfile::PipMCollSmall, machine, &spec);
+        let topo = machine.topo;
+        let sched = pipmcoll_sched::record_with_sizes(topo, p.buf_sizes(), |c| {
+            pipmcoll_core::mcoll::allreduce_mcoll_large(c, &p)
+        });
+        let cfg = LibraryProfile::PipMColl.engine_config(machine, p.cb());
+        let large = pipmcoll_engine::simulate(&cfg, &sched)
+            .expect("simulate large allreduce")
+            .makespan
+            .as_us_f64();
+        let winner = if small <= large { "small" } else { "large" };
+        if small > large && ar_cross.is_none() {
+            ar_cross = Some(count);
+        }
+        println!("{count:>10} {small:>14.2} {large:>14.2} {winner:>8}");
+    }
+    match ar_cross {
+        Some(c) => println!("=> allreduce crossover near {c} doubles"),
+        None => println!("=> no crossover in the swept range"),
+    }
+}

@@ -1,0 +1,48 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use pipmcoll_core::{build_schedule, CollectiveSpec, LibraryProfile};
+use pipmcoll_model::Topology;
+use pipmcoll_sched::dataflow::execute_race_checked;
+use pipmcoll_sched::Schedule;
+
+/// Record `lib`'s schedule for `spec` and verify it against MPI semantics
+/// through the race-checked dataflow interpreter.
+pub fn verify_collective(
+    lib: LibraryProfile,
+    nodes: usize,
+    ppn: usize,
+    spec: &CollectiveSpec,
+) -> Result<(), String> {
+    let topo = Topology::new(nodes, ppn);
+    let sched = build_schedule(lib, topo, spec);
+    verify_schedule(&sched, spec)
+}
+
+/// Verify an already-recorded schedule against `spec`'s semantics.
+pub fn verify_schedule(sched: &Schedule, spec: &CollectiveSpec) -> Result<(), String> {
+    match spec {
+        CollectiveSpec::Scatter(p) => pipmcoll_sched::verify::check_scatter(sched, p.root, p.cb),
+        CollectiveSpec::Allgather(p) => pipmcoll_sched::verify::check_allgather(sched, p.cb),
+        CollectiveSpec::Allreduce(p) => {
+            assert_eq!(
+                (p.dt, p.op),
+                (
+                    pipmcoll_model::Datatype::Double,
+                    pipmcoll_model::ReduceOp::Sum
+                ),
+                "the generic checker covers SUM over doubles"
+            );
+            pipmcoll_sched::verify::check_allreduce_sum(sched, p.count)
+        }
+    }
+}
+
+/// Run a schedule through the dataflow interpreter with the standard
+/// pattern inputs, returning final recv buffers (for rt cross-validation).
+pub fn dataflow_recv(sched: &Schedule) -> Vec<Vec<u8>> {
+    execute_race_checked(sched, |r| {
+        pipmcoll_sched::verify::pattern(r, sched.programs()[r].sizes.send)
+    })
+    .expect("dataflow execution")
+    .recv
+}

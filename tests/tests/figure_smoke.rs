@@ -1,0 +1,74 @@
+//! Smoke tests for the figure harnesses: run each sweep at toy scale and
+//! check the outputs are well-formed (the full 128×18 regeneration happens
+//! in `cargo run -p pipmcoll-bench`).
+
+use pipmcoll_bench::{grids, library_sweep, node_sweep};
+use pipmcoll_core::{
+    AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile, ScatterParams,
+};
+
+/// One combined test: the harness helpers read `PIPMCOLL_*` from the
+/// environment, so scale is pinned once here (tests within a binary share
+/// the process environment).
+#[test]
+fn harness_sweeps_run_at_toy_scale() {
+    std::env::set_var("PIPMCOLL_NODES", "4");
+    std::env::set_var("PIPMCOLL_PPN", "3");
+    std::env::set_var(
+        "PIPMCOLL_RESULTS",
+        std::env::temp_dir().join("pipmcoll_smoke").to_str().unwrap(),
+    );
+
+    // Fig 9-style library sweep.
+    let fig = library_sweep(
+        "smoke_fig09",
+        "smoke",
+        "bytes",
+        &[16, 64],
+        &LibraryProfile::FIGURE_SET,
+        |cb| CollectiveSpec::Scatter(ScatterParams { cb, root: 0 }),
+    );
+    assert_eq!(fig.series.len(), 5);
+    for s in &fig.series {
+        assert_eq!(s.points.len(), 2);
+        for &(_, y) in &s.points {
+            assert!(y > 0.0, "{}: non-positive time", s.label);
+        }
+    }
+    let norm = fig.normalised_to_first();
+    for &(_, y) in &norm.series[0].points {
+        assert_eq!(y, 1.0);
+    }
+    norm.emit();
+
+    // Fig 6-style node sweep.
+    let fig = node_sweep(
+        "smoke_fig06",
+        "smoke",
+        &grids::node_grid(4),
+        &[LibraryProfile::PipMColl, LibraryProfile::PipMpich],
+        CollectiveSpec::Allgather(AllgatherParams { cb: 16 }),
+    );
+    assert_eq!(fig.series.len(), 2);
+    assert_eq!(fig.series[0].points.len(), 2); // nodes 2, 4
+    fig.emit();
+
+    // Fig 14-style sweep hits both sides of the allreduce switch-point.
+    let fig = library_sweep(
+        "smoke_fig14",
+        "smoke",
+        "doubles",
+        &[1024, 16 * 1024],
+        &[LibraryProfile::PipMColl, LibraryProfile::PipMCollSmall],
+        |count| CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(count)),
+    );
+    assert_eq!(fig.series.len(), 2);
+    fig.emit();
+
+    // CSV files landed.
+    let dir = std::env::temp_dir().join("pipmcoll_smoke");
+    for f in ["smoke_fig09.csv", "smoke_fig06.csv", "smoke_fig14.csv"] {
+        let content = std::fs::read_to_string(dir.join(f)).expect(f);
+        assert!(content.lines().count() >= 3, "{f} too short");
+    }
+}

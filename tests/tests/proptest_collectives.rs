@@ -1,0 +1,214 @@
+//! Property-based tests: random cluster shapes, sizes, roots and operators
+//! — every recorded schedule must validate, be deadlock-free, race-free
+//! under four interleavings, and produce MPI-correct results.
+
+use pipmcoll_core::baseline::{
+    allgather_bruck, allgather_recursive_doubling, allgather_ring, allreduce_rabenseifner,
+    allreduce_recursive_doubling, bcast_binomial, gather_binomial,
+};
+use pipmcoll_core::mcoll::intranode::{
+    intra_bcast_large, intra_bcast_small, intra_gather, intra_reduce_binomial,
+    intra_reduce_chunked,
+};
+use pipmcoll_core::{
+    AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile, ScatterParams,
+};
+use pipmcoll_integration::verify_collective;
+use pipmcoll_model::{Datatype, ReduceOp, Topology};
+use pipmcoll_sched::dataflow::execute_race_checked;
+use pipmcoll_sched::verify::{double_pattern, pattern, reference_reduce};
+use pipmcoll_sched::{record, record_with_sizes, BufSizes};
+use proptest::prelude::*;
+
+fn shapes() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=7, 1usize..=5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scatter_correct_for_all_libraries(
+        (nodes, ppn) in shapes(),
+        cb in 1usize..200,
+        root_node in 0usize..7,
+        lib_idx in 0usize..LibraryProfile::ALL.len(),
+    ) {
+        let root = (root_node % nodes) * ppn; // always a local root
+        let lib = LibraryProfile::ALL[lib_idx];
+        let spec = CollectiveSpec::Scatter(ScatterParams { cb, root });
+        verify_collective(lib, nodes, ppn, &spec).map_err(|e| {
+            TestCaseError::fail(format!("{} {nodes}x{ppn} cb={cb} root={root}: {e}", lib.name()))
+        })?;
+    }
+
+    #[test]
+    fn allgather_correct_for_all_libraries(
+        (nodes, ppn) in shapes(),
+        cb in 1usize..200,
+        lib_idx in 0usize..LibraryProfile::ALL.len(),
+    ) {
+        let lib = LibraryProfile::ALL[lib_idx];
+        let spec = CollectiveSpec::Allgather(AllgatherParams { cb });
+        verify_collective(lib, nodes, ppn, &spec).map_err(|e| {
+            TestCaseError::fail(format!("{} {nodes}x{ppn} cb={cb}: {e}", lib.name()))
+        })?;
+    }
+
+    #[test]
+    fn allreduce_correct_for_all_libraries(
+        (nodes, ppn) in shapes(),
+        count in 1usize..150,
+        lib_idx in 0usize..LibraryProfile::ALL.len(),
+    ) {
+        let lib = LibraryProfile::ALL[lib_idx];
+        let spec = CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(count));
+        verify_collective(lib, nodes, ppn, &spec).map_err(|e| {
+            TestCaseError::fail(format!("{} {nodes}x{ppn} count={count}: {e}", lib.name()))
+        })?;
+    }
+
+    #[test]
+    fn baseline_bcast_gather_correct(
+        (nodes, ppn) in shapes(),
+        cb in 1usize..100,
+        root_raw in 0usize..35,
+    ) {
+        let topo = Topology::new(nodes, ppn);
+        let world = topo.world_size();
+        let root = root_raw % world;
+        // Broadcast.
+        let sched = record_with_sizes(
+            topo,
+            |r| BufSizes::new(if r == root { cb } else { 0 }, cb),
+            |c| bcast_binomial(c, cb, root),
+        );
+        sched.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let res = execute_race_checked(&sched, |r| if r == root { pattern(root, cb) } else { Vec::new() })
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        for rank in 0..world {
+            prop_assert_eq!(&res.recv[rank], &pattern(root, cb));
+        }
+        // Gather.
+        let sched = record_with_sizes(
+            topo,
+            |r| BufSizes::new(cb, if r == root { world * cb } else { 0 }),
+            |c| gather_binomial(c, cb, root),
+        );
+        sched.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let res = execute_race_checked(&sched, |r| pattern(r, cb))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut expect = Vec::new();
+        for r in 0..world {
+            expect.extend_from_slice(&pattern(r, cb));
+        }
+        prop_assert_eq!(&res.recv[root], &expect);
+    }
+
+    #[test]
+    fn intranode_reduce_any_operator(
+        ppn in 1usize..8,
+        count in 1usize..64,
+        op_idx in 0usize..3,
+        chunked in any::<bool>(),
+    ) {
+        // Prod over patterned doubles explodes; test Sum/Max/Min.
+        let op = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min][op_idx];
+        let topo = Topology::new(1, ppn);
+        let cb = count * 8;
+        let sched = record(topo, BufSizes::new(cb, cb), |c| {
+            if chunked {
+                intra_reduce_chunked(c, count, op, Datatype::Double);
+            } else {
+                intra_reduce_binomial(c, cb, op, Datatype::Double);
+            }
+        });
+        sched.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let res = execute_race_checked(&sched, |r| {
+            pipmcoll_model::dtype::doubles_to_bytes(&double_pattern(r, count))
+        })
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(
+            pipmcoll_model::dtype::bytes_to_doubles(&res.recv[0]),
+            reference_reduce(op, ppn, count)
+        );
+    }
+
+    #[test]
+    fn intranode_bcast_gather_correct(ppn in 1usize..9, cb in 1usize..128, large in any::<bool>()) {
+        let topo = Topology::new(1, ppn);
+        let sched = record(topo, BufSizes::new(cb, cb), |c| {
+            if large {
+                intra_bcast_large(c, cb);
+            } else {
+                intra_bcast_small(c, cb);
+            }
+        });
+        sched.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let res = execute_race_checked(&sched, |r| pattern(r, cb))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        for rank in 0..ppn {
+            prop_assert_eq!(&res.recv[rank], &pattern(0, cb));
+        }
+        let sched = record_with_sizes(
+            topo,
+            |r| BufSizes::new(cb, if r == 0 { ppn * cb } else { 0 }),
+            |c| intra_gather(c, cb),
+        );
+        sched.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let res = execute_race_checked(&sched, |r| pattern(r, cb))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut expect = Vec::new();
+        for r in 0..ppn {
+            expect.extend_from_slice(&pattern(r, cb));
+        }
+        prop_assert_eq!(&res.recv[0], &expect);
+    }
+
+    #[test]
+    fn baseline_allgathers_agree(
+        (nodes, ppn) in shapes(),
+        cb in 1usize..100,
+    ) {
+        // All three baseline allgathers must produce identical results.
+        let topo = Topology::new(nodes, ppn);
+        let p = AllgatherParams { cb };
+        let mut outs = Vec::new();
+        for algo in [
+            allgather_bruck as fn(&mut pipmcoll_sched::TraceComm, &AllgatherParams),
+            allgather_recursive_doubling,
+            allgather_ring,
+        ] {
+            let sched = record_with_sizes(topo, p.buf_sizes(topo), |c| algo(c, &p));
+            sched.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let res = execute_race_checked(&sched, |r| pattern(r, cb))
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            outs.push(res.recv);
+        }
+        prop_assert_eq!(&outs[0], &outs[1]);
+        prop_assert_eq!(&outs[0], &outs[2]);
+    }
+
+    #[test]
+    fn baseline_allreduces_agree(
+        (nodes, ppn) in shapes(),
+        count in 1usize..100,
+    ) {
+        let topo = Topology::new(nodes, ppn);
+        let p = AllreduceParams::sum_doubles(count);
+        let mut outs = Vec::new();
+        for algo in [
+            allreduce_recursive_doubling as fn(&mut pipmcoll_sched::TraceComm, &AllreduceParams),
+            allreduce_rabenseifner,
+        ] {
+            let sched = record_with_sizes(topo, p.buf_sizes(), |c| algo(c, &p));
+            sched.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let res = execute_race_checked(&sched, |r| {
+                pipmcoll_model::dtype::doubles_to_bytes(&double_pattern(r, count))
+            })
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            outs.push(res.recv);
+        }
+        prop_assert_eq!(&outs[0], &outs[1]);
+    }
+}

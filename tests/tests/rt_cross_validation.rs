@@ -1,0 +1,173 @@
+//! Backend cross-validation: the thread runtime (real shared-memory
+//! execution) must produce byte-identical results to the dataflow
+//! interpreter for the same algorithm, topology and inputs.
+
+use pipmcoll_core::{
+    build_schedule, AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile,
+    ScatterParams,
+};
+use pipmcoll_integration::dataflow_recv;
+use pipmcoll_model::Topology;
+use pipmcoll_rt::run_cluster;
+use pipmcoll_sched::verify::pattern;
+use pipmcoll_sched::BufSizes;
+
+fn cross_validate(lib: LibraryProfile, nodes: usize, ppn: usize, spec: CollectiveSpec) {
+    let topo = Topology::new(nodes, ppn);
+    // Reference: record + dataflow interpret.
+    let sched = build_schedule(lib, topo, &spec);
+    sched.validate().unwrap_or_else(|e| panic!("{e}"));
+    let reference = dataflow_recv(&sched);
+    // Real execution: same algorithm dispatch on threads.
+    let sizes: Vec<BufSizes> = sched.programs().iter().map(|p| p.sizes).collect();
+    let sizes2 = sizes.clone();
+    let res = run_cluster(
+        topo,
+        move |r| sizes[r],
+        move |r| pattern(r, sizes2[r].send),
+        move |c| match spec {
+            CollectiveSpec::Scatter(p) => lib.scatter(c, &p),
+            CollectiveSpec::Allgather(p) => lib.allgather(c, &p),
+            CollectiveSpec::Allreduce(p) => lib.allreduce(c, &p),
+        },
+    );
+    assert_eq!(
+        res.recv, reference,
+        "{} {nodes}x{ppn} {spec:?}: thread runtime diverges from interpreter",
+        lib.name()
+    );
+}
+
+#[test]
+fn scatter_matches_interpreter() {
+    cross_validate(
+        LibraryProfile::PipMColl,
+        3,
+        3,
+        CollectiveSpec::Scatter(ScatterParams { cb: 64, root: 0 }),
+    );
+    cross_validate(
+        LibraryProfile::IntelMpi,
+        2,
+        4,
+        CollectiveSpec::Scatter(ScatterParams { cb: 32, root: 4 }),
+    );
+}
+
+#[test]
+fn allgather_matches_interpreter() {
+    cross_validate(
+        LibraryProfile::PipMColl,
+        4,
+        3,
+        CollectiveSpec::Allgather(AllgatherParams { cb: 48 }),
+    );
+    cross_validate(
+        LibraryProfile::PipMpich,
+        3,
+        2,
+        CollectiveSpec::Allgather(AllgatherParams { cb: 16 }),
+    );
+    // Large-message ring path.
+    cross_validate(
+        LibraryProfile::PipMColl,
+        3,
+        2,
+        CollectiveSpec::Allgather(AllgatherParams { cb: 64 * 1024 }),
+    );
+}
+
+#[test]
+fn allreduce_matches_interpreter() {
+    cross_validate(
+        LibraryProfile::PipMColl,
+        4,
+        2,
+        CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(33)),
+    );
+    cross_validate(
+        LibraryProfile::Mvapich2,
+        3,
+        3,
+        CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(100)),
+    );
+    // Large-message reduce-scatter path.
+    cross_validate(
+        LibraryProfile::PipMColl,
+        2,
+        3,
+        CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(8192)),
+    );
+}
+
+#[test]
+fn intranode_auxiliaries_match_interpreter() {
+    use pipmcoll_core::mcoll::intranode::{intra_bcast_small, intra_reduce_chunked};
+    use pipmcoll_model::{Datatype, ReduceOp};
+
+    // Broadcast.
+    let topo = Topology::new(1, 6);
+    let cb = 96;
+    let sched = pipmcoll_sched::record(topo, BufSizes::new(cb, cb), |c| intra_bcast_small(c, cb));
+    let reference = dataflow_recv(&sched);
+    let res = run_cluster(
+        topo,
+        |_| BufSizes::new(cb, cb),
+        |r| pattern(r, cb),
+        |c| intra_bcast_small(c, cb),
+    );
+    assert_eq!(res.recv, reference);
+
+    // Chunked reduce.
+    let count = 24;
+    let cb = count * 8;
+    let sched = pipmcoll_sched::record(topo, BufSizes::new(cb, cb), |c| {
+        intra_reduce_chunked(c, count, ReduceOp::Sum, Datatype::Double)
+    });
+    let reference = dataflow_recv(&sched);
+    let res = run_cluster(
+        topo,
+        |_| BufSizes::new(cb, cb),
+        |r| pattern(r, cb),
+        |c| intra_reduce_chunked(c, count, ReduceOp::Sum, Datatype::Double),
+    );
+    assert_eq!(res.recv, reference);
+}
+
+#[test]
+fn repeated_iterations_are_stable() {
+    // 10 timed iterations must end in the same state as one.
+    let topo = Topology::new(2, 3);
+    let p = AllgatherParams { cb: 40 };
+    let spec = CollectiveSpec::Allgather(p);
+    let sched = build_schedule(LibraryProfile::PipMColl, topo, &spec);
+    let reference = dataflow_recv(&sched);
+    let res = pipmcoll_rt::run_cluster_timed(
+        topo,
+        |_| BufSizes::new(40, topo.world_size() * 40),
+        |r| pattern(r, 40),
+        10,
+        |c| LibraryProfile::PipMColl.allgather(c, &p),
+    );
+    assert_eq!(res.recv, reference);
+    assert!(res.per_iter() > std::time::Duration::ZERO);
+}
+
+#[test]
+fn wide_node_stress() {
+    // One wide node exercises heavy intranode concurrency on real threads.
+    let topo = Topology::new(1, 12);
+    let p = AllreduceParams::sum_doubles(200);
+    let spec = CollectiveSpec::Allreduce(p);
+    let sched = build_schedule(LibraryProfile::PipMColl, topo, &spec);
+    let reference = dataflow_recv(&sched);
+    for _ in 0..5 {
+        let res = run_cluster(
+            topo,
+            |_| BufSizes::new(1600, 1600),
+            |r| pattern(r, 1600),
+            |c| LibraryProfile::PipMColl.allreduce(c, &p),
+        );
+        assert_eq!(res.recv, reference, "nondeterminism across real runs");
+    }
+}
