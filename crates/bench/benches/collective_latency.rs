@@ -1,75 +1,63 @@
 //! Simulated collective latencies at a reduced scale, one group per paper
-//! figure family — a fast Criterion view of the same comparisons the
+//! figure family — a fast micro-bench view of the same comparisons the
 //! figure harnesses run at full 128×18 scale. The *measured quantity* is
 //! the simulator's virtual makespan computation, benchmarked per library so
 //! regressions in any algorithm's schedule size show up immediately.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipmcoll_bench::microbench::{black_box, Group};
 use pipmcoll_core::{
-    run_collective, AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile,
-    ScatterParams,
+    run_collective, AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile, ScatterParams,
 };
 use pipmcoll_model::presets;
 
 const NODES: usize = 16;
 const PPN: usize = 6;
 
-fn bench_family(
-    c: &mut Criterion,
-    group: &str,
-    spec_small: CollectiveSpec,
-    spec_large: CollectiveSpec,
-) {
+fn bench_family(group: &str, spec_small: CollectiveSpec, spec_large: CollectiveSpec) {
     let machine = presets::bebop(NODES, PPN);
-    let mut g = c.benchmark_group(group);
+    let mut g = Group::new(group);
     for lib in [
         LibraryProfile::PipMColl,
         LibraryProfile::PipMpich,
         LibraryProfile::IntelMpi,
     ] {
         for (tag, spec) in [("small", spec_small), ("large", spec_large)] {
-            g.bench_with_input(
-                BenchmarkId::new(lib.name(), tag),
-                &spec,
-                |b, spec| {
-                    b.iter(|| run_collective(lib, machine, spec).expect("simulate"))
-                },
-            );
+            g.bench(&format!("{}/{tag}", lib.name()), || {
+                black_box(run_collective(lib, machine, &spec).expect("simulate"));
+            });
         }
     }
-    g.finish();
 }
 
-fn scatter(c: &mut Criterion) {
+fn scatter() {
     bench_family(
-        c,
         "scatter_sim",
         CollectiveSpec::Scatter(ScatterParams { cb: 64, root: 0 }),
-        CollectiveSpec::Scatter(ScatterParams { cb: 64 * 1024, root: 0 }),
+        CollectiveSpec::Scatter(ScatterParams {
+            cb: 64 * 1024,
+            root: 0,
+        }),
     );
 }
 
-fn allgather(c: &mut Criterion) {
+fn allgather() {
     bench_family(
-        c,
         "allgather_sim",
         CollectiveSpec::Allgather(AllgatherParams { cb: 64 }),
         CollectiveSpec::Allgather(AllgatherParams { cb: 128 * 1024 }),
     );
 }
 
-fn allreduce(c: &mut Criterion) {
+fn allreduce() {
     bench_family(
-        c,
         "allreduce_sim",
         CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(64)),
         CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(64 * 1024)),
     );
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = scatter, allgather, allreduce
+fn main() {
+    scatter();
+    allgather();
+    allreduce();
 }
-criterion_main!(benches);

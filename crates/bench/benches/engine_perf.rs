@@ -3,68 +3,56 @@
 //! throughput. These guard the harness's ability to reach the paper's
 //! 128×18 scale in reasonable time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pipmcoll_bench::microbench::{black_box, Group, Throughput};
 use pipmcoll_core::{build_schedule, AllgatherParams, CollectiveSpec, LibraryProfile};
 use pipmcoll_engine::{simulate, EngineConfig};
 use pipmcoll_model::{presets, Topology};
 use pipmcoll_sched::dataflow::{execute, SchedulingPolicy};
 use pipmcoll_sched::verify::pattern;
 
-fn bench_recording(c: &mut Criterion) {
-    let mut g = c.benchmark_group("schedule_recording");
+fn bench_recording() {
+    let mut g = Group::new("schedule_recording");
     for (nodes, ppn) in [(8usize, 4usize), (32, 18)] {
         let topo = Topology::new(nodes, ppn);
         let spec = CollectiveSpec::Allgather(AllgatherParams { cb: 64 });
-        g.bench_with_input(
-            BenchmarkId::new("mcoll_allgather", format!("{nodes}x{ppn}")),
-            &topo,
-            |b, &topo| b.iter(|| build_schedule(LibraryProfile::PipMColl, topo, &spec)),
-        );
+        g.bench(&format!("mcoll_allgather/{nodes}x{ppn}"), || {
+            black_box(build_schedule(LibraryProfile::PipMColl, topo, &spec));
+        });
     }
-    g.finish();
 }
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("des_simulation");
+fn bench_simulation() {
+    let mut g = Group::new("des_simulation");
     for (nodes, ppn) in [(8usize, 4usize), (32, 18)] {
         let machine = presets::bebop(nodes, ppn);
         let spec = CollectiveSpec::Allgather(AllgatherParams { cb: 64 });
         let sched = build_schedule(LibraryProfile::PipMColl, machine.topo, &spec);
         let cfg = EngineConfig::pip_mcoll(machine);
         g.throughput(Throughput::Elements(sched.total_ops() as u64));
-        g.bench_with_input(
-            BenchmarkId::new("mcoll_allgather", format!("{nodes}x{ppn}")),
-            &sched,
-            |b, sched| b.iter(|| simulate(&cfg, sched).expect("simulate")),
-        );
+        g.bench(&format!("mcoll_allgather/{nodes}x{ppn}"), || {
+            black_box(simulate(&cfg, &sched).expect("simulate"));
+        });
     }
-    g.finish();
 }
 
-fn bench_dataflow(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dataflow_interpreter");
+fn bench_dataflow() {
+    let mut g = Group::new("dataflow_interpreter");
     for (nodes, ppn) in [(4usize, 4usize), (8, 4)] {
         let topo = Topology::new(nodes, ppn);
         let spec = CollectiveSpec::Allgather(AllgatherParams { cb: 64 });
         let sched = build_schedule(LibraryProfile::PipMColl, topo, &spec);
         g.throughput(Throughput::Elements(sched.total_ops() as u64));
-        g.bench_with_input(
-            BenchmarkId::new("mcoll_allgather", format!("{nodes}x{ppn}")),
-            &sched,
-            |b, sched| {
-                b.iter(|| {
-                    execute(sched, |r| pattern(r, 64), SchedulingPolicy::RoundRobin)
-                        .expect("interpret")
-                })
-            },
-        );
+        g.bench(&format!("mcoll_allgather/{nodes}x{ppn}"), || {
+            black_box(
+                execute(&sched, |r| pattern(r, 64), SchedulingPolicy::RoundRobin)
+                    .expect("interpret"),
+            );
+        });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_recording, bench_simulation, bench_dataflow
+fn main() {
+    bench_recording();
+    bench_simulation();
+    bench_dataflow();
 }
-criterion_main!(benches);

@@ -5,10 +5,9 @@
 //! Covers the paper's auxiliary building blocks (broadcast, gather, reduce)
 //! in their small- and large-message variants, across node widths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pipmcoll_bench::microbench::{Group, Throughput};
 use pipmcoll_core::mcoll::intranode::{
-    intra_bcast_large, intra_bcast_small, intra_gather, intra_reduce_binomial,
-    intra_reduce_chunked,
+    intra_bcast_large, intra_bcast_small, intra_gather, intra_reduce_binomial, intra_reduce_chunked,
 };
 use pipmcoll_model::{Datatype, ReduceOp, Topology};
 use pipmcoll_rt::run_cluster_timed;
@@ -32,94 +31,76 @@ fn time_intranode(
     res.elapsed
 }
 
-fn bench_bcast(c: &mut Criterion) {
-    let mut g = c.benchmark_group("intranode_bcast");
+fn bench_bcast() {
+    let mut g = Group::new("intranode_bcast");
     for ppn in [2usize, 4, 8] {
         for cb in [64usize, 4096, 262_144] {
             g.throughput(Throughput::Bytes(cb as u64));
-            g.bench_with_input(
-                BenchmarkId::new(format!("small/p{ppn}"), cb),
-                &cb,
-                |b, &cb| {
-                    b.iter_custom(|iters| {
-                        time_intranode(ppn, |_| BufSizes::new(cb, cb), iters, |comm| {
-                            intra_bcast_small(comm, cb)
-                        })
-                    })
-                },
-            );
-            g.bench_with_input(
-                BenchmarkId::new(format!("large/p{ppn}"), cb),
-                &cb,
-                |b, &cb| {
-                    b.iter_custom(|iters| {
-                        time_intranode(ppn, |_| BufSizes::new(cb, cb), iters, |comm| {
-                            intra_bcast_large(comm, cb)
-                        })
-                    })
-                },
-            );
-        }
-    }
-    g.finish();
-}
-
-fn bench_gather(c: &mut Criterion) {
-    let mut g = c.benchmark_group("intranode_gather");
-    for ppn in [2usize, 4, 8] {
-        for cb in [64usize, 16_384] {
-            g.throughput(Throughput::Bytes((cb * ppn) as u64));
-            g.bench_with_input(BenchmarkId::new(format!("p{ppn}"), cb), &cb, |b, &cb| {
-                b.iter_custom(|iters| {
-                    time_intranode(
-                        ppn,
-                        move |r| BufSizes::new(cb, if r == 0 { ppn * cb } else { 0 }),
-                        iters,
-                        |comm| intra_gather(comm, cb),
-                    )
-                })
+            g.bench_custom(&format!("small/p{ppn}/{cb}"), |iters| {
+                time_intranode(
+                    ppn,
+                    |_| BufSizes::new(cb, cb),
+                    iters,
+                    |comm| intra_bcast_small(comm, cb),
+                )
+            });
+            g.bench_custom(&format!("large/p{ppn}/{cb}"), |iters| {
+                time_intranode(
+                    ppn,
+                    |_| BufSizes::new(cb, cb),
+                    iters,
+                    |comm| intra_bcast_large(comm, cb),
+                )
             });
         }
     }
-    g.finish();
 }
 
-fn bench_reduce(c: &mut Criterion) {
-    let mut g = c.benchmark_group("intranode_reduce");
+fn bench_gather() {
+    let mut g = Group::new("intranode_gather");
+    for ppn in [2usize, 4, 8] {
+        for cb in [64usize, 16_384] {
+            g.throughput(Throughput::Bytes((cb * ppn) as u64));
+            g.bench_custom(&format!("p{ppn}/{cb}"), |iters| {
+                time_intranode(
+                    ppn,
+                    move |r| BufSizes::new(cb, if r == 0 { ppn * cb } else { 0 }),
+                    iters,
+                    |comm| intra_gather(comm, cb),
+                )
+            });
+        }
+    }
+}
+
+fn bench_reduce() {
+    let mut g = Group::new("intranode_reduce");
     for ppn in [2usize, 4, 8] {
         for count in [64usize, 32_768] {
             let cb = count * 8;
             g.throughput(Throughput::Bytes(cb as u64));
-            g.bench_with_input(
-                BenchmarkId::new(format!("binomial/p{ppn}"), count),
-                &count,
-                |b, &_| {
-                    b.iter_custom(|iters| {
-                        time_intranode(ppn, |_| BufSizes::new(cb, cb), iters, |comm| {
-                            intra_reduce_binomial(comm, cb, ReduceOp::Sum, Datatype::Double)
-                        })
-                    })
-                },
-            );
-            g.bench_with_input(
-                BenchmarkId::new(format!("chunked/p{ppn}"), count),
-                &count,
-                |b, &count| {
-                    b.iter_custom(|iters| {
-                        time_intranode(ppn, |_| BufSizes::new(cb, cb), iters, |comm| {
-                            intra_reduce_chunked(comm, count, ReduceOp::Sum, Datatype::Double)
-                        })
-                    })
-                },
-            );
+            g.bench_custom(&format!("binomial/p{ppn}/{count}"), |iters| {
+                time_intranode(
+                    ppn,
+                    |_| BufSizes::new(cb, cb),
+                    iters,
+                    |comm| intra_reduce_binomial(comm, cb, ReduceOp::Sum, Datatype::Double),
+                )
+            });
+            g.bench_custom(&format!("chunked/p{ppn}/{count}"), |iters| {
+                time_intranode(
+                    ppn,
+                    |_| BufSizes::new(cb, cb),
+                    iters,
+                    |comm| intra_reduce_chunked(comm, count, ReduceOp::Sum, Datatype::Double),
+                )
+            });
         }
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_bcast, bench_gather, bench_reduce
+fn main() {
+    bench_bcast();
+    bench_gather();
+    bench_reduce();
 }
-criterion_main!(benches);

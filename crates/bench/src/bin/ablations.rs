@@ -28,7 +28,10 @@ fn simulate_allgather(
     let p = AllgatherParams { cb };
     let sched = record_with_sizes(topo, p.buf_sizes(topo), algo);
     sched.validate().expect("valid schedule");
-    simulate(cfg, &sched).expect("simulate").makespan.as_us_f64()
+    simulate(cfg, &sched)
+        .expect("simulate")
+        .makespan
+        .as_us_f64()
 }
 
 fn main() {
@@ -87,8 +90,14 @@ fn main() {
         x_name: "bytes".into(),
         y_name: "time (us)".into(),
         series: vec![
-            Series { label: "overlap".into(), points: on },
-            Series { label: "no_overlap".into(), points: off },
+            Series {
+                label: "overlap".into(),
+                points: on,
+            },
+            Series {
+                label: "no_overlap".into(),
+                points: off,
+            },
         ],
     }
     .emit();

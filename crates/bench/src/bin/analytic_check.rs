@@ -25,18 +25,30 @@ fn main() {
     let mut rows: Vec<(String, usize, f64, f64)> = Vec::new();
     for cb in [64usize, 1024, 65536] {
         let a = analytic::scatter_total(&h, cb as u64, ppn, nodes).as_us_f64();
-        let e = measure_us(lib, machine, &CollectiveSpec::Scatter(ScatterParams { cb, root: 0 }));
+        let e = measure_us(
+            lib,
+            machine,
+            &CollectiveSpec::Scatter(ScatterParams { cb, root: 0 }),
+        );
         rows.push((format!("scatter cb={cb}"), cb, a, e));
     }
     for cb in [64usize, 1024] {
         let a = analytic::allgather_small_total(&h, cb as u64, ppn, nodes).as_us_f64();
-        let e = measure_us(lib, machine, &CollectiveSpec::Allgather(AllgatherParams { cb }));
+        let e = measure_us(
+            lib,
+            machine,
+            &CollectiveSpec::Allgather(AllgatherParams { cb }),
+        );
         rows.push((format!("allgather-small cb={cb}"), cb, a, e));
     }
     {
         let cb = 128 * 1024usize;
         let a = analytic::allgather_large_total(&h, cb as u64, ppn, nodes).as_us_f64();
-        let e = measure_us(lib, machine, &CollectiveSpec::Allgather(AllgatherParams { cb }));
+        let e = measure_us(
+            lib,
+            machine,
+            &CollectiveSpec::Allgather(AllgatherParams { cb }),
+        );
         rows.push((format!("allgather-large cb={cb}"), cb, a, e));
     }
     for count in [16usize, 512] {

@@ -6,8 +6,7 @@
 
 use pipmcoll_bench::{harness_machine, harness_nodes};
 use pipmcoll_core::{
-    run_collective, AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile,
-    ScatterParams,
+    run_collective, AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile, ScatterParams,
 };
 use pipmcoll_engine::report::OpCategory;
 
@@ -36,14 +35,19 @@ fn main() {
             CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(512 * 1024)),
         ),
     ];
-    println!("# bottleneck-rank time breakdown, {nodes} nodes x {} ppn", machine.topo.ppn());
+    println!(
+        "# bottleneck-rank time breakdown, {nodes} nodes x {} ppn",
+        machine.topo.ppn()
+    );
     println!(
         "{:<18} {:<12} {:>10} {:>9} | {}",
         "collective",
         "library",
         "total_us",
         "share%",
-        OpCategory::ALL.map(|c| format!("{:>9}", c.name())).join(" ")
+        OpCategory::ALL
+            .map(|c| format!("{:>9}", c.name()))
+            .join(" ")
     );
     for (name, spec) in &cases {
         for lib in [LibraryProfile::PipMColl, LibraryProfile::PipMpich] {
@@ -52,7 +56,12 @@ fn main() {
             let total = r.makespan.as_us_f64();
             let attributed: f64 = b.iter().map(|t| t.as_us_f64()).sum();
             let cols = OpCategory::ALL
-                .map(|c| format!("{:>8.1}%", 100.0 * b[c.idx()].as_us_f64() / total.max(1e-12)))
+                .map(|c| {
+                    format!(
+                        "{:>8.1}%",
+                        100.0 * b[c.idx()].as_us_f64() / total.max(1e-12)
+                    )
+                })
                 .join(" ");
             println!(
                 "{:<18} {:<12} {:>10.2} {:>8.1}% | {}",

@@ -24,7 +24,10 @@ fn main() {
                algo: &mut dyn FnMut(&mut pipmcoll_sched::TraceComm)| {
         let sched = record_with_sizes(machine.topo, sizes, algo);
         sched.validate().expect("valid schedule");
-        simulate(cfg, &sched).expect("simulate").makespan.as_us_f64()
+        simulate(cfg, &sched)
+            .expect("simulate")
+            .makespan
+            .as_us_f64()
     };
 
     let sizes_axis: Vec<usize> = (0..8).map(|i| 64usize << (2 * i)).collect(); // 64 B .. 1 MiB
@@ -49,8 +52,14 @@ fn main() {
         x_name: "bytes".into(),
         y_name: "time (us)".into(),
         series: vec![
-            Series { label: "mcoll".into(), points: mcoll_pts },
-            Series { label: "binomial".into(), points: base_pts },
+            Series {
+                label: "mcoll".into(),
+                points: mcoll_pts,
+            },
+            Series {
+                label: "binomial".into(),
+                points: base_pts,
+            },
         ],
     }
     .emit();
@@ -76,8 +85,14 @@ fn main() {
         x_name: "bytes".into(),
         y_name: "time (us)".into(),
         series: vec![
-            Series { label: "mcoll".into(), points: mcoll_pts },
-            Series { label: "binomial".into(), points: base_pts },
+            Series {
+                label: "mcoll".into(),
+                points: mcoll_pts,
+            },
+            Series {
+                label: "binomial".into(),
+                points: base_pts,
+            },
         ],
     }
     .emit();
@@ -115,8 +130,14 @@ fn main() {
         x_name: "nodes".into(),
         y_name: "time (us)".into(),
         series: vec![
-            Series { label: "hierarchical".into(), points: mcoll_pts },
-            Series { label: "dissemination".into(), points: base_pts },
+            Series {
+                label: "hierarchical".into(),
+                points: mcoll_pts,
+            },
+            Series {
+                label: "dissemination".into(),
+                points: base_pts,
+            },
         ],
     }
     .emit();
@@ -144,8 +165,14 @@ fn main() {
         x_name: "doubles".into(),
         y_name: "time (us)".into(),
         series: vec![
-            Series { label: "mcoll".into(), points: mcoll_pts },
-            Series { label: "binomial".into(), points: base_pts },
+            Series {
+                label: "mcoll".into(),
+                points: mcoll_pts,
+            },
+            Series {
+                label: "binomial".into(),
+                points: base_pts,
+            },
         ],
     }
     .emit();

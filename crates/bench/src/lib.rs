@@ -12,6 +12,8 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
+pub mod microbench;
+
 use pipmcoll_core::{run_collective, CollectiveSpec, LibraryProfile};
 use pipmcoll_model::{presets, MachineConfig};
 
@@ -132,20 +134,23 @@ impl Figure {
         println!("{}", self.table());
         let dir = results_dir();
         fs::write(dir.join(format!("{}.csv", self.id)), self.csv()).expect("write csv");
-        let meta = serde_json::json!({
-            "id": self.id,
-            "title": self.title,
-            "x": self.x_name,
-            "y": self.y_name,
-            "nodes": harness_nodes(),
-            "ppn": harness_ppn(),
-            "series": self.series.iter().map(|s| &s.label).collect::<Vec<_>>(),
-        });
-        fs::write(
-            dir.join(format!("{}.json", self.id)),
-            serde_json::to_string_pretty(&meta).expect("serialize meta"),
-        )
-        .expect("write json");
+        fs::write(dir.join(format!("{}.json", self.id)), self.meta_json()).expect("write json");
+    }
+
+    /// The JSON sidecar describing the run configuration (hand-rolled —
+    /// the workspace carries no serialization dependency).
+    fn meta_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"id\": {},", json_str(&self.id));
+        let _ = writeln!(out, "  \"title\": {},", json_str(&self.title));
+        let _ = writeln!(out, "  \"x\": {},", json_str(&self.x_name));
+        let _ = writeln!(out, "  \"y\": {},", json_str(&self.y_name));
+        let _ = writeln!(out, "  \"nodes\": {},", harness_nodes());
+        let _ = writeln!(out, "  \"ppn\": {},", harness_ppn());
+        let labels: Vec<String> = self.series.iter().map(|s| json_str(&s.label)).collect();
+        let _ = writeln!(out, "  \"series\": [{}]", labels.join(", "));
+        out.push('}');
+        out
     }
 
     /// Normalise every series to the first one (the paper's Figs. 9–14 plot
@@ -160,6 +165,27 @@ impl Figure {
         self.y_name = format!("{} (normalised to {})", self.y_name, self.series[0].label);
         self
     }
+}
+
+/// Quote and escape a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn format_x(x: f64) -> String {

@@ -1,0 +1,131 @@
+//! A dependency-free micro-benchmark harness (the workspace builds without
+//! Criterion, which is unavailable in hermetic environments).
+//!
+//! Usage mirrors the subset of Criterion the benches need: named groups,
+//! per-input benchmarks, custom timers for harnesses that measure inside a
+//! thread pool, and optional byte/element throughput. Results print as an
+//! aligned table:
+//!
+//! ```text
+//! group/bench/input          12.345 us/iter   518.2 MiB/s   (20 iters)
+//! ```
+//!
+//! Set `PIPMCOLL_BENCH_MS` (default 200) to control per-benchmark target
+//! measuring time; `PIPMCOLL_BENCH_MS=1` makes a smoke run.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measuring budget.
+fn target_time() -> Duration {
+    let ms = std::env::var("PIPMCOLL_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Payload bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements (ops, events) processed per iteration.
+    Elements(u64),
+}
+
+/// A named collection of benchmarks; prints a header when created.
+pub struct Group {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl Group {
+    /// Start a group named `name`.
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name}");
+        Group {
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Benchmark `f` (one call = one iteration).
+    pub fn bench(&mut self, id: &str, mut f: impl FnMut()) {
+        self.bench_custom(id, |iters| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed()
+        });
+    }
+
+    /// Benchmark with a custom timer: `f(iters)` runs `iters` iterations
+    /// and returns their total wall-clock time (Criterion's `iter_custom`).
+    pub fn bench_custom(&mut self, id: &str, mut f: impl FnMut(u64) -> Duration) {
+        let budget = target_time();
+        // Calibrate: grow the iteration count until one batch fills ~1/4
+        // of the budget, then measure with the remaining budget.
+        let mut iters: u64 = 1;
+        let mut elapsed = f(iters);
+        while elapsed < budget / 4 && iters < 1 << 20 {
+            iters = iters.saturating_mul(2);
+            elapsed = f(iters);
+        }
+        let mut total = elapsed;
+        let mut total_iters = iters;
+        let deadline = Instant::now() + budget;
+        while Instant::now() < deadline && total_iters < 1 << 24 {
+            total += f(iters);
+            total_iters += iters;
+        }
+        let per_iter = total.as_secs_f64() / total_iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("{:>10.1} MiB/s", b as f64 / per_iter / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(e)) => {
+                format!("{:>10.1} Kelem/s", e as f64 / per_iter / 1e3)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:<44} {:>12.3} us/iter {rate}   ({total_iters} iters)",
+            format!("{}/{id}", self.name),
+            per_iter * 1e6
+        );
+    }
+}
+
+/// Prevent the optimizer from discarding a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("PIPMCOLL_BENCH_MS", "1");
+        let mut g = Group::new("selftest");
+        let mut n = 0u64;
+        g.bench("count", || n = black_box(n + 1));
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_custom("custom", |iters| {
+            let t0 = Instant::now();
+            for i in 0..iters {
+                black_box(i);
+            }
+            t0.elapsed()
+        });
+        assert!(n > 0);
+    }
+}

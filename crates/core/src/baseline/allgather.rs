@@ -32,7 +32,11 @@ pub fn allgather_bruck<C: Comm>(c: &mut C, p: &AllgatherParams) {
         let dst = (rank + size - d) % size;
         let src = (rank + d) % size;
         let sreq = c.isend(dst, tags::ALLGATHER + step, Region::new(work, 0, cnt * cb));
-        let rreq = c.irecv(src, tags::ALLGATHER + step, Region::new(work, d * cb, cnt * cb));
+        let rreq = c.irecv(
+            src,
+            tags::ALLGATHER + step,
+            Region::new(work, d * cb, cnt * cb),
+        );
         c.wait(sreq);
         c.wait(rreq);
         d <<= 1;
@@ -130,7 +134,12 @@ mod tests {
     use pipmcoll_sched::record_with_sizes;
     use pipmcoll_sched::verify::check_allgather;
 
-    fn run(algo: fn(&mut pipmcoll_sched::TraceComm, &AllgatherParams), nodes: usize, ppn: usize, cb: usize) {
+    fn run(
+        algo: fn(&mut pipmcoll_sched::TraceComm, &AllgatherParams),
+        nodes: usize,
+        ppn: usize,
+        cb: usize,
+    ) {
         let topo = Topology::new(nodes, ppn);
         let p = AllgatherParams { cb };
         let sched = record_with_sizes(topo, p.buf_sizes(topo), |c| algo(c, &p));

@@ -44,9 +44,17 @@ fn unfold_from_pof2<C: Comm>(c: &mut C, p: &AllreduceParams) {
     let rem = size - pof2_floor(size);
     if rank < 2 * rem {
         if !rank.is_multiple_of(2) {
-            c.send(rank - 1, tags::ALLREDUCE + 96, Region::new(BufId::Recv, 0, cb));
+            c.send(
+                rank - 1,
+                tags::ALLREDUCE + 96,
+                Region::new(BufId::Recv, 0, cb),
+            );
         } else {
-            c.recv(rank + 1, tags::ALLREDUCE + 96, Region::new(BufId::Recv, 0, cb));
+            c.recv(
+                rank + 1,
+                tags::ALLREDUCE + 96,
+                Region::new(BufId::Recv, 0, cb),
+            );
         }
     }
 }

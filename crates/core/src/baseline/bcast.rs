@@ -13,7 +13,10 @@ pub fn bcast_binomial<C: Comm>(c: &mut C, cb: usize, root: usize) {
     let size = c.topo().world_size();
     let vr = vrank(c, root);
     if vr == 0 {
-        c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(BufId::Recv, 0, cb));
+        c.local_copy(
+            Region::new(BufId::Send, 0, cb),
+            Region::new(BufId::Recv, 0, cb),
+        );
     }
     // Receive from the parent (the rank that differs in my lowest set bit).
     let mut mask = 1usize;

@@ -60,11 +60,7 @@ pub fn gather_binomial<C: Comm>(c: &mut C, cb: usize, root: usize) {
         if child_vr < size {
             let cspan = mask.min(size - child_vr);
             let child = real_of(child_vr, root, size);
-            c.recv(
-                child,
-                tags::BINOMIAL,
-                Region::new(t, mask * cb, cspan * cb),
-            );
+            c.recv(child, tags::BINOMIAL, Region::new(t, mask * cb, cspan * cb));
         }
         mask <<= 1;
     }
@@ -75,7 +71,11 @@ pub fn gather_binomial<C: Comm>(c: &mut C, cb: usize, root: usize) {
         let (segs, n) = real_segments(vr, span, root, size);
         let mut off = 0usize;
         for (j, (_, len)) in segs[..n].iter().enumerate() {
-            c.send(parent, tags::BINOMIAL + j as u32, Region::new(t, off, len * cb));
+            c.send(
+                parent,
+                tags::BINOMIAL + j as u32,
+                Region::new(t, off, len * cb),
+            );
             off += len * cb;
         }
     } else {

@@ -8,8 +8,8 @@
 //! node for internode phases of tree algorithms.
 
 pub mod allgather;
-pub mod barrier;
 pub mod allreduce;
+pub mod barrier;
 pub mod bcast;
 pub mod gather;
 pub mod reduce;

@@ -17,7 +17,10 @@ pub fn reduce_binomial<C: Comm>(c: &mut C, p: &AllreduceParams, root: usize) {
     let vr = vrank(c, root);
     // Accumulator: the root reduces in place in Recv; others use scratch.
     let acc = if vr == 0 {
-        c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(BufId::Recv, 0, cb));
+        c.local_copy(
+            Region::new(BufId::Send, 0, cb),
+            Region::new(BufId::Recv, 0, cb),
+        );
         Region::new(BufId::Recv, 0, cb)
     } else {
         let t = c.alloc_temp(cb);
@@ -64,8 +67,7 @@ mod tests {
         );
         sched.validate().unwrap();
         let res =
-            execute_race_checked(&sched, |r| doubles_to_bytes(&double_pattern(r, count)))
-                .unwrap();
+            execute_race_checked(&sched, |r| doubles_to_bytes(&double_pattern(r, count))).unwrap();
         assert_eq!(
             bytes_to_doubles(&res.recv[root]),
             reference_reduce(ReduceOp::Sum, topo.world_size(), count),

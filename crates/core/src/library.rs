@@ -90,7 +90,10 @@ impl LibraryProfile {
 
     /// Whether this is one of the PiP-MColl variants (multi-object).
     pub fn is_mcoll(self) -> bool {
-        matches!(self, LibraryProfile::PipMColl | LibraryProfile::PipMCollSmall)
+        matches!(
+            self,
+            LibraryProfile::PipMColl | LibraryProfile::PipMCollSmall
+        )
     }
 
     /// Per-message software overhead (calibration; see module docs).
@@ -202,7 +205,11 @@ mod tests {
         let m = presets::bebop(2, 2);
         for lib in LibraryProfile::ALL {
             let cfg = lib.engine_config(m, 64);
-            assert_eq!(cfg.pip_handshake, lib == LibraryProfile::PipMpich, "{lib:?}");
+            assert_eq!(
+                cfg.pip_handshake,
+                lib == LibraryProfile::PipMpich,
+                "{lib:?}"
+            );
         }
     }
 

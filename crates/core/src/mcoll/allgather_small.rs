@@ -86,19 +86,20 @@ pub fn allgather_mcoll_small_k<C: Comm>(c: &mut C, p: &AllgatherParams, k: usize
         step += 1;
     }
 
-    // Phase 3: workspace block k holds node (node + k) % N's data. Every
-    // rank copies all blocks into its own Recv with the rotation applied —
-    // this is the paper's "shift into the correct sequence and broadcast".
-    for k in 0..n {
-        let owner = (node + k) % n;
+    // Phase 3: workspace block `blk` holds node (node + blk) % N's data.
+    // Every rank copies all blocks into its own Recv with the rotation
+    // applied — this is the paper's "shift into the correct sequence and
+    // broadcast". (`blk`, not `k`: `k` is the Bruck radix above.)
+    for blk in 0..n {
+        let owner = (node + blk) % n;
         if let Some(t) = work {
             c.local_copy(
-                Region::new(t, k * nb, nb),
+                Region::new(t, blk * nb, nb),
                 Region::new(BufId::Recv, owner * nb, nb),
             );
         } else {
             c.copy_in(
-                RemoteRegion::new(local_root, slots::WORK, k * nb, nb),
+                RemoteRegion::new(local_root, slots::WORK, blk * nb, nb),
                 Region::new(BufId::Recv, owner * nb, nb),
             );
         }
@@ -152,8 +153,9 @@ mod tests {
         for k in 1..=4 {
             let topo = Topology::new(6, 4);
             let p = AllgatherParams { cb: 8 };
-            let sched =
-                record_with_sizes(topo, p.buf_sizes(topo), |c| allgather_mcoll_small_k(c, &p, k));
+            let sched = record_with_sizes(topo, p.buf_sizes(topo), |c| {
+                allgather_mcoll_small_k(c, &p, k)
+            });
             check_allgather(&sched, 8).unwrap_or_else(|e| panic!("k={k}: {e}"));
         }
     }
@@ -163,6 +165,8 @@ mod tests {
     fn fan_out_zero_rejected() {
         let topo = Topology::new(2, 2);
         let p = AllgatherParams { cb: 8 };
-        let _ = record_with_sizes(topo, p.buf_sizes(topo), |c| allgather_mcoll_small_k(c, &p, 0));
+        let _ = record_with_sizes(topo, p.buf_sizes(topo), |c| {
+            allgather_mcoll_small_k(c, &p, 0)
+        });
     }
 }

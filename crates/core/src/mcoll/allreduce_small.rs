@@ -166,11 +166,7 @@ pub fn allreduce_mcoll_small<C: Comm>(c: &mut C, p: &AllreduceParams) {
             let dst = topo.rank_of((node + pof - dist) % pof, l);
             let src = topo.rank_of((node + dist) % pof, l);
             let tag = tags::MCOLL_AR_SMALL + step;
-            let sreq = c.isend_shared(
-                dst,
-                tag,
-                RemoteRegion::new(local_root, slots::RECV, 0, cb),
-            );
+            let sreq = c.isend_shared(dst, tag, RemoteRegion::new(local_root, slots::RECV, 0, cb));
             let rreq = c.irecv(src, tag, Region::whole(tmp, cb));
             c.wait(sreq);
             c.wait(rreq);

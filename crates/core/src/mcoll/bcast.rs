@@ -50,7 +50,10 @@ pub fn bcast_mcoll_small<C: Comm>(c: &mut C, cb: usize, root: usize) {
     // The local root materialises the payload in its Recv and posts it.
     if l == 0 {
         if vnode == 0 {
-            c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(BufId::Recv, 0, cb));
+            c.local_copy(
+                Region::new(BufId::Send, 0, cb),
+                Region::new(BufId::Recv, 0, cb),
+            );
         } else {
             let a = role.attach.expect("non-root nodes attach");
             let sender_node = (a.parent_lo + root_node) % n;
@@ -77,7 +80,11 @@ pub fn bcast_mcoll_small<C: Comm>(c: &mut C, cb: usize, root: usize) {
             let req = if l == 0 {
                 c.isend(child, tag, Region::new(BufId::Recv, 0, cb))
             } else {
-                c.isend_shared(child, tag, RemoteRegion::new(local_root, slots::WORK, 0, cb))
+                c.isend_shared(
+                    child,
+                    tag,
+                    RemoteRegion::new(local_root, slots::WORK, 0, cb),
+                )
             };
             reqs.push(req);
         }
@@ -116,7 +123,10 @@ pub fn bcast_mcoll_large<C: Comm>(c: &mut C, cb: usize, root: usize) {
     // root's Recv at their final offsets (virtual chunks are contiguous).
     if l == 0 {
         if vnode == 0 {
-            c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(BufId::Recv, 0, cb));
+            c.local_copy(
+                Region::new(BufId::Send, 0, cb),
+                Region::new(BufId::Recv, 0, cb),
+            );
         } else {
             let a = role.attach.expect("non-root nodes attach");
             let sender_node = (a.parent_lo + root_node) % n;
@@ -208,7 +218,13 @@ mod tests {
     use pipmcoll_sched::verify::pattern;
     use pipmcoll_sched::{record_with_sizes, BufSizes};
 
-    fn run(algo: fn(&mut pipmcoll_sched::TraceComm, usize, usize), nodes: usize, ppn: usize, cb: usize, root: usize) {
+    fn run(
+        algo: fn(&mut pipmcoll_sched::TraceComm, usize, usize),
+        nodes: usize,
+        ppn: usize,
+        cb: usize,
+        root: usize,
+    ) {
         let topo = Topology::new(nodes, ppn);
         let sched = record_with_sizes(
             topo,

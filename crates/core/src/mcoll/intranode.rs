@@ -26,7 +26,10 @@ pub fn intra_bcast_small<C: Comm>(c: &mut C, cb: usize) {
     if c.is_local_root() {
         let staging = c.alloc_temp(cb);
         c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(staging, 0, cb));
-        c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(BufId::Recv, 0, cb));
+        c.local_copy(
+            Region::new(BufId::Send, 0, cb),
+            Region::new(BufId::Recv, 0, cb),
+        );
         c.post_addr(slots::WORK, Region::new(staging, 0, cb));
         if p > 1 {
             c.wait_flag(flags::DONE, (p - 1) as u32);
@@ -48,7 +51,10 @@ pub fn intra_bcast_large<C: Comm>(c: &mut C, cb: usize) {
     let root = c.local_root();
     if c.is_local_root() {
         c.post_addr(slots::WORK, Region::new(BufId::Send, 0, cb));
-        c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(BufId::Recv, 0, cb));
+        c.local_copy(
+            Region::new(BufId::Send, 0, cb),
+            Region::new(BufId::Recv, 0, cb),
+        );
         if p > 1 {
             c.wait_flag(flags::DONE, (p - 1) as u32);
         }
@@ -71,7 +77,10 @@ pub fn intra_gather<C: Comm>(c: &mut C, cb: usize) {
     let l = c.local();
     if c.is_local_root() {
         c.post_addr(slots::RECV, Region::new(BufId::Recv, 0, p * cb));
-        c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(BufId::Recv, 0, cb));
+        c.local_copy(
+            Region::new(BufId::Send, 0, cb),
+            Region::new(BufId::Recv, 0, cb),
+        );
         if p > 1 {
             c.wait_flag(flags::DONE, (p - 1) as u32);
         }
@@ -112,7 +121,10 @@ pub fn intra_reduce_binomial_at<C: Comm>(
     let node = c.node();
     // Accumulator: the root reduces in place in Recv; others use scratch.
     let acc = if l == 0 {
-        c.local_copy(Region::new(BufId::Send, 0, cb), Region::new(BufId::Recv, 0, cb));
+        c.local_copy(
+            Region::new(BufId::Send, 0, cb),
+            Region::new(BufId::Recv, 0, cb),
+        );
         Region::new(BufId::Recv, 0, cb)
     } else {
         let t = c.alloc_temp(cb);
@@ -165,7 +177,10 @@ pub fn intra_reduce_chunked<C: Comm>(c: &mut C, count: usize, op: ReduceOp, dt: 
     let (off, len) = (elo * esz, (ehi - elo) * esz);
     if len > 0 {
         let stage = c.alloc_temp(len);
-        c.local_copy(Region::new(BufId::Send, off, len), Region::new(stage, 0, len));
+        c.local_copy(
+            Region::new(BufId::Send, off, len),
+            Region::new(stage, 0, len),
+        );
         for peer_l in 0..p {
             if peer_l == l {
                 continue;
@@ -179,7 +194,10 @@ pub fn intra_reduce_chunked<C: Comm>(c: &mut C, count: usize, op: ReduceOp, dt: 
             );
         }
         if l == 0 {
-            c.local_copy(Region::new(stage, 0, len), Region::new(BufId::Recv, off, len));
+            c.local_copy(
+                Region::new(stage, 0, len),
+                Region::new(BufId::Recv, off, len),
+            );
         } else {
             c.copy_out(
                 Region::new(stage, 0, len),
@@ -260,10 +278,8 @@ mod tests {
                 intra_reduce_binomial(c, cb, ReduceOp::Sum, Datatype::Double)
             });
             sched.validate().unwrap();
-            let res = execute_race_checked(&sched, |r| {
-                doubles_to_bytes(&double_pattern(r, count))
-            })
-            .unwrap();
+            let res = execute_race_checked(&sched, |r| doubles_to_bytes(&double_pattern(r, count)))
+                .unwrap();
             assert_eq!(
                 bytes_to_doubles(&res.recv[0]),
                 reference_reduce(ReduceOp::Sum, p, count),
@@ -281,10 +297,8 @@ mod tests {
                 intra_reduce_chunked(c, count, ReduceOp::Sum, Datatype::Double)
             });
             sched.validate().unwrap();
-            let res = execute_race_checked(&sched, |r| {
-                doubles_to_bytes(&double_pattern(r, count))
-            })
-            .unwrap();
+            let res = execute_race_checked(&sched, |r| doubles_to_bytes(&double_pattern(r, count)))
+                .unwrap();
             assert_eq!(
                 bytes_to_doubles(&res.recv[0]),
                 reference_reduce(ReduceOp::Sum, p, count),
@@ -303,8 +317,7 @@ mod tests {
         });
         sched.validate().unwrap();
         let res =
-            execute_race_checked(&sched, |r| doubles_to_bytes(&double_pattern(r, count)))
-                .unwrap();
+            execute_race_checked(&sched, |r| doubles_to_bytes(&double_pattern(r, count))).unwrap();
         assert_eq!(
             bytes_to_doubles(&res.recv[0]),
             reference_reduce(ReduceOp::Max, 4, count)

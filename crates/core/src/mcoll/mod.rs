@@ -19,11 +19,11 @@
 //! uses a provably-correct fold/unfold generalisation (DESIGN.md §2).
 
 pub mod allgather_large;
-pub mod barrier;
-pub mod bcast;
 pub mod allgather_small;
 pub mod allreduce_large;
 pub mod allreduce_small;
+pub mod barrier;
+pub mod bcast;
 pub mod gather;
 pub mod intranode;
 pub mod reduce;

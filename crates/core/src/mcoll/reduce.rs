@@ -61,7 +61,10 @@ pub fn reduce_mcoll<C: Comm>(c: &mut C, p: &AllreduceParams, root: usize) {
 
     // --- Phase 1: chunked intranode reduce into the accumulator (Fig. 5).
     if clen > 0 {
-        c.local_copy(Region::new(BufId::Send, coff, clen), Region::new(stage, 0, clen));
+        c.local_copy(
+            Region::new(BufId::Send, coff, clen),
+            Region::new(stage, 0, clen),
+        );
         for peer_l in 0..ppn {
             if peer_l == l {
                 continue;
@@ -181,8 +184,7 @@ mod tests {
         );
         sched.validate().unwrap();
         let res =
-            execute_race_checked(&sched, |r| doubles_to_bytes(&double_pattern(r, count)))
-                .unwrap();
+            execute_race_checked(&sched, |r| doubles_to_bytes(&double_pattern(r, count))).unwrap();
         assert_eq!(
             bytes_to_doubles(&res.recv[root]),
             reference_reduce(ReduceOp::Sum, topo.world_size(), count),
@@ -234,8 +236,7 @@ mod tests {
         );
         sched.validate().unwrap();
         let res =
-            execute_race_checked(&sched, |r| doubles_to_bytes(&double_pattern(r, count)))
-                .unwrap();
+            execute_race_checked(&sched, |r| doubles_to_bytes(&double_pattern(r, count))).unwrap();
         assert_eq!(
             bytes_to_doubles(&res.recv[0]),
             reference_reduce(ReduceOp::Max, 6, count)

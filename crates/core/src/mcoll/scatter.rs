@@ -112,7 +112,12 @@ pub fn scatter_mcoll<C: Comm>(c: &mut C, p: &ScatterParams) {
                                 c.isend_shared(
                                     tgt,
                                     tag,
-                                    RemoteRegion::new(local_root, slots::WORK, region_off, region_len),
+                                    RemoteRegion::new(
+                                        local_root,
+                                        slots::WORK,
+                                        region_off,
+                                        region_len,
+                                    ),
                                 )
                             };
                             send_reqs.push(req);
@@ -182,7 +187,10 @@ pub fn scatter_mcoll<C: Comm>(c: &mut C, p: &ScatterParams) {
     if on_root_node {
         let off = node * nb + l * cb; // real layout, my node IS node `node`
         if rank == p.root {
-            c.local_copy(Region::new(BufId::Send, off, cb), Region::new(BufId::Recv, 0, cb));
+            c.local_copy(
+                Region::new(BufId::Send, off, cb),
+                Region::new(BufId::Recv, 0, cb),
+            );
         } else {
             c.copy_in(
                 RemoteRegion::new(local_root, slots::WORK, off, cb),

@@ -133,7 +133,9 @@ mod tests {
         let roles: Vec<NodeRole> = (0..n).map(|v| node_role(n, radix, v)).collect();
         assert!(roles[0].attach.is_none());
         for (v, role) in roles.iter().enumerate().skip(1) {
-            let a = role.attach.unwrap_or_else(|| panic!("node {v} never attaches"));
+            let a = role
+                .attach
+                .unwrap_or_else(|| panic!("node {v} never attaches"));
             // The parent must head a range starting at parent_lo at that level.
             let parent = &roles[a.parent_lo];
             let hl = parent

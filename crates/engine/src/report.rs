@@ -122,11 +122,7 @@ impl SimReport {
         if self.rank_finish.is_empty() {
             return 0.0;
         }
-        self.rank_finish
-            .iter()
-            .map(|t| t.as_us_f64())
-            .sum::<f64>()
-            / self.rank_finish.len() as f64
+        self.rank_finish.iter().map(|t| t.as_us_f64()).sum::<f64>() / self.rank_finish.len() as f64
     }
 
     /// Achieved internode message rate, messages/s.

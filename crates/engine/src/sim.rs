@@ -146,7 +146,12 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn wake(&mut self, key: WaitKey, queue: &mut BinaryHeap<Reverse<(SimTime, u64, usize)>>, seq: &mut u64) {
+    fn wake(
+        &mut self,
+        key: WaitKey,
+        queue: &mut BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+        seq: &mut u64,
+    ) {
         if let Some(ws) = self.waiters.remove(&key) {
             for r in ws {
                 *seq += 1;
@@ -213,8 +218,7 @@ impl<'a> Sim<'a> {
         // Eager sends complete locally once injected (the payload is
         // buffered); rendezvous sends complete when the wire transfer ends.
         let send_done = if rdv { tx_end } else { inj_end };
-        let recv_done =
-            rx_end.max(recv_post) + nic.recv_overhead + self.cfg.machine.sw_overhead;
+        let recv_done = rx_end.max(recv_post) + nic.recv_overhead + self.cfg.machine.sw_overhead;
         self.net_msgs += 1;
         self.net_bytes += bytes;
         (send_done, recv_done)
@@ -328,9 +332,7 @@ impl<'a> Sim<'a> {
                     _ => OpCategory::NetRecv,
                 }
             }
-            Op::CopyIn { .. } | Op::CopyOut { .. } | Op::ReduceIn { .. } => {
-                OpCategory::SharedData
-            }
+            Op::CopyIn { .. } | Op::CopyOut { .. } | Op::ReduceIn { .. } => OpCategory::SharedData,
             Op::LocalCopy { .. } | Op::LocalReduce { .. } => OpCategory::LocalData,
             Op::PostAddr { .. } | Op::Signal { .. } | Op::WaitFlag { .. } | Op::NodeBarrier => {
                 OpCategory::Sync
@@ -407,7 +409,10 @@ impl<'a> Sim<'a> {
                 self.ranks[rank].clock = c;
                 let st = self.chans.entry(chan).or_default();
                 let pos = st.recvs.len();
-                st.recvs.push(RecvEntry { post: c, done: None });
+                st.recvs.push(RecvEntry {
+                    post: c,
+                    done: None,
+                });
                 self.ranks[rank].req_info.insert(pc, (chan, pos, false));
                 self.shared_ops += 1;
                 self.try_match(chan, queue, seq);
@@ -519,11 +524,17 @@ impl<'a> Sim<'a> {
                     entry.1 = entry.1.max(self.ranks[rank].clock);
                     if entry.0 == topo.ppn() {
                         let p = topo.ppn();
-                        let cost = self.cfg.machine.barrier_unit
-                            * ceil_log(2, p.max(2)) as u64;
+                        let cost = self.cfg.machine.barrier_unit * ceil_log(2, p.max(2)) as u64;
                         let done = entry.1 + cost;
                         self.barrier_done.insert((node, generation), done);
-                        self.wake(WaitKey::Barrier { node, gen: generation }, queue, seq);
+                        self.wake(
+                            WaitKey::Barrier {
+                                node,
+                                gen: generation,
+                            },
+                            queue,
+                            seq,
+                        );
                     }
                 }
                 let generation = self.ranks[rank].barriers_entered;
@@ -659,8 +670,8 @@ fn _ids_doc_anchor(r: Region) -> BufId {
 mod tests {
     use super::*;
     use pipmcoll_model::presets;
-    use pipmcoll_sched::{record, BufSizes, Comm, Region};
     use pipmcoll_sched::BufId as B;
+    use pipmcoll_sched::{record, BufSizes, Comm, Region};
 
     fn cfg(nodes: usize, ppn: usize) -> EngineConfig {
         EngineConfig::pip_mcoll(presets::bebop(nodes, ppn))
@@ -717,7 +728,10 @@ mod tests {
         // The 2 KiB extra payload costs ~0.6us of wire time; the handshake
         // costs ~2 more latencies. Expect a visible jump.
         let delta = just_over.makespan.saturating_sub(just_under.makespan);
-        assert!(delta > SimTime::from_us(1), "handshake not visible: {delta}");
+        assert!(
+            delta > SimTime::from_us(1),
+            "handshake not visible: {delta}"
+        );
     }
 
     #[test]
@@ -754,11 +768,7 @@ mod tests {
         });
         let m = presets::bebop(1, 2);
         let pip = simulate(&EngineConfig::pip_mcoll(m), &s).unwrap();
-        let posix = simulate(
-            &EngineConfig::conventional(m, Mechanism::Posix),
-            &s,
-        )
-        .unwrap();
+        let posix = simulate(&EngineConfig::conventional(m, Mechanism::Posix), &s).unwrap();
         assert!(
             posix.makespan > pip.makespan,
             "double copy must cost more: posix {} vs pip {}",

@@ -89,8 +89,7 @@ pub fn allgather_large_gather(h: &HockneyParams, cb: u64, p: usize) -> SimTime {
 /// §III-B1: large-message allgather, overlapped intranode broadcast:
 /// `T_intra-bcastl = α_r·(N−1) + (P−1)·N·P·C_b·β_r`.
 pub fn allgather_large_bcast(h: &HockneyParams, cb: u64, p: usize, n: usize) -> SimTime {
-    h.alpha_r * (n as u64 - 1)
-        + h.intra_bytes((p as u64 - 1) * n as u64 * p as u64 * cb)
+    h.alpha_r * (n as u64 - 1) + h.intra_bytes((p as u64 - 1) * n as u64 * p as u64 * cb)
 }
 
 /// §III-B1: large-message allgather, internode multi-object ring:
@@ -116,9 +115,7 @@ pub fn allreduce_large_reduce(h: &HockneyParams, cb: u64, p: usize) -> SimTime {
 /// `T_inter-rscatterl = α_e·(P−1) + ((N−1)/N)·C_b·β_e + (C_b/N)·(N−1)·γ`.
 pub fn allreduce_large_rscatter(h: &HockneyParams, cb: u64, p: usize, n: usize) -> SimTime {
     let nm1 = n as u64 - 1;
-    h.alpha_e * (p as u64 - 1)
-        + h.inter_bytes(nm1 * cb / n as u64)
-        + h.reduce(cb / n as u64 * nm1)
+    h.alpha_e * (p as u64 - 1) + h.inter_bytes(nm1 * cb / n as u64) + h.reduce(cb / n as u64 * nm1)
 }
 
 /// §III-B2: overall large-message allreduce:
@@ -129,8 +126,12 @@ pub fn allreduce_large_total(h: &HockneyParams, cb: u64, p: usize, n: usize) -> 
     let chunk = (cb / n as u64).max(1) / p as u64;
     allreduce_large_reduce(h, cb, p)
         + allreduce_large_rscatter(h, cb, p, n)
-        + allgather_large_bcast(h, chunk.max(1), p, n)
-            .max(allgather_large_inter(h, chunk.max(1), p, n))
+        + allgather_large_bcast(h, chunk.max(1), p, n).max(allgather_large_inter(
+            h,
+            chunk.max(1),
+            p,
+            n,
+        ))
 }
 
 #[cfg(test)]
@@ -168,7 +169,10 @@ mod tests {
         let t1 = allgather_large_total(&h, 64 * 1024, 18, 128);
         let t2 = allgather_large_total(&h, 128 * 1024, 18, 128);
         let ratio = t2.as_secs_f64() / t1.as_secs_f64();
-        assert!(ratio < 2.2, "large-message algorithm must be linear: {ratio}");
+        assert!(
+            ratio < 2.2,
+            "large-message algorithm must be linear: {ratio}"
+        );
     }
 
     #[test]
@@ -208,8 +212,6 @@ mod tests {
     fn allreduce_large_reduces_transfer_volume() {
         let h = h();
         let cb = 512 * 1024 * 8; // 512k doubles
-        assert!(
-            allreduce_large_total(&h, cb, 18, 128) < allreduce_small_total(&h, cb, 18, 128)
-        );
+        assert!(allreduce_large_total(&h, cb, 18, 128) < allreduce_small_total(&h, cb, 18, 128));
     }
 }

@@ -38,7 +38,10 @@ impl Datatype {
     #[inline]
     pub fn count_of(self, bytes: usize) -> usize {
         let sz = self.size();
-        assert!(bytes.is_multiple_of(sz), "{bytes} bytes is not a whole number of {self:?}");
+        assert!(
+            bytes.is_multiple_of(sz),
+            "{bytes} bytes is not a whole number of {self:?}"
+        );
         bytes / sz
     }
 }
@@ -89,8 +92,20 @@ macro_rules! reduce_typed {
             let sv = <$ty>::from_le_bytes(s.try_into().unwrap());
             let r: $ty = match $op {
                 ReduceOp::Sum => av + sv,
-                ReduceOp::Max => if sv > av { sv } else { av },
-                ReduceOp::Min => if sv < av { sv } else { av },
+                ReduceOp::Max => {
+                    if sv > av {
+                        sv
+                    } else {
+                        av
+                    }
+                }
+                ReduceOp::Min => {
+                    if sv < av {
+                        sv
+                    } else {
+                        av
+                    }
+                }
                 ReduceOp::Prod => av * sv,
             };
             a.copy_from_slice(&r.to_le_bytes());

@@ -72,7 +72,10 @@ mod tests {
     fn hockney_derivation_sane() {
         let m = presets::bebop(2, 18);
         let h = m.hockney();
-        assert!(h.alpha_e > h.alpha_r, "network latency exceeds flag latency");
+        assert!(
+            h.alpha_e > h.alpha_r,
+            "network latency exceeds flag latency"
+        );
         assert!(h.beta_e > h.beta_r, "network slower per byte than memcpy");
     }
 }

@@ -190,10 +190,7 @@ mod tests {
         assert!(first > later);
         assert_eq!(later, SimTime::ZERO);
         // 16 KiB = 4 pages faulted + attach.
-        assert_eq!(
-            first,
-            SimTime::from_ns(2200) + SimTime::from_ns(1200) * 4
-        );
+        assert_eq!(first, SimTime::from_ns(2200) + SimTime::from_ns(1200) * 4);
     }
 
     #[test]

@@ -1,12 +1,18 @@
 //! Cluster orchestration: spawn one thread per rank, run an algorithm
 //! (optionally many timed iterations), collect final buffers.
+//!
+//! The safe entry point is [`run_cluster_verified`]: it records the
+//! algorithm's schedule, runs the sound happens-before analysis, and only
+//! then executes on threads. The unverified [`run_cluster`] remains for
+//! benches and for algorithms already proven elsewhere — callers take on
+//! the data-race risk themselves (the `SharedBuf` accesses are unchecked
+//! `UnsafeCell` reads/writes; an unordered conflicting pair is UB).
 
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use pipmcoll_model::Topology;
-use pipmcoll_sched::BufSizes;
+use pipmcoll_sched::{record_with_sizes, BufSizes, Comm};
 
 use crate::comm::RtComm;
 use crate::shared::{Board, BufKey, ChannelTable, FlagSet, SharedBuf};
@@ -61,8 +67,8 @@ impl ClusterShared {
             send_arc,
             recv_arc,
             temps: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
-            boards: (0..world).map(|_| Board::default()).collect(),
-            flags: (0..world).map(|_| FlagSet::default()).collect(),
+            boards: (0..world).map(Board::for_rank).collect(),
+            flags: (0..world).map(FlagSet::for_rank).collect(),
             chans: ChannelTable::default(),
             node_barriers: (0..topo.nodes())
                 .map(|_| Barrier::new(topo.ppn()))
@@ -77,7 +83,7 @@ impl ClusterShared {
             BufKey::Send(r) => Arc::clone(&self.send_arc[r]),
             BufKey::Recv(r) => Arc::clone(&self.recv_arc[r]),
             BufKey::Temp(r, i) => {
-                let g = self.temps[r].lock();
+                let g = self.temps[r].lock().unwrap();
                 Arc::clone(
                     g.get(i)
                         .unwrap_or_else(|| panic!("rank {r} temp {i} not allocated")),
@@ -90,7 +96,7 @@ impl ClusterShared {
     /// re-allocate deterministically, so an existing temp of the right size
     /// is reused.
     pub fn ensure_temp(&self, r: usize, idx: usize, bytes: usize) {
-        let mut g = self.temps[r].lock();
+        let mut g = self.temps[r].lock().unwrap();
         assert!(idx <= g.len(), "temps must be allocated in order");
         if idx == g.len() {
             g.push(Arc::new(SharedBuf::new(bytes)));
@@ -132,9 +138,47 @@ impl RtResult {
     }
 }
 
+/// A collective algorithm written against the backend-neutral [`Comm`]
+/// trait, so the *same* implementation can be recorded (for validation and
+/// happens-before analysis) and executed on threads.
+/// [`run_cluster_verified`] needs both views of one algorithm, which a
+/// plain closure monomorphised to `RtComm` cannot provide.
+pub trait Algo: Sync {
+    /// Execute the algorithm on one rank's communicator.
+    fn run<C: Comm>(&self, c: &mut C);
+}
+
+/// Record `algo`, prove it safe, then execute it on real threads.
+///
+/// The recorded schedule must pass structural validation and the sound
+/// happens-before race/deadlock analysis ([`pipmcoll_sched::hb`]); this
+/// panics (before any thread is spawned) rather than execute a schedule
+/// with an unordered conflicting access — on the thread runtime such a
+/// pair is a genuine data race on an `UnsafeCell` buffer, i.e. UB, not
+/// merely a wrong answer.
+pub fn run_cluster_verified<S, I, A>(topo: Topology, sizes: S, init: I, algo: &A) -> RtResult
+where
+    S: Fn(usize) -> BufSizes + Sync,
+    I: Fn(usize) -> Vec<u8> + Sync,
+    A: Algo,
+{
+    let sched = record_with_sizes(topo, &sizes, |c| algo.run(c));
+    if let Err(e) = sched.validate() {
+        panic!("refusing to execute: schedule fails validation: {e}");
+    }
+    if let Err(e) = pipmcoll_sched::hb::check(&sched) {
+        panic!("refusing to execute: schedule fails happens-before analysis: {e}");
+    }
+    run_cluster(topo, sizes, init, |c| algo.run(c))
+}
+
 /// Run `algo` once per rank on real threads. Buffer sizes and send-buffer
 /// contents are supplied per rank, exactly like the dataflow interpreter's
 /// API — so the two backends can be cross-validated on identical inputs.
+///
+/// Prefer [`run_cluster_verified`] unless the algorithm's schedule has
+/// already been proven race-free: this entry point executes whatever it is
+/// given, and shared-buffer races are undefined behavior.
 pub fn run_cluster<S, I, F>(topo: Topology, sizes: S, init: I, algo: F) -> RtResult
 where
     S: Fn(usize) -> BufSizes + Sync,
@@ -159,6 +203,20 @@ where
     F: Fn(&mut RtComm) + Sync,
 {
     assert!(iters >= 1);
+    // A rank that panics (timeout diagnostic, bounds check) leaves its
+    // peers blocked forever on barriers/flags it will never reach, and
+    // `thread::scope` cannot join until every rank exits — so a panic in
+    // any rank thread must take the whole process down once its message
+    // has been printed. The default panic hook runs before unwinding
+    // reaches this guard's `drop`.
+    struct AbortAfterRankPanic;
+    impl Drop for AbortAfterRankPanic {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                std::process::abort();
+            }
+        }
+    }
     let shared = Arc::new(ClusterShared::new(topo, &sizes, &init));
     let elapsed = Mutex::new(Duration::ZERO);
     let world = topo.world_size();
@@ -169,6 +227,7 @@ where
             let algo = &algo;
             let elapsed = &elapsed;
             scope.spawn(move || {
+                let _abort_guard = AbortAfterRankPanic;
                 let mut comm = RtComm::new(Arc::clone(&shared), rank, sizes(rank));
                 shared.world_barrier.wait();
                 let t0 = Instant::now();
@@ -184,7 +243,7 @@ where
                     }
                 }
                 if rank == 0 {
-                    *elapsed.lock() = t0.elapsed();
+                    *elapsed.lock().unwrap() = t0.elapsed();
                 }
             });
         }
@@ -204,7 +263,7 @@ where
         .collect();
     RtResult {
         recv,
-        elapsed: elapsed.into_inner(),
+        elapsed: elapsed.into_inner().unwrap(),
         iters,
     }
 }
@@ -297,6 +356,66 @@ mod tests {
             },
         );
         assert_eq!(res.recv.len(), 4);
+    }
+
+    struct FlaggedSharedBcast;
+
+    impl Algo for FlaggedSharedBcast {
+        fn run<C: Comm>(&self, c: &mut C) {
+            if c.local() == 0 {
+                c.post_addr(0, Region::new(BufId::Send, 0, 16));
+                c.wait_flag(0, 2);
+            } else {
+                c.copy_in(
+                    RemoteRegion::new(c.local_root(), 0, 0, 16),
+                    Region::new(BufId::Recv, 0, 16),
+                );
+                c.signal(c.local_root(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn verified_runs_clean_algo() {
+        let topo = Topology::new(1, 3);
+        let res = run_cluster_verified(
+            topo,
+            |_| BufSizes::new(16, 16),
+            |r| pattern(r, 16),
+            &FlaggedSharedBcast,
+        );
+        assert_eq!(res.recv[1], pattern(0, 16));
+        assert_eq!(res.recv[2], pattern(0, 16));
+    }
+
+    /// Two local peers copy-out into the same remote bytes with nothing
+    /// ordering the writes. The barrier keeps the *schedule* free of
+    /// structural complaints — only the happens-before race check sees it.
+    struct UnorderedSharedWrites;
+
+    impl Algo for UnorderedSharedWrites {
+        fn run<C: Comm>(&self, c: &mut C) {
+            if c.local() == 0 {
+                c.post_addr(0, Region::new(BufId::Recv, 0, 8));
+            } else {
+                c.copy_out(
+                    Region::new(BufId::Send, 0, 8),
+                    RemoteRegion::new(c.local_root(), 0, 0, 8),
+                );
+            }
+            c.node_barrier();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "happens-before")]
+    fn verified_refuses_racy_algo() {
+        run_cluster_verified(
+            Topology::new(1, 3),
+            |_| BufSizes::new(8, 8),
+            |r| pattern(r, 8),
+            &UnorderedSharedWrites,
+        );
     }
 
     #[test]

@@ -21,14 +21,19 @@
 //! Peer-buffer access uses raw pointers inside [`shared::SharedBuf`] —
 //! exactly the PiP model. The safety argument is the PiP application's
 //! argument: accesses are ordered by the algorithm's posts, flags and
-//! barriers (all lock/condvar-based here, so they establish happens-before
-//! edges), and every algorithm's access pattern is verified race-free by
-//! the dataflow interpreter's multi-interleaving check before it is run
-//! here.
+//! barriers (all lock/condvar-based here, so the runtime primitives
+//! establish real happens-before edges), and the *algorithm's* use of
+//! those primitives is proven sufficient by the sound vector-clock
+//! analysis in [`pipmcoll_sched::hb`]. [`cluster::run_cluster_verified`]
+//! enforces this mechanically: it records the algorithm's schedule, runs
+//! the analysis, and refuses to spawn threads for any schedule with an
+//! unordered conflicting access or a waits-for cycle. The unverified
+//! [`cluster::run_cluster`] skips the recording pass (benches, algorithms
+//! proven elsewhere); its callers own the race-freedom obligation.
 
 pub mod cluster;
 pub mod comm;
 pub mod shared;
 
-pub use cluster::{run_cluster, run_cluster_timed, RtResult};
+pub use cluster::{run_cluster, run_cluster_timed, run_cluster_verified, Algo, RtResult};
 pub use comm::RtComm;

@@ -1,27 +1,46 @@
 //! Shared-address-space primitives: buffers peers may touch, the address
 //! board, flag sets and channel tables.
+//!
+//! Everything here is built on `std::sync` only — the runtime deliberately
+//! has no external dependencies.
 
 use std::cell::UnsafeCell;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
 use pipmcoll_model::dtype::reduce_into;
 use pipmcoll_model::{Datatype, ReduceOp};
+
+/// How long a blocking primitive ([`Board::fetch`], [`FlagSet::wait`],
+/// [`ChannelTable::recv`]) waits before panicking with a diagnostic instead
+/// of hanging CI forever. Override with `PIPMCOLL_SYNC_TIMEOUT_MS`.
+pub fn sync_timeout() -> Duration {
+    static MS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    let ms = *MS.get_or_init(|| {
+        std::env::var("PIPMCOLL_SYNC_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10_000)
+    });
+    Duration::from_millis(ms)
+}
 
 /// A fixed-size byte buffer other ranks may read/write, PiP-style.
 ///
 /// # Safety contract
 /// Concurrent access must be ordered by the runtime's posts/flags/barriers
 /// (which are lock-based and so create happens-before edges). Algorithms
-/// are verified race-free by the dataflow interpreter before running here.
+/// are admitted to this runtime only after the schedule-level
+/// happens-before analyzer (`pipmcoll_sched::hb`) proves every pair of
+/// overlapping same-buffer accesses is ordered by those primitives — a
+/// sound vector-clock check, not an interleaving sample.
 pub struct SharedBuf {
     data: UnsafeCell<Box<[u8]>>,
 }
 
 // SAFETY: see the type-level contract; all synchronisation is external and
-// verified by the schedule-level race checker.
+// proven sufficient by the schedule-level happens-before analyzer.
 unsafe impl Sync for SharedBuf {}
 unsafe impl Send for SharedBuf {}
 
@@ -43,7 +62,7 @@ impl SharedBuf {
     /// Buffer length in bytes.
     pub fn len(&self) -> usize {
         // SAFETY: the box's length is immutable after construction.
-        unsafe { (&*self.data.get()).len() }
+        unsafe { (*self.data.get()).as_ref().len() }
     }
 
     /// Whether the buffer is empty.
@@ -52,10 +71,15 @@ impl SharedBuf {
     }
 
     fn check(&self, offset: usize, len: usize) {
+        // `checked_add`: `offset + len` must not wrap in release builds —
+        // a wrapped sum compares `<= self.len()` and would let a wildly
+        // out-of-bounds access through.
+        let end = offset
+            .checked_add(len)
+            .unwrap_or_else(|| panic!("shared access [{offset}, {offset}+{len}) overflows usize"));
         assert!(
-            offset + len <= self.len(),
-            "shared access [{offset}, {}) exceeds buffer of {}",
-            offset + len,
+            end <= self.len(),
+            "shared access [{offset}, {end}) exceeds buffer of {}",
             self.len()
         );
     }
@@ -82,21 +106,39 @@ impl SharedBuf {
 
     /// Copy out as a fresh vector.
     pub fn read_vec(&self, offset: usize, len: usize) -> Vec<u8> {
+        // Validate the range *before* allocating: a wrapped or wild `len`
+        // must fail the bounds check, not abort inside the allocator.
+        self.check(offset, len);
         let mut v = vec![0u8; len];
         self.read(offset, &mut v);
         v
     }
 
     /// Direct buffer-to-buffer copy (the single-copy PiP fast path).
+    ///
+    /// # Panics
+    /// Panics if `src` and `dst` are the same buffer and the two ranges
+    /// overlap: the schedule-level discipline (checked by the HB analyzer
+    /// and the trace recorder) forbids overlapping copies, so an overlap
+    /// reaching this point is a bug that must not be papered over with
+    /// `memmove` semantics.
     pub fn copy_between(src: &SharedBuf, soff: usize, dst: &SharedBuf, doff: usize, len: usize) {
         src.check(soff, len);
         dst.check(doff, len);
-        // SAFETY: bounds checked; distinct buffers or non-overlapping
-        // ranges per the algorithm's region discipline.
+        if std::ptr::eq(src, dst) && soff < doff + len && doff < soff + len && len > 0 {
+            panic!(
+                "copy_between: overlapping ranges [{soff}, {}) and [{doff}, {}) \
+                 within one buffer violate the region discipline",
+                soff + len,
+                doff + len
+            );
+        }
+        // SAFETY: bounds checked; ranges proven non-overlapping above (for
+        // distinct buffers the allocations cannot alias).
         unsafe {
             let s = (*src.data.get()).as_ptr().add(soff);
             let d = (*dst.data.get()).as_mut_ptr().add(doff);
-            std::ptr::copy(s, d, len);
+            std::ptr::copy_nonoverlapping(s, d, len);
         }
     }
 
@@ -152,95 +194,183 @@ pub struct Posted {
 /// One rank's address board: slot → posted region, with blocking lookup.
 #[derive(Default)]
 pub struct Board {
+    /// The posting rank, for diagnostics.
+    owner: usize,
     posted: Mutex<HashMap<u16, Posted>>,
     cv: Condvar,
 }
 
 impl Board {
+    /// A board owned by rank `owner` (the owner appears in diagnostics).
+    pub fn for_rank(owner: usize) -> Self {
+        Board {
+            owner,
+            ..Board::default()
+        }
+    }
+
     /// Publish `p` under `slot` (a store + release in real PiP).
     pub fn post(&self, slot: u16, p: Posted) {
-        let mut g = self.posted.lock();
+        let mut g = self.posted.lock().unwrap();
         g.insert(slot, p);
         self.cv.notify_all();
     }
 
     /// Blocking lookup of `slot`.
+    ///
+    /// # Panics
+    /// Panics after [`sync_timeout`] with the owning rank and slot if the
+    /// slot is never posted — an unsynchronized schedule fails in seconds
+    /// with context instead of hanging the suite.
     pub fn fetch(&self, slot: u16) -> Posted {
-        let mut g = self.posted.lock();
+        self.fetch_within(slot, sync_timeout())
+    }
+
+    /// [`Board::fetch`] with an explicit timeout.
+    pub fn fetch_within(&self, slot: u16, timeout: Duration) -> Posted {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.posted.lock().unwrap();
         loop {
             if let Some(p) = g.get(&slot) {
                 return *p;
             }
-            self.cv.wait(&mut g);
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                panic!(
+                    "timeout: rank {} never posted board slot {slot} \
+                     (posted slots: {:?}) — schedule under-synchronized?",
+                    self.owner,
+                    g.keys().collect::<Vec<_>>()
+                );
+            }
+            let (guard, _timed_out) = self.cv.wait_timeout(g, deadline - now).unwrap();
+            g = guard;
         }
     }
 
     /// Reset between benchmark iterations.
     pub fn clear(&self) {
-        self.posted.lock().clear();
+        self.posted.lock().unwrap().clear();
     }
 }
 
 /// One rank's notification flags: counter per flag id, with blocking wait.
 #[derive(Default)]
 pub struct FlagSet {
+    /// The waiting rank, for diagnostics.
+    owner: usize,
     counts: Mutex<HashMap<u16, u32>>,
     cv: Condvar,
 }
 
 impl FlagSet {
+    /// A flag set owned by rank `owner` (the owner appears in diagnostics).
+    pub fn for_rank(owner: usize) -> Self {
+        FlagSet {
+            owner,
+            ..FlagSet::default()
+        }
+    }
+
     /// Increment `flag` (a userspace atomic in real PiP).
     pub fn signal(&self, flag: u16) {
-        let mut g = self.counts.lock();
+        let mut g = self.counts.lock().unwrap();
         *g.entry(flag).or_default() += 1;
         self.cv.notify_all();
     }
 
     /// Block until `flag` has been signalled at least `count` times.
+    ///
+    /// # Panics
+    /// Panics after [`sync_timeout`] with rank/flag/progress context if the
+    /// count is never reached.
     pub fn wait(&self, flag: u16, count: u32) {
-        let mut g = self.counts.lock();
-        while g.get(&flag).copied().unwrap_or(0) < count {
-            self.cv.wait(&mut g);
+        self.wait_within(flag, count, sync_timeout())
+    }
+
+    /// [`FlagSet::wait`] with an explicit timeout.
+    pub fn wait_within(&self, flag: u16, count: u32, timeout: Duration) {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.counts.lock().unwrap();
+        loop {
+            let have = g.get(&flag).copied().unwrap_or(0);
+            if have >= count {
+                return;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                panic!(
+                    "timeout: rank {} waited for flag {flag} to reach {count} \
+                     but only {have} signals arrived — schedule under-synchronized?",
+                    self.owner
+                );
+            }
+            let (guard, _timed_out) = self.cv.wait_timeout(g, deadline - now).unwrap();
+            g = guard;
         }
     }
 
     /// Reset between benchmark iterations.
     pub fn clear(&self) {
-        self.counts.lock().clear();
+        self.counts.lock().unwrap().clear();
     }
 }
 
-/// One channel's endpoints.
-type ChanPair = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
+/// An unbounded FIFO queue of messages (std-only channel replacement).
+#[derive(Default)]
+struct MsgQueue {
+    q: Mutex<VecDeque<Vec<u8>>>,
+    cv: Condvar,
+}
 
 /// Lazily-created FIFO channels for point-to-point messages.
 #[derive(Default)]
 pub struct ChannelTable {
-    chans: Mutex<HashMap<(usize, usize, u32), ChanPair>>,
+    chans: Mutex<HashMap<(usize, usize, u32), Arc<MsgQueue>>>,
 }
 
 impl ChannelTable {
-    fn pair(&self, key: (usize, usize, u32)) -> ChanPair {
-        let mut g = self.chans.lock();
-        let (s, r) = g.entry(key).or_insert_with(unbounded);
-        (s.clone(), r.clone())
+    fn queue(&self, key: (usize, usize, u32)) -> Arc<MsgQueue> {
+        let mut g = self.chans.lock().unwrap();
+        Arc::clone(g.entry(key).or_default())
     }
 
     /// Send `payload` on channel `key`.
     pub fn send(&self, key: (usize, usize, u32), payload: Vec<u8>) {
-        let (s, _) = self.pair(key);
-        s.send(payload).expect("channel never closes during a run");
+        let q = self.queue(key);
+        q.q.lock().unwrap().push_back(payload);
+        q.cv.notify_all();
     }
 
     /// Blocking receive of the next message on channel `key`.
+    ///
+    /// # Panics
+    /// Panics after [`sync_timeout`] naming the channel if no message ever
+    /// arrives.
     pub fn recv(&self, key: (usize, usize, u32)) -> Vec<u8> {
-        let (_, r) = self.pair(key);
-        r.recv().expect("channel never closes during a run")
+        let q = self.queue(key);
+        let deadline = std::time::Instant::now() + sync_timeout();
+        let mut g = q.q.lock().unwrap();
+        loop {
+            if let Some(m) = g.pop_front() {
+                return m;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                panic!(
+                    "timeout: no message on channel {} -> {} tag {} — \
+                     schedule under-synchronized or sender missing?",
+                    key.0, key.1, key.2
+                );
+            }
+            let (guard, _timed_out) = q.cv.wait_timeout(g, deadline - now).unwrap();
+            g = guard;
+        }
     }
 
     /// Reset between benchmark iterations (drains stale messages).
     pub fn clear(&self) {
-        self.chans.lock().clear();
+        self.chans.lock().unwrap().clear();
     }
 }
 
@@ -285,11 +415,32 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn oob_check_does_not_wrap() {
+        // offset + len wraps around; the old unchecked add let this pass.
+        SharedBuf::new(4).read_vec(2, usize::MAX - 1);
+    }
+
+    #[test]
     fn copy_between_buffers() {
         let a = SharedBuf::from_vec(vec![9u8; 8]);
         let b = SharedBuf::new(8);
         SharedBuf::copy_between(&a, 2, &b, 4, 4);
         assert_eq!(b.read_vec(0, 8), vec![0, 0, 0, 0, 9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn copy_between_same_buffer_disjoint_ok() {
+        let a = SharedBuf::from_vec(vec![1, 2, 3, 4, 0, 0, 0, 0]);
+        SharedBuf::copy_between(&a, 0, &a, 4, 4);
+        assert_eq!(a.read_vec(0, 8), vec![1, 2, 3, 4, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping ranges")]
+    fn copy_between_same_buffer_overlap_panics() {
+        let a = SharedBuf::new(8);
+        SharedBuf::copy_between(&a, 0, &a, 2, 4);
     }
 
     #[test]
@@ -337,5 +488,38 @@ mod tests {
         t.send((0, 1, 7), vec![2]);
         assert_eq!(t.recv((0, 1, 7)), vec![1]);
         assert_eq!(t.recv((0, 1, 7)), vec![2]);
+    }
+
+    fn panic_message(r: Box<dyn std::any::Any + Send>) -> String {
+        r.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| r.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn unposted_slot_times_out_with_context() {
+        let board = Board::for_rank(5);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            board.fetch_within(9, Duration::from_millis(30))
+        }))
+        .unwrap_err();
+        let msg = panic_message(err);
+        assert!(msg.contains("rank 5"), "{msg}");
+        assert!(msg.contains("slot 9"), "{msg}");
+    }
+
+    #[test]
+    fn starved_flag_times_out_with_context() {
+        let flags = FlagSet::for_rank(3);
+        flags.signal(7);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            flags.wait_within(7, 2, Duration::from_millis(30))
+        }))
+        .unwrap_err();
+        let msg = panic_message(err);
+        assert!(msg.contains("rank 3"), "{msg}");
+        assert!(msg.contains("flag 7"), "{msg}");
+        assert!(msg.contains("only 1"), "{msg}");
     }
 }

@@ -181,10 +181,7 @@ impl<'a> Interp<'a> {
     /// Resolve a remote region against the current post board.
     /// Returns `None` (not an error) when the slot has not been posted yet —
     /// the accessing op blocks.
-    fn resolve_remote(
-        &self,
-        rr: &RemoteRegion,
-    ) -> Result<Option<(usize, Region)>, DataflowError> {
+    fn resolve_remote(&self, rr: &RemoteRegion) -> Result<Option<(usize, Region)>, DataflowError> {
         let Some(base) = self.ranks[rr.rank].posted.get(&rr.slot) else {
             return Ok(None);
         };
@@ -294,7 +291,12 @@ impl<'a> Interp<'a> {
                 let data = self.read_region(rank, &from);
                 self.write_region(peer, &dst, &data);
             }
-            Op::ReduceIn { from, to, op: rop, dt } => {
+            Op::ReduceIn {
+                from,
+                to,
+                op: rop,
+                dt,
+            } => {
                 let Some((peer, src)) = self.resolve_remote(&from)? else {
                     return Ok(false);
                 };
@@ -306,7 +308,12 @@ impl<'a> Interp<'a> {
                 let data = self.read_region(rank, &from);
                 self.write_region(rank, &to, &data);
             }
-            Op::LocalReduce { from, to, op: rop, dt } => {
+            Op::LocalReduce {
+                from,
+                to,
+                op: rop,
+                dt,
+            } => {
                 let data = self.read_region(rank, &from);
                 let buf = self.ranks[rank].bufs.get_mut(&to.buf).unwrap();
                 reduce_into(rop, dt, &mut buf[to.offset..to.end()], &data);
@@ -532,7 +539,10 @@ mod tests {
                 c.node_barrier();
             }
             0 => {
-                c.local_copy(Region::new(BufId::Send, 0, 8), Region::new(BufId::Recv, 0, 8));
+                c.local_copy(
+                    Region::new(BufId::Send, 0, 8),
+                    Region::new(BufId::Recv, 0, 8),
+                );
                 c.wait_flag(0, 1);
                 c.reduce_in(
                     RemoteRegion::new(c.rank() + 1, 0, 0, 8),
@@ -608,7 +618,10 @@ mod tests {
         let s = record(topo22(), BufSizes::new(4, 4), |c| match c.local() {
             0 => {
                 c.post_addr(0, Region::new(BufId::Recv, 0, 4));
-                c.local_copy(Region::new(BufId::Send, 0, 4), Region::new(BufId::Recv, 0, 4));
+                c.local_copy(
+                    Region::new(BufId::Send, 0, 4),
+                    Region::new(BufId::Recv, 0, 4),
+                );
                 c.node_barrier();
             }
             1 => {

@@ -69,7 +69,11 @@ impl Region {
     /// The whole of `buf` up to `len` bytes.
     #[inline]
     pub fn whole(buf: BufId, len: usize) -> Self {
-        Region { buf, offset: 0, len }
+        Region {
+            buf,
+            offset: 0,
+            len,
+        }
     }
 
     /// One byte past the end of the region.
@@ -127,7 +131,12 @@ impl RemoteRegion {
     /// Convenience constructor.
     #[inline]
     pub fn new(rank: usize, slot: Slot, offset: usize, len: usize) -> Self {
-        RemoteRegion { rank, slot, offset, len }
+        RemoteRegion {
+            rank,
+            slot,
+            offset,
+            len,
+        }
     }
 }
 

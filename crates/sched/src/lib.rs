@@ -17,11 +17,20 @@
 //!
 //! The [`dataflow`] interpreter executes a recorded schedule on *real
 //! buffers*, providing ground truth for correctness: every collective in
-//! `pipmcoll-core` is validated against MPI semantics through it, and
-//! determinism under different interleavings doubles as a race check.
+//! `pipmcoll-core` is validated against MPI semantics through it.
+//!
+//! Concurrency safety is established by the [`hb`] module's **sound**
+//! happens-before analysis: every op gets a vector clock, ordering edges
+//! come from send/recv matching, waits, address posts, flag counts and
+//! node barriers, and any unordered conflicting access to overlapping
+//! bytes of one buffer — under *any* interleaving, not just the ones the
+//! dataflow interpreter happens to sample — is reported as a race. The
+//! same graph yields deadlock detection with a named waits-for cycle. The
+//! thread runtime refuses to execute schedules that fail this analysis.
 
 pub mod comm;
 pub mod dataflow;
+pub mod hb;
 pub mod ids;
 pub mod op;
 pub mod schedule;
@@ -29,6 +38,7 @@ pub mod trace;
 pub mod verify;
 
 pub use comm::{BufSizes, Comm};
+pub use hb::{HbError, HbReport, Violation};
 pub use ids::{BufId, FlagId, Region, RemoteRegion, Req, Slot, Tag};
 pub use op::Op;
 pub use schedule::{RankProgram, Schedule, ValidationError};

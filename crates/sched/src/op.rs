@@ -21,11 +21,19 @@ pub enum Op {
     /// posted buffer* — the defining PiP-MColl operation (a process sends
     /// data that lives in the local root's address space, with no staging
     /// copy). Blocks until the peer has posted the slot.
-    ISendShared { dst: usize, tag: Tag, src: RemoteRegion },
+    ISendShared {
+        dst: usize,
+        tag: Tag,
+        src: RemoteRegion,
+    },
     /// Multi-object receive: deliver directly *into a node-local peer's
     /// posted buffer* (e.g. P ranks concurrently filling the local root's
     /// workspace). Blocks until the peer has posted the slot.
-    IRecvShared { src: usize, tag: Tag, dst: RemoteRegion },
+    IRecvShared {
+        src: usize,
+        tag: Tag,
+        dst: RemoteRegion,
+    },
     /// Block until the request issued at op index `req.0` completes.
     Wait { req: Req },
     /// Publish `region`'s address on this rank's board under `slot`
@@ -143,7 +151,12 @@ mod tests {
     fn byte_accounting() {
         let r = Region::new(BufId::Send, 0, 128);
         assert_eq!(
-            Op::ISend { dst: 1, tag: 0, src: r }.bytes(),
+            Op::ISend {
+                dst: 1,
+                tag: 0,
+                src: r
+            }
+            .bytes(),
             128
         );
         assert_eq!(Op::NodeBarrier.bytes(), 0);

@@ -110,6 +110,14 @@ impl Schedule {
         &self.programs
     }
 
+    /// Mutable access to the rank programs, for tests that inject faults
+    /// (dropped waits, mis-tagged receives) into otherwise-correct
+    /// schedules. Replace ops in place rather than removing them:
+    /// [`crate::ids::Req`] values index into the issuing rank's op list.
+    pub fn programs_mut(&mut self) -> &mut [RankProgram] {
+        &mut self.programs
+    }
+
     /// Total network messages across all ranks.
     pub fn total_net_msgs(&self) -> u64 {
         self.programs.iter().map(|p| p.net_msgs_sent()).sum()
@@ -138,7 +146,11 @@ impl Schedule {
     }
 
     fn err(rank: usize, op_index: Option<usize>, message: String) -> ValidationError {
-        ValidationError { rank, op_index, message }
+        ValidationError {
+            rank,
+            op_index,
+            message,
+        }
     }
 
     fn check_bounds(&self) -> Result<(), ValidationError> {
@@ -291,9 +303,7 @@ impl Schedule {
                         return Err(Self::err(
                             rank,
                             Some(i),
-                            format!(
-                                "wait_flag({flag}, {count}) but only {have} signals exist"
-                            ),
+                            format!("wait_flag({flag}, {count}) but only {have} signals exist"),
                         ));
                     }
                 }

@@ -67,7 +67,10 @@ impl TraceComm {
 
     fn check_peer(&self, peer: usize) {
         self.check_peer_allow_self(peer);
-        assert_ne!(peer, self.rank, "shared-address access to self; use local_copy");
+        assert_ne!(
+            peer, self.rank,
+            "shared-address access to self; use local_copy"
+        );
     }
 
     /// Shared sends/receives may reference the executing rank's own posted
@@ -275,7 +278,10 @@ mod tests {
     #[should_panic(expected = "crosses nodes")]
     fn rejects_internode_shared_access() {
         let mut c = TraceComm::new(topo(), 0, BufSizes::new(8, 8));
-        c.copy_in(RemoteRegion::new(3, 0, 0, 4), Region::new(BufId::Recv, 0, 4));
+        c.copy_in(
+            RemoteRegion::new(3, 0, 0, 4),
+            Region::new(BufId::Recv, 0, 4),
+        );
     }
 
     #[test]

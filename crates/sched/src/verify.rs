@@ -119,13 +119,13 @@ pub fn reference_reduce(op: ReduceOp, world: usize, count: usize) -> Vec<f64> {
     acc
 }
 
-fn run(
-    sched: &Schedule,
-    send_init: impl Fn(usize) -> Vec<u8>,
-) -> Result<DataflowResult, String> {
+fn run(sched: &Schedule, send_init: impl Fn(usize) -> Vec<u8>) -> Result<DataflowResult, String> {
     sched
         .validate()
         .map_err(|e: crate::schedule::ValidationError| format!("validation: {e}"))?;
+    // Sound race/deadlock analysis first: the interleaving sampling below
+    // only refutes determinism, it cannot prove the absence of races.
+    crate::hb::check(sched).map_err(|e| format!("happens-before: {e}"))?;
     execute_race_checked(sched, send_init).map_err(|e: DataflowError| e.to_string())
 }
 

@@ -48,7 +48,10 @@ fn main() {
         if small > large && ag_cross.is_none() {
             ag_cross = Some(cb);
         }
-        println!("{:>10} {small:>14.2} {large:>14.2} {winner:>8}", fmt_bytes(cb));
+        println!(
+            "{:>10} {small:>14.2} {large:>14.2} {winner:>8}",
+            fmt_bytes(cb)
+        );
     }
     match ag_cross {
         Some(cb) => println!("=> allgather crossover near {}\n", fmt_bytes(cb)),

@@ -39,7 +39,10 @@ fn more_objects_is_faster_at_small_sizes() {
     let t1 = time_k(1);
     let t3 = time_k(3);
     let t6 = time_k(6);
-    assert!(t6 < t1, "full multi-object must beat single-leader: {t6} vs {t1}");
+    assert!(
+        t6 < t1,
+        "full multi-object must beat single-leader: {t6} vs {t1}"
+    );
     assert!(t3 < t1, "partial fan-out must already help: {t3} vs {t1}");
 }
 
@@ -76,7 +79,12 @@ fn mechanism_swap_isolates_the_pip_advantage() {
     };
     for cb in [64usize, 128 * 1024] {
         let pip = time_with(Mechanism::Pip, cb);
-        for mech in [Mechanism::Posix, Mechanism::Cma, Mechanism::Limic, Mechanism::Xpmem] {
+        for mech in [
+            Mechanism::Posix,
+            Mechanism::Cma,
+            Mechanism::Limic,
+            Mechanism::Xpmem,
+        ] {
             let other = time_with(mech, cb);
             assert!(
                 pip <= other,
@@ -132,7 +140,10 @@ fn flipping_a_tag_is_caught() {
         }
     }
     let broken = Schedule::new(sched.topo(), programs);
-    assert!(broken.validate().is_err(), "validator must flag the tag flip");
+    assert!(
+        broken.validate().is_err(),
+        "validator must flag the tag flip"
+    );
 }
 
 #[test]
@@ -177,7 +188,10 @@ fn stray_wait_flag_deadlocks_cleanly() {
     let mut programs = sched.programs().to_vec();
     programs[0].ops.push(Op::WaitFlag { flag: 99, count: 1 });
     let broken = Schedule::new(sched.topo(), programs);
-    assert!(broken.validate().is_err(), "unsatisfiable flag must be flagged");
+    assert!(
+        broken.validate().is_err(),
+        "unsatisfiable flag must be flagged"
+    );
     let err = execute(&broken, |r| pattern(r, 32), SchedulingPolicy::RoundRobin)
         .expect_err("interpreter must detect the deadlock");
     assert!(err.message.contains("deadlock"), "{err}");

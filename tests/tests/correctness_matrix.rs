@@ -73,8 +73,7 @@ fn scatter_nonzero_local_root_all_libraries() {
     for lib in LibraryProfile::ALL {
         // Root = local root of node 1 in a 3x2 cluster.
         let spec = CollectiveSpec::Scatter(ScatterParams { cb: 32, root: 2 });
-        verify_collective(lib, 3, 2, &spec)
-            .unwrap_or_else(|e| panic!("{}: {e}", lib.name()));
+        verify_collective(lib, 3, 2, &spec).unwrap_or_else(|e| panic!("{}: {e}", lib.name()));
     }
 }
 

@@ -4,8 +4,7 @@
 //! scale).
 
 use pipmcoll_core::{
-    run_collective, AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile,
-    ScatterParams,
+    run_collective, AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile, ScatterParams,
 };
 use pipmcoll_engine::pt2pt::sweep_pairs;
 use pipmcoll_engine::EngineConfig;
@@ -26,7 +25,10 @@ fn us(lib: LibraryProfile, m: MachineConfig, spec: &CollectiveSpec) -> f64 {
 fn fig1_premise_multi_object_scales() {
     let cfg = EngineConfig::pip_mcoll(machine(2, 18));
     let pts = sweep_pairs(&cfg, 4096, 40).unwrap();
-    assert!(pts[8].msg_rate > 2.5 * pts[0].msg_rate, "message rate scales");
+    assert!(
+        pts[8].msg_rate > 2.5 * pts[0].msg_rate,
+        "message rate scales"
+    );
     let tp = sweep_pairs(&cfg, 128 * 1024, 10).unwrap();
     assert!(
         tp.last().unwrap().throughput > 2.0 * tp[0].throughput,
@@ -199,7 +201,10 @@ fn pip_does_zero_syscalls_conventional_does_many() {
     let pip = run_collective(LibraryProfile::PipMColl, m, &spec).unwrap();
     let ompi = run_collective(LibraryProfile::OpenMpi, m, &spec).unwrap();
     assert_eq!(pip.syscalls, 0, "PiP never traps into the kernel");
-    assert!(ompi.syscalls > 0, "CMA pays a syscall per intranode transfer");
+    assert!(
+        ompi.syscalls > 0,
+        "CMA pays a syscall per intranode transfer"
+    );
 }
 
 #[test]

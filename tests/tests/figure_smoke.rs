@@ -16,7 +16,10 @@ fn harness_sweeps_run_at_toy_scale() {
     std::env::set_var("PIPMCOLL_PPN", "3");
     std::env::set_var(
         "PIPMCOLL_RESULTS",
-        std::env::temp_dir().join("pipmcoll_smoke").to_str().unwrap(),
+        std::env::temp_dir()
+            .join("pipmcoll_smoke")
+            .to_str()
+            .unwrap(),
     );
 
     // Fig 9-style library sweep.

@@ -1,0 +1,189 @@
+//! Mutation tests for the happens-before analyzer, plus a
+//! zero-false-positive sweep.
+//!
+//! Soundness is only half the contract: the analyzer must *catch* real
+//! synchronisation bugs and must *not* reject correct schedules. Each
+//! mutant takes a proven-correct schedule and removes or corrupts exactly
+//! one synchronisation op — always by in-place replacement, never removal,
+//! because `Req` values index into the issuing rank's op list.
+
+use pipmcoll_core::baseline::allgather_ring;
+use pipmcoll_core::mcoll::intranode::intra_reduce_chunked;
+use pipmcoll_core::{
+    build_schedule, AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile, ScatterParams,
+};
+use pipmcoll_model::{Datatype, ReduceOp, Topology};
+use pipmcoll_sched::{hb, record, record_with_sizes, BufSizes, Op, Schedule, Violation};
+
+/// The no-op every mutant substitutes for the op it kills.
+const TOMBSTONE: Op = Op::Compute { bytes: 0 };
+
+fn assert_flagged(sched: &Schedule, pred: impl Fn(&Violation) -> bool, what: &str) {
+    match hb::check(sched) {
+        Ok(_) => panic!("mutant not flagged: {what}"),
+        Err(e) => assert!(
+            e.violations.iter().any(pred),
+            "expected {what}, analyzer said:\n{e}"
+        ),
+    }
+}
+
+/// Replace the first op on `rank` matching `sel` with [`TOMBSTONE`];
+/// panics if the rank has no such op (the mutant would be vacuous).
+fn kill_first(sched: &mut Schedule, rank: usize, sel: impl Fn(&Op) -> bool, what: &str) -> usize {
+    let ops = &mut sched.programs_mut()[rank].ops;
+    let i = ops
+        .iter()
+        .position(sel)
+        .unwrap_or_else(|| panic!("rank {rank} has no {what} op to mutate"));
+    ops[i] = TOMBSTONE;
+    i
+}
+
+#[test]
+fn dropped_node_barrier_is_flagged() {
+    // Chunked intranode reduce synchronises exclusively with barriers.
+    let topo = Topology::new(1, 4);
+    let cb = 16 * 8;
+    let mut sched = record(topo, BufSizes::new(cb, cb), |c| {
+        intra_reduce_chunked(c, 16, ReduceOp::Sum, Datatype::Double);
+    });
+    hb::check(&sched).expect("pristine schedule is clean");
+    kill_first(&mut sched, 1, |o| matches!(o, Op::NodeBarrier), "barrier");
+    assert_flagged(
+        &sched,
+        |v| matches!(v, Violation::BarrierShortfall { node: 0, .. }),
+        "a barrier-shortfall violation",
+    );
+}
+
+#[test]
+fn dropped_wait_is_flagged_as_race() {
+    // Ring allgather forwards each received chunk; without the wait the
+    // forwarding read races the delivery write.
+    let topo = Topology::new(4, 1);
+    let p = AllgatherParams { cb: 32 };
+    let mut sched = record_with_sizes(topo, p.buf_sizes(topo), |c| allgather_ring(c, &p));
+    hb::check(&sched).expect("pristine schedule is clean");
+    let ops = sched.programs()[2].ops.clone();
+    let wait_on_recv = |o: &Op| match o {
+        Op::Wait { req } => matches!(ops[req.0], Op::IRecv { .. }),
+        _ => false,
+    };
+    kill_first(&mut sched, 2, wait_on_recv, "wait-on-recv");
+    assert_flagged(
+        &sched,
+        |v| matches!(v, Violation::Race { a, b, .. } if a.at_delivery || b.at_delivery),
+        "a delivery/read race",
+    );
+}
+
+#[test]
+fn mistagged_recv_is_flagged() {
+    let topo = Topology::new(4, 1);
+    let p = AllgatherParams { cb: 32 };
+    let mut sched = record_with_sizes(topo, p.buf_sizes(topo), |c| allgather_ring(c, &p));
+    let ops = &mut sched.programs_mut()[1].ops;
+    let i = ops
+        .iter()
+        .position(|o| matches!(o, Op::IRecv { .. }))
+        .expect("ring allgather receives");
+    if let Op::IRecv { tag, .. } = &mut ops[i] {
+        *tag += 1000;
+    }
+    assert_flagged(
+        &sched,
+        |v| matches!(v, Violation::UnmatchedRecv { rank: 1, .. }),
+        "an unmatched-recv violation",
+    );
+}
+
+#[test]
+fn dropped_signal_is_flagged() {
+    // The intranode broadcast orders shared reads with signal/wait_flag;
+    // killing one signal both starves the wait and un-orders a read.
+    let topo = Topology::new(1, 4);
+    let cb = 64;
+    let mut sched = record(topo, BufSizes::new(cb, cb), |c| {
+        pipmcoll_core::mcoll::intranode::intra_bcast_small(c, cb);
+    });
+    hb::check(&sched).expect("pristine schedule is clean");
+    let rank = (0..topo.world_size())
+        .find(|&r| {
+            sched.programs()[r]
+                .ops
+                .iter()
+                .any(|o| matches!(o, Op::Signal { .. }))
+        })
+        .expect("intra_bcast_small signals");
+    kill_first(
+        &mut sched,
+        rank,
+        |o| matches!(o, Op::Signal { .. }),
+        "signal",
+    );
+    assert_flagged(
+        &sched,
+        |v| {
+            matches!(
+                v,
+                Violation::StarvedWait { .. } | Violation::Race { .. } | Violation::Deadlock { .. }
+            )
+        },
+        "a starved-wait, race or deadlock violation",
+    );
+}
+
+#[test]
+fn dropped_post_is_flagged() {
+    let topo = Topology::new(2, 3);
+    let spec = CollectiveSpec::Scatter(ScatterParams { cb: 24, root: 0 });
+    let mut sched = build_schedule(LibraryProfile::PipMColl, topo, &spec);
+    hb::check(&sched).expect("pristine schedule is clean");
+    let rank = (0..topo.world_size())
+        .find(|&r| {
+            sched.programs()[r]
+                .ops
+                .iter()
+                .any(|o| matches!(o, Op::PostAddr { .. }))
+        })
+        .expect("PipMColl scatter posts addresses");
+    kill_first(
+        &mut sched,
+        rank,
+        |o| matches!(o, Op::PostAddr { .. }),
+        "post",
+    );
+    assert_flagged(
+        &sched,
+        |v| matches!(v, Violation::UnpostedSlot { .. }),
+        "an unposted-slot violation",
+    );
+}
+
+/// Every schedule in the correctness-matrix grid must pass the analyzer
+/// unmodified: the mutants above only count as detections if the pristine
+/// originals produce zero violations.
+#[test]
+fn no_false_positives_across_grid() {
+    let shapes = [(1, 1), (1, 4), (2, 2), (3, 3), (4, 2), (5, 3), (8, 2)];
+    for lib in LibraryProfile::ALL {
+        for (nodes, ppn) in shapes {
+            let topo = Topology::new(nodes, ppn);
+            for spec in [
+                CollectiveSpec::Scatter(ScatterParams { cb: 96, root: 0 }),
+                CollectiveSpec::Allgather(AllgatherParams { cb: 96 }),
+                CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(48)),
+            ] {
+                let sched = build_schedule(lib, topo, &spec);
+                let rep = hb::check(&sched).unwrap_or_else(|e| {
+                    panic!(
+                        "false positive: {} {nodes}x{ppn} {spec:?}:\n{e}",
+                        lib.name()
+                    )
+                });
+                assert!(rep.events > 0);
+            }
+        }
+    }
+}

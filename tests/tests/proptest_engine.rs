@@ -1,84 +1,96 @@
-//! Property tests over the discrete-event engine itself: conservation and
-//! determinism invariants that must hold for *any* collective at *any*
-//! shape — not just the ones the figures use.
+//! Randomized-property tests over the discrete-event engine itself:
+//! conservation and determinism invariants that must hold for *any*
+//! collective at *any* shape — not just the ones the figures use.
+//! Driven by a seeded in-tree PRNG (deterministic, dependency-free).
 
 use pipmcoll_core::{
     build_schedule, run_collective, AllgatherParams, AllreduceParams, CollectiveSpec,
     LibraryProfile, ScatterParams,
 };
 use pipmcoll_engine::simulate;
+use pipmcoll_integration::TestRng;
 use pipmcoll_model::{presets, SimTime};
-use proptest::prelude::*;
 
-fn arb_spec() -> impl Strategy<Value = CollectiveSpec> {
-    prop_oneof![
-        (1usize..600).prop_map(|cb| CollectiveSpec::Scatter(ScatterParams { cb, root: 0 })),
-        (1usize..600).prop_map(|cb| CollectiveSpec::Allgather(AllgatherParams { cb })),
-        (1usize..200).prop_map(|c| CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(c))),
-    ]
-}
+const CASES: usize = 40;
 
-fn arb_lib() -> impl Strategy<Value = LibraryProfile> {
-    (0usize..LibraryProfile::ALL.len()).prop_map(|i| LibraryProfile::ALL[i])
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Two simulations of the same schedule are bit-identical.
-    #[test]
-    fn simulation_is_deterministic(
-        nodes in 1usize..6,
-        ppn in 1usize..5,
-        spec in arb_spec(),
-        lib in arb_lib(),
-    ) {
-        let machine = presets::bebop(nodes, ppn);
-        let a = run_collective(lib, machine, &spec).map_err(|e| TestCaseError::fail(e.to_string()))?;
-        let b = run_collective(lib, machine, &spec).map_err(|e| TestCaseError::fail(e.to_string()))?;
-        prop_assert_eq!(a.makespan, b.makespan);
-        prop_assert_eq!(a.rank_finish, b.rank_finish);
-        prop_assert_eq!(a.breakdown, b.breakdown);
-        prop_assert_eq!(a.net_msgs, b.net_msgs);
+fn arb_spec(rng: &mut TestRng) -> CollectiveSpec {
+    match rng.range(0, 3) {
+        0 => CollectiveSpec::Scatter(ScatterParams {
+            cb: rng.range(1, 600),
+            root: 0,
+        }),
+        1 => CollectiveSpec::Allgather(AllgatherParams {
+            cb: rng.range(1, 600),
+        }),
+        _ => CollectiveSpec::Allreduce(AllreduceParams::sum_doubles(rng.range(1, 200))),
     }
+}
 
-    /// Every rank's category breakdown sums exactly to its finish time
-    /// (all clock advance is attributed, nothing double-counted).
-    #[test]
-    fn breakdown_conserves_time(
-        nodes in 1usize..6,
-        ppn in 1usize..5,
-        spec in arb_spec(),
-        lib in arb_lib(),
-    ) {
+fn arb_lib(rng: &mut TestRng) -> LibraryProfile {
+    LibraryProfile::ALL[rng.range(0, LibraryProfile::ALL.len())]
+}
+
+/// Two simulations of the same schedule are bit-identical.
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = TestRng::new(0x1DE7);
+    for _ in 0..CASES {
+        let (nodes, ppn) = (rng.range(1, 6), rng.range(1, 5));
+        let spec = arb_spec(&mut rng);
+        let lib = arb_lib(&mut rng);
         let machine = presets::bebop(nodes, ppn);
-        let r = run_collective(lib, machine, &spec).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let a = run_collective(lib, machine, &spec).unwrap_or_else(|e| panic!("{e}"));
+        let b = run_collective(lib, machine, &spec).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.rank_finish, b.rank_finish);
+        assert_eq!(a.breakdown, b.breakdown);
+        assert_eq!(a.net_msgs, b.net_msgs);
+    }
+}
+
+/// Every rank's category breakdown sums exactly to its finish time
+/// (all clock advance is attributed, nothing double-counted).
+#[test]
+fn breakdown_conserves_time() {
+    let mut rng = TestRng::new(0x2BAD);
+    for _ in 0..CASES {
+        let (nodes, ppn) = (rng.range(1, 6), rng.range(1, 5));
+        let spec = arb_spec(&mut rng);
+        let lib = arb_lib(&mut rng);
+        let machine = presets::bebop(nodes, ppn);
+        let r = run_collective(lib, machine, &spec).unwrap_or_else(|e| panic!("{e}"));
         for (rank, row) in r.breakdown.iter().enumerate() {
             let sum: SimTime = row.iter().copied().sum();
-            prop_assert_eq!(
-                sum, r.rank_finish[rank],
-                "rank {} attribution mismatch", rank
+            assert_eq!(
+                sum,
+                r.rank_finish[rank],
+                "rank {rank} attribution mismatch ({} {nodes}x{ppn} {spec:?})",
+                lib.name()
             );
         }
-        prop_assert_eq!(
+        assert_eq!(
             r.makespan,
-            r.rank_finish.iter().copied().fold(SimTime::ZERO, SimTime::max)
+            r.rank_finish
+                .iter()
+                .copied()
+                .fold(SimTime::ZERO, SimTime::max)
         );
     }
+}
 
-    /// The engine's traffic counters agree with the schedule's static
-    /// accounting.
-    #[test]
-    fn traffic_counters_match_schedule(
-        nodes in 1usize..6,
-        ppn in 1usize..5,
-        spec in arb_spec(),
-        lib in arb_lib(),
-    ) {
+/// The engine's traffic counters agree with the schedule's static
+/// accounting.
+#[test]
+fn traffic_counters_match_schedule() {
+    let mut rng = TestRng::new(0x3C0DE);
+    for _ in 0..CASES {
+        let (nodes, ppn) = (rng.range(1, 6), rng.range(1, 5));
+        let spec = arb_spec(&mut rng);
+        let lib = arb_lib(&mut rng);
         let machine = presets::bebop(nodes, ppn);
         let sched = build_schedule(lib, machine.topo, &spec);
         let cfg = lib.engine_config(machine, spec.cb());
-        let r = simulate(&cfg, &sched).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let r = simulate(&cfg, &sched).unwrap_or_else(|e| panic!("{e}"));
         // Static counts include intranode point-to-point; split by locality.
         let mut net_bytes = 0u64;
         let mut net_msgs = 0u64;
@@ -95,62 +107,73 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(r.net_bytes, net_bytes);
-        prop_assert_eq!(r.net_msgs, net_msgs);
-        prop_assert_eq!(r.ops_executed, sched.total_ops());
+        assert_eq!(r.net_bytes, net_bytes);
+        assert_eq!(r.net_msgs, net_msgs);
+        assert_eq!(r.ops_executed, sched.total_ops());
     }
+}
 
-    /// Latency is monotone (within slack) in message size for a fixed
-    /// library and shape — bigger payloads never finish meaningfully
-    /// earlier.
-    #[test]
-    fn latency_monotone_in_size(
-        nodes in 2usize..6,
-        ppn in 1usize..5,
-        cb in 8usize..256,
-        lib in arb_lib(),
-    ) {
+/// Latency is monotone (within slack) in message size for a fixed
+/// library and shape — bigger payloads never finish meaningfully
+/// earlier.
+#[test]
+fn latency_monotone_in_size() {
+    let mut rng = TestRng::new(0x4F1E);
+    for _ in 0..CASES {
+        let (nodes, ppn) = (rng.range(2, 6), rng.range(1, 5));
+        let cb = rng.range(8, 256);
+        let lib = arb_lib(&mut rng);
         let machine = presets::bebop(nodes, ppn);
-        let t1 = run_collective(lib, machine, &CollectiveSpec::Allgather(AllgatherParams { cb }))
-            .map_err(|e| TestCaseError::fail(e.to_string()))?
-            .makespan;
+        let t1 = run_collective(
+            lib,
+            machine,
+            &CollectiveSpec::Allgather(AllgatherParams { cb }),
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+        .makespan;
         let t2 = run_collective(
             lib,
             machine,
             &CollectiveSpec::Allgather(AllgatherParams { cb: cb * 4 }),
         )
-        .map_err(|e| TestCaseError::fail(e.to_string()))?
+        .unwrap_or_else(|e| panic!("{e}"))
         .makespan;
-        prop_assert!(
+        assert!(
             t2.as_ps() + 1_000 >= t1.as_ps(),
-            "{} shrank from {} to {} when cb grew 4x",
-            lib.name(), t1, t2
+            "{} shrank from {t1} to {t2} when cb grew 4x",
+            lib.name()
         );
     }
+}
 
-    /// Adding nodes never makes a fixed-size collective complete faster
-    /// than half its smaller-cluster time (sanity against accounting bugs
-    /// that drop whole phases at larger scales).
-    #[test]
-    fn scaling_is_sane(
-        ppn in 1usize..5,
-        cb in 8usize..128,
-        lib in arb_lib(),
-    ) {
+/// Adding nodes never makes a fixed-size collective complete faster
+/// than half its smaller-cluster time (sanity against accounting bugs
+/// that drop whole phases at larger scales).
+#[test]
+fn scaling_is_sane() {
+    let mut rng = TestRng::new(0x5CA1E);
+    for _ in 0..CASES {
+        let ppn = rng.range(1, 5);
+        let cb = rng.range(8, 128);
+        let lib = arb_lib(&mut rng);
         let small = run_collective(
             lib,
             presets::bebop(2, ppn),
             &CollectiveSpec::Allgather(AllgatherParams { cb }),
         )
-        .map_err(|e| TestCaseError::fail(e.to_string()))?
+        .unwrap_or_else(|e| panic!("{e}"))
         .makespan;
         let large = run_collective(
             lib,
             presets::bebop(6, ppn),
             &CollectiveSpec::Allgather(AllgatherParams { cb }),
         )
-        .map_err(|e| TestCaseError::fail(e.to_string()))?
+        .unwrap_or_else(|e| panic!("{e}"))
         .makespan;
-        prop_assert!(large * 2 > small, "{}: 6 nodes {large} vs 2 nodes {small}", lib.name());
+        assert!(
+            large * 2 > small,
+            "{}: 6 nodes {large} vs 2 nodes {small}",
+            lib.name()
+        );
     }
 }

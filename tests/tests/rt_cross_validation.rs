@@ -1,16 +1,36 @@
 //! Backend cross-validation: the thread runtime (real shared-memory
 //! execution) must produce byte-identical results to the dataflow
 //! interpreter for the same algorithm, topology and inputs.
+//!
+//! All execution goes through [`run_cluster_verified`], so every schedule
+//! is additionally proven race- and deadlock-free by the happens-before
+//! analysis before any thread touches a shared buffer.
 
 use pipmcoll_core::{
-    build_schedule, AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile,
-    ScatterParams,
+    build_schedule, AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile, ScatterParams,
 };
 use pipmcoll_integration::dataflow_recv;
 use pipmcoll_model::Topology;
-use pipmcoll_rt::run_cluster;
+use pipmcoll_rt::{run_cluster_verified, Algo};
 use pipmcoll_sched::verify::pattern;
-use pipmcoll_sched::BufSizes;
+use pipmcoll_sched::{BufSizes, Comm};
+
+/// One library/collective pair as an [`Algo`], so the identical dispatch
+/// runs on the recorder and on threads.
+struct LibAlgo {
+    lib: LibraryProfile,
+    spec: CollectiveSpec,
+}
+
+impl Algo for LibAlgo {
+    fn run<C: Comm>(&self, c: &mut C) {
+        match self.spec {
+            CollectiveSpec::Scatter(p) => self.lib.scatter(c, &p),
+            CollectiveSpec::Allgather(p) => self.lib.allgather(c, &p),
+            CollectiveSpec::Allreduce(p) => self.lib.allreduce(c, &p),
+        }
+    }
+}
 
 fn cross_validate(lib: LibraryProfile, nodes: usize, ppn: usize, spec: CollectiveSpec) {
     let topo = Topology::new(nodes, ppn);
@@ -18,21 +38,19 @@ fn cross_validate(lib: LibraryProfile, nodes: usize, ppn: usize, spec: Collectiv
     let sched = build_schedule(lib, topo, &spec);
     sched.validate().unwrap_or_else(|e| panic!("{e}"));
     let reference = dataflow_recv(&sched);
-    // Real execution: same algorithm dispatch on threads.
+    // Real execution: same algorithm dispatch on threads, gated by the
+    // happens-before analysis.
     let sizes: Vec<BufSizes> = sched.programs().iter().map(|p| p.sizes).collect();
     let sizes2 = sizes.clone();
-    let res = run_cluster(
+    let res = run_cluster_verified(
         topo,
         move |r| sizes[r],
         move |r| pattern(r, sizes2[r].send),
-        move |c| match spec {
-            CollectiveSpec::Scatter(p) => lib.scatter(c, &p),
-            CollectiveSpec::Allgather(p) => lib.allgather(c, &p),
-            CollectiveSpec::Allreduce(p) => lib.allreduce(c, &p),
-        },
+        &LibAlgo { lib, spec },
     );
     assert_eq!(
-        res.recv, reference,
+        res.recv,
+        reference,
         "{} {nodes}x{ppn} {spec:?}: thread runtime diverges from interpreter",
         lib.name()
     );
@@ -105,16 +123,33 @@ fn intranode_auxiliaries_match_interpreter() {
     use pipmcoll_core::mcoll::intranode::{intra_bcast_small, intra_reduce_chunked};
     use pipmcoll_model::{Datatype, ReduceOp};
 
+    struct Bcast {
+        cb: usize,
+    }
+    impl Algo for Bcast {
+        fn run<C: Comm>(&self, c: &mut C) {
+            intra_bcast_small(c, self.cb);
+        }
+    }
+    struct ChunkedReduce {
+        count: usize,
+    }
+    impl Algo for ChunkedReduce {
+        fn run<C: Comm>(&self, c: &mut C) {
+            intra_reduce_chunked(c, self.count, ReduceOp::Sum, Datatype::Double);
+        }
+    }
+
     // Broadcast.
     let topo = Topology::new(1, 6);
     let cb = 96;
     let sched = pipmcoll_sched::record(topo, BufSizes::new(cb, cb), |c| intra_bcast_small(c, cb));
     let reference = dataflow_recv(&sched);
-    let res = run_cluster(
+    let res = run_cluster_verified(
         topo,
         |_| BufSizes::new(cb, cb),
         |r| pattern(r, cb),
-        |c| intra_bcast_small(c, cb),
+        &Bcast { cb },
     );
     assert_eq!(res.recv, reference);
 
@@ -125,22 +160,24 @@ fn intranode_auxiliaries_match_interpreter() {
         intra_reduce_chunked(c, count, ReduceOp::Sum, Datatype::Double)
     });
     let reference = dataflow_recv(&sched);
-    let res = run_cluster(
+    let res = run_cluster_verified(
         topo,
         |_| BufSizes::new(cb, cb),
         |r| pattern(r, cb),
-        |c| intra_reduce_chunked(c, count, ReduceOp::Sum, Datatype::Double),
+        &ChunkedReduce { count },
     );
     assert_eq!(res.recv, reference);
 }
 
 #[test]
 fn repeated_iterations_are_stable() {
-    // 10 timed iterations must end in the same state as one.
+    // 10 timed iterations must end in the same state as one. The timed
+    // runner has no recording pass, so prove the schedule first by hand.
     let topo = Topology::new(2, 3);
     let p = AllgatherParams { cb: 40 };
     let spec = CollectiveSpec::Allgather(p);
     let sched = build_schedule(LibraryProfile::PipMColl, topo, &spec);
+    pipmcoll_sched::hb::check(&sched).unwrap_or_else(|e| panic!("{e}"));
     let reference = dataflow_recv(&sched);
     let res = pipmcoll_rt::run_cluster_timed(
         topo,
@@ -162,11 +199,14 @@ fn wide_node_stress() {
     let sched = build_schedule(LibraryProfile::PipMColl, topo, &spec);
     let reference = dataflow_recv(&sched);
     for _ in 0..5 {
-        let res = run_cluster(
+        let res = run_cluster_verified(
             topo,
             |_| BufSizes::new(1600, 1600),
             |r| pattern(r, 1600),
-            |c| LibraryProfile::PipMColl.allreduce(c, &p),
+            &LibAlgo {
+                lib: LibraryProfile::PipMColl,
+                spec,
+            },
         );
         assert_eq!(res.recv, reference, "nondeterminism across real runs");
     }
