@@ -1,0 +1,101 @@
+//! The in-process backend: the channel delivery the thread runtime used
+//! before the fabric existed, extracted behind the [`Fabric`] trait.
+//!
+//! Delivery is a queue push in the sender's thread — zero syscalls, zero
+//! progress threads, one logical lane. This is the reference semantics
+//! the conformance suite holds every other backend to, and the default
+//! backend for unit tests and verified runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::stats::{FabricStats, LaneStats};
+use crate::store::MsgStore;
+use crate::{ChanKey, Fabric};
+
+/// In-memory channel-table transport (the original `rt` delivery path).
+pub struct InProcFabric {
+    store: MsgStore,
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl InProcFabric {
+    /// An empty in-process fabric.
+    pub fn new() -> Self {
+        InProcFabric {
+            store: MsgStore::new("inproc"),
+            msgs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Default for InProcFabric {
+    fn default() -> Self {
+        InProcFabric::new()
+    }
+}
+
+impl Fabric for InProcFabric {
+    fn name(&self) -> &'static str {
+        "inproc"
+    }
+
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    fn send(&self, key: ChanKey, payload: Vec<u8>) {
+        self.msgs.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.store.push(key, payload);
+    }
+
+    fn recv_within(&self, key: ChanKey, timeout: Duration) -> Vec<u8> {
+        self.store.pop_within(key, timeout)
+    }
+
+    fn reset(&self) {
+        self.store.clear_ready();
+    }
+
+    fn stats(&self) -> FabricStats {
+        FabricStats {
+            lanes: vec![LaneStats {
+                msgs: self.msgs.load(Ordering::Relaxed),
+                bytes: self.bytes.load(Ordering::Relaxed),
+                stalls: 0,
+            }],
+            local_msgs: 0,
+            local_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_stats() {
+        let f = InProcFabric::new();
+        f.send((0, 1, 3), vec![1, 2]);
+        f.send((0, 1, 3), vec![3]);
+        assert_eq!(f.recv((0, 1, 3)), vec![1, 2]);
+        assert_eq!(f.recv((0, 1, 3)), vec![3]);
+        let s = f.stats();
+        assert_eq!(s.total_msgs(), 2);
+        assert_eq!(s.total_bytes(), 3);
+    }
+
+    #[test]
+    fn reset_drops_stale_messages() {
+        let f = InProcFabric::new();
+        f.send((0, 1, 0), vec![9]);
+        f.reset();
+        f.send((0, 1, 0), vec![1]);
+        assert_eq!(f.recv((0, 1, 0)), vec![1]);
+    }
+}

@@ -1,0 +1,140 @@
+//! # pipmcoll-fabric — pluggable multi-lane internode transport
+//!
+//! The paper's central premise (Fig. 1) is that **one process cannot
+//! saturate a modern NIC**: message rate and bandwidth keep climbing as
+//! more concurrent sender/receiver objects drive the fabric, up to a
+//! saturation point. The thread runtime (`pipmcoll-rt`) originally
+//! delivered every "internode" message through a single in-memory channel
+//! table, so that premise was never exercised against a transport with
+//! real injection costs.
+//!
+//! This crate makes the internode transport a first-class, swappable
+//! subsystem behind the [`Fabric`] trait:
+//!
+//! * [`InProcFabric`] — the original channel delivery, extracted from
+//!   `rt::comm`, now one implementation among several. Zero syscalls,
+//!   one logical lane; the default for unit tests and verified runs.
+//! * [`TcpFabric`] — a real socket transport over `std::net` loopback:
+//!   per node-pair connection pools with **k striped lanes** (a lane is
+//!   the paper's "object"), a length-prefixed eager/rendezvous wire
+//!   protocol with `(src, dst, tag)` matching and per-channel FIFO,
+//!   dedicated progress threads per connection endpoint, bounded per-lane
+//!   send queues for backpressure, and per-lane traffic counters.
+//!
+//! Both backends present the same contract, checked by the conformance
+//! suite in `tests/conformance.rs`:
+//!
+//! 1. **Matching** — a message sent on `(src, dst, tag)` is only ever
+//!    delivered to a receive on the same `(src, dst, tag)` channel.
+//! 2. **Non-overtaking** — messages on one channel are delivered in send
+//!    order (MPI's non-overtaking rule), even when the wire reorders
+//!    eager and rendezvous traffic.
+//! 3. **Zero-length messages** are real messages: they match and are
+//!    delivered like any other.
+//!
+//! Blocking waits share the runtime-wide timeout discipline: they panic
+//! with a diagnostic after [`sync_timeout`] instead of hanging CI.
+
+pub mod inproc;
+pub mod stats;
+pub mod store;
+pub mod tcp;
+pub mod timeout;
+pub mod wire;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pipmcoll_model::Topology;
+
+pub use inproc::InProcFabric;
+pub use stats::{FabricStats, LaneStats};
+pub use tcp::{TcpConfig, TcpFabric};
+pub use timeout::sync_timeout;
+
+/// A point-to-point channel: `(src rank, dst rank, tag)`. Matching and
+/// FIFO order are per channel, exactly MPI's non-overtaking rule.
+pub type ChanKey = (usize, usize, u32);
+
+/// An internode transport: delivers point-to-point messages between
+/// ranks with MPI matching semantics.
+///
+/// `send` is *eager at the interface*: it completes once the payload is
+/// accepted by the transport (it may block on backpressure, never on the
+/// receiver). `recv` blocks until the next in-order message on the
+/// channel arrives, panicking with a diagnostic after [`sync_timeout`].
+pub trait Fabric: Send + Sync {
+    /// Backend name for diagnostics and result files.
+    fn name(&self) -> &'static str;
+
+    /// Number of striped lanes (the paper's concurrent objects).
+    fn lanes(&self) -> usize;
+
+    /// Enqueue `payload` for delivery on `key`. May block when the
+    /// responsible lane's send queue is full (backpressure), never on
+    /// the receiver.
+    fn send(&self, key: ChanKey, payload: Vec<u8>);
+
+    /// Blocking receive of the next in-order message on `key`, giving up
+    /// (with a panic diagnostic) after `timeout`.
+    fn recv_within(&self, key: ChanKey, timeout: Duration) -> Vec<u8>;
+
+    /// Blocking receive with the runtime-wide [`sync_timeout`].
+    fn recv(&self, key: ChanKey) -> Vec<u8> {
+        self.recv_within(key, sync_timeout())
+    }
+
+    /// Drop messages delivered but never received (stale state between
+    /// benchmark iterations). In-flight traffic at a reset boundary is a
+    /// schedule bug, not something reset can repair.
+    fn reset(&self);
+
+    /// Per-lane traffic counters since construction.
+    fn stats(&self) -> FabricStats;
+}
+
+/// Build the fabric selected by the environment:
+///
+/// * `PIPMCOLL_FABRIC=inproc` (or unset) — [`InProcFabric`];
+/// * `PIPMCOLL_FABRIC=tcp` — [`TcpFabric`] on loopback with
+///   `PIPMCOLL_FABRIC_LANES` lanes (default 4).
+///
+/// # Panics
+/// Panics with a clear message on an unknown backend name or a malformed
+/// lane count — a typo must fail loudly, not silently fall back.
+pub fn from_env(topo: Topology) -> Arc<dyn Fabric> {
+    let backend = std::env::var("PIPMCOLL_FABRIC").unwrap_or_else(|_| "inproc".to_string());
+    match backend.as_str() {
+        "inproc" => Arc::new(InProcFabric::new()),
+        "tcp" => {
+            let lanes = match std::env::var("PIPMCOLL_FABRIC_LANES") {
+                Err(_) => TcpConfig::default().lanes,
+                Ok(v) => match v.trim().parse::<usize>() {
+                    Ok(k) if k >= 1 => k,
+                    _ => panic!(
+                        "PIPMCOLL_FABRIC_LANES must be a positive integer lane count, got {v:?}"
+                    ),
+                },
+            };
+            let cfg = TcpConfig {
+                lanes,
+                ..TcpConfig::default()
+            };
+            Arc::new(TcpFabric::connect(topo, cfg).expect("loopback TcpFabric setup"))
+        }
+        other => panic!("PIPMCOLL_FABRIC must be \"inproc\" or \"tcp\", got {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_default_is_inproc() {
+        // The test environment does not set PIPMCOLL_FABRIC.
+        let f = from_env(Topology::new(1, 2));
+        assert_eq!(f.name(), "inproc");
+        assert_eq!(f.lanes(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Per-lane traffic counters — the observable that lets benches and tests
+//! confirm lane striping actually spreads load.
+
+/// Counters for one lane (one striped object of the transport).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Messages accepted for transmission on this lane.
+    pub msgs: u64,
+    /// Payload bytes accepted on this lane.
+    pub bytes: u64,
+    /// Times a sender blocked because this lane's bounded queue was full.
+    pub stalls: u64,
+}
+
+/// A snapshot of a fabric's traffic counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// One entry per lane, in lane order.
+    pub lanes: Vec<LaneStats>,
+    /// Messages between ranks of one node, which never touch a lane
+    /// (delivered through the shared address space).
+    pub local_msgs: u64,
+    /// Payload bytes of node-local messages.
+    pub local_bytes: u64,
+}
+
+impl FabricStats {
+    /// Total messages accepted across all lanes (excluding node-local).
+    pub fn total_msgs(&self) -> u64 {
+        self.lanes.iter().map(|l| l.msgs).sum()
+    }
+
+    /// Total payload bytes accepted across all lanes (excluding
+    /// node-local).
+    pub fn total_bytes(&self) -> u64 {
+        self.lanes.iter().map(|l| l.bytes).sum()
+    }
+
+    /// Total backpressure stalls across all lanes.
+    pub fn total_stalls(&self) -> u64 {
+        self.lanes.iter().map(|l| l.stalls).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_lanes() {
+        let s = FabricStats {
+            lanes: vec![
+                LaneStats {
+                    msgs: 2,
+                    bytes: 10,
+                    stalls: 1,
+                },
+                LaneStats {
+                    msgs: 3,
+                    bytes: 20,
+                    stalls: 0,
+                },
+            ],
+            local_msgs: 7,
+            local_bytes: 70,
+        };
+        assert_eq!(s.total_msgs(), 5);
+        assert_eq!(s.total_bytes(), 30);
+        assert_eq!(s.total_stalls(), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! The receive-side message store shared by every backend: per-channel
+//! FIFO queues with blocking, timeout-bounded receives, plus sequence
+//! reassembly for backends whose wire can reorder traffic.
+//!
+//! MPI's non-overtaking rule is per `(src, dst, tag)` channel. The
+//! in-process backend delivers in send order by construction and uses
+//! [`MsgStore::push`]; the TCP backend's rendezvous handshake lets a
+//! later eager message physically arrive before an earlier rendezvous
+//! payload, so wire deliveries carry a per-channel sequence number and go
+//! through [`MsgStore::deliver_seq`], which holds out-of-order arrivals
+//! until the gap fills.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::ChanKey;
+
+#[derive(Default)]
+struct ChanState {
+    /// In-order messages ready to be received.
+    ready: VecDeque<Vec<u8>>,
+    /// Next wire sequence number expected on this channel.
+    next_seq: u64,
+    /// Out-of-order wire arrivals, held until `next_seq` catches up.
+    held: BTreeMap<u64, Vec<u8>>,
+}
+
+/// Per-channel FIFO message store with blocking receive.
+pub struct MsgStore {
+    /// Backend name, for timeout diagnostics.
+    backend: &'static str,
+    chans: Mutex<HashMap<ChanKey, ChanState>>,
+    cv: Condvar,
+}
+
+impl MsgStore {
+    /// An empty store whose diagnostics name `backend`.
+    pub fn new(backend: &'static str) -> Self {
+        MsgStore {
+            backend,
+            chans: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Deliver a message that is already in channel order (in-process
+    /// delivery, node-local bypass).
+    pub fn push(&self, key: ChanKey, payload: Vec<u8>) {
+        let mut g = self.chans.lock().unwrap();
+        g.entry(key).or_default().ready.push_back(payload);
+        self.cv.notify_all();
+    }
+
+    /// Deliver a wire message carrying per-channel sequence `seq`;
+    /// reorders so receivers always observe send order.
+    pub fn deliver_seq(&self, key: ChanKey, seq: u64, payload: Vec<u8>) {
+        let mut g = self.chans.lock().unwrap();
+        let st = g.entry(key).or_default();
+        assert!(
+            seq >= st.next_seq,
+            "duplicate wire delivery: channel {key:?} seq {seq} already consumed (next {})",
+            st.next_seq
+        );
+        if seq == st.next_seq {
+            st.ready.push_back(payload);
+            st.next_seq += 1;
+            // Drain any arrivals that were waiting on this gap.
+            while let Some(p) = st.held.remove(&st.next_seq) {
+                st.ready.push_back(p);
+                st.next_seq += 1;
+            }
+            self.cv.notify_all();
+        } else {
+            let dup = st.held.insert(seq, payload);
+            assert!(
+                dup.is_none(),
+                "duplicate wire delivery: channel {key:?} seq {seq} held twice"
+            );
+        }
+    }
+
+    /// Blocking receive of the next in-order message on `key`.
+    ///
+    /// # Panics
+    /// Panics after `timeout` naming the channel and backend — an
+    /// under-synchronized schedule fails in seconds with context instead
+    /// of hanging the suite.
+    pub fn pop_within(&self, key: ChanKey, timeout: Duration) -> Vec<u8> {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.chans.lock().unwrap();
+        loop {
+            if let Some(m) = g.get_mut(&key).and_then(|st| st.ready.pop_front()) {
+                return m;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let held = g.get(&key).map_or(0, |st| st.held.len());
+                panic!(
+                    "timeout: no message on {} channel {} -> {} tag {} \
+                     ({held} out-of-order frame(s) held) — schedule \
+                     under-synchronized or sender missing?",
+                    self.backend, key.0, key.1, key.2
+                );
+            }
+            let (guard, _timed_out) = self.cv.wait_timeout(g, deadline - now).unwrap();
+            g = guard;
+        }
+    }
+
+    /// Drop messages that were delivered but never received. Sequence
+    /// state survives: senders keep counting across iterations, so the
+    /// expected-sequence cursor must too.
+    pub fn clear_ready(&self) {
+        let mut g = self.chans.lock().unwrap();
+        for st in g.values_mut() {
+            st.ready.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: ChanKey = (0, 1, 7);
+
+    #[test]
+    fn push_pop_fifo() {
+        let s = MsgStore::new("test");
+        s.push(K, vec![1]);
+        s.push(K, vec![2]);
+        assert_eq!(s.pop_within(K, Duration::from_secs(1)), vec![1]);
+        assert_eq!(s.pop_within(K, Duration::from_secs(1)), vec![2]);
+    }
+
+    #[test]
+    fn out_of_order_wire_arrivals_are_reassembled() {
+        let s = MsgStore::new("test");
+        s.deliver_seq(K, 2, vec![2]);
+        s.deliver_seq(K, 0, vec![0]);
+        s.deliver_seq(K, 1, vec![1]);
+        for want in 0u8..3 {
+            assert_eq!(s.pop_within(K, Duration::from_secs(1)), vec![want]);
+        }
+    }
+
+    #[test]
+    fn pop_blocks_until_gap_fills() {
+        let s = std::sync::Arc::new(MsgStore::new("test"));
+        s.deliver_seq(K, 1, vec![1]);
+        let s2 = std::sync::Arc::clone(&s);
+        let t = std::thread::spawn(move || s2.pop_within(K, Duration::from_secs(2)));
+        std::thread::sleep(Duration::from_millis(10));
+        s.deliver_seq(K, 0, vec![0]);
+        assert_eq!(t.join().unwrap(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate wire delivery")]
+    fn duplicate_seq_is_a_bug() {
+        let s = MsgStore::new("test");
+        s.deliver_seq(K, 0, vec![0]);
+        s.deliver_seq(K, 0, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tag 7")]
+    fn timeout_names_the_channel() {
+        MsgStore::new("test").pop_within(K, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn clear_ready_keeps_sequence_cursor() {
+        let s = MsgStore::new("test");
+        s.deliver_seq(K, 0, vec![0]);
+        s.clear_ready();
+        s.deliver_seq(K, 1, vec![1]);
+        assert_eq!(s.pop_within(K, Duration::from_secs(1)), vec![1]);
+    }
+}

@@ -1,0 +1,41 @@
+//! The runtime-wide blocking-wait timeout, parsed in exactly one place.
+//!
+//! Every blocking primitive in the system — the runtime's address-board
+//! fetches and flag waits, and the fabric's receives and backpressure
+//! stalls — bounds its wait with this value so an under-synchronized
+//! schedule fails in seconds with a diagnostic instead of hanging CI.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// How long a blocking primitive waits before panicking with a
+/// diagnostic. Defaults to 10 s; override with `PIPMCOLL_SYNC_TIMEOUT_MS`.
+///
+/// # Panics
+/// Panics on a malformed `PIPMCOLL_SYNC_TIMEOUT_MS` value — a typo in the
+/// timeout must fail loudly, not silently run with the default.
+pub fn sync_timeout() -> Duration {
+    static MS: OnceLock<u64> = OnceLock::new();
+    let ms = *MS.get_or_init(|| match std::env::var("PIPMCOLL_SYNC_TIMEOUT_MS") {
+        Err(std::env::VarError::NotPresent) => 10_000,
+        Err(std::env::VarError::NotUnicode(v)) => {
+            panic!("PIPMCOLL_SYNC_TIMEOUT_MS is not valid unicode: {v:?}")
+        }
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            panic!("PIPMCOLL_SYNC_TIMEOUT_MS must be a whole number of milliseconds, got {v:?}")
+        }),
+    });
+    Duration::from_millis(ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ten_seconds() {
+        // The test environment does not set the variable; the cached
+        // default must be the documented 10 s.
+        assert_eq!(sync_timeout(), Duration::from_millis(10_000));
+    }
+}

@@ -1,0 +1,186 @@
+//! The TCP backend's wire protocol: length-prefixed frames with an
+//! eager/rendezvous split.
+//!
+//! Every frame starts with a fixed 37-byte little-endian header:
+//!
+//! ```text
+//! offset  size  field
+//!      0     1  kind        (1=EAGER, 2=RTS, 3=CTS, 4=DATA)
+//!      1     4  src rank
+//!      5     4  dst rank
+//!      9     4  tag
+//!     13     8  seq         per-channel sequence (EAGER/RTS/DATA)
+//!     21     8  aux         rendezvous transfer id (RTS/CTS/DATA)
+//!     29     8  payload len
+//!     37     …  payload     (EAGER and DATA only)
+//! ```
+//!
+//! Small messages travel as a single `EAGER` frame. Above the eager
+//! threshold the sender stashes the payload and sends `RTS`; the receiver
+//! answers `CTS` on the same lane's reverse direction; the sender then
+//! ships the payload in a `DATA` frame. Because a later eager message can
+//! physically arrive before an earlier rendezvous payload, every
+//! payload-bearing frame carries its channel sequence number and the
+//! receive side reassembles send order (see `store::MsgStore`).
+
+use std::io::{self, Read};
+
+/// Frame discriminator (first header byte).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Payload inline; the whole message in one frame.
+    Eager = 1,
+    /// Rendezvous request-to-send: announces `seq` under transfer `aux`.
+    Rts = 2,
+    /// Rendezvous clear-to-send: receiver grants transfer `aux`.
+    Cts = 3,
+    /// Rendezvous payload for transfer `aux`.
+    Data = 4,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> io::Result<FrameKind> {
+        match v {
+            1 => Ok(FrameKind::Eager),
+            2 => Ok(FrameKind::Rts),
+            3 => Ok(FrameKind::Cts),
+            4 => Ok(FrameKind::Data),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame kind byte {other}"),
+            )),
+        }
+    }
+}
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 37;
+
+/// One wire frame (header fields plus owned payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame discriminator.
+    pub kind: FrameKind,
+    /// Sending rank.
+    pub src: u32,
+    /// Receiving rank.
+    pub dst: u32,
+    /// Message tag.
+    pub tag: u32,
+    /// Per-channel sequence number (meaningful for EAGER/RTS/DATA).
+    pub seq: u64,
+    /// Rendezvous transfer id (meaningful for RTS/CTS/DATA).
+    pub aux: u64,
+    /// Inline payload (EAGER/DATA; empty otherwise).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Encode the frame as header + payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.push(self.kind as u8);
+        out.extend_from_slice(&self.src.to_le_bytes());
+        out.extend_from_slice(&self.dst.to_le_bytes());
+        out.extend_from_slice(&self.tag.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.aux.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Read one frame from `r` (blocking). `Err` on EOF or a malformed
+    /// header — both mean the connection is done.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Frame> {
+        let mut h = [0u8; HEADER_LEN];
+        r.read_exact(&mut h)?;
+        let kind = FrameKind::from_u8(h[0])?;
+        let src = u32::from_le_bytes(h[1..5].try_into().unwrap());
+        let dst = u32::from_le_bytes(h[5..9].try_into().unwrap());
+        let tag = u32::from_le_bytes(h[9..13].try_into().unwrap());
+        let seq = u64::from_le_bytes(h[13..21].try_into().unwrap());
+        let aux = u64::from_le_bytes(h[21..29].try_into().unwrap());
+        let len = u64::from_le_bytes(h[29..37].try_into().unwrap());
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame length overflow"))?;
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        Ok(Frame {
+            kind,
+            src,
+            dst,
+            tag,
+            seq,
+            aux,
+            payload,
+        })
+    }
+
+    /// The channel this frame belongs to.
+    pub fn chan(&self) -> crate::ChanKey {
+        (self.src as usize, self.dst as usize, self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for (kind, payload) in [
+            (FrameKind::Eager, vec![1u8, 2, 3]),
+            (FrameKind::Rts, vec![]),
+            (FrameKind::Cts, vec![]),
+            (FrameKind::Data, vec![0u8; 1000]),
+        ] {
+            let f = Frame {
+                kind,
+                src: 3,
+                dst: 11,
+                tag: 42,
+                seq: 9,
+                aux: 77,
+                payload,
+            };
+            let bytes = f.encode();
+            assert_eq!(bytes.len(), HEADER_LEN + f.payload.len());
+            let mut cursor = &bytes[..];
+            let back = Frame::read_from(&mut cursor).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn zero_length_payload_roundtrips() {
+        let f = Frame {
+            kind: FrameKind::Eager,
+            src: 0,
+            dst: 1,
+            tag: 0,
+            seq: 0,
+            aux: 0,
+            payload: vec![],
+        };
+        let mut cursor = &f.encode()[..];
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), f);
+    }
+
+    #[test]
+    fn bad_kind_byte_is_invalid_data() {
+        let mut bytes = Frame {
+            kind: FrameKind::Eager,
+            src: 0,
+            dst: 0,
+            tag: 0,
+            seq: 0,
+            aux: 0,
+            payload: vec![],
+        }
+        .encode();
+        bytes[0] = 9;
+        let err = Frame::read_from(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -11,11 +11,12 @@
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
+use pipmcoll_fabric::{Fabric, FabricStats};
 use pipmcoll_model::Topology;
 use pipmcoll_sched::{record_with_sizes, BufSizes, Comm};
 
 use crate::comm::RtComm;
-use crate::shared::{Board, BufKey, ChannelTable, FlagSet, SharedBuf};
+use crate::shared::{Board, BufKey, FlagSet, SharedBuf};
 
 /// Everything the rank threads share — the "node address space".
 pub struct ClusterShared {
@@ -32,8 +33,8 @@ pub struct ClusterShared {
     pub boards: Vec<Board>,
     /// Per-rank flag sets.
     pub flags: Vec<FlagSet>,
-    /// Point-to-point channels.
-    pub chans: ChannelTable,
+    /// The internode transport carrying point-to-point messages.
+    pub fabric: Arc<dyn Fabric>,
     /// Per-node barriers.
     pub node_barriers: Vec<Barrier>,
     /// World barrier for iteration framing.
@@ -43,6 +44,7 @@ pub struct ClusterShared {
 impl ClusterShared {
     fn new(
         topo: Topology,
+        fabric: Arc<dyn Fabric>,
         sizes: &dyn Fn(usize) -> BufSizes,
         init: &dyn Fn(usize) -> Vec<u8>,
     ) -> Self {
@@ -69,7 +71,7 @@ impl ClusterShared {
             temps: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
             boards: (0..world).map(Board::for_rank).collect(),
             flags: (0..world).map(FlagSet::for_rank).collect(),
-            chans: ChannelTable::default(),
+            fabric,
             node_barriers: (0..topo.nodes())
                 .map(|_| Barrier::new(topo.ppn()))
                 .collect(),
@@ -117,7 +119,7 @@ impl ClusterShared {
         for f in &self.flags {
             f.clear();
         }
-        self.chans.clear();
+        self.fabric.reset();
     }
 }
 
@@ -129,6 +131,9 @@ pub struct RtResult {
     pub elapsed: Duration,
     /// Number of timed iterations.
     pub iters: usize,
+    /// Traffic counters of the fabric that carried the internode
+    /// point-to-point messages.
+    pub fabric_stats: FabricStats,
 }
 
 impl RtResult {
@@ -162,6 +167,25 @@ where
     I: Fn(usize) -> Vec<u8> + Sync,
     A: Algo,
 {
+    run_cluster_verified_on(pipmcoll_fabric::from_env(topo), topo, sizes, init, algo)
+}
+
+/// [`run_cluster_verified`] over an explicit [`Fabric`]. The proof
+/// obligation is fabric-independent: the happens-before analysis works on
+/// the recorded schedule, and every fabric provides the same per-channel
+/// FIFO matching semantics (enforced by the backend-conformance suite).
+pub fn run_cluster_verified_on<S, I, A>(
+    fabric: Arc<dyn Fabric>,
+    topo: Topology,
+    sizes: S,
+    init: I,
+    algo: &A,
+) -> RtResult
+where
+    S: Fn(usize) -> BufSizes + Sync,
+    I: Fn(usize) -> Vec<u8> + Sync,
+    A: Algo,
+{
     let sched = record_with_sizes(topo, &sizes, |c| algo.run(c));
     if let Err(e) = sched.validate() {
         panic!("refusing to execute: schedule fails validation: {e}");
@@ -169,7 +193,7 @@ where
     if let Err(e) = pipmcoll_sched::hb::check(&sched) {
         panic!("refusing to execute: schedule fails happens-before analysis: {e}");
     }
-    run_cluster(topo, sizes, init, |c| algo.run(c))
+    run_cluster_on(fabric, topo, sizes, init, 1, |c| algo.run(c))
 }
 
 /// Run `algo` once per rank on real threads. Buffer sizes and send-buffer
@@ -189,8 +213,39 @@ where
 }
 
 /// Run `iters` timed iterations of `algo` (shared state is reset between
-/// iterations; scratch buffers are reused). Used by the Criterion benches.
+/// iterations; scratch buffers are reused). Used by the benches.
+///
+/// The internode transport is chosen by the environment
+/// (`PIPMCOLL_FABRIC`, see [`pipmcoll_fabric::from_env`]): in-process
+/// channels by default, real loopback TCP with striped lanes when
+/// `PIPMCOLL_FABRIC=tcp` — which lets the entire test suite double as a
+/// socket-transport soak without code changes.
 pub fn run_cluster_timed<S, I, F>(
+    topo: Topology,
+    sizes: S,
+    init: I,
+    iters: usize,
+    algo: F,
+) -> RtResult
+where
+    S: Fn(usize) -> BufSizes + Sync,
+    I: Fn(usize) -> Vec<u8> + Sync,
+    F: Fn(&mut RtComm) + Sync,
+{
+    run_cluster_on(
+        pipmcoll_fabric::from_env(topo),
+        topo,
+        sizes,
+        init,
+        iters,
+        algo,
+    )
+}
+
+/// [`run_cluster_timed`] over an explicit [`Fabric`] — the backend-neutral
+/// core every other entry point funnels into.
+pub fn run_cluster_on<S, I, F>(
+    fabric: Arc<dyn Fabric>,
     topo: Topology,
     sizes: S,
     init: I,
@@ -217,7 +272,7 @@ where
             }
         }
     }
-    let shared = Arc::new(ClusterShared::new(topo, &sizes, &init));
+    let shared = Arc::new(ClusterShared::new(topo, Arc::clone(&fabric), &sizes, &init));
     let elapsed = Mutex::new(Duration::ZERO);
     let world = topo.world_size();
     std::thread::scope(|scope| {
@@ -265,6 +320,7 @@ where
         recv,
         elapsed: elapsed.into_inner().unwrap(),
         iters,
+        fabric_stats: fabric.stats(),
     }
 }
 
@@ -416,6 +472,43 @@ mod tests {
             |r| pattern(r, 8),
             &UnorderedSharedWrites,
         );
+    }
+
+    #[test]
+    fn pt2pt_roundtrip_over_tcp_lanes() {
+        use pipmcoll_fabric::{TcpConfig, TcpFabric};
+        let topo = Topology::new(2, 2);
+        let fabric = Arc::new(
+            TcpFabric::connect(
+                topo,
+                TcpConfig {
+                    lanes: 2,
+                    ..TcpConfig::default()
+                },
+            )
+            .expect("loopback fabric"),
+        );
+        let res = run_cluster_on(
+            fabric,
+            topo,
+            |_| BufSizes::new(8, 8),
+            |r| pattern(r, 8),
+            2,
+            |c| {
+                if c.node() == 0 {
+                    c.send(c.rank() + 2, 5, Region::new(BufId::Send, 0, 8));
+                } else {
+                    c.recv(c.rank() - 2, 5, Region::new(BufId::Recv, 0, 8));
+                }
+            },
+        );
+        assert_eq!(res.recv[2], pattern(0, 8));
+        assert_eq!(res.recv[3], pattern(1, 8));
+        // Two iterations, two senders, one per lane.
+        assert_eq!(res.fabric_stats.total_msgs(), 4);
+        assert_eq!(res.fabric_stats.lanes.len(), 2);
+        assert_eq!(res.fabric_stats.lanes[0].msgs, 2);
+        assert_eq!(res.fabric_stats.lanes[1].msgs, 2);
     }
 
     #[test]

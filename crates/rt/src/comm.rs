@@ -9,7 +9,7 @@ use pipmcoll_sched::{BufId, BufSizes, Comm, FlagId, Region, RemoteRegion, Req, S
 use crate::cluster::ClusterShared;
 use crate::shared::{BufKey, Posted, SharedBuf};
 
-type ChanKey = (usize, usize, u32);
+use pipmcoll_fabric::ChanKey;
 
 enum ReqState {
     /// Sends complete at issue (payload snapshotted into the channel).
@@ -100,7 +100,7 @@ impl RtComm {
                 .get_mut(&chan)
                 .and_then(|q| q.pop_front())
                 .expect("pending receive must be queued on its channel");
-            let payload = self.shared.chans.recv(chan);
+            let payload = self.shared.fabric.recv(chan);
             let state = std::mem::replace(&mut self.reqs[next], ReqState::RecvDone);
             match state {
                 ReqState::RecvPending { target, .. } => match target {
@@ -141,7 +141,7 @@ impl Comm for RtComm {
 
     fn isend(&mut self, dst: usize, tag: Tag, src: Region) -> Req {
         let payload = self.own_buf(src.buf).read_vec(src.offset, src.len);
-        self.shared.chans.send((self.rank, dst, tag), payload);
+        self.shared.fabric.send((self.rank, dst, tag), payload);
         self.reqs.push(ReqState::SendDone);
         Req(self.reqs.len() - 1)
     }
@@ -160,7 +160,7 @@ impl Comm for RtComm {
     fn isend_shared(&mut self, dst: usize, tag: Tag, src: RemoteRegion) -> Req {
         let (buf, off) = self.resolve(&src);
         let payload = buf.read_vec(off, src.len);
-        self.shared.chans.send((self.rank, dst, tag), payload);
+        self.shared.fabric.send((self.rank, dst, tag), payload);
         self.reqs.push(ReqState::SendDone);
         Req(self.reqs.len() - 1)
     }

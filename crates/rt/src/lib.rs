@@ -10,11 +10,14 @@
 //!
 //! The runtime implements the same [`pipmcoll_sched::Comm`] trait as the
 //! trace recorder, so every algorithm in `pipmcoll-core` runs here
-//! unchanged. "Internode" point-to-point is carried over in-process
-//! channels (there is no real fabric in this environment); the runtime is
-//! therefore used for *correctness cross-validation* at small scale and for
-//! *intranode wall-clock benchmarking*, while the discrete-event engine
-//! covers the 128-node scale.
+//! unchanged. Internode point-to-point goes through the pluggable
+//! [`pipmcoll_fabric::Fabric`] transport: in-process channels by default,
+//! or real loopback TCP with k striped lanes (`PIPMCOLL_FABRIC=tcp`, or
+//! explicitly via [`cluster::run_cluster_on`]) so the paper's multi-object
+//! claim is exercised against a transport with genuine injection costs.
+//! The runtime is used for *correctness cross-validation* at small scale
+//! and for *intranode wall-clock benchmarking*, while the discrete-event
+//! engine covers the 128-node scale.
 //!
 //! ## Safety
 //!
@@ -35,5 +38,8 @@ pub mod cluster;
 pub mod comm;
 pub mod shared;
 
-pub use cluster::{run_cluster, run_cluster_timed, run_cluster_verified, Algo, RtResult};
+pub use cluster::{
+    run_cluster, run_cluster_on, run_cluster_timed, run_cluster_verified, run_cluster_verified_on,
+    Algo, RtResult,
+};
 pub use comm::RtComm;

@@ -1,30 +1,25 @@
 //! Shared-address-space primitives: buffers peers may touch, the address
-//! board, flag sets and channel tables.
+//! board and flag sets. (Point-to-point channel delivery lives in
+//! `pipmcoll-fabric`; the runtime goes through its [`Fabric`] trait.)
 //!
 //! Everything here is built on `std::sync` only — the runtime deliberately
 //! has no external dependencies.
+//!
+//! [`Fabric`]: pipmcoll_fabric::Fabric
 
 use std::cell::UnsafeCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use pipmcoll_model::dtype::reduce_into;
 use pipmcoll_model::{Datatype, ReduceOp};
 
-/// How long a blocking primitive ([`Board::fetch`], [`FlagSet::wait`],
-/// [`ChannelTable::recv`]) waits before panicking with a diagnostic instead
-/// of hanging CI forever. Override with `PIPMCOLL_SYNC_TIMEOUT_MS`.
-pub fn sync_timeout() -> Duration {
-    static MS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
-    let ms = *MS.get_or_init(|| {
-        std::env::var("PIPMCOLL_SYNC_TIMEOUT_MS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(10_000)
-    });
-    Duration::from_millis(ms)
-}
+/// The runtime-wide blocking-wait timeout, parsed once in
+/// `pipmcoll-fabric` and shared by [`Board::fetch`], [`FlagSet::wait`]
+/// and the fabric's receives. Override with `PIPMCOLL_SYNC_TIMEOUT_MS`
+/// (malformed values panic with a diagnostic).
+pub use pipmcoll_fabric::sync_timeout;
 
 /// A fixed-size byte buffer other ranks may read/write, PiP-style.
 ///
@@ -316,64 +311,6 @@ impl FlagSet {
     }
 }
 
-/// An unbounded FIFO queue of messages (std-only channel replacement).
-#[derive(Default)]
-struct MsgQueue {
-    q: Mutex<VecDeque<Vec<u8>>>,
-    cv: Condvar,
-}
-
-/// Lazily-created FIFO channels for point-to-point messages.
-#[derive(Default)]
-pub struct ChannelTable {
-    chans: Mutex<HashMap<(usize, usize, u32), Arc<MsgQueue>>>,
-}
-
-impl ChannelTable {
-    fn queue(&self, key: (usize, usize, u32)) -> Arc<MsgQueue> {
-        let mut g = self.chans.lock().unwrap();
-        Arc::clone(g.entry(key).or_default())
-    }
-
-    /// Send `payload` on channel `key`.
-    pub fn send(&self, key: (usize, usize, u32), payload: Vec<u8>) {
-        let q = self.queue(key);
-        q.q.lock().unwrap().push_back(payload);
-        q.cv.notify_all();
-    }
-
-    /// Blocking receive of the next message on channel `key`.
-    ///
-    /// # Panics
-    /// Panics after [`sync_timeout`] naming the channel if no message ever
-    /// arrives.
-    pub fn recv(&self, key: (usize, usize, u32)) -> Vec<u8> {
-        let q = self.queue(key);
-        let deadline = std::time::Instant::now() + sync_timeout();
-        let mut g = q.q.lock().unwrap();
-        loop {
-            if let Some(m) = g.pop_front() {
-                return m;
-            }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                panic!(
-                    "timeout: no message on channel {} -> {} tag {} — \
-                     schedule under-synchronized or sender missing?",
-                    key.0, key.1, key.2
-                );
-            }
-            let (guard, _timed_out) = q.cv.wait_timeout(g, deadline - now).unwrap();
-            g = guard;
-        }
-    }
-
-    /// Reset between benchmark iterations (drains stale messages).
-    pub fn clear(&self) {
-        self.chans.lock().unwrap().clear();
-    }
-}
-
 /// One rank's buffers, visible to the whole node (address space).
 pub struct RankBufs {
     /// User send buffer.
@@ -479,15 +416,6 @@ mod tests {
         f.signal(1);
         f.signal(1);
         f.wait(1, 2); // returns immediately
-    }
-
-    #[test]
-    fn channels_fifo() {
-        let t = ChannelTable::default();
-        t.send((0, 1, 7), vec![1]);
-        t.send((0, 1, 7), vec![2]);
-        assert_eq!(t.recv((0, 1, 7)), vec![1]);
-        assert_eq!(t.recv((0, 1, 7)), vec![2]);
     }
 
     fn panic_message(r: Box<dyn std::any::Any + Send>) -> String {
