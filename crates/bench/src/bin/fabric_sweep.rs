@@ -57,14 +57,15 @@ fn trial(lanes: usize, size: usize, n_msgs: usize) -> f64 {
             s.spawn(move || {
                 start.wait();
                 for _ in 0..n_msgs {
-                    fab.send((p, PAIRS + p, 0), payload.clone());
+                    fab.send((p, PAIRS + p, 0), payload.clone())
+                        .expect("bench send");
                 }
             });
             let fab = Arc::clone(&fabric);
             s.spawn(move || {
                 start.wait();
                 for _ in 0..n_msgs {
-                    let m = fab.recv((p, PAIRS + p, 0));
+                    let m = fab.recv((p, PAIRS + p, 0)).expect("bench recv");
                     assert_eq!(m.len(), size);
                 }
                 done.wait();

@@ -1,0 +1,464 @@
+//! Deterministic fault injection: the [`ChaosFabric`] wrapper and the
+//! frame-level [`WireChaos`] hook it installs into socket backends.
+//!
+//! The paper's premise is that k concurrent objects drive the fabric
+//! *harder* — which on a real network means more frames in flight to
+//! drop, reorder and duplicate. The chaos layer proves the collectives
+//! stay byte-correct under exactly that pressure, deterministically:
+//! every fault decision comes from a seeded xorshift64* stream
+//! ([`ChaosRng`]), so a failing run reproduces from its seed.
+//!
+//! Faults come in two tiers:
+//!
+//! * **Frame-level** (drop, duplicate) — these violate the reliable
+//!   wire and are only recoverable by a backend with retransmit and
+//!   sequence dedup. `ChaosFabric` offers the backend a shared
+//!   [`WireChaos`] via [`Fabric::install_chaos`]; `TcpFabric` accepts
+//!   and consults it for every eager frame *below* sequence-number
+//!   assignment, so a dropped frame looks exactly like first-transmission
+//!   loss and a duplicate looks exactly like a spurious retransmit.
+//!   Backends that decline (in-process delivery has no wire) simply
+//!   never see these faults.
+//! * **Interface-level** (delay jitter, mid-run lane kills) — safe under
+//!   any backend. Delays perturb thread interleavings and hold-back
+//!   pressure; lane kills exercise [`Fabric::kill_lane`] degradation.
+//!
+//! Configuration rides the environment so any run can become a chaos
+//! run without code changes:
+//!
+//! ```text
+//! PIPMCOLL_CHAOS=drop:0.05,dup:0.02,delay:5ms,lane_kill:1
+//! PIPMCOLL_CHAOS_SEED=42        # optional, default 1
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::error::{FabricDiag, FabricError, FabricResult};
+use crate::stats::FabricStats;
+use crate::{ChanKey, Fabric};
+
+/// Minimal xorshift64* generator: deterministic for a given seed, no
+/// external crates. This is the workspace's one PRNG — the integration
+/// suite re-exports it as `TestRng`.
+pub struct ChaosRng(u64);
+
+impl ChaosRng {
+    /// Seeded generator (seed 0 is mapped to a fixed odd constant).
+    pub fn new(seed: u64) -> Self {
+        ChaosRng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform boolean.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Parsed chaos parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosConfig {
+    /// Probability an eager frame's first transmission is dropped.
+    pub drop: f64,
+    /// Probability an eager frame is sent twice.
+    pub dup: f64,
+    /// Upper bound of the uniform per-send delay (0 disables).
+    pub delay: Duration,
+    /// Number of lanes to kill mid-run.
+    pub lane_kill: usize,
+    /// Send index at which the first kill fires (subsequent kills fire
+    /// at the same spacing); `None` draws it from the seed.
+    pub kill_after: Option<u64>,
+    /// RNG seed for every fault decision.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            drop: 0.0,
+            dup: 0.0,
+            delay: Duration::ZERO,
+            lane_kill: 0,
+            kill_after: None,
+            seed: 1,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Parse the `PIPMCOLL_CHAOS` grammar:
+    /// `drop:<prob>,dup:<prob>,delay:<ms>ms,lane_kill:<n>` — every field
+    /// optional, any order.
+    pub fn parse(spec: &str) -> Result<ChaosConfig, String> {
+        let mut cfg = ChaosConfig::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, val) = part
+                .split_once(':')
+                .ok_or_else(|| format!("chaos field {part:?} is not key:value"))?;
+            match key.trim() {
+                "drop" => cfg.drop = parse_prob("drop", val)?,
+                "dup" => cfg.dup = parse_prob("dup", val)?,
+                "delay" => {
+                    let ms = val
+                        .trim()
+                        .strip_suffix("ms")
+                        .unwrap_or(val.trim())
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("chaos delay {val:?} is not a millisecond count"))?;
+                    cfg.delay = Duration::from_millis(ms);
+                }
+                "lane_kill" => {
+                    cfg.lane_kill = val
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("chaos lane_kill {val:?} is not a count"))?;
+                }
+                other => return Err(format!("unknown chaos field {other:?}")),
+            }
+        }
+        if cfg.drop + cfg.dup >= 1.0 {
+            return Err(format!(
+                "chaos drop ({}) + dup ({}) must leave room for delivery",
+                cfg.drop, cfg.dup
+            ));
+        }
+        Ok(cfg)
+    }
+
+    /// The configuration selected by `PIPMCOLL_CHAOS` /
+    /// `PIPMCOLL_CHAOS_SEED`, or `None` when chaos is off.
+    ///
+    /// # Panics
+    /// Panics on a malformed spec or seed — a typo in a fault-injection
+    /// campaign must fail loudly, not silently run without faults.
+    pub fn from_env() -> Option<ChaosConfig> {
+        let spec = std::env::var("PIPMCOLL_CHAOS").ok()?;
+        let mut cfg = ChaosConfig::parse(&spec)
+            .unwrap_or_else(|e| panic!("PIPMCOLL_CHAOS={spec:?} is malformed: {e}"));
+        if let Ok(seed) = std::env::var("PIPMCOLL_CHAOS_SEED") {
+            cfg.seed = seed
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("PIPMCOLL_CHAOS_SEED must be a u64, got {seed:?}"));
+        }
+        Some(cfg)
+    }
+}
+
+fn parse_prob(name: &str, val: &str) -> Result<f64, String> {
+    let p = val
+        .trim()
+        .parse::<f64>()
+        .map_err(|_| format!("chaos {name} {val:?} is not a probability"))?;
+    if !(0.0..1.0).contains(&p) {
+        return Err(format!("chaos {name} {p} outside [0, 1)"));
+    }
+    Ok(p)
+}
+
+/// What a backend should do with one outgoing frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameFate {
+    /// Send it normally.
+    Deliver,
+    /// Pretend the wire ate it (the backend's retransmit must recover).
+    Drop,
+    /// Send it twice (the receiver's dedup must collapse it).
+    Dup,
+}
+
+/// The frame-level fault stream a chaotic wrapper shares with its
+/// backend via [`Fabric::install_chaos`].
+pub struct WireChaos {
+    drop: f64,
+    dup: f64,
+    rng: Mutex<ChaosRng>,
+    dropped: AtomicU64,
+    dupped: AtomicU64,
+}
+
+impl WireChaos {
+    /// A fault stream for `cfg`, seeded from `cfg.seed`.
+    pub fn new(cfg: &ChaosConfig) -> Self {
+        WireChaos {
+            drop: cfg.drop,
+            dup: cfg.dup,
+            // Distinct stream from the interface-level RNG so installing
+            // wire chaos does not perturb delay/kill decisions.
+            rng: Mutex::new(ChaosRng::new(cfg.seed.wrapping_mul(0x9E37_79B9).max(1))),
+            dropped: AtomicU64::new(0),
+            dupped: AtomicU64::new(0),
+        }
+    }
+
+    /// Roll the fate of one outgoing frame.
+    pub fn fate(&self) -> FrameFate {
+        let u = match self.rng.lock() {
+            Ok(mut rng) => rng.unit(),
+            // A poisoned RNG must not take down a progress thread — the
+            // frame just gets delivered.
+            Err(_) => return FrameFate::Deliver,
+        };
+        if u < self.drop {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            FrameFate::Drop
+        } else if u < self.drop + self.dup {
+            self.dupped.fetch_add(1, Ordering::Relaxed);
+            FrameFate::Dup
+        } else {
+            FrameFate::Deliver
+        }
+    }
+
+    /// Frames dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Frames duplicated so far.
+    pub fn dupped(&self) -> u64 {
+        self.dupped.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`Fabric`] wrapper injecting deterministic, seeded faults.
+///
+/// Works over any backend: frame-level faults (drop/dup) are delegated
+/// to the backend through [`Fabric::install_chaos`] and silently skipped
+/// if it declines; delays and lane kills are applied at this layer.
+pub struct ChaosFabric<F: Fabric> {
+    inner: F,
+    cfg: ChaosConfig,
+    wire: Arc<WireChaos>,
+    /// Whether the backend consumes frame-level faults.
+    wired: bool,
+    /// Interface-level RNG (delays, kill-victim choice).
+    rng: Mutex<ChaosRng>,
+    sends: AtomicU64,
+    /// Send index at which the next lane kill fires.
+    next_kill: AtomicU64,
+    kills_left: AtomicUsize,
+    kill_spacing: u64,
+}
+
+impl<F: Fabric> ChaosFabric<F> {
+    /// Wrap `inner` with the faults described by `cfg`.
+    pub fn new(inner: F, cfg: ChaosConfig) -> Self {
+        let wire = Arc::new(WireChaos::new(&cfg));
+        let wired = inner.install_chaos(Arc::clone(&wire));
+        let mut rng = ChaosRng::new(cfg.seed);
+        let spacing = cfg
+            .kill_after
+            .unwrap_or_else(|| rng.range(20, 80) as u64)
+            .max(1);
+        ChaosFabric {
+            inner,
+            cfg,
+            wire,
+            wired,
+            rng: Mutex::new(rng),
+            sends: AtomicU64::new(0),
+            next_kill: AtomicU64::new(spacing),
+            kills_left: AtomicUsize::new(cfg.lane_kill),
+            kill_spacing: spacing,
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// The shared frame-level fault stream (for test assertions).
+    pub fn wire(&self) -> &WireChaos {
+        &self.wire
+    }
+
+    /// Whether the backend accepted frame-level fault injection.
+    pub fn wired(&self) -> bool {
+        self.wired
+    }
+
+    /// Fire any lane kill scheduled at or before send index `n`.
+    fn maybe_kill(&self, n: u64) {
+        if self.kills_left.load(Ordering::Relaxed) == 0
+            || n < self.next_kill.load(Ordering::Relaxed)
+        {
+            return;
+        }
+        // One thread wins the right to perform this kill.
+        if self
+            .kills_left
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |k| k.checked_sub(1))
+            .is_err()
+        {
+            return;
+        }
+        self.next_kill
+            .fetch_add(self.kill_spacing, Ordering::Relaxed);
+        let lanes = self.inner.lanes();
+        let start = match self.rng.lock() {
+            Ok(mut rng) => rng.range(0, lanes.max(1)),
+            Err(_) => 0,
+        };
+        // The backend refuses to kill its last surviving lane; try each
+        // candidate once.
+        for i in 0..lanes {
+            if self.inner.kill_lane((start + i) % lanes) {
+                return;
+            }
+        }
+    }
+}
+
+impl<F: Fabric> Fabric for ChaosFabric<F> {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn lanes(&self) -> usize {
+        self.inner.lanes()
+    }
+
+    fn send(&self, key: ChanKey, payload: Vec<u8>) -> FabricResult<()> {
+        let n = self.sends.fetch_add(1, Ordering::Relaxed);
+        self.maybe_kill(n);
+        if !self.cfg.delay.is_zero() {
+            let jitter = match self.rng.lock() {
+                Ok(mut rng) => self.cfg.delay.mul_f64(rng.unit()),
+                Err(_) => Duration::ZERO,
+            };
+            if !jitter.is_zero() {
+                std::thread::sleep(jitter);
+            }
+        }
+        self.inner.send(key, payload)
+    }
+
+    fn recv_within(&self, key: ChanKey, timeout: Duration) -> FabricResult<Vec<u8>> {
+        self.inner.recv_within(key, timeout)
+    }
+
+    fn reset(&self) {
+        self.inner.reset();
+    }
+
+    fn stats(&self) -> FabricStats {
+        self.inner.stats()
+    }
+
+    fn diag(&self) -> FabricDiag {
+        self.inner.diag()
+    }
+
+    fn drain_errors(&self) -> Vec<FabricError> {
+        self.inner.drain_errors()
+    }
+
+    fn kill_lane(&self, lane: usize) -> bool {
+        self.inner.kill_lane(lane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InProcFabric;
+
+    #[test]
+    fn parse_full_spec() {
+        let cfg = ChaosConfig::parse("drop:0.05,dup:0.02,delay:5ms,lane_kill:1").unwrap();
+        assert_eq!(cfg.drop, 0.05);
+        assert_eq!(cfg.dup, 0.02);
+        assert_eq!(cfg.delay, Duration::from_millis(5));
+        assert_eq!(cfg.lane_kill, 1);
+    }
+
+    #[test]
+    fn parse_partial_and_unsuffixed_delay() {
+        let cfg = ChaosConfig::parse("delay:3").unwrap();
+        assert_eq!(cfg.delay, Duration::from_millis(3));
+        assert_eq!(cfg.drop, 0.0);
+        assert_eq!(ChaosConfig::parse("").unwrap(), ChaosConfig::default());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ChaosConfig::parse("drop:1.5").is_err());
+        assert!(ChaosConfig::parse("drop=0.1").is_err());
+        assert!(ChaosConfig::parse("frobnicate:1").is_err());
+        assert!(ChaosConfig::parse("drop:0.6,dup:0.5").is_err());
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = ChaosRng::new(42);
+        let mut b = ChaosRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let u = ChaosRng::new(7).unit();
+        assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn fate_frequencies_match_config() {
+        let wire = WireChaos::new(&ChaosConfig {
+            drop: 0.3,
+            dup: 0.2,
+            ..ChaosConfig::default()
+        });
+        let n = 10_000;
+        for _ in 0..n {
+            wire.fate();
+        }
+        let drop_rate = wire.dropped() as f64 / n as f64;
+        let dup_rate = wire.dupped() as f64 / n as f64;
+        assert!((drop_rate - 0.3).abs() < 0.03, "drop rate {drop_rate}");
+        assert!((dup_rate - 0.2).abs() < 0.03, "dup rate {dup_rate}");
+    }
+
+    #[test]
+    fn inproc_declines_wire_faults_but_still_delivers() {
+        let f = ChaosFabric::new(
+            InProcFabric::new(),
+            ChaosConfig::parse("drop:0.5,dup:0.3,delay:1ms").unwrap(),
+        );
+        assert!(!f.wired(), "inproc has no wire to corrupt");
+        // Frame faults are skipped entirely: nothing may be lost.
+        for i in 0..20u8 {
+            f.send((0, 1, 0), vec![i]).unwrap();
+        }
+        for i in 0..20u8 {
+            assert_eq!(f.recv((0, 1, 0)).unwrap(), vec![i]);
+        }
+    }
+}

@@ -9,6 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use crate::error::{FabricDiag, FabricResult};
 use crate::stats::{FabricStats, LaneStats};
 use crate::store::MsgStore;
 use crate::{ChanKey, Fabric};
@@ -46,14 +47,15 @@ impl Fabric for InProcFabric {
         1
     }
 
-    fn send(&self, key: ChanKey, payload: Vec<u8>) {
+    fn send(&self, key: ChanKey, payload: Vec<u8>) -> FabricResult<()> {
         self.msgs.fetch_add(1, Ordering::Relaxed);
         self.bytes
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.store.push(key, payload);
+        Ok(())
     }
 
-    fn recv_within(&self, key: ChanKey, timeout: Duration) -> Vec<u8> {
+    fn recv_within(&self, key: ChanKey, timeout: Duration) -> FabricResult<Vec<u8>> {
         self.store.pop_within(key, timeout)
     }
 
@@ -70,6 +72,15 @@ impl Fabric for InProcFabric {
             }],
             local_msgs: 0,
             local_bytes: 0,
+            retransmits: 0,
+            dups_dropped: 0,
+        }
+    }
+
+    fn diag(&self) -> FabricDiag {
+        FabricDiag {
+            blocked: self.store.blocked(),
+            ..FabricDiag::default()
         }
     }
 }
@@ -81,10 +92,10 @@ mod tests {
     #[test]
     fn fifo_and_stats() {
         let f = InProcFabric::new();
-        f.send((0, 1, 3), vec![1, 2]);
-        f.send((0, 1, 3), vec![3]);
-        assert_eq!(f.recv((0, 1, 3)), vec![1, 2]);
-        assert_eq!(f.recv((0, 1, 3)), vec![3]);
+        f.send((0, 1, 3), vec![1, 2]).unwrap();
+        f.send((0, 1, 3), vec![3]).unwrap();
+        assert_eq!(f.recv((0, 1, 3)).unwrap(), vec![1, 2]);
+        assert_eq!(f.recv((0, 1, 3)).unwrap(), vec![3]);
         let s = f.stats();
         assert_eq!(s.total_msgs(), 2);
         assert_eq!(s.total_bytes(), 3);
@@ -93,9 +104,9 @@ mod tests {
     #[test]
     fn reset_drops_stale_messages() {
         let f = InProcFabric::new();
-        f.send((0, 1, 0), vec![9]);
+        f.send((0, 1, 0), vec![9]).unwrap();
         f.reset();
-        f.send((0, 1, 0), vec![1]);
-        assert_eq!(f.recv((0, 1, 0)), vec![1]);
+        f.send((0, 1, 0), vec![1]).unwrap();
+        assert_eq!(f.recv((0, 1, 0)).unwrap(), vec![1]);
     }
 }

@@ -19,22 +19,31 @@
 //!   the paper's "object"), a length-prefixed eager/rendezvous wire
 //!   protocol with `(src, dst, tag)` matching and per-channel FIFO,
 //!   dedicated progress threads per connection endpoint, bounded per-lane
-//!   send queues for backpressure, and per-lane traffic counters.
+//!   send queues for backpressure, ack-based retransmit with sequence
+//!   dedup, lane failover, and per-lane traffic counters.
+//! * [`ChaosFabric`] — a deterministic, seeded fault injector wrapping
+//!   any backend (`PIPMCOLL_CHAOS=drop:0.05,dup:0.02,delay:5ms`), used
+//!   to prove the collectives stay byte-correct under frame loss,
+//!   duplication, jitter and mid-run lane kills.
 //!
-//! Both backends present the same contract, checked by the conformance
+//! Every backend presents the same contract, checked by the conformance
 //! suite in `tests/conformance.rs`:
 //!
 //! 1. **Matching** — a message sent on `(src, dst, tag)` is only ever
 //!    delivered to a receive on the same `(src, dst, tag)` channel.
 //! 2. **Non-overtaking** — messages on one channel are delivered in send
-//!    order (MPI's non-overtaking rule), even when the wire reorders
-//!    eager and rendezvous traffic.
+//!    order (MPI's non-overtaking rule), even when the wire reorders,
+//!    drops or duplicates eager and rendezvous traffic.
 //! 3. **Zero-length messages** are real messages: they match and are
 //!    delivered like any other.
 //!
-//! Blocking waits share the runtime-wide timeout discipline: they panic
-//! with a diagnostic after [`sync_timeout`] instead of hanging CI.
+//! Fabric operations are fallible: blocking waits give up after
+//! [`sync_timeout`] and every failure is a typed [`FabricError`] carrying
+//! the stuck channel, lane and queue state — the runtime converts these
+//! into a structured failure report instead of aborting the process.
 
+pub mod chaos;
+pub mod error;
 pub mod inproc;
 pub mod stats;
 pub mod store;
@@ -47,6 +56,8 @@ use std::time::Duration;
 
 use pipmcoll_model::Topology;
 
+pub use chaos::{ChaosConfig, ChaosFabric, ChaosRng, WireChaos};
+pub use error::{BlockedRecv, FabricDiag, FabricError, FabricResult, QueueDiag, TimeoutDiag};
 pub use inproc::InProcFabric;
 pub use stats::{FabricStats, LaneStats};
 pub use tcp::{TcpConfig, TcpFabric};
@@ -62,7 +73,8 @@ pub type ChanKey = (usize, usize, u32);
 /// `send` is *eager at the interface*: it completes once the payload is
 /// accepted by the transport (it may block on backpressure, never on the
 /// receiver). `recv` blocks until the next in-order message on the
-/// channel arrives, panicking with a diagnostic after [`sync_timeout`].
+/// channel arrives, giving up with a typed [`FabricError`] after
+/// [`sync_timeout`]. Neither panics on transport failure.
 pub trait Fabric: Send + Sync {
     /// Backend name for diagnostics and result files.
     fn name(&self) -> &'static str;
@@ -72,15 +84,16 @@ pub trait Fabric: Send + Sync {
 
     /// Enqueue `payload` for delivery on `key`. May block when the
     /// responsible lane's send queue is full (backpressure), never on
-    /// the receiver.
-    fn send(&self, key: ChanKey, payload: Vec<u8>);
+    /// the receiver. Fails with [`FabricError::PeerHung`] if the queue
+    /// never drains and [`FabricError::LaneDead`] if no lane survives.
+    fn send(&self, key: ChanKey, payload: Vec<u8>) -> FabricResult<()>;
 
     /// Blocking receive of the next in-order message on `key`, giving up
-    /// (with a panic diagnostic) after `timeout`.
-    fn recv_within(&self, key: ChanKey, timeout: Duration) -> Vec<u8>;
+    /// with a [`FabricError::Timeout`] diagnostic after `timeout`.
+    fn recv_within(&self, key: ChanKey, timeout: Duration) -> FabricResult<Vec<u8>>;
 
     /// Blocking receive with the runtime-wide [`sync_timeout`].
-    fn recv(&self, key: ChanKey) -> Vec<u8> {
+    fn recv(&self, key: ChanKey) -> FabricResult<Vec<u8>> {
         self.recv_within(key, sync_timeout())
     }
 
@@ -91,20 +104,92 @@ pub trait Fabric: Send + Sync {
 
     /// Per-lane traffic counters since construction.
     fn stats(&self) -> FabricStats;
+
+    /// Point-in-time health snapshot (blocked receives, queue depths,
+    /// dead lanes) for the runtime's watchdog. Backends without
+    /// introspection return the empty default.
+    fn diag(&self) -> FabricDiag {
+        FabricDiag::default()
+    }
+
+    /// Drain failures recorded by progress threads since the last call
+    /// (malformed frames, exhausted retransmits, dead lanes). Backends
+    /// without progress threads have none.
+    fn drain_errors(&self) -> Vec<FabricError> {
+        Vec::new()
+    }
+
+    /// Kill lane `lane`: sever its connections and remap its channels
+    /// onto surviving lanes. Returns `false` if the backend does not
+    /// support lane failover, the lane does not exist, or it is the last
+    /// survivor (a fabric must keep at least one lane).
+    fn kill_lane(&self, _lane: usize) -> bool {
+        false
+    }
+
+    /// Offer the backend a frame-level fault stream (chaos testing).
+    /// Returns `true` if the backend will consult it; backends without a
+    /// wire (or without recovery machinery) decline and frame-level
+    /// faults are skipped.
+    fn install_chaos(&self, _chaos: Arc<WireChaos>) -> bool {
+        false
+    }
+}
+
+/// Delegating impl so trait objects can be wrapped (e.g.
+/// `ChaosFabric<Arc<dyn Fabric>>`).
+impl<T: Fabric + ?Sized> Fabric for Arc<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn lanes(&self) -> usize {
+        (**self).lanes()
+    }
+    fn send(&self, key: ChanKey, payload: Vec<u8>) -> FabricResult<()> {
+        (**self).send(key, payload)
+    }
+    fn recv_within(&self, key: ChanKey, timeout: Duration) -> FabricResult<Vec<u8>> {
+        (**self).recv_within(key, timeout)
+    }
+    fn recv(&self, key: ChanKey) -> FabricResult<Vec<u8>> {
+        (**self).recv(key)
+    }
+    fn reset(&self) {
+        (**self).reset()
+    }
+    fn stats(&self) -> FabricStats {
+        (**self).stats()
+    }
+    fn diag(&self) -> FabricDiag {
+        (**self).diag()
+    }
+    fn drain_errors(&self) -> Vec<FabricError> {
+        (**self).drain_errors()
+    }
+    fn kill_lane(&self, lane: usize) -> bool {
+        (**self).kill_lane(lane)
+    }
+    fn install_chaos(&self, chaos: Arc<WireChaos>) -> bool {
+        (**self).install_chaos(chaos)
+    }
 }
 
 /// Build the fabric selected by the environment:
 ///
 /// * `PIPMCOLL_FABRIC=inproc` (or unset) — [`InProcFabric`];
 /// * `PIPMCOLL_FABRIC=tcp` — [`TcpFabric`] on loopback with
-///   `PIPMCOLL_FABRIC_LANES` lanes (default 4).
+///   `PIPMCOLL_FABRIC_LANES` lanes (default 4);
+/// * additionally, `PIPMCOLL_CHAOS=...` wraps the chosen backend in a
+///   [`ChaosFabric`] seeded by `PIPMCOLL_CHAOS_SEED`, turning any run
+///   into a deterministic fault-injection run.
 ///
 /// # Panics
-/// Panics with a clear message on an unknown backend name or a malformed
-/// lane count — a typo must fail loudly, not silently fall back.
+/// Panics with a clear message on an unknown backend name, a malformed
+/// lane count, or a malformed chaos spec — a typo must fail loudly, not
+/// silently fall back.
 pub fn from_env(topo: Topology) -> Arc<dyn Fabric> {
     let backend = std::env::var("PIPMCOLL_FABRIC").unwrap_or_else(|_| "inproc".to_string());
-    match backend.as_str() {
+    let base: Arc<dyn Fabric> = match backend.as_str() {
         "inproc" => Arc::new(InProcFabric::new()),
         "tcp" => {
             let lanes = match std::env::var("PIPMCOLL_FABRIC_LANES") {
@@ -123,6 +208,10 @@ pub fn from_env(topo: Topology) -> Arc<dyn Fabric> {
             Arc::new(TcpFabric::connect(topo, cfg).expect("loopback TcpFabric setup"))
         }
         other => panic!("PIPMCOLL_FABRIC must be \"inproc\" or \"tcp\", got {other:?}"),
+    };
+    match ChaosConfig::from_env() {
+        Some(cfg) => Arc::new(ChaosFabric::new(base, cfg)),
+        None => base,
     }
 }
 

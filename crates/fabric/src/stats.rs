@@ -22,6 +22,11 @@ pub struct FabricStats {
     pub local_msgs: u64,
     /// Payload bytes of node-local messages.
     pub local_bytes: u64,
+    /// Payload-bearing frames retransmitted because no ack arrived in
+    /// time (loss on the wire, injected or real).
+    pub retransmits: u64,
+    /// Wire re-deliveries suppressed by receiver sequence dedup.
+    pub dups_dropped: u64,
 }
 
 impl FabricStats {
@@ -63,6 +68,7 @@ mod tests {
             ],
             local_msgs: 7,
             local_bytes: 70,
+            ..FabricStats::default()
         };
         assert_eq!(s.total_msgs(), 5);
         assert_eq!(s.total_bytes(), 30);

@@ -1,19 +1,25 @@
 //! The receive-side message store shared by every backend: per-channel
 //! FIFO queues with blocking, timeout-bounded receives, plus sequence
-//! reassembly for backends whose wire can reorder traffic.
+//! reassembly and duplicate suppression for backends whose wire can
+//! reorder or re-deliver traffic.
 //!
 //! MPI's non-overtaking rule is per `(src, dst, tag)` channel. The
 //! in-process backend delivers in send order by construction and uses
 //! [`MsgStore::push`]; the TCP backend's rendezvous handshake lets a
 //! later eager message physically arrive before an earlier rendezvous
-//! payload, so wire deliveries carry a per-channel sequence number and go
-//! through [`MsgStore::deliver_seq`], which holds out-of-order arrivals
-//! until the gap fills.
+//! payload, and its ack-based retransmit can re-deliver a frame whose
+//! ack was lost — so wire deliveries carry a per-channel sequence number
+//! and go through [`MsgStore::deliver_seq`], which holds out-of-order
+//! arrivals until the gap fills and silently drops re-deliveries of
+//! already-consumed or already-held sequence numbers (counted in
+//! [`MsgStore::dups_dropped`]).
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::error::{BlockedRecv, FabricError, FabricResult, TimeoutDiag};
 use crate::ChanKey;
 
 #[derive(Default)]
@@ -24,6 +30,8 @@ struct ChanState {
     next_seq: u64,
     /// Out-of-order wire arrivals, held until `next_seq` catches up.
     held: BTreeMap<u64, Vec<u8>>,
+    /// When the current blocked receive started waiting (if any).
+    waiting_since: Option<Instant>,
 }
 
 /// Per-channel FIFO message store with blocking receive.
@@ -32,6 +40,8 @@ pub struct MsgStore {
     backend: &'static str,
     chans: Mutex<HashMap<ChanKey, ChanState>>,
     cv: Condvar,
+    /// Wire re-deliveries suppressed by sequence dedup.
+    dups: AtomicU64,
 }
 
 impl MsgStore {
@@ -41,27 +51,40 @@ impl MsgStore {
             backend,
             chans: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
+            dups: AtomicU64::new(0),
         }
+    }
+
+    fn lock(&self) -> FabricResult<std::sync::MutexGuard<'_, HashMap<ChanKey, ChanState>>> {
+        self.chans.lock().map_err(|_| FabricError::QueuePoisoned {
+            what: "receive store",
+        })
     }
 
     /// Deliver a message that is already in channel order (in-process
     /// delivery, node-local bypass).
     pub fn push(&self, key: ChanKey, payload: Vec<u8>) {
-        let mut g = self.chans.lock().unwrap();
-        g.entry(key).or_default().ready.push_back(payload);
-        self.cv.notify_all();
+        if let Ok(mut g) = self.lock() {
+            g.entry(key).or_default().ready.push_back(payload);
+            self.cv.notify_all();
+        }
     }
 
     /// Deliver a wire message carrying per-channel sequence `seq`;
-    /// reorders so receivers always observe send order.
-    pub fn deliver_seq(&self, key: ChanKey, seq: u64, payload: Vec<u8>) {
-        let mut g = self.chans.lock().unwrap();
+    /// reorders so receivers always observe send order. Returns whether
+    /// the frame was fresh — a re-delivery of a consumed or held
+    /// sequence number (a retransmit whose original won the race, or an
+    /// injected duplicate) is dropped and counted, never delivered twice.
+    pub fn deliver_seq(&self, key: ChanKey, seq: u64, payload: Vec<u8>) -> bool {
+        let Ok(mut g) = self.lock() else {
+            return false;
+        };
         let st = g.entry(key).or_default();
-        assert!(
-            seq >= st.next_seq,
-            "duplicate wire delivery: channel {key:?} seq {seq} already consumed (next {})",
-            st.next_seq
-        );
+        if seq < st.next_seq {
+            // Already consumed: a duplicate from retransmit or chaos.
+            self.dups.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
         if seq == st.next_seq {
             st.ready.push_back(payload);
             st.next_seq += 1;
@@ -71,50 +94,107 @@ impl MsgStore {
                 st.next_seq += 1;
             }
             self.cv.notify_all();
+            true
+        } else if let std::collections::btree_map::Entry::Vacant(e) = st.held.entry(seq) {
+            e.insert(payload);
+            true
         } else {
-            let dup = st.held.insert(seq, payload);
-            assert!(
-                dup.is_none(),
-                "duplicate wire delivery: channel {key:?} seq {seq} held twice"
-            );
+            // Already held: duplicate of an out-of-order arrival.
+            self.dups.fetch_add(1, Ordering::Relaxed);
+            false
         }
     }
 
-    /// Blocking receive of the next in-order message on `key`.
-    ///
-    /// # Panics
-    /// Panics after `timeout` naming the channel and backend — an
-    /// under-synchronized schedule fails in seconds with context instead
-    /// of hanging the suite.
-    pub fn pop_within(&self, key: ChanKey, timeout: Duration) -> Vec<u8> {
-        let deadline = Instant::now() + timeout;
-        let mut g = self.chans.lock().unwrap();
+    /// Blocking receive of the next in-order message on `key`, giving up
+    /// with a [`FabricError::Timeout`] naming the channel, the backend,
+    /// the hold-back state and traffic elsewhere in the store — so an
+    /// under-synchronized schedule fails in seconds with the evidence
+    /// needed to tell a missing sender from a stuck transport.
+    pub fn pop_within(&self, key: ChanKey, timeout: Duration) -> FabricResult<Vec<u8>> {
+        let start = Instant::now();
+        let deadline = start + timeout;
+        let mut g = self.lock()?;
         loop {
-            if let Some(m) = g.get_mut(&key).and_then(|st| st.ready.pop_front()) {
-                return m;
+            if let Some(st) = g.get_mut(&key) {
+                if let Some(m) = st.ready.pop_front() {
+                    st.waiting_since = None;
+                    return Ok(m);
+                }
             }
             let now = Instant::now();
             if now >= deadline {
-                let held = g.get(&key).map_or(0, |st| st.held.len());
-                panic!(
-                    "timeout: no message on {} channel {} -> {} tag {} \
-                     ({held} out-of-order frame(s) held) — schedule \
-                     under-synchronized or sender missing?",
-                    self.backend, key.0, key.1, key.2
-                );
+                let (held, next_seq) = g
+                    .get(&key)
+                    .map_or((0, 0), |st| (st.held.len(), st.next_seq));
+                let ready_elsewhere = g
+                    .iter()
+                    .filter(|(k, _)| **k != key)
+                    .map(|(_, st)| st.ready.len())
+                    .sum();
+                if let Some(st) = g.get_mut(&key) {
+                    st.waiting_since = None;
+                }
+                return Err(FabricError::Timeout(Box::new(TimeoutDiag {
+                    backend: self.backend,
+                    chan: key,
+                    waited: now.saturating_duration_since(start),
+                    lane: None,
+                    ready: 0,
+                    held,
+                    next_seq,
+                    ready_elsewhere,
+                    send_queue_depth: None,
+                    dead_lanes: Vec::new(),
+                })));
             }
-            let (guard, _timed_out) = self.cv.wait_timeout(g, deadline - now).unwrap();
+            g.entry(key).or_default().waiting_since.get_or_insert(start);
+            // `saturating_duration_since`: the deadline may slip into the
+            // past between the check above and this subtraction.
+            let wait = deadline.saturating_duration_since(now);
+            let (guard, _timed_out) =
+                self.cv
+                    .wait_timeout(g, wait)
+                    .map_err(|_| FabricError::QueuePoisoned {
+                        what: "receive store",
+                    })?;
             g = guard;
         }
+    }
+
+    /// Receives currently blocked in this store, for the watchdog.
+    pub fn blocked(&self) -> Vec<BlockedRecv> {
+        let Ok(g) = self.lock() else {
+            return Vec::new();
+        };
+        let now = Instant::now();
+        let mut out: Vec<BlockedRecv> = g
+            .iter()
+            .filter_map(|(key, st)| {
+                st.waiting_since.map(|since| BlockedRecv {
+                    chan: *key,
+                    waited: now.saturating_duration_since(since),
+                    held: st.held.len(),
+                    next_seq: st.next_seq,
+                })
+            })
+            .collect();
+        out.sort_by_key(|b| std::cmp::Reverse(b.waited));
+        out
+    }
+
+    /// Wire re-deliveries suppressed by sequence dedup so far.
+    pub fn dups_dropped(&self) -> u64 {
+        self.dups.load(Ordering::Relaxed)
     }
 
     /// Drop messages that were delivered but never received. Sequence
     /// state survives: senders keep counting across iterations, so the
     /// expected-sequence cursor must too.
     pub fn clear_ready(&self) {
-        let mut g = self.chans.lock().unwrap();
-        for st in g.values_mut() {
-            st.ready.clear();
+        if let Ok(mut g) = self.lock() {
+            for st in g.values_mut() {
+                st.ready.clear();
+            }
         }
     }
 }
@@ -130,8 +210,8 @@ mod tests {
         let s = MsgStore::new("test");
         s.push(K, vec![1]);
         s.push(K, vec![2]);
-        assert_eq!(s.pop_within(K, Duration::from_secs(1)), vec![1]);
-        assert_eq!(s.pop_within(K, Duration::from_secs(1)), vec![2]);
+        assert_eq!(s.pop_within(K, Duration::from_secs(1)).unwrap(), vec![1]);
+        assert_eq!(s.pop_within(K, Duration::from_secs(1)).unwrap(), vec![2]);
     }
 
     #[test]
@@ -141,7 +221,7 @@ mod tests {
         s.deliver_seq(K, 0, vec![0]);
         s.deliver_seq(K, 1, vec![1]);
         for want in 0u8..3 {
-            assert_eq!(s.pop_within(K, Duration::from_secs(1)), vec![want]);
+            assert_eq!(s.pop_within(K, Duration::from_secs(1)).unwrap(), vec![want]);
         }
     }
 
@@ -153,21 +233,72 @@ mod tests {
         let t = std::thread::spawn(move || s2.pop_within(K, Duration::from_secs(2)));
         std::thread::sleep(Duration::from_millis(10));
         s.deliver_seq(K, 0, vec![0]);
-        assert_eq!(t.join().unwrap(), vec![0]);
+        assert_eq!(t.join().unwrap().unwrap(), vec![0]);
     }
 
     #[test]
-    #[should_panic(expected = "duplicate wire delivery")]
-    fn duplicate_seq_is_a_bug() {
+    fn consumed_duplicates_are_dropped_and_counted() {
         let s = MsgStore::new("test");
-        s.deliver_seq(K, 0, vec![0]);
-        s.deliver_seq(K, 0, vec![0]);
+        assert!(s.deliver_seq(K, 0, vec![0]));
+        assert_eq!(s.pop_within(K, Duration::from_secs(1)).unwrap(), vec![0]);
+        // A retransmit of seq 0 arrives after the original was consumed.
+        assert!(!s.deliver_seq(K, 0, vec![0]));
+        assert_eq!(s.dups_dropped(), 1);
+        // The cursor is unharmed: seq 1 still delivers next.
+        assert!(s.deliver_seq(K, 1, vec![1]));
+        assert_eq!(s.pop_within(K, Duration::from_secs(1)).unwrap(), vec![1]);
     }
 
     #[test]
-    #[should_panic(expected = "tag 7")]
-    fn timeout_names_the_channel() {
-        MsgStore::new("test").pop_within(K, Duration::from_millis(20));
+    fn held_duplicates_are_dropped_and_counted() {
+        let s = MsgStore::new("test");
+        assert!(s.deliver_seq(K, 2, vec![2]));
+        assert!(!s.deliver_seq(K, 2, vec![99]), "duplicate of a held frame");
+        assert_eq!(s.dups_dropped(), 1);
+        s.deliver_seq(K, 0, vec![0]);
+        s.deliver_seq(K, 1, vec![1]);
+        for want in 0u8..3 {
+            assert_eq!(
+                s.pop_within(K, Duration::from_secs(1)).unwrap(),
+                vec![want],
+                "held original (not the duplicate payload) must deliver"
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_is_a_typed_diagnostic() {
+        let s = MsgStore::new("test");
+        // Traffic elsewhere and a held frame show up in the diagnostic.
+        s.push((4, 5, 0), vec![9]);
+        s.deliver_seq(K, 3, vec![3]);
+        let err = s.pop_within(K, Duration::from_millis(20)).unwrap_err();
+        match err {
+            FabricError::Timeout(d) => {
+                assert_eq!(d.chan, K);
+                assert_eq!(d.backend, "test");
+                assert_eq!(d.held, 1);
+                assert_eq!(d.ready_elsewhere, 1);
+                let msg = d.to_string();
+                assert!(msg.contains("tag 7"), "{msg}");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_receives_are_visible_to_the_watchdog() {
+        let s = std::sync::Arc::new(MsgStore::new("test"));
+        let s2 = std::sync::Arc::clone(&s);
+        let t = std::thread::spawn(move || s2.pop_within(K, Duration::from_millis(300)));
+        std::thread::sleep(Duration::from_millis(50));
+        let blocked = s.blocked();
+        assert_eq!(blocked.len(), 1);
+        assert_eq!(blocked[0].chan, K);
+        assert!(blocked[0].waited >= Duration::from_millis(30));
+        s.push(K, vec![1]);
+        t.join().unwrap().unwrap();
+        assert!(s.blocked().is_empty(), "wait cleared on delivery");
     }
 
     #[test]
@@ -176,6 +307,6 @@ mod tests {
         s.deliver_seq(K, 0, vec![0]);
         s.clear_ready();
         s.deliver_seq(K, 1, vec![1]);
-        assert_eq!(s.pop_within(K, Duration::from_secs(1)), vec![1]);
+        assert_eq!(s.pop_within(K, Duration::from_secs(1)).unwrap(), vec![1]);
     }
 }

@@ -5,11 +5,11 @@
 //!
 //! ```text
 //! offset  size  field
-//!      0     1  kind        (1=EAGER, 2=RTS, 3=CTS, 4=DATA)
+//!      0     1  kind        (1=EAGER, 2=RTS, 3=CTS, 4=DATA, 5=ACK)
 //!      1     4  src rank
 //!      5     4  dst rank
 //!      9     4  tag
-//!     13     8  seq         per-channel sequence (EAGER/RTS/DATA)
+//!     13     8  seq         per-channel sequence (EAGER/RTS/DATA/ACK)
 //!     21     8  aux         rendezvous transfer id (RTS/CTS/DATA)
 //!     29     8  payload len
 //!     37     …  payload     (EAGER and DATA only)
@@ -22,6 +22,13 @@
 //! physically arrive before an earlier rendezvous payload, every
 //! payload-bearing frame carries its channel sequence number and the
 //! receive side reassembles send order (see `store::MsgStore`).
+//!
+//! `ACK` closes the loss-recovery loop: the receiver acknowledges every
+//! payload-bearing frame by `(channel, seq)`, and the sender keeps an
+//! unacked frame in its pending set, retransmitting with exponential
+//! backoff until the ack arrives or the retransmit budget runs out. The
+//! sequence dedup in `store::MsgStore` makes retransmits idempotent, so
+//! a lost ack costs one duplicate frame, never a duplicate message.
 
 use std::io::{self, Read};
 
@@ -36,6 +43,9 @@ pub enum FrameKind {
     Cts = 3,
     /// Rendezvous payload for transfer `aux`.
     Data = 4,
+    /// Receiver acknowledges the payload-bearing frame with this
+    /// channel + `seq`; the sender drops it from its retransmit set.
+    Ack = 5,
 }
 
 impl FrameKind {
@@ -45,6 +55,7 @@ impl FrameKind {
             2 => Ok(FrameKind::Rts),
             3 => Ok(FrameKind::Cts),
             4 => Ok(FrameKind::Data),
+            5 => Ok(FrameKind::Ack),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("bad frame kind byte {other}"),
@@ -134,6 +145,7 @@ mod tests {
             (FrameKind::Rts, vec![]),
             (FrameKind::Cts, vec![]),
             (FrameKind::Data, vec![0u8; 1000]),
+            (FrameKind::Ack, vec![]),
         ] {
             let f = Frame {
                 kind,

@@ -7,10 +7,16 @@
 //! with k ∈ {1, 2, 4} lanes plus a rendezvous-forcing configuration
 //! (tiny eager threshold), so the reordering machinery of the
 //! RTS/CTS/DATA path is exercised, not just the happy eager path.
+//! A final deterministic-chaos configuration (seeded 5% drop + 2% dup
+//! on eager frames) holds the semantics even while the ack/retransmit
+//! and sequence-dedup recovery machinery is doing real work.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use pipmcoll_fabric::{ChanKey, Fabric, InProcFabric, TcpConfig, TcpFabric};
+use pipmcoll_fabric::{
+    ChanKey, ChaosConfig, ChaosFabric, Fabric, InProcFabric, TcpConfig, TcpFabric,
+};
 use pipmcoll_model::Topology;
 
 /// 2 nodes × 4 ranks: ranks 0–3 on node 0, ranks 4–7 on node 1.
@@ -44,6 +50,27 @@ fn conformance(check: impl Fn(&dyn Fabric)) {
     )
     .expect("loopback fabric");
     check(&rdv);
+    // Deterministic chaos over TCP: 5% of eager frames dropped, 2%
+    // duplicated, fixed seed. A fast retransmit clock keeps recovery
+    // inside test time; the semantics must be indistinguishable.
+    let chaotic = ChaosFabric::new(
+        TcpFabric::connect(
+            topo(),
+            TcpConfig {
+                lanes: 2,
+                rto: Duration::from_millis(5),
+                ..TcpConfig::default()
+            },
+        )
+        .expect("loopback fabric"),
+        ChaosConfig {
+            drop: 0.05,
+            dup: 0.02,
+            seed: 42,
+            ..ChaosConfig::default()
+        },
+    );
+    check(&chaotic);
 }
 
 /// Deterministic payload for message `i` on a channel: identifies both
@@ -66,12 +93,17 @@ fn non_overtaking_per_channel() {
         std::thread::scope(|s| {
             s.spawn(|| {
                 for i in 0..200 {
-                    f.send(key, payload(key, i));
+                    f.send(key, payload(key, i)).unwrap();
                 }
             });
             s.spawn(|| {
                 for i in 0..200 {
-                    assert_eq!(f.recv(key), payload(key, i), "{} msg {i}", f.name());
+                    assert_eq!(
+                        f.recv(key).unwrap(),
+                        payload(key, i),
+                        "{} msg {i}",
+                        f.name()
+                    );
                 }
             });
         });
@@ -83,10 +115,10 @@ fn tags_match_independently() {
     conformance(|f| {
         // Arrival order tag 7 then tag 9; receive tag 9 first — matching
         // must be by tag, not arrival.
-        f.send((0, 4, 7), vec![7; 3]);
-        f.send((0, 4, 9), vec![9; 5]);
-        assert_eq!(f.recv((0, 4, 9)), vec![9; 5], "{}", f.name());
-        assert_eq!(f.recv((0, 4, 7)), vec![7; 3], "{}", f.name());
+        f.send((0, 4, 7), vec![7; 3]).unwrap();
+        f.send((0, 4, 9), vec![9; 5]).unwrap();
+        assert_eq!(f.recv((0, 4, 9)).unwrap(), vec![9; 5], "{}", f.name());
+        assert_eq!(f.recv((0, 4, 7)).unwrap(), vec![7; 3], "{}", f.name());
     });
 }
 
@@ -99,14 +131,19 @@ fn sources_match_independently() {
             for src in [0usize, 1] {
                 s.spawn(move || {
                     for i in 0..50 {
-                        f.send((src, 6, 2), payload((src, 6, 2), i));
+                        f.send((src, 6, 2), payload((src, 6, 2), i)).unwrap();
                     }
                 });
             }
         });
         for src in [1usize, 0] {
             for i in 0..50 {
-                assert_eq!(f.recv((src, 6, 2)), payload((src, 6, 2), i), "{}", f.name());
+                assert_eq!(
+                    f.recv((src, 6, 2)).unwrap(),
+                    payload((src, 6, 2), i),
+                    "{}",
+                    f.name()
+                );
             }
         }
     });
@@ -116,12 +153,12 @@ fn sources_match_independently() {
 fn zero_length_messages_are_delivered() {
     conformance(|f| {
         let key: ChanKey = (2, 4, 11);
-        f.send(key, Vec::new());
-        f.send(key, vec![1]);
-        f.send(key, Vec::new());
-        assert_eq!(f.recv(key), Vec::<u8>::new(), "{}", f.name());
-        assert_eq!(f.recv(key), vec![1], "{}", f.name());
-        assert_eq!(f.recv(key), Vec::<u8>::new(), "{}", f.name());
+        f.send(key, Vec::new()).unwrap();
+        f.send(key, vec![1]).unwrap();
+        f.send(key, Vec::new()).unwrap();
+        assert_eq!(f.recv(key).unwrap(), Vec::<u8>::new(), "{}", f.name());
+        assert_eq!(f.recv(key).unwrap(), vec![1], "{}", f.name());
+        assert_eq!(f.recv(key).unwrap(), Vec::<u8>::new(), "{}", f.name());
     });
 }
 
@@ -143,12 +180,12 @@ fn eager_and_rendezvous_do_not_overtake() {
     let key: ChanKey = (3, 7, 0);
     let big: Vec<u8> = (0..16 * 1024u32).map(|i| (i % 253) as u8).collect();
     for round in 0..20u8 {
-        f.send(key, big.clone());
-        f.send(key, vec![round]);
+        f.send(key, big.clone()).unwrap();
+        f.send(key, vec![round]).unwrap();
     }
     for round in 0..20u8 {
-        assert_eq!(f.recv(key), big);
-        assert_eq!(f.recv(key), vec![round]);
+        assert_eq!(f.recv(key).unwrap(), big);
+        assert_eq!(f.recv(key).unwrap(), vec![round]);
     }
 }
 
@@ -160,10 +197,10 @@ fn stats_account_for_every_internode_message() {
         for i in 0..n {
             let p = payload((0, 5, 1), i);
             bytes += p.len() as u64;
-            f.send((0, 5, 1), p);
+            f.send((0, 5, 1), p).unwrap();
         }
         for i in 0..n {
-            assert_eq!(f.recv((0, 5, 1)), payload((0, 5, 1), i));
+            assert_eq!(f.recv((0, 5, 1)).unwrap(), payload((0, 5, 1), i));
         }
         let s = f.stats();
         assert_eq!(s.total_msgs(), n as u64, "{}", f.name());
@@ -191,13 +228,13 @@ fn backpressure_stalls_are_counted_and_lossless() {
     let f2 = Arc::clone(&f);
     let sender = std::thread::spawn(move || {
         for i in 0..n {
-            f2.send(key, payload(key, i));
+            f2.send(key, payload(key, i)).unwrap();
         }
     });
     // Let the bounded queue fill before draining.
     std::thread::sleep(std::time::Duration::from_millis(50));
     for i in 0..n {
-        assert_eq!(f.recv(key), payload(key, i));
+        assert_eq!(f.recv(key).unwrap(), payload(key, i));
     }
     sender.join().unwrap();
     assert!(
@@ -209,16 +246,21 @@ fn backpressure_stalls_are_counted_and_lossless() {
 #[test]
 fn reset_drops_stale_but_preserves_future_order() {
     conformance(|f| {
-        f.send((1, 4, 8), vec![0xde, 0xad]);
+        f.send((1, 4, 8), vec![0xde, 0xad]).unwrap();
         // A correct schedule consumes everything before an iteration
         // boundary; recv before reset so no traffic is in flight.
-        assert_eq!(f.recv((1, 4, 8)), vec![0xde, 0xad]);
+        assert_eq!(f.recv((1, 4, 8)).unwrap(), vec![0xde, 0xad]);
         f.reset();
         for i in 0..10 {
-            f.send((1, 4, 8), payload((1, 4, 8), i));
+            f.send((1, 4, 8), payload((1, 4, 8), i)).unwrap();
         }
         for i in 0..10 {
-            assert_eq!(f.recv((1, 4, 8)), payload((1, 4, 8), i), "{}", f.name());
+            assert_eq!(
+                f.recv((1, 4, 8)).unwrap(),
+                payload((1, 4, 8), i),
+                "{}",
+                f.name()
+            );
         }
     });
 }

@@ -7,14 +7,31 @@
 //! benches and for algorithms already proven elsewhere — callers take on
 //! the data-race risk themselves (the `SharedBuf` accesses are unchecked
 //! `UnsafeCell` reads/writes; an unordered conflicting pair is UB).
+//!
+//! ## Failure model (fail-stop, report, never hang)
+//!
+//! A rank whose transport send/receive fails, whose board fetch or flag
+//! wait times out, or whose algorithm body panics is marked *failed*: its
+//! remaining communication becomes a no-op, the cause lands in
+//! [`RtResult::failures`], and the rank keeps walking the iteration
+//! framing so its peers are never abandoned mid-barrier. Barriers are
+//! timeout-bounded ([`TimedBarrier`]) so even a rank that dies between
+//! framing points degrades into a recorded timeout, and a watchdog thread
+//! converts a run making *no* progress for `2 × sync_timeout()` into a
+//! structured diagnostic (via [`Fabric::diag`]) naming the stuck channels
+//! and queue depths. The run always returns; `failures` is empty exactly
+//! when every rank completed cleanly.
 
-use std::sync::{Arc, Barrier, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use pipmcoll_fabric::{Fabric, FabricStats};
+use pipmcoll_fabric::{sync_timeout, Fabric, FabricDiag, FabricStats};
 use pipmcoll_model::Topology;
 use pipmcoll_sched::{record_with_sizes, BufSizes, Comm};
 
+use crate::barrier::TimedBarrier;
 use crate::comm::RtComm;
 use crate::shared::{Board, BufKey, FlagSet, SharedBuf};
 
@@ -35,10 +52,15 @@ pub struct ClusterShared {
     pub flags: Vec<FlagSet>,
     /// The internode transport carrying point-to-point messages.
     pub fabric: Arc<dyn Fabric>,
-    /// Per-node barriers.
-    pub node_barriers: Vec<Barrier>,
-    /// World barrier for iteration framing.
-    pub world_barrier: Barrier,
+    /// Per-node barriers (timeout-bounded; see the failure model above).
+    pub node_barriers: Vec<TimedBarrier>,
+    /// World barrier for iteration framing (timeout-bounded).
+    pub world_barrier: TimedBarrier,
+    /// Failures recorded by ranks and the watchdog during the run.
+    failures: Mutex<Vec<RankFailure>>,
+    /// Monotone progress counter bumped by every completed communication
+    /// operation; the watchdog fires when it stops moving.
+    progress: AtomicU64,
 }
 
 impl ClusterShared {
@@ -73,10 +95,27 @@ impl ClusterShared {
             flags: (0..world).map(FlagSet::for_rank).collect(),
             fabric,
             node_barriers: (0..topo.nodes())
-                .map(|_| Barrier::new(topo.ppn()))
+                .map(|_| TimedBarrier::new(topo.ppn()))
                 .collect(),
-            world_barrier: Barrier::new(world),
+            world_barrier: TimedBarrier::new(world),
+            failures: Mutex::new(Vec::new()),
+            progress: AtomicU64::new(0),
         }
+    }
+
+    /// Record a failure (`rank: None` for run-level failures such as
+    /// watchdog reports) and count it as progress so the watchdog does
+    /// not re-report a stall that is already being torn down.
+    pub(crate) fn record_failure(&self, rank: Option<usize>, detail: String) {
+        if let Ok(mut g) = self.failures.lock() {
+            g.push(RankFailure { rank, detail });
+        }
+        self.bump_progress();
+    }
+
+    /// Note forward progress (a completed communication operation).
+    pub(crate) fn bump_progress(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Look up a buffer by key (temps via `Arc` so the lock is short).
@@ -123,6 +162,26 @@ impl ClusterShared {
     }
 }
 
+/// One failure observed during a cluster run.
+#[derive(Clone, Debug)]
+pub struct RankFailure {
+    /// The rank the failure is attributed to, or `None` for run-level
+    /// failures (watchdog reports, fabric-internal errors).
+    pub rank: Option<usize>,
+    /// Human-readable cause, carrying the underlying diagnostic (stuck
+    /// channel, queue depths, panic message, …).
+    pub detail: String,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.rank {
+            Some(r) => write!(f, "rank {r}: {}", self.detail),
+            None => write!(f, "run: {}", self.detail),
+        }
+    }
+}
+
 /// Result of a cluster run.
 pub struct RtResult {
     /// Final receive-buffer contents, indexed by rank.
@@ -134,6 +193,12 @@ pub struct RtResult {
     /// Traffic counters of the fabric that carried the internode
     /// point-to-point messages.
     pub fabric_stats: FabricStats,
+    /// Everything that went wrong: rank failures (transport errors,
+    /// sync timeouts, algorithm panics), watchdog stall reports, and
+    /// fabric-internal errors drained at the end of the run. Empty
+    /// exactly when the run completed cleanly; `recv` contents are only
+    /// meaningful in that case.
+    pub failures: Vec<RankFailure>,
 }
 
 impl RtResult {
@@ -141,6 +206,112 @@ impl RtResult {
     pub fn per_iter(&self) -> Duration {
         self.elapsed / self.iters.max(1) as u32
     }
+
+    /// Whether the run completed with no recorded failures.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Panic with every recorded failure if the run was not clean —
+    /// the one-liner for tests that expect success.
+    pub fn expect_clean(&self) {
+        assert!(
+            self.failures.is_empty(),
+            "cluster run recorded {} failure(s):\n  {}",
+            self.failures.len(),
+            self.failures
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n  ")
+        );
+    }
+}
+
+/// Render a watchdog stall into the diagnostic recorded in
+/// [`RtResult::failures`]: how long the run has been silent plus the
+/// fabric's view of blocked receives (worst first), non-empty send
+/// queues and dead lanes.
+pub fn watchdog_report(stalled_for: Duration, diag: &FabricDiag) -> String {
+    format!("watchdog: no progress for {stalled_for:?} (limit 2 x sync_timeout); {diag}")
+}
+
+/// Background thread that watches the shared progress counter and records
+/// a [`watchdog_report`] when the whole run stalls for `2 × sync_timeout`.
+struct Watchdog {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn spawn(shared: Arc<ClusterShared>) -> Watchdog {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("rt-watchdog".into())
+            .spawn(move || {
+                let threshold = sync_timeout() * 2;
+                let poll = (sync_timeout() / 8)
+                    .clamp(Duration::from_millis(5), Duration::from_millis(250));
+                let mut last_count = shared.progress.load(Ordering::Relaxed);
+                let mut last_change = Instant::now();
+                let (lock, cv) = &*stop2;
+                let Ok(mut done) = lock.lock() else { return };
+                loop {
+                    if *done {
+                        return;
+                    }
+                    let Ok((guard, _)) = cv.wait_timeout(done, poll) else {
+                        return;
+                    };
+                    done = guard;
+                    if *done {
+                        return;
+                    }
+                    let count = shared.progress.load(Ordering::Relaxed);
+                    if count != last_count {
+                        last_count = count;
+                        last_change = Instant::now();
+                        continue;
+                    }
+                    let stalled = last_change.elapsed();
+                    if stalled >= threshold {
+                        let diag = shared.fabric.diag();
+                        shared.record_failure(None, watchdog_report(stalled, &diag));
+                        // Recording bumped the counter, which re-arms the
+                        // stall clock; a run that stays dead is re-reported
+                        // every threshold, not every poll.
+                        last_count = shared.progress.load(Ordering::Relaxed);
+                        last_change = Instant::now();
+                    }
+                }
+            })
+            .expect("spawn rt-watchdog thread");
+        Watchdog {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn stop(mut self) {
+        let (lock, cv) = &*self.stop;
+        if let Ok(mut done) = lock.lock() {
+            *done = true;
+        }
+        cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    format!("algorithm panicked: {msg}")
 }
 
 /// A collective algorithm written against the backend-neutral [`Comm`]
@@ -258,23 +429,15 @@ where
     F: Fn(&mut RtComm) + Sync,
 {
     assert!(iters >= 1);
-    // A rank that panics (timeout diagnostic, bounds check) leaves its
-    // peers blocked forever on barriers/flags it will never reach, and
-    // `thread::scope` cannot join until every rank exits — so a panic in
-    // any rank thread must take the whole process down once its message
-    // has been printed. The default panic hook runs before unwinding
-    // reaches this guard's `drop`.
-    struct AbortAfterRankPanic;
-    impl Drop for AbortAfterRankPanic {
-        fn drop(&mut self) {
-            if std::thread::panicking() {
-                std::process::abort();
-            }
-        }
-    }
     let shared = Arc::new(ClusterShared::new(topo, Arc::clone(&fabric), &sizes, &init));
     let elapsed = Mutex::new(Duration::ZERO);
     let world = topo.world_size();
+    // Iteration framing must absorb a fail-stop cascade: a rank stuck in
+    // a receive times out after one sync_timeout, then a node peer stuck
+    // at a node barrier times out after another — so the world barrier
+    // waits three before giving up itself.
+    let frame_timeout = sync_timeout() * 3;
+    let watchdog = Watchdog::spawn(Arc::clone(&shared));
     std::thread::scope(|scope| {
         for rank in 0..world {
             let shared = Arc::clone(&shared);
@@ -282,27 +445,48 @@ where
             let algo = &algo;
             let elapsed = &elapsed;
             scope.spawn(move || {
-                let _abort_guard = AbortAfterRankPanic;
                 let mut comm = RtComm::new(Arc::clone(&shared), rank, sizes(rank));
-                shared.world_barrier.wait();
+                if let Err(e) = shared.world_barrier.wait_within(frame_timeout) {
+                    shared.record_failure(Some(rank), format!("start framing: {e}"));
+                    return;
+                }
                 let t0 = Instant::now();
                 for it in 0..iters {
                     comm.reset_iter();
-                    algo(&mut comm);
-                    shared.world_barrier.wait();
+                    // A rank that panics (failed assertion, bounds check)
+                    // becomes a recorded failure, not a hung suite: the
+                    // unwinding stops here, the rank is marked failed, and
+                    // it keeps walking the framing barriers below so its
+                    // peers are released (their own waits on it degrade
+                    // into recorded timeouts).
+                    if let Err(payload) =
+                        std::panic::catch_unwind(AssertUnwindSafe(|| algo(&mut comm)))
+                    {
+                        comm.mark_failed(panic_detail(payload));
+                    }
+                    if let Err(e) = shared.world_barrier.wait_within(frame_timeout) {
+                        shared.record_failure(Some(rank), format!("iteration framing: {e}"));
+                        break;
+                    }
                     if it + 1 < iters {
                         if rank == 0 {
                             shared.reset();
                         }
-                        shared.world_barrier.wait();
+                        if let Err(e) = shared.world_barrier.wait_within(frame_timeout) {
+                            shared.record_failure(Some(rank), format!("reset framing: {e}"));
+                            break;
+                        }
                     }
                 }
                 if rank == 0 {
-                    *elapsed.lock().unwrap() = t0.elapsed();
+                    if let Ok(mut g) = elapsed.lock() {
+                        *g = t0.elapsed();
+                    }
                 }
             });
         }
     });
+    watchdog.stop();
     let shared = Arc::try_unwrap(shared)
         .ok()
         .expect("all worker threads have exited");
@@ -316,11 +500,20 @@ where
                 .into_vec()
         })
         .collect();
+    let mut failures = shared
+        .failures
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    failures.extend(fabric.drain_errors().into_iter().map(|e| RankFailure {
+        rank: None,
+        detail: format!("fabric: {e}"),
+    }));
     RtResult {
         recv,
-        elapsed: elapsed.into_inner().unwrap(),
+        elapsed: elapsed.into_inner().unwrap_or_else(|e| e.into_inner()),
         iters,
         fabric_stats: fabric.stats(),
+        failures,
     }
 }
 
@@ -509,6 +702,67 @@ mod tests {
         assert_eq!(res.fabric_stats.lanes.len(), 2);
         assert_eq!(res.fabric_stats.lanes[0].msgs, 2);
         assert_eq!(res.fabric_stats.lanes[1].msgs, 2);
+    }
+
+    #[test]
+    fn clean_runs_report_no_failures() {
+        let topo = Topology::new(2, 1);
+        let res = run_cluster(
+            topo,
+            |_| BufSizes::new(8, 8),
+            |r| pattern(r, 8),
+            |c| {
+                if c.rank() == 0 {
+                    c.send(1, 0, Region::new(BufId::Send, 0, 8));
+                } else {
+                    c.recv(0, 0, Region::new(BufId::Recv, 0, 8));
+                }
+            },
+        );
+        res.expect_clean();
+        assert!(res.ok());
+    }
+
+    #[test]
+    fn rank_panic_becomes_a_recorded_failure() {
+        let topo = Topology::new(1, 2);
+        // Pre-fail-stop, a panicking rank aborted the whole process; now
+        // it must degrade into a structured failure naming the rank.
+        let res = run_cluster(
+            topo,
+            |_| BufSizes::new(4, 4),
+            |r| pattern(r, 4),
+            |c| {
+                if c.rank() == 1 {
+                    panic!("deliberate test panic");
+                }
+            },
+        );
+        assert!(!res.ok());
+        assert_eq!(res.failures.len(), 1, "{:?}", res.failures);
+        assert_eq!(res.failures[0].rank, Some(1));
+        assert!(
+            res.failures[0].detail.contains("deliberate test panic"),
+            "{}",
+            res.failures[0].detail
+        );
+    }
+
+    #[test]
+    fn watchdog_report_names_the_stuck_channel() {
+        use pipmcoll_fabric::InProcFabric;
+        // A receive blocked on a channel no one sends on must be visible
+        // in the fabric diagnostic the watchdog renders.
+        let fabric = Arc::new(InProcFabric::new());
+        let f2 = Arc::clone(&fabric);
+        let t = std::thread::spawn(move || {
+            let _ = f2.recv_within((1, 0, 9), Duration::from_millis(300));
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let report = watchdog_report(Duration::from_secs(21), &fabric.diag());
+        assert!(report.contains("no progress for 21s"), "{report}");
+        assert!(report.contains("1 -> 0 tag 9"), "{report}");
+        t.join().unwrap();
     }
 
     #[test]

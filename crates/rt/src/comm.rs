@@ -1,4 +1,14 @@
 //! `RtComm`: the thread-backed implementation of the `Comm` trait.
+//!
+//! Fail-stop semantics: the first transport error or synchronization
+//! timeout a rank observes is recorded into the cluster's failure report
+//! and flips the rank into a *failed* state where every subsequent
+//! communication call is a no-op. The rank then free-wheels through the
+//! rest of the algorithm and rejoins the iteration framing, so one broken
+//! rank degrades the run into a structured [`RankFailure`] list instead
+//! of a process-wide hang or abort.
+//!
+//! [`RankFailure`]: crate::cluster::RankFailure
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -7,7 +17,7 @@ use pipmcoll_model::{Datatype, ReduceOp, Topology};
 use pipmcoll_sched::{BufId, BufSizes, Comm, FlagId, Region, RemoteRegion, Req, Slot, Tag};
 
 use crate::cluster::ClusterShared;
-use crate::shared::{BufKey, Posted, SharedBuf};
+use crate::shared::{sync_timeout, BufKey, Posted, SharedBuf};
 
 use pipmcoll_fabric::ChanKey;
 
@@ -36,6 +46,10 @@ pub struct RtComm {
     /// Issue-ordered pending receive queue per channel (MPI non-overtaking).
     chan_pending: HashMap<ChanKey, std::collections::VecDeque<usize>>,
     temp_next: usize,
+    /// Fail-stop flag: set on the first failure, after which every
+    /// communication call is a no-op (sticky across iterations — the
+    /// run is already failed, draining it quickly is all that is left).
+    failed: bool,
 }
 
 impl RtComm {
@@ -47,6 +61,7 @@ impl RtComm {
             reqs: Vec::new(),
             chan_pending: HashMap::new(),
             temp_next: 0,
+            failed: false,
         }
     }
 
@@ -55,6 +70,21 @@ impl RtComm {
         self.reqs.clear();
         self.chan_pending.clear();
         self.temp_next = 0;
+    }
+
+    /// Record `detail` as this rank's failure and enter fail-stop mode.
+    pub(crate) fn mark_failed(&mut self, detail: String) {
+        self.shared.record_failure(Some(self.rank), detail);
+        self.failed = true;
+    }
+
+    /// Whether this rank has failed and is free-wheeling to the end.
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    fn bump(&self) {
+        self.shared.bump_progress();
     }
 
     /// Resolve one of my own regions to its shared buffer.
@@ -70,9 +100,12 @@ impl RtComm {
         }
     }
 
-    /// Resolve a remote region through the owner's board (blocking).
-    fn resolve(&self, rr: &RemoteRegion) -> (Arc<SharedBuf>, usize) {
-        let posted: Posted = self.shared.boards[rr.rank].fetch(rr.slot);
+    /// Resolve a remote region through the owner's board (blocking, with
+    /// the runtime-wide timeout). `Err` carries the diagnostic the
+    /// caller records as this rank's failure.
+    fn resolve(&self, rr: &RemoteRegion) -> Result<(Arc<SharedBuf>, usize), String> {
+        let posted: Posted =
+            self.shared.boards[rr.rank].try_fetch_within(rr.slot, sync_timeout())?;
         assert!(
             rr.offset + rr.len <= posted.len,
             "remote access [{}, {}) exceeds posted window of {}",
@@ -80,16 +113,22 @@ impl RtComm {
             rr.offset + rr.len,
             posted.len
         );
-        (self.shared.buf_of(posted.key), posted.offset + rr.offset)
+        Ok((self.shared.buf_of(posted.key), posted.offset + rr.offset))
     }
 
     /// Drain channel messages in issue order until request `req` is done.
+    /// A transport error marks the rank failed and abandons the drain —
+    /// pending receives stay unsatisfied, which is fine because every
+    /// later `wait` on a failed rank is a no-op.
     fn drain_until(&mut self, req: usize) {
         let chan = match &self.reqs[req] {
             ReqState::RecvPending { chan, .. } => *chan,
             _ => return,
         };
         loop {
+            if self.failed {
+                return;
+            }
             match &self.reqs[req] {
                 ReqState::RecvDone => return,
                 ReqState::RecvPending { .. } => {}
@@ -100,7 +139,14 @@ impl RtComm {
                 .get_mut(&chan)
                 .and_then(|q| q.pop_front())
                 .expect("pending receive must be queued on its channel");
-            let payload = self.shared.fabric.recv(chan);
+            let payload = match self.shared.fabric.recv(chan) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.mark_failed(e.to_string());
+                    return;
+                }
+            };
+            self.bump();
             let state = std::mem::replace(&mut self.reqs[next], ReqState::RecvDone);
             match state {
                 ReqState::RecvPending { target, .. } => match target {
@@ -140,15 +186,24 @@ impl Comm for RtComm {
     }
 
     fn isend(&mut self, dst: usize, tag: Tag, src: Region) -> Req {
-        let payload = self.own_buf(src.buf).read_vec(src.offset, src.len);
-        self.shared.fabric.send((self.rank, dst, tag), payload);
+        if !self.failed {
+            let payload = self.own_buf(src.buf).read_vec(src.offset, src.len);
+            match self.shared.fabric.send((self.rank, dst, tag), payload) {
+                Ok(()) => self.bump(),
+                Err(e) => self.mark_failed(e.to_string()),
+            }
+        }
         self.reqs.push(ReqState::SendDone);
         Req(self.reqs.len() - 1)
     }
 
     fn irecv(&mut self, src: usize, tag: Tag, dst: Region) -> Req {
-        let chan = (src, self.rank, tag);
         let id = self.reqs.len();
+        if self.failed {
+            self.reqs.push(ReqState::RecvDone);
+            return Req(id);
+        }
+        let chan = (src, self.rank, tag);
         self.reqs.push(ReqState::RecvPending {
             chan,
             target: RecvTarget::Own(dst),
@@ -158,17 +213,37 @@ impl Comm for RtComm {
     }
 
     fn isend_shared(&mut self, dst: usize, tag: Tag, src: RemoteRegion) -> Req {
-        let (buf, off) = self.resolve(&src);
-        let payload = buf.read_vec(off, src.len);
-        self.shared.fabric.send((self.rank, dst, tag), payload);
+        if !self.failed {
+            match self.resolve(&src) {
+                Ok((buf, off)) => {
+                    let payload = buf.read_vec(off, src.len);
+                    match self.shared.fabric.send((self.rank, dst, tag), payload) {
+                        Ok(()) => self.bump(),
+                        Err(e) => self.mark_failed(e.to_string()),
+                    }
+                }
+                Err(e) => self.mark_failed(e),
+            }
+        }
         self.reqs.push(ReqState::SendDone);
         Req(self.reqs.len() - 1)
     }
 
     fn irecv_shared(&mut self, src: usize, tag: Tag, dst: RemoteRegion) -> Req {
-        let (buf, off) = self.resolve(&dst);
-        let chan = (src, self.rank, tag);
         let id = self.reqs.len();
+        if self.failed {
+            self.reqs.push(ReqState::RecvDone);
+            return Req(id);
+        }
+        let (buf, off) = match self.resolve(&dst) {
+            Ok(r) => r,
+            Err(e) => {
+                self.mark_failed(e);
+                self.reqs.push(ReqState::RecvDone);
+                return Req(id);
+            }
+        };
+        let chan = (src, self.rank, tag);
         self.reqs.push(ReqState::RecvPending {
             chan,
             target: RecvTarget::Shared(buf, off, dst.len),
@@ -178,10 +253,16 @@ impl Comm for RtComm {
     }
 
     fn wait(&mut self, req: Req) {
+        if self.failed {
+            return;
+        }
         self.drain_until(req.0);
     }
 
     fn post_addr(&mut self, slot: Slot, region: Region) {
+        if self.failed {
+            return;
+        }
         self.shared.boards[self.rank].post(
             slot,
             Posted {
@@ -193,21 +274,45 @@ impl Comm for RtComm {
     }
 
     fn copy_in(&mut self, from: RemoteRegion, to: Region) {
-        let (src, soff) = self.resolve(&from);
-        let dst = self.own_buf(to.buf);
-        SharedBuf::copy_between(&src, soff, &dst, to.offset, to.len);
+        if self.failed {
+            return;
+        }
+        match self.resolve(&from) {
+            Ok((src, soff)) => {
+                let dst = self.own_buf(to.buf);
+                SharedBuf::copy_between(&src, soff, &dst, to.offset, to.len);
+                self.bump();
+            }
+            Err(e) => self.mark_failed(e),
+        }
     }
 
     fn copy_out(&mut self, from: Region, to: RemoteRegion) {
-        let (dst, doff) = self.resolve(&to);
-        let src = self.own_buf(from.buf);
-        SharedBuf::copy_between(&src, from.offset, &dst, doff, from.len);
+        if self.failed {
+            return;
+        }
+        match self.resolve(&to) {
+            Ok((dst, doff)) => {
+                let src = self.own_buf(from.buf);
+                SharedBuf::copy_between(&src, from.offset, &dst, doff, from.len);
+                self.bump();
+            }
+            Err(e) => self.mark_failed(e),
+        }
     }
 
     fn reduce_in(&mut self, from: RemoteRegion, to: Region, op: ReduceOp, dt: Datatype) {
-        let (src, soff) = self.resolve(&from);
-        let acc = self.own_buf(to.buf);
-        acc.reduce_from(to.offset, &src, soff, to.len, op, dt);
+        if self.failed {
+            return;
+        }
+        match self.resolve(&from) {
+            Ok((src, soff)) => {
+                let acc = self.own_buf(to.buf);
+                acc.reduce_from(to.offset, &src, soff, to.len, op, dt);
+                self.bump();
+            }
+            Err(e) => self.mark_failed(e),
+        }
     }
 
     fn local_copy(&mut self, from: Region, to: Region) {
@@ -223,16 +328,37 @@ impl Comm for RtComm {
     }
 
     fn signal(&mut self, rank: usize, flag: FlagId) {
+        if self.failed {
+            return;
+        }
         self.shared.flags[rank].signal(flag);
+        self.bump();
     }
 
     fn wait_flag(&mut self, flag: FlagId, count: u32) {
-        self.shared.flags[self.rank].wait(flag, count);
+        if self.failed {
+            return;
+        }
+        match self.shared.flags[self.rank].try_wait_within(flag, count, sync_timeout()) {
+            Ok(()) => self.bump(),
+            Err(e) => self.mark_failed(e),
+        }
     }
 
     fn node_barrier(&mut self) {
+        // A failed rank skips node barriers entirely: it is free-wheeling
+        // ahead of its peers, and arriving early would advance barrier
+        // generations out from under the healthy ranks. Its absence makes
+        // peers time out here, which records the cascade and fails them
+        // too — fail-stop propagation, not a hang.
+        if self.failed {
+            return;
+        }
         let node = self.shared.topo.node_of(self.rank);
-        self.shared.node_barriers[node].wait();
+        match self.shared.node_barriers[node].wait_within(sync_timeout()) {
+            Ok(()) => self.bump(),
+            Err(e) => self.mark_failed(format!("node barrier: {e}")),
+        }
     }
 
     fn compute(&mut self, bytes: u64) {

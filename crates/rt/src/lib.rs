@@ -33,13 +33,25 @@
 //! unordered conflicting access or a waits-for cycle. The unverified
 //! [`cluster::run_cluster`] skips the recording pass (benches, algorithms
 //! proven elsewhere); its callers own the race-freedom obligation.
+//!
+//! ## Failure model
+//!
+//! Ranks are fail-stop (DESIGN.md §3c): the first transport error, sync
+//! timeout or algorithm panic marks the rank failed, records a
+//! [`RankFailure`] and free-wheels it through the iteration framing so
+//! peers are released rather than deadlocked. Every blocking wait is
+//! bounded by `sync_timeout()`, a watchdog thread catches stalls nothing
+//! is blocked on, and `run_cluster*` returns normally with the faults
+//! listed in [`RtResult::failures`] — gate on [`RtResult::expect_clean`].
 
+pub mod barrier;
 pub mod cluster;
 pub mod comm;
 pub mod shared;
 
+pub use barrier::TimedBarrier;
 pub use cluster::{
     run_cluster, run_cluster_on, run_cluster_timed, run_cluster_verified, run_cluster_verified_on,
-    Algo, RtResult,
+    watchdog_report, Algo, RankFailure, RtResult,
 };
 pub use comm::RtComm;

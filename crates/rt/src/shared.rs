@@ -223,22 +223,37 @@ impl Board {
 
     /// [`Board::fetch`] with an explicit timeout.
     pub fn fetch_within(&self, slot: u16, timeout: Duration) -> Posted {
+        match self.try_fetch_within(slot, timeout) {
+            Ok(p) => p,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Non-panicking [`Board::fetch_within`]: the fail-stop communicator
+    /// records the timeout as a rank failure instead of unwinding.
+    pub fn try_fetch_within(&self, slot: u16, timeout: Duration) -> Result<Posted, String> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut g = self.posted.lock().unwrap();
+        let mut g = self
+            .posted
+            .lock()
+            .map_err(|_| format!("rank {} address board poisoned", self.owner))?;
         loop {
             if let Some(p) = g.get(&slot) {
-                return *p;
+                return Ok(*p);
             }
             let now = std::time::Instant::now();
             if now >= deadline {
-                panic!(
+                return Err(format!(
                     "timeout: rank {} never posted board slot {slot} \
                      (posted slots: {:?}) — schedule under-synchronized?",
                     self.owner,
                     g.keys().collect::<Vec<_>>()
-                );
+                ));
             }
-            let (guard, _timed_out) = self.cv.wait_timeout(g, deadline - now).unwrap();
+            let (guard, _timed_out) = self
+                .cv
+                .wait_timeout(g, deadline.saturating_duration_since(now))
+                .map_err(|_| format!("rank {} address board poisoned", self.owner))?;
             g = guard;
         }
     }
@@ -285,22 +300,36 @@ impl FlagSet {
 
     /// [`FlagSet::wait`] with an explicit timeout.
     pub fn wait_within(&self, flag: u16, count: u32, timeout: Duration) {
+        if let Err(msg) = self.try_wait_within(flag, count, timeout) {
+            panic!("{msg}");
+        }
+    }
+
+    /// Non-panicking [`FlagSet::wait_within`]: the fail-stop communicator
+    /// records the timeout as a rank failure instead of unwinding.
+    pub fn try_wait_within(&self, flag: u16, count: u32, timeout: Duration) -> Result<(), String> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut g = self.counts.lock().unwrap();
+        let mut g = self
+            .counts
+            .lock()
+            .map_err(|_| format!("rank {} flag set poisoned", self.owner))?;
         loop {
             let have = g.get(&flag).copied().unwrap_or(0);
             if have >= count {
-                return;
+                return Ok(());
             }
             let now = std::time::Instant::now();
             if now >= deadline {
-                panic!(
+                return Err(format!(
                     "timeout: rank {} waited for flag {flag} to reach {count} \
                      but only {have} signals arrived — schedule under-synchronized?",
                     self.owner
-                );
+                ));
             }
-            let (guard, _timed_out) = self.cv.wait_timeout(g, deadline - now).unwrap();
+            let (guard, _timed_out) = self
+                .cv
+                .wait_timeout(g, deadline.saturating_duration_since(now))
+                .map_err(|_| format!("rank {} flag set poisoned", self.owner))?;
             g = guard;
         }
     }

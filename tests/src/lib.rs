@@ -47,38 +47,8 @@ pub fn dataflow_recv(sched: &Schedule) -> Vec<Vec<u8>> {
     .recv
 }
 
-/// Minimal xorshift64* generator so randomized tests need no external
-/// crates; deterministic for a given seed, so failures reproduce exactly.
-pub struct TestRng(u64);
-
-impl TestRng {
-    /// Seeded generator (seed 0 is mapped to a fixed odd constant).
-    pub fn new(seed: u64) -> Self {
-        TestRng(if seed == 0 {
-            0x9E37_79B9_7F4A_7C15
-        } else {
-            seed
-        })
-    }
-
-    /// Next raw 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    /// Uniform value in `[lo, hi)`.
-    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
-        assert!(lo < hi);
-        lo + (self.next_u64() % (hi - lo) as u64) as usize
-    }
-
-    /// Uniform boolean.
-    pub fn flip(&mut self) -> bool {
-        self.next_u64() & 1 == 1
-    }
-}
+/// Deterministic xorshift64* generator for randomized tests. The
+/// implementation moved to `pipmcoll_fabric::ChaosRng` so the chaos
+/// fabric and the test suite draw from one seeded source; the old name
+/// stays for the property tests (same algorithm, same sequences).
+pub use pipmcoll_fabric::ChaosRng as TestRng;

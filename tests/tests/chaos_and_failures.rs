@@ -1,0 +1,180 @@
+//! Failure-path integration tests: a hung peer, a stalled run and a
+//! killed lane must each degrade into structured diagnostics — never a
+//! wedged suite, never silent corruption.
+//!
+//! The whole binary runs with `PIPMCOLL_SYNC_TIMEOUT_MS=400` (set before
+//! the first `sync_timeout()` call caches the value), so the failure
+//! paths resolve in fractions of a second instead of the 10 s default.
+
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
+
+use pipmcoll_fabric::{
+    ChanKey, ChaosConfig, ChaosFabric, Fabric, InProcFabric, TcpConfig, TcpFabric,
+};
+use pipmcoll_model::Topology;
+use pipmcoll_rt::run_cluster_on;
+use pipmcoll_sched::verify::pattern;
+use pipmcoll_sched::{BufId, BufSizes, Comm, Region};
+
+fn init() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        std::env::set_var("PIPMCOLL_SYNC_TIMEOUT_MS", "400");
+    });
+}
+
+fn sync_timeout_ms() -> u64 {
+    pipmcoll_fabric::sync_timeout().as_millis() as u64
+}
+
+/// A receive whose sender never shows up must fail the rank with a
+/// diagnostic naming the stuck channel — within 2× sync_timeout, per the
+/// failure-model contract — while the run itself returns normally.
+#[test]
+fn hung_peer_becomes_a_structured_failure_naming_the_channel() {
+    init();
+    let topo = Topology::new(2, 1);
+    let fabric = Arc::new(
+        TcpFabric::connect(
+            topo,
+            TcpConfig {
+                lanes: 1,
+                ..TcpConfig::default()
+            },
+        )
+        .expect("loopback fabric"),
+    );
+    let t0 = Instant::now();
+    let res = run_cluster_on(
+        fabric,
+        topo,
+        |_| BufSizes::new(8, 8),
+        |r| pattern(r, 8),
+        1,
+        |c| {
+            if c.rank() == 0 {
+                // Deliberately silent: never sends on (0, 1, 9).
+            } else {
+                c.recv(0, 9, Region::new(BufId::Recv, 0, 8));
+            }
+        },
+    );
+    let waited = t0.elapsed();
+    assert!(!res.ok(), "a hung receive must be reported");
+    let hung = res
+        .failures
+        .iter()
+        .find(|f| f.rank == Some(1))
+        .unwrap_or_else(|| panic!("no failure attributed to rank 1: {:?}", res.failures));
+    assert!(
+        hung.detail.contains("0 -> 1 tag 9"),
+        "diagnostic must name the stuck channel: {}",
+        hung.detail
+    );
+    assert!(
+        hung.detail.contains("tcp"),
+        "diagnostic must name the backend: {}",
+        hung.detail
+    );
+    // The receive gives up after one sync_timeout; generous slack for
+    // framing barriers and a loaded CI box, but well inside the
+    // "structured failure within 2x sync_timeout" contract.
+    assert!(
+        waited < Duration::from_millis(2 * sync_timeout_ms() + 400),
+        "hung peer took {waited:?} to resolve"
+    );
+}
+
+/// A run making no communication progress at all (a rank stuck in
+/// compute, a scheduler bug) is caught by the watchdog thread, which
+/// records the fabric diagnostic instead of letting the run idle.
+#[test]
+fn watchdog_reports_a_stalled_run() {
+    init();
+    let topo = Topology::new(1, 2);
+    let res = run_cluster_on(
+        Arc::new(InProcFabric::new()),
+        topo,
+        |_| BufSizes::new(4, 4),
+        |r| pattern(r, 4),
+        1,
+        |c| {
+            if c.rank() == 0 {
+                // Stall with no communication: only the watchdog can see
+                // this (nothing is blocked on a timeout-bounded wait).
+                // 2.5x sync_timeout exceeds the watchdog threshold of 2x.
+                std::thread::sleep(Duration::from_millis(sync_timeout_ms() * 5 / 2));
+            }
+        },
+    );
+    let report = res
+        .failures
+        .iter()
+        .find(|f| f.rank.is_none() && f.detail.contains("watchdog"))
+        .unwrap_or_else(|| panic!("no watchdog report in {:?}", res.failures));
+    assert!(
+        report.detail.contains("no progress"),
+        "watchdog report should describe the stall: {}",
+        report.detail
+    );
+}
+
+/// Killing a lane mid-stream must degrade gracefully: traffic remaps to
+/// the survivors, per-channel FIFO order holds, and nothing is lost.
+#[test]
+fn killed_lane_degrades_preserving_fifo() {
+    init();
+    let topo = Topology::new(2, 4);
+    let tcp = TcpFabric::connect(
+        topo,
+        TcpConfig {
+            lanes: 4,
+            rto: Duration::from_millis(5),
+            ..TcpConfig::default()
+        },
+    )
+    .expect("loopback fabric");
+    let chaos = ChaosFabric::new(
+        tcp,
+        ChaosConfig {
+            lane_kill: 1,
+            kill_after: Some(25),
+            seed: 9,
+            ..ChaosConfig::default()
+        },
+    );
+    let key: ChanKey = (0, 4, 1);
+    for i in 0..150u32 {
+        chaos.send(key, i.to_le_bytes().to_vec()).unwrap();
+    }
+    for i in 0..150u32 {
+        assert_eq!(
+            chaos.recv(key).unwrap(),
+            i.to_le_bytes().to_vec(),
+            "FIFO order must survive the lane kill"
+        );
+    }
+    let diag = chaos.diag();
+    assert_eq!(diag.dead_lanes.len(), 1, "exactly one lane was killed");
+    assert!(
+        chaos.drain_errors().is_empty(),
+        "a gracefully degraded kill is not an error"
+    );
+}
+
+/// `PIPMCOLL_CHAOS` wraps whatever backend `from_env` selects, so the
+/// whole suite can run under fault injection with no code changes.
+#[test]
+fn chaos_env_wraps_the_default_fabric() {
+    init();
+    std::env::set_var("PIPMCOLL_CHAOS", "drop:0.05,dup:0.02");
+    std::env::set_var("PIPMCOLL_CHAOS_SEED", "7");
+    let fabric = pipmcoll_fabric::from_env(Topology::new(2, 1));
+    std::env::remove_var("PIPMCOLL_CHAOS");
+    std::env::remove_var("PIPMCOLL_CHAOS_SEED");
+    assert_eq!(fabric.name(), "chaos");
+    // Semantics are unchanged under injection.
+    fabric.send((0, 1, 0), vec![1, 2, 3]).unwrap();
+    assert_eq!(fabric.recv((0, 1, 0)).unwrap(), vec![1, 2, 3]);
+}
