@@ -7,7 +7,8 @@
 
 use pipmcoll_bench::microbench::{Group, Throughput};
 use pipmcoll_core::mcoll::intranode::{
-    intra_bcast_large, intra_bcast_small, intra_gather, intra_reduce_binomial, intra_reduce_chunked,
+    intra_bcast_chunked, intra_bcast_large, intra_bcast_small, intra_gather, intra_reduce_binomial,
+    intra_reduce_chunked,
 };
 use pipmcoll_model::{Datatype, ReduceOp, Topology};
 use pipmcoll_rt::run_cluster_timed;
@@ -50,6 +51,14 @@ fn bench_bcast() {
                     |_| BufSizes::new(cb, cb),
                     iters,
                     |comm| intra_bcast_large(comm, cb),
+                )
+            });
+            g.bench_custom(&format!("chunked/p{ppn}/{cb}"), |iters| {
+                time_intranode(
+                    ppn,
+                    |_| BufSizes::new(cb, cb),
+                    iters,
+                    |comm| intra_bcast_chunked(comm, cb),
                 )
             });
         }

@@ -12,8 +12,8 @@ use std::fmt::Write as _;
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use pipmcoll_bench::{results_dir, Figure, Series};
-use pipmcoll_fabric::{Fabric, TcpConfig, TcpFabric};
+use pipmcoll_bench::{results_dir, write_bench_fabric_section, Figure, Series};
+use pipmcoll_fabric::{Fabric, LatencySnapshot, TcpConfig, TcpFabric};
 use pipmcoll_model::Topology;
 
 const PAIRS: usize = 8;
@@ -32,7 +32,7 @@ fn env_usize(name: &str, default: usize) -> usize {
 /// messages of `size` bytes to their partner on node 1. Returns elapsed
 /// seconds from the start barrier until the last receiver has its last
 /// message — fabric setup and thread spawn are outside the window.
-fn trial(lanes: usize, size: usize, n_msgs: usize) -> f64 {
+fn trial(lanes: usize, size: usize, n_msgs: usize) -> (f64, LatencySnapshot) {
     let topo = Topology::new(2, PAIRS);
     let fabric = Arc::new(
         TcpFabric::connect(
@@ -76,18 +76,24 @@ fn trial(lanes: usize, size: usize, n_msgs: usize) -> f64 {
         done.wait(); // every receiver has drained its pair's stream
         elapsed = t0.elapsed().as_secs_f64();
     });
-    elapsed
+    (elapsed, fabric.stats().ack_rtt)
 }
 
-/// Best-of-`trials` measurement, returning (Mmsg/s, MB/s).
-fn measure(lanes: usize, size: usize, n_msgs: usize, trials: usize) -> (f64, f64) {
+/// Best-of-`trials` measurement, returning (Mmsg/s, MB/s) plus the
+/// ack-RTT percentile snapshot of the fastest trial.
+fn measure(lanes: usize, size: usize, n_msgs: usize, trials: usize) -> (f64, f64, LatencySnapshot) {
     let mut best = f64::INFINITY;
+    let mut lat = LatencySnapshot::default();
     for _ in 0..trials {
-        best = best.min(trial(lanes, size, n_msgs));
+        let (t, l) = trial(lanes, size, n_msgs);
+        if t < best {
+            best = t;
+            lat = l;
+        }
     }
     let msgs = (PAIRS * n_msgs) as f64;
     let bytes = msgs * size as f64;
-    (msgs / best / 1e6, bytes / best / 1e6)
+    (msgs / best / 1e6, bytes / best / 1e6, lat)
 }
 
 fn main() {
@@ -106,16 +112,18 @@ fn main() {
     let budget: usize = 32 << 20; // bytes per pair per trial, cap
 
     let mut series = Vec::new();
-    let mut rates: Vec<(String, Vec<f64>, Vec<f64>, usize)> = Vec::new();
+    let mut rates: Vec<SweepRow> = Vec::new();
     for &(size, label) in &sizes {
         let n_msgs = (budget / size).clamp(64, max_msgs);
         eprintln!("  sweeping {label} ({n_msgs} msgs/pair, best of {trials}) ...");
         let mut mbs = Vec::new();
         let mut mmsgs = Vec::new();
+        let mut lats = Vec::new();
         for &k in &lanes_grid {
-            let (mm, mb) = measure(k, size, n_msgs, trials);
+            let (mm, mb, lat) = measure(k, size, n_msgs, trials);
             mbs.push(mb);
             mmsgs.push(mm);
+            lats.push(lat);
         }
         series.push(Series {
             label: format!("{label}_MBs"),
@@ -125,7 +133,13 @@ fn main() {
                 .map(|(&k, &y)| (k as f64, y))
                 .collect(),
         });
-        rates.push((label.to_string(), mbs, mmsgs, n_msgs));
+        rates.push(SweepRow {
+            label: label.to_string(),
+            mbs,
+            mmsgs,
+            lats,
+            n_msgs,
+        });
     }
 
     let fig = Figure {
@@ -138,24 +152,34 @@ fn main() {
     };
     println!("{}", fig.table());
     let dir = results_dir();
+    let json = sweep_json(&lanes_grid, &rates, trials);
     std::fs::write(dir.join("fabric_sweep.csv"), fig.csv()).expect("write csv");
-    std::fs::write(
-        dir.join("fabric_sweep.json"),
-        sweep_json(&lanes_grid, &rates, trials),
-    )
-    .expect("write json");
+    std::fs::write(dir.join("fabric_sweep.json"), &json).expect("write json");
+    write_bench_fabric_section("sweep", &json);
+}
+
+/// One message size's results across the lane grid.
+struct SweepRow {
+    label: String,
+    mbs: Vec<f64>,
+    mmsgs: Vec<f64>,
+    lats: Vec<LatencySnapshot>,
+    n_msgs: usize,
 }
 
 /// Hand-rolled JSON (the workspace carries no serialization dependency):
-/// the full sweep, message rates included, for EXPERIMENTS.md tooling.
-fn sweep_json(
-    lanes: &[usize],
-    rates: &[(String, Vec<f64>, Vec<f64>, usize)],
-    trials: usize,
-) -> String {
+/// the full sweep, message rates and ack-RTT percentiles included, for
+/// EXPERIMENTS.md tooling and the `BENCH_fabric.json` perf trajectory.
+fn sweep_json(lanes: &[usize], rates: &[SweepRow], trials: usize) -> String {
     let fmt = |v: &[f64]| {
         v.iter()
             .map(|x| format!("{x:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let fmt_u = |v: &[u64]| {
+        v.iter()
+            .map(|x| x.to_string())
             .collect::<Vec<_>>()
             .join(", ")
     };
@@ -174,12 +198,16 @@ fn sweep_json(
             .join(", ")
     );
     let _ = writeln!(out, "  \"series\": [");
-    for (i, (label, mbs, mmsgs, n_msgs)) in rates.iter().enumerate() {
+    for (i, row) in rates.iter().enumerate() {
+        let p50: Vec<u64> = row.lats.iter().map(|l| l.p50_us).collect();
+        let p99: Vec<u64> = row.lats.iter().map(|l| l.p99_us).collect();
         let _ = writeln!(out, "    {{");
-        let _ = writeln!(out, "      \"label\": \"{label}\",");
-        let _ = writeln!(out, "      \"msgs_per_pair\": {n_msgs},");
-        let _ = writeln!(out, "      \"mb_per_s\": [{}],", fmt(mbs));
-        let _ = writeln!(out, "      \"mmsg_per_s\": [{}]", fmt(mmsgs));
+        let _ = writeln!(out, "      \"label\": \"{}\",", row.label);
+        let _ = writeln!(out, "      \"msgs_per_pair\": {},", row.n_msgs);
+        let _ = writeln!(out, "      \"mb_per_s\": [{}],", fmt(&row.mbs));
+        let _ = writeln!(out, "      \"mmsg_per_s\": [{}],", fmt(&row.mmsgs));
+        let _ = writeln!(out, "      \"ack_rtt_p50_us\": [{}],", fmt_u(&p50));
+        let _ = writeln!(out, "      \"ack_rtt_p99_us\": [{}]", fmt_u(&p99));
         let _ = writeln!(out, "    }}{}", if i + 1 < rates.len() { "," } else { "" });
     }
     let _ = writeln!(out, "  ]");

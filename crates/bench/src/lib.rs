@@ -46,6 +46,46 @@ pub fn results_dir() -> PathBuf {
     p
 }
 
+/// The fabric-perf sections that may contribute to `BENCH_fabric.json`,
+/// in emission order.
+const BENCH_FABRIC_SECTIONS: [&str; 2] = ["sweep", "hotpath"];
+
+/// Merge one named section into `BENCH_fabric.json` at the repo root
+/// (override the location with `PIPMCOLL_BENCH_ROOT`).
+///
+/// Each emitting bin owns one section (`fabric_sweep` → `"sweep"`,
+/// `hotpath_sweep` → `"hotpath"`). The section body is kept as a fragment
+/// under the results dir, and the root file is regenerated from every
+/// fragment present — so the bins can run in any order or alone and the
+/// perf-trajectory file stays complete.
+pub fn write_bench_fabric_section(section: &str, body_json: &str) {
+    assert!(
+        BENCH_FABRIC_SECTIONS.contains(&section),
+        "unknown BENCH_fabric section {section:?}"
+    );
+    let dir = results_dir();
+    fs::write(
+        dir.join(format!("BENCH_fragment_{section}.json")),
+        body_json,
+    )
+    .expect("write bench fragment");
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for name in BENCH_FABRIC_SECTIONS {
+        let frag = dir.join(format!("BENCH_fragment_{name}.json"));
+        if let Ok(body) = fs::read_to_string(&frag) {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!("\"{name}\": {}", body.trim_end()));
+        }
+    }
+    out.push_str("\n}\n");
+    let root = std::env::var("PIPMCOLL_BENCH_ROOT").unwrap_or_else(|_| ".".to_string());
+    fs::write(PathBuf::from(root).join("BENCH_fabric.json"), out).expect("write BENCH_fabric.json");
+}
+
 /// Simulate one collective and return its latency in microseconds.
 pub fn measure_us(lib: LibraryProfile, machine: MachineConfig, spec: &CollectiveSpec) -> f64 {
     run_collective(lib, machine, spec)

@@ -10,8 +10,31 @@
 use pipmcoll_model::{Datatype, ReduceOp};
 use pipmcoll_sched::{BufId, Comm, Region, RemoteRegion};
 
-use crate::params::{flags, slots};
+use crate::params::{copy, flags, slots};
 use crate::util::split_even;
+
+/// Emit a pull of `len` bytes from `peer`'s posted `slot` (starting at
+/// `src_off` within the posted region) into this rank's `Recv` at
+/// `dst_off`, split into cache-friendly sub-copies of at most
+/// [`copy::CHUNK_BYTES`] each.
+fn copy_in_chunked<C: Comm>(
+    c: &mut C,
+    peer: usize,
+    slot: u16,
+    src_off: usize,
+    dst_off: usize,
+    len: usize,
+) {
+    let mut done = 0;
+    while done < len {
+        let n = (len - done).min(copy::CHUNK_BYTES);
+        c.copy_in(
+            RemoteRegion::new(peer, slot, src_off + done, n),
+            Region::new(BufId::Recv, dst_off + done, n),
+        );
+        done += n;
+    }
+}
 
 /// Intranode broadcast, small-message variant: the root copies its payload
 /// into a scratch buffer, posts the scratch address, and every peer copies
@@ -59,11 +82,102 @@ pub fn intra_bcast_large<C: Comm>(c: &mut C, cb: usize) {
             c.wait_flag(flags::DONE, (p - 1) as u32);
         }
     } else {
-        c.copy_in(
-            RemoteRegion::new(root, slots::WORK, 0, cb),
+        copy_in_chunked(c, root, slots::WORK, 0, 0, cb);
+        c.signal(root, flags::DONE);
+    }
+}
+
+/// Intranode broadcast, chunked fanned variant: instead of every peer
+/// reading the full payload out of the root's buffer (making the root's
+/// pages the single hot source for `P - 1` concurrent readers), the
+/// payload is split into `P` even chunks and broadcast scatter+allgather
+/// style entirely in shared memory:
+///
+/// 1. **scatter** — local rank `i` copies chunk `i` from the root's posted
+///    send buffer into its own `Recv`, then posts that chunk and raises a
+///    per-owner `CHUNK` flag at every peer;
+/// 2. **allgather** — each rank pulls the other `P - 1` chunks from their
+///    owners' buffers (start offset staggered by rank so no owner is hit
+///    by all readers at once).
+///
+/// Each bulk copy is further capped at [`copy::CHUNK_BYTES`] per
+/// operation. The root's send buffer is read exactly once per chunk, and
+/// the allgather reads fan across `P` distinct source buffers.
+pub fn intra_bcast_chunked<C: Comm>(c: &mut C, cb: usize) {
+    let topo = c.topo();
+    let p = topo.ppn();
+    let node = c.node();
+    let root = c.local_root();
+    let l = c.local();
+    if p == 1 {
+        c.local_copy(
+            Region::new(BufId::Send, 0, cb),
             Region::new(BufId::Recv, 0, cb),
         );
+        return;
+    }
+    if c.is_local_root() {
+        c.post_addr(slots::WORK, Region::new(BufId::Send, 0, cb));
+    }
+    // Scatter: my chunk, root's Send -> my Recv (root copies locally).
+    let (lo, hi) = split_even(cb, p, l);
+    if hi > lo {
+        if c.is_local_root() {
+            c.local_copy(
+                Region::new(BufId::Send, lo, hi - lo),
+                Region::new(BufId::Recv, lo, hi - lo),
+            );
+        } else {
+            copy_in_chunked(c, root, slots::WORK, lo, lo, hi - lo);
+        }
+        // My chunk is in place: expose it (peers with an empty chunk of
+        // their own still pull mine, so everyone posts a non-empty chunk).
+        c.post_addr(slots::RECV, Region::new(BufId::Recv, lo, hi - lo));
+    }
+    // Tell every peer my chunk is readable; non-roots are also done
+    // reading the root's Send — release it.
+    for peer_l in 0..p {
+        if peer_l != l {
+            c.signal(topo.rank_of(node, peer_l), flags::CHUNK + l as u16);
+        }
+    }
+    if !c.is_local_root() {
         c.signal(root, flags::DONE);
+    }
+    // Allgather: pull the other chunks from their owners, staggered.
+    for i in 1..p {
+        let owner_l = (l + i) % p;
+        let (olo, ohi) = split_even(cb, p, owner_l);
+        if ohi > olo {
+            c.wait_flag(flags::CHUNK + owner_l as u16, 1);
+            copy_in_chunked(
+                c,
+                topo.rank_of(node, owner_l),
+                slots::RECV,
+                0,
+                olo,
+                ohi - olo,
+            );
+        }
+    }
+    // The root returns only once every peer has retired its read of Send.
+    if c.is_local_root() {
+        c.wait_flag(flags::DONE, (p - 1) as u32);
+    }
+}
+
+/// Dispatching intranode broadcast: staged below
+/// [`copy::STAGING_MAX_BYTES`] (root buffer immediately reusable), fanned
+/// chunked at and above [`copy::FAN_MIN_BYTES`] when there are enough
+/// ranks to fan across, direct zero-copy in between.
+pub fn intra_bcast<C: Comm>(c: &mut C, cb: usize) {
+    let p = c.topo().ppn();
+    if cb >= copy::FAN_MIN_BYTES && p > 2 {
+        intra_bcast_chunked(c, cb)
+    } else if cb <= copy::STAGING_MAX_BYTES {
+        intra_bcast_small(c, cb)
+    } else {
+        intra_bcast_large(c, cb)
     }
 }
 
@@ -248,6 +362,81 @@ mod tests {
         sched.validate().unwrap();
         let res = execute_race_checked(&sched, |r| pattern(r, 8)).unwrap();
         assert_eq!(res.recv[0], pattern(0, 8));
+    }
+
+    #[test]
+    fn bcast_chunked_delivers() {
+        for (p, cb) in [(4usize, 4096usize), (6, 513), (3, 96 * 1024), (8, 1 << 20)] {
+            let topo = Topology::new(1, p);
+            let sched = record(topo, BufSizes::new(cb, cb), |c| intra_bcast_chunked(c, cb));
+            sched.validate().unwrap();
+            let res = execute_race_checked(&sched, |r| pattern(r, cb)).unwrap();
+            for rank in 0..p {
+                assert_eq!(
+                    res.recv[rank],
+                    pattern(0, cb),
+                    "P = {p}, cb = {cb}, rank {rank}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_chunked_tiny_payload_empty_chunks() {
+        // cb < P: some ranks own zero bytes and must neither post nor be
+        // waited on, yet everyone still ends with the payload.
+        let topo = Topology::new(1, 6);
+        let cb = 3;
+        let sched = record(topo, BufSizes::new(cb, cb), |c| intra_bcast_chunked(c, cb));
+        sched.validate().unwrap();
+        let res = execute_race_checked(&sched, |r| pattern(r, cb)).unwrap();
+        for rank in 0..6 {
+            assert_eq!(res.recv[rank], pattern(0, cb), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn bcast_chunked_single_process_node() {
+        let topo = Topology::new(1, 1);
+        let sched = record(topo, BufSizes::new(8, 8), |c| intra_bcast_chunked(c, 8));
+        sched.validate().unwrap();
+        let res = execute_race_checked(&sched, |r| pattern(r, 8)).unwrap();
+        assert_eq!(res.recv[0], pattern(0, 8));
+    }
+
+    #[test]
+    fn bcast_large_splits_into_capped_subcopies() {
+        // A payload over the chunk cap must appear in the schedule as
+        // multiple bounded copies, not one giant memcpy per peer.
+        use crate::params::copy;
+        let topo = Topology::new(1, 2);
+        let cb = copy::CHUNK_BYTES * 2 + 17;
+        let sched = record(topo, BufSizes::new(cb, cb), |c| intra_bcast_large(c, cb));
+        sched.validate().unwrap();
+        let res = execute_race_checked(&sched, |r| pattern(r, cb)).unwrap();
+        assert_eq!(res.recv[1], pattern(0, cb));
+    }
+
+    #[test]
+    fn bcast_dispatch_picks_by_size_and_width() {
+        for (p, cb) in [
+            (4usize, 1024usize),
+            (4, 32 * 1024),
+            (4, 128 * 1024),
+            (2, 128 * 1024),
+        ] {
+            let topo = Topology::new(1, p);
+            let sched = record(topo, BufSizes::new(cb, cb), |c| intra_bcast(c, cb));
+            sched.validate().unwrap();
+            let res = execute_race_checked(&sched, |r| pattern(r, cb)).unwrap();
+            for rank in 0..p {
+                assert_eq!(
+                    res.recv[rank],
+                    pattern(0, cb),
+                    "P = {p}, cb = {cb}, rank {rank}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -123,6 +123,28 @@ pub mod flags {
     pub const DONE: u16 = 1;
     /// Per-level binomial-reduce flags start here (`+ level`).
     pub const LEVEL: u16 = 8;
+    /// Per-owner chunk-ready flags for the fanned chunked broadcast start
+    /// here (`+ owner local rank`). Base 64 keeps the range disjoint from
+    /// `LEVEL + level` for any plausible node width.
+    pub const CHUNK: u16 = 64;
+}
+
+/// Intranode bulk-copy geometry.
+pub mod copy {
+    /// Ceiling on one intranode copy operation. Large leader copies are
+    /// split into sub-copies of at most this size so each memcpy stays
+    /// within a core's share of L2 and the schedule exposes enough
+    /// operations to interleave with flag traffic.
+    pub const CHUNK_BYTES: usize = 128 * 1024;
+
+    /// Payload size at which the fanned chunked broadcast beats a direct
+    /// all-peers-read-the-root copy: below this, the extra chunk flags
+    /// cost more than the root's buffer being the single hot source.
+    pub const FAN_MIN_BYTES: usize = 64 * 1024;
+
+    /// Payload size up to which the broadcast stages through scratch so
+    /// the root's send buffer is immediately reusable.
+    pub const STAGING_MAX_BYTES: usize = 16 * 1024;
 }
 
 #[cfg(test)]

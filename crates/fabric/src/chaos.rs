@@ -88,6 +88,9 @@ pub struct ChaosConfig {
     pub drop: f64,
     /// Probability an eager frame is sent twice.
     pub dup: f64,
+    /// Probability a standalone cumulative-ack frame is dropped (the
+    /// sender's retransmit and the receiver's dedup must absorb it).
+    pub ack_drop: f64,
     /// Upper bound of the uniform per-send delay (0 disables).
     pub delay: Duration,
     /// Number of lanes to kill mid-run.
@@ -104,6 +107,7 @@ impl Default for ChaosConfig {
         ChaosConfig {
             drop: 0.0,
             dup: 0.0,
+            ack_drop: 0.0,
             delay: Duration::ZERO,
             lane_kill: 0,
             kill_after: None,
@@ -114,8 +118,8 @@ impl Default for ChaosConfig {
 
 impl ChaosConfig {
     /// Parse the `PIPMCOLL_CHAOS` grammar:
-    /// `drop:<prob>,dup:<prob>,delay:<ms>ms,lane_kill:<n>` — every field
-    /// optional, any order.
+    /// `drop:<prob>,dup:<prob>,ack_drop:<prob>,delay:<ms>ms,lane_kill:<n>`
+    /// — every field optional, any order.
     pub fn parse(spec: &str) -> Result<ChaosConfig, String> {
         let mut cfg = ChaosConfig::default();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
@@ -125,6 +129,7 @@ impl ChaosConfig {
             match key.trim() {
                 "drop" => cfg.drop = parse_prob("drop", val)?,
                 "dup" => cfg.dup = parse_prob("dup", val)?,
+                "ack_drop" => cfg.ack_drop = parse_prob("ack_drop", val)?,
                 "delay" => {
                     let ms = val
                         .trim()
@@ -200,9 +205,11 @@ pub enum FrameFate {
 pub struct WireChaos {
     drop: f64,
     dup: f64,
+    ack_drop: f64,
     rng: Mutex<ChaosRng>,
     dropped: AtomicU64,
     dupped: AtomicU64,
+    acks_dropped: AtomicU64,
 }
 
 impl WireChaos {
@@ -211,11 +218,13 @@ impl WireChaos {
         WireChaos {
             drop: cfg.drop,
             dup: cfg.dup,
+            ack_drop: cfg.ack_drop,
             // Distinct stream from the interface-level RNG so installing
             // wire chaos does not perturb delay/kill decisions.
             rng: Mutex::new(ChaosRng::new(cfg.seed.wrapping_mul(0x9E37_79B9).max(1))),
             dropped: AtomicU64::new(0),
             dupped: AtomicU64::new(0),
+            acks_dropped: AtomicU64::new(0),
         }
     }
 
@@ -238,6 +247,27 @@ impl WireChaos {
         }
     }
 
+    /// Roll whether one outgoing standalone ack frame is eaten by the
+    /// wire. `true` means drop it. Separate from [`WireChaos::fate`] so
+    /// tests can target the lost-ack recovery path precisely: the data
+    /// frame arrives, its ack dies, and the sender's retransmit must be
+    /// collapsed by receiver dedup.
+    pub fn ack_fate(&self) -> bool {
+        if self.ack_drop == 0.0 {
+            return false;
+        }
+        let u = match self.rng.lock() {
+            Ok(mut rng) => rng.unit(),
+            Err(_) => return false,
+        };
+        if u < self.ack_drop {
+            self.acks_dropped.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Frames dropped so far.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
@@ -246,6 +276,11 @@ impl WireChaos {
     /// Frames duplicated so far.
     pub fn dupped(&self) -> u64 {
         self.dupped.load(Ordering::Relaxed)
+    }
+
+    /// Standalone ack frames dropped so far.
+    pub fn acks_dropped(&self) -> u64 {
+        self.acks_dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -408,6 +443,23 @@ mod tests {
         assert_eq!(cfg.delay, Duration::from_millis(3));
         assert_eq!(cfg.drop, 0.0);
         assert_eq!(ChaosConfig::parse("").unwrap(), ChaosConfig::default());
+    }
+
+    #[test]
+    fn parse_ack_drop() {
+        let cfg = ChaosConfig::parse("ack_drop:0.25").unwrap();
+        assert_eq!(cfg.ack_drop, 0.25);
+        let wire = WireChaos::new(&cfg);
+        let n = 10_000;
+        let mut dropped = 0;
+        for _ in 0..n {
+            if wire.ack_fate() {
+                dropped += 1;
+            }
+        }
+        assert_eq!(wire.acks_dropped(), dropped);
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.03, "ack drop rate {rate}");
     }
 
     #[test]

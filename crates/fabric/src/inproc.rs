@@ -70,10 +70,7 @@ impl Fabric for InProcFabric {
                 bytes: self.bytes.load(Ordering::Relaxed),
                 stalls: 0,
             }],
-            local_msgs: 0,
-            local_bytes: 0,
-            retransmits: 0,
-            dups_dropped: 0,
+            ..FabricStats::default()
         }
     }
 

@@ -45,10 +45,12 @@
 pub mod chaos;
 pub mod error;
 pub mod inproc;
+pub mod pool;
 pub mod stats;
 pub mod store;
 pub mod tcp;
 pub mod timeout;
+pub mod wait;
 pub mod wire;
 
 use std::sync::Arc;
@@ -59,9 +61,11 @@ use pipmcoll_model::Topology;
 pub use chaos::{ChaosConfig, ChaosFabric, ChaosRng, WireChaos};
 pub use error::{BlockedRecv, FabricDiag, FabricError, FabricResult, QueueDiag, TimeoutDiag};
 pub use inproc::InProcFabric;
-pub use stats::{FabricStats, LaneStats};
+pub use pool::{FrameBuf, FramePool, PoolStats};
+pub use stats::{FabricStats, LaneStats, LatencyHist, LatencySnapshot};
 pub use tcp::{TcpConfig, TcpFabric};
 pub use timeout::sync_timeout;
+pub use wait::{spin_budget, Spinner};
 
 /// A point-to-point channel: `(src rank, dst rank, tag)`. Matching and
 /// FIFO order are per channel, exactly MPI's non-overtaking rule.

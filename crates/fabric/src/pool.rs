@@ -1,0 +1,303 @@
+//! Pooled, refcounted frame buffers for the TCP fabric's send path.
+//!
+//! Every eager frame used to cost three heap events: the encode
+//! allocation, a full `bytes.clone()` into the retransmit pending table,
+//! and another clone when the retransmitter re-queued it. At the
+//! small-message rates the paper cares about, the allocator — not the
+//! sockets — became the bottleneck. A [`FrameBuf`] is an `Arc`-backed
+//! byte buffer: the send queue, the pending table, and any retransmit
+//! in flight all hold refcounts on the *same* encoded bytes, and when
+//! the last holder drops, the buffer returns to a bounded free-list to
+//! be reused by the next send. After warm-up the steady-state eager
+//! path performs zero heap allocations (proven by the counting-
+//! allocator test in `tests/alloc_steady_state.rs`).
+//!
+//! Recycling is race-free by construction: `Drop` only recycles when
+//! `Arc::strong_count == 1`, and only the *sole remaining* holder can
+//! observe a count of 1 — two concurrent droppers both see ≥ 2. A racy
+//! miss (count read as 2 while the other holder is mid-drop) merely
+//! skips one recycle; the buffer is freed normally. Correctness never
+//! depends on recycling happening.
+//!
+//! Tuning: `PIPMCOLL_POOL_CAP` bounds the free-list (default 256
+//! buffers per pool). Buffers above 256 KiB capacity are never retained
+//! — rendezvous payloads would otherwise pin large allocations forever.
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+use crate::wire::Frame;
+
+/// Buffers with more capacity than this are dropped rather than
+/// recycled, so one big rendezvous frame can't pin memory in the pool.
+const MAX_RETAIN_CAP: usize = 256 * 1024;
+
+/// Free-list bound. Parsed once; override with `PIPMCOLL_POOL_CAP`.
+///
+/// # Panics
+/// Panics on a malformed `PIPMCOLL_POOL_CAP` value.
+pub fn pool_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| match std::env::var("PIPMCOLL_POOL_CAP") {
+        Err(std::env::VarError::NotPresent) => 256,
+        Err(std::env::VarError::NotUnicode(v)) => {
+            panic!("PIPMCOLL_POOL_CAP is not valid unicode: {v:?}")
+        }
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            panic!("PIPMCOLL_POOL_CAP must be a whole number of buffers, got {v:?}")
+        }),
+    })
+}
+
+struct BufInner {
+    data: Vec<u8>,
+    /// Weak so a pool can die while frames are still in flight; those
+    /// frames then free normally instead of recycling.
+    pool: Weak<PoolInner>,
+}
+
+struct PoolInner {
+    free: Mutex<Vec<Arc<BufInner>>>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+}
+
+impl PoolInner {
+    fn recycle(&self, mut arc: Arc<BufInner>) {
+        // Sole holder (strong_count was 1 in FrameBuf::drop and nobody
+        // else can resurrect a count-1 Arc), so get_mut succeeds.
+        let Some(inner) = Arc::get_mut(&mut arc) else {
+            return;
+        };
+        if inner.data.capacity() > MAX_RETAIN_CAP {
+            return;
+        }
+        inner.data.clear();
+        let Ok(mut free) = self.free.lock() else {
+            return;
+        };
+        if free.len() < self.cap {
+            free.push(arc);
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Counters for observing pool effectiveness (and, in tests, for
+/// waiting until a buffer has actually been returned to the free-list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions served from the free-list.
+    pub hits: u64,
+    /// Acquisitions that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers returned to the free-list over the pool's lifetime.
+    pub recycled: u64,
+    /// Buffers currently sitting in the free-list.
+    pub free: usize,
+}
+
+/// A bounded pool of reusable frame buffers. Cloning the pool handle is
+/// cheap and shares the free-list.
+#[derive(Clone)]
+pub struct FramePool {
+    inner: Arc<PoolInner>,
+}
+
+impl Default for FramePool {
+    fn default() -> Self {
+        FramePool::with_cap(pool_cap())
+    }
+}
+
+impl FramePool {
+    /// A pool bounded by [`pool_cap`] (`PIPMCOLL_POOL_CAP`).
+    pub fn new() -> FramePool {
+        FramePool::default()
+    }
+
+    /// A pool retaining at most `cap` free buffers.
+    pub fn with_cap(cap: usize) -> FramePool {
+        FramePool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(Vec::new()),
+                cap,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                recycled: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// An empty buffer, recycled if one is free, freshly allocated with
+    /// at least `size_hint` capacity otherwise.
+    pub fn acquire(&self, size_hint: usize) -> FrameBuf {
+        let recycled = self.inner.free.lock().ok().and_then(|mut f| f.pop());
+        let arc = match recycled {
+            Some(arc) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                arc
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                Arc::new(BufInner {
+                    data: Vec::with_capacity(size_hint),
+                    pool: Arc::downgrade(&self.inner),
+                })
+            }
+        };
+        FrameBuf { arc: Some(arc) }
+    }
+
+    /// Encode `frame` into a pooled buffer: the one place on the eager
+    /// path where bytes are laid out. Every later holder — send queue,
+    /// pending table, retransmit — is a refcount on this buffer.
+    pub fn encode(&self, frame: &Frame) -> FrameBuf {
+        let mut buf = self.acquire(crate::wire::HEADER_LEN + frame.payload.len());
+        let inner = Arc::get_mut(buf.arc.as_mut().expect("fresh FrameBuf holds its arc"))
+            .expect("freshly acquired buffer is uniquely owned");
+        frame.encode_into(&mut inner.data);
+        buf
+    }
+
+    /// Point-in-time pool counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            recycled: self.inner.recycled.load(Ordering::Relaxed),
+            free: self.inner.free.lock().map_or(0, |f| f.len()),
+        }
+    }
+}
+
+/// A refcounted handle on one encoded frame. `Clone` bumps the
+/// refcount (no copy); dropping the last handle recycles the buffer
+/// into its pool's free-list.
+pub struct FrameBuf {
+    /// `Some` until `Drop` takes it; never observed as `None` otherwise.
+    arc: Option<Arc<BufInner>>,
+}
+
+impl FrameBuf {
+    fn inner(&self) -> &Arc<BufInner> {
+        self.arc
+            .as_ref()
+            .expect("FrameBuf holds its arc until drop")
+    }
+}
+
+impl Deref for FrameBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner().data
+    }
+}
+
+impl Clone for FrameBuf {
+    fn clone(&self) -> FrameBuf {
+        FrameBuf {
+            arc: Some(Arc::clone(self.inner())),
+        }
+    }
+}
+
+impl Drop for FrameBuf {
+    fn drop(&mut self) {
+        let Some(arc) = self.arc.take() else {
+            return;
+        };
+        // Only the final holder can see a strong count of 1, so at most
+        // one dropper ever attempts the recycle.
+        if Arc::strong_count(&arc) == 1 {
+            if let Some(pool) = arc.pool.upgrade() {
+                pool.recycle(arc);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for FrameBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FrameBuf({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::FrameKind;
+
+    fn frame(payload: Vec<u8>) -> Frame {
+        Frame {
+            kind: FrameKind::Eager,
+            src: 1,
+            dst: 2,
+            tag: 7,
+            seq: 3,
+            aux: 0,
+            payload,
+        }
+    }
+
+    #[test]
+    fn last_drop_recycles_and_next_acquire_reuses() {
+        let pool = FramePool::with_cap(4);
+        let a = pool.encode(&frame(vec![9u8; 32]));
+        let b = a.clone();
+        drop(a);
+        assert_eq!(pool.stats().free, 0, "clone still holds the buffer");
+        drop(b);
+        let s = pool.stats();
+        assert_eq!((s.free, s.recycled), (1, 1));
+        let _c = pool.acquire(8);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.free), (1, 0));
+    }
+
+    #[test]
+    fn recycled_buffers_do_not_leak_prior_bytes() {
+        let pool = FramePool::with_cap(4);
+        let big = frame(vec![0xAB; 512]);
+        drop(pool.encode(&big));
+        assert_eq!(pool.stats().free, 1);
+        // A smaller frame into the recycled buffer must match a fresh
+        // encode exactly — no stale tail from the previous tenant.
+        let small = frame(vec![1, 2, 3]);
+        let reused = pool.encode(&small);
+        assert_eq!(pool.stats().hits, 1, "must exercise the recycled path");
+        assert_eq!(&*reused, small.encode().as_slice());
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let pool = FramePool::with_cap(2);
+        let bufs: Vec<_> = (0..5).map(|_| pool.encode(&frame(vec![0; 8]))).collect();
+        drop(bufs);
+        assert_eq!(pool.stats().free, 2);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let pool = FramePool::with_cap(4);
+        drop(pool.encode(&frame(vec![0; MAX_RETAIN_CAP + 1])));
+        assert_eq!(pool.stats().free, 0);
+    }
+
+    #[test]
+    fn orphaned_frames_free_without_a_pool() {
+        let pool = FramePool::with_cap(4);
+        let buf = pool.encode(&frame(vec![5; 16]));
+        drop(pool);
+        drop(buf); // must not panic; weak upgrade fails, buffer frees
+    }
+
+    #[test]
+    fn default_cap_comes_from_env_or_256() {
+        assert_eq!(pool_cap(), 256);
+    }
+}

@@ -1,5 +1,9 @@
-//! Per-lane traffic counters — the observable that lets benches and tests
-//! confirm lane striping actually spreads load.
+//! Per-lane traffic counters and latency histograms — the observables
+//! that let benches and tests confirm lane striping spreads load and
+//! that the ack path stays fast.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Counters for one lane (one striped object of the transport).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -10,6 +14,82 @@ pub struct LaneStats {
     pub bytes: u64,
     /// Times a sender blocked because this lane's bounded queue was full.
     pub stalls: u64,
+}
+
+/// A lock-free log2-bucketed latency histogram. Recording is two atomic
+/// ops on the hot path; percentiles are computed at snapshot time from
+/// the bucket counts (each bucket spans one power of two of
+/// nanoseconds, so a percentile is exact to within 2×).
+pub struct LatencyHist {
+    /// `buckets[i]` counts samples with `floor(log2(ns)) == i`
+    /// (bucket 0 also holds sub-nanosecond samples).
+    buckets: [AtomicU64; 64],
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> LatencyHist {
+        LatencyHist::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).max(1);
+        let bucket = 63 - ns.leading_zeros() as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time percentile summary.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return LatencySnapshot::default();
+        }
+        // A percentile lands in the bucket where the running count
+        // crosses it; report the bucket's upper bound in microseconds.
+        let pick = |p: f64| {
+            let target = ((total as f64) * p).ceil() as u64;
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    let upper_ns = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                    return upper_ns.div_ceil(1000);
+                }
+            }
+            u64::MAX
+        };
+        LatencySnapshot {
+            count: total,
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+        }
+    }
+}
+
+/// Percentile summary of a [`LatencyHist`] (integer µs so stats stay
+/// `Eq`-comparable).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median, in microseconds (upper bound of its log2 bucket).
+    pub p50_us: u64,
+    /// 99th percentile, in microseconds (upper bound of its log2 bucket).
+    pub p99_us: u64,
 }
 
 /// A snapshot of a fabric's traffic counters.
@@ -27,6 +107,14 @@ pub struct FabricStats {
     pub retransmits: u64,
     /// Wire re-deliveries suppressed by receiver sequence dedup.
     pub dups_dropped: u64,
+    /// Round-trip time from first transmission of an eager frame to the
+    /// cumulative ack that covered it (never from retransmissions —
+    /// their acks are ambiguous).
+    pub ack_rtt: LatencySnapshot,
+    /// Deepest any control queue (the unbounded ack/rendezvous reply
+    /// side of a lane's send queue) ever got — visibility into the one
+    /// queue backpressure cannot bound.
+    pub ctrl_queue_hwm: u64,
 }
 
 impl FabricStats {
@@ -73,5 +161,37 @@ mod tests {
         assert_eq!(s.total_msgs(), 5);
         assert_eq!(s.total_bytes(), 30);
         assert_eq!(s.total_stalls(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_to_zero() {
+        assert_eq!(LatencyHist::new().snapshot(), LatencySnapshot::default());
+    }
+
+    #[test]
+    fn percentiles_bracket_the_samples() {
+        let h = LatencyHist::new();
+        // 98 samples at ~1µs, two at ~1ms: the median stays in the fast
+        // bucket while the 99th sample (the first outlier) sets p99.
+        for _ in 0..98 {
+            h.record(Duration::from_micros(1));
+        }
+        h.record(Duration::from_millis(1));
+        h.record(Duration::from_millis(1));
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // 1µs = 1000ns → bucket 9 (512..1024), upper bound 1024ns → 2µs.
+        assert_eq!(s.p50_us, 2);
+        // 1ms = 1e6 ns → bucket 19 (524288..1048576), upper 1048576ns
+        // → 1049µs (rounded up).
+        assert_eq!(s.p99_us, 1049);
+    }
+
+    #[test]
+    fn extreme_samples_do_not_panic() {
+        let h = LatencyHist::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(u64::MAX / 2));
+        assert_eq!(h.snapshot().count, 2);
     }
 }

@@ -20,6 +20,7 @@ use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::error::{BlockedRecv, FabricError, FabricResult, TimeoutDiag};
+use crate::wait::Spinner;
 use crate::ChanKey;
 
 #[derive(Default)]
@@ -76,14 +77,24 @@ impl MsgStore {
     /// sequence number (a retransmit whose original won the race, or an
     /// injected duplicate) is dropped and counted, never delivered twice.
     pub fn deliver_seq(&self, key: ChanKey, seq: u64, payload: Vec<u8>) -> bool {
+        self.deliver_seq_watermark(key, seq, payload).0
+    }
+
+    /// [`MsgStore::deliver_seq`], additionally returning the channel's
+    /// cumulative-ack watermark (the next-expected sequence — everything
+    /// below it has been delivered in order). The TCP backend acks this
+    /// watermark instead of individual frames; duplicates also report
+    /// it, so a re-delivery whose original ack was lost re-raises the
+    /// ack and unsticks the sender.
+    pub fn deliver_seq_watermark(&self, key: ChanKey, seq: u64, payload: Vec<u8>) -> (bool, u64) {
         let Ok(mut g) = self.lock() else {
-            return false;
+            return (false, 0);
         };
         let st = g.entry(key).or_default();
         if seq < st.next_seq {
             // Already consumed: a duplicate from retransmit or chaos.
             self.dups.fetch_add(1, Ordering::Relaxed);
-            return false;
+            return (false, st.next_seq);
         }
         if seq == st.next_seq {
             st.ready.push_back(payload);
@@ -94,14 +105,14 @@ impl MsgStore {
                 st.next_seq += 1;
             }
             self.cv.notify_all();
-            true
+            (true, st.next_seq)
         } else if let std::collections::btree_map::Entry::Vacant(e) = st.held.entry(seq) {
             e.insert(payload);
-            true
+            (true, st.next_seq)
         } else {
             // Already held: duplicate of an out-of-order arrival.
             self.dups.fetch_add(1, Ordering::Relaxed);
-            false
+            (false, st.next_seq)
         }
     }
 
@@ -113,6 +124,7 @@ impl MsgStore {
     pub fn pop_within(&self, key: ChanKey, timeout: Duration) -> FabricResult<Vec<u8>> {
         let start = Instant::now();
         let deadline = start + timeout;
+        let mut spinner = Spinner::new();
         let mut g = self.lock()?;
         loop {
             if let Some(st) = g.get_mut(&key) {
@@ -148,6 +160,13 @@ impl MsgStore {
                 })));
             }
             g.entry(key).or_default().waiting_since.get_or_insert(start);
+            // Spin first: the message usually lands within microseconds,
+            // and a park/unpark round trip costs more than that.
+            if spinner.turn() {
+                drop(g);
+                g = self.lock()?;
+                continue;
+            }
             // `saturating_duration_since`: the deadline may slip into the
             // past between the check above and this subtraction.
             let wait = deadline.saturating_duration_since(now);
@@ -299,6 +318,18 @@ mod tests {
         s.push(K, vec![1]);
         t.join().unwrap().unwrap();
         assert!(s.blocked().is_empty(), "wait cleared on delivery");
+    }
+
+    #[test]
+    fn watermark_tracks_the_contiguous_prefix() {
+        let s = MsgStore::new("test");
+        assert_eq!(s.deliver_seq_watermark(K, 0, vec![0]), (true, 1));
+        // A gap: seq 2 is held, watermark stays at 1.
+        assert_eq!(s.deliver_seq_watermark(K, 2, vec![2]), (true, 1));
+        // Gap fills: watermark jumps over the held frame.
+        assert_eq!(s.deliver_seq_watermark(K, 1, vec![1]), (true, 3));
+        // A duplicate still reports the watermark (lost-ack recovery).
+        assert_eq!(s.deliver_seq_watermark(K, 0, vec![0]), (false, 3));
     }
 
     #[test]

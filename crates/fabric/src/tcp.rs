@@ -24,14 +24,32 @@
 //! wire, so TCP flow control always eventually releases any blocked
 //! writer.
 //!
+//! Hot-path economics: an eager frame is encoded exactly once into a
+//! pooled, refcounted buffer ([`crate::pool::FrameBuf`]) — the send
+//! queue, the retransmit pending queue, and any retransmit in flight
+//! share refcounts on the same bytes, and the buffer recycles when the
+//! last holder drops. After pool warm-up the steady-state eager send
+//! path performs no heap allocation at all. Blocking waits (full send
+//! queue, empty writer queue, empty receive channel) spin briefly
+//! before parking ([`crate::wait::Spinner`], `PIPMCOLL_SPIN_US`), since
+//! at target message rates the awaited state usually arrives within
+//! microseconds of the wait starting.
+//!
 //! Robustness (the PR 3 layer):
 //!
-//! * **Ack + retransmit** — every eager frame stays in a pending table
-//!   until the receiver acks its `(channel, seq)`. A dedicated
-//!   retransmit thread re-sends unacked frames with exponential backoff
-//!   and jitter; the receiver's sequence dedup (`store::MsgStore`) makes
-//!   re-deliveries idempotent. A frame that exhausts its budget becomes
-//!   a [`FabricError::PeerHung`], not a panic.
+//! * **Cumulative ack + retransmit** — every eager frame stays in its
+//!   channel's pending queue until the receiver's ack *watermark* (the
+//!   next-expected sequence, covering everything below it) passes it.
+//!   Receivers batch acks — one ACK per dirty channel when the inbound
+//!   socket goes quiet, or every 32 frames under sustained load — and
+//!   piggyback them on reverse-direction eager frames in the spare
+//!   `aux` header field, so an a→b / b→a stream pair needs almost no
+//!   standalone control frames. A dedicated retransmit thread re-sends
+//!   unacked frames with exponential backoff and jitter; the receiver's
+//!   sequence dedup (`store::MsgStore`) makes re-deliveries idempotent,
+//!   and every delivery (duplicates included) re-raises the watermark,
+//!   so a lost ack never wedges the sender. A frame that exhausts its
+//!   budget becomes a [`FabricError::PeerHung`], not a panic.
 //! * **Reconnect** — a broken socket is reported to a repair thread that
 //!   owns the listener; it re-establishes the connection (both
 //!   directions) and respawns progress threads, deduplicating reports
@@ -54,7 +72,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -64,9 +82,11 @@ use pipmcoll_model::Topology;
 
 use crate::chaos::{ChaosRng, FrameFate, WireChaos};
 use crate::error::{FabricDiag, FabricError, FabricResult, QueueDiag};
-use crate::stats::{FabricStats, LaneStats};
+use crate::pool::{FrameBuf, FramePool, PoolStats};
+use crate::stats::{FabricStats, LaneStats, LatencyHist};
 use crate::store::MsgStore;
 use crate::timeout::sync_timeout;
+use crate::wait::Spinner;
 use crate::wire::{Frame, FrameKind};
 use crate::{ChanKey, Fabric};
 
@@ -109,8 +129,8 @@ type LaneKey = (usize, usize, usize);
 
 #[derive(Default)]
 struct QueueInner {
-    user: VecDeque<Vec<u8>>,
-    ctrl: VecDeque<Vec<u8>>,
+    user: VecDeque<FrameBuf>,
+    ctrl: VecDeque<FrameBuf>,
     closed: bool,
 }
 
@@ -133,6 +153,9 @@ struct SendQueue {
     /// Bumped when the draining writer is replaced (reconnect, lane
     /// kill); a writer holding a stale epoch exits at its next wakeup.
     epoch: AtomicU64,
+    /// Deepest the unbounded control queue has ever been — the one
+    /// queue backpressure cannot bound, so it gets a high-water mark.
+    ctrl_hwm: AtomicU64,
     /// Signalled when the user queue drains below capacity.
     can_push: Condvar,
     /// Signalled when anything is queued (or the queue closes/turns over).
@@ -145,6 +168,7 @@ impl SendQueue {
             inner: Mutex::new(QueueInner::default()),
             cap,
             epoch: AtomicU64::new(0),
+            ctrl_hwm: AtomicU64::new(0),
             can_push: Condvar::new(),
             can_pop: Condvar::new(),
         }
@@ -152,9 +176,10 @@ impl SendQueue {
 
     /// Enqueue a user frame, blocking while the queue is at capacity.
     /// Returns whether the caller stalled waiting for space.
-    fn push_user(&self, frame: Vec<u8>) -> Result<bool, PushError> {
+    fn push_user(&self, frame: FrameBuf) -> Result<bool, PushError> {
         let start = Instant::now();
         let deadline = start + sync_timeout();
+        let mut spinner = Spinner::new();
         let mut g = self.inner.lock().map_err(|_| PushError::Poisoned)?;
         let mut stalled = false;
         while g.user.len() >= self.cap && !g.closed {
@@ -162,6 +187,13 @@ impl SendQueue {
             let now = Instant::now();
             if now >= deadline {
                 return Err(PushError::Timeout(now.saturating_duration_since(start)));
+            }
+            // The writer usually frees a slot within microseconds; spin
+            // through that window before paying for a park.
+            if spinner.turn() {
+                drop(g);
+                g = self.inner.lock().map_err(|_| PushError::Poisoned)?;
+                continue;
             }
             // Saturating: the deadline may slip into the past between the
             // check above and this subtraction.
@@ -181,11 +213,13 @@ impl SendQueue {
     /// Enqueue a protocol frame (CTS/DATA/ACK, retransmits). Never
     /// blocks — this is what keeps reader threads always able to drain
     /// the wire. Returns `false` only on a poisoned queue.
-    fn push_ctrl(&self, frame: Vec<u8>) -> bool {
+    fn push_ctrl(&self, frame: FrameBuf) -> bool {
         match self.inner.lock() {
             Ok(mut g) => {
                 g.ctrl.push_back(frame);
+                let depth = g.ctrl.len() as u64;
                 drop(g);
+                self.ctrl_hwm.fetch_max(depth, Ordering::Relaxed);
                 self.can_pop.notify_one();
                 true
             }
@@ -199,6 +233,7 @@ impl SendQueue {
     /// `my_epoch` is superseded by a replacement.
     fn pop_batch(&self, my_epoch: u64, buf: &mut Vec<u8>) -> bool {
         buf.clear();
+        let mut spinner = Spinner::new();
         let Ok(mut g) = self.inner.lock() else {
             return false;
         };
@@ -209,6 +244,8 @@ impl SendQueue {
             while buf.len() < BATCH_MAX {
                 let next = g.ctrl.pop_front().or_else(|| g.user.pop_front());
                 match next {
+                    // The frame's refcount drops here; the pending table
+                    // (if any) keeps the underlying buffer alive.
                     Some(f) => buf.extend_from_slice(&f),
                     None => break,
                 }
@@ -220,6 +257,16 @@ impl SendQueue {
             }
             if g.closed {
                 return false;
+            }
+            // Spin before parking: under load the next frame lands well
+            // inside the spin budget.
+            if spinner.turn() {
+                drop(g);
+                let Ok(guard) = self.inner.lock() else {
+                    return false;
+                };
+                g = guard;
+                continue;
             }
             let Ok(guard) = self.can_pop.wait(g) else {
                 return false;
@@ -270,14 +317,19 @@ struct RdvMsg {
     payload: Vec<u8>,
 }
 
-/// An eager frame awaiting its receiver ack.
+/// An eager frame awaiting the receiver's cumulative-ack watermark.
 struct PendingFrame {
-    /// The encoded frame, ready to re-send verbatim.
-    bytes: Vec<u8>,
+    /// This frame's channel sequence number.
+    seq: u64,
+    /// A refcount on the encoded frame (shared with the send queue and
+    /// any retransmit in flight), ready to re-send verbatim.
+    buf: FrameBuf,
     /// Re-sends performed so far.
     attempts: u32,
     /// When the next re-send (or the exhaustion verdict) is due.
     next_at: Instant,
+    /// First transmission instant, for ack round-trip measurement.
+    first_sent: Instant,
 }
 
 /// One lane connection between a node pair (keyed `(lo, hi, lane)` with
@@ -322,8 +374,21 @@ struct Mesh {
     queues: HashMap<LaneKey, Arc<SendQueue>>,
     /// Live connections keyed by `(lo, hi, lane)`.
     conns: Mutex<HashMap<LaneKey, ConnEntry>>,
-    /// Unacked eager frames keyed by `(channel, seq)`.
-    pending: Mutex<HashMap<(ChanKey, u64), PendingFrame>>,
+    /// Unacked eager frames, per channel in sequence order (sequence
+    /// numbers only grow, so a cumulative ack is a pop-front prefix and
+    /// each deque keeps its allocation across the whole run).
+    pending: Mutex<HashMap<ChanKey, VecDeque<PendingFrame>>>,
+    /// Ack watermarks owed to peers, keyed by the received channel.
+    /// Drained either by a reader's batched standalone-ack flush or by
+    /// a reverse-direction eager send that piggybacks the watermark.
+    acks_owed: Mutex<HashMap<ChanKey, u64>>,
+    /// Cheap gate so the eager send path skips the `acks_owed` lock
+    /// entirely when nothing is owed (the common case).
+    owed_len: AtomicUsize,
+    /// Pooled frame buffers shared by every encode on this fabric.
+    pool: FramePool,
+    /// Round-trip from first transmission to the covering ack.
+    ack_rtt: LatencyHist,
     /// Failures recorded by progress threads, drained by the runtime.
     errors: Mutex<Vec<FabricError>>,
     /// Per-lane kill flags; a killed lane is never repaired.
@@ -375,13 +440,105 @@ impl Mesh {
 
     /// The lane a sending rank's traffic is striped onto right now: its
     /// local id modulo the *surviving* lanes, so killed lanes degrade
-    /// onto the rest. `None` only if every lane is dead.
+    /// onto the rest. `None` only if every lane is dead. Allocation-free
+    /// — this sits on the eager send path.
     fn effective_lane(&self, src: usize) -> Option<usize> {
-        let alive = self.alive_lanes();
-        if alive.is_empty() {
-            None
-        } else {
-            Some(alive[self.topo.local_of(src) % alive.len()])
+        let alive = |l: &usize| !self.killed[*l].load(Ordering::Relaxed);
+        let count = (0..self.cfg.lanes).filter(alive).count();
+        if count == 0 {
+            return None;
+        }
+        (0..self.cfg.lanes)
+            .filter(alive)
+            .nth(self.topo.local_of(src) % count)
+    }
+
+    /// Apply a cumulative ack on `chan`: every pending frame below
+    /// `watermark` (the receiver's next-expected sequence) is delivered,
+    /// so drop the whole prefix from the retransmit queue. First
+    /// transmissions feed the ack round-trip histogram; retransmitted
+    /// frames do not (their covering ack is ambiguous).
+    fn apply_ack(&self, chan: ChanKey, watermark: u64) {
+        let now = Instant::now();
+        let Ok(mut pending) = self.pending.lock() else {
+            return;
+        };
+        let Some(q) = pending.get_mut(&chan) else {
+            return;
+        };
+        while q.front().is_some_and(|p| p.seq < watermark) {
+            let p = q.pop_front().expect("front just checked");
+            if p.attempts == 0 {
+                self.ack_rtt
+                    .record(now.saturating_duration_since(p.first_sent));
+            }
+        }
+    }
+
+    /// Note that `chan`'s receiver owes its sender a cumulative ack up
+    /// to `watermark`. Watermarks only rise; `owed_len` lets the send
+    /// path and the readers' flush skip the lock when nothing is owed.
+    fn note_owed(&self, chan: ChanKey, watermark: u64) {
+        if watermark == 0 {
+            // Nothing contiguous delivered yet (an out-of-order frame is
+            // merely held) — an ack would carry no information.
+            return;
+        }
+        let Ok(mut owed) = self.acks_owed.lock() else {
+            return;
+        };
+        let e = owed.entry(chan).or_insert(0);
+        if watermark > *e {
+            *e = watermark;
+        }
+        self.owed_len.store(owed.len(), Ordering::Relaxed);
+    }
+
+    /// Flush every owed cumulative ack as a standalone ACK control
+    /// frame. Called by readers when their inbound socket goes quiet (or
+    /// every 32 frames under sustained load), so a stream of n eager
+    /// frames costs far fewer than n control replies. Gated by
+    /// `owed_len`, so the idle case is one relaxed atomic load.
+    fn flush_owed_acks(&self) {
+        if self.owed_len.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let drained: Vec<(ChanKey, u64)> = {
+            let Ok(mut owed) = self.acks_owed.lock() else {
+                return;
+            };
+            self.owed_len.store(0, Ordering::Relaxed);
+            owed.drain().collect()
+        };
+        let chaos = self.chaos.lock().ok().and_then(|g| g.clone());
+        for (chan, wm) in drained {
+            if chaos.as_ref().is_some_and(|c| c.ack_fate()) {
+                // Ack eaten by the wire: the sender retransmits, the
+                // receiver dedups, and the duplicate's re-raised
+                // watermark is re-owed — nothing wedges.
+                continue;
+            }
+            let from = self.topo.node_of(chan.1);
+            let to = self.topo.node_of(chan.0);
+            let Some(lane) = self.effective_lane(chan.1) else {
+                continue;
+            };
+            let ack = Frame {
+                kind: FrameKind::Ack,
+                src: chan.0 as u32,
+                dst: chan.1 as u32,
+                tag: chan.2,
+                seq: wm,
+                aux: 0,
+                payload: Vec::new(),
+            };
+            if let Some(q) = self.queues.get(&(from, to, lane)) {
+                if !q.push_ctrl(self.pool.encode(&ack)) {
+                    self.record(FabricError::QueuePoisoned {
+                        what: "control send queue",
+                    });
+                }
+            }
         }
     }
 
@@ -392,25 +549,19 @@ impl Mesh {
         let reply = self.queues.get(&(here, peer, lane));
         match frame.kind {
             FrameKind::Eager => {
-                // Ack even when dedup drops the frame: the previous ack
-                // may be the thing that was lost.
-                let ack = Frame {
-                    kind: FrameKind::Ack,
-                    src: frame.src,
-                    dst: frame.dst,
-                    tag: frame.tag,
-                    seq: frame.seq,
-                    aux: 0,
-                    payload: Vec::new(),
-                };
-                self.stores[here].deliver_seq(frame.chan(), frame.seq, frame.payload);
-                if let Some(q) = reply {
-                    if !q.push_ctrl(ack.encode()) {
-                        self.record(FabricError::QueuePoisoned {
-                            what: "control send queue",
-                        });
-                    }
+                // A piggybacked cumulative ack for the reverse channel
+                // rides in `aux` (watermark + 1; 0 = none aboard).
+                if frame.aux > 0 {
+                    let rev = (frame.dst as usize, frame.src as usize, frame.tag);
+                    self.apply_ack(rev, frame.aux - 1);
                 }
+                // Record the owed ack even when dedup drops the frame:
+                // the previous ack may be the thing that was lost, and
+                // the duplicate's watermark re-covers it.
+                let chan = frame.chan();
+                let (_, watermark) =
+                    self.stores[here].deliver_seq_watermark(chan, frame.seq, frame.payload);
+                self.note_owed(chan, watermark);
             }
             FrameKind::Data => {
                 self.stores[here].deliver_seq(frame.chan(), frame.seq, frame.payload);
@@ -424,7 +575,7 @@ impl Mesh {
                     ..frame
                 };
                 if let Some(q) = reply {
-                    q.push_ctrl(cts.encode());
+                    q.push_ctrl(self.pool.encode(&cts));
                 }
             }
             FrameKind::Cts => {
@@ -459,13 +610,12 @@ impl Mesh {
                     payload: msg.payload,
                 };
                 if let Some(q) = reply {
-                    q.push_ctrl(data.encode());
+                    q.push_ctrl(self.pool.encode(&data));
                 }
             }
             FrameKind::Ack => {
-                if let Ok(mut g) = self.pending.lock() {
-                    g.remove(&(frame.chan(), frame.seq));
-                }
+                // `seq` is the receiver's next-expected watermark.
+                self.apply_ack(frame.chan(), frame.seq);
             }
         }
     }
@@ -530,11 +680,20 @@ fn spawn_endpoint(
         .name(format!("fab-r {here}<-{peer} l{lane} g{}", id.gen))
         .spawn(move || {
             let mut r = BufReader::with_capacity(BATCH_MAX, stream);
+            let mut since_flush = 0u32;
             loop {
                 match Frame::read_from(&mut r) {
                     Ok(frame) => {
                         rmesh.touch();
                         rmesh.handle_frame(here, peer, lane, frame);
+                        since_flush += 1;
+                        // Batch acks: flush when the inbound socket goes
+                        // quiet (nothing buffered, so we are about to
+                        // block) or every 32 frames under sustained load.
+                        if since_flush >= 32 || r.buffer().is_empty() {
+                            rmesh.flush_owed_acks();
+                            since_flush = 0;
+                        }
                     }
                     Err(e) => {
                         let deliberate = rmesh.shutdown.load(Ordering::Relaxed)
@@ -693,7 +852,7 @@ fn retransmit_loop(mesh: Arc<Mesh>) {
             return;
         }
         let now = Instant::now();
-        let mut due: Vec<(ChanKey, u64, Vec<u8>)> = Vec::new();
+        let mut due: Vec<(ChanKey, u64, FrameBuf)> = Vec::new();
         {
             let Ok(mut pending) = mesh.pending.lock() else {
                 mesh.record(FabricError::QueuePoisoned {
@@ -701,35 +860,38 @@ fn retransmit_loop(mesh: Arc<Mesh>) {
                 });
                 return;
             };
-            let mut exhausted: Vec<(ChanKey, u64)> = Vec::new();
-            for (&(chan, seq), p) in pending.iter_mut() {
+            for (&chan, q) in pending.iter_mut() {
+                // Only the channel's *head* frame can be the gap the
+                // receiver is stuck on — later unacked frames are
+                // usually delivered and merely held behind it, so
+                // re-sending them would only feed the dedup counter.
+                let Some(p) = q.front_mut() else {
+                    continue;
+                };
                 if now < p.next_at {
                     continue;
                 }
                 if p.attempts >= mesh.cfg.max_retransmits {
-                    exhausted.push((chan, seq));
+                    let p = q.pop_front().expect("head just checked");
+                    mesh.record(FabricError::PeerHung {
+                        chan,
+                        attempts: p.attempts,
+                        detail: format!(
+                            "eager frame seq {} unacked after {} retransmit(s)",
+                            p.seq, p.attempts
+                        ),
+                    });
                     continue;
                 }
                 p.attempts += 1;
                 let backoff = mesh.cfg.rto * 2u32.saturating_pow(p.attempts).min(64);
                 let jittered = backoff.mul_f64(0.75 + 0.5 * rng.unit());
                 p.next_at = now + jittered.min(Duration::from_secs(1));
-                due.push((chan, seq, p.bytes.clone()));
-            }
-            for k in exhausted {
-                if let Some(p) = pending.remove(&k) {
-                    mesh.record(FabricError::PeerHung {
-                        chan: k.0,
-                        attempts: p.attempts,
-                        detail: format!(
-                            "eager frame seq {} unacked after {} retransmit(s)",
-                            k.1, p.attempts
-                        ),
-                    });
-                }
+                // A refcount on the pooled bytes, not a copy.
+                due.push((chan, p.seq, p.buf.clone()));
             }
         }
-        for (chan, seq, bytes) in due {
+        for (chan, seq, buf) in due {
             // Route via the *current* surviving-lane stripe, so frames
             // lost on a killed lane migrate to the survivors.
             let Some(lane) = mesh.effective_lane(chan.0) else {
@@ -745,7 +907,7 @@ fn retransmit_loop(mesh: Arc<Mesh>) {
             let from = mesh.topo.node_of(chan.0);
             let to = mesh.topo.node_of(chan.1);
             if let Some(q) = mesh.queues.get(&(from, to, lane)) {
-                if q.push_ctrl(bytes) {
+                if q.push_ctrl(buf) {
                     mesh.retransmits.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -799,6 +961,10 @@ impl TcpFabric {
             queues,
             conns: Mutex::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
+            acks_owed: Mutex::new(HashMap::new()),
+            owed_len: AtomicUsize::new(0),
+            pool: FramePool::new(),
+            ack_rtt: LatencyHist::new(),
             errors: Mutex::new(Vec::new()),
             killed: (0..cfg.lanes).map(|_| AtomicBool::new(false)).collect(),
             shutdown: AtomicBool::new(false),
@@ -854,6 +1020,12 @@ impl TcpFabric {
     /// This backend's configuration.
     pub fn config(&self) -> TcpConfig {
         self.mesh.cfg
+    }
+
+    /// Counters of the shared frame-buffer pool (hits/misses/recycles) —
+    /// the observable behind the zero-steady-state-allocation claim.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.mesh.pool.stats()
     }
 
     /// Test/chaos hook: sever the socket of one lane connection without
@@ -918,13 +1090,26 @@ impl Fabric for TcpFabric {
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
         let eager = payload.len() <= mesh.cfg.eager_max;
         let frame = if eager {
+            // Piggyback any cumulative ack owed on the reverse channel
+            // in the spare `aux` field (watermark + 1; 0 = none). The
+            // `owed_len` gate keeps the common no-acks-owed case to one
+            // relaxed load.
+            let mut aux = 0;
+            if mesh.owed_len.load(Ordering::Relaxed) > 0 {
+                if let Ok(mut owed) = mesh.acks_owed.lock() {
+                    if let Some(wm) = owed.remove(&(dst, src, key.2)) {
+                        aux = wm + 1;
+                        mesh.owed_len.store(owed.len(), Ordering::Relaxed);
+                    }
+                }
+            }
             Frame {
                 kind: FrameKind::Eager,
                 src: src as u32,
                 dst: dst as u32,
                 tag: key.2,
                 seq,
-                aux: 0,
+                aux,
                 payload,
             }
         } else {
@@ -952,7 +1137,9 @@ impl Fabric for TcpFabric {
                 payload: Vec::new(),
             }
         };
-        let bytes = frame.encode();
+        // The one encode on the eager path: header + payload laid out
+        // into a pooled buffer; every holder below is a refcount.
+        let buf = mesh.pool.encode(&frame);
         let q = mesh
             .queues
             .get(&(node_s, node_d, lane))
@@ -960,8 +1147,8 @@ impl Fabric for TcpFabric {
                 lane,
                 detail: "no send queue for this node pair".into(),
             })?;
-        let push = |bytes: Vec<u8>| {
-            q.push_user(bytes).map_err(|e| match e {
+        let push = |buf: FrameBuf| {
+            q.push_user(buf).map_err(|e| match e {
                 PushError::Timeout(waited) => FabricError::PeerHung {
                     chan: key,
                     attempts: 0,
@@ -973,20 +1160,25 @@ impl Fabric for TcpFabric {
             })
         };
         if eager {
-            // Register for retransmit before the frame can be lost.
+            // Register for retransmit before the frame can be lost. The
+            // pending queue holds a refcount on the same pooled bytes —
+            // sequence numbers only grow, so the cumulative ack pops a
+            // prefix and the deque keeps its allocation.
+            let now = Instant::now();
             mesh.pending
                 .lock()
                 .map_err(|_| FabricError::QueuePoisoned {
                     what: "retransmit table",
                 })?
-                .insert(
-                    (key, seq),
-                    PendingFrame {
-                        bytes: bytes.clone(),
-                        attempts: 0,
-                        next_at: Instant::now() + mesh.cfg.rto,
-                    },
-                );
+                .entry(key)
+                .or_default()
+                .push_back(PendingFrame {
+                    seq,
+                    buf: buf.clone(),
+                    attempts: 0,
+                    next_at: now + mesh.cfg.rto,
+                    first_sent: now,
+                });
             let fate = {
                 let chaos = mesh.chaos.lock().ok().and_then(|g| g.clone());
                 chaos.map_or(FrameFate::Deliver, |c| c.fate())
@@ -995,11 +1187,11 @@ impl Fabric for TcpFabric {
                 // "Lost on the wire": the retransmit thread recovers it.
                 FrameFate::Drop => false,
                 FrameFate::Dup => {
-                    let a = push(bytes.clone())?;
-                    let b = push(bytes)?;
+                    let a = push(buf.clone())?;
+                    let b = push(buf)?;
                     a || b
                 }
-                FrameFate::Deliver => push(bytes)?,
+                FrameFate::Deliver => push(buf)?,
             };
             if stalled {
                 ctrs.stalls.fetch_add(1, Ordering::Relaxed);
@@ -1007,7 +1199,7 @@ impl Fabric for TcpFabric {
         } else {
             // Rendezvous handshake traffic is not chaos-dropped and not
             // retransmitted; a lost handshake surfaces as a timeout.
-            if push(bytes)? {
+            if push(buf)? {
                 ctrs.stalls.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -1058,6 +1250,13 @@ impl Fabric for TcpFabric {
             local_bytes: mesh.local_bytes.load(Ordering::Relaxed),
             retransmits: mesh.retransmits.load(Ordering::Relaxed),
             dups_dropped: mesh.stores.iter().map(|s| s.dups_dropped()).sum(),
+            ack_rtt: mesh.ack_rtt.snapshot(),
+            ctrl_queue_hwm: mesh
+                .queues
+                .values()
+                .map(|q| q.ctrl_hwm.load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0),
         }
     }
 

@@ -23,12 +23,21 @@
 //! payload-bearing frame carries its channel sequence number and the
 //! receive side reassembles send order (see `store::MsgStore`).
 //!
-//! `ACK` closes the loss-recovery loop: the receiver acknowledges every
-//! payload-bearing frame by `(channel, seq)`, and the sender keeps an
-//! unacked frame in its pending set, retransmitting with exponential
-//! backoff until the ack arrives or the retransmit budget runs out. The
-//! sequence dedup in `store::MsgStore` makes retransmits idempotent, so
-//! a lost ack costs one duplicate frame, never a duplicate message.
+//! `ACK` closes the loss-recovery loop, and acks are **cumulative**: an
+//! `ACK` frame's `seq` is the receiver's next-expected sequence for the
+//! channel, acknowledging *everything below it* at once. The sender
+//! keeps unacked frames in a per-channel pending queue, retransmitting
+//! with exponential backoff until the watermark passes them or the
+//! retransmit budget runs out. Receivers batch: instead of one control
+//! reply per frame, they flush one `ACK` per dirty channel when the
+//! inbound socket goes quiet (or every 32 frames under sustained load),
+//! and an ack owed on a channel's reverse direction piggybacks in the
+//! otherwise-unused `aux` field of the next outgoing `EAGER` frame
+//! (`aux = watermark + 1`; 0 means none, since watermark 0 carries no
+//! information). The sequence dedup in `store::MsgStore` makes
+//! retransmits idempotent, and any later delivery on the channel
+//! re-raises the watermark — so a lost ack costs one duplicate frame,
+//! never a duplicate message, and never a stuck sender.
 
 use std::io::{self, Read};
 
@@ -43,8 +52,9 @@ pub enum FrameKind {
     Cts = 3,
     /// Rendezvous payload for transfer `aux`.
     Data = 4,
-    /// Receiver acknowledges the payload-bearing frame with this
-    /// channel + `seq`; the sender drops it from its retransmit set.
+    /// Cumulative acknowledgement: `seq` is the receiver's
+    /// next-expected sequence on this channel; the sender drops every
+    /// pending frame below it from its retransmit queue.
     Ack = 5,
 }
 
@@ -78,9 +88,12 @@ pub struct Frame {
     pub dst: u32,
     /// Message tag.
     pub tag: u32,
-    /// Per-channel sequence number (meaningful for EAGER/RTS/DATA).
+    /// Per-channel sequence number (EAGER/RTS/DATA), or the cumulative
+    /// next-expected watermark (ACK).
     pub seq: u64,
-    /// Rendezvous transfer id (meaningful for RTS/CTS/DATA).
+    /// Rendezvous transfer id (RTS/CTS/DATA), or a piggybacked
+    /// cumulative ack for the reverse channel (EAGER): `watermark + 1`,
+    /// with 0 meaning no ack aboard.
     pub aux: u64,
     /// Inline payload (EAGER/DATA; empty otherwise).
     pub payload: Vec<u8>,
@@ -90,6 +103,16 @@ impl Frame {
     /// Encode the frame as header + payload bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encode into `out`, replacing its contents. Reuses `out`'s
+    /// existing capacity — this is how pooled frame buffers avoid a
+    /// fresh allocation per message (see `pool::FramePool::encode`).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(HEADER_LEN + self.payload.len());
         out.push(self.kind as u8);
         out.extend_from_slice(&self.src.to_le_bytes());
         out.extend_from_slice(&self.dst.to_le_bytes());
@@ -98,7 +121,6 @@ impl Frame {
         out.extend_from_slice(&self.aux.to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&self.payload);
-        out
     }
 
     /// Read one frame from `r` (blocking). `Err` on EOF or a malformed
@@ -177,6 +199,22 @@ mod tests {
         };
         let mut cursor = &f.encode()[..];
         assert_eq!(Frame::read_from(&mut cursor).unwrap(), f);
+    }
+
+    #[test]
+    fn encode_into_replaces_dirty_contents() {
+        let f = Frame {
+            kind: FrameKind::Eager,
+            src: 1,
+            dst: 2,
+            tag: 3,
+            seq: 4,
+            aux: 5,
+            payload: vec![6, 7],
+        };
+        let mut buf = vec![0xFFu8; 500];
+        f.encode_into(&mut buf);
+        assert_eq!(buf, f.encode());
     }
 
     #[test]

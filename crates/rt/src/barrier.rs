@@ -12,6 +12,8 @@
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use pipmcoll_fabric::Spinner;
+
 struct BarrierState {
     /// Ranks arrived in the current generation.
     arrived: usize,
@@ -49,6 +51,7 @@ impl TimedBarrier {
     /// cancellation of the rendezvous.
     pub fn wait_within(&self, timeout: Duration) -> Result<(), String> {
         let deadline = Instant::now() + timeout;
+        let mut spinner = Spinner::new();
         let mut g = self.state.lock().map_err(|_| "barrier lock poisoned")?;
         let my_gen = g.generation;
         g.arrived += 1;
@@ -61,6 +64,14 @@ impl TimedBarrier {
         loop {
             if g.generation != my_gen {
                 return Ok(());
+            }
+            // Barrier peers usually arrive within the spin budget (the
+            // collectives here barrier every few µs of work); parking
+            // each rank on every barrier costs more than the barrier.
+            if spinner.turn() {
+                drop(g);
+                g = self.state.lock().map_err(|_| "barrier lock poisoned")?;
+                continue;
             }
             let now = Instant::now();
             if now >= deadline {

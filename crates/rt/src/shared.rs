@@ -21,6 +21,8 @@ use pipmcoll_model::{Datatype, ReduceOp};
 /// (malformed values panic with a diagnostic).
 pub use pipmcoll_fabric::sync_timeout;
 
+use pipmcoll_fabric::Spinner;
+
 /// A fixed-size byte buffer other ranks may read/write, PiP-style.
 ///
 /// # Safety contract
@@ -233,6 +235,7 @@ impl Board {
     /// records the timeout as a rank failure instead of unwinding.
     pub fn try_fetch_within(&self, slot: u16, timeout: Duration) -> Result<Posted, String> {
         let deadline = std::time::Instant::now() + timeout;
+        let mut spinner = Spinner::new();
         let mut g = self
             .posted
             .lock()
@@ -240,6 +243,16 @@ impl Board {
         loop {
             if let Some(p) = g.get(&slot) {
                 return Ok(*p);
+            }
+            // The posting peer is typically µs away; spin through that
+            // window before paying a park/unpark round trip.
+            if spinner.turn() {
+                drop(g);
+                g = self
+                    .posted
+                    .lock()
+                    .map_err(|_| format!("rank {} address board poisoned", self.owner))?;
+                continue;
             }
             let now = std::time::Instant::now();
             if now >= deadline {
@@ -309,6 +322,7 @@ impl FlagSet {
     /// records the timeout as a rank failure instead of unwinding.
     pub fn try_wait_within(&self, flag: u16, count: u32, timeout: Duration) -> Result<(), String> {
         let deadline = std::time::Instant::now() + timeout;
+        let mut spinner = Spinner::new();
         let mut g = self
             .counts
             .lock()
@@ -317,6 +331,16 @@ impl FlagSet {
             let have = g.get(&flag).copied().unwrap_or(0);
             if have >= count {
                 return Ok(());
+            }
+            // Signals usually land within the spin budget; park only
+            // when the wait turns out to be long.
+            if spinner.turn() {
+                drop(g);
+                g = self
+                    .counts
+                    .lock()
+                    .map_err(|_| format!("rank {} flag set poisoned", self.owner))?;
+                continue;
             }
             let now = std::time::Instant::now();
             if now >= deadline {
