@@ -421,6 +421,10 @@ impl<F: Fabric> Fabric for ChaosFabric<F> {
     fn kill_lane(&self, lane: usize) -> bool {
         self.inner.kill_lane(lane)
     }
+
+    fn health(&self) -> crate::FabricHealth {
+        self.inner.health()
+    }
 }
 
 #[cfg(test)]

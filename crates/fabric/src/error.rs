@@ -57,6 +57,11 @@ pub struct TimeoutDiag {
     pub send_queue_depth: Option<usize>,
     /// Lanes currently dead (killed or unrecovered socket failure).
     pub dead_lanes: Vec<usize>,
+    /// Ranks the backend suspects are dead (retransmit budget exhausted
+    /// towards them, or their node's heartbeat went silent) — if the
+    /// sender of this channel appears here, the timeout is almost
+    /// certainly a peer death, not a schedule bug.
+    pub suspected: Vec<usize>,
 }
 
 impl fmt::Display for TimeoutDiag {
@@ -80,6 +85,9 @@ impl fmt::Display for TimeoutDiag {
         if !self.dead_lanes.is_empty() {
             write!(f, "; dead lanes {:?}", self.dead_lanes)?;
         }
+        if !self.suspected.is_empty() {
+            write!(f, "; suspected dead rank(s) {:?}", self.suspected)?;
+        }
         write!(f, " — schedule under-synchronized or sender missing?")
     }
 }
@@ -98,6 +106,19 @@ pub enum FabricError {
         lane: usize,
         /// What happened.
         detail: String,
+    },
+    /// A peer is considered dead: a frame to it exhausted the whole
+    /// retransmit budget without an ack. Unlike [`FabricError::PeerHung`]
+    /// (which covers a peer that stopped *draining* but may still be
+    /// alive), this is the fabric's strongest local death verdict and
+    /// feeds the failed-set agreement protocol in the runtime.
+    PeerDead {
+        /// The rank presumed dead.
+        peer: usize,
+        /// The last sequence number we tried (and failed) to deliver.
+        last_seq: u64,
+        /// Delivery attempts made before giving up.
+        attempts: u32,
     },
     /// The peer stopped draining: a send queue stayed full for the whole
     /// timeout, or a frame exhausted its retransmit budget unacked.
@@ -132,6 +153,14 @@ impl fmt::Display for FabricError {
             FabricError::LaneDead { lane, detail } => {
                 write!(f, "lane {lane} dead: {detail}")
             }
+            FabricError::PeerDead {
+                peer,
+                last_seq,
+                attempts,
+            } => write!(
+                f,
+                "peer rank {peer} presumed dead: seq {last_seq} unacked after {attempts} attempt(s)"
+            ),
             FabricError::PeerHung {
                 chan,
                 attempts,
@@ -229,6 +258,41 @@ impl fmt::Display for FabricDiag {
     }
 }
 
+/// A peer the fabric locally considers dead, with the evidence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadPeer {
+    /// The rank presumed dead.
+    pub peer: usize,
+    /// Last sequence number that went unacked towards it.
+    pub last_seq: u64,
+    /// Retransmit attempts made before the verdict.
+    pub attempts: u32,
+}
+
+/// The fabric's liveness view, consumed by the runtime's failed-set
+/// agreement: which peers this endpoint's *local* evidence says are
+/// dead. Local suspicion is necessarily asymmetric (only the ranks
+/// talking to a dead peer notice), which is exactly why the runtime
+/// runs an agreement round over it instead of trusting it directly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FabricHealth {
+    /// Node pairs `(observer, silent)` whose heartbeat sideband has
+    /// been quiet past the miss budget. Node-granular: the transport
+    /// cannot tell *which* rank on a silent node died.
+    pub suspected_nodes: Vec<(usize, usize)>,
+    /// Ranks with a retransmit-exhaustion death verdict against them.
+    pub dead_peers: Vec<DeadPeer>,
+    /// Lanes currently dead.
+    pub dead_lanes: Vec<usize>,
+}
+
+impl FabricHealth {
+    /// True when nothing is suspected or dead.
+    pub fn is_clean(&self) -> bool {
+        self.suspected_nodes.is_empty() && self.dead_peers.is_empty() && self.dead_lanes.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +309,7 @@ mod tests {
             ready_elsewhere: 4,
             send_queue_depth: Some(9),
             dead_lanes: vec![0],
+            suspected: vec![5],
         }
     }
 
@@ -261,6 +326,7 @@ mod tests {
             "4 ready",
             "9 frame(s)",
             "[0]",
+            "suspected dead rank(s) [5]",
         ] {
             assert!(msg.contains(needle), "missing {needle:?} in {msg}");
         }
@@ -300,5 +366,32 @@ mod tests {
         .to_string();
         assert!(msg.contains("0 -> 4 tag 2"), "{msg}");
         assert!(msg.contains("8 attempt"), "{msg}");
+    }
+
+    #[test]
+    fn peer_dead_display_names_the_evidence() {
+        let msg = FabricError::PeerDead {
+            peer: 4,
+            last_seq: 17,
+            attempts: 8,
+        }
+        .to_string();
+        for needle in ["rank 4", "seq 17", "8 attempt"] {
+            assert!(msg.contains(needle), "missing {needle:?} in {msg}");
+        }
+    }
+
+    #[test]
+    fn health_is_clean_only_when_empty() {
+        assert!(FabricHealth::default().is_clean());
+        let h = FabricHealth {
+            dead_peers: vec![DeadPeer {
+                peer: 1,
+                last_seq: 0,
+                attempts: 8,
+            }],
+            ..FabricHealth::default()
+        };
+        assert!(!h.is_clean());
     }
 }

@@ -59,7 +59,10 @@ use std::time::Duration;
 use pipmcoll_model::Topology;
 
 pub use chaos::{ChaosConfig, ChaosFabric, ChaosRng, WireChaos};
-pub use error::{BlockedRecv, FabricDiag, FabricError, FabricResult, QueueDiag, TimeoutDiag};
+pub use error::{
+    BlockedRecv, DeadPeer, FabricDiag, FabricError, FabricHealth, FabricResult, QueueDiag,
+    TimeoutDiag,
+};
 pub use inproc::InProcFabric;
 pub use pool::{FrameBuf, FramePool, PoolStats};
 pub use stats::{FabricStats, LaneStats, LatencyHist, LatencySnapshot};
@@ -138,6 +141,14 @@ pub trait Fabric: Send + Sync {
     fn install_chaos(&self, _chaos: Arc<WireChaos>) -> bool {
         false
     }
+
+    /// The backend's liveness view: peers it locally considers dead
+    /// (retransmit exhaustion, silent heartbeats). Feeds the runtime's
+    /// failed-set agreement. Backends without failure detection report
+    /// the clean default.
+    fn health(&self) -> FabricHealth {
+        FabricHealth::default()
+    }
 }
 
 /// Delegating impl so trait objects can be wrapped (e.g.
@@ -175,6 +186,9 @@ impl<T: Fabric + ?Sized> Fabric for Arc<T> {
     }
     fn install_chaos(&self, chaos: Arc<WireChaos>) -> bool {
         (**self).install_chaos(chaos)
+    }
+    fn health(&self) -> FabricHealth {
+        (**self).health()
     }
 }
 

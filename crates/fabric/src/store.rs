@@ -157,6 +157,7 @@ impl MsgStore {
                     ready_elsewhere,
                     send_queue_depth: None,
                     dead_lanes: Vec::new(),
+                    suspected: Vec::new(),
                 })));
             }
             g.entry(key).or_default().waiting_since.get_or_insert(start);

@@ -81,7 +81,7 @@ use std::time::{Duration, Instant};
 use pipmcoll_model::Topology;
 
 use crate::chaos::{ChaosRng, FrameFate, WireChaos};
-use crate::error::{FabricDiag, FabricError, FabricResult, QueueDiag};
+use crate::error::{DeadPeer, FabricDiag, FabricError, FabricHealth, FabricResult, QueueDiag};
 use crate::pool::{FrameBuf, FramePool, PoolStats};
 use crate::stats::{FabricStats, LaneStats, LatencyHist};
 use crate::store::MsgStore;
@@ -104,8 +104,29 @@ pub struct TcpConfig {
     /// before its first re-send (doubles per attempt, jittered).
     pub rto: Duration,
     /// Re-send budget per eager frame; exhausting it records a
-    /// [`FabricError::PeerHung`].
+    /// [`FabricError::PeerDead`] verdict against the receiver.
     pub max_retransmits: u32,
+    /// Heartbeat sideband interval per node pair: a pair that has sent
+    /// nothing for this long gets a standalone [`FrameKind::Heartbeat`]
+    /// frame (busy pairs piggyback liveness on their regular traffic —
+    /// any frame arrival counts as a beat). [`Duration::ZERO`] disables
+    /// the sideband. Default from `PIPMCOLL_HEARTBEAT_MS` (250 ms).
+    pub heartbeat: Duration,
+    /// Missed-beat budget: a node silent for `heartbeat * misses` is
+    /// suspected dead (cleared the instant any frame arrives from it).
+    pub heartbeat_misses: u32,
+}
+
+/// `PIPMCOLL_HEARTBEAT_MS` (0 disables), parsed once.
+fn env_heartbeat() -> Duration {
+    static HB: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
+    *HB.get_or_init(|| match std::env::var("PIPMCOLL_HEARTBEAT_MS") {
+        Err(_) => Duration::from_millis(250),
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(ms) => Duration::from_millis(ms),
+            Err(_) => panic!("PIPMCOLL_HEARTBEAT_MS must be a millisecond count, got {v:?}"),
+        },
+    })
 }
 
 impl Default for TcpConfig {
@@ -116,6 +137,8 @@ impl Default for TcpConfig {
             queue_cap: 256,
             rto: Duration::from_millis(25),
             max_retransmits: 8,
+            heartbeat: env_heartbeat(),
+            heartbeat_misses: 4,
         }
     }
 }
@@ -410,6 +433,26 @@ struct Mesh {
     /// Nanoseconds (since `started`) of the last frame crossing the wire
     /// in either direction; 0 = never.
     last_activity: AtomicU64,
+    /// Nanoseconds (since `started`) node `a` last heard *anything* from
+    /// node `b`, flattened `a * nodes + b`; 0 = never (treated as
+    /// construction time, since the heartbeat sideband starts at once).
+    last_heard: Vec<AtomicU64>,
+    /// Nanoseconds node `a` last sent anything to node `b` (same
+    /// layout). The send path refreshes this, which is what makes busy
+    /// pairs' liveness ride piggyback — the heartbeat thread only emits
+    /// a standalone beat when this goes stale.
+    last_sent: Vec<AtomicU64>,
+    /// Directed suspicion flags (`a` suspects `b`), same layout. Set by
+    /// the heartbeat thread past the miss budget, cleared by any frame
+    /// arrival from `b`.
+    hb_suspected: Vec<AtomicBool>,
+    /// Test hook: a muted node's standalone beats are suppressed, so its
+    /// peers' suspicion machinery can be exercised without killing real
+    /// rank threads.
+    muted: Vec<AtomicBool>,
+    /// Ranks with a retransmit-exhaustion death verdict:
+    /// rank → (last unacked seq, attempts).
+    dead_peers: Mutex<HashMap<usize, (u64, u32)>>,
     writer_handles: Mutex<Vec<JoinHandle<()>>>,
     reader_handles: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -418,6 +461,59 @@ impl Mesh {
     fn touch(&self) {
         let nanos = (self.started.elapsed().as_nanos() as u64).max(1);
         self.last_activity.store(nanos, Ordering::Relaxed);
+    }
+
+    fn now_nanos(&self) -> u64 {
+        (self.started.elapsed().as_nanos() as u64).max(1)
+    }
+
+    fn pair(&self, a: usize, b: usize) -> usize {
+        a * self.topo.nodes() + b
+    }
+
+    /// Node `here` heard a frame from node `peer`: refresh the beat and
+    /// retract any suspicion — arrival is proof of life, which is what
+    /// resolves a symmetric false-suspicion partition (both sides keep
+    /// beating, both sides clear).
+    fn note_heard(&self, here: usize, peer: usize) {
+        let idx = self.pair(here, peer);
+        self.last_heard[idx].store(self.now_nanos(), Ordering::Relaxed);
+        self.hb_suspected[idx].store(false, Ordering::Relaxed);
+    }
+
+    fn note_sent(&self, here: usize, peer: usize) {
+        self.last_sent[self.pair(here, peer)].store(self.now_nanos(), Ordering::Relaxed);
+    }
+
+    /// Record a retransmit-exhaustion death verdict against `peer`.
+    fn record_dead_peer(&self, peer: usize, last_seq: u64, attempts: u32) {
+        if let Ok(mut g) = self.dead_peers.lock() {
+            let e = g.entry(peer).or_insert((last_seq, attempts));
+            if last_seq >= e.0 {
+                *e = (last_seq, attempts.max(e.1));
+            }
+        }
+    }
+
+    /// Ranks this endpoint's local evidence says are dead, as relevant
+    /// to a receive on `chan` timing out: the sender if its node's
+    /// heartbeat went silent, plus every retransmit-exhausted peer.
+    fn suspects_for(&self, chan: ChanKey) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .dead_peers
+            .lock()
+            .map(|g| g.keys().copied().collect())
+            .unwrap_or_default();
+        let (src, dst, _) = chan;
+        if self.topo.node_of(src) != self.topo.node_of(dst) {
+            let idx = self.pair(self.topo.node_of(dst), self.topo.node_of(src));
+            if self.hb_suspected[idx].load(Ordering::Relaxed) {
+                out.push(src);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     fn record(&self, e: FabricError) {
@@ -617,6 +713,71 @@ impl Mesh {
                 // `seq` is the receiver's next-expected watermark.
                 self.apply_ack(frame.chan(), frame.seq);
             }
+            FrameKind::Heartbeat => {
+                // Nothing to do: the reader already counted the arrival
+                // as a beat (any frame kind does).
+            }
+        }
+    }
+}
+
+/// The heartbeat thread: one liveness sideband for the whole mesh.
+/// Every tick it (a) emits a standalone beat for each directed node
+/// pair whose outbound traffic has gone quiet for a full interval —
+/// busy pairs never see one, their regular frames *are* the beats —
+/// and (b) promotes pairs silent past the miss budget to suspected.
+/// Beats ride the control queues, so this thread never blocks on
+/// backpressure. Suspicion is node-granular and advisory: the runtime's
+/// agreement protocol decides which *ranks* are actually dead.
+fn heartbeat_loop(mesh: Arc<Mesh>) {
+    let interval = mesh.cfg.heartbeat;
+    let budget = interval * mesh.cfg.heartbeat_misses.max(1);
+    let tick = (interval / 2).max(Duration::from_millis(1));
+    let nodes = mesh.topo.nodes();
+    loop {
+        std::thread::sleep(tick);
+        if mesh.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = mesh.now_nanos();
+        for a in 0..nodes {
+            for b in 0..nodes {
+                if a == b {
+                    continue;
+                }
+                let idx = mesh.pair(a, b);
+                // Promote silence past the budget to suspicion. An
+                // unheard pair (0) is aged from construction.
+                let heard = mesh.last_heard[idx].load(Ordering::Relaxed);
+                if Duration::from_nanos(now.saturating_sub(heard)) > budget {
+                    mesh.hb_suspected[idx].store(true, Ordering::Relaxed);
+                }
+                // Emit a's beat towards b when a→b has been quiet.
+                if mesh.muted[a].load(Ordering::Relaxed) {
+                    continue;
+                }
+                let sent = mesh.last_sent[idx].load(Ordering::Relaxed);
+                if Duration::from_nanos(now.saturating_sub(sent)) < interval {
+                    continue;
+                }
+                let Some(lane) = mesh.alive_lanes().first().copied() else {
+                    continue;
+                };
+                let beat = Frame {
+                    kind: FrameKind::Heartbeat,
+                    src: mesh.topo.rank_of(a, 0) as u32,
+                    dst: mesh.topo.rank_of(b, 0) as u32,
+                    tag: 0,
+                    seq: 0,
+                    aux: 0,
+                    payload: Vec::new(),
+                };
+                if let Some(q) = mesh.queues.get(&(a, b, lane)) {
+                    if q.push_ctrl(mesh.pool.encode(&beat)) {
+                        mesh.note_sent(a, b);
+                    }
+                }
+            }
         }
     }
 }
@@ -685,6 +846,8 @@ fn spawn_endpoint(
                 match Frame::read_from(&mut r) {
                     Ok(frame) => {
                         rmesh.touch();
+                        // Any frame is a proof of life for the peer node.
+                        rmesh.note_heard(here, peer);
                         rmesh.handle_frame(here, peer, lane, frame);
                         since_flush += 1;
                         // Batch acks: flush when the inbound socket goes
@@ -872,14 +1035,16 @@ fn retransmit_loop(mesh: Arc<Mesh>) {
                     continue;
                 }
                 if p.attempts >= mesh.cfg.max_retransmits {
+                    // The strongest local death verdict the transport
+                    // can reach: the whole retransmit budget spent with
+                    // no ack. Recorded as a typed PeerDead (the runtime's
+                    // failed-set agreement consumes it via `health()`).
                     let p = q.pop_front().expect("head just checked");
-                    mesh.record(FabricError::PeerHung {
-                        chan,
+                    mesh.record_dead_peer(chan.1, p.seq, p.attempts);
+                    mesh.record(FabricError::PeerDead {
+                        peer: chan.1,
+                        last_seq: p.seq,
                         attempts: p.attempts,
-                        detail: format!(
-                            "eager frame seq {} unacked after {} retransmit(s)",
-                            p.seq, p.attempts
-                        ),
                     });
                     continue;
                 }
@@ -887,6 +1052,12 @@ fn retransmit_loop(mesh: Arc<Mesh>) {
                 let backoff = mesh.cfg.rto * 2u32.saturating_pow(p.attempts).min(64);
                 let jittered = backoff.mul_f64(0.75 + 0.5 * rng.unit());
                 p.next_at = now + jittered.min(Duration::from_secs(1));
+                // Count the attempt *here*, before the frame can reach
+                // the wire: once it is pushed the receiver may deliver
+                // it and a caller may observe the recovery, so counting
+                // after the push makes `stats().retransmits` lag what
+                // the fabric demonstrably did (a real test flake).
+                mesh.retransmits.fetch_add(1, Ordering::Relaxed);
                 // A refcount on the pooled bytes, not a copy.
                 due.push((chan, p.seq, p.buf.clone()));
             }
@@ -907,9 +1078,7 @@ fn retransmit_loop(mesh: Arc<Mesh>) {
             let from = mesh.topo.node_of(chan.0);
             let to = mesh.topo.node_of(chan.1);
             if let Some(q) = mesh.queues.get(&(from, to, lane)) {
-                if q.push_ctrl(buf) {
-                    mesh.retransmits.fetch_add(1, Ordering::Relaxed);
-                }
+                q.push_ctrl(buf);
             }
         }
     }
@@ -921,6 +1090,7 @@ pub struct TcpFabric {
     mesh: Arc<Mesh>,
     repair: Option<JoinHandle<()>>,
     retransmitter: Option<JoinHandle<()>>,
+    heartbeater: Option<JoinHandle<()>>,
 }
 
 impl TcpFabric {
@@ -978,6 +1148,11 @@ impl TcpFabric {
             local_bytes: AtomicU64::new(0),
             started: Instant::now(),
             last_activity: AtomicU64::new(0),
+            last_heard: (0..nodes * nodes).map(|_| AtomicU64::new(0)).collect(),
+            last_sent: (0..nodes * nodes).map(|_| AtomicU64::new(0)).collect(),
+            hb_suspected: (0..nodes * nodes).map(|_| AtomicBool::new(false)).collect(),
+            muted: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+            dead_peers: Mutex::new(HashMap::new()),
             writer_handles: Mutex::new(Vec::new()),
             reader_handles: Mutex::new(Vec::new()),
         });
@@ -1010,10 +1185,23 @@ impl TcpFabric {
                 let mesh = Arc::clone(&mesh);
                 move || retransmit_loop(mesh)
             })?;
+        let heartbeater = if nodes > 1 && !cfg.heartbeat.is_zero() {
+            Some(
+                std::thread::Builder::new()
+                    .name("fab-heartbeat".into())
+                    .spawn({
+                        let mesh = Arc::clone(&mesh);
+                        move || heartbeat_loop(mesh)
+                    })?,
+            )
+        } else {
+            None
+        };
         Ok(TcpFabric {
             mesh,
             repair: Some(repair),
             retransmitter: Some(retransmitter),
+            heartbeater,
         })
     }
 
@@ -1026,6 +1214,16 @@ impl TcpFabric {
     /// the observable behind the zero-steady-state-allocation claim.
     pub fn pool_stats(&self) -> PoolStats {
         self.mesh.pool.stats()
+    }
+
+    /// Test hook: suppress (or restore) `node`'s standalone heartbeat
+    /// beats, so peers' suspicion machinery can be exercised without
+    /// killing rank threads. Regular traffic from the node still counts
+    /// as proof of life — exactly the piggybacking contract.
+    pub fn mute_node(&self, node: usize, muted: bool) {
+        if let Some(m) = self.mesh.muted.get(node) {
+            m.store(muted, Ordering::Relaxed);
+        }
     }
 
     /// Test/chaos hook: sever the socket of one lane connection without
@@ -1084,6 +1282,8 @@ impl Fabric for TcpFabric {
                 detail: "no surviving lane".into(),
             });
         };
+        // Outbound traffic doubles as this node pair's heartbeat.
+        mesh.note_sent(node_s, node_d);
         let ctrs = &mesh.lane_ctrs[lane];
         ctrs.msgs.fetch_add(1, Ordering::Relaxed);
         ctrs.bytes
@@ -1222,6 +1422,7 @@ impl Fabric for TcpFabric {
                         .map(|q| q.depth());
                 }
                 d.dead_lanes = mesh.dead_lanes();
+                d.suspected = mesh.suspects_for(key);
                 Err(FabricError::Timeout(d))
             }
             r => r,
@@ -1336,6 +1537,38 @@ impl Fabric for TcpFabric {
             Err(_) => false,
         }
     }
+
+    fn health(&self) -> FabricHealth {
+        let mesh = &self.mesh;
+        let nodes = mesh.topo.nodes();
+        let mut suspected_nodes = Vec::new();
+        for a in 0..nodes {
+            for b in 0..nodes {
+                if a != b && mesh.hb_suspected[mesh.pair(a, b)].load(Ordering::Relaxed) {
+                    suspected_nodes.push((a, b));
+                }
+            }
+        }
+        let mut dead_peers: Vec<DeadPeer> = mesh
+            .dead_peers
+            .lock()
+            .map(|g| {
+                g.iter()
+                    .map(|(&peer, &(last_seq, attempts))| DeadPeer {
+                        peer,
+                        last_seq,
+                        attempts,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        dead_peers.sort_unstable_by_key(|d| d.peer);
+        FabricHealth {
+            suspected_nodes,
+            dead_peers,
+            dead_lanes: mesh.dead_lanes(),
+        }
+    }
 }
 
 impl Drop for TcpFabric {
@@ -1347,6 +1580,9 @@ impl Drop for TcpFabric {
             let _ = t.join();
         }
         if let Some(t) = self.retransmitter.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.heartbeater.take() {
             let _ = t.join();
         }
         // Writers flush what is queued, then exit on `closed`.
@@ -1531,7 +1767,9 @@ mod tests {
         assert!(wire.dropped() > 0, "seed 11 must drop something in 50");
         assert!(
             f.stats().retransmits >= wire.dropped(),
-            "every dropped frame needs at least one retransmit"
+            "every dropped frame needs at least one retransmit: {} retransmits, {} dropped",
+            f.stats().retransmits,
+            wire.dropped(),
         );
         assert!(f.drain_errors().is_empty(), "recovery is not an error");
     }
@@ -1558,6 +1796,101 @@ mod tests {
             Err(FabricError::Timeout(_))
         ));
         assert!(f.stats().dups_dropped >= wire.dupped());
+    }
+
+    /// Poll `f` until `pred(health)` holds, panicking with the last
+    /// snapshot after `budget`.
+    fn wait_health(
+        f: &TcpFabric,
+        budget: Duration,
+        what: &str,
+        pred: impl Fn(&FabricHealth) -> bool,
+    ) {
+        let deadline = Instant::now() + budget;
+        loop {
+            let h = f.health();
+            if pred(&h) {
+                return;
+            }
+            assert!(Instant::now() < deadline, "{what}: last health {h:?}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn muted_nodes_suspect_each_other_and_heartbeats_clear_it() {
+        // The symmetric false-suspicion partition: both nodes stop
+        // beating (muted, not dead), each suspects the other; once beats
+        // resume, the first arrival retracts the suspicion on each side.
+        let f = TcpFabric::connect(
+            Topology::new(2, 1),
+            TcpConfig {
+                lanes: 1,
+                heartbeat: Duration::from_millis(10),
+                heartbeat_misses: 3,
+                ..TcpConfig::default()
+            },
+        )
+        .expect("loopback fabric");
+        f.mute_node(0, true);
+        f.mute_node(1, true);
+        wait_health(&f, Duration::from_secs(10), "suspicion never formed", |h| {
+            h.suspected_nodes.contains(&(0, 1)) && h.suspected_nodes.contains(&(1, 0))
+        });
+        f.mute_node(0, false);
+        f.mute_node(1, false);
+        wait_health(
+            &f,
+            Duration::from_secs(10),
+            "suspicion never cleared",
+            |h| h.suspected_nodes.is_empty(),
+        );
+        assert!(f.health().is_clean());
+    }
+
+    #[test]
+    fn retransmit_exhaustion_is_a_typed_peer_dead_verdict() {
+        let f = TcpFabric::connect(
+            Topology::new(2, 1),
+            TcpConfig {
+                lanes: 1,
+                rto: Duration::from_millis(2),
+                max_retransmits: 3,
+                heartbeat: Duration::ZERO,
+                ..TcpConfig::default()
+            },
+        )
+        .expect("loopback fabric");
+        // Eat every standalone ack: the message is delivered, but the
+        // sender's pending entry can never retire and the budget runs out.
+        let wire = Arc::new(WireChaos::new(&ChaosConfig {
+            ack_drop: 1.0,
+            seed: 5,
+            ..ChaosConfig::default()
+        }));
+        assert!(f.install_chaos(Arc::clone(&wire)));
+        f.send((0, 1, 7), vec![9]).unwrap();
+        assert_eq!(f.recv((0, 1, 7)).unwrap(), vec![9]);
+        wait_health(&f, Duration::from_secs(10), "no PeerDead verdict", |h| {
+            h.dead_peers.iter().any(|d| d.peer == 1 && d.attempts == 3)
+        });
+        let errs = f.drain_errors();
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, FabricError::PeerDead { peer: 1, .. })),
+            "typed PeerDead not recorded: {errs:?}"
+        );
+        // A subsequent receive timeout on a channel from the dead peer
+        // names it in the diagnostic.
+        let err = f
+            .recv_within((1, 0, 9), Duration::from_millis(20))
+            .unwrap_err();
+        match err {
+            FabricError::Timeout(d) => {
+                assert_eq!(d.suspected, vec![1], "diag must name the dead peer")
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
     }
 
     #[test]

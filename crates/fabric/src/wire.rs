@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! offset  size  field
-//!      0     1  kind        (1=EAGER, 2=RTS, 3=CTS, 4=DATA, 5=ACK)
+//!      0     1  kind        (1=EAGER, 2=RTS, 3=CTS, 4=DATA, 5=ACK, 6=HEARTBEAT)
 //!      1     4  src rank
 //!      5     4  dst rank
 //!      9     4  tag
@@ -56,6 +56,12 @@ pub enum FrameKind {
     /// next-expected sequence on this channel; the sender drops every
     /// pending frame below it from its retransmit queue.
     Ack = 5,
+    /// Liveness beacon for the node pair. Carries no channel state —
+    /// src/dst are representative ranks of the two nodes, seq/aux are
+    /// zero. Any frame arrival proves the peer alive; heartbeats exist
+    /// only so a *quiet* pair still proves it (see `tcp` heartbeat
+    /// sideband). Never acked, never retransmitted, never sequenced.
+    Heartbeat = 6,
 }
 
 impl FrameKind {
@@ -66,6 +72,7 @@ impl FrameKind {
             3 => Ok(FrameKind::Cts),
             4 => Ok(FrameKind::Data),
             5 => Ok(FrameKind::Ack),
+            6 => Ok(FrameKind::Heartbeat),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("bad frame kind byte {other}"),
@@ -168,6 +175,7 @@ mod tests {
             (FrameKind::Cts, vec![]),
             (FrameKind::Data, vec![0u8; 1000]),
             (FrameKind::Ack, vec![]),
+            (FrameKind::Heartbeat, vec![]),
         ] {
             let f = Frame {
                 kind,

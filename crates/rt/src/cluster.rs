@@ -64,7 +64,7 @@ pub struct ClusterShared {
 }
 
 impl ClusterShared {
-    fn new(
+    pub(crate) fn new(
         topo: Topology,
         fabric: Arc<dyn Fabric>,
         sizes: &dyn Fn(usize) -> BufSizes,
@@ -148,6 +148,26 @@ impl ClusterShared {
                 "iteration re-allocated temp {idx} with a different size"
             );
         }
+    }
+
+    /// Tear down after every worker thread has exited: final receive
+    /// buffers (by rank) plus everything recorded in the failure log.
+    pub(crate) fn into_parts(self) -> (Vec<Vec<u8>>, Vec<RankFailure>) {
+        let recv = self
+            .recv_arc
+            .into_iter()
+            .map(|a| {
+                Arc::try_unwrap(a)
+                    .ok()
+                    .expect("no outstanding buffer references")
+                    .into_vec()
+            })
+            .collect();
+        let failures = self
+            .failures
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
+        (recv, failures)
     }
 
     /// Reset mutable cross-iteration state (boards, flags, channels).
@@ -236,6 +256,18 @@ pub fn watchdog_report(stalled_for: Duration, diag: &FabricDiag) -> String {
     format!("watchdog: no progress for {stalled_for:?} (limit 2 x sync_timeout); {diag}")
 }
 
+/// The part of a [`FabricDiag`] that identifies *which* stall is in
+/// progress: the set of starved channels plus any dead lanes. Durations
+/// and queue depths are deliberately excluded — they drift every poll
+/// even when the run is stuck in exactly the same place, and the
+/// watchdog must not re-report a stall whose shape has not changed.
+fn stall_signature(diag: &FabricDiag) -> (Vec<pipmcoll_fabric::ChanKey>, Vec<usize>) {
+    let mut chans: Vec<_> = diag.blocked.iter().map(|b| b.chan).collect();
+    chans.sort_unstable();
+    chans.dedup();
+    (chans, diag.dead_lanes.clone())
+}
+
 /// Background thread that watches the shared progress counter and records
 /// a [`watchdog_report`] when the whole run stalls for `2 × sync_timeout`.
 struct Watchdog {
@@ -255,6 +287,7 @@ impl Watchdog {
                     .clamp(Duration::from_millis(5), Duration::from_millis(250));
                 let mut last_count = shared.progress.load(Ordering::Relaxed);
                 let mut last_change = Instant::now();
+                let mut reported: Option<(Vec<pipmcoll_fabric::ChanKey>, Vec<usize>)> = None;
                 let (lock, cv) = &*stop2;
                 let Ok(mut done) = lock.lock() else { return };
                 loop {
@@ -272,15 +305,26 @@ impl Watchdog {
                     if count != last_count {
                         last_count = count;
                         last_change = Instant::now();
+                        // Real progress means the next stall is a new
+                        // event, even if it lands on the same channels.
+                        reported = None;
                         continue;
                     }
                     let stalled = last_change.elapsed();
                     if stalled >= threshold {
                         let diag = shared.fabric.diag();
-                        shared.record_failure(None, watchdog_report(stalled, &diag));
-                        // Recording bumped the counter, which re-arms the
-                        // stall clock; a run that stays dead is re-reported
-                        // every threshold, not every poll.
+                        let sig = stall_signature(&diag);
+                        // One report per distinct stall: re-record only
+                        // when the set of stuck channels or dead lanes
+                        // changes, not every threshold the same corpse
+                        // stays dead.
+                        if reported.as_ref() != Some(&sig) {
+                            shared.record_failure(None, watchdog_report(stalled, &diag));
+                            reported = Some(sig);
+                        }
+                        // Recording (or skipping) re-arms the stall clock
+                        // so the signature is re-checked every threshold,
+                        // not every poll.
                         last_count = shared.progress.load(Ordering::Relaxed);
                         last_change = Instant::now();
                     }
@@ -305,7 +349,7 @@ impl Watchdog {
     }
 }
 
-fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
     let msg = payload
         .downcast_ref::<String>()
         .cloned()
@@ -490,20 +534,7 @@ where
     let shared = Arc::try_unwrap(shared)
         .ok()
         .expect("all worker threads have exited");
-    let recv = shared
-        .recv_arc
-        .into_iter()
-        .map(|a| {
-            Arc::try_unwrap(a)
-                .ok()
-                .expect("no outstanding buffer references")
-                .into_vec()
-        })
-        .collect();
-    let mut failures = shared
-        .failures
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner());
+    let (recv, mut failures) = shared.into_parts();
     failures.extend(fabric.drain_errors().into_iter().map(|e| RankFailure {
         rank: None,
         detail: format!("fabric: {e}"),

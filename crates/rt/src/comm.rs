@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use pipmcoll_model::{Datatype, ReduceOp, Topology};
 use pipmcoll_sched::{BufId, BufSizes, Comm, FlagId, Region, RemoteRegion, Req, Slot, Tag};
@@ -19,7 +20,7 @@ use pipmcoll_sched::{BufId, BufSizes, Comm, FlagId, Region, RemoteRegion, Req, S
 use crate::cluster::ClusterShared;
 use crate::shared::{sync_timeout, BufKey, Posted, SharedBuf};
 
-use pipmcoll_fabric::ChanKey;
+use pipmcoll_fabric::{ChanKey, FabricError};
 
 enum ReqState {
     /// Sends complete at issue (payload snapshotted into the channel).
@@ -50,6 +51,15 @@ pub struct RtComm {
     /// communication call is a no-op (sticky across iterations — the
     /// run is already failed, draining it quickly is all that is left).
     failed: bool,
+    /// Bound on every blocking wait this communicator performs. The
+    /// default run uses the runtime-wide [`sync_timeout`]; the
+    /// fault-tolerant runner shortens it so a whole
+    /// detect → agree → retry cycle fits inside the acceptance budget.
+    wait_timeout: Duration,
+    /// Ranks this communicator's own failures implicate: the senders of
+    /// timed-out receives and any peers the fabric declared dead. Seed
+    /// evidence for the failed-set agreement.
+    suspected: Vec<usize>,
 }
 
 impl RtComm {
@@ -62,6 +72,46 @@ impl RtComm {
             chan_pending: HashMap::new(),
             temp_next: 0,
             failed: false,
+            wait_timeout: sync_timeout(),
+            suspected: Vec::new(),
+        }
+    }
+
+    /// Override the per-wait timeout (fault-tolerant runs shorten it).
+    pub(crate) fn set_wait_timeout(&mut self, t: Duration) {
+        self.wait_timeout = t;
+    }
+
+    /// Ranks implicated by this rank's failures so far (sorted, deduped).
+    pub(crate) fn suspected(&self) -> Vec<usize> {
+        let mut s = self.suspected.clone();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// Note local evidence that `ranks` may be dead.
+    fn suspect(&mut self, ranks: impl IntoIterator<Item = usize>) {
+        for r in ranks {
+            if r != self.rank {
+                self.suspected.push(r);
+            }
+        }
+    }
+
+    /// Pull the suspects out of a fabric error before stringifying it:
+    /// a timeout names the starved channel's sender (and whatever the
+    /// backend's diag already suspected); a PeerDead names its peer.
+    fn suspect_from(&mut self, e: &FabricError) {
+        match e {
+            FabricError::Timeout(d) => {
+                let mut s = d.suspected.clone();
+                s.push(d.chan.0);
+                self.suspect(s);
+            }
+            FabricError::PeerDead { peer, .. } => self.suspect([*peer]),
+            FabricError::PeerHung { chan, .. } => self.suspect([chan.1]),
+            _ => {}
         }
     }
 
@@ -105,7 +155,7 @@ impl RtComm {
     /// caller records as this rank's failure.
     fn resolve(&self, rr: &RemoteRegion) -> Result<(Arc<SharedBuf>, usize), String> {
         let posted: Posted =
-            self.shared.boards[rr.rank].try_fetch_within(rr.slot, sync_timeout())?;
+            self.shared.boards[rr.rank].try_fetch_within(rr.slot, self.wait_timeout)?;
         assert!(
             rr.offset + rr.len <= posted.len,
             "remote access [{}, {}) exceeds posted window of {}",
@@ -139,9 +189,10 @@ impl RtComm {
                 .get_mut(&chan)
                 .and_then(|q| q.pop_front())
                 .expect("pending receive must be queued on its channel");
-            let payload = match self.shared.fabric.recv(chan) {
+            let payload = match self.shared.fabric.recv_within(chan, self.wait_timeout) {
                 Ok(p) => p,
                 Err(e) => {
+                    self.suspect_from(&e);
                     self.mark_failed(e.to_string());
                     return;
                 }
@@ -190,7 +241,10 @@ impl Comm for RtComm {
             let payload = self.own_buf(src.buf).read_vec(src.offset, src.len);
             match self.shared.fabric.send((self.rank, dst, tag), payload) {
                 Ok(()) => self.bump(),
-                Err(e) => self.mark_failed(e.to_string()),
+                Err(e) => {
+                    self.suspect_from(&e);
+                    self.mark_failed(e.to_string());
+                }
             }
         }
         self.reqs.push(ReqState::SendDone);
@@ -219,7 +273,10 @@ impl Comm for RtComm {
                     let payload = buf.read_vec(off, src.len);
                     match self.shared.fabric.send((self.rank, dst, tag), payload) {
                         Ok(()) => self.bump(),
-                        Err(e) => self.mark_failed(e.to_string()),
+                        Err(e) => {
+                            self.suspect_from(&e);
+                            self.mark_failed(e.to_string());
+                        }
                     }
                 }
                 Err(e) => self.mark_failed(e),
@@ -339,7 +396,7 @@ impl Comm for RtComm {
         if self.failed {
             return;
         }
-        match self.shared.flags[self.rank].try_wait_within(flag, count, sync_timeout()) {
+        match self.shared.flags[self.rank].try_wait_within(flag, count, self.wait_timeout) {
             Ok(()) => self.bump(),
             Err(e) => self.mark_failed(e),
         }
@@ -355,7 +412,7 @@ impl Comm for RtComm {
             return;
         }
         let node = self.shared.topo.node_of(self.rank);
-        match self.shared.node_barriers[node].wait_within(sync_timeout()) {
+        match self.shared.node_barriers[node].wait_within(self.wait_timeout) {
             Ok(()) => self.bump(),
             Err(e) => self.mark_failed(format!("node barrier: {e}")),
         }

@@ -1,0 +1,430 @@
+//! Deterministic fault injection: kill a rank at an exact point in its
+//! operation stream.
+//!
+//! A [`FaultPlan`] is parsed from a tiny DSL (environment variable
+//! `PIPMCOLL_FAULT`), e.g.
+//!
+//! ```text
+//! kill:rank=3@send=120;kill:rank=7@barrier=2
+//! ```
+//!
+//! which reads "rank 3 dies on its 120th network send, rank 7 dies on
+//! its 2nd node barrier". Op classes count *calls* per rank, 1-based,
+//! and the kill fires **before** the triggering call executes — the
+//! peer waiting on that operation is left hanging exactly as a real
+//! crash would leave it.
+//!
+//! Op classes:
+//!
+//! | class     | counted calls                        |
+//! |-----------|--------------------------------------|
+//! | `send`    | `isend`, `isend_shared`              |
+//! | `recv`    | `irecv`, `irecv_shared`              |
+//! | `barrier` | `node_barrier`                       |
+//! | `signal`  | `signal`                             |
+//! | `copy`    | `copy_in`, `copy_out`, `reduce_in`   |
+//! | `any`     | any of the above                     |
+//!
+//! The kill itself is a [`RankKilled`] panic payload thrown with
+//! [`std::panic::panic_any`]; the fault-tolerant runner
+//! (`crate::ft::run_cluster_ft`) downcasts it to distinguish an
+//! *injected death* from an ordinary algorithm panic. Counters live
+//! outside the wrapper (shared [`OpCounters`]) so they accumulate
+//! across retry epochs: a rank scheduled to die on its 120th send dies
+//! on its 120th send *ever*, whichever attempt that lands in.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pipmcoll_model::{Datatype, ReduceOp, Topology};
+use pipmcoll_sched::{BufId, BufSizes, Comm, FlagId, Region, RemoteRegion, Req, Slot, Tag};
+
+/// The operation class a kill trigger counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    /// Network sends (`isend`, `isend_shared`).
+    Send,
+    /// Network receives (`irecv`, `irecv_shared`).
+    Recv,
+    /// Node barriers.
+    Barrier,
+    /// Flag signals.
+    Signal,
+    /// Intranode shared-buffer ops (`copy_in`, `copy_out`, `reduce_in`).
+    Copy,
+    /// Any counted operation.
+    Any,
+}
+
+impl OpClass {
+    fn parse(s: &str) -> Result<OpClass, String> {
+        match s {
+            "send" => Ok(OpClass::Send),
+            "recv" => Ok(OpClass::Recv),
+            "barrier" => Ok(OpClass::Barrier),
+            "signal" => Ok(OpClass::Signal),
+            "copy" => Ok(OpClass::Copy),
+            "any" => Ok(OpClass::Any),
+            other => Err(format!(
+                "unknown op class {other:?} (want send|recv|barrier|signal|copy|any)"
+            )),
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpClass::Send => 0,
+            OpClass::Recv => 1,
+            OpClass::Barrier => 2,
+            OpClass::Signal => 3,
+            OpClass::Copy => 4,
+            OpClass::Any => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpClass::Send => "send",
+            OpClass::Recv => "recv",
+            OpClass::Barrier => "barrier",
+            OpClass::Signal => "signal",
+            OpClass::Copy => "copy",
+            OpClass::Any => "any",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One scheduled death: `rank` dies immediately before its `at`-th
+/// operation of class `op` (1-based, counted across retry epochs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KillSpec {
+    /// The rank to kill (original/world rank).
+    pub rank: usize,
+    /// The operation class counted toward the trigger.
+    pub op: OpClass,
+    /// The 1-based call count at which the kill fires.
+    pub at: u64,
+}
+
+/// A parsed fault schedule (possibly empty).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    kills: Vec<KillSpec>,
+}
+
+impl FaultPlan {
+    /// The empty plan: inject nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Parse the DSL: `kill:rank=R@<op>=N` entries joined by `;`.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut kills = Vec::new();
+        for entry in s.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let body = entry
+                .strip_prefix("kill:")
+                .ok_or_else(|| format!("fault entry {entry:?} must start with \"kill:\""))?;
+            let (rank_part, op_part) = body
+                .split_once('@')
+                .ok_or_else(|| format!("fault entry {entry:?} missing \"@<op>=N\""))?;
+            let rank = rank_part
+                .strip_prefix("rank=")
+                .ok_or_else(|| format!("fault entry {entry:?}: expected \"rank=R\""))?
+                .trim()
+                .parse::<usize>()
+                .map_err(|e| format!("fault entry {entry:?}: bad rank: {e}"))?;
+            let (op_name, count) = op_part
+                .split_once('=')
+                .ok_or_else(|| format!("fault entry {entry:?}: expected \"<op>=N\""))?;
+            let op = OpClass::parse(op_name.trim())?;
+            let at = count
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| format!("fault entry {entry:?}: bad count: {e}"))?;
+            if at == 0 {
+                return Err(format!("fault entry {entry:?}: count is 1-based, got 0"));
+            }
+            kills.push(KillSpec { rank, op, at });
+        }
+        Ok(FaultPlan { kills })
+    }
+
+    /// Parse `PIPMCOLL_FAULT` (empty plan when unset). Panics on a
+    /// malformed schedule — a silently ignored fault plan would turn a
+    /// fault-injection run into a false-green clean run.
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("PIPMCOLL_FAULT") {
+            Err(_) => FaultPlan::none(),
+            Ok(v) => match FaultPlan::parse(&v) {
+                Ok(p) => p,
+                Err(e) => panic!("PIPMCOLL_FAULT: {e}"),
+            },
+        }
+    }
+
+    /// Ranks this plan will kill (sorted, deduped).
+    pub fn doomed(&self) -> Vec<usize> {
+        let mut r: Vec<usize> = self.kills.iter().map(|k| k.rank).collect();
+        r.sort_unstable();
+        r.dedup();
+        r
+    }
+
+    /// The triggers targeting `rank`.
+    pub fn triggers_for(&self, rank: usize) -> Vec<KillSpec> {
+        self.kills
+            .iter()
+            .copied()
+            .filter(|k| k.rank == rank)
+            .collect()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for k in &self.kills {
+            if !first {
+                f.write_str(";")?;
+            }
+            first = false;
+            write!(f, "kill:rank={}@{}={}", k.rank, k.op, k.at)?;
+        }
+        Ok(())
+    }
+}
+
+/// Panic payload thrown when a kill trigger fires. The fault-tolerant
+/// runner downcasts unwind payloads to this type to tell an injected
+/// death apart from an ordinary algorithm panic.
+#[derive(Clone, Copy, Debug)]
+pub struct RankKilled {
+    /// The killed rank (original/world rank).
+    pub rank: usize,
+    /// The op class whose trigger fired.
+    pub op: OpClass,
+    /// The 1-based call count at which it fired.
+    pub at: u64,
+}
+
+/// Per-rank operation counters, shared between retry epochs (one
+/// `FaultComm` is built per attempt, the counts must survive them all).
+#[derive(Default)]
+pub struct OpCounters {
+    counts: [AtomicU64; 6],
+}
+
+impl OpCounters {
+    /// Count one `class` call (and one `any` call); returns the new
+    /// 1-based totals for `(class, any)`.
+    fn note(&self, class: OpClass) -> (u64, u64) {
+        let c = self.counts[class.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let a = self.counts[OpClass::Any.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        (c, a)
+    }
+}
+
+/// A [`Comm`] wrapper that counts operations and dies on schedule.
+///
+/// Wraps the real communicator by mutable reference so the runner keeps
+/// ownership (and can read failure state after the unwind).
+pub struct FaultComm<'a, C: Comm> {
+    inner: &'a mut C,
+    rank: usize,
+    triggers: Vec<KillSpec>,
+    counters: Arc<OpCounters>,
+}
+
+impl<'a, C: Comm> FaultComm<'a, C> {
+    /// Wrap `inner` (whose world identity is `rank`) with the triggers
+    /// `plan` holds for that rank, counting into `counters`.
+    pub fn new(inner: &'a mut C, rank: usize, plan: &FaultPlan, counters: Arc<OpCounters>) -> Self {
+        FaultComm {
+            inner,
+            rank,
+            triggers: plan.triggers_for(rank),
+            counters,
+        }
+    }
+
+    /// Count one op and fire any trigger it reaches. Fires *before*
+    /// the wrapped call — callers invoke `self.tick(class)` first.
+    fn tick(&self, class: OpClass) {
+        if self.triggers.is_empty() {
+            self.counters.note(class);
+            return;
+        }
+        let (c, a) = self.counters.note(class);
+        for t in &self.triggers {
+            let n = if t.op == class {
+                c
+            } else if t.op == OpClass::Any {
+                a
+            } else {
+                continue;
+            };
+            if n == t.at {
+                std::panic::panic_any(RankKilled {
+                    rank: self.rank,
+                    op: t.op,
+                    at: t.at,
+                });
+            }
+        }
+    }
+}
+
+impl<C: Comm> Comm for FaultComm<'_, C> {
+    fn topo(&self) -> Topology {
+        self.inner.topo()
+    }
+
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn buf_sizes(&self) -> BufSizes {
+        self.inner.buf_sizes()
+    }
+
+    fn alloc_temp(&mut self, bytes: usize) -> BufId {
+        self.inner.alloc_temp(bytes)
+    }
+
+    fn isend(&mut self, dst: usize, tag: Tag, src: Region) -> Req {
+        self.tick(OpClass::Send);
+        self.inner.isend(dst, tag, src)
+    }
+
+    fn irecv(&mut self, src: usize, tag: Tag, dst: Region) -> Req {
+        self.tick(OpClass::Recv);
+        self.inner.irecv(src, tag, dst)
+    }
+
+    fn isend_shared(&mut self, dst: usize, tag: Tag, src: RemoteRegion) -> Req {
+        self.tick(OpClass::Send);
+        self.inner.isend_shared(dst, tag, src)
+    }
+
+    fn irecv_shared(&mut self, src: usize, tag: Tag, dst: RemoteRegion) -> Req {
+        self.tick(OpClass::Recv);
+        self.inner.irecv_shared(src, tag, dst)
+    }
+
+    fn wait(&mut self, req: Req) {
+        self.inner.wait(req)
+    }
+
+    fn post_addr(&mut self, slot: Slot, region: Region) {
+        self.inner.post_addr(slot, region)
+    }
+
+    fn copy_in(&mut self, from: RemoteRegion, to: Region) {
+        self.tick(OpClass::Copy);
+        self.inner.copy_in(from, to)
+    }
+
+    fn copy_out(&mut self, from: Region, to: RemoteRegion) {
+        self.tick(OpClass::Copy);
+        self.inner.copy_out(from, to)
+    }
+
+    fn reduce_in(&mut self, from: RemoteRegion, to: Region, op: ReduceOp, dt: Datatype) {
+        self.tick(OpClass::Copy);
+        self.inner.reduce_in(from, to, op, dt)
+    }
+
+    fn local_copy(&mut self, from: Region, to: Region) {
+        self.inner.local_copy(from, to)
+    }
+
+    fn local_reduce(&mut self, from: Region, to: Region, op: ReduceOp, dt: Datatype) {
+        self.inner.local_reduce(from, to, op, dt)
+    }
+
+    fn signal(&mut self, rank: usize, flag: FlagId) {
+        self.tick(OpClass::Signal);
+        self.inner.signal(rank, flag)
+    }
+
+    fn wait_flag(&mut self, flag: FlagId, count: u32) {
+        self.inner.wait_flag(flag, count)
+    }
+
+    fn node_barrier(&mut self) {
+        self.tick(OpClass::Barrier);
+        self.inner.node_barrier()
+    }
+
+    fn compute(&mut self, bytes: u64) {
+        self.inner.compute(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_example() {
+        let p = FaultPlan::parse("kill:rank=3@send=120;kill:rank=7@barrier=2").unwrap();
+        assert_eq!(p.doomed(), vec![3, 7]);
+        assert_eq!(
+            p.triggers_for(3),
+            vec![KillSpec {
+                rank: 3,
+                op: OpClass::Send,
+                at: 120
+            }]
+        );
+        assert_eq!(
+            p.triggers_for(7),
+            vec![KillSpec {
+                rank: 7,
+                op: OpClass::Barrier,
+                at: 2
+            }]
+        );
+        assert_eq!(p.to_string(), "kill:rank=3@send=120;kill:rank=7@barrier=2");
+    }
+
+    #[test]
+    fn tolerates_whitespace_and_empty_entries() {
+        let p = FaultPlan::parse("  kill:rank=1@any=5 ; ;").unwrap();
+        assert_eq!(p.doomed(), vec![1]);
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        for bad in [
+            "die:rank=1@send=1",     // wrong verb
+            "kill:rank=1",           // no trigger
+            "kill:rank=x@send=1",    // bad rank
+            "kill:rank=1@flush=1",   // unknown op class
+            "kill:rank=1@send=zero", // bad count
+            "kill:rank=1@send=0",    // counts are 1-based
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        let s = "kill:rank=0@recv=3;kill:rank=2@copy=1;kill:rank=5@any=9";
+        assert_eq!(FaultPlan::parse(s).unwrap().to_string(), s);
+    }
+}

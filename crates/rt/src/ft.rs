@@ -1,0 +1,1081 @@
+//! Fault-tolerant completion: detect rank deaths, agree on the failed
+//! set, shrink to the survivors, and re-run the collective until it
+//! completes — the ULFM-style survive-and-complete loop (DESIGN.md §3e).
+//!
+//! [`run_cluster_ft`] wraps each collective attempt in an *epoch*:
+//!
+//! 1. **Attempt** — the algorithm runs on every current member, with
+//!    every blocking wait bounded by `op_timeout = sync_timeout() / 4`
+//!    so one detect → agree → retry cycle fits the `3 × sync_timeout`
+//!    completion budget. A rank scheduled to die by the
+//!    [`FaultPlan`](crate::fault::FaultPlan) panics with a
+//!    [`RankKilled`](crate::fault::RankKilled) payload mid-stream and
+//!    its thread exits without another word — exactly the silence a
+//!    crashed process leaves behind.
+//! 2. **Agreement** — every live member runs [`agree`]: an
+//!    all-to-all sweep gossip over suspicion bitmaps. Suspicion seeds
+//!    come from the attempt (receive timeouts name the starved
+//!    channel's sender; the fabric's [`health`](pipmcoll_fabric::Fabric::health)
+//!    view names peers with exhausted retransmits and
+//!    heartbeat-silent nodes), and agreement itself is the refutation
+//!    step: any member heard from during a sweep is alive, no matter
+//!    who suspected it, so cascade suspicion of a merely-slow rank
+//!    clears while a genuinely dead rank times out sweep after sweep.
+//!    Members commit once nobody's set changed for two sweeps — a
+//!    one-sweep lag that makes the commit sweep the same on every
+//!    survivor (see the convergence note on [`agree`]).
+//! 3. **Shrink + retry** — survivors re-rank densely into
+//!    `Topology::new(survivors, 1)` and re-execute the algorithm on a
+//!    [`ShrunkComm`], whose wire tags carry the epoch
+//!    (`0xFE00_0000 | epoch << 16 | tag`) so stale frames from the
+//!    failed attempt can never satisfy a retry receive. Send buffers
+//!    are the prefix of each survivor's original contribution, matching
+//!    what an in-process run on the survivor topology would use.
+//!
+//! Known limits (documented, not accidental): fail-stop only (no
+//! byzantine behaviour), no rejoin — a rank agreed dead stays dead even
+//! if it was merely slow — and world size is capped at 64 ranks by the
+//! `u64` suspicion bitmaps.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pipmcoll_fabric::{sync_timeout, ChanKey, Fabric, FabricError, FabricStats};
+use pipmcoll_model::{Datatype, ReduceOp, Topology};
+use pipmcoll_sched::{BufId, BufSizes, Comm, FlagId, Region, RemoteRegion, Req, Slot, Tag};
+
+use crate::cluster::{panic_detail, Algo, ClusterShared, RankFailure};
+use crate::comm::RtComm;
+use crate::fault::{FaultComm, FaultPlan, OpCounters, RankKilled};
+use crate::shared::SharedBuf;
+
+/// Tag namespace for agreement sweeps: `AGREE_TAG | epoch << 8 | sweep`.
+const AGREE_TAG: u32 = 0xFF00_0000;
+/// Tag namespace for retry attempts: `RETRY_TAG | epoch << 16 | tag`.
+const RETRY_TAG: u32 = 0xFE00_0000;
+/// Bail-out bound on agreement sweeps (pathology guard; a converging
+/// run commits in 1–3 sweeps).
+const MAX_SWEEPS: u32 = 6;
+/// Maximum attempts (first try + retries) before giving up.
+pub const MAX_EPOCHS: u32 = 4;
+
+/// A set of ranks as a 64-bit bitmap — the unit of suspicion gossip.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankSet(u64);
+
+impl RankSet {
+    /// The empty set.
+    pub fn new() -> RankSet {
+        RankSet(0)
+    }
+
+    /// Construct from raw bits.
+    pub fn from_bits(bits: u64) -> RankSet {
+        RankSet(bits)
+    }
+
+    /// The raw bitmap.
+    pub fn bits(&self) -> u64 {
+        self.0
+    }
+
+    /// Add `r` to the set.
+    pub fn insert(&mut self, r: usize) {
+        debug_assert!(r < 64, "RankSet supports world sizes up to 64");
+        self.0 |= 1u64 << r;
+    }
+
+    /// Remove `r` from the set.
+    pub fn remove(&mut self, r: usize) {
+        self.0 &= !(1u64 << r);
+    }
+
+    /// Whether `r` is in the set.
+    pub fn contains(&self, r: usize) -> bool {
+        r < 64 && self.0 & (1u64 << r) != 0
+    }
+
+    /// Union `other` into this set.
+    pub fn union(&mut self, other: RankSet) {
+        self.0 |= other.0;
+    }
+
+    /// Remove every rank in `other` from this set.
+    pub fn subtract(&mut self, other: RankSet) {
+        self.0 &= !other.0;
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of ranks in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// The ranks in ascending order.
+    pub fn ranks(&self) -> Vec<usize> {
+        (0..64).filter(|&r| self.contains(r)).collect()
+    }
+}
+
+impl std::fmt::Debug for RankSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RankSet{:?}", self.ranks())
+    }
+}
+
+/// Crash-tolerant agreement on the failed set: all-to-all sweep gossip
+/// over suspicion bitmaps.
+///
+/// Each sweep `s` (bounded by `Δ = 2 × op_timeout`), every live member
+/// sends `[suspects: u64 LE][flags: u64 LE]` (bit 0: someone wants a
+/// retry, bit 1: my set changed last sweep) to *every* other member at
+/// tag `AGREE_TAG | epoch << 8 | s`, then collects the same from
+/// everyone until the sweep deadline. Receipt is proof of life — a
+/// member heard from this sweep is cleared from the suspect set even
+/// if gossip named it — while a member silent past the deadline is
+/// suspected. A member that sees *any* fault signal (non-empty seed, a
+/// timeout, a non-zero payload) is in fault mode: it pads each sweep
+/// to the full deadline, keeping all members' sweeps in lockstep, and
+/// keeps sweeping until its set is stable **and** no peer reported a
+/// change for the *previous* sweep. Two quiet sweeps mean every
+/// member's set had already absorbed every other's (pairwise unions
+/// produced nothing), so the stability condition flips for all
+/// survivors in the same sweep — they commit identical sets on the
+/// same sweep and nobody times out on an early committer. A fault-free
+/// epoch short-circuits: all-zero payloads from everyone lets each
+/// member commit after sweep 0 without padding.
+///
+/// Returns the committed failed set and whether a retry is required.
+fn agree(
+    fabric: &Arc<dyn Fabric>,
+    me: usize,
+    members: &[usize],
+    seed: RankSet,
+    mut want_retry: bool,
+    epoch: u32,
+    op_timeout: Duration,
+) -> (RankSet, bool) {
+    let mut suspects = seed;
+    suspects.remove(me);
+    let delta = op_timeout * 2;
+    let poll = (op_timeout / 32).clamp(Duration::from_millis(1), Duration::from_millis(10));
+    let mut changed_prev = false;
+    for sweep in 0..MAX_SWEEPS {
+        let tag = AGREE_TAG | (epoch << 8) | sweep;
+        let flags: u64 = (want_retry as u64) | ((changed_prev as u64) << 1);
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&suspects.bits().to_le_bytes());
+        payload.extend_from_slice(&flags.to_le_bytes());
+        let before = suspects;
+        for &q in members {
+            if q != me && fabric.send((me, q, tag), payload.clone()).is_err() {
+                suspects.insert(q);
+            }
+        }
+        let deadline = Instant::now() + delta;
+        let mut outstanding: Vec<usize> = members.iter().copied().filter(|&q| q != me).collect();
+        let mut alive = RankSet::new();
+        let mut peer_changed_prev = false;
+        let mut fault_seen = false;
+        // Round-robin short receives instead of one long receive per
+        // member: a dead member must not eat the whole window before a
+        // slow-but-alive member's message gets looked at.
+        while !outstanding.is_empty() && Instant::now() < deadline {
+            let mut still = Vec::with_capacity(outstanding.len());
+            for q in outstanding {
+                match fabric.recv_within((q, me, tag), poll) {
+                    Ok(p) if p.len() == 16 => {
+                        let su = u64::from_le_bytes(p[0..8].try_into().unwrap());
+                        let fl = u64::from_le_bytes(p[8..16].try_into().unwrap());
+                        suspects.union(RankSet::from_bits(su));
+                        want_retry |= fl & 1 != 0;
+                        peer_changed_prev |= fl & 2 != 0;
+                        fault_seen |= su != 0 || fl != 0;
+                        alive.insert(q);
+                    }
+                    Ok(_) => alive.insert(q), // malformed but alive
+                    Err(_) => still.push(q),
+                }
+            }
+            outstanding = still;
+        }
+        for q in outstanding {
+            suspects.insert(q);
+        }
+        // Anyone heard from this sweep is alive right now, whatever the
+        // gossip said — and I am certainly not dead.
+        suspects.subtract(alive);
+        suspects.remove(me);
+        let changed = suspects != before;
+        if sweep == 0 && before.is_empty() && !want_retry && !fault_seen && !changed {
+            // Fault-free fast path: everyone reported all-zero.
+            return (RankSet::new(), false);
+        }
+        if sweep >= 1 && !changed && !peer_changed_prev {
+            break;
+        }
+        // Fault mode: pad to the deadline so every member's sweep `s+1`
+        // starts at most `entry skew` apart, which Δ absorbs.
+        let now = Instant::now();
+        if now < deadline {
+            std::thread::sleep(deadline - now);
+        }
+        changed_prev = changed;
+    }
+    let retry = want_retry || !suspects.is_empty();
+    (suspects, retry)
+}
+
+/// The per-attempt outcome one live member reports to the coordinator.
+struct Verdict {
+    agreed: RankSet,
+    retry: bool,
+}
+
+/// Result of a fault-tolerant cluster run.
+pub struct FtResult {
+    /// Final receive buffers by *original* rank; `None` for ranks that
+    /// were killed or agreed dead. When the run retried, the surviving
+    /// ranks' buffers come from the last (successful) attempt on the
+    /// shrunken topology.
+    pub recv: Vec<Option<Vec<u8>>>,
+    /// The accumulated agreed failed set (original ranks, ascending).
+    pub failed: Vec<usize>,
+    /// Per original rank: the union of failed sets it committed across
+    /// its completed agreements (`None` if it never completed one).
+    /// Every survivor's entry must be identical — that is the whole
+    /// point.
+    pub committed: Vec<Option<Vec<usize>>>,
+    /// Ranks killed by the fault plan, in the order they died.
+    pub killed: Vec<usize>,
+    /// Attempts executed (1 = clean first try).
+    pub epochs: usize,
+    /// Wall clock for the whole detect → agree → retry loop.
+    pub elapsed: Duration,
+    /// Traffic counters of the underlying fabric.
+    pub fabric_stats: FabricStats,
+    /// Diagnostic trail: per-rank failures, kill notices, watchdogless
+    /// run-level events. Non-empty whenever the run was not clean.
+    pub failures: Vec<RankFailure>,
+}
+
+impl FtResult {
+    /// Whether the run completed with no faults at all.
+    pub fn clean(&self) -> bool {
+        self.failed.is_empty() && self.killed.is_empty() && self.failures.is_empty()
+    }
+}
+
+/// Run `algo` with survive-and-complete semantics over an explicit
+/// fabric: detect deaths, agree on the failed set, shrink to the
+/// survivors and retry, for at most [`MAX_EPOCHS`] attempts.
+///
+/// `sizes` is consulted per attempt topology — `sizes(topo, r)` for the
+/// first attempt, `sizes(sub_topo, j)` for retries — because a shrunken
+/// collective moves shrunken buffers. `init` supplies each *original*
+/// rank's full send contribution; retries use the prefix the shrunken
+/// sizes call for. Faults are injected per `plan` (use
+/// [`FaultPlan::from_env`] to honour `PIPMCOLL_FAULT`).
+pub fn run_cluster_ft<S, I, A>(
+    fabric: Arc<dyn Fabric>,
+    topo: Topology,
+    sizes: S,
+    init: I,
+    algo: &A,
+    plan: &FaultPlan,
+) -> FtResult
+where
+    S: Fn(Topology, usize) -> BufSizes + Sync,
+    I: Fn(usize) -> Vec<u8> + Sync,
+    A: Algo,
+{
+    let world = topo.world_size();
+    assert!(world <= 64, "fault-tolerant runs support up to 64 ranks");
+    let op_timeout = sync_timeout() / 4;
+    let t0 = Instant::now();
+
+    let counters: Vec<Arc<OpCounters>> = (0..world)
+        .map(|_| Arc::new(OpCounters::default()))
+        .collect();
+    let killed_log: Mutex<Vec<RankKilled>> = Mutex::new(Vec::new());
+    let outputs: Mutex<Vec<Option<Vec<u8>>>> = Mutex::new(vec![None; world]);
+    let mut committed: Vec<Option<RankSet>> = vec![None; world];
+    let mut failures: Vec<RankFailure> = Vec::new();
+    let mut failed_total = RankSet::new();
+    let mut members: Vec<usize> = (0..world).collect();
+    let mut epoch: u32 = 0;
+
+    loop {
+        let verdicts: Mutex<Vec<Option<Verdict>>> = Mutex::new((0..world).map(|_| None).collect());
+        if epoch == 0 {
+            // First attempt: the full topology, real intranode shared
+            // ops, one RtComm per rank over the shared node state.
+            let sizes0 = |r: usize| sizes(topo, r);
+            let shared = Arc::new(ClusterShared::new(
+                topo,
+                Arc::clone(&fabric),
+                &sizes0,
+                &init,
+            ));
+            std::thread::scope(|scope| {
+                for rank in 0..world {
+                    let shared = Arc::clone(&shared);
+                    let counters = Arc::clone(&counters[rank]);
+                    let (verdicts, killed_log, fabric, sizes, plan) =
+                        (&verdicts, &killed_log, &fabric, &sizes, plan);
+                    let members = &members;
+                    scope.spawn(move || {
+                        let mut comm = RtComm::new(Arc::clone(&shared), rank, sizes(topo, rank));
+                        comm.set_wait_timeout(op_timeout);
+                        if let Err(e) = shared.world_barrier.wait_within(sync_timeout() * 3) {
+                            shared.record_failure(Some(rank), format!("start framing: {e}"));
+                            return;
+                        }
+                        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            let mut fc = FaultComm::new(&mut comm, rank, plan, counters);
+                            algo.run(&mut fc);
+                        }));
+                        if let Err(payload) = attempt {
+                            if let Some(k) = payload.downcast_ref::<RankKilled>() {
+                                // Injected death: fall silent immediately —
+                                // no failure record, no agreement. Peers
+                                // must discover this the hard way.
+                                killed_log.lock().unwrap().push(*k);
+                                return;
+                            }
+                            comm.mark_failed(panic_detail(payload));
+                        }
+                        let seed = gather_suspects(&comm.suspected(), fabric, topo, rank);
+                        let want_retry = comm.failed() || !seed.is_empty();
+                        let (agreed, retry) =
+                            agree(fabric, rank, members, seed, want_retry, 0, op_timeout);
+                        verdicts.lock().unwrap()[rank] = Some(Verdict { agreed, retry });
+                    });
+                }
+            });
+            let shared = Arc::try_unwrap(shared)
+                .ok()
+                .expect("all epoch-0 threads have exited");
+            let (recv, fails) = shared.into_parts();
+            failures.extend(fails);
+            let mut out = outputs.lock().unwrap();
+            for (r, bytes) in recv.into_iter().enumerate() {
+                out[r] = Some(bytes);
+            }
+        } else {
+            // Retry: survivors only, densely re-ranked, ppn = 1 — the
+            // intranode phases degenerate to self-ops and everything
+            // else is point-to-point over epoch-tagged fabric channels.
+            let survivors = members.clone();
+            let sub_topo = Topology::new(survivors.len(), 1);
+            let failures_mx: Mutex<Vec<RankFailure>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for (j, &old) in survivors.iter().enumerate() {
+                    let counters = Arc::clone(&counters[old]);
+                    let (verdicts, killed_log, outputs, failures_mx, fabric, sizes, init, plan) = (
+                        &verdicts,
+                        &killed_log,
+                        &outputs,
+                        &failures_mx,
+                        &fabric,
+                        &sizes,
+                        &init,
+                        plan,
+                    );
+                    let survivors = &survivors;
+                    let members = &members;
+                    scope.spawn(move || {
+                        let sz = sizes(sub_topo, j);
+                        let full = init(old);
+                        assert!(
+                            full.len() >= sz.send,
+                            "rank {old}: original contribution ({} bytes) shorter than \
+                             the shrunken send size ({})",
+                            full.len(),
+                            sz.send
+                        );
+                        let mut comm = ShrunkComm::new(
+                            Arc::clone(fabric),
+                            sub_topo,
+                            survivors.clone(),
+                            j,
+                            sz,
+                            full[..sz.send].to_vec(),
+                            epoch,
+                            op_timeout,
+                        );
+                        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            let mut fc = FaultComm::new(&mut comm, old, plan, counters);
+                            algo.run(&mut fc);
+                        }));
+                        if let Err(payload) = attempt {
+                            if let Some(k) = payload.downcast_ref::<RankKilled>() {
+                                killed_log.lock().unwrap().push(*k);
+                                return;
+                            }
+                            comm.mark_failed(panic_detail(payload));
+                        }
+                        // Health evidence is phrased in original-topology
+                        // node pairs and rank ids, so map it with the
+                        // original topology even on a shrunken attempt.
+                        let seed = gather_suspects(&comm.suspected(), fabric, topo, old);
+                        let want_retry = comm.failed.is_some() || !seed.is_empty();
+                        let (agreed, retry) =
+                            agree(fabric, old, members, seed, want_retry, epoch, op_timeout);
+                        verdicts.lock().unwrap()[old] = Some(Verdict { agreed, retry });
+                        if let Some(detail) = comm.failed.take() {
+                            failures_mx.lock().unwrap().push(RankFailure {
+                                rank: Some(old),
+                                detail,
+                            });
+                        }
+                        outputs.lock().unwrap()[old] = Some(comm.into_recv());
+                    });
+                }
+            });
+            failures.extend(failures_mx.into_inner().unwrap_or_else(|e| e.into_inner()));
+        }
+        epoch += 1;
+
+        // Coordinate: every member that completed agreement must have
+        // committed the same verdict.
+        let verdicts = verdicts.into_inner().unwrap_or_else(|e| e.into_inner());
+        let mut agreed: Option<RankSet> = None;
+        let mut retry = false;
+        let mut split = false;
+        for (r, v) in verdicts.iter().enumerate() {
+            let Some(v) = v else { continue };
+            let mut total = committed[r].unwrap_or_default();
+            total.union(v.agreed);
+            committed[r] = Some(total);
+            retry |= v.retry;
+            match agreed {
+                None => agreed = Some(v.agreed),
+                Some(a) if a != v.agreed => split = true,
+                Some(_) => {}
+            }
+        }
+        let agreed = agreed.unwrap_or_default();
+        if split {
+            failures.push(RankFailure {
+                rank: None,
+                detail: format!(
+                    "agreement split at epoch {}: survivors committed different failed sets",
+                    epoch - 1
+                ),
+            });
+            break;
+        }
+        failed_total.union(agreed);
+        let killed_now: RankSet = {
+            let g = killed_log.lock().unwrap();
+            let mut s = RankSet::new();
+            for k in g.iter() {
+                s.insert(k.rank);
+            }
+            s
+        };
+        members.retain(|&r| !agreed.contains(r) && !killed_now.contains(r));
+        if !retry {
+            break;
+        }
+        if members.is_empty() {
+            failures.push(RankFailure {
+                rank: None,
+                detail: "no survivors left to retry with".into(),
+            });
+            break;
+        }
+        if epoch >= MAX_EPOCHS {
+            failures.push(RankFailure {
+                rank: None,
+                detail: format!("giving up after {MAX_EPOCHS} attempts with faults persisting"),
+            });
+            break;
+        }
+    }
+
+    let killed_log = killed_log.into_inner().unwrap_or_else(|e| e.into_inner());
+    for k in &killed_log {
+        failures.push(RankFailure {
+            rank: Some(k.rank),
+            detail: format!("killed by fault plan ({} #{})", k.op, k.at),
+        });
+    }
+    failures.extend(fabric.drain_errors().into_iter().map(|e| RankFailure {
+        rank: None,
+        detail: format!("fabric: {e}"),
+    }));
+    let mut recv = outputs.into_inner().unwrap_or_else(|e| e.into_inner());
+    for (r, slot) in recv.iter_mut().enumerate() {
+        if !members.contains(&r) {
+            *slot = None;
+        }
+    }
+    FtResult {
+        recv,
+        failed: failed_total.ranks(),
+        committed: committed
+            .into_iter()
+            .map(|c| c.map(|s| s.ranks()))
+            .collect(),
+        killed: killed_log.iter().map(|k| k.rank).collect(),
+        epochs: epoch as usize,
+        elapsed: t0.elapsed(),
+        fabric_stats: fabric.stats(),
+        failures,
+    }
+}
+
+/// Merge a rank's own suspicion evidence with the fabric's health view:
+/// peers whose retransmits exhausted, plus every rank on a node the
+/// heartbeat sideband reports silent (from this rank's node's view).
+fn gather_suspects(own: &[usize], fabric: &Arc<dyn Fabric>, topo: Topology, me: usize) -> RankSet {
+    let mut s = RankSet::new();
+    for &r in own {
+        if r < 64 {
+            s.insert(r);
+        }
+    }
+    let health = fabric.health();
+    for d in health.dead_peers {
+        if d.peer < 64 {
+            s.insert(d.peer);
+        }
+    }
+    let my_node = topo.node_of(me);
+    for (a, b) in health.suspected_nodes {
+        if a == my_node && b < topo.nodes() {
+            for r in topo.ranks_on_node(b) {
+                s.insert(r);
+            }
+        }
+    }
+    s.remove(me);
+    s
+}
+
+/// Per-request state of a [`ShrunkComm`] (sends complete at issue).
+enum SReq {
+    SendDone,
+    RecvPending { chan: ChanKey, to: Region },
+    RecvDone,
+}
+
+/// The survivors' communicator for retry epochs: a dense re-ranking of
+/// the survivor set as `Topology::new(n, 1)`.
+///
+/// Fabric channels keep using *original* rank ids (the mesh was built
+/// for the original topology), while tags are remapped to
+/// `RETRY_TAG | epoch << 16 | tag` so a stale frame from a failed
+/// attempt can never match a retry receive. With ppn = 1 every
+/// intranode op (boards, flags, copies, node barriers) involves only
+/// the rank itself, so the whole node state lives inside this struct.
+pub(crate) struct ShrunkComm {
+    fabric: Arc<dyn Fabric>,
+    topo: Topology,
+    /// New rank → original rank.
+    old: Vec<usize>,
+    me: usize,
+    sizes: BufSizes,
+    send: Arc<SharedBuf>,
+    recv: Arc<SharedBuf>,
+    temps: Vec<Arc<SharedBuf>>,
+    /// Own address board: slot → (buffer, offset, posted length).
+    board: HashMap<Slot, (BufId, usize, usize)>,
+    /// Own flag counters.
+    flags: HashMap<FlagId, u32>,
+    reqs: Vec<SReq>,
+    chan_pending: HashMap<ChanKey, VecDeque<usize>>,
+    epoch: u32,
+    wait_timeout: Duration,
+    failed: Option<String>,
+    /// Original ranks implicated by this rank's failures.
+    suspected: Vec<usize>,
+}
+
+impl ShrunkComm {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        fabric: Arc<dyn Fabric>,
+        topo: Topology,
+        old: Vec<usize>,
+        me: usize,
+        sizes: BufSizes,
+        send: Vec<u8>,
+        epoch: u32,
+        wait_timeout: Duration,
+    ) -> Self {
+        debug_assert_eq!(send.len(), sizes.send);
+        ShrunkComm {
+            fabric,
+            topo,
+            old,
+            me,
+            sizes,
+            send: Arc::new(SharedBuf::from_vec(send)),
+            recv: Arc::new(SharedBuf::new(sizes.recv)),
+            temps: Vec::new(),
+            board: HashMap::new(),
+            flags: HashMap::new(),
+            reqs: Vec::new(),
+            chan_pending: HashMap::new(),
+            epoch,
+            wait_timeout,
+            failed: None,
+            suspected: Vec::new(),
+        }
+    }
+
+    fn into_recv(self) -> Vec<u8> {
+        Arc::try_unwrap(self.recv)
+            .ok()
+            .expect("no outstanding recv references")
+            .into_vec()
+    }
+
+    fn suspected(&self) -> Vec<usize> {
+        let mut s = self.suspected.clone();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    fn mark_failed(&mut self, detail: String) {
+        if self.failed.is_none() {
+            self.failed = Some(detail);
+        }
+    }
+
+    fn suspect_from(&mut self, e: &FabricError) {
+        let old_me = self.old[self.me];
+        let mut add = |r: usize| {
+            if r != old_me {
+                self.suspected.push(r);
+            }
+        };
+        match e {
+            FabricError::Timeout(d) => {
+                for &r in &d.suspected {
+                    add(r);
+                }
+                add(d.chan.0);
+            }
+            FabricError::PeerDead { peer, .. } => add(*peer),
+            FabricError::PeerHung { chan, .. } => add(chan.1),
+            _ => {}
+        }
+    }
+
+    /// Remap a collective tag into this epoch's retry namespace.
+    fn wire_tag(&self, tag: Tag) -> u32 {
+        debug_assert!(tag <= 0xFFFF, "collective tags must fit 16 bits");
+        RETRY_TAG | (self.epoch << 16) | (tag & 0xFFFF)
+    }
+
+    fn buf(&self, b: BufId) -> Arc<SharedBuf> {
+        match b {
+            BufId::Send => Arc::clone(&self.send),
+            BufId::Recv => Arc::clone(&self.recv),
+            BufId::Temp(i) => Arc::clone(&self.temps[i as usize]),
+        }
+    }
+
+    /// Resolve a posted slot on *this* rank (ppn = 1: every remote
+    /// region is self-referential).
+    fn resolve(&self, rr: &RemoteRegion) -> Result<Region, String> {
+        assert_eq!(
+            rr.rank, self.me,
+            "ppn = 1 shrink: remote regions can only reference the rank itself"
+        );
+        let Some(&(buf, offset, len)) = self.board.get(&rr.slot) else {
+            return Err(format!(
+                "slot {} not posted on shrunken rank {}",
+                rr.slot, self.me
+            ));
+        };
+        assert!(
+            rr.offset + rr.len <= len,
+            "remote access [{}, {}) exceeds posted window of {len}",
+            rr.offset,
+            rr.offset + rr.len,
+        );
+        Ok(Region::new(buf, offset + rr.offset, rr.len))
+    }
+
+    fn drain_until(&mut self, req: usize) {
+        let chan = match &self.reqs[req] {
+            SReq::RecvPending { chan, .. } => *chan,
+            _ => return,
+        };
+        loop {
+            if self.failed.is_some() {
+                return;
+            }
+            match &self.reqs[req] {
+                SReq::RecvDone | SReq::SendDone => return,
+                SReq::RecvPending { .. } => {}
+            }
+            let next = self
+                .chan_pending
+                .get_mut(&chan)
+                .and_then(|q| q.pop_front())
+                .expect("pending receive must be queued on its channel");
+            let payload = match self.fabric.recv_within(chan, self.wait_timeout) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.suspect_from(&e);
+                    self.mark_failed(e.to_string());
+                    return;
+                }
+            };
+            let state = std::mem::replace(&mut self.reqs[next], SReq::RecvDone);
+            match state {
+                SReq::RecvPending { to, .. } => {
+                    assert_eq!(payload.len(), to.len, "message size mismatch");
+                    self.buf(to.buf).write(to.offset, &payload);
+                }
+                _ => unreachable!("queued request is pending by construction"),
+            }
+        }
+    }
+}
+
+impl Comm for ShrunkComm {
+    fn topo(&self) -> Topology {
+        self.topo
+    }
+
+    fn rank(&self) -> usize {
+        self.me
+    }
+
+    fn buf_sizes(&self) -> BufSizes {
+        self.sizes
+    }
+
+    fn alloc_temp(&mut self, bytes: usize) -> BufId {
+        self.temps.push(Arc::new(SharedBuf::new(bytes)));
+        BufId::Temp((self.temps.len() - 1) as u16)
+    }
+
+    fn isend(&mut self, dst: usize, tag: Tag, src: Region) -> Req {
+        if self.failed.is_none() {
+            let payload = self.buf(src.buf).read_vec(src.offset, src.len);
+            let chan = (self.old[self.me], self.old[dst], self.wire_tag(tag));
+            if let Err(e) = self.fabric.send(chan, payload) {
+                self.suspect_from(&e);
+                self.mark_failed(e.to_string());
+            }
+        }
+        self.reqs.push(SReq::SendDone);
+        Req(self.reqs.len() - 1)
+    }
+
+    fn irecv(&mut self, src: usize, tag: Tag, dst: Region) -> Req {
+        let id = self.reqs.len();
+        if self.failed.is_some() {
+            self.reqs.push(SReq::RecvDone);
+            return Req(id);
+        }
+        let chan = (self.old[src], self.old[self.me], self.wire_tag(tag));
+        self.reqs.push(SReq::RecvPending { chan, to: dst });
+        self.chan_pending.entry(chan).or_default().push_back(id);
+        Req(id)
+    }
+
+    fn isend_shared(&mut self, dst: usize, tag: Tag, src: RemoteRegion) -> Req {
+        match self.resolve(&src) {
+            Ok(region) => self.isend(dst, tag, region),
+            Err(e) => {
+                self.mark_failed(e);
+                self.reqs.push(SReq::SendDone);
+                Req(self.reqs.len() - 1)
+            }
+        }
+    }
+
+    fn irecv_shared(&mut self, src: usize, tag: Tag, dst: RemoteRegion) -> Req {
+        match self.resolve(&dst) {
+            Ok(region) => self.irecv(src, tag, region),
+            Err(e) => {
+                self.mark_failed(e);
+                self.reqs.push(SReq::RecvDone);
+                Req(self.reqs.len() - 1)
+            }
+        }
+    }
+
+    fn wait(&mut self, req: Req) {
+        if self.failed.is_some() {
+            return;
+        }
+        self.drain_until(req.0);
+    }
+
+    fn post_addr(&mut self, slot: Slot, region: Region) {
+        self.board
+            .insert(slot, (region.buf, region.offset, region.len));
+    }
+
+    fn copy_in(&mut self, from: RemoteRegion, to: Region) {
+        if self.failed.is_some() {
+            return;
+        }
+        match self.resolve(&from) {
+            Ok(src) => {
+                let s = self.buf(src.buf);
+                let d = self.buf(to.buf);
+                SharedBuf::copy_between(&s, src.offset, &d, to.offset, to.len);
+            }
+            Err(e) => self.mark_failed(e),
+        }
+    }
+
+    fn copy_out(&mut self, from: Region, to: RemoteRegion) {
+        if self.failed.is_some() {
+            return;
+        }
+        match self.resolve(&to) {
+            Ok(dst) => {
+                let s = self.buf(from.buf);
+                let d = self.buf(dst.buf);
+                SharedBuf::copy_between(&s, from.offset, &d, dst.offset, from.len);
+            }
+            Err(e) => self.mark_failed(e),
+        }
+    }
+
+    fn reduce_in(&mut self, from: RemoteRegion, to: Region, op: ReduceOp, dt: Datatype) {
+        if self.failed.is_some() {
+            return;
+        }
+        match self.resolve(&from) {
+            Ok(src) => {
+                let s = self.buf(src.buf);
+                let acc = self.buf(to.buf);
+                acc.reduce_from(to.offset, &s, src.offset, to.len, op, dt);
+            }
+            Err(e) => self.mark_failed(e),
+        }
+    }
+
+    fn local_copy(&mut self, from: Region, to: Region) {
+        let s = self.buf(from.buf);
+        let d = self.buf(to.buf);
+        SharedBuf::copy_between(&s, from.offset, &d, to.offset, from.len);
+    }
+
+    fn local_reduce(&mut self, from: Region, to: Region, op: ReduceOp, dt: Datatype) {
+        let s = self.buf(from.buf);
+        let acc = self.buf(to.buf);
+        acc.reduce_from(to.offset, &s, from.offset, to.len, op, dt);
+    }
+
+    fn signal(&mut self, rank: usize, flag: FlagId) {
+        assert_eq!(rank, self.me, "ppn = 1 shrink: flags are self-only");
+        *self.flags.entry(flag).or_insert(0) += 1;
+    }
+
+    fn wait_flag(&mut self, flag: FlagId, count: u32) {
+        if self.failed.is_some() {
+            return;
+        }
+        let have = self.flags.get(&flag).copied().unwrap_or(0);
+        if have < count {
+            // Single-threaded node: a wait no signal can ever satisfy
+            // is a deadlock, not a delay.
+            self.mark_failed(format!(
+                "wait_flag({flag}, {count}) with only {have} signals on a ppn=1 node"
+            ));
+        }
+    }
+
+    fn node_barrier(&mut self) {
+        // ppn = 1: a barrier with myself.
+    }
+
+    fn compute(&mut self, bytes: u64) {
+        let mut acc = 0u64;
+        for i in 0..bytes / 8 {
+            acc = acc.wrapping_add(std::hint::black_box(i).wrapping_mul(0x9E37_79B9));
+        }
+        std::hint::black_box(acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipmcoll_fabric::InProcFabric;
+    use pipmcoll_sched::verify::pattern;
+
+    #[test]
+    fn rankset_basics() {
+        let mut s = RankSet::new();
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(63);
+        s.insert(3);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3) && s.contains(63) && !s.contains(0));
+        assert_eq!(s.ranks(), vec![3, 63]);
+        let mut t = RankSet::new();
+        t.insert(0);
+        t.union(s);
+        assert_eq!(t.ranks(), vec![0, 3, 63]);
+        t.remove(3);
+        assert!(!t.contains(3));
+        t.subtract(s);
+        assert_eq!(t.ranks(), vec![0]);
+        assert!(!RankSet::from_bits(0).contains(70));
+    }
+
+    /// Clean agreement: every member participates with empty seeds and
+    /// commits the empty set on the sweep-0 fast path.
+    #[test]
+    fn agreement_clean_fast_path() {
+        let fabric: Arc<dyn Fabric> = Arc::new(InProcFabric::new());
+        let members = [0usize, 1, 2, 3];
+        let op_timeout = Duration::from_millis(200);
+        let t0 = Instant::now();
+        let results: Vec<(RankSet, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = members
+                .iter()
+                .map(|&me| {
+                    let fabric = &fabric;
+                    let members = &members[..];
+                    s.spawn(move || {
+                        agree(fabric, me, members, RankSet::new(), false, 0, op_timeout)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (set, retry) in results {
+            assert!(set.is_empty());
+            assert!(!retry);
+        }
+        // Fast path: no padding, well under one sweep window.
+        assert!(t0.elapsed() < op_timeout * 2, "took {:?}", t0.elapsed());
+    }
+
+    /// One member is silent (dead): the others converge on exactly it,
+    /// committing identical sets.
+    #[test]
+    fn agreement_converges_on_a_silent_member() {
+        let fabric: Arc<dyn Fabric> = Arc::new(InProcFabric::new());
+        let members = [0usize, 1, 2, 3];
+        let dead = 2usize;
+        let op_timeout = Duration::from_millis(80);
+        let results: Vec<(usize, RankSet, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = members
+                .iter()
+                .filter(|&&me| me != dead)
+                .map(|&me| {
+                    let fabric = &fabric;
+                    let members = &members[..];
+                    s.spawn(move || {
+                        // Rank 1 saw the death during the attempt; the
+                        // others discover it inside agreement.
+                        let mut seed = RankSet::new();
+                        let want_retry = me == 1;
+                        if me == 1 {
+                            seed.insert(dead);
+                        }
+                        let (set, retry) =
+                            agree(fabric, me, members, seed, want_retry, 1, op_timeout);
+                        (me, set, retry)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (me, set, retry) in results {
+            assert_eq!(set.ranks(), vec![dead], "rank {me} committed {set:?}");
+            assert!(retry, "rank {me} must want a retry");
+        }
+    }
+
+    /// Symmetric false suspicion: two live members seed-suspect each
+    /// other; hearing from each other during the sweeps refutes both,
+    /// and everyone commits the empty set.
+    #[test]
+    fn agreement_refutes_symmetric_false_suspicion() {
+        let fabric: Arc<dyn Fabric> = Arc::new(InProcFabric::new());
+        let members = [0usize, 1, 2];
+        let op_timeout = Duration::from_millis(80);
+        let results: Vec<(usize, RankSet, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = members
+                .iter()
+                .map(|&me| {
+                    let fabric = &fabric;
+                    let members = &members[..];
+                    s.spawn(move || {
+                        let mut seed = RankSet::new();
+                        if me == 0 {
+                            seed.insert(1);
+                        }
+                        if me == 1 {
+                            seed.insert(0);
+                        }
+                        let want_retry = !seed.is_empty();
+                        let (set, retry) =
+                            agree(fabric, me, members, seed, want_retry, 2, op_timeout);
+                        (me, set, retry)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (me, set, retry) in results {
+            assert!(set.is_empty(), "rank {me} wrongly committed {set:?}");
+            // The epoch still wants a retry (someone reported trouble),
+            // but with an empty failed set the same members re-run.
+            assert!(retry);
+        }
+    }
+
+    /// A clean ft run over in-process channels matches a plain run.
+    #[test]
+    fn ft_run_without_faults_is_just_a_run() {
+        use pipmcoll_sched::BufId;
+        struct Ring;
+        impl Algo for Ring {
+            fn run<C: Comm>(&self, c: &mut C) {
+                let n = c.topo().world_size();
+                let next = (c.rank() + 1) % n;
+                let prev = (c.rank() + n - 1) % n;
+                let r = c.irecv(prev, 7, Region::new(BufId::Recv, 0, 8));
+                c.isend(next, 7, Region::new(BufId::Send, 0, 8));
+                c.wait(r);
+            }
+        }
+        let topo = Topology::new(4, 1);
+        let res = run_cluster_ft(
+            Arc::new(InProcFabric::new()),
+            topo,
+            |_, _| BufSizes::new(8, 8),
+            |r| pattern(r, 8),
+            &Ring,
+            &FaultPlan::none(),
+        );
+        assert!(res.clean(), "failures: {:?}", res.failures);
+        assert_eq!(res.epochs, 1);
+        assert_eq!(res.failed, Vec::<usize>::new());
+        for r in 0..4 {
+            assert_eq!(
+                res.recv[r].as_deref(),
+                Some(&pattern((r + 3) % 4, 8)[..]),
+                "rank {r}"
+            );
+            assert_eq!(res.committed[r].as_deref(), Some(&[][..]));
+        }
+    }
+}

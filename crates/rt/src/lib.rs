@@ -43,10 +43,21 @@
 //! bounded by `sync_timeout()`, a watchdog thread catches stalls nothing
 //! is blocked on, and `run_cluster*` returns normally with the faults
 //! listed in [`RtResult::failures`] — gate on [`RtResult::expect_clean`].
+//!
+//! On top of fail-stop *reporting*, [`ft::run_cluster_ft`] adds
+//! survive-and-complete *recovery* (DESIGN.md §3e): rank deaths —
+//! injected deterministically via [`fault::FaultPlan`]
+//! (`PIPMCOLL_FAULT`) or detected organically through receive timeouts
+//! and the fabric's health view — are agreed on by the survivors
+//! through a crash-tolerant gossip, and the collective is re-executed
+//! on a densely re-ranked survivor topology with epoch-tagged messages
+//! until it completes.
 
 pub mod barrier;
 pub mod cluster;
 pub mod comm;
+pub mod fault;
+pub mod ft;
 pub mod shared;
 
 pub use barrier::TimedBarrier;
@@ -55,3 +66,5 @@ pub use cluster::{
     watchdog_report, Algo, RankFailure, RtResult,
 };
 pub use comm::RtComm;
+pub use fault::{FaultComm, FaultPlan, KillSpec, OpClass, OpCounters, RankKilled};
+pub use ft::{run_cluster_ft, FtResult, RankSet, MAX_EPOCHS};

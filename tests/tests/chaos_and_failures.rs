@@ -120,6 +120,39 @@ fn watchdog_reports_a_stalled_run() {
     );
 }
 
+/// A stall that persists across several watchdog sweeps is one incident,
+/// not one report per sweep: identical consecutive diagnostics are
+/// deduplicated, so a long sleep crossing the threshold multiple times
+/// yields exactly one watchdog failure.
+#[test]
+fn watchdog_deduplicates_repeated_stall_reports() {
+    init();
+    let topo = Topology::new(1, 1);
+    // Sleep long enough for the 2x-sync_timeout threshold to be crossed
+    // at least twice (0.8 s and 1.6 s at the 400 ms test timeout); the
+    // stall signature never changes, so only the first crossing reports.
+    let res = run_cluster_on(
+        Arc::new(InProcFabric::new()),
+        topo,
+        |_| BufSizes::new(4, 4),
+        |r| pattern(r, 4),
+        1,
+        |_| {
+            std::thread::sleep(Duration::from_millis(sync_timeout_ms() * 11 / 2));
+        },
+    );
+    let watchdog_reports = res
+        .failures
+        .iter()
+        .filter(|f| f.rank.is_none() && f.detail.contains("watchdog"))
+        .count();
+    assert_eq!(
+        watchdog_reports, 1,
+        "an unchanged stall must be reported exactly once: {:?}",
+        res.failures
+    );
+}
+
 /// Killing a lane mid-stream must degrade gracefully: traffic remaps to
 /// the survivors, per-channel FIFO order holds, and nothing is lost.
 #[test]
