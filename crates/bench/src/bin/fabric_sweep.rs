@@ -177,9 +177,11 @@ fn sweep_json(lanes: &[usize], rates: &[SweepRow], trials: usize) -> String {
             .collect::<Vec<_>>()
             .join(", ")
     };
-    let fmt_u = |v: &[u64]| {
+    // "No samples" is `null`, observably different from a measured 0 —
+    // rendezvous-dominated series used to emit placeholder 0 rows here.
+    let fmt_opt = |v: &[Option<u64>]| {
         v.iter()
-            .map(|x| x.to_string())
+            .map(|x| x.map_or_else(|| "null".to_string(), |u| u.to_string()))
             .collect::<Vec<_>>()
             .join(", ")
     };
@@ -199,15 +201,15 @@ fn sweep_json(lanes: &[usize], rates: &[SweepRow], trials: usize) -> String {
     );
     let _ = writeln!(out, "  \"series\": [");
     for (i, row) in rates.iter().enumerate() {
-        let p50: Vec<u64> = row.lats.iter().map(|l| l.p50_us).collect();
-        let p99: Vec<u64> = row.lats.iter().map(|l| l.p99_us).collect();
+        let p50: Vec<Option<u64>> = row.lats.iter().map(|l| l.p50_us).collect();
+        let p99: Vec<Option<u64>> = row.lats.iter().map(|l| l.p99_us).collect();
         let _ = writeln!(out, "    {{");
         let _ = writeln!(out, "      \"label\": \"{}\",", row.label);
         let _ = writeln!(out, "      \"msgs_per_pair\": {},", row.n_msgs);
         let _ = writeln!(out, "      \"mb_per_s\": [{}],", fmt(&row.mbs));
         let _ = writeln!(out, "      \"mmsg_per_s\": [{}],", fmt(&row.mmsgs));
-        let _ = writeln!(out, "      \"ack_rtt_p50_us\": [{}],", fmt_u(&p50));
-        let _ = writeln!(out, "      \"ack_rtt_p99_us\": [{}]", fmt_u(&p99));
+        let _ = writeln!(out, "      \"ack_rtt_p50_us\": [{}],", fmt_opt(&p50));
+        let _ = writeln!(out, "      \"ack_rtt_p99_us\": [{}]", fmt_opt(&p99));
         let _ = writeln!(out, "    }}{}", if i + 1 < rates.len() { "," } else { "" });
     }
     let _ = writeln!(out, "  ]");

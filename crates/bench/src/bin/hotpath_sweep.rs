@@ -131,12 +131,20 @@ fn main() {
         let mut hit = Vec::new();
         for &k in &lanes_grid {
             let pt = run_point(k, size, n);
+            // "No samples" renders as `null`/`-`, never a fake 0.
+            let show = |p: Option<u64>| p.map_or_else(|| "-".to_string(), |u| u.to_string());
+            let json = |p: Option<u64>| p.map_or_else(|| "null".to_string(), |u| u.to_string());
             println!(
                 "{:>8} {:>6} {:>10} {:>10} {:>12.3} {:>10.1}",
-                label, k, pt.lat.p50_us, pt.lat.p99_us, pt.mmsg_per_s, pt.pool_hit_pct
+                label,
+                k,
+                show(pt.lat.p50_us),
+                show(pt.lat.p99_us),
+                pt.mmsg_per_s,
+                pt.pool_hit_pct
             );
-            p50.push(pt.lat.p50_us.to_string());
-            p99.push(pt.lat.p99_us.to_string());
+            p50.push(json(pt.lat.p50_us));
+            p99.push(json(pt.lat.p99_us));
             rate.push(format!("{:.3}", pt.mmsg_per_s));
             hit.push(format!("{:.1}", pt.pool_hit_pct));
         }

@@ -18,7 +18,8 @@
 //!   per node-pair connection pools with **k striped lanes** (a lane is
 //!   the paper's "object"), a length-prefixed eager/rendezvous wire
 //!   protocol with `(src, dst, tag)` matching and per-channel FIFO,
-//!   dedicated progress threads per connection endpoint, bounded per-lane
+//!   a fixed progress pool (`min(4, cores)` workers, `PIPMCOLL_PROGRESS_THREADS`
+//!   to override) driving every nonblocking endpoint, bounded per-lane
 //!   send queues for backpressure, ack-based retransmit with sequence
 //!   dedup, lane failover, and per-lane traffic counters.
 //! * [`ChaosFabric`] — a deterministic, seeded fault injector wrapping

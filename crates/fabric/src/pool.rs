@@ -227,6 +227,96 @@ impl std::fmt::Debug for FrameBuf {
     }
 }
 
+/// Partial-write resumption state for one nonblocking socket: a FIFO of
+/// pooled frames queued for the wire, plus a byte offset into the front
+/// frame marking how much of it a previous `write_vectored` managed to
+/// push before `WouldBlock`.
+///
+/// The progress pool writes by building [`std::io::IoSlice`] views over
+/// the queued frames (the front one sliced at the resume offset) — one
+/// syscall carries many frames — then [`WriteCursor::advance`]s by
+/// however many bytes the kernel accepted. Fully written frames drop
+/// their pool refcount there (the retransmit pending table keeps the
+/// underlying bytes alive where needed); a torn frame simply stays at
+/// the front with a larger offset until the socket drains.
+#[derive(Default)]
+pub struct WriteCursor {
+    frames: std::collections::VecDeque<FrameBuf>,
+    /// Bytes of `frames[0]` already written to the socket.
+    offset: usize,
+    /// Total unwritten bytes across all queued frames.
+    remaining: usize,
+}
+
+impl WriteCursor {
+    /// An empty cursor.
+    pub fn new() -> WriteCursor {
+        WriteCursor::default()
+    }
+
+    /// Queue one encoded frame behind any partially written ones.
+    pub fn push(&mut self, buf: FrameBuf) {
+        self.remaining += buf.len();
+        self.frames.push_back(buf);
+    }
+
+    /// Whether nothing is queued (and no partial frame is in flight).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Unwritten bytes queued (partial front frame counted partially).
+    pub fn remaining_bytes(&self) -> usize {
+        self.remaining
+    }
+
+    /// Queued frames, including a partially written front frame.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Build vectored-write views over up to `max_slices` queued frames,
+    /// the front one resumed at its offset. Returns an empty vec when
+    /// nothing is queued.
+    pub fn io_slices(&self, max_slices: usize) -> Vec<std::io::IoSlice<'_>> {
+        let mut out = Vec::with_capacity(self.frames.len().min(max_slices));
+        for (i, f) in self.frames.iter().take(max_slices).enumerate() {
+            let skip = if i == 0 { self.offset } else { 0 };
+            out.push(std::io::IoSlice::new(&f[skip..]));
+        }
+        out
+    }
+
+    /// Consume `n` bytes accepted by the kernel: drop fully written
+    /// frames (releasing their pool refcounts), remember the offset into
+    /// a torn one.
+    pub fn advance(&mut self, mut n: usize) {
+        self.remaining = self.remaining.saturating_sub(n);
+        while n > 0 {
+            let Some(front) = self.frames.front() else {
+                return;
+            };
+            let left = front.len() - self.offset;
+            if n >= left {
+                n -= left;
+                self.offset = 0;
+                self.frames.pop_front();
+            } else {
+                self.offset += n;
+                return;
+            }
+        }
+    }
+
+    /// Drop everything queued (connection torn down; retransmit recovers
+    /// what mattered).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.offset = 0;
+        self.remaining = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,5 +389,60 @@ mod tests {
     #[test]
     fn default_cap_comes_from_env_or_256() {
         assert_eq!(pool_cap(), 256);
+    }
+
+    #[test]
+    fn cursor_resumes_partial_writes_and_recycles_written_frames() {
+        let pool = FramePool::with_cap(8);
+        let mut cur = WriteCursor::new();
+        let f1 = pool.encode(&frame(vec![1; 10]));
+        let f2 = pool.encode(&frame(vec![2; 10]));
+        let (l1, l2) = (f1.len(), f2.len());
+        cur.push(f1);
+        cur.push(f2);
+        assert_eq!(cur.remaining_bytes(), l1 + l2);
+        assert_eq!(cur.frame_count(), 2);
+
+        // A torn write partway into the first frame: the slices must
+        // resume at the offset, and nothing recycles yet.
+        cur.advance(l1 - 3);
+        let slices = cur.io_slices(64);
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0].len(), 3);
+        assert_eq!(slices[1].len(), l2);
+        assert_eq!(pool.stats().free, 0);
+
+        // Finishing the first frame releases it back to the pool.
+        cur.advance(3);
+        assert_eq!(cur.frame_count(), 1);
+        assert_eq!(pool.stats().free, 1);
+
+        cur.advance(l2);
+        assert!(cur.is_empty());
+        assert_eq!(cur.remaining_bytes(), 0);
+        assert_eq!(pool.stats().free, 2);
+        assert!(cur.io_slices(64).is_empty());
+    }
+
+    #[test]
+    fn cursor_caps_slices_per_write() {
+        let pool = FramePool::with_cap(8);
+        let mut cur = WriteCursor::new();
+        for i in 0..5 {
+            cur.push(pool.encode(&frame(vec![i as u8; 4])));
+        }
+        assert_eq!(cur.io_slices(3).len(), 3);
+    }
+
+    #[test]
+    fn cursor_clear_releases_everything() {
+        let pool = FramePool::with_cap(8);
+        let mut cur = WriteCursor::new();
+        cur.push(pool.encode(&frame(vec![7; 16])));
+        cur.advance(5);
+        cur.clear();
+        assert!(cur.is_empty());
+        assert_eq!(cur.remaining_bytes(), 0);
+        assert_eq!(pool.stats().free, 1);
     }
 }

@@ -18,8 +18,11 @@ pub struct LaneStats {
 
 /// A lock-free log2-bucketed latency histogram. Recording is two atomic
 /// ops on the hot path; percentiles are computed at snapshot time from
-/// the bucket counts (each bucket spans one power of two of
-/// nanoseconds, so a percentile is exact to within 2×).
+/// the bucket counts. A percentile is reported as the *geometric
+/// midpoint* of its bucket (`2^(i+0.5)` ns for bucket `i`), so the
+/// reported value is within a factor of √2 of the true percentile in
+/// either direction — an unbiased ±√2 bound, where the previous
+/// upper-bound convention inflated every percentile by up to 2×.
 pub struct LatencyHist {
     /// `buckets[i]` counts samples with `floor(log2(ns)) == i`
     /// (bucket 0 also holds sub-nanosecond samples).
@@ -47,7 +50,9 @@ impl LatencyHist {
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Point-in-time percentile summary.
+    /// Point-in-time percentile summary. An empty histogram reports
+    /// `None` percentiles — "no samples" is observably different from a
+    /// genuine sub-microsecond measurement.
     pub fn snapshot(&self) -> LatencySnapshot {
         let counts: Vec<u64> = self
             .buckets
@@ -59,18 +64,22 @@ impl LatencyHist {
             return LatencySnapshot::default();
         }
         // A percentile lands in the bucket where the running count
-        // crosses it; report the bucket's upper bound in microseconds.
+        // crosses it; report the bucket's geometric midpoint (2^(i+0.5)
+        // ns, rounded to µs) — the unbiased representative of a log2
+        // bucket, accurate to within ×/÷ √2. The old upper-bound
+        // convention quantized every percentile onto powers of two
+        // (1049/2098/4195 µs...) and overstated by up to 2×.
         let pick = |p: f64| {
             let target = ((total as f64) * p).ceil() as u64;
             let mut seen = 0u64;
             for (i, c) in counts.iter().enumerate() {
                 seen += c;
                 if seen >= target {
-                    let upper_ns = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
-                    return upper_ns.div_ceil(1000);
+                    let mid_ns = (1u64 << i) as f64 * std::f64::consts::SQRT_2;
+                    return Some((mid_ns / 1000.0).round() as u64);
                 }
             }
-            u64::MAX
+            None
         };
         LatencySnapshot {
             count: total,
@@ -81,15 +90,20 @@ impl LatencyHist {
 }
 
 /// Percentile summary of a [`LatencyHist`] (integer µs so stats stay
-/// `Eq`-comparable).
+/// `Eq`-comparable). Percentiles are `None` when no samples were
+/// recorded — previously an empty histogram snapshotted as `0`, which
+/// made "the rendezvous path never measured anything" look like "the
+/// ack RTT is zero" in `BENCH_fabric.json`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LatencySnapshot {
     /// Samples recorded.
     pub count: u64,
-    /// Median, in microseconds (upper bound of its log2 bucket).
-    pub p50_us: u64,
-    /// 99th percentile, in microseconds (upper bound of its log2 bucket).
-    pub p99_us: u64,
+    /// Median, in microseconds (geometric midpoint of its log2 bucket,
+    /// ±√2); `None` if no samples were recorded.
+    pub p50_us: Option<u64>,
+    /// 99th percentile, in microseconds (geometric midpoint of its log2
+    /// bucket, ±√2); `None` if no samples were recorded.
+    pub p99_us: Option<u64>,
 }
 
 /// A snapshot of a fabric's traffic counters.
@@ -164,8 +178,11 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_snapshots_to_zero() {
-        assert_eq!(LatencyHist::new().snapshot(), LatencySnapshot::default());
+    fn empty_histogram_snapshots_to_none() {
+        let s = LatencyHist::new().snapshot();
+        assert_eq!(s, LatencySnapshot::default());
+        assert_eq!(s.p50_us, None, "no samples must not read as 0µs");
+        assert_eq!(s.p99_us, None);
     }
 
     #[test]
@@ -180,11 +197,26 @@ mod tests {
         h.record(Duration::from_millis(1));
         let s = h.snapshot();
         assert_eq!(s.count, 100);
-        // 1µs = 1000ns → bucket 9 (512..1024), upper bound 1024ns → 2µs.
-        assert_eq!(s.p50_us, 2);
-        // 1ms = 1e6 ns → bucket 19 (524288..1048576), upper 1048576ns
-        // → 1049µs (rounded up).
-        assert_eq!(s.p99_us, 1049);
+        // 1µs = 1000ns → bucket 9 (512..1024ns), geometric midpoint
+        // 512·√2 ≈ 724ns → 1µs.
+        assert_eq!(s.p50_us, Some(1));
+        // 1ms = 1e6 ns → bucket 19 (524288..1048576ns), midpoint
+        // 524288·√2 ≈ 741456ns → 741µs — not the power-of-two 1049.
+        assert_eq!(s.p99_us, Some(741));
+    }
+
+    #[test]
+    fn midpoints_are_never_power_of_two_quantized() {
+        // The bug this guards against: percentiles reported as exact
+        // bucket upper bounds (2^n ns), which read as measurements but
+        // are quantization artifacts.
+        let h = LatencyHist::new();
+        h.record(Duration::from_micros(900));
+        let p50 = h.snapshot().p50_us.expect("one sample recorded");
+        let ns = p50 * 1000;
+        assert!(!ns.is_power_of_two(), "p50 {p50}µs is a bucket bound");
+        // The midpoint is within ×/÷√2 of the true 900µs sample.
+        assert!((637..=1273).contains(&p50), "p50 {p50}µs outside ±√2");
     }
 
     #[test]

@@ -1,79 +1,93 @@
 //! The socket backend: real loopback TCP with **k striped lanes** per
 //! node pair — the paper's multi-object internode transport made
-//! concrete, now with loss recovery and lane failover.
+//! concrete, with loss recovery and lane failover.
 //!
 //! Topology: every node pair gets `lanes` TCP connections. A message's
 //! lane is determined by its *sending rank's local id* striped over the
 //! lanes that are still alive, so each of a node's ranks drives its own
 //! lane — exactly the paper's mapping of objects to local ranks (Fig. 2)
-//! — and a killed lane's traffic degrades onto the survivors. Each
-//! connection endpoint has two dedicated progress threads:
+//! — and a killed lane's traffic degrades onto the survivors.
 //!
-//! * a **writer** draining that lane's send queue, coalescing queued
-//!   frames into large `write` calls (message coalescing amortizes the
-//!   per-syscall injection cost);
-//! * a **reader** decoding frames (`BufReader`-amortized) and either
-//!   delivering payloads into the destination node's message store or
-//!   answering the rendezvous handshake and acking eager frames.
+//! **Progress pool.** All sockets are nonblocking and driven by a small
+//! fixed pool of progress threads (default `min(4, cores)`, override
+//! `PIPMCOLL_PROGRESS_THREADS`), *not* by a thread pair per connection
+//! endpoint. Each endpoint (one direction of one lane connection) is
+//! owned by exactly one worker; a worker's loop rotates over its
+//! endpoints doing nonblocking work on each:
+//!
+//! * **write**: refill the endpoint's [`WriteCursor`] from its send
+//!   queue (control frames first), then `write_vectored` many pooled
+//!   frames — eager payloads, piggybacked cumulative acks, protocol
+//!   replies — in one syscall. `WouldBlock` leaves the cursor holding
+//!   the torn frame at its resume offset; backpressure propagates to
+//!   senders through the bounded queue, never by blocking a worker.
+//! * **read**: drain the socket into a [`FrameDecoder`], which
+//!   reassembles frames split across reads, and dispatch each decoded
+//!   frame (deliver, ack, answer the rendezvous handshake).
+//!
+//! Wakeups are edge-triggered in userspace: every producer (a sender
+//! pushing a frame, a repair request, shutdown) bumps the owning
+//! worker's [`WorkSignal`]; after a successful write the worker signals
+//! the owner of the *reverse* endpoint, whose socket now has readable
+//! bytes — all nodes live in this process, so the writer is always
+//! positioned to poke the reader. An idle worker spins briefly
+//! ([`Spinner`]), then parks with a bounded timeout, so a missed edge
+//! costs milliseconds, not liveness.
+//!
+//! The former repair, retransmit and heartbeat threads fold into worker
+//! 0 as deadline-ordered timer duties: a retransmit scan every `rto/4`,
+//! a heartbeat tick every `heartbeat/2`, and repair-queue processing on
+//! demand. Total fabric-owned threads are therefore O(pool) — a
+//! constant — instead of O(node pairs × lanes), the wall that kept the
+//! thread-per-lane design from multiplying lanes the way the paper's
+//! Fig. 1 premise requires.
 //!
 //! Backpressure: each lane's user send queue is bounded; `send` blocks
 //! (and counts a stall) while it is full. Protocol replies (CTS, DATA,
-//! ACK) travel on an unbounded control queue that writers drain first —
-//! reader threads therefore never block on a full queue, which is what
-//! makes the writer/reader mesh deadlock-free: readers always drain the
-//! wire, so TCP flow control always eventually releases any blocked
-//! writer.
+//! ACK) travel on an unbounded control queue drained first — frame
+//! handling inside a worker never blocks on a full queue, so workers
+//! always drain the wire and TCP flow control always eventually
+//! releases any blocked sender.
 //!
 //! Hot-path economics: an eager frame is encoded exactly once into a
 //! pooled, refcounted buffer ([`crate::pool::FrameBuf`]) — the send
-//! queue, the retransmit pending queue, and any retransmit in flight
-//! share refcounts on the same bytes, and the buffer recycles when the
-//! last holder drops. After pool warm-up the steady-state eager send
-//! path performs no heap allocation at all. Blocking waits (full send
-//! queue, empty writer queue, empty receive channel) spin briefly
-//! before parking ([`crate::wait::Spinner`], `PIPMCOLL_SPIN_US`), since
-//! at target message rates the awaited state usually arrives within
-//! microseconds of the wait starting.
+//! queue, the write cursor, the retransmit pending queue, and any
+//! retransmit in flight share refcounts on the same bytes, and the
+//! buffer recycles when the last holder drops. After pool warm-up the
+//! steady-state eager send path performs no heap allocation at all.
 //!
-//! Robustness (the PR 3 layer):
+//! Robustness (the PR 3 layer, unchanged in contract):
 //!
-//! * **Cumulative ack + retransmit** — every eager frame stays in its
-//!   channel's pending queue until the receiver's ack *watermark* (the
-//!   next-expected sequence, covering everything below it) passes it.
-//!   Receivers batch acks — one ACK per dirty channel when the inbound
-//!   socket goes quiet, or every 32 frames under sustained load — and
+//! * **Cumulative ack + retransmit** — every eager frame (and every
+//!   rendezvous DATA frame) stays in its channel's pending queue until
+//!   the receiver's ack *watermark* passes it. Receivers batch acks and
 //!   piggyback them on reverse-direction eager frames in the spare
-//!   `aux` header field, so an a→b / b→a stream pair needs almost no
-//!   standalone control frames. A dedicated retransmit thread re-sends
-//!   unacked frames with exponential backoff and jitter; the receiver's
-//!   sequence dedup (`store::MsgStore`) makes re-deliveries idempotent,
-//!   and every delivery (duplicates included) re-raises the watermark,
-//!   so a lost ack never wedges the sender. A frame that exhausts its
-//!   budget becomes a [`FabricError::PeerHung`], not a panic.
-//! * **Reconnect** — a broken socket is reported to a repair thread that
-//!   owns the listener; it re-establishes the connection (both
-//!   directions) and respawns progress threads, deduplicating reports
-//!   from the up-to-four threads of one connection by generation number.
-//!   Frames lost in the break are recovered by retransmit.
+//!   `aux` header field. Worker 0's retransmit scan re-sends unacked
+//!   frames with exponential backoff and jitter; receiver sequence
+//!   dedup makes re-deliveries idempotent, and every delivery re-raises
+//!   the watermark, so a lost ack never wedges the sender. An exhausted
+//!   budget becomes a typed [`FabricError::PeerDead`] verdict.
+//! * **Reconnect** — a broken socket is reported to worker 0's repair
+//!   duty, which re-establishes the connection and hands fresh
+//!   endpoints to their owners, deduplicating reports by generation
+//!   number. Frames lost in the break are recovered by retransmit.
 //! * **Lane failover** — [`Fabric::kill_lane`] severs a lane and future
-//!   sends restripe over the survivors. Per-channel FIFO survives
-//!   because receivers reassemble by sequence number regardless of the
-//!   arrival lane. The last surviving lane refuses to die.
+//!   sends restripe over the survivors; per-channel FIFO survives
+//!   because receivers reassemble by sequence number. The last
+//!   surviving lane refuses to die.
 //! * **Chaos** — when a [`WireChaos`] stream is installed, every eager
 //!   frame's first transmission rolls a fate *below* sequence
-//!   assignment: a dropped frame looks exactly like wire loss (the
-//!   retransmit path recovers it) and a duplicate looks exactly like a
-//!   spurious retransmit (dedup collapses it).
+//!   assignment: a dropped frame looks exactly like wire loss and a
+//!   duplicate looks exactly like a spurious retransmit.
 //!
 //! Node-local messages never touch a socket: one "node" here is a set of
 //! ranks sharing an address space, so a self-send is delivered straight
 //! into the node's store (counted separately in [`FabricStats`]).
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -82,12 +96,12 @@ use pipmcoll_model::Topology;
 
 use crate::chaos::{ChaosRng, FrameFate, WireChaos};
 use crate::error::{DeadPeer, FabricDiag, FabricError, FabricHealth, FabricResult, QueueDiag};
-use crate::pool::{FrameBuf, FramePool, PoolStats};
+use crate::pool::{FrameBuf, FramePool, PoolStats, WriteCursor};
 use crate::stats::{FabricStats, LaneStats, LatencyHist};
 use crate::store::MsgStore;
 use crate::timeout::sync_timeout;
-use crate::wait::Spinner;
-use crate::wire::{Frame, FrameKind};
+use crate::wait::{Spinner, WorkSignal};
+use crate::wire::{Frame, FrameDecoder, FrameKind};
 use crate::{ChanKey, Fabric};
 
 /// Tuning knobs for [`TcpFabric`].
@@ -98,7 +112,11 @@ pub struct TcpConfig {
     /// Largest payload sent eagerly; above this the rendezvous handshake
     /// (RTS/CTS/DATA) is used.
     pub eager_max: usize,
-    /// Bounded depth (in messages) of each lane's user send queue.
+    /// Bounded user send window (in messages) per directed node pair,
+    /// split evenly across its lanes (each lane queue gets at least 1
+    /// slot). A per-pair budget keeps the total in-flight backlog —
+    /// and with it ack latency — independent of the lane count, instead
+    /// of multiplying the window by k.
     pub queue_cap: usize,
     /// Base retransmit timeout: how long an eager frame may stay unacked
     /// before its first re-send (doubles per attempt, jittered).
@@ -115,6 +133,11 @@ pub struct TcpConfig {
     /// Missed-beat budget: a node silent for `heartbeat * misses` is
     /// suspected dead (cleared the instant any frame arrives from it).
     pub heartbeat_misses: u32,
+    /// Progress-pool size; `0` means auto (`min(4, cores)`). The pool is
+    /// additionally capped at the endpoint count — a fabric never spawns
+    /// a worker with nothing to drive. Default from
+    /// `PIPMCOLL_PROGRESS_THREADS` (absent/0 = auto).
+    pub progress_threads: usize,
 }
 
 /// `PIPMCOLL_HEARTBEAT_MS` (0 disables), parsed once.
@@ -129,23 +152,52 @@ fn env_heartbeat() -> Duration {
     })
 }
 
+/// `PIPMCOLL_PROGRESS_THREADS` (0 or absent = auto), parsed once.
+fn env_progress_threads() -> usize {
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| match std::env::var("PIPMCOLL_PROGRESS_THREADS") {
+        Err(_) => 0,
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            panic!("PIPMCOLL_PROGRESS_THREADS must be a thread count, got {v:?}")
+        }),
+    })
+}
+
 impl Default for TcpConfig {
     fn default() -> Self {
         TcpConfig {
             lanes: 4,
             eager_max: 64 * 1024,
-            queue_cap: 256,
+            queue_cap: 1024,
             rto: Duration::from_millis(25),
             max_retransmits: 8,
             heartbeat: env_heartbeat(),
             heartbeat_misses: 4,
+            progress_threads: env_progress_threads(),
         }
     }
 }
 
-/// Writers coalesce queued frames into batches of at most this many bytes
-/// per `write` call.
+/// Staging budget for one worker *cycle*, shared across its endpoints:
+/// each endpoint's per-pass refill target is this divided by the
+/// worker's endpoint count (floored at [`STAGE_MIN`]). Budgeting the
+/// cycle rather than the endpoint keeps a worker's round-trip time —
+/// and therefore ack latency — roughly constant as lanes multiply,
+/// instead of growing linearly with endpoints.
 const BATCH_MAX: usize = 256 * 1024;
+
+/// Per-endpoint refill floor: enough to fill a `write_vectored` batch
+/// of small frames, so heavily-subscribed workers still amortize the
+/// queue lock and the syscall over dozens of frames.
+const STAGE_MIN: usize = 4 * 1024;
+
+/// Frames per `write_vectored` call (conservative portable IOV cap).
+const MAX_IOV: usize = 64;
+
+/// Socket reads one endpoint may take per progress pass before yielding
+/// to its siblings (each read fills up to the scratch buffer, 64 KiB) —
+/// fairness under a one-sided flood.
+const MAX_READS_PER_PASS: usize = 4;
 
 /// `(from_node, to_node, lane)` — one direction of one lane connection.
 type LaneKey = (usize, usize, usize);
@@ -167,22 +219,15 @@ enum PushError {
 
 /// One lane endpoint's send side: bounded user queue + unbounded control
 /// queue (drained first). The queue object outlives any one socket: a
-/// reconnected connection's new writer drains the same queue, and the
-/// `epoch` counter tells a superseded writer to stand down without
-/// stealing frames from its replacement.
+/// reconnected connection's fresh endpoint drains the same queue.
 struct SendQueue {
     inner: Mutex<QueueInner>,
     cap: usize,
-    /// Bumped when the draining writer is replaced (reconnect, lane
-    /// kill); a writer holding a stale epoch exits at its next wakeup.
-    epoch: AtomicU64,
     /// Deepest the unbounded control queue has ever been — the one
     /// queue backpressure cannot bound, so it gets a high-water mark.
     ctrl_hwm: AtomicU64,
     /// Signalled when the user queue drains below capacity.
     can_push: Condvar,
-    /// Signalled when anything is queued (or the queue closes/turns over).
-    can_pop: Condvar,
 }
 
 impl SendQueue {
@@ -190,10 +235,8 @@ impl SendQueue {
         SendQueue {
             inner: Mutex::new(QueueInner::default()),
             cap,
-            epoch: AtomicU64::new(0),
             ctrl_hwm: AtomicU64::new(0),
             can_push: Condvar::new(),
-            can_pop: Condvar::new(),
         }
     }
 
@@ -211,8 +254,8 @@ impl SendQueue {
             if now >= deadline {
                 return Err(PushError::Timeout(now.saturating_duration_since(start)));
             }
-            // The writer usually frees a slot within microseconds; spin
-            // through that window before paying for a park.
+            // The progress pool usually frees a slot within microseconds;
+            // spin through that window before paying for a park.
             if spinner.turn() {
                 drop(g);
                 g = self.inner.lock().map_err(|_| PushError::Poisoned)?;
@@ -228,14 +271,12 @@ impl SendQueue {
             g = guard;
         }
         g.user.push_back(frame);
-        drop(g);
-        self.can_pop.notify_one();
         Ok(stalled)
     }
 
     /// Enqueue a protocol frame (CTS/DATA/ACK, retransmits). Never
-    /// blocks — this is what keeps reader threads always able to drain
-    /// the wire. Returns `false` only on a poisoned queue.
+    /// blocks — this is what keeps the progress pool always able to
+    /// drain the wire. Returns `false` only on a poisoned queue.
     fn push_ctrl(&self, frame: FrameBuf) -> bool {
         match self.inner.lock() {
             Ok(mut g) => {
@@ -243,62 +284,55 @@ impl SendQueue {
                 let depth = g.ctrl.len() as u64;
                 drop(g);
                 self.ctrl_hwm.fetch_max(depth, Ordering::Relaxed);
-                self.can_pop.notify_one();
                 true
             }
             Err(_) => false,
         }
     }
 
-    /// Move up to `BATCH_MAX` bytes of queued frames into `buf`
-    /// (control frames first). Blocks while empty; returns `false` once
-    /// the queue is closed and fully drained, or once this writer's
-    /// `my_epoch` is superseded by a replacement.
-    fn pop_batch(&self, my_epoch: u64, buf: &mut Vec<u8>) -> bool {
-        buf.clear();
-        let mut spinner = Spinner::new();
+    /// Nonblocking drain into a write cursor (control frames first)
+    /// until the cursor stages at least `target` bytes or the queue is
+    /// empty. Returns the bytes moved, and collects the identity of
+    /// every staged payload frame into `staged` (for the wire-time RTT
+    /// stamp). Frees user-queue capacity, waking blocked senders.
+    fn pop_into(
+        &self,
+        cursor: &mut WriteCursor,
+        target: usize,
+        staged: &mut Vec<(ChanKey, u64)>,
+    ) -> usize {
         let Ok(mut g) = self.inner.lock() else {
-            return false;
+            return 0;
         };
-        loop {
-            if self.epoch.load(Ordering::Relaxed) != my_epoch {
-                return false;
-            }
-            while buf.len() < BATCH_MAX {
-                let next = g.ctrl.pop_front().or_else(|| g.user.pop_front());
-                match next {
-                    // The frame's refcount drops here; the pending table
-                    // (if any) keeps the underlying buffer alive.
-                    Some(f) => buf.extend_from_slice(&f),
-                    None => break,
+        let mut moved = 0usize;
+        let mut popped_user = false;
+        while cursor.remaining_bytes() < target {
+            let next = g.ctrl.pop_front().or_else(|| {
+                let f = g.user.pop_front();
+                popped_user |= f.is_some();
+                f
+            });
+            match next {
+                // The queue's refcount moves into the cursor; the pending
+                // table (if any) keeps the bytes alive for retransmit.
+                Some(f) => {
+                    if let Some(id) = Frame::peek_payload_id(&f) {
+                        staged.push(id);
+                    }
+                    moved += f.len();
+                    cursor.push(f);
                 }
+                None => break,
             }
-            if !buf.is_empty() {
-                drop(g);
-                self.can_push.notify_all();
-                return true;
-            }
-            if g.closed {
-                return false;
-            }
-            // Spin before parking: under load the next frame lands well
-            // inside the spin budget.
-            if spinner.turn() {
-                drop(g);
-                let Ok(guard) = self.inner.lock() else {
-                    return false;
-                };
-                g = guard;
-                continue;
-            }
-            let Ok(guard) = self.can_pop.wait(g) else {
-                return false;
-            };
-            g = guard;
         }
+        drop(g);
+        if popped_user {
+            self.can_push.notify_all();
+        }
+        moved
     }
 
-    /// Frames queued and not yet written to the wire.
+    /// Frames queued and not yet staged for the wire.
     fn depth(&self) -> usize {
         self.inner
             .lock()
@@ -306,23 +340,10 @@ impl SendQueue {
             .unwrap_or(0)
     }
 
-    fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Relaxed)
-    }
-
-    /// Retire the current writer (it exits at its next wakeup without
-    /// popping more frames; queued frames wait for the replacement).
-    fn bump_epoch(&self) {
-        self.epoch.fetch_add(1, Ordering::Relaxed);
-        self.can_pop.notify_all();
-        self.can_push.notify_all();
-    }
-
     fn close(&self) {
         if let Ok(mut g) = self.inner.lock() {
             g.closed = true;
         }
-        self.can_pop.notify_all();
         self.can_push.notify_all();
     }
 }
@@ -340,7 +361,8 @@ struct RdvMsg {
     payload: Vec<u8>,
 }
 
-/// An eager frame awaiting the receiver's cumulative-ack watermark.
+/// A payload frame awaiting the receiver's cumulative-ack watermark
+/// (eager frames and rendezvous DATA frames alike).
 struct PendingFrame {
     /// This frame's channel sequence number.
     seq: u64,
@@ -351,45 +373,91 @@ struct PendingFrame {
     attempts: u32,
     /// When the next re-send (or the exhaustion verdict) is due.
     next_at: Instant,
-    /// First transmission instant, for ack round-trip measurement.
+    /// First *wire* transmission instant, for ack round-trip
+    /// measurement: registration-time until [`Mesh::mark_on_wire`]
+    /// re-stamps it as the frame leaves the send queue for its socket.
     first_sent: Instant,
+    /// Whether `first_sent` has been re-stamped at wire time.
+    on_wire: bool,
 }
 
 /// One lane connection between a node pair (keyed `(lo, hi, lane)` with
 /// `lo < hi`): the current socket pair and its repair generation.
 struct ConnEntry {
-    /// Bumped on every successful repair; dedups break reports.
-    gen: u64,
+    /// Bumped on every successful repair; shared with the connection's
+    /// endpoints so a superseded endpoint retires itself, and dedups
+    /// break reports.
+    gen: Arc<AtomicU64>,
     /// `lo`'s endpoint stream.
     out: TcpStream,
     /// `hi`'s endpoint stream.
     inn: TcpStream,
 }
 
-/// A break report from a progress thread to the repair thread.
+/// A break report from a progress worker to worker 0's repair duty.
 struct RepairReq {
     lo: usize,
     hi: usize,
     lane: usize,
-    /// The generation the failing thread belonged to (stale reports for
-    /// an already-repaired connection are dropped).
+    /// The generation the failing endpoint belonged to (stale reports
+    /// for an already-repaired connection are dropped).
     gen: u64,
 }
 
-/// Identity of one progress-thread pair's endpoint.
-#[derive(Clone, Copy)]
-struct EndpointId {
+/// One direction of one lane connection, as driven by its owning
+/// progress worker: the nonblocking stream plus all per-endpoint
+/// progress state (resumable write cursor, incremental frame decoder).
+struct Endpoint {
     here: usize,
     peer: usize,
     lane: usize,
+    /// The repair generation this endpoint belongs to.
     gen: u64,
+    /// The connection's live generation; `gen != cur_gen` means a repair
+    /// superseded this endpoint and it must retire without touching the
+    /// shared send queue again.
+    cur_gen: Arc<AtomicU64>,
+    stream: TcpStream,
+    queue: Arc<SendQueue>,
+    decoder: FrameDecoder,
+    cursor: WriteCursor,
+    /// Frames handled since the last owed-ack flush.
+    since_flush: u32,
+    /// Scratch for the payload-frame identities staged each refill
+    /// (reused across passes; emptied after the wire-time RTT stamp).
+    staged: Vec<(ChanKey, u64)>,
 }
 
-/// Everything shared between `send`/`recv` callers and the progress,
-/// repair and retransmit threads.
+/// Progress-pool plumbing: endpoint ownership, wakeup signals, the
+/// repair queue, and the listener worker 0 repairs through.
+struct ProgressShared {
+    addr: SocketAddr,
+    /// The loopback listener; blocking during initial connect, then
+    /// nonblocking for worker 0's repair accepts.
+    listener: Mutex<TcpListener>,
+    /// Break reports awaiting worker 0.
+    repair_q: Mutex<VecDeque<RepairReq>>,
+    /// Per-worker hand-off of freshly created endpoints (initial
+    /// connect, repair).
+    inboxes: Vec<Mutex<Vec<Endpoint>>>,
+    /// Per-worker wakeup signals.
+    signals: Vec<WorkSignal>,
+    /// Endpoint owner map: `(here, peer, lane)` → worker index.
+    owners: HashMap<LaneKey, usize>,
+    /// Resolved pool size.
+    pool_size: usize,
+    /// Live worker census (incremented on entry, guard-decremented on
+    /// exit) — the observable behind the thread-budget tests. `Arc` so
+    /// a probe can outlive the fabric and verify `Drop` joined the pool.
+    live: Arc<AtomicUsize>,
+}
+
+/// Everything shared between `send`/`recv` callers and the progress
+/// pool.
 struct Mesh {
     topo: Topology,
     cfg: TcpConfig,
+    progress: ProgressShared,
     /// Per-node receive stores.
     stores: Vec<Arc<MsgStore>>,
     /// Send queues keyed by `(from_node, to_node, lane)`; fixed at
@@ -397,12 +465,12 @@ struct Mesh {
     queues: HashMap<LaneKey, Arc<SendQueue>>,
     /// Live connections keyed by `(lo, hi, lane)`.
     conns: Mutex<HashMap<LaneKey, ConnEntry>>,
-    /// Unacked eager frames, per channel in sequence order (sequence
+    /// Unacked payload frames, per channel in sequence order (sequence
     /// numbers only grow, so a cumulative ack is a pop-front prefix and
     /// each deque keeps its allocation across the whole run).
     pending: Mutex<HashMap<ChanKey, VecDeque<PendingFrame>>>,
     /// Ack watermarks owed to peers, keyed by the received channel.
-    /// Drained either by a reader's batched standalone-ack flush or by
+    /// Drained either by a worker's batched standalone-ack flush or by
     /// a reverse-direction eager send that piggybacks the watermark.
     acks_owed: Mutex<HashMap<ChanKey, u64>>,
     /// Cheap gate so the eager send path skips the `acks_owed` lock
@@ -412,7 +480,7 @@ struct Mesh {
     pool: FramePool,
     /// Round-trip from first transmission to the covering ack.
     ack_rtt: LatencyHist,
-    /// Failures recorded by progress threads, drained by the runtime.
+    /// Failures recorded by progress workers, drained by the runtime.
     errors: Mutex<Vec<FabricError>>,
     /// Per-lane kill flags; a killed lane is never repaired.
     killed: Vec<AtomicBool>,
@@ -439,11 +507,11 @@ struct Mesh {
     last_heard: Vec<AtomicU64>,
     /// Nanoseconds node `a` last sent anything to node `b` (same
     /// layout). The send path refreshes this, which is what makes busy
-    /// pairs' liveness ride piggyback — the heartbeat thread only emits
+    /// pairs' liveness ride piggyback — the heartbeat duty only emits
     /// a standalone beat when this goes stale.
     last_sent: Vec<AtomicU64>,
     /// Directed suspicion flags (`a` suspects `b`), same layout. Set by
-    /// the heartbeat thread past the miss budget, cleared by any frame
+    /// the heartbeat duty past the miss budget, cleared by any frame
     /// arrival from `b`.
     hb_suspected: Vec<AtomicBool>,
     /// Test hook: a muted node's standalone beats are suppressed, so its
@@ -453,8 +521,6 @@ struct Mesh {
     /// Ranks with a retransmit-exhaustion death verdict:
     /// rank → (last unacked seq, attempts).
     dead_peers: Mutex<HashMap<usize, (u64, u32)>>,
-    writer_handles: Mutex<Vec<JoinHandle<()>>>,
-    reader_handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Mesh {
@@ -469,6 +535,29 @@ impl Mesh {
 
     fn pair(&self, a: usize, b: usize) -> usize {
         a * self.topo.nodes() + b
+    }
+
+    /// Wake the worker that owns endpoint `(from, to, lane)` — its send
+    /// queue or its socket just gained work.
+    fn notify_owner(&self, from: usize, to: usize, lane: usize) {
+        if let Some(&w) = self.progress.owners.get(&(from, to, lane)) {
+            self.progress.signals[w].notify();
+        }
+    }
+
+    /// Push a control frame onto `(from, to, lane)`'s queue and wake the
+    /// owning worker. Returns `false` if the queue is missing/poisoned.
+    fn push_ctrl_to(&self, from: usize, to: usize, lane: usize, buf: FrameBuf) -> bool {
+        match self.queues.get(&(from, to, lane)) {
+            Some(q) => {
+                let ok = q.push_ctrl(buf);
+                if ok {
+                    self.notify_owner(from, to, lane);
+                }
+                ok
+            }
+            None => false,
+        }
     }
 
     /// Node `here` heard a frame from node `peer`: refresh the beat and
@@ -571,9 +660,68 @@ impl Mesh {
         }
     }
 
+    /// Register a payload frame (eager or rendezvous DATA) for
+    /// retransmit protection and ack round-trip measurement. The deque
+    /// stays sequence-sorted: eager frames append (the common case hits
+    /// the `rposition` fast path on the last element), while a
+    /// rendezvous DATA frame — whose CTS returns after later eager
+    /// sequences were already registered — inserts at its ordered slot,
+    /// keeping `apply_ack`'s prefix-pop and the head-of-queue retransmit
+    /// scan correct.
+    fn register_pending(&self, chan: ChanKey, seq: u64, buf: FrameBuf) {
+        let now = Instant::now();
+        let Ok(mut pending) = self.pending.lock() else {
+            return;
+        };
+        let q = pending.entry(chan).or_default();
+        let pos = q
+            .iter()
+            .rposition(|p| p.seq < seq)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        q.insert(
+            pos,
+            PendingFrame {
+                seq,
+                buf,
+                attempts: 0,
+                next_at: now + self.cfg.rto,
+                first_sent: now,
+                on_wire: false,
+            },
+        );
+    }
+
+    /// Re-stamp `first_sent` for frames a worker just staged onto their
+    /// socket, so ack RTT measures the *wire* round trip. Stamping at
+    /// registration instead would fold in time spent queued behind the
+    /// lane's own backlog — which grows with the number of lanes and
+    /// drowns the transport signal the ramp gates watch.
+    fn mark_on_wire(&self, staged: &[(ChanKey, u64)], now: Instant) {
+        let Ok(mut pending) = self.pending.lock() else {
+            return;
+        };
+        for &(chan, seq) in staged {
+            let Some(q) = pending.get_mut(&chan) else {
+                continue;
+            };
+            // The deque is sequence-sorted (see `register_pending`).
+            let Ok(i) = q.binary_search_by_key(&seq, |p| p.seq) else {
+                continue;
+            };
+            let p = &mut q[i];
+            // Only the first staging counts; a chaos-duplicated or
+            // retransmitted copy must not shrink the measured RTT.
+            if !p.on_wire {
+                p.on_wire = true;
+                p.first_sent = now;
+            }
+        }
+    }
+
     /// Note that `chan`'s receiver owes its sender a cumulative ack up
     /// to `watermark`. Watermarks only rise; `owed_len` lets the send
-    /// path and the readers' flush skip the lock when nothing is owed.
+    /// path and the workers' flush skip the lock when nothing is owed.
     fn note_owed(&self, chan: ChanKey, watermark: u64) {
         if watermark == 0 {
             // Nothing contiguous delivered yet (an out-of-order frame is
@@ -591,7 +739,7 @@ impl Mesh {
     }
 
     /// Flush every owed cumulative ack as a standalone ACK control
-    /// frame. Called by readers when their inbound socket goes quiet (or
+    /// frame. Called by workers when an inbound socket goes quiet (or
     /// every 32 frames under sustained load), so a stream of n eager
     /// frames costs far fewer than n control replies. Gated by
     /// `owed_len`, so the idle case is one relaxed atomic load.
@@ -628,21 +776,18 @@ impl Mesh {
                 aux: 0,
                 payload: Vec::new(),
             };
-            if let Some(q) = self.queues.get(&(from, to, lane)) {
-                if !q.push_ctrl(self.pool.encode(&ack)) {
-                    self.record(FabricError::QueuePoisoned {
-                        what: "control send queue",
-                    });
-                }
+            if !self.push_ctrl_to(from, to, lane, self.pool.encode(&ack)) {
+                self.record(FabricError::QueuePoisoned {
+                    what: "control send queue",
+                });
             }
         }
     }
 
     /// Process one decoded frame arriving at node `here` from `peer` on
     /// `lane`. Never panics: anything unexpected is recorded and the
-    /// reader keeps going.
+    /// worker keeps going.
     fn handle_frame(&self, here: usize, peer: usize, lane: usize, frame: Frame) {
-        let reply = self.queues.get(&(here, peer, lane));
         match frame.kind {
             FrameKind::Eager => {
                 // A piggybacked cumulative ack for the reverse channel
@@ -660,7 +805,15 @@ impl Mesh {
                 self.note_owed(chan, watermark);
             }
             FrameKind::Data => {
-                self.stores[here].deliver_seq(frame.chan(), frame.seq, frame.payload);
+                // Rendezvous DATA participates in the cumulative-ack
+                // protocol exactly like an eager frame: the raised
+                // watermark retires the sender's pending entry and
+                // feeds the ack-RTT histogram — rendezvous-dominated
+                // workloads used to record no RTT samples at all.
+                let chan = frame.chan();
+                let (_, watermark) =
+                    self.stores[here].deliver_seq_watermark(chan, frame.seq, frame.payload);
+                self.note_owed(chan, watermark);
             }
             FrameKind::Rts => {
                 // Grant immediately: the store reorders, so there is
@@ -670,9 +823,7 @@ impl Mesh {
                     payload: Vec::new(),
                     ..frame
                 };
-                if let Some(q) = reply {
-                    q.push_ctrl(self.pool.encode(&cts));
-                }
+                self.push_ctrl_to(here, peer, lane, self.pool.encode(&cts));
             }
             FrameKind::Cts => {
                 let msg = match self.rdv_stash.lock() {
@@ -684,8 +835,8 @@ impl Mesh {
                         return;
                     }
                 };
-                // One bad control frame must not kill the lane's reader:
-                // record it and keep decoding.
+                // One bad control frame must not kill the lane: record
+                // it and keep decoding.
                 let Some(msg) = msg else {
                     self.record(FabricError::MalformedFrame {
                         lane,
@@ -705,398 +856,559 @@ impl Mesh {
                     aux: frame.aux,
                     payload: msg.payload,
                 };
-                if let Some(q) = reply {
-                    q.push_ctrl(self.pool.encode(&data));
-                }
+                let buf = self.pool.encode(&data);
+                // Retransmit-protect the DATA before it can be lost —
+                // this is what makes a rendezvous transfer ack'd,
+                // measured, and recoverable.
+                self.register_pending(msg.chan, msg.seq, buf.clone());
+                self.push_ctrl_to(here, peer, lane, buf);
             }
             FrameKind::Ack => {
                 // `seq` is the receiver's next-expected watermark.
                 self.apply_ack(frame.chan(), frame.seq);
             }
             FrameKind::Heartbeat => {
-                // Nothing to do: the reader already counted the arrival
+                // Nothing to do: the worker already counted the arrival
                 // as a beat (any frame kind does).
             }
         }
     }
 }
 
-/// The heartbeat thread: one liveness sideband for the whole mesh.
-/// Every tick it (a) emits a standalone beat for each directed node
-/// pair whose outbound traffic has gone quiet for a full interval —
-/// busy pairs never see one, their regular frames *are* the beats —
-/// and (b) promotes pairs silent past the miss budget to suspected.
-/// Beats ride the control queues, so this thread never blocks on
-/// backpressure. Suspicion is node-granular and advisory: the runtime's
-/// agreement protocol decides which *ranks* are actually dead.
-fn heartbeat_loop(mesh: Arc<Mesh>) {
-    let interval = mesh.cfg.heartbeat;
-    let budget = interval * mesh.cfg.heartbeat_misses.max(1);
-    let tick = (interval / 2).max(Duration::from_millis(1));
-    let nodes = mesh.topo.nodes();
-    loop {
-        std::thread::sleep(tick);
-        if mesh.shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        let now = mesh.now_nanos();
-        for a in 0..nodes {
-            for b in 0..nodes {
-                if a == b {
-                    continue;
-                }
-                let idx = mesh.pair(a, b);
-                // Promote silence past the budget to suspicion. An
-                // unheard pair (0) is aged from construction.
-                let heard = mesh.last_heard[idx].load(Ordering::Relaxed);
-                if Duration::from_nanos(now.saturating_sub(heard)) > budget {
-                    mesh.hb_suspected[idx].store(true, Ordering::Relaxed);
-                }
-                // Emit a's beat towards b when a→b has been quiet.
-                if mesh.muted[a].load(Ordering::Relaxed) {
-                    continue;
-                }
-                let sent = mesh.last_sent[idx].load(Ordering::Relaxed);
-                if Duration::from_nanos(now.saturating_sub(sent)) < interval {
-                    continue;
-                }
-                let Some(lane) = mesh.alive_lanes().first().copied() else {
-                    continue;
-                };
-                let beat = Frame {
-                    kind: FrameKind::Heartbeat,
-                    src: mesh.topo.rank_of(a, 0) as u32,
-                    dst: mesh.topo.rank_of(b, 0) as u32,
-                    tag: 0,
-                    seq: 0,
-                    aux: 0,
-                    payload: Vec::new(),
-                };
-                if let Some(q) = mesh.queues.get(&(a, b, lane)) {
-                    if q.push_ctrl(mesh.pool.encode(&beat)) {
-                        mesh.note_sent(a, b);
-                    }
-                }
-            }
-        }
-    }
-}
+// ---------------------------------------------------------------------
+// Progress pool: worker loop, endpoint stepping, and worker-0 duties.
+// ---------------------------------------------------------------------
 
-/// Tell the repair thread a connection broke — unless it broke because
-/// of shutdown or a deliberate lane kill, which are not repairable.
-fn report_break(mesh: &Mesh, tx: &mpsc::Sender<RepairReq>, id: EndpointId) {
-    if mesh.shutdown.load(Ordering::Relaxed) || mesh.killed[id.lane].load(Ordering::Relaxed) {
+/// Queue a break report for worker 0's repair duty — unless the socket
+/// broke because of shutdown or a deliberate lane kill, which are not
+/// repairable.
+fn report_break(mesh: &Mesh, ep: &Endpoint) {
+    if mesh.shutdown.load(Ordering::Relaxed) || mesh.killed[ep.lane].load(Ordering::Relaxed) {
         return;
     }
-    let (lo, hi) = if id.here < id.peer {
-        (id.here, id.peer)
+    let (lo, hi) = if ep.here < ep.peer {
+        (ep.here, ep.peer)
     } else {
-        (id.peer, id.here)
+        (ep.peer, ep.here)
     };
-    let _ = tx.send(RepairReq {
-        lo,
-        hi,
-        lane: id.lane,
-        gen: id.gen,
-    });
+    if let Ok(mut q) = mesh.progress.repair_q.lock() {
+        q.push_back(RepairReq {
+            lo,
+            hi,
+            lane: ep.lane,
+            gen: ep.gen,
+        });
+    }
+    mesh.progress.signals[0].notify();
 }
 
-/// Spawn the writer + reader pair for one endpoint of one connection.
-fn spawn_endpoint(
-    mesh: &Arc<Mesh>,
-    id: EndpointId,
-    stream: TcpStream,
-    tx: &mpsc::Sender<RepairReq>,
-) -> io::Result<()> {
-    let EndpointId {
-        here, peer, lane, ..
-    } = id;
-    let queue = mesh
-        .queues
-        .get(&(here, peer, lane))
-        .cloned()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no send queue for endpoint"))?;
-    let my_epoch = queue.epoch();
+/// One nonblocking progress pass over one endpoint: stage queued frames
+/// into the cursor, `write_vectored` them out, then drain the socket
+/// through the decoder and dispatch every complete frame. Returns
+/// `(keep, progressed)` — `keep == false` retires the endpoint (its
+/// break, if unexpected, has been reported).
+fn endpoint_step(mesh: &Mesh, ep: &mut Endpoint, stage: usize, scratch: &mut [u8]) -> (bool, bool) {
+    let mut progressed = false;
 
-    let wstream = stream.try_clone()?;
-    let wmesh = Arc::clone(mesh);
-    let wtx = tx.clone();
-    let writer = std::thread::Builder::new()
-        .name(format!("fab-w {here}->{peer} l{lane} g{}", id.gen))
-        .spawn(move || {
-            let mut ws = wstream;
-            let mut batch = Vec::with_capacity(BATCH_MAX);
-            while queue.pop_batch(my_epoch, &mut batch) {
-                if ws.write_all(&batch).is_err() {
-                    report_break(&wmesh, &wtx, id);
-                    return;
-                }
-                wmesh.touch();
+    // WRITE: refill the cursor (up to this endpoint's share of the
+    // worker's cycle budget), then push as much as the socket takes.
+    if ep.cursor.remaining_bytes() < stage
+        && ep.queue.pop_into(&mut ep.cursor, stage, &mut ep.staged) > 0
+    {
+        progressed = true;
+    }
+    if !ep.staged.is_empty() {
+        // The RTT clock starts here — when the frame leaves its queue
+        // for the socket — not at registration (see `mark_on_wire`).
+        mesh.mark_on_wire(&ep.staged, Instant::now());
+        ep.staged.clear();
+    }
+    let mut wrote = false;
+    while !ep.cursor.is_empty() {
+        let slices = ep.cursor.io_slices(MAX_IOV);
+        match ep.stream.write_vectored(&slices) {
+            Ok(0) => {
+                report_break(mesh, ep);
+                return (false, progressed);
             }
-        })?;
+            Ok(n) => {
+                ep.cursor.advance(n);
+                wrote = true;
+                progressed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                report_break(mesh, ep);
+                return (false, progressed);
+            }
+        }
+    }
+    if wrote {
+        mesh.touch();
+        // The endpoint that *reads* what we just wrote is the reverse
+        // direction of this connection — all nodes share this process,
+        // so poke its owner instead of waiting out a park timeout.
+        mesh.notify_owner(ep.peer, ep.here, ep.lane);
+    }
 
-    let rmesh = Arc::clone(mesh);
-    let rtx = tx.clone();
-    let reader = std::thread::Builder::new()
-        .name(format!("fab-r {here}<-{peer} l{lane} g{}", id.gen))
-        .spawn(move || {
-            let mut r = BufReader::with_capacity(BATCH_MAX, stream);
-            let mut since_flush = 0u32;
-            loop {
-                match Frame::read_from(&mut r) {
-                    Ok(frame) => {
-                        rmesh.touch();
-                        // Any frame is a proof of life for the peer node.
-                        rmesh.note_heard(here, peer);
-                        rmesh.handle_frame(here, peer, lane, frame);
-                        since_flush += 1;
-                        // Batch acks: flush when the inbound socket goes
-                        // quiet (nothing buffered, so we are about to
-                        // block) or every 32 frames under sustained load.
-                        if since_flush >= 32 || r.buffer().is_empty() {
-                            rmesh.flush_owed_acks();
-                            since_flush = 0;
+    // READ: drain the socket (bounded per pass for fairness), decode,
+    // dispatch.
+    let mut reads = 0usize;
+    loop {
+        match ep.stream.read(scratch) {
+            Ok(0) => {
+                // Peer closed — a break or shutdown.
+                report_break(mesh, ep);
+                return (false, progressed);
+            }
+            Ok(n) => {
+                progressed = true;
+                ep.decoder.feed(&scratch[..n]);
+                loop {
+                    match ep.decoder.next_frame() {
+                        Ok(Some(frame)) => {
+                            mesh.touch();
+                            // Any frame is proof of life for the peer.
+                            mesh.note_heard(ep.here, ep.peer);
+                            mesh.handle_frame(ep.here, ep.peer, ep.lane, frame);
+                            ep.since_flush += 1;
+                            // Batch acks: every 32 frames under sustained
+                            // load (the quiet-socket flush is below).
+                            if ep.since_flush >= 32 {
+                                mesh.flush_owed_acks();
+                                ep.since_flush = 0;
+                            }
                         }
-                    }
-                    Err(e) => {
-                        let deliberate = rmesh.shutdown.load(Ordering::Relaxed)
-                            || rmesh.killed[lane].load(Ordering::Relaxed);
-                        if !deliberate {
-                            if e.kind() == io::ErrorKind::InvalidData {
-                                // A garbled header cannot be resynced on a
-                                // byte stream; reconnect instead.
-                                rmesh.record(FabricError::MalformedFrame {
-                                    lane,
-                                    detail: format!("unreadable frame from node {peer}: {e}"),
+                        Ok(None) => break,
+                        Err(e) => {
+                            // A garbled header cannot be resynced on a
+                            // byte stream; reconnect instead.
+                            if !mesh.shutdown.load(Ordering::Relaxed)
+                                && !mesh.killed[ep.lane].load(Ordering::Relaxed)
+                            {
+                                mesh.record(FabricError::MalformedFrame {
+                                    lane: ep.lane,
+                                    detail: format!("unreadable frame from node {}: {e}", ep.peer),
                                 });
                             }
-                            report_break(&rmesh, &rtx, id);
+                            report_break(mesh, ep);
+                            return (false, progressed);
                         }
-                        return;
                     }
                 }
+                reads += 1;
+                if reads >= MAX_READS_PER_PASS {
+                    // Yield to sibling endpoints; leftover bytes are
+                    // picked up next pass (we made progress, so the
+                    // worker loops straight back around).
+                    break;
+                }
             }
-        })?;
-
-    if let Ok(mut g) = mesh.writer_handles.lock() {
-        g.push(writer);
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Socket gone quiet: flush the acks batched above.
+                if ep.since_flush > 0 {
+                    mesh.flush_owed_acks();
+                    ep.since_flush = 0;
+                }
+                break;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                report_break(mesh, ep);
+                return (false, progressed);
+            }
+        }
     }
-    if let Ok(mut g) = mesh.reader_handles.lock() {
-        g.push(reader);
-    }
-    Ok(())
+    (true, progressed)
 }
 
-/// Spawn both endpoints of one connection (`out` = `lo`'s stream).
-fn spawn_pair(
-    mesh: &Arc<Mesh>,
-    key: LaneKey,
-    gen: u64,
-    out: &TcpStream,
-    inn: &TcpStream,
-    tx: &mpsc::Sender<RepairReq>,
-) -> io::Result<()> {
-    let (lo, hi, lane) = key;
-    spawn_endpoint(
-        mesh,
-        EndpointId {
-            here: lo,
-            peer: hi,
-            lane,
-            gen,
-        },
-        out.try_clone()?,
-        tx,
-    )?;
-    spawn_endpoint(
-        mesh,
-        EndpointId {
-            here: hi,
-            peer: lo,
-            lane,
-            gen,
-        },
-        inn.try_clone()?,
-        tx,
-    )
+/// Worker 0's retransmit duty: one scan re-sending unacked frames with
+/// exponential backoff + jitter, converting an exhausted budget into a
+/// typed [`FabricError::PeerDead`].
+fn retransmit_pass(mesh: &Mesh, rng: &mut ChaosRng) {
+    let now = Instant::now();
+    let mut due: Vec<(ChanKey, u64, FrameBuf)> = Vec::new();
+    {
+        let Ok(mut pending) = mesh.pending.lock() else {
+            mesh.record(FabricError::QueuePoisoned {
+                what: "retransmit table",
+            });
+            return;
+        };
+        for (&chan, q) in pending.iter_mut() {
+            // Only the channel's *head* frame can be the gap the
+            // receiver is stuck on — later unacked frames are usually
+            // delivered and merely held behind it, so re-sending them
+            // would only feed the dedup counter.
+            let Some(p) = q.front_mut() else {
+                continue;
+            };
+            if now < p.next_at {
+                continue;
+            }
+            if p.attempts >= mesh.cfg.max_retransmits {
+                // The strongest local death verdict the transport can
+                // reach: the whole retransmit budget spent with no ack.
+                let p = q.pop_front().expect("head just checked");
+                mesh.record_dead_peer(chan.1, p.seq, p.attempts);
+                mesh.record(FabricError::PeerDead {
+                    peer: chan.1,
+                    last_seq: p.seq,
+                    attempts: p.attempts,
+                });
+                continue;
+            }
+            p.attempts += 1;
+            let backoff = mesh.cfg.rto * 2u32.saturating_pow(p.attempts).min(64);
+            let jittered = backoff.mul_f64(0.75 + 0.5 * rng.unit());
+            p.next_at = now + jittered.min(Duration::from_secs(1));
+            // Count the attempt *here*, before the frame can reach the
+            // wire: once it is pushed the receiver may deliver it and a
+            // caller may observe the recovery, so counting after the
+            // push makes `stats().retransmits` lag what the fabric
+            // demonstrably did (a real test flake).
+            mesh.retransmits.fetch_add(1, Ordering::Relaxed);
+            // A refcount on the pooled bytes, not a copy.
+            due.push((chan, p.seq, p.buf.clone()));
+        }
+    }
+    for (chan, seq, buf) in due {
+        // Route via the *current* surviving-lane stripe, so frames lost
+        // on a killed lane migrate to the survivors.
+        let Some(lane) = mesh.effective_lane(chan.0) else {
+            mesh.record(FabricError::LaneDead {
+                lane: 0,
+                detail: format!(
+                    "no surviving lane to retransmit {} -> {} tag {} seq {seq}",
+                    chan.0, chan.1, chan.2
+                ),
+            });
+            continue;
+        };
+        let from = mesh.topo.node_of(chan.0);
+        let to = mesh.topo.node_of(chan.1);
+        mesh.push_ctrl_to(from, to, lane, buf);
+    }
 }
 
-/// Establish one fresh loopback connection pair (we are both sides, so
-/// the repair thread connects and accepts itself).
-fn reconnect(listener: &TcpListener, addr: SocketAddr) -> io::Result<(TcpStream, TcpStream)> {
-    let out = TcpStream::connect(addr)?;
-    let (inn, _) = listener.accept()?;
+/// Worker 0's heartbeat duty: one tick of the liveness sideband. Emits
+/// a standalone beat for each directed node pair whose outbound traffic
+/// has gone quiet for a full interval — busy pairs never see one, their
+/// regular frames *are* the beats — and promotes pairs silent past the
+/// miss budget to suspected. Suspicion is node-granular and advisory:
+/// the runtime's agreement protocol decides which *ranks* are dead.
+fn heartbeat_pass(mesh: &Mesh) {
+    let interval = mesh.cfg.heartbeat;
+    let budget = interval * mesh.cfg.heartbeat_misses.max(1);
+    let nodes = mesh.topo.nodes();
+    let now = mesh.now_nanos();
+    for a in 0..nodes {
+        for b in 0..nodes {
+            if a == b {
+                continue;
+            }
+            let idx = mesh.pair(a, b);
+            // Promote silence past the budget to suspicion. An unheard
+            // pair (0) is aged from construction.
+            let heard = mesh.last_heard[idx].load(Ordering::Relaxed);
+            if Duration::from_nanos(now.saturating_sub(heard)) > budget {
+                mesh.hb_suspected[idx].store(true, Ordering::Relaxed);
+            }
+            // Emit a's beat towards b when a→b has been quiet.
+            if mesh.muted[a].load(Ordering::Relaxed) {
+                continue;
+            }
+            let sent = mesh.last_sent[idx].load(Ordering::Relaxed);
+            if Duration::from_nanos(now.saturating_sub(sent)) < interval {
+                continue;
+            }
+            let Some(lane) = mesh.alive_lanes().first().copied() else {
+                continue;
+            };
+            let beat = Frame {
+                kind: FrameKind::Heartbeat,
+                src: mesh.topo.rank_of(a, 0) as u32,
+                dst: mesh.topo.rank_of(b, 0) as u32,
+                tag: 0,
+                seq: 0,
+                aux: 0,
+                payload: Vec::new(),
+            };
+            if mesh.push_ctrl_to(a, b, lane, mesh.pool.encode(&beat)) {
+                mesh.note_sent(a, b);
+            }
+        }
+    }
+}
+
+/// Hand a fresh endpoint to its owning worker.
+fn deliver_endpoint(mesh: &Mesh, ep: Endpoint) {
+    let Some(&w) = mesh.progress.owners.get(&(ep.here, ep.peer, ep.lane)) else {
+        return;
+    };
+    if let Ok(mut inbox) = mesh.progress.inboxes[w].lock() {
+        inbox.push(ep);
+    }
+    mesh.progress.signals[w].notify();
+}
+
+/// Establish one fresh loopback connection pair through the (now
+/// nonblocking) listener — we are both sides, so worker 0 connects and
+/// accepts itself. Returns nodelay'd, nonblocking streams.
+fn reconnect_nb(mesh: &Mesh) -> io::Result<(TcpStream, TcpStream)> {
+    let listener = mesh
+        .progress
+        .listener
+        .lock()
+        .map_err(|_| io::Error::other("listener mutex poisoned"))?;
+    let out = TcpStream::connect(mesh.progress.addr)?;
+    let deadline = Instant::now() + Duration::from_secs(1);
+    let inn = loop {
+        match listener.accept() {
+            Ok((s, _)) => break s,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "loopback accept timed out during repair",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    };
     out.set_nodelay(true)?;
     inn.set_nodelay(true)?;
+    out.set_nonblocking(true)?;
+    inn.set_nonblocking(true)?;
     Ok((out, inn))
 }
 
-/// The repair thread: owns the listener, serializes reconnects, and
-/// dedups the up-to-four break reports per broken connection by
-/// generation.
-fn repair_loop(
-    mesh: Arc<Mesh>,
-    listener: TcpListener,
-    addr: SocketAddr,
-    rx: mpsc::Receiver<RepairReq>,
-    tx: mpsc::Sender<RepairReq>,
-) {
-    while !mesh.shutdown.load(Ordering::Relaxed) {
-        let req = match rx.recv_timeout(Duration::from_millis(25)) {
-            Ok(r) => r,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
-        if mesh.shutdown.load(Ordering::Relaxed) || mesh.killed[req.lane].load(Ordering::Relaxed) {
-            continue;
-        }
-        let Ok(mut conns) = mesh.conns.lock() else {
-            return;
-        };
-        let key = (req.lo, req.hi, req.lane);
-        let Some(entry) = conns.get_mut(&key) else {
-            continue;
-        };
-        if entry.gen != req.gen {
-            continue; // already repaired
-        }
-        // Make every thread of the old connection notice, and retire the
-        // old writers so they do not race the replacements for frames.
-        let _ = entry.out.shutdown(Shutdown::Both);
-        let _ = entry.inn.shutdown(Shutdown::Both);
-        for qk in [(req.lo, req.hi, req.lane), (req.hi, req.lo, req.lane)] {
-            if let Some(q) = mesh.queues.get(&qk) {
-                q.bump_epoch();
-            }
-        }
-        match reconnect(&listener, addr) {
-            Ok((out, inn)) => {
-                entry.gen += 1;
-                match spawn_pair(&mesh, key, entry.gen, &out, &inn, &tx) {
-                    Ok(()) => {
-                        entry.out = out;
-                        entry.inn = inn;
-                    }
-                    Err(e) => mesh.record(FabricError::LaneDead {
-                        lane: req.lane,
-                        detail: format!("could not respawn progress threads after reconnect: {e}"),
-                    }),
+/// Repair one reported break: dedup by generation, sever the old
+/// sockets, reconnect, and hand fresh endpoints to their owners. On
+/// failure the lane is marked dead (unless it is the last survivor) so
+/// fresh traffic stops routing onto it.
+fn repair_one(mesh: &Mesh, req: RepairReq) {
+    if mesh.shutdown.load(Ordering::Relaxed) || mesh.killed[req.lane].load(Ordering::Relaxed) {
+        return;
+    }
+    let Ok(mut conns) = mesh.conns.lock() else {
+        return;
+    };
+    let key = (req.lo, req.hi, req.lane);
+    let Some(entry) = conns.get_mut(&key) else {
+        return;
+    };
+    if entry.gen.load(Ordering::Relaxed) != req.gen {
+        return; // already repaired
+    }
+    // Make both old endpoints notice, wherever they are in their step.
+    let _ = entry.out.shutdown(Shutdown::Both);
+    let _ = entry.inn.shutdown(Shutdown::Both);
+    match reconnect_nb(mesh) {
+        Ok((out, inn)) => match (out.try_clone(), inn.try_clone()) {
+            (Ok(lo_stream), Ok(hi_stream)) => {
+                // Bumping the generation retires the superseded
+                // endpoints before their replacements can race them for
+                // queued frames.
+                let new_gen = entry.gen.fetch_add(1, Ordering::Relaxed) + 1;
+                entry.out = out;
+                entry.inn = inn;
+                for (here, peer, stream) in
+                    [(req.lo, req.hi, lo_stream), (req.hi, req.lo, hi_stream)]
+                {
+                    let Some(queue) = mesh.queues.get(&(here, peer, req.lane)).cloned() else {
+                        continue;
+                    };
+                    deliver_endpoint(
+                        mesh,
+                        Endpoint {
+                            here,
+                            peer,
+                            lane: req.lane,
+                            gen: new_gen,
+                            cur_gen: Arc::clone(&entry.gen),
+                            stream,
+                            queue,
+                            decoder: FrameDecoder::new(),
+                            cursor: WriteCursor::new(),
+                            since_flush: 0,
+                            staged: Vec::new(),
+                        },
+                    );
                 }
             }
-            Err(e) => {
-                mesh.record(FabricError::LaneDead {
-                    lane: req.lane,
-                    detail: format!(
-                        "reconnect between nodes {} and {} failed: {e}",
-                        req.lo, req.hi
-                    ),
-                });
-                // Stop routing fresh traffic onto a lane we cannot
-                // repair — unless it is the last survivor.
-                if mesh.alive_lanes().len() > 1 {
-                    mesh.killed[req.lane].store(true, Ordering::Relaxed);
-                }
+            _ => mesh.record(FabricError::LaneDead {
+                lane: req.lane,
+                detail: "could not clone repaired streams for endpoints".into(),
+            }),
+        },
+        Err(e) => {
+            mesh.record(FabricError::LaneDead {
+                lane: req.lane,
+                detail: format!(
+                    "reconnect between nodes {} and {} failed: {e}",
+                    req.lo, req.hi
+                ),
+            });
+            // Stop routing fresh traffic onto a lane we cannot repair —
+            // unless it is the last survivor.
+            if mesh.alive_lanes().len() > 1 {
+                mesh.killed[req.lane].store(true, Ordering::Relaxed);
             }
         }
     }
 }
 
-/// The retransmit thread: re-sends unacked eager frames with exponential
-/// backoff + jitter, and converts an exhausted budget into a recorded
-/// [`FabricError::PeerHung`].
-fn retransmit_loop(mesh: Arc<Mesh>) {
+/// Worker 0's repair duty: drain and process the break-report queue.
+/// Returns whether anything was repaired (progress).
+fn repair_pass(mesh: &Mesh) -> bool {
+    let reqs: Vec<RepairReq> = match mesh.progress.repair_q.lock() {
+        Ok(mut q) => q.drain(..).collect(),
+        Err(_) => return false,
+    };
+    if reqs.is_empty() {
+        return false;
+    }
+    for req in reqs {
+        repair_one(mesh, req);
+    }
+    true
+}
+
+/// The progress-pool worker loop. Every worker drives its owned
+/// endpoints; worker 0 additionally runs the retransmit, heartbeat and
+/// repair timer duties. Idle workers spin briefly then park on their
+/// [`WorkSignal`] with a bounded timeout (worker 0's bounded by its
+/// next timer deadline).
+fn worker_loop(mesh: Arc<Mesh>, widx: usize) {
+    // The census was incremented at spawn time (so a fresh fabric's
+    // count is accurate before the OS schedules us); this guard only
+    // decrements, on every exit path including panic.
+    struct Census<'a>(&'a AtomicUsize);
+    impl Drop for Census<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    let _census = Census(&mesh.progress.live);
+
+    let rt_tick = (mesh.cfg.rto / 4).max(Duration::from_millis(1));
+    let hb_enabled = widx == 0 && !mesh.cfg.heartbeat.is_zero();
+    let hb_tick = (mesh.cfg.heartbeat / 2).max(Duration::from_millis(1));
+    let mut next_rt = Instant::now() + rt_tick;
+    let mut next_hb = Instant::now() + hb_tick;
     // Jitter decorrelates retransmit bursts; a fixed seed keeps runs
     // reproducible.
-    let mut rng = ChaosRng::new(0xF0F0_F0F0);
-    let tick = (mesh.cfg.rto / 4).max(Duration::from_millis(1));
+    let mut rng = ChaosRng::new(0xF0F0_F0F0 ^ widx as u64);
+    let mut eps: Vec<Endpoint> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut spinner = Spinner::new();
     loop {
-        std::thread::sleep(tick);
+        // Epoch read precedes the work scan: anything enqueued after
+        // this line bumps the epoch and cuts the park short.
+        let seen = mesh.progress.signals[widx].epoch();
+        if let Ok(mut inbox) = mesh.progress.inboxes[widx].lock() {
+            eps.append(&mut inbox);
+        }
         if mesh.shutdown.load(Ordering::Relaxed) {
             return;
         }
-        let now = Instant::now();
-        let mut due: Vec<(ChanKey, u64, FrameBuf)> = Vec::new();
-        {
-            let Ok(mut pending) = mesh.pending.lock() else {
-                mesh.record(FabricError::QueuePoisoned {
-                    what: "retransmit table",
-                });
-                return;
-            };
-            for (&chan, q) in pending.iter_mut() {
-                // Only the channel's *head* frame can be the gap the
-                // receiver is stuck on — later unacked frames are
-                // usually delivered and merely held behind it, so
-                // re-sending them would only feed the dedup counter.
-                let Some(p) = q.front_mut() else {
-                    continue;
-                };
-                if now < p.next_at {
-                    continue;
-                }
-                if p.attempts >= mesh.cfg.max_retransmits {
-                    // The strongest local death verdict the transport
-                    // can reach: the whole retransmit budget spent with
-                    // no ack. Recorded as a typed PeerDead (the runtime's
-                    // failed-set agreement consumes it via `health()`).
-                    let p = q.pop_front().expect("head just checked");
-                    mesh.record_dead_peer(chan.1, p.seq, p.attempts);
-                    mesh.record(FabricError::PeerDead {
-                        peer: chan.1,
-                        last_seq: p.seq,
-                        attempts: p.attempts,
-                    });
-                    continue;
-                }
-                p.attempts += 1;
-                let backoff = mesh.cfg.rto * 2u32.saturating_pow(p.attempts).min(64);
-                let jittered = backoff.mul_f64(0.75 + 0.5 * rng.unit());
-                p.next_at = now + jittered.min(Duration::from_secs(1));
-                // Count the attempt *here*, before the frame can reach
-                // the wire: once it is pushed the receiver may deliver
-                // it and a caller may observe the recovery, so counting
-                // after the push makes `stats().retransmits` lag what
-                // the fabric demonstrably did (a real test flake).
-                mesh.retransmits.fetch_add(1, Ordering::Relaxed);
-                // A refcount on the pooled bytes, not a copy.
-                due.push((chan, p.seq, p.buf.clone()));
+        let mut progressed = false;
+        if widx == 0 {
+            let now = Instant::now();
+            if now >= next_rt {
+                retransmit_pass(&mesh, &mut rng);
+                next_rt = now + rt_tick;
             }
-        }
-        for (chan, seq, buf) in due {
-            // Route via the *current* surviving-lane stripe, so frames
-            // lost on a killed lane migrate to the survivors.
-            let Some(lane) = mesh.effective_lane(chan.0) else {
-                mesh.record(FabricError::LaneDead {
-                    lane: 0,
-                    detail: format!(
-                        "no surviving lane to retransmit {} -> {} tag {} seq {seq}",
-                        chan.0, chan.1, chan.2
-                    ),
-                });
-                continue;
-            };
-            let from = mesh.topo.node_of(chan.0);
-            let to = mesh.topo.node_of(chan.1);
-            if let Some(q) = mesh.queues.get(&(from, to, lane)) {
-                q.push_ctrl(buf);
+            if hb_enabled && now >= next_hb {
+                heartbeat_pass(&mesh);
+                next_hb = now + hb_tick;
             }
+            progressed |= repair_pass(&mesh);
         }
+        // This cycle's per-endpoint staging share: the cycle budget
+        // split across the worker's endpoints, so cycle time (and ack
+        // RTT) stays flat-ish as lanes multiply.
+        let stage = (BATCH_MAX / eps.len().max(1)).max(STAGE_MIN);
+        eps.retain_mut(|ep| {
+            if mesh.killed[ep.lane].load(Ordering::Relaxed)
+                || ep.cur_gen.load(Ordering::Relaxed) != ep.gen
+            {
+                // Killed lane or superseded by a repair: retire without
+                // touching the shared queue again.
+                return false;
+            }
+            let (keep, did) = endpoint_step(&mesh, ep, stage, &mut scratch);
+            progressed |= did;
+            keep
+        });
+        if progressed {
+            // Flush owed acks once per cycle, not only per-endpoint:
+            // with many lanes each endpoint sees a thin slice of the
+            // traffic, so a per-endpoint frame counter alone would let
+            // watermarks age for a whole cycle's worth of frames and
+            // ack RTT would grow with the lane count. `owed_len` makes
+            // this a single atomic load when nothing is owed.
+            mesh.flush_owed_acks();
+            spinner = Spinner::new();
+            continue;
+        }
+        if spinner.turn() {
+            continue;
+        }
+        let cap = if widx == 0 {
+            let mut deadline = next_rt;
+            if hb_enabled {
+                deadline = deadline.min(next_hb);
+            }
+            deadline
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(10))
+        } else {
+            Duration::from_millis(10)
+        };
+        mesh.progress.signals[widx].wait(seen, cap);
+        spinner = Spinner::new();
     }
 }
 
+// ---------------------------------------------------------------------
+// Construction and the public Fabric surface.
+// ---------------------------------------------------------------------
+
+/// Resolve the progress-pool size for this fabric: the configured (or
+/// auto) size, capped at the endpoint count — a single-node fabric
+/// spawns no progress threads at all.
+fn resolve_pool_size(cfg: &TcpConfig, endpoints: usize) -> usize {
+    if endpoints == 0 {
+        return 0;
+    }
+    let want = match cfg.progress_threads {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4),
+        n => n,
+    };
+    want.min(endpoints).max(1)
+}
+
 /// Loopback TCP transport with per-node-pair lane pools, ack-based loss
-/// recovery, reconnect, and lane failover.
+/// recovery, reconnect, and lane failover — all driven by a fixed-size
+/// progress pool over nonblocking sockets.
 pub struct TcpFabric {
     mesh: Arc<Mesh>,
-    repair: Option<JoinHandle<()>>,
-    retransmitter: Option<JoinHandle<()>>,
-    heartbeater: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl TcpFabric {
     /// Build the full lane mesh for `topo` on loopback: `cfg.lanes`
-    /// connections per node pair, each with its own writer and reader
-    /// progress threads, plus the shared repair and retransmit threads.
+    /// connections per node pair, every socket nonblocking, all driven
+    /// by [`resolve_pool_size`] progress threads.
     pub fn connect(topo: Topology, cfg: TcpConfig) -> io::Result<TcpFabric> {
         assert!(cfg.lanes >= 1, "a fabric needs at least one lane");
         assert!(cfg.queue_cap >= 1, "send queues need capacity");
@@ -1117,16 +1429,51 @@ impl TcpFabric {
                 if a == b {
                     continue;
                 }
+                // `queue_cap` budgets the *pair*, not the lane: see its
+                // doc. Integer division may undershoot the budget by up
+                // to lanes-1 slots; exactness doesn't matter, the flat
+                // total does.
+                let per_lane = (cfg.queue_cap / cfg.lanes).max(1);
                 for lane in 0..cfg.lanes {
-                    queues.insert((a, b, lane), Arc::new(SendQueue::new(cfg.queue_cap)));
+                    queues.insert((a, b, lane), Arc::new(SendQueue::new(per_lane)));
                 }
             }
         }
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
+        // Two endpoints (one per direction) per undirected pair per lane.
+        let n_endpoints = nodes * nodes.saturating_sub(1) * cfg.lanes;
+        let pool_size = resolve_pool_size(&cfg, n_endpoints);
+        // Deterministic endpoint → worker assignment, round-robin over
+        // the enumeration order, so load spreads evenly and `send` can
+        // wake exactly the right worker.
+        let mut owners = HashMap::new();
+        if pool_size > 0 {
+            let mut eidx = 0usize;
+            for a in 0..nodes {
+                for b in (a + 1)..nodes {
+                    for lane in 0..cfg.lanes {
+                        owners.insert((a, b, lane), eidx % pool_size);
+                        eidx += 1;
+                        owners.insert((b, a, lane), eidx % pool_size);
+                        eidx += 1;
+                    }
+                }
+            }
+        }
         let mesh = Arc::new(Mesh {
             topo,
             cfg,
+            progress: ProgressShared {
+                addr,
+                listener: Mutex::new(listener),
+                repair_q: Mutex::new(VecDeque::new()),
+                inboxes: (0..pool_size).map(|_| Mutex::new(Vec::new())).collect(),
+                signals: (0..pool_size).map(|_| WorkSignal::new()).collect(),
+                owners,
+                pool_size,
+                live: Arc::new(AtomicUsize::new(0)),
+            },
             stores,
             queues,
             conns: Mutex::new(HashMap::new()),
@@ -1153,56 +1500,79 @@ impl TcpFabric {
             hb_suspected: (0..nodes * nodes).map(|_| AtomicBool::new(false)).collect(),
             muted: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
             dead_peers: Mutex::new(HashMap::new()),
-            writer_handles: Mutex::new(Vec::new()),
-            reader_handles: Mutex::new(Vec::new()),
         });
-        let (tx, rx) = mpsc::channel();
         // Loopback connect/accept pairs deterministically: the accept
-        // queue is FIFO, and we connect one socket at a time.
-        let mut conns = HashMap::new();
-        for a in 0..nodes {
-            for b in (a + 1)..nodes {
-                for lane in 0..cfg.lanes {
-                    let out = TcpStream::connect(addr)?;
-                    let (inn, _) = listener.accept()?;
-                    out.set_nodelay(true)?;
-                    inn.set_nodelay(true)?;
-                    spawn_pair(&mesh, (a, b, lane), 0, &out, &inn, &tx)?;
-                    conns.insert((a, b, lane), ConnEntry { gen: 0, out, inn });
+        // queue is FIFO, we connect one socket at a time, and the
+        // listener stays blocking until every initial connection is up.
+        {
+            let listener = mesh
+                .progress
+                .listener
+                .lock()
+                .expect("fresh mutex cannot be poisoned");
+            let mut conns = HashMap::new();
+            for a in 0..nodes {
+                for b in (a + 1)..nodes {
+                    for lane in 0..mesh.cfg.lanes {
+                        let out = TcpStream::connect(addr)?;
+                        let (inn, _) = listener.accept()?;
+                        out.set_nodelay(true)?;
+                        inn.set_nodelay(true)?;
+                        out.set_nonblocking(true)?;
+                        inn.set_nonblocking(true)?;
+                        let gen = Arc::new(AtomicU64::new(0));
+                        for (here, peer, stream) in
+                            [(a, b, out.try_clone()?), (b, a, inn.try_clone()?)]
+                        {
+                            let queue = mesh
+                                .queues
+                                .get(&(here, peer, lane))
+                                .cloned()
+                                .expect("queue exists for every directed pair");
+                            deliver_endpoint(
+                                &mesh,
+                                Endpoint {
+                                    here,
+                                    peer,
+                                    lane,
+                                    gen: 0,
+                                    cur_gen: Arc::clone(&gen),
+                                    stream,
+                                    queue,
+                                    decoder: FrameDecoder::new(),
+                                    cursor: WriteCursor::new(),
+                                    since_flush: 0,
+                                    staged: Vec::new(),
+                                },
+                            );
+                        }
+                        conns.insert((a, b, lane), ConnEntry { gen, out, inn });
+                    }
                 }
             }
+            // From here on only worker 0's repair duty accepts.
+            listener.set_nonblocking(true)?;
+            *mesh.conns.lock().expect("fresh mutex cannot be poisoned") = conns;
         }
-        *mesh.conns.lock().expect("fresh mutex cannot be poisoned") = conns;
-        let repair = std::thread::Builder::new()
-            .name("fab-repair".into())
-            .spawn({
-                let mesh = Arc::clone(&mesh);
-                move || repair_loop(mesh, listener, addr, rx, tx)
-            })?;
-        let retransmitter = std::thread::Builder::new()
-            .name("fab-retransmit".into())
-            .spawn({
-                let mesh = Arc::clone(&mesh);
-                move || retransmit_loop(mesh)
-            })?;
-        let heartbeater = if nodes > 1 && !cfg.heartbeat.is_zero() {
-            Some(
+        let workers = (0..pool_size)
+            .map(|w| {
+                // Count the worker before it is scheduled so the census
+                // reads `pool_size` the instant `connect` returns; the
+                // worker's drop guard is the matching decrement. A
+                // failed spawn unwinds the credit itself.
+                mesh.progress.live.fetch_add(1, Ordering::SeqCst);
                 std::thread::Builder::new()
-                    .name("fab-heartbeat".into())
+                    .name(format!("fab-pool-{w}"))
                     .spawn({
                         let mesh = Arc::clone(&mesh);
-                        move || heartbeat_loop(mesh)
-                    })?,
-            )
-        } else {
-            None
-        };
-        Ok(TcpFabric {
-            mesh,
-            repair: Some(repair),
-            retransmitter: Some(retransmitter),
-            heartbeater,
-        })
+                        move || worker_loop(mesh, w)
+                    })
+                    .inspect_err(|_| {
+                        mesh.progress.live.fetch_sub(1, Ordering::SeqCst);
+                    })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(TcpFabric { mesh, workers })
     }
 
     /// This backend's configuration.
@@ -1216,6 +1586,35 @@ impl TcpFabric {
         self.mesh.pool.stats()
     }
 
+    /// Resolved progress-pool size: the total number of fabric-owned
+    /// threads, independent of node-pair × lane count.
+    pub fn progress_thread_count(&self) -> usize {
+        self.mesh.progress.pool_size
+    }
+
+    /// Progress threads alive right now (the census behind the
+    /// thread-budget and clean-shutdown tests).
+    pub fn live_progress_threads(&self) -> usize {
+        self.mesh.progress.live.load(Ordering::SeqCst)
+    }
+
+    /// A census probe that outlives the fabric: reads the number of
+    /// live progress threads, and reads 0 once `Drop` has joined the
+    /// pool — the observable behind the clean-shutdown test.
+    pub fn census_probe(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.mesh.progress.live)
+    }
+
+    /// Payload frames registered for retransmit and not yet covered by
+    /// an ack watermark — drains to zero once all traffic is acked.
+    pub fn pending_frames(&self) -> usize {
+        self.mesh
+            .pending
+            .lock()
+            .map(|g| g.values().map(|q| q.len()).sum())
+            .unwrap_or(0)
+    }
+
     /// Test hook: suppress (or restore) `node`'s standalone heartbeat
     /// beats, so peers' suspicion machinery can be exercised without
     /// killing rank threads. Regular traffic from the node still counts
@@ -1227,7 +1626,7 @@ impl TcpFabric {
     }
 
     /// Test/chaos hook: sever the socket of one lane connection without
-    /// marking the lane dead, forcing the repair thread to reconnect it.
+    /// marking the lane dead, forcing the repair duty to reconnect it.
     /// Returns `false` if no such connection exists.
     pub fn break_connection(&self, a: usize, b: usize, lane: usize) -> bool {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
@@ -1364,27 +1763,13 @@ impl Fabric for TcpFabric {
             // pending queue holds a refcount on the same pooled bytes —
             // sequence numbers only grow, so the cumulative ack pops a
             // prefix and the deque keeps its allocation.
-            let now = Instant::now();
-            mesh.pending
-                .lock()
-                .map_err(|_| FabricError::QueuePoisoned {
-                    what: "retransmit table",
-                })?
-                .entry(key)
-                .or_default()
-                .push_back(PendingFrame {
-                    seq,
-                    buf: buf.clone(),
-                    attempts: 0,
-                    next_at: now + mesh.cfg.rto,
-                    first_sent: now,
-                });
+            mesh.register_pending(key, seq, buf.clone());
             let fate = {
                 let chaos = mesh.chaos.lock().ok().and_then(|g| g.clone());
                 chaos.map_or(FrameFate::Deliver, |c| c.fate())
             };
             let stalled = match fate {
-                // "Lost on the wire": the retransmit thread recovers it.
+                // "Lost on the wire": the retransmit duty recovers it.
                 FrameFate::Drop => false,
                 FrameFate::Dup => {
                     let a = push(buf.clone())?;
@@ -1397,12 +1782,15 @@ impl Fabric for TcpFabric {
                 ctrs.stalls.fetch_add(1, Ordering::Relaxed);
             }
         } else {
-            // Rendezvous handshake traffic is not chaos-dropped and not
-            // retransmitted; a lost handshake surfaces as a timeout.
+            // The RTS itself is not retransmitted; the DATA frame it
+            // eventually provokes is (registered at CTS time). A lost
+            // handshake surfaces as a timeout.
             if push(buf)? {
                 ctrs.stalls.fetch_add(1, Ordering::Relaxed);
             }
         }
+        // The frame is queued; wake the worker that drives this lane.
+        mesh.notify_owner(node_s, node_d, lane);
         Ok(())
     }
 
@@ -1518,12 +1906,11 @@ impl Fabric for TcpFabric {
                 let _ = entry.inn.shutdown(Shutdown::Both);
             }
         }
-        // Retire the lane's writers; queued eager frames migrate to the
-        // survivors via retransmit.
-        for (&(_, _, l), q) in mesh.queues.iter() {
-            if l == lane {
-                q.bump_epoch();
-            }
+        // Wake every worker so the killed lane's endpoints retire at
+        // once; queued eager frames migrate to the survivors via
+        // retransmit.
+        for s in &mesh.progress.signals {
+            s.notify();
         }
         true
     }
@@ -1575,36 +1962,16 @@ impl Drop for TcpFabric {
     fn drop(&mut self) {
         let mesh = &self.mesh;
         mesh.shutdown.store(true, Ordering::Relaxed);
-        // Repair and retransmit threads poll the flag.
-        if let Some(t) = self.repair.take() {
-            let _ = t.join();
-        }
-        if let Some(t) = self.retransmitter.take() {
-            let _ = t.join();
-        }
-        if let Some(t) = self.heartbeater.take() {
-            let _ = t.join();
-        }
-        // Writers flush what is queued, then exit on `closed`.
+        // Wake blocked senders (queues) and parked workers (signals);
+        // workers observe the flag and exit, dropping their endpoints.
         for q in mesh.queues.values() {
             q.close();
         }
-        if let Ok(mut g) = mesh.writer_handles.lock() {
-            for t in g.drain(..) {
-                let _ = t.join();
-            }
+        for s in &mesh.progress.signals {
+            s.notify();
         }
-        // Readers exit on EOF once both directions are shut down.
-        if let Ok(conns) = mesh.conns.lock() {
-            for e in conns.values() {
-                let _ = e.out.shutdown(Shutdown::Both);
-                let _ = e.inn.shutdown(Shutdown::Both);
-            }
-        }
-        if let Ok(mut g) = mesh.reader_handles.lock() {
-            for t in g.drain(..) {
-                let _ = t.join();
-            }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
         }
     }
 }
@@ -1693,6 +2060,61 @@ mod tests {
         f.send((0, 4, 0), vec![1]).unwrap();
         assert_eq!(f.recv((0, 4, 0)).unwrap(), vec![1]);
         drop(f); // must not hang or panic
+    }
+
+    #[test]
+    fn pool_size_is_independent_of_lanes() {
+        let narrow = two_nodes(1);
+        let wide = two_nodes(8);
+        assert!(
+            wide.progress_thread_count() <= 4,
+            "pool exceeds min(4, cores): {}",
+            wide.progress_thread_count()
+        );
+        assert!(wide.progress_thread_count() >= narrow.progress_thread_count());
+        // 8× the lanes may not mean 8× the threads — the whole point.
+        assert!(
+            wide.progress_thread_count() <= narrow.progress_thread_count() * 4,
+            "pool scales with lanes: {} vs {}",
+            wide.progress_thread_count(),
+            narrow.progress_thread_count()
+        );
+        assert_eq!(wide.live_progress_threads(), wide.progress_thread_count());
+    }
+
+    #[test]
+    fn rendezvous_transfers_record_ack_rtt() {
+        let f = TcpFabric::connect(
+            Topology::new(2, 1),
+            TcpConfig {
+                lanes: 1,
+                eager_max: 16,
+                ..TcpConfig::default()
+            },
+        )
+        .unwrap();
+        f.send((0, 1, 0), vec![7; 4096]).unwrap();
+        assert_eq!(f.recv((0, 1, 0)).unwrap(), vec![7; 4096]);
+        // The DATA frame's covering ack must land and be measured.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let s = f.stats().ack_rtt;
+            if s.count >= 1 {
+                assert!(s.p50_us.is_some(), "samples imply a percentile");
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "rendezvous DATA never fed the ack-RTT histogram"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // And the pending table drains — nothing left unacked.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while f.pending_frames() > 0 {
+            assert!(Instant::now() < deadline, "pending DATA never retired");
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     #[test]

@@ -91,6 +91,72 @@ impl Spinner {
     }
 }
 
+/// A wakeup channel for the fabric's progress pool: callers with new
+/// work (a frame pushed onto a send queue, a repair request, shutdown)
+/// `notify()`, and idle progress threads `wait()` until something
+/// changes or a timer deadline arrives.
+///
+/// The epoch counter makes the fast paths cheap and race-free:
+/// - `notify()` is a single `fetch_add` plus a conditional condvar
+///   signal — it only takes the mutex when a waiter has registered, so
+///   the steady-state (workers busy, nobody parked) costs one atomic.
+/// - A worker reads the epoch *before* scanning its endpoints, does the
+///   scan, and parks only if the epoch is unchanged — work enqueued
+///   mid-scan bumps the epoch and the park returns immediately instead
+///   of being missed.
+#[derive(Default)]
+pub struct WorkSignal {
+    epoch: std::sync::atomic::AtomicU64,
+    sleepers: std::sync::atomic::AtomicUsize,
+    lock: std::sync::Mutex<()>,
+    cv: std::sync::Condvar,
+}
+
+impl WorkSignal {
+    /// A fresh signal at epoch 0.
+    pub fn new() -> WorkSignal {
+        WorkSignal::default()
+    }
+
+    /// The current epoch. Read this *before* checking for work; pass it
+    /// to [`WorkSignal::wait`] so a notification between the check and
+    /// the park is never lost.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Announce new work. Wakes every parked waiter; costs one atomic
+    /// add when nobody is parked.
+    pub fn notify(&self) {
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        if self.sleepers.load(std::sync::atomic::Ordering::Acquire) > 0 {
+            let _g = self.lock.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Park until the epoch moves past `seen` or `timeout` elapses.
+    /// Returns immediately if a notification already happened since
+    /// `seen` was read.
+    pub fn wait(&self, seen: u64, timeout: Duration) {
+        self.sleepers
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        let deadline = Instant::now() + timeout;
+        let mut g = self.lock.lock().unwrap();
+        while self.epoch.load(std::sync::atomic::Ordering::Acquire) == seen {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (g2, _res) = self.cv.wait_timeout(g, deadline - now).unwrap();
+            g = g2;
+        }
+        drop(g);
+        self.sleepers
+            .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +182,46 @@ mod tests {
         assert!(turns > 0, "a 50µs budget affords at least one turn");
         // Once exhausted, it stays exhausted.
         assert!(!s.turn());
+    }
+
+    #[test]
+    fn signal_wakes_a_parked_waiter() {
+        let sig = std::sync::Arc::new(WorkSignal::new());
+        let seen = sig.epoch();
+        let s2 = sig.clone();
+        let waiter = std::thread::spawn(move || {
+            let start = Instant::now();
+            s2.wait(seen, Duration::from_secs(10));
+            start.elapsed()
+        });
+        // Give the waiter a moment to park, then notify.
+        std::thread::sleep(Duration::from_millis(20));
+        sig.notify();
+        let waited = waiter.join().unwrap();
+        assert!(
+            waited < Duration::from_secs(5),
+            "notify must cut the wait short, waited {waited:?}"
+        );
+    }
+
+    #[test]
+    fn stale_epoch_returns_immediately() {
+        let sig = WorkSignal::new();
+        let seen = sig.epoch();
+        sig.notify();
+        let start = Instant::now();
+        sig.wait(seen, Duration::from_secs(10));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "a notification before the wait must not be lost"
+        );
+    }
+
+    #[test]
+    fn wait_times_out_without_notification() {
+        let sig = WorkSignal::new();
+        let start = Instant::now();
+        sig.wait(sig.epoch(), Duration::from_millis(10));
+        assert!(start.elapsed() >= Duration::from_millis(10));
     }
 }

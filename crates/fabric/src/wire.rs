@@ -161,6 +161,110 @@ impl Frame {
     pub fn chan(&self) -> crate::ChanKey {
         (self.src as usize, self.dst as usize, self.tag)
     }
+
+    /// Peek a payload frame's identity (channel + sequence) straight
+    /// from its encoded header, without touching the payload. `None`
+    /// for control kinds — the kinds the retransmit table never holds.
+    pub fn peek_payload_id(bytes: &[u8]) -> Option<(crate::ChanKey, u64)> {
+        if bytes.len() < HEADER_LEN {
+            return None;
+        }
+        match FrameKind::from_u8(bytes[0]) {
+            Ok(FrameKind::Eager | FrameKind::Data) => {}
+            _ => return None,
+        }
+        let src = u32::from_le_bytes(bytes[1..5].try_into().unwrap()) as usize;
+        let dst = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
+        let tag = u32::from_le_bytes(bytes[9..13].try_into().unwrap());
+        let seq = u64::from_le_bytes(bytes[13..21].try_into().unwrap());
+        Some(((src, dst, tag), seq))
+    }
+
+    /// Decode one frame from the front of `bytes`, if a complete one is
+    /// present. Returns the frame and its encoded length, `Ok(None)` if
+    /// more bytes are needed, and `Err` on a malformed header (a byte
+    /// stream cannot be resynced past a garbled header).
+    fn decode_prefix(bytes: &[u8]) -> io::Result<Option<(Frame, usize)>> {
+        if bytes.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let kind = FrameKind::from_u8(bytes[0])?;
+        let len = u64::from_le_bytes(bytes[29..37].try_into().unwrap());
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame length overflow"))?;
+        let total = HEADER_LEN
+            .checked_add(len)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame length overflow"))?;
+        if bytes.len() < total {
+            return Ok(None);
+        }
+        Ok(Some((
+            Frame {
+                kind,
+                src: u32::from_le_bytes(bytes[1..5].try_into().unwrap()),
+                dst: u32::from_le_bytes(bytes[5..9].try_into().unwrap()),
+                tag: u32::from_le_bytes(bytes[9..13].try_into().unwrap()),
+                seq: u64::from_le_bytes(bytes[13..21].try_into().unwrap()),
+                aux: u64::from_le_bytes(bytes[21..29].try_into().unwrap()),
+                payload: bytes[HEADER_LEN..total].to_vec(),
+            },
+            total,
+        )))
+    }
+}
+
+/// Incremental frame decoder for nonblocking sockets: feed it whatever
+/// byte chunks the kernel hands back, pull out as many complete frames
+/// as have accumulated. A frame split across reads simply waits in the
+/// buffer until its tail arrives — the nonblocking analogue of
+/// [`Frame::read_from`]'s blocking `read_exact` pair.
+///
+/// The internal buffer is reused across frames (consumed bytes are
+/// compacted away lazily), so a steady stream of small frames settles
+/// into zero decoder-side allocations apart from the per-frame payload
+/// vector the receiver keeps anyway.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already decoded and awaiting compaction.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append freshly read bytes to the undecoded tail.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: reclaiming the consumed prefix keeps
+        // the buffer from creeping up under a long-lived connection.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decode the next complete frame, if one has fully arrived.
+    /// `Ok(None)` means "need more bytes"; `Err` means the stream is
+    /// garbled beyond recovery (reconnect, don't resync).
+    pub fn next_frame(&mut self) -> io::Result<Option<Frame>> {
+        match Frame::decode_prefix(&self.buf[self.pos..])? {
+            Some((frame, used)) => {
+                self.pos += used;
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Bytes buffered but not yet decoded into a frame (a partial frame
+    /// in flight).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +327,57 @@ mod tests {
         let mut buf = vec![0xFFu8; 500];
         f.encode_into(&mut buf);
         assert_eq!(buf, f.encode());
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_split_across_reads() {
+        let frames: Vec<Frame> = (0..5u8)
+            .map(|i| Frame {
+                kind: FrameKind::Eager,
+                src: i as u32,
+                dst: 1,
+                tag: 2,
+                seq: i as u64,
+                aux: 0,
+                payload: vec![i; 10 + i as usize * 7],
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        // Feed in ragged chunks that never align with frame boundaries.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for chunk in wire.chunks(13) {
+            dec.feed(chunk);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn decoder_surfaces_garbled_headers() {
+        let mut bytes = Frame {
+            kind: FrameKind::Eager,
+            src: 0,
+            dst: 0,
+            tag: 0,
+            seq: 0,
+            aux: 0,
+            payload: vec![1, 2],
+        }
+        .encode();
+        bytes[0] = 0xFF;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        assert_eq!(
+            dec.next_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
     }
 
     #[test]

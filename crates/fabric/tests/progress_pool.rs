@@ -1,0 +1,115 @@
+//! Progress-pool contracts: the fabric's thread budget is a small
+//! constant — independent of node-pair × lane count — and `Drop` joins
+//! the whole pool with nothing left unacked or running.
+//!
+//! These are the guardrails on the event-driven core: the thread-per-
+//! lane design this replaced spawned O(nodes² × k) threads, which is
+//! exactly what these tests would catch coming back.
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use pipmcoll_fabric::{Fabric, TcpConfig, TcpFabric};
+use pipmcoll_model::Topology;
+
+fn fabric(nodes: usize, ranks_per_node: usize, lanes: usize) -> TcpFabric {
+    TcpFabric::connect(
+        Topology::new(nodes, ranks_per_node),
+        TcpConfig {
+            lanes,
+            ..TcpConfig::default()
+        },
+    )
+    .expect("loopback fabric")
+}
+
+#[test]
+fn thread_budget_is_independent_of_pairs_and_lanes() {
+    // 2 nodes × k=1: 2 endpoints. 4 nodes × k=8: 6 pairs × 8 lanes × 2
+    // directions = 96 endpoints — the old design's 96+ dedicated
+    // progress threads, plus repair/retransmit/heartbeat.
+    let small = fabric(2, 1, 1);
+    let big = fabric(4, 2, 8);
+    assert!(
+        big.progress_thread_count() <= 4,
+        "pool must stay within min(4, cores): {}",
+        big.progress_thread_count()
+    );
+    assert_eq!(
+        big.live_progress_threads(),
+        big.progress_thread_count(),
+        "every configured worker is live, and nothing beyond"
+    );
+    // The budget is O(pool), not O(node pairs × lanes): 48× the
+    // endpoints may not buy even one extra thread beyond the pool cap.
+    assert!(
+        big.live_progress_threads() <= small.live_progress_threads().max(4),
+        "{} threads for 96 endpoints vs {} for 2",
+        big.live_progress_threads(),
+        small.live_progress_threads()
+    );
+    // And the big mesh actually works: rank 0 (node 0) to rank 7
+    // (node 3) round-trips through the shared pool.
+    big.send((0, 7, 0), vec![1, 2, 3]).unwrap();
+    assert_eq!(big.recv((0, 7, 0)).unwrap(), vec![1, 2, 3]);
+}
+
+#[test]
+fn explicit_pool_size_is_respected_and_capped_at_endpoints() {
+    let wide = TcpFabric::connect(
+        Topology::new(2, 2),
+        TcpConfig {
+            lanes: 4,
+            progress_threads: 2,
+            ..TcpConfig::default()
+        },
+    )
+    .expect("loopback fabric");
+    assert_eq!(wide.progress_thread_count(), 2);
+    assert_eq!(wide.live_progress_threads(), 2);
+    wide.send((0, 2, 0), vec![9]).unwrap();
+    assert_eq!(wide.recv((0, 2, 0)).unwrap(), vec![9]);
+
+    // Asking for more workers than endpoints is clamped — a 1-lane
+    // 2-node fabric has 2 endpoints, so 8 requested threads become 2.
+    let narrow = TcpFabric::connect(
+        Topology::new(2, 1),
+        TcpConfig {
+            lanes: 1,
+            progress_threads: 8,
+            ..TcpConfig::default()
+        },
+    )
+    .expect("loopback fabric");
+    assert_eq!(narrow.progress_thread_count(), 2);
+}
+
+#[test]
+fn shutdown_joins_the_pool_with_no_leaked_threads_or_pending_frames() {
+    let f = fabric(2, 2, 4);
+    for i in 0..100u8 {
+        f.send((0, 2, 0), vec![i]).unwrap();
+    }
+    for i in 0..100u8 {
+        assert_eq!(f.recv((0, 2, 0)).unwrap(), vec![i]);
+    }
+    // Every delivered frame's ack must land: the retransmit-pending
+    // table drains to zero before shutdown, so nothing is abandoned.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while f.pending_frames() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "pending frames never drained: {}",
+            f.pending_frames()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let probe = f.census_probe();
+    assert_eq!(probe.load(Ordering::SeqCst), f.progress_thread_count());
+    drop(f);
+    assert_eq!(
+        probe.load(Ordering::SeqCst),
+        0,
+        "Drop must join every progress thread"
+    );
+}
