@@ -50,6 +50,17 @@ pub fn results_dir() -> PathBuf {
 /// in emission order.
 const BENCH_FABRIC_SECTIONS: [&str; 2] = ["sweep", "hotpath"];
 
+/// Write `contents` to `path` atomically: write a `.tmp` sibling, then
+/// rename over the target. A reader (CI artifact upload, a concurrent
+/// bench bin) can never observe a half-written file, and two bins
+/// merging into the same root file can't interleave partial writes.
+pub fn atomic_write(path: &std::path::Path, contents: &str) {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents).unwrap_or_else(|e| panic!("write {}: {e}", tmp.display()));
+    fs::rename(&tmp, path)
+        .unwrap_or_else(|e| panic!("rename {} -> {}: {e}", tmp.display(), path.display()));
+}
+
 /// Merge one named section into `BENCH_fabric.json` at the repo root
 /// (override the location with `PIPMCOLL_BENCH_ROOT`).
 ///
@@ -64,11 +75,10 @@ pub fn write_bench_fabric_section(section: &str, body_json: &str) {
         "unknown BENCH_fabric section {section:?}"
     );
     let dir = results_dir();
-    fs::write(
-        dir.join(format!("BENCH_fragment_{section}.json")),
+    atomic_write(
+        &dir.join(format!("BENCH_fragment_{section}.json")),
         body_json,
-    )
-    .expect("write bench fragment");
+    );
     let mut out = String::from("{\n");
     let mut first = true;
     for name in BENCH_FABRIC_SECTIONS {
@@ -83,7 +93,7 @@ pub fn write_bench_fabric_section(section: &str, body_json: &str) {
     }
     out.push_str("\n}\n");
     let root = std::env::var("PIPMCOLL_BENCH_ROOT").unwrap_or_else(|_| ".".to_string());
-    fs::write(PathBuf::from(root).join("BENCH_fabric.json"), out).expect("write BENCH_fabric.json");
+    atomic_write(&PathBuf::from(root).join("BENCH_fabric.json"), &out);
 }
 
 /// Simulate one collective and return its latency in microseconds.

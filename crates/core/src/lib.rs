@@ -23,6 +23,7 @@ pub mod api;
 pub mod baseline;
 pub mod library;
 pub mod mcoll;
+pub mod nb;
 pub mod params;
 pub mod tuning;
 pub mod util;

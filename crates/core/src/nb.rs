@@ -1,0 +1,651 @@
+//! Non-blocking collectives as pure data-level state machines.
+//!
+//! The service layer (`pipmcoll-svc`) interleaves the phases of many
+//! concurrent collectives over one shared fabric, so the algorithms
+//! here are *schedules to be driven*, not functions that block: a
+//! [`NbColl`] holds one rank-local machine per world member, each a
+//! precomputed script of sends and receives. [`NbColl::start`] emits
+//! every message sendable before the first receive; each
+//! [`NbColl::deliver`] of an arrived payload advances the receiving
+//! rank's script and returns the messages it can now send. The caller
+//! owns the transport — nothing here touches a fabric, which keeps the
+//! machines unit-testable with a loopback pump and lets the service
+//! route the same [`Msg`]s over any [`Fabric`] backend with its own tag
+//! packing.
+//!
+//! Algorithms (the small-message baselines from [`crate::baseline`],
+//! restructured phase-by-phase):
+//!
+//! * `iallreduce` — binomial-tree reduce to rank 0, then binomial
+//!   broadcast back out: `2·⌈log₂ n⌉` phases.
+//! * `iallgather` — ring: `n − 1` phases, each rank forwarding the
+//!   block it received the previous phase.
+//! * `iscatter` — linear from the root: 1 phase.
+//! * `ibcast` — binomial tree from the root: `⌈log₂ n⌉` phases.
+//!
+//! A phase number is carried in every [`Msg`] and must reach the
+//! receiver's matching `deliver`; the service encodes it (with the
+//! communicator id and collective sequence slot) into the wire tag, so
+//! two phases of one collective — or two collectives of one job — can
+//! never match each other's frames.
+//!
+//! [`Fabric`]: ../../pipmcoll_fabric/trait.Fabric.html
+
+use pipmcoll_model::{reduce_into, Datatype, ReduceOp};
+
+/// One message the caller must transport: send `payload` from rank
+/// `src` to rank `dst`, and hand it to [`NbColl::deliver`] over there
+/// with the same `phase`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Algorithm phase, disambiguating messages between the same pair.
+    pub phase: u32,
+    /// The bytes.
+    pub payload: Vec<u8>,
+}
+
+/// What a rank sends at one script step (payloads are computed when the
+/// step runs, so a reduce result reflects every receive before it).
+#[derive(Clone, Copy, Debug)]
+enum SendData {
+    /// The rank's accumulator / working buffer.
+    Acc,
+    /// Block `i` of the rank's assembled allgather result.
+    Block(usize),
+    /// The root's scatter chunk destined for rank `i`.
+    Chunk(usize),
+}
+
+/// What a rank does with one received payload.
+#[derive(Clone, Copy, Debug)]
+enum RecvAction {
+    /// `acc = op(acc, payload)` elementwise.
+    ReduceInto,
+    /// `acc = payload`.
+    Replace,
+    /// Store the payload as block `i` of the assembled result.
+    StoreBlock(usize),
+}
+
+/// One step of a rank's precomputed schedule.
+#[derive(Clone, Debug)]
+enum Step {
+    Send {
+        dst: usize,
+        phase: u32,
+        data: SendData,
+    },
+    Recv {
+        src: usize,
+        phase: u32,
+        action: RecvAction,
+    },
+}
+
+/// One rank's machine: a script, a cursor, working state, and a stash
+/// for payloads that arrive before the script reaches their step (a
+/// fast peer may race a phase ahead; tags keep the channels distinct,
+/// so early arrival is legal).
+struct RankMachine {
+    script: Vec<Step>,
+    /// Next unexecuted script step.
+    cursor: usize,
+    /// Working buffer (allreduce accumulator, bcast/scatter payload).
+    acc: Vec<u8>,
+    /// Assembled blocks (allgather only; empty otherwise).
+    blocks: Vec<Vec<u8>>,
+    /// Early arrivals keyed by `(src, phase)`.
+    early: Vec<((usize, u32), Vec<u8>)>,
+}
+
+impl RankMachine {
+    /// Run the script forward: execute every send at the cursor, apply
+    /// any stashed early arrival that matches the receive now expected,
+    /// and stop at the first receive still outstanding.
+    fn run(&mut self, me: usize, dt: Datatype, op: ReduceOp, out: &mut Vec<Msg>) {
+        while self.cursor < self.script.len() {
+            match self.script[self.cursor].clone() {
+                Step::Send { dst, phase, data } => {
+                    let payload = match data {
+                        SendData::Acc => self.acc.clone(),
+                        SendData::Block(i) => self.blocks[i].clone(),
+                        SendData::Chunk(i) => self.blocks[i].clone(),
+                    };
+                    out.push(Msg {
+                        src: me,
+                        dst,
+                        phase,
+                        payload,
+                    });
+                    self.cursor += 1;
+                }
+                Step::Recv { src, phase, action } => {
+                    let Some(at) = self.early.iter().position(|(k, _)| *k == (src, phase)) else {
+                        return;
+                    };
+                    let (_, payload) = self.early.swap_remove(at);
+                    self.apply(action, payload, dt, op);
+                    self.cursor += 1;
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, action: RecvAction, payload: Vec<u8>, dt: Datatype, op: ReduceOp) {
+        match action {
+            RecvAction::ReduceInto => reduce_into(op, dt, &mut self.acc, &payload),
+            RecvAction::Replace => self.acc = payload,
+            RecvAction::StoreBlock(i) => self.blocks[i] = payload,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.cursor == self.script.len()
+    }
+}
+
+/// Which collective a machine set runs (for stats and debugging).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NbKind {
+    /// Binomial reduce + binomial broadcast.
+    Allreduce,
+    /// Ring allgather.
+    Allgather,
+    /// Linear scatter from a root.
+    Scatter,
+    /// Binomial broadcast from a root.
+    Bcast,
+}
+
+/// A whole collective as a set of rank machines, driven by the caller.
+///
+/// The constructor takes every member's input because the service owns
+/// all ranks of its world in one process (exactly like the thread
+/// runtime); correctness still depends on the transport, since a rank's
+/// machine only ever reads payloads the caller delivered to it.
+pub struct NbColl {
+    kind: NbKind,
+    ranks: Vec<RankMachine>,
+    dt: Datatype,
+    op: ReduceOp,
+    /// Total payload bytes the schedule will put on the fabric.
+    nic_bytes: u64,
+    /// Exclusive upper bound on phase numbers used.
+    phases: u32,
+}
+
+/// `⌈log₂ n⌉` (0 for n ≤ 1): binomial tree depth.
+fn tree_depth(n: usize) -> u32 {
+    usize::BITS - n.saturating_sub(1).leading_zeros()
+}
+
+impl NbColl {
+    /// Non-blocking allreduce over `inputs[r]` for rank `r`; every
+    /// rank's output is the elementwise reduction of all inputs.
+    ///
+    /// # Panics
+    /// Panics if inputs are empty, unequal lengths, or partial elements.
+    pub fn iallreduce(dt: Datatype, op: ReduceOp, inputs: Vec<Vec<u8>>) -> NbColl {
+        let n = inputs.len();
+        assert!(n >= 1, "allreduce needs at least one rank");
+        let len = inputs[0].len();
+        assert!(
+            inputs.iter().all(|b| b.len() == len),
+            "allreduce inputs must agree on length"
+        );
+        assert_eq!(len % dt.size(), 0, "partial element in allreduce input");
+        let depth = tree_depth(n);
+        let mut ranks = Vec::with_capacity(n);
+        for (r, input) in inputs.into_iter().enumerate() {
+            let mut script = Vec::new();
+            // Binomial reduce towards rank 0: in round k a rank aligned
+            // to 2^k either absorbs from its partner above or sends its
+            // accumulator below and falls silent.
+            for k in 0..depth {
+                let mask = 1usize << k;
+                if r & (mask - 1) != 0 {
+                    continue;
+                }
+                if r & mask != 0 {
+                    script.push(Step::Send {
+                        dst: r - mask,
+                        phase: k,
+                        data: SendData::Acc,
+                    });
+                    break;
+                } else if r + mask < n {
+                    script.push(Step::Recv {
+                        src: r + mask,
+                        phase: k,
+                        action: RecvAction::ReduceInto,
+                    });
+                }
+            }
+            // Binomial broadcast back out, mirroring the reduce tree.
+            for j in 0..depth {
+                let mask = 1usize << (depth - 1 - j);
+                let phase = depth + j;
+                if r % (2 * mask) == 0 {
+                    if r + mask < n {
+                        script.push(Step::Send {
+                            dst: r + mask,
+                            phase,
+                            data: SendData::Acc,
+                        });
+                    }
+                } else if r % (2 * mask) == mask {
+                    script.push(Step::Recv {
+                        src: r - mask,
+                        phase,
+                        action: RecvAction::Replace,
+                    });
+                }
+            }
+            // Sort by phase so a rank's bcast sends come after its bcast
+            // receive (scripts are per-rank sequential).
+            script.sort_by_key(|s| match s {
+                Step::Send { phase, .. } | Step::Recv { phase, .. } => *phase,
+            });
+            ranks.push(RankMachine {
+                script,
+                cursor: 0,
+                acc: input,
+                blocks: Vec::new(),
+                early: Vec::new(),
+            });
+        }
+        NbColl::finish(NbKind::Allreduce, ranks, dt, op, 2 * depth)
+    }
+
+    /// Non-blocking ring allgather: every rank ends with the
+    /// concatenation of all inputs in rank order.
+    ///
+    /// # Panics
+    /// Panics if inputs are empty or unequal lengths.
+    pub fn iallgather(inputs: Vec<Vec<u8>>) -> NbColl {
+        let n = inputs.len();
+        assert!(n >= 1, "allgather needs at least one rank");
+        let len = inputs[0].len();
+        assert!(
+            inputs.iter().all(|b| b.len() == len),
+            "allgather inputs must agree on length"
+        );
+        let mut ranks = Vec::with_capacity(n);
+        for (r, input) in inputs.into_iter().enumerate() {
+            let mut blocks = vec![Vec::new(); n];
+            blocks[r] = input;
+            let mut script = Vec::new();
+            for t in 0..n.saturating_sub(1) {
+                // Round t: pass block (r − t) to the right, take block
+                // (r − t − 1) from the left.
+                script.push(Step::Send {
+                    dst: (r + 1) % n,
+                    phase: t as u32,
+                    data: SendData::Block((r + n - t % n) % n),
+                });
+                script.push(Step::Recv {
+                    src: (r + n - 1) % n,
+                    phase: t as u32,
+                    action: RecvAction::StoreBlock((r + n - (t % n) - 1) % n),
+                });
+            }
+            ranks.push(RankMachine {
+                script,
+                cursor: 0,
+                acc: Vec::new(),
+                blocks,
+                early: Vec::new(),
+            });
+        }
+        let phases = (n - 1) as u32;
+        NbColl::finish(
+            NbKind::Allgather,
+            ranks,
+            Datatype::Byte,
+            ReduceOp::Sum,
+            phases,
+        )
+    }
+
+    /// Non-blocking linear scatter: rank `r` ends with `chunks[r]`.
+    ///
+    /// # Panics
+    /// Panics if chunks are empty or `root` is out of range.
+    pub fn iscatter(root: usize, chunks: Vec<Vec<u8>>) -> NbColl {
+        let n = chunks.len();
+        assert!(root < n, "scatter root {root} out of range for {n} ranks");
+        let mut ranks = Vec::with_capacity(n);
+        for r in 0..n {
+            let (script, acc, blocks) = if r == root {
+                let script = (0..n)
+                    .filter(|&i| i != root)
+                    .map(|i| Step::Send {
+                        dst: i,
+                        phase: 0,
+                        data: SendData::Chunk(i),
+                    })
+                    .collect();
+                (script, chunks[root].clone(), chunks.clone())
+            } else {
+                let script = vec![Step::Recv {
+                    src: root,
+                    phase: 0,
+                    action: RecvAction::Replace,
+                }];
+                (script, Vec::new(), Vec::new())
+            };
+            ranks.push(RankMachine {
+                script,
+                cursor: 0,
+                acc,
+                blocks,
+                early: Vec::new(),
+            });
+        }
+        NbColl::finish(NbKind::Scatter, ranks, Datatype::Byte, ReduceOp::Sum, 1)
+    }
+
+    /// Non-blocking binomial broadcast: every rank ends with `data`.
+    ///
+    /// # Panics
+    /// Panics if `root >= world` or `world == 0`.
+    pub fn ibcast(world: usize, root: usize, data: Vec<u8>) -> NbColl {
+        assert!(world >= 1, "bcast needs at least one rank");
+        assert!(root < world, "bcast root {root} out of range");
+        let depth = tree_depth(world);
+        let mut ranks = Vec::with_capacity(world);
+        for r in 0..world {
+            // Relabel so the root is virtual rank 0.
+            let v = (r + world - root) % world;
+            let mut script = Vec::new();
+            for j in 0..depth {
+                let mask = 1usize << (depth - 1 - j);
+                if v.is_multiple_of(2 * mask) {
+                    if v + mask < world {
+                        script.push(Step::Send {
+                            dst: (v + mask + root) % world,
+                            phase: j,
+                            data: SendData::Acc,
+                        });
+                    }
+                } else if v % (2 * mask) == mask {
+                    script.push(Step::Recv {
+                        src: (v - mask + root) % world,
+                        phase: j,
+                        action: RecvAction::Replace,
+                    });
+                }
+            }
+            ranks.push(RankMachine {
+                script,
+                cursor: 0,
+                acc: if r == root { data.clone() } else { Vec::new() },
+                blocks: Vec::new(),
+                early: Vec::new(),
+            });
+        }
+        NbColl::finish(NbKind::Bcast, ranks, Datatype::Byte, ReduceOp::Sum, depth)
+    }
+
+    fn finish(
+        kind: NbKind,
+        ranks: Vec<RankMachine>,
+        dt: Datatype,
+        op: ReduceOp,
+        phases: u32,
+    ) -> NbColl {
+        let mut coll = NbColl {
+            kind,
+            ranks,
+            dt,
+            op,
+            nic_bytes: 0,
+            phases: phases.max(1),
+        };
+        coll.nic_bytes = coll.estimate_nic_bytes();
+        coll
+    }
+
+    /// Sum of every payload the schedule will send — known up front
+    /// because all buffer sizes are fixed at construction. The service's
+    /// admission control charges this against the NIC budget before the
+    /// first frame moves.
+    fn estimate_nic_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for m in &self.ranks {
+            for s in &m.script {
+                if let Step::Send { data, .. } = s {
+                    total += match data {
+                        SendData::Acc => match self.kind {
+                            // Every accumulator in these trees has the
+                            // full input length.
+                            NbKind::Allreduce | NbKind::Bcast => {
+                                self.ranks.iter().map(|r| r.acc.len()).max().unwrap_or(0)
+                            }
+                            _ => m.acc.len(),
+                        },
+                        SendData::Block(i) | SendData::Chunk(i) => self
+                            .ranks
+                            .iter()
+                            .map(|r| r.blocks.get(*i).map_or(0, Vec::len))
+                            .max()
+                            .unwrap_or(0),
+                    } as u64;
+                }
+            }
+        }
+        total
+    }
+
+    /// Which collective this is.
+    pub fn kind(&self) -> NbKind {
+        self.kind
+    }
+
+    /// World size.
+    pub fn world(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Exclusive upper bound on the phase numbers this schedule uses.
+    pub fn phases(&self) -> u32 {
+        self.phases
+    }
+
+    /// Total payload bytes the whole schedule puts on the transport.
+    pub fn nic_bytes(&self) -> u64 {
+        self.nic_bytes
+    }
+
+    /// Kick every rank off: returns all messages sendable before any
+    /// receive completes. Transport them, then feed arrivals back
+    /// through [`NbColl::deliver`].
+    pub fn start(&mut self) -> Vec<Msg> {
+        let mut out = Vec::new();
+        for r in 0..self.ranks.len() {
+            let (dt, op) = (self.dt, self.op);
+            self.ranks[r].run(r, dt, op, &mut out);
+        }
+        out
+    }
+
+    /// Deliver one transported message to rank `dst` and return the
+    /// messages its script can now send. Delivery is order-tolerant: a
+    /// payload for a phase the rank has not reached is stashed and
+    /// applied when the script gets there.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range — the transport delivered a
+    /// message this collective never addressed.
+    pub fn deliver(&mut self, src: usize, dst: usize, phase: u32, payload: Vec<u8>) -> Vec<Msg> {
+        let mut out = Vec::new();
+        let (dt, op) = (self.dt, self.op);
+        let m = &mut self.ranks[dst];
+        m.early.push(((src, phase), payload));
+        m.run(dst, dt, op, &mut out);
+        out
+    }
+
+    /// Whether every rank has finished its script.
+    pub fn done(&self) -> bool {
+        self.ranks.iter().all(RankMachine::done)
+    }
+
+    /// Per-rank results, valid once [`NbColl::done`]: the reduced vector
+    /// (allreduce), the concatenated blocks (allgather), the rank's
+    /// chunk (scatter), or the broadcast payload (bcast).
+    ///
+    /// # Panics
+    /// Panics if the collective is not done.
+    pub fn outputs(&self) -> Vec<Vec<u8>> {
+        assert!(self.done(), "outputs read before completion");
+        self.ranks
+            .iter()
+            .map(|m| match self.kind {
+                NbKind::Allgather => m.blocks.concat(),
+                _ => m.acc.clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a collective to completion over a lossless in-order loop:
+    /// what the service does with a real fabric, minus the fabric.
+    fn pump(coll: &mut NbColl) -> usize {
+        let mut queue = std::collections::VecDeque::from(coll.start());
+        let mut delivered = 0;
+        while let Some(m) = queue.pop_front() {
+            delivered += 1;
+            assert!(delivered < 100_000, "collective does not converge");
+            queue.extend(coll.deliver(m.src, m.dst, m.phase, m.payload));
+        }
+        assert!(coll.done(), "queue drained but ranks not done");
+        delivered
+    }
+
+    fn ints(vals: &[i32]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn allreduce_sums_across_worlds() {
+        for n in [1, 2, 3, 4, 7, 8, 13, 16] {
+            let inputs: Vec<Vec<u8>> = (0..n).map(|r| ints(&[r, 1])).collect();
+            let mut coll = NbColl::iallreduce(Datatype::Int32, ReduceOp::Sum, inputs);
+            let msgs = pump(&mut coll);
+            let want = ints(&[(0..n).sum(), n]);
+            for (r, out) in coll.outputs().iter().enumerate() {
+                assert_eq!(*out, want, "rank {r} of {n} (after {msgs} msgs)");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_min() {
+        let inputs: Vec<Vec<u8>> = [3, -7, 20, 5].iter().map(|&v| ints(&[v])).collect();
+        let mut mx = NbColl::iallreduce(Datatype::Int32, ReduceOp::Max, inputs.clone());
+        pump(&mut mx);
+        assert!(mx.outputs().iter().all(|o| *o == ints(&[20])));
+        let mut mn = NbColl::iallreduce(Datatype::Int32, ReduceOp::Min, inputs);
+        pump(&mut mn);
+        assert!(mn.outputs().iter().all(|o| *o == ints(&[-7])));
+    }
+
+    #[test]
+    fn allgather_assembles_rank_order() {
+        for n in [1, 2, 3, 5, 8] {
+            let inputs: Vec<Vec<u8>> = (0..n).map(|r| vec![r as u8; 3]).collect();
+            let want: Vec<u8> = inputs.concat();
+            let mut coll = NbColl::iallgather(inputs);
+            pump(&mut coll);
+            for (r, out) in coll.outputs().iter().enumerate() {
+                assert_eq!(*out, want, "rank {r} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_each_chunk() {
+        for root in [0, 2] {
+            let chunks: Vec<Vec<u8>> = (0..5u8).map(|r| vec![r; 4]).collect();
+            let mut coll = NbColl::iscatter(root, chunks.clone());
+            pump(&mut coll);
+            for (r, out) in coll.outputs().iter().enumerate() {
+                assert_eq!(*out, chunks[r], "rank {r}, root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_reaches_every_rank() {
+        for n in [1, 2, 3, 6, 8] {
+            for root in [0, n - 1] {
+                let mut coll = NbColl::ibcast(n, root, vec![0xAB; 16]);
+                pump(&mut coll);
+                for (r, out) in coll.outputs().iter().enumerate() {
+                    assert_eq!(*out, vec![0xAB; 16], "rank {r} of {n}, root {root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_delivery_is_tolerated() {
+        // Deliver in reverse: every message stashes early, the scripts
+        // must still converge to the right answer.
+        let inputs: Vec<Vec<u8>> = (0..8).map(|r| ints(&[r])).collect();
+        let mut coll = NbColl::iallreduce(Datatype::Int32, ReduceOp::Sum, inputs);
+        let mut pending = coll.start();
+        while let Some(m) = pending.pop() {
+            // LIFO: worst-case order
+            pending.extend(coll.deliver(m.src, m.dst, m.phase, m.payload));
+        }
+        assert!(coll.done());
+        assert!(coll.outputs().iter().all(|o| *o == ints(&[28])));
+    }
+
+    #[test]
+    fn nic_bytes_matches_actual_traffic() {
+        for n in [2, 3, 8] {
+            let inputs: Vec<Vec<u8>> = (0..n).map(|r| ints(&[r])).collect();
+            let mut coll = NbColl::iallreduce(Datatype::Int32, ReduceOp::Sum, inputs);
+            let est = coll.nic_bytes();
+            let mut actual = 0u64;
+            let mut queue = std::collections::VecDeque::from(coll.start());
+            while let Some(m) = queue.pop_front() {
+                actual += m.payload.len() as u64;
+                queue.extend(coll.deliver(m.src, m.dst, m.phase, m.payload));
+            }
+            assert_eq!(est, actual, "world {n}");
+        }
+    }
+
+    #[test]
+    fn phases_fit_the_svc_tag_field() {
+        // RankSet caps the world at 64; the deepest schedule (ring
+        // allgather) uses world − 1 phases, which must fit 6 bits.
+        let inputs: Vec<Vec<u8>> = (0..64).map(|r| vec![r as u8]).collect();
+        let coll = NbColl::iallgather(inputs);
+        assert!(coll.phases() <= 64);
+        let inputs: Vec<Vec<u8>> = (0..64).map(|r| ints(&[r])).collect();
+        let coll = NbColl::iallreduce(Datatype::Int32, ReduceOp::Sum, inputs);
+        assert!(coll.phases() <= 64);
+    }
+
+    #[test]
+    fn single_rank_worlds_complete_instantly() {
+        let mut coll = NbColl::iallreduce(Datatype::Int32, ReduceOp::Sum, vec![ints(&[5])]);
+        assert!(coll.start().is_empty());
+        assert!(coll.done());
+        assert_eq!(coll.outputs(), vec![ints(&[5])]);
+        assert_eq!(coll.nic_bytes(), 0);
+    }
+}

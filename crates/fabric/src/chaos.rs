@@ -168,11 +168,10 @@ impl ChaosConfig {
         let spec = std::env::var("PIPMCOLL_CHAOS").ok()?;
         let mut cfg = ChaosConfig::parse(&spec)
             .unwrap_or_else(|e| panic!("PIPMCOLL_CHAOS={spec:?} is malformed: {e}"));
-        if let Ok(seed) = std::env::var("PIPMCOLL_CHAOS_SEED") {
-            cfg.seed = seed
-                .trim()
-                .parse()
-                .unwrap_or_else(|_| panic!("PIPMCOLL_CHAOS_SEED must be a u64, got {seed:?}"));
+        if let Some(seed) = crate::env::read_u64("PIPMCOLL_CHAOS_SEED", "a u64 seed")
+            .unwrap_or_else(|e| panic!("{e}"))
+        {
+            cfg.seed = seed;
         }
         Some(cfg)
     }
@@ -400,6 +399,10 @@ impl<F: Fabric> Fabric for ChaosFabric<F> {
 
     fn recv_within(&self, key: ChanKey, timeout: Duration) -> FabricResult<Vec<u8>> {
         self.inner.recv_within(key, timeout)
+    }
+
+    fn try_recv(&self, key: ChanKey) -> FabricResult<Option<Vec<u8>>> {
+        self.inner.try_recv(key)
     }
 
     fn reset(&self) {

@@ -144,6 +144,16 @@ pub enum FabricError {
         /// What was wrong with it.
         detail: String,
     },
+    /// A malformed `PIPMCOLL_*` environment variable, caught by
+    /// [`crate::env::validate`] at fabric construction — the typo fails
+    /// fast with a readable message instead of panicking later inside a
+    /// worker thread.
+    Config {
+        /// The offending variable.
+        var: &'static str,
+        /// The raw value and what was expected instead.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -175,6 +185,9 @@ impl fmt::Display for FabricError {
             }
             FabricError::MalformedFrame { lane, detail } => {
                 write!(f, "malformed frame on lane {lane}: {detail}")
+            }
+            FabricError::Config { var, detail } => {
+                write!(f, "bad configuration {var}: {detail}")
             }
         }
     }

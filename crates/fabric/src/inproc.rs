@@ -59,6 +59,10 @@ impl Fabric for InProcFabric {
         self.store.pop_within(key, timeout)
     }
 
+    fn try_recv(&self, key: ChanKey) -> FabricResult<Option<Vec<u8>>> {
+        self.store.try_pop(key)
+    }
+
     fn reset(&self) {
         self.store.clear_ready();
     }

@@ -44,11 +44,13 @@
 //! into a structured failure report instead of aborting the process.
 
 pub mod chaos;
+pub mod env;
 pub mod error;
 pub mod inproc;
 pub mod pool;
 pub mod stats;
 pub mod store;
+pub mod tag;
 pub mod tcp;
 pub mod timeout;
 pub mod wait;
@@ -60,6 +62,7 @@ use std::time::Duration;
 use pipmcoll_model::Topology;
 
 pub use chaos::{ChaosConfig, ChaosFabric, ChaosRng, WireChaos};
+pub use env::EnvError;
 pub use error::{
     BlockedRecv, DeadPeer, FabricDiag, FabricError, FabricHealth, FabricResult, QueueDiag,
     TimeoutDiag,
@@ -103,6 +106,19 @@ pub trait Fabric: Send + Sync {
     /// Blocking receive with the runtime-wide [`sync_timeout`].
     fn recv(&self, key: ChanKey) -> FabricResult<Vec<u8>> {
         self.recv_within(key, sync_timeout())
+    }
+
+    /// Non-blocking receive: the next in-order message on `key` if one
+    /// is already deliverable, `Ok(None)` otherwise. Pollable at high
+    /// frequency — backends with a receive store answer from it without
+    /// building a timeout diagnostic; the default falls back to a
+    /// zero-timeout [`Fabric::recv_within`] and swallows the timeout.
+    fn try_recv(&self, key: ChanKey) -> FabricResult<Option<Vec<u8>>> {
+        match self.recv_within(key, Duration::ZERO) {
+            Ok(m) => Ok(Some(m)),
+            Err(FabricError::Timeout(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 
     /// Drop messages delivered but never received (stale state between
@@ -170,6 +186,9 @@ impl<T: Fabric + ?Sized> Fabric for Arc<T> {
     fn recv(&self, key: ChanKey) -> FabricResult<Vec<u8>> {
         (**self).recv(key)
     }
+    fn try_recv(&self, key: ChanKey) -> FabricResult<Option<Vec<u8>>> {
+        (**self).try_recv(key)
+    }
     fn reset(&self) {
         (**self).reset()
     }
@@ -204,33 +223,49 @@ impl<T: Fabric + ?Sized> Fabric for Arc<T> {
 ///
 /// # Panics
 /// Panics with a clear message on an unknown backend name, a malformed
-/// lane count, or a malformed chaos spec — a typo must fail loudly, not
-/// silently fall back.
+/// `PIPMCOLL_*` tuning variable, or a malformed chaos spec — a typo must
+/// fail loudly, not silently fall back. Hosts that want the failure as a
+/// value use [`try_from_env`].
 pub fn from_env(topo: Topology) -> Arc<dyn Fabric> {
+    match try_from_env(topo) {
+        Ok(f) => f,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`from_env`] with the failure as a typed [`FabricError`] instead of a
+/// panic: every `PIPMCOLL_*` variable is validated up front
+/// ([`env::validate`]), so a typo in any tuning knob surfaces here as
+/// [`FabricError::Config`] naming the variable — not as a panic later in
+/// a worker thread.
+pub fn try_from_env(topo: Topology) -> FabricResult<Arc<dyn Fabric>> {
+    env::validate()?;
     let backend = std::env::var("PIPMCOLL_FABRIC").unwrap_or_else(|_| "inproc".to_string());
     let base: Arc<dyn Fabric> = match backend.as_str() {
         "inproc" => Arc::new(InProcFabric::new()),
         "tcp" => {
-            let lanes = match std::env::var("PIPMCOLL_FABRIC_LANES") {
-                Err(_) => TcpConfig::default().lanes,
-                Ok(v) => match v.trim().parse::<usize>() {
-                    Ok(k) if k >= 1 => k,
-                    _ => panic!(
-                        "PIPMCOLL_FABRIC_LANES must be a positive integer lane count, got {v:?}"
-                    ),
-                },
-            };
+            let lanes = env::read_usize("PIPMCOLL_FABRIC_LANES", "a positive lane count")?
+                .unwrap_or(TcpConfig::default().lanes);
             let cfg = TcpConfig {
                 lanes,
                 ..TcpConfig::default()
             };
-            Arc::new(TcpFabric::connect(topo, cfg).expect("loopback TcpFabric setup"))
+            let f = TcpFabric::connect(topo, cfg).map_err(|e| FabricError::Config {
+                var: "PIPMCOLL_FABRIC",
+                detail: format!("loopback TcpFabric setup failed: {e}"),
+            })?;
+            Arc::new(f)
         }
-        other => panic!("PIPMCOLL_FABRIC must be \"inproc\" or \"tcp\", got {other:?}"),
+        other => {
+            return Err(FabricError::Config {
+                var: "PIPMCOLL_FABRIC",
+                detail: format!("must be \"inproc\" or \"tcp\", got {other:?}"),
+            })
+        }
     };
     match ChaosConfig::from_env() {
-        Some(cfg) => Arc::new(ChaosFabric::new(base, cfg)),
-        None => base,
+        Some(cfg) => Ok(Arc::new(ChaosFabric::new(base, cfg))),
+        None => Ok(base),
     }
 }
 

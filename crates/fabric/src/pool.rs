@@ -34,20 +34,11 @@ use crate::wire::Frame;
 const MAX_RETAIN_CAP: usize = 256 * 1024;
 
 /// Free-list bound. Parsed once; override with `PIPMCOLL_POOL_CAP`.
-///
-/// # Panics
-/// Panics on a malformed `PIPMCOLL_POOL_CAP` value.
+/// Malformed values fall back to the default — [`crate::env::validate`]
+/// rejects them loudly at fabric construction.
 pub fn pool_cap() -> usize {
     static CAP: OnceLock<usize> = OnceLock::new();
-    *CAP.get_or_init(|| match std::env::var("PIPMCOLL_POOL_CAP") {
-        Err(std::env::VarError::NotPresent) => 256,
-        Err(std::env::VarError::NotUnicode(v)) => {
-            panic!("PIPMCOLL_POOL_CAP is not valid unicode: {v:?}")
-        }
-        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
-            panic!("PIPMCOLL_POOL_CAP must be a whole number of buffers, got {v:?}")
-        }),
-    })
+    *CAP.get_or_init(|| crate::env::read_usize_or("PIPMCOLL_POOL_CAP", 256))
 }
 
 struct BufInner {

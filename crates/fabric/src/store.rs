@@ -181,6 +181,16 @@ impl MsgStore {
         }
     }
 
+    /// Non-blocking receive: the next in-order message on `key` if one
+    /// is ready, `Ok(None)` otherwise. Unlike a zero-timeout
+    /// [`MsgStore::pop_within`] this never builds a timeout diagnostic,
+    /// so a polling scheduler can call it millions of times without
+    /// allocating.
+    pub fn try_pop(&self, key: ChanKey) -> FabricResult<Option<Vec<u8>>> {
+        let mut g = self.lock()?;
+        Ok(g.get_mut(&key).and_then(|st| st.ready.pop_front()))
+    }
+
     /// Receives currently blocked in this store, for the watchdog.
     pub fn blocked(&self) -> Vec<BlockedRecv> {
         let Ok(g) = self.lock() else {
@@ -284,6 +294,20 @@ mod tests {
                 "held original (not the duplicate payload) must deliver"
             );
         }
+    }
+
+    #[test]
+    fn try_pop_returns_ready_or_none() {
+        let s = MsgStore::new("test");
+        assert_eq!(s.try_pop(K).unwrap(), None, "empty store");
+        s.push(K, vec![1]);
+        s.push(K, vec![2]);
+        assert_eq!(s.try_pop(K).unwrap(), Some(vec![1]), "FIFO order");
+        assert_eq!(s.try_pop(K).unwrap(), Some(vec![2]));
+        assert_eq!(s.try_pop(K).unwrap(), None, "drained");
+        // A held out-of-order frame is not ready.
+        s.deliver_seq(K, 5, vec![5]);
+        assert_eq!(s.try_pop(K).unwrap(), None);
     }
 
     #[test]

@@ -140,27 +140,19 @@ pub struct TcpConfig {
     pub progress_threads: usize,
 }
 
-/// `PIPMCOLL_HEARTBEAT_MS` (0 disables), parsed once.
+/// `PIPMCOLL_HEARTBEAT_MS` (0 disables), parsed once. Malformed values
+/// fall back to the default — [`crate::env::validate`] rejects them at
+/// [`TcpFabric::connect`].
 fn env_heartbeat() -> Duration {
     static HB: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
-    *HB.get_or_init(|| match std::env::var("PIPMCOLL_HEARTBEAT_MS") {
-        Err(_) => Duration::from_millis(250),
-        Ok(v) => match v.trim().parse::<u64>() {
-            Ok(ms) => Duration::from_millis(ms),
-            Err(_) => panic!("PIPMCOLL_HEARTBEAT_MS must be a millisecond count, got {v:?}"),
-        },
-    })
+    *HB.get_or_init(|| Duration::from_millis(crate::env::read_u64_or("PIPMCOLL_HEARTBEAT_MS", 250)))
 }
 
-/// `PIPMCOLL_PROGRESS_THREADS` (0 or absent = auto), parsed once.
+/// `PIPMCOLL_PROGRESS_THREADS` (0 or absent = auto), parsed once; same
+/// fallback policy as [`env_heartbeat`].
 fn env_progress_threads() -> usize {
     static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *N.get_or_init(|| match std::env::var("PIPMCOLL_PROGRESS_THREADS") {
-        Err(_) => 0,
-        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
-            panic!("PIPMCOLL_PROGRESS_THREADS must be a thread count, got {v:?}")
-        }),
-    })
+    *N.get_or_init(|| crate::env::read_usize_or("PIPMCOLL_PROGRESS_THREADS", 0))
 }
 
 impl Default for TcpConfig {
@@ -1410,6 +1402,10 @@ impl TcpFabric {
     /// connections per node pair, every socket nonblocking, all driven
     /// by [`resolve_pool_size`] progress threads.
     pub fn connect(topo: Topology, cfg: TcpConfig) -> io::Result<TcpFabric> {
+        // Reject malformed PIPMCOLL_* variables here, before any worker
+        // thread reads them through a silently-defaulting cache.
+        crate::env::validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         assert!(cfg.lanes >= 1, "a fabric needs at least one lane");
         assert!(cfg.queue_cap >= 1, "send queues need capacity");
         assert!(!cfg.rto.is_zero(), "retransmit timeout must be positive");
@@ -1815,6 +1811,10 @@ impl Fabric for TcpFabric {
             }
             r => r,
         }
+    }
+
+    fn try_recv(&self, key: ChanKey) -> FabricResult<Option<Vec<u8>>> {
+        self.mesh.stores[self.mesh.topo.node_of(key.1)].try_pop(key)
     }
 
     fn reset(&self) {

@@ -8,23 +8,16 @@
 use std::sync::OnceLock;
 use std::time::Duration;
 
-/// How long a blocking primitive waits before panicking with a
+/// How long a blocking primitive waits before giving up with a
 /// diagnostic. Defaults to 10 s; override with `PIPMCOLL_SYNC_TIMEOUT_MS`.
 ///
-/// # Panics
-/// Panics on a malformed `PIPMCOLL_SYNC_TIMEOUT_MS` value — a typo in the
-/// timeout must fail loudly, not silently run with the default.
+/// A malformed value falls back to the default here: the loud path is
+/// [`crate::env::validate`], run at fabric construction, which rejects a
+/// bad `PIPMCOLL_SYNC_TIMEOUT_MS` with a typed [`crate::env::EnvError`]
+/// before any worker thread can read this cache.
 pub fn sync_timeout() -> Duration {
     static MS: OnceLock<u64> = OnceLock::new();
-    let ms = *MS.get_or_init(|| match std::env::var("PIPMCOLL_SYNC_TIMEOUT_MS") {
-        Err(std::env::VarError::NotPresent) => 10_000,
-        Err(std::env::VarError::NotUnicode(v)) => {
-            panic!("PIPMCOLL_SYNC_TIMEOUT_MS is not valid unicode: {v:?}")
-        }
-        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
-            panic!("PIPMCOLL_SYNC_TIMEOUT_MS must be a whole number of milliseconds, got {v:?}")
-        }),
-    });
+    let ms = *MS.get_or_init(|| crate::env::read_u64_or("PIPMCOLL_SYNC_TIMEOUT_MS", 10_000));
     Duration::from_millis(ms)
 }
 

@@ -18,22 +18,12 @@ use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Spin budget before a waiter parks on its condvar. Parsed once;
-/// override with `PIPMCOLL_SPIN_US`.
-///
-/// # Panics
-/// Panics on a malformed `PIPMCOLL_SPIN_US` value — a typo in a tuning
-/// knob must fail loudly, not silently run with the default.
+/// override with `PIPMCOLL_SPIN_US`. Malformed values fall back to the
+/// default — [`crate::env::validate`] rejects them loudly at fabric
+/// construction.
 pub fn spin_budget() -> Duration {
     static US: OnceLock<u64> = OnceLock::new();
-    let us = *US.get_or_init(|| match std::env::var("PIPMCOLL_SPIN_US") {
-        Err(std::env::VarError::NotPresent) => 50,
-        Err(std::env::VarError::NotUnicode(v)) => {
-            panic!("PIPMCOLL_SPIN_US is not valid unicode: {v:?}")
-        }
-        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
-            panic!("PIPMCOLL_SPIN_US must be a whole number of microseconds, got {v:?}")
-        }),
-    });
+    let us = *US.get_or_init(|| crate::env::read_u64_or("PIPMCOLL_SPIN_US", 50));
     Duration::from_micros(us)
 }
 

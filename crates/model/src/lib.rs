@@ -27,7 +27,7 @@ pub mod presets;
 pub mod time;
 pub mod topology;
 
-pub use dtype::{Datatype, ReduceOp};
+pub use dtype::{reduce_into, Datatype, ReduceOp};
 pub use hockney::HockneyParams;
 pub use machine::MachineConfig;
 pub use mechanism::Mechanism;

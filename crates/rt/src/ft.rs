@@ -51,10 +51,6 @@ use crate::comm::RtComm;
 use crate::fault::{FaultComm, FaultPlan, OpCounters, RankKilled};
 use crate::shared::SharedBuf;
 
-/// Tag namespace for agreement sweeps: `AGREE_TAG | epoch << 8 | sweep`.
-const AGREE_TAG: u32 = 0xFF00_0000;
-/// Tag namespace for retry attempts: `RETRY_TAG | epoch << 16 | tag`.
-const RETRY_TAG: u32 = 0xFE00_0000;
 /// Bail-out bound on agreement sweeps (pathology guard; a converging
 /// run commits in 1–3 sweeps).
 const MAX_SWEEPS: u32 = 6;
@@ -135,7 +131,7 @@ impl std::fmt::Debug for RankSet {
 /// Each sweep `s` (bounded by `Δ = 2 × op_timeout`), every live member
 /// sends `[suspects: u64 LE][flags: u64 LE]` (bit 0: someone wants a
 /// retry, bit 1: my set changed last sweep) to *every* other member at
-/// tag `AGREE_TAG | epoch << 8 | s`, then collects the same from
+/// tag `fabric::tag::agree(epoch, s)`, then collects the same from
 /// everyone until the sweep deadline. Receipt is proof of life — a
 /// member heard from this sweep is cleared from the suspect set even
 /// if gossip named it — while a member silent past the deadline is
@@ -167,7 +163,7 @@ fn agree(
     let poll = (op_timeout / 32).clamp(Duration::from_millis(1), Duration::from_millis(10));
     let mut changed_prev = false;
     for sweep in 0..MAX_SWEEPS {
-        let tag = AGREE_TAG | (epoch << 8) | sweep;
+        let tag = pipmcoll_fabric::tag::agree(epoch, sweep);
         let flags: u64 = (want_retry as u64) | ((changed_prev as u64) << 1);
         let mut payload = Vec::with_capacity(16);
         payload.extend_from_slice(&suspects.bits().to_le_bytes());
@@ -573,7 +569,7 @@ enum SReq {
 ///
 /// Fabric channels keep using *original* rank ids (the mesh was built
 /// for the original topology), while tags are remapped to
-/// `RETRY_TAG | epoch << 16 | tag` so a stale frame from a failed
+/// `fabric::tag::retry(epoch, tag)` so a stale frame from a failed
 /// attempt can never match a retry receive. With ppn = 1 every
 /// intranode op (boards, flags, copies, node barriers) involves only
 /// the rank itself, so the whole node state lives inside this struct.
@@ -676,7 +672,7 @@ impl ShrunkComm {
     /// Remap a collective tag into this epoch's retry namespace.
     fn wire_tag(&self, tag: Tag) -> u32 {
         debug_assert!(tag <= 0xFFFF, "collective tags must fit 16 bits");
-        RETRY_TAG | (self.epoch << 16) | (tag & 0xFFFF)
+        pipmcoll_fabric::tag::retry(self.epoch, tag)
     }
 
     fn buf(&self, b: BufId) -> Arc<SharedBuf> {

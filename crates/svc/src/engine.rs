@@ -1,0 +1,295 @@
+//! The scheduler: one thread interleaving the phases of every admitted
+//! collective over the shared fabric.
+//!
+//! Each pass the engine (1) drains new submissions into per-job FIFOs,
+//! (2) runs an admission round — deficit round robin across jobs, each
+//! admission paying the collective's exact NIC-byte cost into the
+//! shared token bucket and claiming a sequence slot from the job's
+//! [`TagSpace`] — and (3) polls every in-flight collective's
+//! outstanding channels with the non-blocking [`Fabric::try_recv`],
+//! feeding arrivals to the [`NbColl`] state machines and sending
+//! whatever messages they emit. No thread ever parks on a receive: a
+//! hundred concurrent collectives cost one polling thread, not a
+//! hundred blocked ones.
+//!
+//! Failure containment: a fabric error or a progress stall fails *that*
+//! collective (its request resolves with the error, its sequence slot
+//! is quarantined so lingering frames can never alias a future
+//! collective) and the engine keeps driving the rest.
+//!
+//! [`Fabric::try_recv`]: pipmcoll_fabric::Fabric::try_recv
+//! [`NbColl`]: pipmcoll_core::nb::NbColl
+//! [`TagSpace`]: crate::tagspace::TagSpace
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pipmcoll_core::nb::{Msg, NbColl};
+use pipmcoll_fabric::{sync_timeout, tag, ChanKey, Fabric};
+
+use crate::admission::{DrrLane, TokenBucket};
+use crate::tagspace::TagSpace;
+use crate::{JobCounters, ReqShared, Shared, SvcError};
+
+/// A submitted-but-not-admitted collective in a job's FIFO.
+struct Pending {
+    coll: NbColl,
+    req: Arc<ReqShared>,
+    cost: u64,
+    submitted: Instant,
+    /// Whether a deferral has been counted against stats yet.
+    deferral_counted: bool,
+}
+
+/// One job's scheduler-side state.
+struct JobSched {
+    fifo: VecDeque<Pending>,
+    lane: DrrLane,
+    tags: TagSpace,
+    counters: Arc<JobCounters>,
+}
+
+/// An admitted, in-flight collective.
+struct Active {
+    comm: u32,
+    slot: u32,
+    coll: NbColl,
+    req: Arc<ReqShared>,
+    counters: Arc<JobCounters>,
+    submitted: Instant,
+    last_progress: Instant,
+    /// Channels with a message in flight towards us: `(chan, phase)`.
+    outstanding: Vec<(ChanKey, u32)>,
+}
+
+impl Active {
+    /// Send `msgs`, registering the receive side of each for polling.
+    fn send_all(&mut self, fabric: &dyn Fabric, msgs: Vec<Msg>) -> Result<(), SvcError> {
+        for m in msgs {
+            let chan: ChanKey = (m.src, m.dst, tag::svc(self.comm, self.slot, m.phase));
+            fabric.send(chan, m.payload)?;
+            self.outstanding.push((chan, m.phase));
+        }
+        Ok(())
+    }
+
+    /// Resolve as completed: outputs to the request, latency to the
+    /// histogram, sequence slot back to the job's pool.
+    fn finish(self, tags: &mut TagSpace) {
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        self.counters.latency.record(self.submitted.elapsed());
+        tags.release(self.slot);
+        self.req.complete(Ok(self.coll.outputs()));
+    }
+
+    /// Resolve as failed: the error to the request, the sequence slot
+    /// into quarantine (frames bearing its tags may still be in flight
+    /// somewhere — reuse would alias them onto a future collective).
+    fn fail(self, e: SvcError, tags: &mut TagSpace) {
+        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+        tags.quarantine(self.slot);
+        self.req.complete(Err(e));
+    }
+}
+
+/// The engine loop: runs until [`Shared::stop`], then fails whatever is
+/// still queued or in flight with [`SvcError::Shutdown`].
+pub(crate) fn run(shared: Arc<Shared>) {
+    let mut jobs: HashMap<u32, JobSched> = HashMap::new();
+    let mut active: Vec<Active> = Vec::new();
+    let mut bucket = TokenBucket::new(shared.cfg.nic_budget, shared.cfg.burst);
+    // DRR visits jobs in a stable rotation of comm ids.
+    let mut rotation: Vec<u32> = Vec::new();
+    let stall_after = sync_timeout();
+
+    loop {
+        let epoch = shared.sig.epoch();
+        let stopping = shared.stop.load(Ordering::Acquire);
+
+        // 1. Drain submissions into per-job FIFOs.
+        let new: Vec<crate::Submission> =
+            std::mem::take(&mut *shared.inbox.lock().unwrap_or_else(|p| p.into_inner()));
+        for sub in new {
+            let sched = jobs.entry(sub.comm).or_insert_with(|| {
+                rotation.push(sub.comm);
+                JobSched {
+                    fifo: VecDeque::new(),
+                    lane: DrrLane::default(),
+                    tags: TagSpace::new(shared.cfg.seq_bits),
+                    counters: shared
+                        .counters
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .get(&sub.comm)
+                        .cloned()
+                        .unwrap_or_default(),
+                }
+            });
+            let cost = sub.coll.nic_bytes();
+            sched.fifo.push_back(Pending {
+                coll: sub.coll,
+                req: sub.req,
+                cost,
+                submitted: Instant::now(),
+                deferral_counted: false,
+            });
+        }
+
+        if stopping {
+            shutdown(jobs, active, &shared);
+            return;
+        }
+
+        // 2. Admission: one DRR round over jobs with queued work.
+        let mut budget_left = shared
+            .cfg
+            .max_inflight
+            .unwrap_or(usize::MAX)
+            .saturating_sub(active.len());
+        for &comm in &rotation {
+            let Some(sched) = jobs.get_mut(&comm) else {
+                continue;
+            };
+            if sched.fifo.is_empty() {
+                // Idle lanes forfeit their credit: a returning job must
+                // not burst on banked quanta.
+                sched.lane.forfeit();
+                continue;
+            }
+            let head_cost = sched.fifo.front().map_or(0, |p| p.cost);
+            sched
+                .lane
+                .credit(shared.cfg.quantum, head_cost + shared.cfg.quantum);
+            while let Some(cost) = sched.fifo.front().map(|p| p.cost) {
+                if budget_left == 0 || sched.lane.deficit < cost {
+                    defer(sched.fifo.front_mut().expect("head"), &sched.counters);
+                    break;
+                }
+                let Some(slot) = sched.tags.acquire() else {
+                    defer(sched.fifo.front_mut().expect("head"), &sched.counters);
+                    break;
+                };
+                if !bucket.try_take(cost) {
+                    sched.tags.release(slot);
+                    defer(sched.fifo.front_mut().expect("head"), &sched.counters);
+                    break;
+                }
+                assert!(sched.lane.try_pay(cost), "deficit checked above");
+                let p = sched.fifo.pop_front().expect("head exists");
+                budget_left -= 1;
+                sched.counters.queued.fetch_sub(1, Ordering::Relaxed);
+                sched.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                sched
+                    .counters
+                    .admitted_bytes
+                    .fetch_add(p.cost, Ordering::Relaxed);
+                let mut act = Active {
+                    comm,
+                    slot,
+                    coll: p.coll,
+                    req: p.req,
+                    counters: Arc::clone(&sched.counters),
+                    submitted: p.submitted,
+                    last_progress: Instant::now(),
+                    outstanding: Vec::new(),
+                };
+                let first = act.coll.start();
+                match act.send_all(shared.fabric.as_ref(), first) {
+                    Ok(()) if act.coll.done() => {
+                        // Degenerate (single-rank) collectives finish
+                        // without traffic.
+                        act.finish(&mut sched.tags);
+                    }
+                    Ok(()) => active.push(act),
+                    Err(e) => act.fail(e, &mut sched.tags),
+                }
+            }
+        }
+        shared.inflight.store(active.len(), Ordering::Relaxed);
+
+        // 3. Poll every in-flight collective's outstanding channels.
+        let mut progressed = false;
+        let mut i = 0;
+        while i < active.len() {
+            let act = &mut active[i];
+            let mut verdict: Option<SvcError> = None;
+            let mut j = 0;
+            while j < act.outstanding.len() {
+                let (chan, phase) = act.outstanding[j];
+                match shared.fabric.try_recv(chan) {
+                    Ok(None) => j += 1,
+                    Ok(Some(payload)) => {
+                        progressed = true;
+                        act.outstanding.swap_remove(j);
+                        act.last_progress = Instant::now();
+                        let emitted = act.coll.deliver(chan.0, chan.1, phase, payload);
+                        if let Err(e) = act.send_all(shared.fabric.as_ref(), emitted) {
+                            verdict = Some(e);
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        verdict = Some(e.into());
+                        break;
+                    }
+                }
+            }
+            if verdict.is_none() && !act.coll.done() && act.last_progress.elapsed() > stall_after {
+                verdict = Some(SvcError::Stalled {
+                    waited: act.last_progress.elapsed(),
+                    outstanding: act.outstanding.len(),
+                });
+            }
+            let done = act.coll.done();
+            if let Some(e) = verdict {
+                let act = active.swap_remove(i);
+                let tags = &mut jobs.get_mut(&act.comm).expect("job exists").tags;
+                act.fail(e, tags);
+            } else if done {
+                progressed = true;
+                let act = active.swap_remove(i);
+                let tags = &mut jobs.get_mut(&act.comm).expect("job exists").tags;
+                act.finish(tags);
+            } else {
+                i += 1;
+            }
+        }
+        shared.inflight.store(active.len(), Ordering::Relaxed);
+
+        // 4. Idle strategy: park on the signal when nothing is queued
+        //    or in flight; yield when a poll pass came up empty.
+        let queued: usize = jobs.values().map(|j| j.fifo.len()).sum();
+        if active.is_empty() && queued == 0 {
+            shared.sig.wait(epoch, Duration::from_millis(50));
+        } else if !progressed {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Count one deferral against stats, once per collective.
+fn defer(p: &mut Pending, counters: &Arc<JobCounters>) {
+    if !p.deferral_counted {
+        p.deferral_counted = true;
+        counters.deferred.fetch_add(1, Ordering::Relaxed);
+        counters.deferred_bytes.fetch_add(p.cost, Ordering::Relaxed);
+    }
+}
+
+/// Fail everything still queued or in flight with `Shutdown`.
+fn shutdown(mut jobs: HashMap<u32, JobSched>, active: Vec<Active>, shared: &Arc<Shared>) {
+    for act in active {
+        let tags = &mut jobs.get_mut(&act.comm).expect("job exists").tags;
+        act.fail(SvcError::Shutdown, tags);
+    }
+    for sched in jobs.values_mut() {
+        while let Some(p) = sched.fifo.pop_front() {
+            sched.counters.queued.fetch_sub(1, Ordering::Relaxed);
+            sched.counters.failed.fetch_add(1, Ordering::Relaxed);
+            p.req.complete(Err(SvcError::Shutdown));
+        }
+    }
+    shared.inflight.store(0, Ordering::Relaxed);
+}

@@ -1,0 +1,461 @@
+//! # pipmcoll-svc — a multi-tenant collective service
+//!
+//! The paper's premise is many concurrent objects driving one fabric;
+//! the runtime crates prove it for *one* collective at a time. This
+//! crate is the production shape of that premise: a long-lived engine
+//! where many **jobs** (communicators) run many **non-blocking
+//! collectives** concurrently over one shared [`Fabric`], with the
+//! fabric's lanes saturated by interleaved phases rather than by one
+//! parked thread per collective.
+//!
+//! * [`Svc::job`] carves a [`Job`] out of the service: a communicator
+//!   handle with a disjoint tag sub-space (`fabric::tag::svc(comm,
+//!   seq_slot, phase)`), its sequence slots recycled by a
+//!   [`TagSpace`] allocator as collectives complete.
+//! * [`Job::iallreduce`] / [`Job::iallgather`] / [`Job::iscatter`] /
+//!   [`Job::ibcast`] return immediately with a [`Request`]; the
+//!   engine's single scheduler thread drives every admitted
+//!   collective's [`NbColl`] state machine, polling the fabric with
+//!   the non-blocking [`Fabric::try_recv`] and interleaving phases of
+//!   all in-flight collectives.
+//! * Admission control shares the NIC fairly: a token-bucket byte
+//!   budget across jobs ([`SvcConfig::nic_budget`],
+//!   `PIPMCOLL_SVC_NIC_BUDGET`) plus per-job deficit round robin, so a
+//!   storm of small allreduces can't starve a large allgather or vice
+//!   versa. [`Svc::stats`] surfaces per-job admitted/deferred bytes,
+//!   queue depth and a completion-latency histogram (reusing
+//!   [`fabric::stats::LatencyHist`]).
+//!
+//! The design is deliberately MPI-Advance-shaped: an optimized-
+//! collective library layer scheduling many operations above a fixed
+//! transport, with communicator-scoped resources.
+//!
+//! [`Fabric`]: pipmcoll_fabric::Fabric
+//! [`Fabric::try_recv`]: pipmcoll_fabric::Fabric::try_recv
+//! [`NbColl`]: pipmcoll_core::nb::NbColl
+//! [`TagSpace`]: tagspace::TagSpace
+//! [`fabric::stats::LatencyHist`]: pipmcoll_fabric::LatencyHist
+
+pub mod admission;
+pub mod engine;
+pub mod tagspace;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use pipmcoll_core::nb::NbColl;
+use pipmcoll_fabric::{sync_timeout, Fabric, FabricError, LatencyHist, LatencySnapshot};
+use pipmcoll_model::{Datatype, ReduceOp};
+
+pub use tagspace::TagSpace;
+
+/// Result alias for service operations.
+pub type SvcResult<T> = Result<T, SvcError>;
+
+/// Why a collective (or the service) failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SvcError {
+    /// The transport failed underneath the collective.
+    Fabric(FabricError),
+    /// The collective made no progress for the runtime-wide sync
+    /// timeout: a peer frame never arrived and the fabric reported
+    /// nothing wrong.
+    Stalled {
+        /// How long the collective sat without a delivery.
+        waited: Duration,
+        /// Channels still being polled when the engine gave up.
+        outstanding: usize,
+    },
+    /// The service shut down before the collective completed.
+    Shutdown,
+    /// The service ran out of communicator ids
+    /// ([`pipmcoll_fabric::tag::SVC_MAX_COMMS`]).
+    CommExhausted,
+}
+
+impl fmt::Display for SvcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvcError::Fabric(e) => write!(f, "fabric failure: {e}"),
+            SvcError::Stalled {
+                waited,
+                outstanding,
+            } => write!(
+                f,
+                "collective stalled: no delivery for {waited:?} with {outstanding} channel(s) outstanding"
+            ),
+            SvcError::Shutdown => write!(f, "service shut down"),
+            SvcError::CommExhausted => write!(f, "communicator ids exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SvcError {}
+
+impl From<FabricError> for SvcError {
+    fn from(e: FabricError) -> Self {
+        SvcError::Fabric(e)
+    }
+}
+
+/// Service tuning. `world` is the rank count every job's collectives
+/// span (one fabric rank per member, the tcp backend's ppn = 1 shape).
+#[derive(Clone, Debug)]
+pub struct SvcConfig {
+    /// World size.
+    pub world: usize,
+    /// NIC byte budget shared across jobs, bytes/second; `None` =
+    /// unmetered. Default from `PIPMCOLL_SVC_NIC_BUDGET` (unset =
+    /// unmetered).
+    pub nic_budget: Option<u64>,
+    /// Token-bucket burst, bytes.
+    pub burst: u64,
+    /// Deficit-round-robin quantum credited per scheduler pass, bytes.
+    pub quantum: u64,
+    /// Cap on concurrently in-flight collectives across all jobs;
+    /// `Some(1)` is the serialized baseline the storm bench compares
+    /// against. `None` = bounded only by tag slots and admission.
+    pub max_inflight: Option<usize>,
+    /// Sequence-slot field width per job (`2^seq_bits` concurrent
+    /// collectives per job); defaults to the full wire field. Tests
+    /// shrink it to force recycling.
+    pub seq_bits: u32,
+}
+
+impl SvcConfig {
+    /// Defaults for `world` ranks, reading `PIPMCOLL_SVC_NIC_BUDGET`.
+    pub fn new(world: usize) -> SvcConfig {
+        let nic_budget =
+            pipmcoll_fabric::env::read_u64("PIPMCOLL_SVC_NIC_BUDGET", "a bytes-per-second rate")
+                .unwrap_or(None);
+        SvcConfig {
+            world,
+            nic_budget,
+            burst: 256 * 1024,
+            quantum: 4 * 1024,
+            max_inflight: None,
+            seq_bits: pipmcoll_fabric::tag::SVC_SEQ_BITS,
+        }
+    }
+}
+
+/// Per-job counters, shared between the engine and [`SvcStats`]
+/// snapshots. All atomic: the engine writes from its thread, snapshots
+/// read from anywhere.
+#[derive(Default)]
+pub(crate) struct JobCounters {
+    /// Bytes of admitted collectives.
+    pub admitted_bytes: AtomicU64,
+    /// Bytes of collectives that sat deferred at least one pass.
+    pub deferred_bytes: AtomicU64,
+    /// Collectives admitted.
+    pub admitted: AtomicU64,
+    /// Collectives deferred at least one pass before admission.
+    pub deferred: AtomicU64,
+    /// Collectives completed successfully.
+    pub completed: AtomicU64,
+    /// Collectives failed.
+    pub failed: AtomicU64,
+    /// Collectives currently queued (submitted, not yet admitted).
+    pub queued: AtomicUsize,
+    /// Submission-to-completion latency.
+    pub latency: LatencyHist,
+}
+
+/// One job's row in a [`SvcStats`] snapshot.
+#[derive(Clone, Debug)]
+pub struct JobStats {
+    /// Communicator id.
+    pub comm: u32,
+    /// Bytes of admitted collectives.
+    pub admitted_bytes: u64,
+    /// Bytes of collectives deferred at least one scheduler pass.
+    pub deferred_bytes: u64,
+    /// Collectives admitted / deferred / completed / failed.
+    pub admitted: u64,
+    /// Collectives that waited at least one pass before admission.
+    pub deferred: u64,
+    /// Collectives completed successfully.
+    pub completed: u64,
+    /// Collectives failed.
+    pub failed: u64,
+    /// Collectives currently queued behind admission.
+    pub queue_depth: usize,
+    /// Submission-to-completion latency percentiles.
+    pub latency: LatencySnapshot,
+}
+
+/// A point-in-time view of the whole service.
+#[derive(Clone, Debug, Default)]
+pub struct SvcStats {
+    /// Per-job rows, ascending communicator id.
+    pub jobs: Vec<JobStats>,
+    /// Collectives in flight right now.
+    pub inflight: usize,
+}
+
+/// What a request is waiting on.
+enum ReqState {
+    Pending,
+    Ready(Option<SvcResult<Vec<Vec<u8>>>>),
+}
+
+/// Completion plumbing shared by a [`Request`] and the engine.
+pub(crate) struct ReqShared {
+    state: Mutex<ReqState>,
+    cv: Condvar,
+}
+
+impl ReqShared {
+    fn new() -> Arc<ReqShared> {
+        Arc::new(ReqShared {
+            state: Mutex::new(ReqState::Pending),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Engine side: publish the outcome and wake waiters.
+    pub(crate) fn complete(&self, result: SvcResult<Vec<Vec<u8>>>) {
+        let mut g = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        *g = ReqState::Ready(Some(result));
+        self.cv.notify_all();
+    }
+}
+
+/// A handle on one in-flight collective. Obtain the result exactly once
+/// via [`Request::test`], [`Request::wait`] or [`Request::wait_all`];
+/// the result is the per-rank output buffers in rank order.
+pub struct Request {
+    shared: Arc<ReqShared>,
+}
+
+impl Request {
+    /// Non-blocking completion check: `None` while in flight, the
+    /// result once done.
+    ///
+    /// # Panics
+    /// Panics if the result was already taken by a previous `test` or
+    /// `wait`.
+    pub fn test(&self) -> Option<SvcResult<Vec<Vec<u8>>>> {
+        let mut g = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        match &mut *g {
+            ReqState::Pending => None,
+            ReqState::Ready(slot) => Some(slot.take().expect("request result taken twice")),
+        }
+    }
+
+    /// Block until the collective completes. Bounded at three sync
+    /// timeouts as a backstop — the engine fails stalled collectives
+    /// itself well before that.
+    ///
+    /// # Panics
+    /// Panics if the result was already taken.
+    pub fn wait(&self) -> SvcResult<Vec<Vec<u8>>> {
+        let deadline = std::time::Instant::now() + sync_timeout() * 3;
+        let mut g = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match &mut *g {
+                ReqState::Ready(slot) => return slot.take().expect("request result taken twice"),
+                ReqState::Pending => {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return Err(SvcError::Stalled {
+                            waited: sync_timeout() * 3,
+                            outstanding: 0,
+                        });
+                    }
+                    let (g2, _) = self
+                        .shared
+                        .cv
+                        .wait_timeout(g, deadline - now)
+                        .unwrap_or_else(|p| p.into_inner());
+                    g = g2;
+                }
+            }
+        }
+    }
+
+    /// Wait on a batch, returning results in input order.
+    pub fn wait_all(reqs: impl IntoIterator<Item = Request>) -> Vec<SvcResult<Vec<Vec<u8>>>> {
+        reqs.into_iter().map(|r| r.wait()).collect()
+    }
+}
+
+/// What a job hands the engine per collective.
+pub(crate) struct Submission {
+    pub comm: u32,
+    pub coll: NbColl,
+    pub req: Arc<ReqShared>,
+}
+
+/// Engine-facing shared state (submissions in, stats out).
+pub(crate) struct Shared {
+    pub fabric: Arc<dyn Fabric>,
+    pub cfg: SvcConfig,
+    pub sig: pipmcoll_fabric::wait::WorkSignal,
+    pub inbox: Mutex<Vec<Submission>>,
+    pub stop: std::sync::atomic::AtomicBool,
+    /// Per-job counters, created on [`Svc::job`].
+    pub counters: Mutex<HashMap<u32, Arc<JobCounters>>>,
+    /// Collectives in flight (engine-maintained, snapshot-read).
+    pub inflight: AtomicUsize,
+}
+
+/// The service: one engine thread driving every job's collectives over
+/// one shared fabric. Dropping the service shuts the engine down and
+/// fails unfinished requests with [`SvcError::Shutdown`].
+pub struct Svc {
+    shared: Arc<Shared>,
+    next_comm: std::sync::atomic::AtomicU32,
+    engine: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Svc {
+    /// Start a service over `fabric`. Validates the `PIPMCOLL_*`
+    /// environment so a malformed variable fails here, typed, instead
+    /// of inside the engine thread.
+    pub fn new(fabric: Arc<dyn Fabric>, cfg: SvcConfig) -> SvcResult<Svc> {
+        pipmcoll_fabric::env::validate().map_err(FabricError::from)?;
+        assert!(cfg.world >= 1, "a service needs at least one rank");
+        let shared = Arc::new(Shared {
+            fabric,
+            cfg,
+            sig: pipmcoll_fabric::wait::WorkSignal::new(),
+            inbox: Mutex::new(Vec::new()),
+            stop: std::sync::atomic::AtomicBool::new(false),
+            counters: Mutex::new(HashMap::new()),
+            inflight: AtomicUsize::new(0),
+        });
+        let eng = Arc::clone(&shared);
+        let engine = std::thread::Builder::new()
+            .name("svc-engine".into())
+            .spawn(move || engine::run(eng))
+            .expect("spawn svc engine");
+        Ok(Svc {
+            shared,
+            next_comm: std::sync::atomic::AtomicU32::new(0),
+            engine: Some(engine),
+        })
+    }
+
+    /// Open a new job (communicator): a disjoint tag sub-space over the
+    /// same world. Fails with [`SvcError::CommExhausted`] after
+    /// [`pipmcoll_fabric::tag::SVC_MAX_COMMS`] jobs.
+    pub fn job(&self) -> SvcResult<Job> {
+        let comm = self.next_comm.fetch_add(1, Ordering::Relaxed);
+        if comm >= pipmcoll_fabric::tag::SVC_MAX_COMMS {
+            return Err(SvcError::CommExhausted);
+        }
+        let counters = Arc::new(JobCounters::default());
+        self.shared
+            .counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(comm, Arc::clone(&counters));
+        Ok(Job {
+            comm,
+            counters,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Point-in-time per-job statistics.
+    pub fn stats(&self) -> SvcStats {
+        let g = self
+            .shared
+            .counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let mut jobs: Vec<JobStats> = g
+            .iter()
+            .map(|(&comm, c)| JobStats {
+                comm,
+                admitted_bytes: c.admitted_bytes.load(Ordering::Relaxed),
+                deferred_bytes: c.deferred_bytes.load(Ordering::Relaxed),
+                admitted: c.admitted.load(Ordering::Relaxed),
+                deferred: c.deferred.load(Ordering::Relaxed),
+                completed: c.completed.load(Ordering::Relaxed),
+                failed: c.failed.load(Ordering::Relaxed),
+                queue_depth: c.queued.load(Ordering::Relaxed),
+                latency: c.latency.snapshot(),
+            })
+            .collect();
+        jobs.sort_by_key(|j| j.comm);
+        SvcStats {
+            jobs,
+            inflight: self.shared.inflight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Svc {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.sig.notify();
+        if let Some(h) = self.engine.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A communicator handle: non-blocking collectives over the service's
+/// world, tagged into this job's sub-space. Cheap to clone.
+#[derive(Clone)]
+pub struct Job {
+    comm: u32,
+    counters: Arc<JobCounters>,
+    shared: Arc<Shared>,
+}
+
+impl Job {
+    /// This job's communicator id.
+    pub fn comm(&self) -> u32 {
+        self.comm
+    }
+
+    fn submit(&self, coll: NbColl) -> Request {
+        assert_eq!(
+            coll.world(),
+            self.shared.cfg.world,
+            "collective world must match the service world"
+        );
+        let req = ReqShared::new();
+        self.counters.queued.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .inbox
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(Submission {
+                comm: self.comm,
+                coll,
+                req: Arc::clone(&req),
+            });
+        self.shared.sig.notify();
+        Request { shared: req }
+    }
+
+    /// Non-blocking allreduce: `inputs[r]` is rank `r`'s contribution;
+    /// the result (per rank) is the elementwise reduction.
+    pub fn iallreduce(&self, dt: Datatype, op: ReduceOp, inputs: Vec<Vec<u8>>) -> Request {
+        self.submit(NbColl::iallreduce(dt, op, inputs))
+    }
+
+    /// Non-blocking allgather: every rank ends with the concatenation
+    /// of all inputs in rank order.
+    pub fn iallgather(&self, inputs: Vec<Vec<u8>>) -> Request {
+        self.submit(NbColl::iallgather(inputs))
+    }
+
+    /// Non-blocking scatter: rank `r` ends with `chunks[r]`.
+    pub fn iscatter(&self, root: usize, chunks: Vec<Vec<u8>>) -> Request {
+        self.submit(NbColl::iscatter(root, chunks))
+    }
+
+    /// Non-blocking broadcast of `data` from `root`.
+    pub fn ibcast(&self, root: usize, data: Vec<u8>) -> Request {
+        self.submit(NbColl::ibcast(self.shared.cfg.world, root, data))
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-communicator sequence-slot allocation — the generalization of
+//! the retry layer's epoch-tag bitfield.
+//!
+//! Every collective a job runs needs a tag sub-space no *other*
+//! in-flight collective of that job can collide with: the wire tag is
+//! `fabric::tag::svc(comm, seq_slot, phase)`, so the sequence slot is
+//! the only thing separating collective #7's phase-2 frames from
+//! collective #4103's. Slots are a finite resource (2^seq_bits per
+//! communicator) and long-lived jobs issue unbounded collectives, so
+//! the allocator recycles: a slot returns to the pool when its
+//! collective *completes* (every frame it addressed has been received —
+//! nothing stale can still match), and is **quarantined forever** when
+//! its collective *fails* (a timed-out collective may have frames
+//! parked in receive stores indefinitely; reusing its tags would alias
+//! them onto a future collective).
+//!
+//! Exhaustion is deferral, not error: [`TagSpace::acquire`] returns
+//! `None` when every slot is held or quarantined, and the scheduler
+//! simply leaves the collective queued until a completion frees one.
+
+/// What a sequence slot is currently doing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    /// Reusable.
+    Free,
+    /// Backing an in-flight collective.
+    Held,
+    /// Retired: its collective failed and stale frames bearing its tag
+    /// may exist somewhere in the fabric forever.
+    Quarantined,
+}
+
+/// A bounded, recycling allocator of sequence slots for one
+/// communicator.
+pub struct TagSpace {
+    slots: Vec<Slot>,
+    /// Round-robin scan start, so consecutive collectives get distinct
+    /// slots even when the previous slot was already released (defense
+    /// in depth against any frame the completion check missed).
+    cursor: usize,
+    /// Collectives ever granted a slot.
+    issued: u64,
+    quarantined: usize,
+}
+
+impl TagSpace {
+    /// An allocator with `2^seq_bits` slots.
+    ///
+    /// # Panics
+    /// Panics if `seq_bits` exceeds the wire field width
+    /// ([`pipmcoll_fabric::tag::SVC_SEQ_BITS`]) or is zero.
+    pub fn new(seq_bits: u32) -> TagSpace {
+        assert!(
+            (1..=pipmcoll_fabric::tag::SVC_SEQ_BITS).contains(&seq_bits),
+            "seq_bits {seq_bits} outside 1..={}",
+            pipmcoll_fabric::tag::SVC_SEQ_BITS
+        );
+        TagSpace {
+            slots: vec![Slot::Free; 1 << seq_bits],
+            cursor: 0,
+            issued: 0,
+            quarantined: 0,
+        }
+    }
+
+    /// Total slots (2^seq_bits).
+    pub fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Claim a free slot, or `None` when all are held or quarantined
+    /// (caller defers the collective until a release).
+    pub fn acquire(&mut self) -> Option<u32> {
+        let n = self.slots.len();
+        for probe in 0..n {
+            let i = (self.cursor + probe) % n;
+            if self.slots[i] == Slot::Free {
+                self.slots[i] = Slot::Held;
+                self.cursor = (i + 1) % n;
+                self.issued += 1;
+                return Some(i as u32);
+            }
+        }
+        None
+    }
+
+    /// Return a completed collective's slot to the pool.
+    ///
+    /// # Panics
+    /// Panics if the slot is not currently held — releasing a free or
+    /// quarantined slot is a scheduler bug.
+    pub fn release(&mut self, slot: u32) {
+        assert_eq!(
+            self.slots[slot as usize],
+            Slot::Held,
+            "release of slot {slot} that is not held"
+        );
+        self.slots[slot as usize] = Slot::Free;
+    }
+
+    /// Retire a failed collective's slot permanently: frames bearing
+    /// its tags may linger in receive stores, so it must never back
+    /// another collective.
+    ///
+    /// # Panics
+    /// Panics if the slot is not currently held.
+    pub fn quarantine(&mut self, slot: u32) {
+        assert_eq!(
+            self.slots[slot as usize],
+            Slot::Held,
+            "quarantine of slot {slot} that is not held"
+        );
+        self.slots[slot as usize] = Slot::Quarantined;
+        self.quarantined += 1;
+    }
+
+    /// Collectives ever granted a slot (so `issued / size` counts how
+    /// many times the space has wrapped).
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// How many times the slot space has been fully cycled.
+    pub fn wraps(&self) -> u64 {
+        self.issued / self.size() as u64
+    }
+
+    /// Slots permanently retired by failures.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
+    }
+
+    /// Slots currently backing in-flight collectives.
+    pub fn held(&self) -> usize {
+        self.slots.iter().filter(|s| **s == Slot::Held).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycles_past_the_space_size() {
+        let mut ts = TagSpace::new(3); // 8 slots
+        let mut seen = Vec::new();
+        for _ in 0..50 {
+            let s = ts.acquire().expect("a released slot is reusable");
+            seen.push(s);
+            ts.release(s);
+        }
+        assert_eq!(ts.issued(), 50);
+        assert!(ts.wraps() >= 6, "50 acquisitions over 8 slots must wrap");
+        // Round-robin: consecutive acquisitions never reuse the slot
+        // just released.
+        for w in seen.windows(2) {
+            assert_ne!(w[0], w[1], "back-to-back slot reuse");
+        }
+    }
+
+    #[test]
+    fn exhaustion_defers_instead_of_erroring() {
+        let mut ts = TagSpace::new(2); // 4 slots
+        let held: Vec<u32> = (0..4).map(|_| ts.acquire().unwrap()).collect();
+        assert_eq!(ts.held(), 4);
+        assert_eq!(ts.acquire(), None, "all slots held");
+        ts.release(held[2]);
+        assert_eq!(ts.acquire(), Some(held[2]), "released slot comes back");
+    }
+
+    #[test]
+    fn quarantined_slots_never_come_back() {
+        let mut ts = TagSpace::new(2);
+        let s = ts.acquire().unwrap();
+        ts.quarantine(s);
+        assert_eq!(ts.quarantined(), 1);
+        // Drain the remaining three; the quarantined one is never
+        // handed out again.
+        for _ in 0..3 {
+            assert_ne!(ts.acquire(), Some(s));
+        }
+        assert_eq!(ts.acquire(), None, "only the quarantined slot is left");
+    }
+
+    #[test]
+    #[should_panic(expected = "not held")]
+    fn double_release_is_a_bug() {
+        let mut ts = TagSpace::new(1);
+        let s = ts.acquire().unwrap();
+        ts.release(s);
+        ts.release(s);
+    }
+
+    #[test]
+    fn distinct_slots_while_held() {
+        let mut ts = TagSpace::new(3);
+        let mut held = std::collections::HashSet::new();
+        for _ in 0..8 {
+            assert!(held.insert(ts.acquire().unwrap()), "duplicate live slot");
+        }
+    }
+}

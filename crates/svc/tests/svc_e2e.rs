@@ -1,0 +1,250 @@
+//! End-to-end service tests: many jobs running many non-blocking
+//! collectives concurrently over one shared in-process fabric, plus the
+//! tag-space exhaustion/recycling scenario under chaos delay.
+
+use std::sync::Arc;
+
+use pipmcoll_fabric::chaos::{ChaosConfig, ChaosFabric};
+use pipmcoll_fabric::{Fabric, InProcFabric};
+use pipmcoll_model::{Datatype, ReduceOp};
+use pipmcoll_svc::{Request, Svc, SvcConfig, SvcError};
+
+fn ints(vals: &[i32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn from_ints(bytes: &[u8]) -> Vec<i32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn inproc() -> Arc<dyn Fabric> {
+    Arc::new(InProcFabric::new())
+}
+
+/// Rank r contributes `[seed + r, seed + r + 1]`; the sum over `world`
+/// ranks is the same for every rank.
+fn allreduce_inputs(world: usize, seed: i32) -> (Vec<Vec<u8>>, Vec<i32>) {
+    let inputs: Vec<Vec<u8>> = (0..world)
+        .map(|r| ints(&[seed + r as i32, seed + r as i32 + 1]))
+        .collect();
+    let n = world as i32;
+    let base: i32 = (0..n).map(|r| seed + r).sum();
+    (inputs, vec![base, base + n])
+}
+
+#[test]
+fn many_jobs_run_concurrent_allreduces_correctly() {
+    let world = 8;
+    let svc = Svc::new(inproc(), SvcConfig::new(world)).unwrap();
+    let jobs: Vec<_> = (0..4).map(|_| svc.job().unwrap()).collect();
+
+    // 4 jobs × 8 collectives, all in flight before any wait.
+    let mut launched = Vec::new();
+    for (ji, job) in jobs.iter().enumerate() {
+        for k in 0..8 {
+            let seed = (ji * 100 + k) as i32;
+            let (inputs, want) = allreduce_inputs(world, seed);
+            let req = job.iallreduce(Datatype::Int32, ReduceOp::Sum, inputs);
+            launched.push((req, want));
+        }
+    }
+    for (req, want) in launched {
+        let out = req.wait().expect("collective completes");
+        assert_eq!(out.len(), world);
+        for rank_out in out {
+            assert_eq!(from_ints(&rank_out), want);
+        }
+    }
+
+    let stats = svc.stats();
+    assert_eq!(stats.jobs.len(), 4);
+    for j in &stats.jobs {
+        assert_eq!(j.completed, 8, "job {} completed", j.comm);
+        assert_eq!(j.failed, 0);
+        assert_eq!(j.queue_depth, 0);
+        assert_eq!(j.latency.count, 8);
+        assert!(j.admitted_bytes > 0);
+    }
+}
+
+#[test]
+fn mixed_collective_kinds_interleave_in_one_job() {
+    let world = 4;
+    let svc = Svc::new(inproc(), SvcConfig::new(world)).unwrap();
+    let job = svc.job().unwrap();
+
+    let (ar_in, ar_want) = allreduce_inputs(world, 7);
+    let ar = job.iallreduce(Datatype::Int32, ReduceOp::Sum, ar_in);
+    let ag = job.iallgather((0..world).map(|r| ints(&[r as i32 * 11])).collect());
+    let sc = job.iscatter(2, (0..world).map(|r| ints(&[100 + r as i32])).collect());
+    let bc = job.ibcast(1, ints(&[42, 43]));
+
+    let ar_out = ar.wait().unwrap();
+    for rank_out in &ar_out {
+        assert_eq!(from_ints(rank_out), ar_want);
+    }
+    let ag_out = ag.wait().unwrap();
+    for rank_out in &ag_out {
+        assert_eq!(from_ints(rank_out), vec![0, 11, 22, 33]);
+    }
+    let sc_out = sc.wait().unwrap();
+    for (r, rank_out) in sc_out.iter().enumerate() {
+        assert_eq!(from_ints(rank_out), vec![100 + r as i32]);
+    }
+    let bc_out = bc.wait().unwrap();
+    for rank_out in &bc_out {
+        assert_eq!(from_ints(rank_out), vec![42, 43]);
+    }
+}
+
+#[test]
+fn request_test_polls_nonblocking_to_completion() {
+    let world = 4;
+    let svc = Svc::new(inproc(), SvcConfig::new(world)).unwrap();
+    let job = svc.job().unwrap();
+    let (inputs, want) = allreduce_inputs(world, 3);
+    let req = job.iallreduce(Datatype::Int32, ReduceOp::Sum, inputs);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let out = loop {
+        if let Some(res) = req.test() {
+            break res.expect("completes");
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "test() never completed"
+        );
+        std::thread::yield_now();
+    };
+    assert_eq!(from_ints(&out[0]), want);
+}
+
+#[test]
+fn serialized_baseline_completes_everything_in_order() {
+    let world = 4;
+    let cfg = SvcConfig {
+        max_inflight: Some(1),
+        ..SvcConfig::new(world)
+    };
+    let svc = Svc::new(inproc(), cfg).unwrap();
+    let job_a = svc.job().unwrap();
+    let job_b = svc.job().unwrap();
+
+    let mut launched = Vec::new();
+    for k in 0..6 {
+        let (ia, wa) = allreduce_inputs(world, k * 2);
+        let (ib, wb) = allreduce_inputs(world, k * 2 + 1);
+        launched.push((job_a.iallreduce(Datatype::Int32, ReduceOp::Sum, ia), wa));
+        launched.push((job_b.iallreduce(Datatype::Int32, ReduceOp::Sum, ib), wb));
+    }
+    let wants: Vec<_> = launched.iter().map(|(_, w)| w.clone()).collect();
+    let reqs: Vec<_> = launched.into_iter().map(|(r, _)| r).collect();
+    for (res, want) in Request::wait_all(reqs).into_iter().zip(wants) {
+        let out = res.expect("serialized run completes");
+        assert_eq!(from_ints(&out[0]), want);
+    }
+    let stats = svc.stats();
+    let total: u64 = stats.jobs.iter().map(|j| j.completed).sum();
+    assert_eq!(total, 12);
+    // With one in-flight permit and 12 queued collectives, most waited.
+    let deferred: u64 = stats.jobs.iter().map(|j| j.deferred).sum();
+    assert!(deferred >= 1, "serialization must defer queued work");
+}
+
+/// Satellite 3: a job issuing more collectives than it has sequence
+/// slots must recycle slots safely — with a chaos delay keeping frames
+/// of earlier collectives in flight while later ones (re)use the
+/// adjacent slots, every result must still be byte-correct and no
+/// cross-wrap aliasing may occur.
+#[test]
+fn tag_space_exhaustion_wraps_safely_under_chaos_delay() {
+    let world = 4;
+    let chaos = ChaosConfig {
+        delay: std::time::Duration::from_millis(2),
+        seed: 0xC0FFEE,
+        ..ChaosConfig::default()
+    };
+    let fabric: Arc<dyn Fabric> = Arc::new(ChaosFabric::new(InProcFabric::new(), chaos));
+    let cfg = SvcConfig {
+        seq_bits: 2, // 4 slots — far fewer than the collectives below
+        ..SvcConfig::new(world)
+    };
+    let svc = Svc::new(fabric, cfg).unwrap();
+    let job = svc.job().unwrap();
+
+    // 3× more collectives than slots, all submitted before any wait, so
+    // the allocator must exhaust, defer, and recycle several times.
+    let mut launched = Vec::new();
+    for k in 0..12 {
+        let (inputs, want) = allreduce_inputs(world, k * 13 + 1);
+        launched.push((job.iallreduce(Datatype::Int32, ReduceOp::Sum, inputs), want));
+    }
+    for (req, want) in launched {
+        let out = req.wait().expect("wrapped collective completes");
+        for rank_out in out {
+            assert_eq!(
+                from_ints(&rank_out),
+                want,
+                "cross-wrap aliasing corrupted data"
+            );
+        }
+    }
+
+    let stats = svc.stats();
+    let j = &stats.jobs[0];
+    assert_eq!(j.completed, 12, "all collectives across the wrap complete");
+    assert_eq!(j.failed, 0);
+    assert!(
+        j.deferred >= 1,
+        "12 collectives over 4 slots must defer at least once (deferred={})",
+        j.deferred
+    );
+}
+
+#[test]
+fn nic_budget_defers_but_still_completes() {
+    let world = 4;
+    let cfg = SvcConfig {
+        // Tiny burst: roughly one small collective's bytes, refilled
+        // fast enough that the test finishes promptly.
+        nic_budget: Some(1_000_000),
+        burst: 64,
+        ..SvcConfig::new(world)
+    };
+    let svc = Svc::new(inproc(), cfg).unwrap();
+    let job = svc.job().unwrap();
+    let mut launched = Vec::new();
+    for k in 0..8 {
+        let (inputs, want) = allreduce_inputs(world, k + 20);
+        launched.push((job.iallreduce(Datatype::Int32, ReduceOp::Sum, inputs), want));
+    }
+    for (req, want) in launched {
+        let out = req.wait().expect("metered collective completes");
+        assert_eq!(from_ints(&out[0]), want);
+    }
+    let stats = svc.stats();
+    let j = &stats.jobs[0];
+    assert_eq!(j.completed, 8);
+    assert!(
+        j.deferred >= 1,
+        "a 64-byte burst must defer some of 8 queued collectives"
+    );
+    assert!(j.deferred_bytes > 0);
+}
+
+#[test]
+fn dropping_the_service_fails_unadmitted_requests_with_shutdown() {
+    let world = 4;
+    let cfg = SvcConfig {
+        max_inflight: Some(0), // nothing is ever admitted
+        ..SvcConfig::new(world)
+    };
+    let svc = Svc::new(inproc(), cfg).unwrap();
+    let job = svc.job().unwrap();
+    let (inputs, _) = allreduce_inputs(world, 1);
+    let req = job.iallreduce(Datatype::Int32, ReduceOp::Sum, inputs);
+    drop(svc);
+    assert_eq!(req.wait().unwrap_err(), SvcError::Shutdown);
+}
