@@ -33,6 +33,156 @@
 
 use pipmcoll_model::{reduce_into, Datatype, ReduceOp};
 
+/// Why a collective cannot be planned on a given member sub-group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The collective's root (bcast/scatter source) is not in the
+    /// member set — no survivor holds the data, so no re-plan can
+    /// complete it.
+    RootFailed {
+        /// The missing root, as an original world rank.
+        root: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::RootFailed { root } => {
+                write!(f, "root rank {root} is not among the surviving members")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A collective described at the *data* level, independent of the
+/// member set it will run on — the unit of shrink-and-retry.
+///
+/// [`NbColl`] bakes the world size into its scripts at construction, so
+/// a collective that must re-run on a survivor sub-group after a rank
+/// death needs its inputs kept in this pre-planned form. `plan()`
+/// builds the full-group machine; [`CollSpec::plan_on`] builds the same
+/// collective on a densely re-ranked sub-group, taking each survivor's
+/// original contribution (allreduce/allgather inputs, the root's
+/// chunks/data) so the sub-group result is byte-identical to a fresh
+/// run on that member set.
+#[derive(Clone, Debug)]
+pub enum CollSpec {
+    /// Elementwise reduction of `inputs[r]` across all ranks.
+    Allreduce {
+        /// Element type.
+        dt: Datatype,
+        /// Reduction operator.
+        op: ReduceOp,
+        /// Per-rank contributions.
+        inputs: Vec<Vec<u8>>,
+    },
+    /// Concatenation of all inputs in rank order.
+    Allgather {
+        /// Per-rank contributions.
+        inputs: Vec<Vec<u8>>,
+    },
+    /// Rank `r` receives `chunks[r]` from the root.
+    Scatter {
+        /// Source rank.
+        root: usize,
+        /// Per-destination chunks (held by the root).
+        chunks: Vec<Vec<u8>>,
+    },
+    /// Every rank receives `data` from the root.
+    Bcast {
+        /// World size (bcast carries one buffer, not one per rank).
+        world: usize,
+        /// Source rank.
+        root: usize,
+        /// The broadcast payload.
+        data: Vec<u8>,
+    },
+}
+
+impl CollSpec {
+    /// The world size this collective was submitted against.
+    pub fn world(&self) -> usize {
+        match self {
+            CollSpec::Allreduce { inputs, .. } => inputs.len(),
+            CollSpec::Allgather { inputs } => inputs.len(),
+            CollSpec::Scatter { chunks, .. } => chunks.len(),
+            CollSpec::Bcast { world, .. } => *world,
+        }
+    }
+
+    /// The collective kind (for stats and error messages).
+    pub fn kind(&self) -> NbKind {
+        match self {
+            CollSpec::Allreduce { .. } => NbKind::Allreduce,
+            CollSpec::Allgather { .. } => NbKind::Allgather,
+            CollSpec::Scatter { .. } => NbKind::Scatter,
+            CollSpec::Bcast { .. } => NbKind::Bcast,
+        }
+    }
+
+    /// The rank whose death makes this collective unsatisfiable
+    /// (bcast/scatter root), if any.
+    pub fn root(&self) -> Option<usize> {
+        match self {
+            CollSpec::Scatter { root, .. } | CollSpec::Bcast { root, .. } => Some(*root),
+            _ => None,
+        }
+    }
+
+    /// Plan on the full member set.
+    pub fn plan(&self) -> NbColl {
+        let all: Vec<usize> = (0..self.world()).collect();
+        self.plan_on(&all)
+            .expect("full-group plan cannot lose its root")
+    }
+
+    /// Plan on the sub-group `members` (sorted, unique original ranks),
+    /// densely re-ranked: machine rank `j` is original rank
+    /// `members[j]`. Rooted collectives whose root is not a member fail
+    /// with [`PlanError::RootFailed`] — nobody holds the source data.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty, unsorted, or names a rank outside
+    /// the original world.
+    pub fn plan_on(&self, members: &[usize]) -> Result<NbColl, PlanError> {
+        assert!(!members.is_empty(), "cannot plan on an empty member set");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be sorted and unique"
+        );
+        assert!(
+            *members.last().unwrap() < self.world(),
+            "member rank outside the original world"
+        );
+        let pick = |inputs: &[Vec<u8>]| -> Vec<Vec<u8>> {
+            members.iter().map(|&r| inputs[r].clone()).collect()
+        };
+        match self {
+            CollSpec::Allreduce { dt, op, inputs } => {
+                Ok(NbColl::iallreduce(*dt, *op, pick(inputs)))
+            }
+            CollSpec::Allgather { inputs } => Ok(NbColl::iallgather(pick(inputs))),
+            CollSpec::Scatter { root, chunks } => {
+                let dense_root = members
+                    .iter()
+                    .position(|&r| r == *root)
+                    .ok_or(PlanError::RootFailed { root: *root })?;
+                Ok(NbColl::iscatter(dense_root, pick(chunks)))
+            }
+            CollSpec::Bcast { root, data, .. } => {
+                let dense_root = members
+                    .iter()
+                    .position(|&r| r == *root)
+                    .ok_or(PlanError::RootFailed { root: *root })?;
+                Ok(NbColl::ibcast(members.len(), dense_root, data.clone()))
+            }
+        }
+    }
+}
+
 /// One message the caller must transport: send `payload` from rank
 /// `src` to rank `dst`, and hand it to [`NbColl::deliver`] over there
 /// with the same `phase`.
@@ -647,5 +797,89 @@ mod tests {
         assert!(coll.done());
         assert_eq!(coll.outputs(), vec![ints(&[5])]);
         assert_eq!(coll.nic_bytes(), 0);
+    }
+
+    #[test]
+    fn spec_full_plan_matches_direct_construction() {
+        let inputs: Vec<Vec<u8>> = (0..5).map(|r| ints(&[r, 10])).collect();
+        let spec = CollSpec::Allreduce {
+            dt: Datatype::Int32,
+            op: ReduceOp::Sum,
+            inputs,
+        };
+        assert_eq!(spec.world(), 5);
+        assert_eq!(spec.kind(), NbKind::Allreduce);
+        let mut coll = spec.plan();
+        pump(&mut coll);
+        let want = ints(&[10, 50]);
+        assert!(coll.outputs().iter().all(|o| *o == want));
+    }
+
+    #[test]
+    fn spec_replans_on_survivor_subgroups() {
+        // Kill rank 2 of 5: the sub-group result must equal a fresh run
+        // on exactly the survivors' inputs.
+        let inputs: Vec<Vec<u8>> = (0..5).map(|r| ints(&[r])).collect();
+        let survivors = [0usize, 1, 3, 4];
+        let spec = CollSpec::Allreduce {
+            dt: Datatype::Int32,
+            op: ReduceOp::Sum,
+            inputs: inputs.clone(),
+        };
+        let mut coll = spec.plan_on(&survivors).unwrap();
+        assert_eq!(coll.world(), 4);
+        pump(&mut coll);
+        assert!(coll.outputs().iter().all(|o| *o == ints(&[1 + 3 + 4])));
+
+        let spec = CollSpec::Allgather { inputs };
+        let mut coll = spec.plan_on(&survivors).unwrap();
+        pump(&mut coll);
+        let want: Vec<u8> = survivors.iter().flat_map(|&r| ints(&[r as i32])).collect();
+        assert!(coll.outputs().iter().all(|o| *o == want));
+    }
+
+    #[test]
+    fn spec_remaps_roots_to_dense_positions() {
+        // Root 3 of 5 survives rank 1's death at dense position 2.
+        let chunks: Vec<Vec<u8>> = (0..5u8).map(|r| vec![r; 2]).collect();
+        let spec = CollSpec::Scatter { root: 3, chunks };
+        let survivors = [0usize, 2, 3, 4];
+        let mut coll = spec.plan_on(&survivors).unwrap();
+        pump(&mut coll);
+        let outs = coll.outputs();
+        for (dense, &orig) in survivors.iter().enumerate() {
+            assert_eq!(outs[dense], vec![orig as u8; 2], "original rank {orig}");
+        }
+
+        let spec = CollSpec::Bcast {
+            world: 5,
+            root: 4,
+            data: vec![0xEE; 8],
+        };
+        let mut coll = spec.plan_on(&survivors).unwrap();
+        pump(&mut coll);
+        assert!(coll.outputs().iter().all(|o| *o == vec![0xEE; 8]));
+    }
+
+    #[test]
+    fn spec_dead_root_is_unsatisfiable() {
+        let spec = CollSpec::Bcast {
+            world: 4,
+            root: 1,
+            data: vec![1, 2, 3],
+        };
+        assert_eq!(
+            spec.plan_on(&[0, 2, 3]).err(),
+            Some(PlanError::RootFailed { root: 1 })
+        );
+        assert_eq!(spec.root(), Some(1));
+        let spec = CollSpec::Scatter {
+            root: 0,
+            chunks: vec![vec![1]; 3],
+        };
+        assert_eq!(
+            spec.plan_on(&[1, 2]).err(),
+            Some(PlanError::RootFailed { root: 0 })
+        );
     }
 }

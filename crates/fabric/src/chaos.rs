@@ -297,10 +297,18 @@ pub struct ChaosFabric<F: Fabric> {
     /// Interface-level RNG (delays, kill-victim choice).
     rng: Mutex<ChaosRng>,
     sends: AtomicU64,
-    /// Send index at which the next lane kill fires.
+    /// Non-blocking receive polls; counted toward kill scheduling so a
+    /// poll-driven consumer (the svc engine never calls `send` between
+    /// arrivals it is waiting on) still reaches scheduled lane kills.
+    polls: AtomicU64,
+    /// Op index at which the next lane kill fires.
     next_kill: AtomicU64,
     kills_left: AtomicUsize,
     kill_spacing: u64,
+    /// Lanes this wrapper killed, merged into [`Fabric::health`] so a
+    /// chaos run exercises the same detection path as a real TCP lane
+    /// death even over backends whose own health view is empty.
+    killed_lanes: Mutex<Vec<usize>>,
 }
 
 impl<F: Fabric> ChaosFabric<F> {
@@ -320,9 +328,11 @@ impl<F: Fabric> ChaosFabric<F> {
             wired,
             rng: Mutex::new(rng),
             sends: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
             next_kill: AtomicU64::new(spacing),
             kills_left: AtomicUsize::new(cfg.lane_kill),
             kill_spacing: spacing,
+            killed_lanes: Mutex::new(Vec::new()),
         }
     }
 
@@ -366,8 +376,18 @@ impl<F: Fabric> ChaosFabric<F> {
         // The backend refuses to kill its last surviving lane; try each
         // candidate once.
         for i in 0..lanes {
-            if self.inner.kill_lane((start + i) % lanes) {
+            let lane = (start + i) % lanes;
+            if self.inner.kill_lane(lane) {
+                self.note_killed(lane);
                 return;
+            }
+        }
+    }
+
+    fn note_killed(&self, lane: usize) {
+        if let Ok(mut g) = self.killed_lanes.lock() {
+            if !g.contains(&lane) {
+                g.push(lane);
             }
         }
     }
@@ -402,6 +422,11 @@ impl<F: Fabric> Fabric for ChaosFabric<F> {
     }
 
     fn try_recv(&self, key: ChanKey) -> FabricResult<Option<Vec<u8>>> {
+        // Polls advance the kill schedule alongside sends: a consumer
+        // that only polls between arrivals must still hit scheduled
+        // kills. No delay jitter here — it would serialize a poll loop.
+        let n = self.sends.load(Ordering::Relaxed) + self.polls.fetch_add(1, Ordering::Relaxed);
+        self.maybe_kill(n);
         self.inner.try_recv(key)
     }
 
@@ -422,11 +447,27 @@ impl<F: Fabric> Fabric for ChaosFabric<F> {
     }
 
     fn kill_lane(&self, lane: usize) -> bool {
-        self.inner.kill_lane(lane)
+        let ok = self.inner.kill_lane(lane);
+        if ok {
+            self.note_killed(lane);
+        }
+        ok
     }
 
     fn health(&self) -> crate::FabricHealth {
-        self.inner.health()
+        let mut h = self.inner.health();
+        // Injected lane kills show up in the health view even when the
+        // backend's own view is empty (e.g. in-process delivery), so
+        // detection sees chaos and real TCP failures identically.
+        if let Ok(g) = self.killed_lanes.lock() {
+            for &lane in g.iter() {
+                if !h.dead_lanes.contains(&lane) {
+                    h.dead_lanes.push(lane);
+                }
+            }
+        }
+        h.dead_lanes.sort_unstable();
+        h
     }
 }
 

@@ -168,6 +168,8 @@ pub fn validate() -> Result<(), EnvError> {
     }
     read_u64("PIPMCOLL_CHAOS_SEED", "a u64 seed")?;
     read_u64("PIPMCOLL_SVC_NIC_BUDGET", "a bytes-per-second rate")?;
+    read_u64("PIPMCOLL_SVC_RETRY_MAX", "a retry count")?;
+    read_u64("PIPMCOLL_SVC_DEADLINE_MS", "a millisecond count")?;
     Ok(())
 }
 

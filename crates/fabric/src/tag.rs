@@ -10,8 +10,9 @@
 //!                              1100 | comm_id:10 | seq_slot:12 | phase:6
 //! 0xFE00_0000 .. 0xFEFF_FFFF   retry epochs (rt::ft::ShrunkComm):
 //!                              0xFE | epoch:8 | tag:16
-//! 0xFF00_0000 .. 0xFFFF_FFFF   failed-set agreement sweeps (rt::ft):
-//!                              0xFF | _:8 | epoch:8 | sweep:8
+//! 0xFF00_0000 .. 0xFFFF_FFFF   failed-set agreement sweeps:
+//!                              0xFF | domain:8 | epoch:8 | sweep:8
+//!                              (domain 0 = rt::ft, 1 = pipmcoll-svc)
 //! ```
 //!
 //! The service layout gives each communicator 2^10 = 1024 ids, each
@@ -43,10 +44,21 @@ pub const SVC_MAX_SEQ: u32 = 1 << SVC_SEQ_BITS;
 /// Exclusive upper bound on service phases.
 pub const SVC_MAX_PHASE: u32 = 1 << SVC_PHASE_BITS;
 
-/// The agreement-sweep tag for `(epoch, sweep)`.
+/// The rt-layer agreement-sweep tag for `(epoch, sweep)` (domain 0).
 pub fn agree(epoch: u32, sweep: u32) -> u32 {
     debug_assert!(epoch < 1 << 8 && sweep < 1 << 8);
     AGREE_NS | (epoch << 8) | sweep
+}
+
+/// The service-layer agreement-sweep tag (domain 1 of the `0xFF`
+/// namespace, so an engine-driven agreement can never collide with a
+/// concurrent rt-layer one). The service's agreement counter is
+/// unbounded, so `epoch` is taken modulo 256 — safe because at most one
+/// service agreement is in flight per engine and its sweeps complete
+/// before the counter can wrap back around.
+pub fn svc_agree(epoch: u32, sweep: u32) -> u32 {
+    debug_assert!(sweep < 1 << 8);
+    AGREE_NS | (1 << 16) | ((epoch & 0xFF) << 8) | sweep
 }
 
 /// The retry-epoch tag wrapping a plain collective `tag` (≤ 16 bits).
@@ -113,6 +125,23 @@ mod tests {
         assert_eq!(ns(retry(255, 0xFFFF)), "retry");
         assert_eq!(ns(agree(0, 0)), "agree");
         assert_eq!(ns(agree(255, 255)), "agree");
+        assert_eq!(ns(svc_agree(0, 0)), "agree");
+        assert_eq!(ns(svc_agree(4096, 255)), "agree");
+    }
+
+    #[test]
+    fn svc_agreement_domain_is_disjoint_from_rt() {
+        for epoch in [0u32, 1, 7, 255] {
+            for sweep in [0u32, 1, 5, 255] {
+                assert_ne!(
+                    svc_agree(epoch, sweep),
+                    agree(epoch, sweep),
+                    "epoch {epoch} sweep {sweep}"
+                );
+                // Distinct (epoch mod 256, sweep) pairs give distinct tags.
+                assert_eq!(svc_agree(epoch + 256, sweep), svc_agree(epoch, sweep));
+            }
+        }
     }
 
     #[test]

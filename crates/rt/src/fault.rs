@@ -23,7 +23,16 @@
 //! | `barrier` | `node_barrier`                       |
 //! | `signal`  | `signal`                             |
 //! | `copy`    | `copy_in`, `copy_out`, `reduce_in`   |
+//! | `submit`  | svc engine: admissions the rank takes part in |
+//! | `poll`    | svc engine: receive polls on the rank's behalf |
 //! | `any`     | any of the above                     |
+//!
+//! The `submit` and `poll` classes belong to the service layer
+//! (`pipmcoll-svc`): its single-threaded engine owns every rank of its
+//! world, so "rank R dies before its Nth submit/poll" is counted by the
+//! engine rather than by a [`FaultComm`] wrapper, making service-layer
+//! deaths deterministically schedulable exactly like rt-layer ones.
+//! A [`FaultComm`] never ticks them.
 //!
 //! The kill itself is a [`RankKilled`] panic payload thrown with
 //! [`std::panic::panic_any`]; the fault-tolerant runner
@@ -52,6 +61,12 @@ pub enum OpClass {
     Signal,
     /// Intranode shared-buffer ops (`copy_in`, `copy_out`, `reduce_in`).
     Copy,
+    /// Service-layer admissions the rank takes part in (counted by the
+    /// svc engine, not by [`FaultComm`]).
+    Submit,
+    /// Service-layer receive polls on the rank's behalf (counted by the
+    /// svc engine, not by [`FaultComm`]).
+    Poll,
     /// Any counted operation.
     Any,
 }
@@ -64,9 +79,11 @@ impl OpClass {
             "barrier" => Ok(OpClass::Barrier),
             "signal" => Ok(OpClass::Signal),
             "copy" => Ok(OpClass::Copy),
+            "submit" => Ok(OpClass::Submit),
+            "poll" => Ok(OpClass::Poll),
             "any" => Ok(OpClass::Any),
             other => Err(format!(
-                "unknown op class {other:?} (want send|recv|barrier|signal|copy|any)"
+                "unknown op class {other:?} (want send|recv|barrier|signal|copy|submit|poll|any)"
             )),
         }
     }
@@ -79,6 +96,8 @@ impl OpClass {
             OpClass::Signal => 3,
             OpClass::Copy => 4,
             OpClass::Any => 5,
+            OpClass::Submit => 6,
+            OpClass::Poll => 7,
         }
     }
 }
@@ -91,6 +110,8 @@ impl std::fmt::Display for OpClass {
             OpClass::Barrier => "barrier",
             OpClass::Signal => "signal",
             OpClass::Copy => "copy",
+            OpClass::Submit => "submit",
+            OpClass::Poll => "poll",
             OpClass::Any => "any",
         };
         f.write_str(s)
@@ -224,7 +245,7 @@ pub struct RankKilled {
 /// `FaultComm` is built per attempt, the counts must survive them all).
 #[derive(Default)]
 pub struct OpCounters {
-    counts: [AtomicU64; 6],
+    counts: [AtomicU64; 8],
 }
 
 impl OpCounters {
@@ -426,5 +447,29 @@ mod tests {
     fn roundtrips_through_display() {
         let s = "kill:rank=0@recv=3;kill:rank=2@copy=1;kill:rank=5@any=9";
         assert_eq!(FaultPlan::parse(s).unwrap().to_string(), s);
+    }
+
+    #[test]
+    fn parses_service_layer_classes() {
+        let s = "kill:rank=3@submit=1;kill:rank=1@poll=40";
+        let p = FaultPlan::parse(s).unwrap();
+        assert_eq!(p.doomed(), vec![1, 3]);
+        assert_eq!(
+            p.triggers_for(3),
+            vec![KillSpec {
+                rank: 3,
+                op: OpClass::Submit,
+                at: 1
+            }]
+        );
+        assert_eq!(
+            p.triggers_for(1),
+            vec![KillSpec {
+                rank: 1,
+                op: OpClass::Poll,
+                at: 40
+            }]
+        );
+        assert_eq!(p.to_string(), s);
     }
 }

@@ -125,27 +125,242 @@ impl std::fmt::Debug for RankSet {
     }
 }
 
-/// Crash-tolerant agreement on the failed set: all-to-all sweep gossip
-/// over suspicion bitmaps.
+/// One gossip message an [`AgreeCore`] wants sent: `payload` to
+/// original rank `to` at sweep `sweep` of the current agreement. The
+/// driver owns tag packing (rt uses `fabric::tag::agree`, the service
+/// uses `fabric::tag::svc_agree`) so the two layers' agreements can
+/// never collide on the wire.
+#[derive(Clone, Debug)]
+pub struct AgreeMsg {
+    /// Destination (original world rank).
+    pub to: usize,
+    /// The sweep number this message belongs to.
+    pub sweep: u32,
+    /// `[suspects: u64 LE][flags: u64 LE]`.
+    pub payload: Vec<u8>,
+}
+
+/// What an [`AgreeCore`] driver should do next.
+#[derive(Clone, Debug)]
+pub enum AgreeStep {
+    /// Poll [`AgreeCore::outstanding`] for sweep [`AgreeCore::sweep`]
+    /// messages, [`AgreeCore::deliver`] any arrivals, then step again.
+    Poll,
+    /// The sweep finalized early; idle until the instant (keeping all
+    /// members' sweeps in lockstep), then step again.
+    Pad(Instant),
+    /// A new sweep began: send these, then keep polling.
+    Sweep(Vec<AgreeMsg>),
+    /// Committed — read [`AgreeCore::committed`].
+    Done,
+}
+
+/// The sans-io core of crash-tolerant failed-set agreement: all-to-all
+/// sweep gossip over suspicion bitmaps, factored out of the blocking
+/// [`agree`] so the service engine can drive the identical protocol
+/// from a non-blocking poll loop (one core per rank it owns) without
+/// parking its scheduler thread.
 ///
-/// Each sweep `s` (bounded by `Δ = 2 × op_timeout`), every live member
-/// sends `[suspects: u64 LE][flags: u64 LE]` (bit 0: someone wants a
-/// retry, bit 1: my set changed last sweep) to *every* other member at
-/// tag `fabric::tag::agree(epoch, s)`, then collects the same from
-/// everyone until the sweep deadline. Receipt is proof of life — a
-/// member heard from this sweep is cleared from the suspect set even
-/// if gossip named it — while a member silent past the deadline is
-/// suspected. A member that sees *any* fault signal (non-empty seed, a
-/// timeout, a non-zero payload) is in fault mode: it pads each sweep
-/// to the full deadline, keeping all members' sweeps in lockstep, and
+/// Protocol (unchanged from the blocking original): each sweep `s`
+/// (bounded by a deadline `Δ` after its start), every live member sends
+/// `[suspects: u64 LE][flags: u64 LE]` (bit 0: someone wants a retry,
+/// bit 1: my set changed last sweep) to *every* other member, then
+/// collects the same from everyone until the sweep deadline. Receipt is
+/// proof of life — a member heard from this sweep is cleared from the
+/// suspect set even if gossip named it — while a member silent past the
+/// deadline is suspected. A member that sees any fault signal pads each
+/// sweep to the full deadline, keeping members' sweeps in lockstep, and
 /// keeps sweeping until its set is stable **and** no peer reported a
-/// change for the *previous* sweep. Two quiet sweeps mean every
-/// member's set had already absorbed every other's (pairwise unions
-/// produced nothing), so the stability condition flips for all
-/// survivors in the same sweep — they commit identical sets on the
-/// same sweep and nobody times out on an early committer. A fault-free
-/// epoch short-circuits: all-zero payloads from everyone lets each
-/// member commit after sweep 0 without padding.
+/// change for the previous sweep — so every survivor commits the same
+/// set on the same sweep. A fault-free run short-circuits: all-zero
+/// payloads from everyone commits the empty set after sweep 0 with no
+/// padding.
+///
+/// Driving contract: call [`AgreeCore::begin`] once and send its
+/// messages (a failed send goes back via [`AgreeCore::send_failed`]),
+/// then loop on [`AgreeCore::step`] — `Poll` means try to receive from
+/// [`AgreeCore::outstanding`] at the current sweep and deliver,
+/// `Pad(t)` means nothing to do until `t`, `Sweep(msgs)` means send
+/// those, `Done` means [`AgreeCore::committed`] has the verdict.
+pub struct AgreeCore {
+    me: usize,
+    members: Vec<usize>,
+    delta: Duration,
+    suspects: RankSet,
+    want_retry: bool,
+    changed_prev: bool,
+    sweep: u32,
+    /// Suspect set snapshot at the start of the current sweep.
+    before: RankSet,
+    alive: RankSet,
+    outstanding: Vec<usize>,
+    peer_changed_prev: bool,
+    fault_seen: bool,
+    deadline: Instant,
+    /// Current sweep finalized (its verdict folded in), padding until
+    /// the deadline before the next sweep starts.
+    finalized: bool,
+    committed: Option<(RankSet, bool)>,
+}
+
+impl AgreeCore {
+    /// A core for member `me` of `members`, seeded with `seed`
+    /// suspicions; `want_retry` marks this member as having seen a
+    /// fault during the attempt. `delta` is the per-sweep window (the
+    /// blocking driver uses `2 × op_timeout`).
+    pub fn new(
+        me: usize,
+        members: Vec<usize>,
+        seed: RankSet,
+        want_retry: bool,
+        delta: Duration,
+    ) -> AgreeCore {
+        let mut suspects = seed;
+        suspects.remove(me);
+        AgreeCore {
+            me,
+            members,
+            delta,
+            suspects,
+            want_retry,
+            changed_prev: false,
+            sweep: 0,
+            before: RankSet::new(),
+            alive: RankSet::new(),
+            outstanding: Vec::new(),
+            peer_changed_prev: false,
+            fault_seen: false,
+            deadline: Instant::now(),
+            finalized: false,
+            committed: None,
+        }
+    }
+
+    /// Start sweep 0 at `now`: returns the messages to send.
+    pub fn begin(&mut self, now: Instant) -> Vec<AgreeMsg> {
+        self.start_sweep(now)
+    }
+
+    /// The current sweep number (for tag packing while polling).
+    pub fn sweep(&self) -> u32 {
+        self.sweep
+    }
+
+    /// Members not yet heard from this sweep.
+    pub fn outstanding(&self) -> &[usize] {
+        &self.outstanding
+    }
+
+    /// The verdict, once [`AgreeStep::Done`]: the committed failed set
+    /// and whether a retry is required.
+    pub fn committed(&self) -> Option<(RankSet, bool)> {
+        self.committed
+    }
+
+    /// Record that sending this sweep's gossip to `q` failed — `q` is
+    /// suspected (refutable: a receipt from it this sweep clears it).
+    pub fn send_failed(&mut self, q: usize) {
+        if q != self.me {
+            self.suspects.insert(q);
+        }
+    }
+
+    /// Deliver one gossip payload received from `q` at the current
+    /// sweep. A malformed payload still proves `q` alive.
+    pub fn deliver(&mut self, q: usize, payload: &[u8]) {
+        if self.committed.is_some() || self.finalized {
+            return;
+        }
+        if payload.len() == 16 {
+            let su = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+            let fl = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+            self.suspects.union(RankSet::from_bits(su));
+            self.want_retry |= fl & 1 != 0;
+            self.peer_changed_prev |= fl & 2 != 0;
+            self.fault_seen |= su != 0 || fl != 0;
+        }
+        self.alive.insert(q);
+        self.outstanding.retain(|&r| r != q);
+    }
+
+    /// Advance the state machine at `now`.
+    pub fn step(&mut self, now: Instant) -> AgreeStep {
+        if self.committed.is_some() {
+            return AgreeStep::Done;
+        }
+        if !self.finalized {
+            if !self.outstanding.is_empty() && now < self.deadline {
+                return AgreeStep::Poll;
+            }
+            // Finalize this sweep: leftover silence is suspicion, any
+            // receipt is proof of life, and I am certainly not dead.
+            for q in std::mem::take(&mut self.outstanding) {
+                self.suspects.insert(q);
+            }
+            self.suspects.subtract(self.alive);
+            self.suspects.remove(self.me);
+            let changed = self.suspects != self.before;
+            if self.sweep == 0
+                && self.before.is_empty()
+                && !self.want_retry
+                && !self.fault_seen
+                && !changed
+            {
+                // Fault-free fast path: everyone reported all-zero.
+                self.committed = Some((RankSet::new(), false));
+                return AgreeStep::Done;
+            }
+            if (self.sweep >= 1 && !changed && !self.peer_changed_prev)
+                || self.sweep + 1 >= MAX_SWEEPS
+            {
+                let retry = self.want_retry || !self.suspects.is_empty();
+                self.committed = Some((self.suspects, retry));
+                return AgreeStep::Done;
+            }
+            self.changed_prev = changed;
+            self.finalized = true;
+        }
+        // Fault mode: pad to the deadline so every member's next sweep
+        // starts at most `entry skew` apart, which Δ absorbs.
+        if now < self.deadline {
+            return AgreeStep::Pad(self.deadline);
+        }
+        self.sweep += 1;
+        AgreeStep::Sweep(self.start_sweep(now))
+    }
+
+    fn start_sweep(&mut self, now: Instant) -> Vec<AgreeMsg> {
+        let flags: u64 = (self.want_retry as u64) | ((self.changed_prev as u64) << 1);
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&self.suspects.bits().to_le_bytes());
+        payload.extend_from_slice(&flags.to_le_bytes());
+        self.before = self.suspects;
+        self.alive = RankSet::new();
+        self.outstanding = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&q| q != self.me)
+            .collect();
+        self.peer_changed_prev = false;
+        self.fault_seen = false;
+        self.deadline = now + self.delta;
+        self.finalized = false;
+        self.outstanding
+            .iter()
+            .map(|&to| AgreeMsg {
+                to,
+                sweep: self.sweep,
+                payload: payload.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Crash-tolerant agreement on the failed set — the blocking driver
+/// over [`AgreeCore`] used by the thread runtime (see the core's docs
+/// for the protocol; the service engine drives the same core from its
+/// non-blocking poll loop).
 ///
 /// Returns the committed failed set and whether a retry is required.
 fn agree(
@@ -153,79 +368,42 @@ fn agree(
     me: usize,
     members: &[usize],
     seed: RankSet,
-    mut want_retry: bool,
+    want_retry: bool,
     epoch: u32,
     op_timeout: Duration,
 ) -> (RankSet, bool) {
-    let mut suspects = seed;
-    suspects.remove(me);
-    let delta = op_timeout * 2;
     let poll = (op_timeout / 32).clamp(Duration::from_millis(1), Duration::from_millis(10));
-    let mut changed_prev = false;
-    for sweep in 0..MAX_SWEEPS {
-        let tag = pipmcoll_fabric::tag::agree(epoch, sweep);
-        let flags: u64 = (want_retry as u64) | ((changed_prev as u64) << 1);
-        let mut payload = Vec::with_capacity(16);
-        payload.extend_from_slice(&suspects.bits().to_le_bytes());
-        payload.extend_from_slice(&flags.to_le_bytes());
-        let before = suspects;
-        for &q in members {
-            if q != me && fabric.send((me, q, tag), payload.clone()).is_err() {
-                suspects.insert(q);
+    let mut core = AgreeCore::new(me, members.to_vec(), seed, want_retry, op_timeout * 2);
+    let mut to_send = core.begin(Instant::now());
+    loop {
+        for m in to_send.drain(..) {
+            let tag = pipmcoll_fabric::tag::agree(epoch, m.sweep);
+            if fabric.send((me, m.to, tag), m.payload).is_err() {
+                core.send_failed(m.to);
             }
         }
-        let deadline = Instant::now() + delta;
-        let mut outstanding: Vec<usize> = members.iter().copied().filter(|&q| q != me).collect();
-        let mut alive = RankSet::new();
-        let mut peer_changed_prev = false;
-        let mut fault_seen = false;
-        // Round-robin short receives instead of one long receive per
-        // member: a dead member must not eat the whole window before a
-        // slow-but-alive member's message gets looked at.
-        while !outstanding.is_empty() && Instant::now() < deadline {
-            let mut still = Vec::with_capacity(outstanding.len());
-            for q in outstanding {
-                match fabric.recv_within((q, me, tag), poll) {
-                    Ok(p) if p.len() == 16 => {
-                        let su = u64::from_le_bytes(p[0..8].try_into().unwrap());
-                        let fl = u64::from_le_bytes(p[8..16].try_into().unwrap());
-                        suspects.union(RankSet::from_bits(su));
-                        want_retry |= fl & 1 != 0;
-                        peer_changed_prev |= fl & 2 != 0;
-                        fault_seen |= su != 0 || fl != 0;
-                        alive.insert(q);
-                    }
-                    Ok(_) => alive.insert(q), // malformed but alive
-                    Err(_) => still.push(q),
+        match core.step(Instant::now()) {
+            AgreeStep::Done => return core.committed().expect("verdict set on Done"),
+            AgreeStep::Sweep(msgs) => to_send = msgs,
+            AgreeStep::Pad(until) => {
+                let now = Instant::now();
+                if until > now {
+                    std::thread::sleep(until - now);
                 }
             }
-            outstanding = still;
+            AgreeStep::Poll => {
+                // Round-robin short receives instead of one long receive
+                // per member: a dead member must not eat the whole window
+                // before a slow-but-alive member's message gets looked at.
+                let tag = pipmcoll_fabric::tag::agree(epoch, core.sweep());
+                for q in core.outstanding().to_vec() {
+                    if let Ok(p) = fabric.recv_within((q, me, tag), poll) {
+                        core.deliver(q, &p);
+                    }
+                }
+            }
         }
-        for q in outstanding {
-            suspects.insert(q);
-        }
-        // Anyone heard from this sweep is alive right now, whatever the
-        // gossip said — and I am certainly not dead.
-        suspects.subtract(alive);
-        suspects.remove(me);
-        let changed = suspects != before;
-        if sweep == 0 && before.is_empty() && !want_retry && !fault_seen && !changed {
-            // Fault-free fast path: everyone reported all-zero.
-            return (RankSet::new(), false);
-        }
-        if sweep >= 1 && !changed && !peer_changed_prev {
-            break;
-        }
-        // Fault mode: pad to the deadline so every member's sweep `s+1`
-        // starts at most `entry skew` apart, which Δ absorbs.
-        let now = Instant::now();
-        if now < deadline {
-            std::thread::sleep(deadline - now);
-        }
-        changed_prev = changed;
     }
-    let retry = want_retry || !suspects.is_empty();
-    (suspects, retry)
 }
 
 /// The per-attempt outcome one live member reports to the coordinator.
@@ -1035,6 +1213,91 @@ mod tests {
             // The epoch still wants a retry (someone reported trouble),
             // but with an empty failed set the same members re-run.
             assert!(retry);
+        }
+    }
+
+    /// Drive N [`AgreeCore`]s from ONE thread with non-blocking
+    /// receives — the exact shape the service engine uses. All cores
+    /// must commit identical sets, with a silent member detected and a
+    /// clean run fast-pathing.
+    #[test]
+    fn agree_core_converges_under_single_thread_polling() {
+        for dead in [None, Some(2usize)] {
+            let fabric: Arc<dyn Fabric> = Arc::new(InProcFabric::new());
+            let members = vec![0usize, 1, 2, 3];
+            let delta = Duration::from_millis(60);
+            let mut cores: Vec<(usize, AgreeCore)> = members
+                .iter()
+                .copied()
+                .filter(|&me| Some(me) != dead)
+                .map(|me| {
+                    let mut seed = RankSet::new();
+                    // One member saw the death during its attempt.
+                    if me == 0 {
+                        if let Some(d) = dead {
+                            seed.insert(d);
+                        }
+                    }
+                    (
+                        me,
+                        AgreeCore::new(me, members.clone(), seed, dead.is_some(), delta),
+                    )
+                })
+                .collect();
+            let send = |from: usize, m: &AgreeMsg| {
+                let tag = pipmcoll_fabric::tag::agree(9, m.sweep);
+                fabric.send((from, m.to, tag), m.payload.clone()).unwrap();
+            };
+            for (me, core) in cores.iter_mut() {
+                for m in core.begin(Instant::now()) {
+                    send(*me, &m);
+                }
+            }
+            let t0 = Instant::now();
+            loop {
+                let mut all_done = true;
+                for (me, core) in cores.iter_mut() {
+                    loop {
+                        match core.step(Instant::now()) {
+                            AgreeStep::Done => break,
+                            AgreeStep::Pad(_) => {
+                                all_done = false;
+                                break;
+                            }
+                            AgreeStep::Sweep(msgs) => {
+                                for m in msgs {
+                                    send(*me, &m);
+                                }
+                            }
+                            AgreeStep::Poll => {
+                                let tag = pipmcoll_fabric::tag::agree(9, core.sweep());
+                                let mut got = false;
+                                for q in core.outstanding().to_vec() {
+                                    if let Ok(Some(p)) = fabric.try_recv((q, *me, tag)) {
+                                        core.deliver(q, &p);
+                                        got = true;
+                                    }
+                                }
+                                if !got {
+                                    all_done = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                if all_done {
+                    break;
+                }
+                assert!(t0.elapsed() < Duration::from_secs(10), "agreement hangs");
+                std::thread::yield_now();
+            }
+            let want: Vec<usize> = dead.into_iter().collect();
+            for (me, core) in &cores {
+                let (set, retry) = core.committed().expect("all cores done");
+                assert_eq!(set.ranks(), want, "rank {me} (dead={dead:?})");
+                assert_eq!(retry, dead.is_some(), "rank {me} retry flag");
+            }
         }
     }
 

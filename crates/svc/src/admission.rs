@@ -50,6 +50,19 @@ impl TokenBucket {
         self.tokens = (self.tokens + dt * rate as f64).min(self.burst as f64);
     }
 
+    /// Return `bytes` of unspent tokens: a cancelled or retried
+    /// collective paid for its whole schedule at admission but only
+    /// `sent` bytes ever reached the wire, so the difference goes back
+    /// to the pool (capped at the burst — a refund can't bank more
+    /// credit than the bucket can hold).
+    pub fn refund(&mut self, bytes: u64) {
+        if self.rate.is_none() || bytes == 0 {
+            return;
+        }
+        self.refill();
+        self.tokens = (self.tokens + bytes as f64).min(self.burst as f64);
+    }
+
     /// Try to pay `cost` bytes. A cost larger than the whole burst is
     /// admitted when the bucket is full (the bucket then goes deep
     /// negative, stalling everyone until it refills) — otherwise an
@@ -131,6 +144,21 @@ mod tests {
             !b.try_take(5000),
             "bucket is deep negative; a second oversized must wait"
         );
+    }
+
+    #[test]
+    fn refund_returns_unspent_tokens_up_to_burst() {
+        let mut b = TokenBucket::new(Some(1), 1000); // ~no refill
+        assert!(b.try_take(1000));
+        assert!(!b.try_take(600), "drained");
+        b.refund(600);
+        assert!(b.try_take(600), "refund restored the tokens");
+        // Refunds cap at the burst: over-refunding can't bank credit.
+        b.refund(u64::MAX / 2);
+        assert!(b.try_take(1000));
+        assert!(!b.try_take(1000), "only one burst's worth came back");
+        // A refund on an unmetered bucket is a no-op.
+        TokenBucket::new(None, 1).refund(123);
     }
 
     #[test]

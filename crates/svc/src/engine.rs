@@ -2,23 +2,53 @@
 //! collective over the shared fabric.
 //!
 //! Each pass the engine (1) drains new submissions into per-job FIFOs,
-//! (2) runs an admission round — deficit round robin across jobs, each
-//! admission paying the collective's exact NIC-byte cost into the
-//! shared token bucket and claiming a sequence slot from the job's
-//! [`TagSpace`] — and (3) polls every in-flight collective's
-//! outstanding channels with the non-blocking [`Fabric::try_recv`],
-//! feeding arrivals to the [`NbColl`] state machines and sending
-//! whatever messages they emit. No thread ever parks on a receive: a
+//! (2) reaps cancellations and expired deadlines, (3) runs the failure
+//! duty — poll [`Fabric::health`], gather suspicion evidence, drive the
+//! non-blocking failed-set agreement when there is any — then (4) runs
+//! an admission round — deficit round robin across jobs, each admission
+//! planning the collective's [`CollSpec`] against the *current survivor
+//! group*, paying its exact NIC-byte cost into the shared token bucket
+//! and claiming a sequence slot from the job's [`TagSpace`] — and (5)
+//! polls every in-flight collective's outstanding channels with the
+//! non-blocking [`Fabric::try_recv`], feeding arrivals to the
+//! [`NbColl`] state machines. No thread ever parks on a receive: a
 //! hundred concurrent collectives cost one polling thread, not a
 //! hundred blocked ones.
+//!
+//! ## Failure state machine (survive-and-complete)
+//!
+//! ```text
+//!        evidence (health verdicts, send/recv errors, stalls, kills)
+//!   Running ──────────────────────────────────────────────▶ Agreeing
+//!      ▲                                                       │
+//!      │   all cores commit an identical failed set F           │
+//!      ◀───────────────────────────────────────────────────────┘
+//!        F ≠ ∅: epoch += 1, members -= F; every affected active
+//!        (touches F, wounded, or stalled) has its slot quarantined,
+//!        unsent bytes refunded, and is re-queued **at the head** of
+//!        its job's FIFO to be re-planned on the densely re-ranked
+//!        survivor group under exponential backoff + jitter — unless
+//!        its retry cap is spent (RetriesExhausted) or its root died
+//!        (Unsatisfiable). Unaffected collectives keep polling the
+//!        whole time; only *admission* pauses during agreement.
+//! ```
+//!
+//! The agreement itself is the runtime's [`AgreeCore`] — the identical
+//! sweep-gossip protocol `rt::ft` drives with blocking receives — run
+//! here as a per-member state-machine farm polled by the engine thread,
+//! on domain 1 of the `0xFF` tag namespace ([`tag::svc_agree`]) so the
+//! two layers can never collide on the wire.
 //!
 //! Failure containment: a fabric error or a progress stall fails *that*
 //! collective (its request resolves with the error, its sequence slot
 //! is quarantined so lingering frames can never alias a future
 //! collective) and the engine keeps driving the rest.
 //!
+//! [`Fabric::health`]: pipmcoll_fabric::Fabric::health
 //! [`Fabric::try_recv`]: pipmcoll_fabric::Fabric::try_recv
+//! [`CollSpec`]: pipmcoll_core::nb::CollSpec
 //! [`NbColl`]: pipmcoll_core::nb::NbColl
+//! [`AgreeCore`]: pipmcoll_rt::AgreeCore
 //! [`TagSpace`]: crate::tagspace::TagSpace
 
 use std::collections::{HashMap, VecDeque};
@@ -26,19 +56,30 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pipmcoll_core::nb::{Msg, NbColl};
-use pipmcoll_fabric::{sync_timeout, tag, ChanKey, Fabric};
+use pipmcoll_core::nb::{CollSpec, Msg, NbColl, PlanError};
+use pipmcoll_fabric::{sync_timeout, tag, ChanKey, Fabric, FabricError};
+use pipmcoll_rt::{AgreeCore, AgreeStep, KillSpec, OpClass, RankSet};
 
 use crate::admission::{DrrLane, TokenBucket};
 use crate::tagspace::TagSpace;
-use crate::{JobCounters, ReqShared, Shared, SvcError};
+use crate::{JobCounters, Shared, SvcError};
 
 /// A submitted-but-not-admitted collective in a job's FIFO.
 struct Pending {
-    coll: NbColl,
-    req: Arc<ReqShared>,
-    cost: u64,
+    spec: CollSpec,
+    req: Arc<crate::ReqShared>,
     submitted: Instant,
+    deadline: Option<Instant>,
+    retry_max: u32,
+    /// Re-plans already performed (0 on first submission).
+    retries: u32,
+    /// Backoff gate: not admitted before this instant.
+    not_before: Option<Instant>,
+    /// The schedule planned at admission time, and the member bitmap it
+    /// was planned against (a failure epoch invalidates it).
+    plan: Option<NbColl>,
+    plan_members: u64,
+    cost: u64,
     /// Whether a deferral has been counted against stats yet.
     deferral_counted: bool,
 }
@@ -56,69 +97,175 @@ struct Active {
     comm: u32,
     slot: u32,
     coll: NbColl,
-    req: Arc<ReqShared>,
-    counters: Arc<JobCounters>,
+    /// Dense plan rank `j` is original rank `map[j]` (identity while no
+    /// rank has failed).
+    map: Vec<usize>,
+    /// Kept for re-planning on a shrunk group after a failure epoch.
+    spec: CollSpec,
+    req: Arc<crate::ReqShared>,
     submitted: Instant,
+    deadline: Option<Instant>,
+    retry_max: u32,
+    retries: u32,
+    /// NIC bytes paid at admission, and how many actually hit the wire
+    /// (the difference is refunded if the collective dies early).
+    cost: u64,
+    sent_bytes: u64,
+    /// A recoverable fabric error was seen: the collective must be
+    /// re-planned after the next agreement commit, whatever it decides.
+    wounded: bool,
     last_progress: Instant,
-    /// Channels with a message in flight towards us: `(chan, phase)`.
-    outstanding: Vec<(ChanKey, u32)>,
+    /// Channels with a message in flight towards us:
+    /// `(chan, phase, dense_src, dense_dst)`.
+    outstanding: Vec<(ChanKey, u32, usize, usize)>,
 }
 
-impl Active {
-    /// Send `msgs`, registering the receive side of each for polling.
-    fn send_all(&mut self, fabric: &dyn Fabric, msgs: Vec<Msg>) -> Result<(), SvcError> {
-        for m in msgs {
-            let chan: ChanKey = (m.src, m.dst, tag::svc(self.comm, self.slot, m.phase));
-            fabric.send(chan, m.payload)?;
-            self.outstanding.push((chan, m.phase));
-        }
-        Ok(())
-    }
-
-    /// Resolve as completed: outputs to the request, latency to the
-    /// histogram, sequence slot back to the job's pool.
-    fn finish(self, tags: &mut TagSpace) {
-        self.counters.completed.fetch_add(1, Ordering::Relaxed);
-        self.counters.latency.record(self.submitted.elapsed());
-        tags.release(self.slot);
-        self.req.complete(Ok(self.coll.outputs()));
-    }
-
-    /// Resolve as failed: the error to the request, the sequence slot
-    /// into quarantine (frames bearing its tags may still be in flight
-    /// somewhere — reuse would alias them onto a future collective).
-    fn fail(self, e: SvcError, tags: &mut TagSpace) {
-        self.counters.failed.fetch_add(1, Ordering::Relaxed);
-        tags.quarantine(self.slot);
-        self.req.complete(Err(e));
-    }
+/// One engine-driven agreement: a core per surviving member, all swept
+/// in lockstep on `tag::svc_agree(tag_epoch, sweep)`.
+struct AgreeRun {
+    tag_epoch: u32,
+    cores: Vec<(usize, AgreeCore)>,
 }
 
 /// The engine loop: runs until [`Shared::stop`], then fails whatever is
 /// still queued or in flight with [`SvcError::Shutdown`].
 pub(crate) fn run(shared: Arc<Shared>) {
-    let mut jobs: HashMap<u32, JobSched> = HashMap::new();
-    let mut active: Vec<Active> = Vec::new();
-    let mut bucket = TokenBucket::new(shared.cfg.nic_budget, shared.cfg.burst);
-    // DRR visits jobs in a stable rotation of comm ids.
-    let mut rotation: Vec<u32> = Vec::new();
-    let stall_after = sync_timeout();
+    Engine::new(shared).run();
+}
 
-    loop {
-        let epoch = shared.sig.epoch();
-        let stopping = shared.stop.load(Ordering::Acquire);
+struct Engine {
+    shared: Arc<Shared>,
+    jobs: HashMap<u32, JobSched>,
+    active: Vec<Active>,
+    bucket: TokenBucket,
+    /// DRR visits jobs in a stable rotation of comm ids.
+    rotation: Vec<u32>,
+    /// Current survivor group, sorted ascending.
+    members: Vec<usize>,
+    /// All ranks ever committed failed.
+    failed: RankSet,
+    /// Ranks killed by the fault DSL (`@submit` / `@poll` triggers):
+    /// the engine stops acting on their behalf — skips their sends and
+    /// their receive polls — and lets detection discover the silence.
+    killed: RankSet,
+    /// Local suspicion accumulated since the last agreement.
+    evidence: RankSet,
+    /// Monotone counter naming each agreement's tag epoch.
+    agree_seq: u32,
+    agree: Option<AgreeRun>,
+    /// Cooldown after a commit so still-draining state can't spark an
+    /// immediate re-agreement.
+    no_detect_until: Instant,
+    /// Next full-FIFO reap sweep (head entries are groomed every
+    /// admission round; deep entries only need this coarse sweep).
+    next_reap: Instant,
+    /// xorshift64* state for backoff jitter (fixed seed: runs are
+    /// deterministic modulo scheduling).
+    rng: u64,
+    /// Per-rank `submit` / `poll` op counts for the fault DSL.
+    submit_counts: Vec<u64>,
+    poll_counts: Vec<u64>,
+    fault_kills: Vec<KillSpec>,
+    stall_after: Duration,
+}
 
-        // 1. Drain submissions into per-job FIFOs.
+impl Engine {
+    fn new(shared: Arc<Shared>) -> Engine {
+        let world = shared.cfg.world;
+        let bucket = TokenBucket::new(shared.cfg.nic_budget, shared.cfg.burst);
+        let mut fault_kills = Vec::new();
+        for r in 0..world {
+            for k in shared.cfg.fault.triggers_for(r) {
+                if matches!(k.op, OpClass::Submit | OpClass::Poll) {
+                    fault_kills.push(k);
+                }
+            }
+        }
+        let now = Instant::now();
+        Engine {
+            jobs: HashMap::new(),
+            active: Vec::new(),
+            bucket,
+            rotation: Vec::new(),
+            members: (0..world).collect(),
+            failed: RankSet::new(),
+            killed: RankSet::new(),
+            evidence: RankSet::new(),
+            agree_seq: 0,
+            agree: None,
+            no_detect_until: now,
+            next_reap: now,
+            rng: 0x9E37_79B9_7F4A_7C15,
+            submit_counts: vec![0; world],
+            poll_counts: vec![0; world],
+            fault_kills,
+            stall_after: sync_timeout(),
+            shared,
+        }
+    }
+
+    fn run(&mut self) {
+        loop {
+            let epoch = self.shared.sig.epoch();
+            let stopping = self.shared.stop.load(Ordering::Acquire);
+            self.drain_inbox();
+            if stopping {
+                self.shutdown();
+                return;
+            }
+            let now = Instant::now();
+            self.reap(now);
+            if self.shared.cfg.ft {
+                self.detect(now);
+                self.drive_agreement(now);
+            }
+            // Admission pauses during agreement (the member set is
+            // about to change); polling never does — unaffected jobs
+            // keep completing collectives throughout.
+            if self.agree.is_none() {
+                self.admit(now);
+            }
+            let progressed = self.poll(now);
+            self.shared
+                .inflight
+                .store(self.active.len(), Ordering::Relaxed);
+
+            let queued: usize = self.jobs.values().map(|j| j.fifo.len()).sum();
+            if self.agree.is_some() {
+                // Agreement sweeps pad on wall-clock deadlines; a short
+                // sleep beats a hot spin without costing precision.
+                if !progressed {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            } else if self.active.is_empty() && queued == 0 {
+                self.shared.sig.wait(epoch, Duration::from_millis(50));
+            } else if !progressed {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Drain submissions into per-job FIFOs, resolving per-request
+    /// options against the config defaults.
+    fn drain_inbox(&mut self) {
         let new: Vec<crate::Submission> =
-            std::mem::take(&mut *shared.inbox.lock().unwrap_or_else(|p| p.into_inner()));
+            std::mem::take(&mut *self.shared.inbox.lock().unwrap_or_else(|p| p.into_inner()));
+        if new.is_empty() {
+            return;
+        }
+        let now = Instant::now();
         for sub in new {
-            let sched = jobs.entry(sub.comm).or_insert_with(|| {
-                rotation.push(sub.comm);
+            let cfg = &self.shared.cfg;
+            let deadline = sub.opts.deadline.or(cfg.deadline).map(|d| now + d);
+            let retry_max = sub.opts.retry_max.unwrap_or(cfg.retry_max);
+            let sched = self.jobs.entry(sub.comm).or_insert_with(|| {
+                self.rotation.push(sub.comm);
                 JobSched {
                     fifo: VecDeque::new(),
                     lane: DrrLane::default(),
-                    tags: TagSpace::new(shared.cfg.seq_bits),
-                    counters: shared
+                    tags: TagSpace::new(self.shared.cfg.seq_bits),
+                    counters: self
+                        .shared
                         .counters
                         .lock()
                         .unwrap_or_else(|p| p.into_inner())
@@ -127,42 +274,376 @@ pub(crate) fn run(shared: Arc<Shared>) {
                         .unwrap_or_default(),
                 }
             });
-            let cost = sub.coll.nic_bytes();
             sched.fifo.push_back(Pending {
-                coll: sub.coll,
+                spec: sub.spec,
                 req: sub.req,
-                cost,
-                submitted: Instant::now(),
+                submitted: now,
+                deadline,
+                retry_max,
+                retries: 0,
+                not_before: None,
+                plan: None,
+                plan_members: 0,
+                cost: 0,
                 deferral_counted: false,
             });
         }
+    }
 
-        if stopping {
-            shutdown(jobs, active, &shared);
+    /// Resolve cancellations and expired deadlines. Actives are checked
+    /// every pass (the set is small); queued entries behind the FIFO
+    /// head only on a coarse 1 ms sweep (heads are groomed every
+    /// admission round anyway).
+    fn reap(&mut self, now: Instant) {
+        let mut i = 0;
+        while i < self.active.len() {
+            let act = &self.active[i];
+            let verdict = if act.req.is_cancelled() {
+                Some(SvcError::Cancelled)
+            } else if act.deadline.is_some_and(|d| now >= d) {
+                Some(SvcError::DeadlineExpired {
+                    waited: now.saturating_duration_since(act.submitted),
+                })
+            } else {
+                None
+            };
+            let Some(e) = verdict else {
+                i += 1;
+                continue;
+            };
+            let act = self.active.swap_remove(i);
+            self.bucket.refund(act.cost.saturating_sub(act.sent_bytes));
+            let sched = self.jobs.get_mut(&act.comm).expect("job exists");
+            let ctr = match e {
+                SvcError::Cancelled => &sched.counters.cancelled,
+                _ => &sched.counters.deadline_expired,
+            };
+            ctr.fetch_add(1, Ordering::Relaxed);
+            act.resolve(e, sched);
+        }
+        if now < self.next_reap {
             return;
         }
+        self.next_reap = now + Duration::from_millis(1);
+        for sched in self.jobs.values_mut() {
+            let counters = &sched.counters;
+            sched.fifo.retain(|p| {
+                let verdict = if p.req.is_cancelled() {
+                    counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    Some(SvcError::Cancelled)
+                } else if p.deadline.is_some_and(|d| now >= d) {
+                    counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                    Some(SvcError::DeadlineExpired {
+                        waited: now.saturating_duration_since(p.submitted),
+                    })
+                } else {
+                    None
+                };
+                match verdict {
+                    None => true,
+                    Some(e) => {
+                        counters.queued.fetch_sub(1, Ordering::Relaxed);
+                        p.req.complete(Err(e));
+                        false
+                    }
+                }
+            });
+        }
+    }
 
-        // 2. Admission: one DRR round over jobs with queued work.
-        let mut budget_left = shared
+    /// The detection duty: gather suspicion evidence and, if there is
+    /// any, start an agreement over the current member set.
+    fn detect(&mut self, now: Instant) {
+        if self.agree.is_some() || now < self.no_detect_until {
+            return;
+        }
+        let member_bits = rank_bits(&self.members);
+        // Transport verdicts: retransmit-exhaustion deaths name a rank
+        // directly; heartbeat silence names a node (ppn = 1: node id ==
+        // rank). Dead lanes name no rank — stalls cover those.
+        let h = self.shared.fabric.health();
+        for dp in &h.dead_peers {
+            self.evidence.insert(dp.peer);
+        }
+        for &(_, silent) in &h.suspected_nodes {
+            if silent < self.shared.cfg.world {
+                self.evidence.insert(silent);
+            }
+        }
+        // DSL kills: the engine stopped simulating these ranks, which
+        // is this process's local death verdict about them.
+        self.evidence.union(self.killed);
+        // A collective silent past the suspicion window: suspect every
+        // rank it spans. Refutable — agreement receipts are proof of
+        // life, so live members are cleared by sweep 0.
+        let suspect_after = self.shared.cfg.suspect_after;
+        for act in &self.active {
+            if !act.outstanding.is_empty()
+                && now.saturating_duration_since(act.last_progress) > suspect_after
+            {
+                for &r in &act.map {
+                    self.evidence.insert(r);
+                }
+            }
+        }
+        self.evidence = RankSet::from_bits(self.evidence.bits() & member_bits);
+        if self.evidence.is_empty() {
+            return;
+        }
+        self.agree_seq += 1;
+        let delta = self.shared.cfg.agree_delta;
+        let fabric = Arc::clone(&self.shared.fabric);
+        let mut cores = Vec::new();
+        for &m in &self.members {
+            if self.killed.contains(m) {
+                continue;
+            }
+            let mut core = AgreeCore::new(m, self.members.clone(), self.evidence, true, delta);
+            for msg in core.begin(now) {
+                let t = tag::svc_agree(self.agree_seq, msg.sweep);
+                if fabric.send((m, msg.to, t), msg.payload).is_err() {
+                    core.send_failed(msg.to);
+                }
+            }
+            cores.push((m, core));
+        }
+        self.agree = Some(AgreeRun {
+            tag_epoch: self.agree_seq,
+            cores,
+        });
+    }
+
+    /// Advance every agreement core one step; on unanimous commit,
+    /// shrink the member set and re-queue affected collectives.
+    fn drive_agreement(&mut self, now: Instant) {
+        let Some(mut run) = self.agree.take() else {
+            return;
+        };
+        let fabric = Arc::clone(&self.shared.fabric);
+        let mut all_done = true;
+        for (rank, core) in run.cores.iter_mut() {
+            if core.committed().is_some() {
+                continue;
+            }
+            let t = tag::svc_agree(run.tag_epoch, core.sweep());
+            for q in core.outstanding().to_vec() {
+                if let Ok(Some(p)) = fabric.try_recv((q, *rank, t)) {
+                    core.deliver(q, &p);
+                }
+            }
+            match core.step(now) {
+                AgreeStep::Done => {}
+                AgreeStep::Sweep(msgs) => {
+                    for m in msgs {
+                        let t = tag::svc_agree(run.tag_epoch, m.sweep);
+                        if fabric.send((*rank, m.to, t), m.payload).is_err() {
+                            core.send_failed(m.to);
+                        }
+                    }
+                }
+                AgreeStep::Poll | AgreeStep::Pad(_) => {}
+            }
+            if core.committed().is_none() {
+                all_done = false;
+            }
+        }
+        if !all_done {
+            self.agree = Some(run);
+            return;
+        }
+        // Survivor commit: a core that is itself in someone's committed
+        // set is dead (only reachable when a member died mid-agreement)
+        // and its verdict is discarded; the protocol guarantees the
+        // survivors' sets are identical.
+        let mut union = RankSet::new();
+        for (_, c) in &run.cores {
+            union.union(c.committed().expect("all cores done").0);
+        }
+        let mut committed = RankSet::new();
+        for (r, c) in &run.cores {
+            if !union.contains(*r) {
+                committed.union(c.committed().expect("all cores done").0);
+            }
+        }
+        self.evidence = RankSet::new();
+        self.no_detect_until = now + self.shared.cfg.suspect_after;
+        if !committed.is_empty() {
+            self.failed.union(committed);
+            self.members.retain(|r| !committed.contains(*r));
+            self.shared.epoch.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .failed_bits
+                .store(self.failed.bits(), Ordering::Relaxed);
+        }
+        self.requeue_troubled(committed, now);
+        // A shrunk group invalidates every plan made against the old
+        // one; they are re-planned lazily at their next admission.
+        let mbits = rank_bits(&self.members);
+        for sched in self.jobs.values_mut() {
+            for p in sched.fifo.iter_mut() {
+                if p.plan.is_some() && p.plan_members != mbits {
+                    p.plan = None;
+                }
+            }
+        }
+    }
+
+    /// Pull every troubled active (touches the committed set, wounded
+    /// by a recoverable error, or spanning a DSL-killed rank) back into
+    /// its job's FIFO head for a re-plan — or resolve it typed if its
+    /// retry cap is spent or its root is dead.
+    fn requeue_troubled(&mut self, committed: RankSet, now: Instant) {
+        let mut i = 0;
+        while i < self.active.len() {
+            let troubled = {
+                let a = &self.active[i];
+                a.wounded
+                    || a.map
+                        .iter()
+                        .any(|r| committed.contains(*r) || self.killed.contains(*r))
+            };
+            if !troubled {
+                i += 1;
+                continue;
+            }
+            let act = self.active.swap_remove(i);
+            self.bucket.refund(act.cost.saturating_sub(act.sent_bytes));
+            let backoff = self.backoff(act.retries);
+            let sched = self.jobs.get_mut(&act.comm).expect("job exists");
+            if act.retries >= act.retry_max {
+                sched.counters.failed.fetch_add(1, Ordering::Relaxed);
+                let attempts = act.retries;
+                act.resolve(SvcError::RetriesExhausted { attempts }, sched);
+                continue;
+            }
+            if let Some(root) = act.spec.root().filter(|r| self.failed.contains(*r)) {
+                sched.counters.failed.fetch_add(1, Ordering::Relaxed);
+                act.resolve(SvcError::Unsatisfiable { rank: root }, sched);
+                continue;
+            }
+            sched.tags.quarantine(act.slot);
+            mirror_slots(sched);
+            sched.counters.retried.fetch_add(1, Ordering::Relaxed);
+            sched.counters.queued.fetch_add(1, Ordering::Relaxed);
+            sched.fifo.push_front(Pending {
+                spec: act.spec,
+                req: act.req,
+                submitted: act.submitted,
+                deadline: act.deadline,
+                retry_max: act.retry_max,
+                retries: act.retries + 1,
+                not_before: Some(now + backoff),
+                plan: None,
+                plan_members: 0,
+                cost: 0,
+                deferral_counted: true,
+            });
+        }
+    }
+
+    /// Exponential backoff with jitter: `base · 2^retries`, capped at
+    /// the suspicion window, plus up to 25 % jitter so retry storms
+    /// from many affected collectives don't re-admit in lockstep.
+    fn backoff(&mut self, retries: u32) -> Duration {
+        let base = (self.shared.cfg.suspect_after / 16).max(Duration::from_millis(1));
+        let capped = base
+            .saturating_mul(1 << retries.min(8))
+            .min(self.shared.cfg.suspect_after);
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let jitter_us = self.rng % (capped.as_micros().max(1) as u64 / 4 + 1);
+        capped + Duration::from_micros(jitter_us)
+    }
+
+    /// Admission: one DRR round over jobs with queued work, planning
+    /// each head against the current survivor group.
+    fn admit(&mut self, now: Instant) {
+        let mut budget_left = self
+            .shared
             .cfg
             .max_inflight
             .unwrap_or(usize::MAX)
-            .saturating_sub(active.len());
-        for &comm in &rotation {
-            let Some(sched) = jobs.get_mut(&comm) else {
+            .saturating_sub(self.active.len());
+        let members = self.members.clone();
+        let mbits = rank_bits(&members);
+        let world = self.shared.cfg.world;
+        let quantum = self.shared.cfg.quantum;
+        let fabric = Arc::clone(&self.shared.fabric);
+        for ji in 0..self.rotation.len() {
+            let comm = self.rotation[ji];
+            let Some(sched) = self.jobs.get_mut(&comm) else {
                 continue;
             };
-            if sched.fifo.is_empty() {
-                // Idle lanes forfeit their credit: a returning job must
-                // not burst on banked quanta.
-                sched.lane.forfeit();
-                continue;
-            }
-            let head_cost = sched.fifo.front().map_or(0, |p| p.cost);
-            sched
-                .lane
-                .credit(shared.cfg.quantum, head_cost + shared.cfg.quantum);
-            while let Some(cost) = sched.fifo.front().map(|p| p.cost) {
+            let mut credited = false;
+            loop {
+                // Groom the head: cancellations, deadlines, backoff
+                // gates, (re-)planning.
+                let head_cost = loop {
+                    let Some(head) = sched.fifo.front_mut() else {
+                        break None;
+                    };
+                    if head.req.is_cancelled() {
+                        let p = sched.fifo.pop_front().expect("head");
+                        sched.counters.queued.fetch_sub(1, Ordering::Relaxed);
+                        sched.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        p.req.complete(Err(SvcError::Cancelled));
+                        continue;
+                    }
+                    if head.deadline.is_some_and(|d| now >= d) {
+                        let p = sched.fifo.pop_front().expect("head");
+                        sched.counters.queued.fetch_sub(1, Ordering::Relaxed);
+                        sched
+                            .counters
+                            .deadline_expired
+                            .fetch_add(1, Ordering::Relaxed);
+                        p.req.complete(Err(SvcError::DeadlineExpired {
+                            waited: now.saturating_duration_since(p.submitted),
+                        }));
+                        continue;
+                    }
+                    if head.not_before.is_some_and(|t| now < t) {
+                        // In backoff: the job sits this round out (FIFO
+                        // order is preserved across retries).
+                        break None;
+                    }
+                    if head.plan.is_none() || head.plan_members != mbits {
+                        let planned = if members.is_empty() {
+                            Err(PlanError::RootFailed {
+                                root: head.spec.root().unwrap_or(0),
+                            })
+                        } else {
+                            head.spec.plan_on(&members)
+                        };
+                        match planned {
+                            Ok(c) => {
+                                head.cost = c.nic_bytes();
+                                head.plan = Some(c);
+                                head.plan_members = mbits;
+                            }
+                            Err(PlanError::RootFailed { root }) => {
+                                let p = sched.fifo.pop_front().expect("head");
+                                sched.counters.queued.fetch_sub(1, Ordering::Relaxed);
+                                sched.counters.failed.fetch_add(1, Ordering::Relaxed);
+                                p.req.complete(Err(SvcError::Unsatisfiable { rank: root }));
+                                continue;
+                            }
+                        }
+                    }
+                    break Some(head.cost);
+                };
+                let Some(cost) = head_cost else {
+                    if sched.fifo.is_empty() {
+                        // Idle lanes forfeit their credit: a returning
+                        // job must not burst on banked quanta.
+                        sched.lane.forfeit();
+                    }
+                    break;
+                };
+                if !credited {
+                    sched.lane.credit(quantum, cost + quantum);
+                    credited = true;
+                }
                 if budget_left == 0 || sched.lane.deficit < cost {
                     defer(sched.fifo.front_mut().expect("head"), &sched.counters);
                     break;
@@ -171,64 +652,135 @@ pub(crate) fn run(shared: Arc<Shared>) {
                     defer(sched.fifo.front_mut().expect("head"), &sched.counters);
                     break;
                 };
-                if !bucket.try_take(cost) {
+                if !self.bucket.try_take(cost) {
                     sched.tags.release(slot);
                     defer(sched.fifo.front_mut().expect("head"), &sched.counters);
                     break;
                 }
                 assert!(sched.lane.try_pay(cost), "deficit checked above");
-                let p = sched.fifo.pop_front().expect("head exists");
+                let mut p = sched.fifo.pop_front().expect("head exists");
                 budget_left -= 1;
+                mirror_slots(sched);
                 sched.counters.queued.fetch_sub(1, Ordering::Relaxed);
                 sched.counters.admitted.fetch_add(1, Ordering::Relaxed);
                 sched
                     .counters
                     .admitted_bytes
-                    .fetch_add(p.cost, Ordering::Relaxed);
+                    .fetch_add(cost, Ordering::Relaxed);
+                // Every participating rank performs a `submit` op — a
+                // DSL trigger here kills the rank *before* its sends.
+                for &r in &members {
+                    tick_kill(
+                        &mut self.submit_counts,
+                        &self.fault_kills,
+                        &mut self.killed,
+                        r,
+                        OpClass::Submit,
+                    );
+                }
                 let mut act = Active {
                     comm,
                     slot,
-                    coll: p.coll,
+                    coll: p.plan.take().expect("groomed head is planned"),
+                    map: members.clone(),
+                    spec: p.spec,
                     req: p.req,
-                    counters: Arc::clone(&sched.counters),
                     submitted: p.submitted,
-                    last_progress: Instant::now(),
+                    deadline: p.deadline,
+                    retry_max: p.retry_max,
+                    retries: p.retries,
+                    cost,
+                    sent_bytes: 0,
+                    wounded: false,
+                    last_progress: now,
                     outstanding: Vec::new(),
                 };
                 let first = act.coll.start();
-                match act.send_all(shared.fabric.as_ref(), first) {
+                match send_all(
+                    &mut act,
+                    fabric.as_ref(),
+                    &self.killed,
+                    &mut self.evidence,
+                    first,
+                ) {
                     Ok(()) if act.coll.done() => {
                         // Degenerate (single-rank) collectives finish
                         // without traffic.
-                        act.finish(&mut sched.tags);
+                        finish(act, sched, world);
                     }
-                    Ok(()) => active.push(act),
-                    Err(e) => act.fail(e, &mut sched.tags),
+                    Ok(()) => self.active.push(act),
+                    Err(e) => {
+                        sched.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        act.resolve(e, sched);
+                    }
                 }
             }
         }
-        shared.inflight.store(active.len(), Ordering::Relaxed);
+    }
 
-        // 3. Poll every in-flight collective's outstanding channels.
+    /// Poll every in-flight collective's outstanding channels.
+    fn poll(&mut self, now: Instant) -> bool {
+        let fabric = Arc::clone(&self.shared.fabric);
+        let world = self.shared.cfg.world;
+        let ft = self.shared.cfg.ft;
+        // In ft mode a stall is the detector's business first; the
+        // terminal verdict is a backstop at twice the window.
+        let stall_cut = if ft {
+            self.stall_after * 2
+        } else {
+            self.stall_after
+        };
         let mut progressed = false;
         let mut i = 0;
-        while i < active.len() {
-            let act = &mut active[i];
+        while i < self.active.len() {
+            let act = &mut self.active[i];
             let mut verdict: Option<SvcError> = None;
             let mut j = 0;
             while j < act.outstanding.len() {
-                let (chan, phase) = act.outstanding[j];
-                match shared.fabric.try_recv(chan) {
+                let (chan, phase, dsrc, ddst) = act.outstanding[j];
+                // A dead destination never polls; its frames rot under
+                // a tag headed for quarantine.
+                if self.killed.contains(chan.1) {
+                    j += 1;
+                    continue;
+                }
+                if !self.fault_kills.is_empty() {
+                    tick_kill(
+                        &mut self.poll_counts,
+                        &self.fault_kills,
+                        &mut self.killed,
+                        chan.1,
+                        OpClass::Poll,
+                    );
+                    if self.killed.contains(chan.1) {
+                        j += 1;
+                        continue;
+                    }
+                }
+                match fabric.try_recv(chan) {
                     Ok(None) => j += 1,
                     Ok(Some(payload)) => {
                         progressed = true;
                         act.outstanding.swap_remove(j);
-                        act.last_progress = Instant::now();
-                        let emitted = act.coll.deliver(chan.0, chan.1, phase, payload);
-                        if let Err(e) = act.send_all(shared.fabric.as_ref(), emitted) {
+                        act.last_progress = now;
+                        let emitted = act.coll.deliver(dsrc, ddst, phase, payload);
+                        if let Err(e) = send_all(
+                            act,
+                            fabric.as_ref(),
+                            &self.killed,
+                            &mut self.evidence,
+                            emitted,
+                        ) {
                             verdict = Some(e);
                             break;
                         }
+                    }
+                    Err(e) if ft && recoverable(&e) => {
+                        // Survivable: mark the collective for a re-plan
+                        // and feed the detector; the channel is gone.
+                        act.wounded = true;
+                        note_suspects(&e, &mut self.evidence);
+                        act.outstanding.swap_remove(j);
                     }
                     Err(e) => {
                         verdict = Some(e.into());
@@ -236,37 +788,192 @@ pub(crate) fn run(shared: Arc<Shared>) {
                     }
                 }
             }
-            if verdict.is_none() && !act.coll.done() && act.last_progress.elapsed() > stall_after {
+            if verdict.is_none()
+                && self.agree.is_none()
+                && !act.coll.done()
+                && now.saturating_duration_since(act.last_progress) > stall_cut
+            {
                 verdict = Some(SvcError::Stalled {
-                    waited: act.last_progress.elapsed(),
+                    waited: now.saturating_duration_since(act.last_progress),
                     outstanding: act.outstanding.len(),
                 });
             }
             let done = act.coll.done();
             if let Some(e) = verdict {
-                let act = active.swap_remove(i);
-                let tags = &mut jobs.get_mut(&act.comm).expect("job exists").tags;
-                act.fail(e, tags);
+                let act = self.active.swap_remove(i);
+                self.bucket.refund(act.cost.saturating_sub(act.sent_bytes));
+                let sched = self.jobs.get_mut(&act.comm).expect("job exists");
+                sched.counters.failed.fetch_add(1, Ordering::Relaxed);
+                act.resolve(e, sched);
             } else if done {
                 progressed = true;
-                let act = active.swap_remove(i);
-                let tags = &mut jobs.get_mut(&act.comm).expect("job exists").tags;
-                act.finish(tags);
+                let act = self.active.swap_remove(i);
+                let sched = self.jobs.get_mut(&act.comm).expect("job exists");
+                finish(act, sched, world);
             } else {
                 i += 1;
             }
         }
-        shared.inflight.store(active.len(), Ordering::Relaxed);
+        progressed
+    }
 
-        // 4. Idle strategy: park on the signal when nothing is queued
-        //    or in flight; yield when a poll pass came up empty.
-        let queued: usize = jobs.values().map(|j| j.fifo.len()).sum();
-        if active.is_empty() && queued == 0 {
-            shared.sig.wait(epoch, Duration::from_millis(50));
-        } else if !progressed {
-            std::thread::yield_now();
+    /// Fail everything still queued or in flight with `Shutdown`.
+    fn shutdown(&mut self) {
+        for act in self.active.drain(..) {
+            let sched = self.jobs.get_mut(&act.comm).expect("job exists");
+            sched.counters.failed.fetch_add(1, Ordering::Relaxed);
+            act.resolve(SvcError::Shutdown, sched);
+        }
+        for sched in self.jobs.values_mut() {
+            while let Some(p) = sched.fifo.pop_front() {
+                sched.counters.queued.fetch_sub(1, Ordering::Relaxed);
+                sched.counters.failed.fetch_add(1, Ordering::Relaxed);
+                p.req.complete(Err(SvcError::Shutdown));
+            }
+        }
+        self.shared.inflight.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Active {
+    /// Resolve as failed: the error to the request, the sequence slot
+    /// into quarantine (frames bearing its tags may still be in flight
+    /// somewhere — reuse would alias them onto a future collective).
+    /// The caller bumps whichever counter classifies the outcome.
+    fn resolve(self, e: SvcError, sched: &mut JobSched) {
+        sched.tags.quarantine(self.slot);
+        mirror_slots(sched);
+        self.req.complete(Err(e));
+    }
+}
+
+/// Resolve as completed: dense outputs expanded to world-rank order
+/// (dead ranks get empty buffers), latency to the histogram, sequence
+/// slot back to the job's pool.
+fn finish(act: Active, sched: &mut JobSched, world: usize) {
+    sched.counters.completed.fetch_add(1, Ordering::Relaxed);
+    sched.counters.latency.record(act.submitted.elapsed());
+    sched.tags.release(act.slot);
+    mirror_slots(sched);
+    let dense = act.coll.outputs();
+    let result = if act.map.len() == world {
+        // Identity map: the fast path every fault-free run takes.
+        dense
+    } else {
+        let mut out = vec![Vec::new(); world];
+        for (j, buf) in dense.into_iter().enumerate() {
+            out[act.map[j]] = buf;
+        }
+        out
+    };
+    act.req.complete(Ok(result));
+}
+
+/// Send `msgs`, registering the receive side of each for polling. A
+/// DSL-killed source "sends" nothing — the receive still registers, so
+/// the stall is observable. Recoverable transport errors wound the
+/// collective instead of failing it (the retry path owns it from
+/// there); only structural errors are returned.
+fn send_all(
+    act: &mut Active,
+    fabric: &dyn Fabric,
+    killed: &RankSet,
+    evidence: &mut RankSet,
+    msgs: Vec<Msg>,
+) -> Result<(), SvcError> {
+    for m in msgs {
+        let (os, od) = (act.map[m.src], act.map[m.dst]);
+        let chan: ChanKey = (os, od, tag::svc(act.comm, act.slot, m.phase));
+        if killed.contains(os) {
+            act.outstanding.push((chan, m.phase, m.src, m.dst));
+            continue;
+        }
+        act.sent_bytes += m.payload.len() as u64;
+        match fabric.send(chan, m.payload) {
+            Ok(()) => {}
+            Err(e) if recoverable(&e) => {
+                act.wounded = true;
+                note_suspects(&e, evidence);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        act.outstanding.push((chan, m.phase, m.src, m.dst));
+    }
+    Ok(())
+}
+
+/// Whether a fabric error is survivable by shrink-and-retry (peer or
+/// lane trouble) as opposed to structural (poisoned queues, malformed
+/// frames, bad config).
+fn recoverable(e: &FabricError) -> bool {
+    matches!(
+        e,
+        FabricError::Timeout(_)
+            | FabricError::PeerDead { .. }
+            | FabricError::PeerHung { .. }
+            | FabricError::LaneDead { .. }
+    )
+}
+
+/// Extract rank-naming suspicion from a fabric error.
+fn note_suspects(e: &FabricError, evidence: &mut RankSet) {
+    match e {
+        FabricError::PeerDead { peer, .. } => evidence.insert(*peer),
+        FabricError::Timeout(d) => {
+            for &r in &d.suspected {
+                evidence.insert(r);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Count one fault-DSL op for `rank`; a matching trigger kills it.
+fn tick_kill(
+    counts: &mut [u64],
+    kills: &[KillSpec],
+    killed: &mut RankSet,
+    rank: usize,
+    op: OpClass,
+) {
+    if kills.is_empty() || rank >= counts.len() {
+        return;
+    }
+    counts[rank] += 1;
+    let n = counts[rank];
+    for k in kills {
+        if k.rank == rank && k.op == op && k.at == n {
+            killed.insert(rank);
         }
     }
+}
+
+/// The member list as a `RankSet` bitmap.
+fn rank_bits(members: &[usize]) -> u64 {
+    let mut s = RankSet::new();
+    for &r in members {
+        if r < 64 {
+            s.insert(r);
+        }
+    }
+    s.bits()
+}
+
+/// Mirror the tag-space gauges into the job's atomic counters so
+/// snapshots can check slot conservation without engine cooperation.
+fn mirror_slots(sched: &mut JobSched) {
+    sched
+        .counters
+        .slots_held
+        .store(sched.tags.held(), Ordering::Relaxed);
+    sched
+        .counters
+        .slots_free
+        .store(sched.tags.free(), Ordering::Relaxed);
+    sched
+        .counters
+        .slots_quarantined
+        .store(sched.tags.quarantined(), Ordering::Relaxed);
 }
 
 /// Count one deferral against stats, once per collective.
@@ -276,20 +983,4 @@ fn defer(p: &mut Pending, counters: &Arc<JobCounters>) {
         counters.deferred.fetch_add(1, Ordering::Relaxed);
         counters.deferred_bytes.fetch_add(p.cost, Ordering::Relaxed);
     }
-}
-
-/// Fail everything still queued or in flight with `Shutdown`.
-fn shutdown(mut jobs: HashMap<u32, JobSched>, active: Vec<Active>, shared: &Arc<Shared>) {
-    for act in active {
-        let tags = &mut jobs.get_mut(&act.comm).expect("job exists").tags;
-        act.fail(SvcError::Shutdown, tags);
-    }
-    for sched in jobs.values_mut() {
-        while let Some(p) = sched.fifo.pop_front() {
-            sched.counters.queued.fetch_sub(1, Ordering::Relaxed);
-            sched.counters.failed.fetch_add(1, Ordering::Relaxed);
-            p.req.complete(Err(SvcError::Shutdown));
-        }
-    }
-    shared.inflight.store(0, Ordering::Relaxed);
 }

@@ -25,6 +25,20 @@
 //!   versa. [`Svc::stats`] surfaces per-job admitted/deferred bytes,
 //!   queue depth and a completion-latency histogram (reusing
 //!   [`fabric::stats::LatencyHist`]).
+//! * The service **survives rank death** ([`SvcConfig::ft`]): the
+//!   engine polls [`Fabric::health`] every cycle, drives the runtime's
+//!   failed-set agreement protocol ([`pipmcoll_rt::AgreeCore`], domain
+//!   1 of the `0xFF` tag namespace) as a non-blocking state machine
+//!   when evidence appears, and **re-plans** each affected in-flight
+//!   collective on the densely re-ranked survivor group — fresh
+//!   sequence slot (the old one quarantined), re-admitted through the
+//!   token bucket under exponential backoff, bounded by a retry cap.
+//!   Requests whose root died resolve [`SvcError::Unsatisfiable`];
+//!   unaffected jobs never stop progressing. [`Request::cancel`] and
+//!   per-request deadlines ([`SubmitOpts`]) resolve requests that
+//!   should stop waiting.
+//!
+//! [`Fabric::health`]: pipmcoll_fabric::Fabric::health
 //!
 //! The design is deliberately MPI-Advance-shaped: an optimized-
 //! collective library layer scheduling many operations above a fixed
@@ -46,10 +60,12 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use pipmcoll_core::nb::NbColl;
+use pipmcoll_core::nb::CollSpec;
 use pipmcoll_fabric::{sync_timeout, Fabric, FabricError, LatencyHist, LatencySnapshot};
 use pipmcoll_model::{Datatype, ReduceOp};
+use pipmcoll_rt::FaultPlan;
 
+pub use pipmcoll_core::nb::{CollSpec as Spec, PlanError};
 pub use tagspace::TagSpace;
 
 /// Result alias for service operations.
@@ -74,6 +90,28 @@ pub enum SvcError {
     /// The service ran out of communicator ids
     /// ([`pipmcoll_fabric::tag::SVC_MAX_COMMS`]).
     CommExhausted,
+    /// The request was cancelled ([`Request::cancel`], or its handle
+    /// was dropped while the collective was still queued or in flight).
+    Cancelled,
+    /// The request's [`SubmitOpts::deadline`] passed before the
+    /// collective completed.
+    DeadlineExpired {
+        /// Submission-to-expiry time.
+        waited: Duration,
+    },
+    /// The collective can never complete on the survivor group: the
+    /// committed failed set contains a rank the operation cannot do
+    /// without (a broadcast or scatter root).
+    Unsatisfiable {
+        /// The dead rank the collective depends on.
+        rank: usize,
+    },
+    /// The collective was re-planned onto shrunk survivor groups
+    /// [`SubmitOpts::retry_max`] times and failed every attempt.
+    RetriesExhausted {
+        /// Re-plans performed before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for SvcError {
@@ -89,6 +127,16 @@ impl fmt::Display for SvcError {
             ),
             SvcError::Shutdown => write!(f, "service shut down"),
             SvcError::CommExhausted => write!(f, "communicator ids exhausted"),
+            SvcError::Cancelled => write!(f, "request cancelled"),
+            SvcError::DeadlineExpired { waited } => {
+                write!(f, "request deadline expired after {waited:?}")
+            }
+            SvcError::Unsatisfiable { rank } => {
+                write!(f, "unsatisfiable: collective depends on failed rank {rank}")
+            }
+            SvcError::RetriesExhausted { attempts } => {
+                write!(f, "retries exhausted after {attempts} re-plan(s)")
+            }
         }
     }
 }
@@ -123,14 +171,48 @@ pub struct SvcConfig {
     /// collectives per job); defaults to the full wire field. Tests
     /// shrink it to force recycling.
     pub seq_bits: u32,
+    /// Survive-and-complete fault tolerance: detect rank death, agree
+    /// on the failed set, re-plan affected collectives on the survivor
+    /// group. On by default when the world fits the agreement
+    /// protocol's 64-rank bitmap.
+    pub ft: bool,
+    /// How long a collective may sit without a delivery before its
+    /// member ranks are *suspected* (refutable by the agreement
+    /// protocol — receipt is proof of life). Default `sync_timeout()/4`
+    /// so detect + agree + retry fits inside [`Request::wait`]'s
+    /// three-timeout backstop.
+    pub suspect_after: Duration,
+    /// Per-sweep window of the engine-driven failed-set agreement.
+    /// Default `sync_timeout()/4`.
+    pub agree_delta: Duration,
+    /// Default cap on re-plans per request (`PIPMCOLL_SVC_RETRY_MAX`,
+    /// default 3); [`SubmitOpts::retry_max`] overrides per request.
+    pub retry_max: u32,
+    /// Default per-request deadline (`PIPMCOLL_SVC_DEADLINE_MS`, unset
+    /// = none); [`SubmitOpts::deadline`] overrides per request.
+    pub deadline: Option<Duration>,
+    /// Deterministic fault injection for the kill-grid tests
+    /// (`PIPMCOLL_FAULT` `submit`/`poll` classes — the engine counts
+    /// those ops itself). Tests set this field directly rather than
+    /// mutating the process environment.
+    pub fault: FaultPlan,
 }
 
 impl SvcConfig {
-    /// Defaults for `world` ranks, reading `PIPMCOLL_SVC_NIC_BUDGET`.
+    /// Defaults for `world` ranks, reading `PIPMCOLL_SVC_NIC_BUDGET`,
+    /// `PIPMCOLL_SVC_RETRY_MAX`, `PIPMCOLL_SVC_DEADLINE_MS` and
+    /// `PIPMCOLL_FAULT`.
     pub fn new(world: usize) -> SvcConfig {
         let nic_budget =
             pipmcoll_fabric::env::read_u64("PIPMCOLL_SVC_NIC_BUDGET", "a bytes-per-second rate")
                 .unwrap_or(None);
+        let retry_max = pipmcoll_fabric::env::read_u64("PIPMCOLL_SVC_RETRY_MAX", "a retry count")
+            .unwrap_or(None)
+            .map_or(3, |v| v.min(u32::MAX as u64) as u32);
+        let deadline =
+            pipmcoll_fabric::env::read_u64("PIPMCOLL_SVC_DEADLINE_MS", "a millisecond count")
+                .unwrap_or(None)
+                .map(Duration::from_millis);
         SvcConfig {
             world,
             nic_budget,
@@ -138,8 +220,26 @@ impl SvcConfig {
             quantum: 4 * 1024,
             max_inflight: None,
             seq_bits: pipmcoll_fabric::tag::SVC_SEQ_BITS,
+            ft: world <= 64,
+            suspect_after: sync_timeout() / 4,
+            agree_delta: sync_timeout() / 4,
+            retry_max,
+            deadline,
+            fault: FaultPlan::from_env(),
         }
     }
+}
+
+/// Per-request knobs, resolved against the [`SvcConfig`] defaults at
+/// submission.
+#[derive(Clone, Debug, Default)]
+pub struct SubmitOpts {
+    /// Fail the request with [`SvcError::DeadlineExpired`] if it has
+    /// not completed this long after submission (`None` = the config
+    /// default).
+    pub deadline: Option<Duration>,
+    /// Cap on failure-driven re-plans (`None` = the config default).
+    pub retry_max: Option<u32>,
 }
 
 /// Per-job counters, shared between the engine and [`SvcStats`]
@@ -161,6 +261,20 @@ pub(crate) struct JobCounters {
     pub failed: AtomicU64,
     /// Collectives currently queued (submitted, not yet admitted).
     pub queued: AtomicUsize,
+    /// Collectives re-planned onto a shrunk survivor group.
+    pub retried: AtomicU64,
+    /// Requests resolved by cancellation.
+    pub cancelled: AtomicU64,
+    /// Requests resolved by deadline expiry.
+    pub deadline_expired: AtomicU64,
+    /// Sequence-slot gauges, mirrored from the job's [`TagSpace`] after
+    /// every slot mutation so snapshots can check the conservation
+    /// invariant (`held + free + quarantined == 2^seq_bits`).
+    pub slots_held: AtomicUsize,
+    /// See [`JobCounters::slots_held`].
+    pub slots_free: AtomicUsize,
+    /// See [`JobCounters::slots_held`].
+    pub slots_quarantined: AtomicUsize,
     /// Submission-to-completion latency.
     pub latency: LatencyHist,
 }
@@ -184,6 +298,18 @@ pub struct JobStats {
     pub failed: u64,
     /// Collectives currently queued behind admission.
     pub queue_depth: usize,
+    /// Collectives re-planned onto a shrunk survivor group.
+    pub retried: u64,
+    /// Requests resolved by cancellation.
+    pub cancelled: u64,
+    /// Requests resolved by deadline expiry.
+    pub deadline_expired: u64,
+    /// Sequence slots backing in-flight collectives right now.
+    pub slots_held: usize,
+    /// Sequence slots free right now.
+    pub slots_free: usize,
+    /// Sequence slots permanently quarantined by failures.
+    pub slots_quarantined: usize,
     /// Submission-to-completion latency percentiles.
     pub latency: LatencySnapshot,
 }
@@ -195,6 +321,11 @@ pub struct SvcStats {
     pub jobs: Vec<JobStats>,
     /// Collectives in flight right now.
     pub inflight: usize,
+    /// Completed failure epochs (0 = no rank has ever been committed
+    /// failed).
+    pub epoch: u64,
+    /// The committed failed set, ascending rank order.
+    pub failed: Vec<usize>,
 }
 
 /// What a request is waiting on.
@@ -207,6 +338,10 @@ enum ReqState {
 pub(crate) struct ReqShared {
     state: Mutex<ReqState>,
     cv: Condvar,
+    /// Set by [`Request::cancel`] (or the handle's drop); the engine
+    /// resolves the request with [`SvcError::Cancelled`] on its next
+    /// pass and quarantines its slot if it was in flight.
+    cancelled: std::sync::atomic::AtomicBool,
 }
 
 impl ReqShared {
@@ -214,6 +349,7 @@ impl ReqShared {
         Arc::new(ReqShared {
             state: Mutex::new(ReqState::Pending),
             cv: Condvar::new(),
+            cancelled: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
@@ -222,6 +358,20 @@ impl ReqShared {
         let mut g = self.state.lock().unwrap_or_else(|p| p.into_inner());
         *g = ReqState::Ready(Some(result));
         self.cv.notify_all();
+    }
+
+    /// Engine side: has the holder asked to cancel?
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Whether a result has been published (used by the drop guard to
+    /// avoid flagging finished requests).
+    fn is_pending(&self) -> bool {
+        matches!(
+            &*self.state.lock().unwrap_or_else(|p| p.into_inner()),
+            ReqState::Pending
+        )
     }
 }
 
@@ -282,12 +432,38 @@ impl Request {
     pub fn wait_all(reqs: impl IntoIterator<Item = Request>) -> Vec<SvcResult<Vec<Vec<u8>>>> {
         reqs.into_iter().map(|r| r.wait()).collect()
     }
+
+    /// Ask the engine to abandon this collective. Idempotent and
+    /// non-blocking: the request resolves with [`SvcError::Cancelled`]
+    /// on the engine's next pass — a queued collective simply leaves
+    /// the FIFO; an in-flight one has its sequence slot quarantined
+    /// (peer frames may already be in flight) and its unsent NIC bytes
+    /// refunded to the admission budget. A collective that completes
+    /// before the engine sees the flag keeps its result.
+    pub fn cancel(&self) {
+        self.shared.cancelled.store(true, Ordering::Release);
+    }
 }
 
-/// What a job hands the engine per collective.
+impl Drop for Request {
+    /// Dropping the only handle on an unfinished collective cancels it:
+    /// nobody can ever take the result, so letting it run would leak
+    /// its sequence slot's budget share and its place in the admission
+    /// queue to a request no one is waiting on.
+    fn drop(&mut self) {
+        if self.shared.is_pending() {
+            self.cancel();
+        }
+    }
+}
+
+/// What a job hands the engine per collective: the *data-level* spec,
+/// not a planned schedule — the engine plans at admission against the
+/// current survivor group (and re-plans after a failure epoch).
 pub(crate) struct Submission {
     pub comm: u32,
-    pub coll: NbColl,
+    pub spec: CollSpec,
+    pub opts: SubmitOpts,
     pub req: Arc<ReqShared>,
 }
 
@@ -302,6 +478,10 @@ pub(crate) struct Shared {
     pub counters: Mutex<HashMap<u32, Arc<JobCounters>>>,
     /// Collectives in flight (engine-maintained, snapshot-read).
     pub inflight: AtomicUsize,
+    /// Completed failure epochs (engine-maintained).
+    pub epoch: AtomicU64,
+    /// Committed failed set as a rank bitmap (engine-maintained).
+    pub failed_bits: AtomicU64,
 }
 
 /// The service: one engine thread driving every job's collectives over
@@ -328,6 +508,8 @@ impl Svc {
             stop: std::sync::atomic::AtomicBool::new(false),
             counters: Mutex::new(HashMap::new()),
             inflight: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            failed_bits: AtomicU64::new(0),
         });
         let eng = Arc::clone(&shared);
         let engine = std::thread::Builder::new()
@@ -380,6 +562,12 @@ impl Svc {
                 completed: c.completed.load(Ordering::Relaxed),
                 failed: c.failed.load(Ordering::Relaxed),
                 queue_depth: c.queued.load(Ordering::Relaxed),
+                retried: c.retried.load(Ordering::Relaxed),
+                cancelled: c.cancelled.load(Ordering::Relaxed),
+                deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+                slots_held: c.slots_held.load(Ordering::Relaxed),
+                slots_free: c.slots_free.load(Ordering::Relaxed),
+                slots_quarantined: c.slots_quarantined.load(Ordering::Relaxed),
                 latency: c.latency.snapshot(),
             })
             .collect();
@@ -387,6 +575,11 @@ impl Svc {
         SvcStats {
             jobs,
             inflight: self.shared.inflight.load(Ordering::Relaxed),
+            epoch: self.shared.epoch.load(Ordering::Relaxed),
+            failed: pipmcoll_rt::RankSet::from_bits(
+                self.shared.failed_bits.load(Ordering::Relaxed),
+            )
+            .ranks(),
         }
     }
 }
@@ -416,9 +609,12 @@ impl Job {
         self.comm
     }
 
-    fn submit(&self, coll: NbColl) -> Request {
+    /// Submit any collective spec with per-request options. The spec is
+    /// planned by the engine at admission against the current survivor
+    /// group, and re-planned if a failure epoch shrinks it mid-flight.
+    pub fn submit_with(&self, spec: CollSpec, opts: SubmitOpts) -> Request {
         assert_eq!(
-            coll.world(),
+            spec.world(),
             self.shared.cfg.world,
             "collective world must match the service world"
         );
@@ -430,32 +626,41 @@ impl Job {
             .unwrap_or_else(|p| p.into_inner())
             .push(Submission {
                 comm: self.comm,
-                coll,
+                spec,
+                opts,
                 req: Arc::clone(&req),
             });
         self.shared.sig.notify();
         Request { shared: req }
     }
 
+    fn submit(&self, spec: CollSpec) -> Request {
+        self.submit_with(spec, SubmitOpts::default())
+    }
+
     /// Non-blocking allreduce: `inputs[r]` is rank `r`'s contribution;
     /// the result (per rank) is the elementwise reduction.
     pub fn iallreduce(&self, dt: Datatype, op: ReduceOp, inputs: Vec<Vec<u8>>) -> Request {
-        self.submit(NbColl::iallreduce(dt, op, inputs))
+        self.submit(CollSpec::Allreduce { dt, op, inputs })
     }
 
     /// Non-blocking allgather: every rank ends with the concatenation
     /// of all inputs in rank order.
     pub fn iallgather(&self, inputs: Vec<Vec<u8>>) -> Request {
-        self.submit(NbColl::iallgather(inputs))
+        self.submit(CollSpec::Allgather { inputs })
     }
 
     /// Non-blocking scatter: rank `r` ends with `chunks[r]`.
     pub fn iscatter(&self, root: usize, chunks: Vec<Vec<u8>>) -> Request {
-        self.submit(NbColl::iscatter(root, chunks))
+        self.submit(CollSpec::Scatter { root, chunks })
     }
 
     /// Non-blocking broadcast of `data` from `root`.
     pub fn ibcast(&self, root: usize, data: Vec<u8>) -> Request {
-        self.submit(NbColl::ibcast(self.shared.cfg.world, root, data))
+        self.submit(CollSpec::Bcast {
+            world: self.shared.cfg.world,
+            root,
+            data,
+        })
     }
 }

@@ -40,6 +40,10 @@ pub struct TagSpace {
     cursor: usize,
     /// Collectives ever granted a slot.
     issued: u64,
+    /// Live gauge: slots currently [`Slot::Held`]. Tracked
+    /// incrementally so the stats mirror costs O(1), not a slot scan —
+    /// the admission hot loop reads these between token-bucket takes.
+    held: usize,
     quarantined: usize,
 }
 
@@ -59,6 +63,7 @@ impl TagSpace {
             slots: vec![Slot::Free; 1 << seq_bits],
             cursor: 0,
             issued: 0,
+            held: 0,
             quarantined: 0,
         }
     }
@@ -78,6 +83,7 @@ impl TagSpace {
                 self.slots[i] = Slot::Held;
                 self.cursor = (i + 1) % n;
                 self.issued += 1;
+                self.held += 1;
                 return Some(i as u32);
             }
         }
@@ -96,6 +102,7 @@ impl TagSpace {
             "release of slot {slot} that is not held"
         );
         self.slots[slot as usize] = Slot::Free;
+        self.held -= 1;
     }
 
     /// Retire a failed collective's slot permanently: frames bearing
@@ -111,6 +118,7 @@ impl TagSpace {
             "quarantine of slot {slot} that is not held"
         );
         self.slots[slot as usize] = Slot::Quarantined;
+        self.held -= 1;
         self.quarantined += 1;
     }
 
@@ -130,9 +138,16 @@ impl TagSpace {
         self.quarantined
     }
 
-    /// Slots currently backing in-flight collectives.
+    /// Slots currently backing in-flight collectives. O(1).
     pub fn held(&self) -> usize {
-        self.slots.iter().filter(|s| **s == Slot::Held).count()
+        self.held
+    }
+
+    /// Slots currently reusable. The conservation invariant
+    /// `held + free + quarantined == size` holds at all times; a
+    /// drained scheduler must show `held == 0`. O(1).
+    pub fn free(&self) -> usize {
+        self.slots.len() - self.held - self.quarantined
     }
 }
 
@@ -189,6 +204,30 @@ mod tests {
         let s = ts.acquire().unwrap();
         ts.release(s);
         ts.release(s);
+    }
+
+    /// The quarantine guarantee across seq wrap: a failed collective's
+    /// slot is never reissued even after the space recycles many times
+    /// past 2^seq_bits subsequent collectives, and slot accounting
+    /// stays conserved the whole way.
+    #[test]
+    fn quarantined_slot_survives_seq_wrap() {
+        let seq_bits = 2u32;
+        let mut ts = TagSpace::new(seq_bits); // 4 slots
+        let dead = ts.acquire().unwrap();
+        ts.quarantine(dead);
+        let cap = ts.size();
+        // 4 × 2^seq_bits subsequent collectives — well past one wrap.
+        for i in 0..(4 << seq_bits) {
+            let s = ts.acquire().unwrap_or_else(|| panic!("exhausted at {i}"));
+            assert_ne!(s, dead, "quarantined slot reissued at collective {i}");
+            assert_eq!(ts.held() + ts.free() + ts.quarantined(), cap);
+            ts.release(s);
+        }
+        assert!(ts.wraps() >= 2, "the space must have wrapped");
+        assert_eq!(ts.quarantined(), 1);
+        assert_eq!(ts.held(), 0);
+        assert_eq!(ts.free(), cap - 1);
     }
 
     #[test]

@@ -181,7 +181,16 @@ fn tag_space_exhaustion_wraps_safely_under_chaos_delay() {
         let (inputs, want) = allreduce_inputs(world, k * 13 + 1);
         launched.push((job.iallreduce(Datatype::Int32, ReduceOp::Sum, inputs), want));
     }
-    for (req, want) in launched {
+    // The last two are cancelled while still queued behind the slot
+    // crunch: they must leave the FIFO without ever holding a slot, and
+    // the wrap must proceed over the survivors.
+    launched[10].0.cancel();
+    launched[11].0.cancel();
+    for (k, (req, want)) in launched.into_iter().enumerate() {
+        if k >= 10 {
+            assert_eq!(req.wait().unwrap_err(), SvcError::Cancelled);
+            continue;
+        }
         let out = req.wait().expect("wrapped collective completes");
         for rank_out in out {
             assert_eq!(
@@ -194,13 +203,88 @@ fn tag_space_exhaustion_wraps_safely_under_chaos_delay() {
 
     let stats = svc.stats();
     let j = &stats.jobs[0];
-    assert_eq!(j.completed, 12, "all collectives across the wrap complete");
+    assert_eq!(j.completed, 10, "all surviving collectives complete");
     assert_eq!(j.failed, 0);
+    assert_eq!(j.cancelled, 2);
     assert!(
         j.deferred >= 1,
-        "12 collectives over 4 slots must defer at least once (deferred={})",
+        "10 admissions over 4 slots must defer at least once (deferred={})",
         j.deferred
     );
+    // Queued cancels never held a slot: nothing is quarantined, nothing
+    // leaks.
+    assert_eq!(j.slots_held, 0);
+    assert_eq!(j.slots_quarantined, 0);
+    assert_eq!(j.slots_free, 4);
+}
+
+/// Satellite 3, failure half: a mid-storm rank death quarantines the
+/// affected collectives' slots, and the job keeps recycling the
+/// *remaining* slots across several wraps — the quarantined slot is
+/// never reissued (byte-correctness of every later collective is the
+/// proof: aliasing a stale frame would corrupt one) and slot accounting
+/// stays conserved.
+#[test]
+fn quarantine_on_failure_survives_seq_wrap() {
+    let world = 4;
+    let cfg = SvcConfig {
+        seq_bits: 2, // 4 slots
+        ft: true,
+        suspect_after: std::time::Duration::from_millis(60),
+        agree_delta: std::time::Duration::from_millis(40),
+        // Rank 3 dies at the second admission: exactly one collective is
+        // in flight on the full world and must re-plan. One at a time —
+        // otherwise every concurrently pinned collective would
+        // quarantine a slot and a 4-slot space could retire entirely.
+        max_inflight: Some(1),
+        fault: pipmcoll_rt::FaultPlan::parse("kill:rank=3@submit=2").unwrap(),
+        ..SvcConfig::new(world)
+    };
+    let svc = Svc::new(inproc(), cfg).unwrap();
+    let job = svc.job().unwrap();
+
+    let mut launched = Vec::new();
+    for k in 0..12 {
+        let (inputs, _) = allreduce_inputs(world, k * 5 + 2);
+        let ins: Vec<Vec<u8>> = inputs.clone();
+        launched.push((job.iallreduce(Datatype::Int32, ReduceOp::Sum, inputs), ins));
+    }
+    for (req, inputs) in launched {
+        let out = req.wait().expect("collective survives the death");
+        // Completed either on the full world (pre-death) or on the
+        // survivor group {0, 1, 2}; the output names which.
+        let group: Vec<usize> = (0..world).filter(|&r| !out[r].is_empty()).collect();
+        assert!(
+            group == vec![0, 1, 2] || group == vec![0, 1, 2, 3],
+            "unexpected completion group {group:?}"
+        );
+        let want: Vec<i32> = {
+            let mut acc = from_ints(&inputs[group[0]]);
+            for &r in &group[1..] {
+                for (a, v) in acc.iter_mut().zip(from_ints(&inputs[r])) {
+                    *a += v;
+                }
+            }
+            acc
+        };
+        for &r in &group {
+            assert_eq!(from_ints(&out[r]), want, "rank {r} diverged post-wrap");
+        }
+    }
+
+    let stats = svc.stats();
+    assert_eq!(stats.failed, vec![3]);
+    assert!(stats.epoch >= 1);
+    let j = &stats.jobs[0];
+    assert_eq!(j.completed, 12);
+    assert_eq!(j.failed, 0);
+    assert!(j.retried >= 1, "the in-flight collective must re-plan");
+    assert!(
+        j.slots_quarantined >= 1,
+        "the re-planned collective's old slot is retired"
+    );
+    assert_eq!(j.slots_held, 0, "no leaked slots after drain");
+    assert_eq!(j.slots_free + j.slots_quarantined, 4, "slot conservation");
 }
 
 #[test]
