@@ -47,8 +47,9 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// The fabric-perf sections that may contribute to `BENCH_fabric.json`,
-/// in emission order.
-const BENCH_FABRIC_SECTIONS: [&str; 2] = ["sweep", "hotpath"];
+/// in emission order (`fabric_sweep` → `"sweep"`, `hotpath_sweep` →
+/// `"hotpath"`, `pipmcoll-tune` → `"tune"`).
+const BENCH_FABRIC_SECTIONS: [&str; 3] = ["sweep", "hotpath", "tune"];
 
 /// Write `contents` to `path` atomically: write a `.tmp` sibling, then
 /// rename over the target. A reader (CI artifact upload, a concurrent

@@ -29,8 +29,8 @@ use crate::mcoll::{
     scatter_mcoll,
 };
 use crate::tuning::{
-    mcoll_allgather_uses_large, mcoll_allreduce_uses_large, mpich_allgather_choice,
-    mpich_allreduce_choice, AllgatherChoice, AllreduceChoice,
+    mpich_allgather_choice, mpich_allreduce_choice, tuned_allgather_uses_large,
+    tuned_allreduce_uses_large, AllgatherChoice, AllreduceChoice,
 };
 use crate::{AllgatherParams, AllreduceParams, ScatterParams};
 
@@ -144,7 +144,7 @@ impl LibraryProfile {
     pub fn allgather<C: Comm>(self, c: &mut C, p: &AllgatherParams) {
         match self {
             LibraryProfile::PipMColl => {
-                if mcoll_allgather_uses_large(p.cb) {
+                if tuned_allgather_uses_large(p.cb) {
                     allgather_mcoll_large(c, p)
                 } else {
                     allgather_mcoll_small(c, p)
@@ -163,7 +163,7 @@ impl LibraryProfile {
     pub fn allreduce<C: Comm>(self, c: &mut C, p: &AllreduceParams) {
         match self {
             LibraryProfile::PipMColl => {
-                if mcoll_allreduce_uses_large(p.count) {
+                if tuned_allreduce_uses_large(p.count) {
                     allreduce_mcoll_large(c, p)
                 } else {
                     allreduce_mcoll_small(c, p)

@@ -13,15 +13,29 @@
 //! route the same [`Msg`]s over any [`Fabric`] backend with its own tag
 //! packing.
 //!
-//! Algorithms (the small-message baselines from [`crate::baseline`],
-//! restructured phase-by-phase):
+//! Algorithms (the message-size pairings mirror the blocking library's
+//! small/large split, restructured phase-by-phase):
 //!
 //! * `iallreduce` — binomial-tree reduce to rank 0, then binomial
-//!   broadcast back out: `2·⌈log₂ n⌉` phases.
+//!   broadcast back out: `2·⌈log₂ n⌉` phases. The latency algorithm.
+//! * `iallreduce_rsag` — Rabenseifner: recursive-halving
+//!   reduce-scatter then recursive-doubling allgather, `2·log₂ n`
+//!   phases moving `2·(n−1)/n` of the buffer per rank instead of the
+//!   binomial tree's full-buffer hops. The bandwidth algorithm;
+//!   requires a power-of-two world and a buffer divisible into `n`
+//!   whole-element blocks.
 //! * `iallgather` — ring: `n − 1` phases, each rank forwarding the
-//!   block it received the previous phase.
+//!   block it received the previous phase. The bandwidth algorithm.
+//! * `iallgather_rd` — recursive doubling: `log₂ n` phases with
+//!   doubling block runs. The latency algorithm; power-of-two worlds.
 //! * `iscatter` — linear from the root: 1 phase.
 //! * `ibcast` — binomial tree from the root: `⌈log₂ n⌉` phases.
+//!
+//! [`CollSpec::plan_on`] picks within each pair using the same
+//! [`crate::tuning`] switch-points as the blocking dispatch — including
+//! a measured `PIPMCOLL_TUNE_TABLE` override when one is loaded — and
+//! falls back to the unconditional algorithm when a structural gate
+//! (power-of-two world, block divisibility) rules the specialist out.
 //!
 //! A phase number is carried in every [`Msg`] and must reach the
 //! receiver's matching `deliver`; the service encodes it (with the
@@ -162,9 +176,34 @@ impl CollSpec {
         };
         match self {
             CollSpec::Allreduce { dt, op, inputs } => {
-                Ok(NbColl::iallreduce(*dt, *op, pick(inputs)))
+                // Same switch-point as the blocking dispatch (measured
+                // table override included): large counts take the
+                // bandwidth-optimal Rabenseifner schedule when the
+                // member set admits it.
+                let picked = pick(inputs);
+                let n = members.len();
+                let count = picked[0].len() / dt.size();
+                let rsag_fits =
+                    n > 1 && n.is_power_of_two() && picked[0].len().is_multiple_of(n * dt.size());
+                if rsag_fits && crate::tuning::tuned_allreduce_uses_large(count) {
+                    Ok(NbColl::iallreduce_rsag(*dt, *op, picked))
+                } else {
+                    Ok(NbColl::iallreduce(*dt, *op, picked))
+                }
             }
-            CollSpec::Allgather { inputs } => Ok(NbColl::iallgather(pick(inputs))),
+            CollSpec::Allgather { inputs } => {
+                // Small blocks favor recursive doubling's log₂ n phases;
+                // large blocks (or non-power-of-two survivor groups)
+                // keep the bandwidth-friendly ring.
+                let picked = pick(inputs);
+                let n = members.len();
+                let cb = picked[0].len();
+                if n > 1 && n.is_power_of_two() && !crate::tuning::tuned_allgather_uses_large(cb) {
+                    Ok(NbColl::iallgather_rd(picked))
+                } else {
+                    Ok(NbColl::iallgather(picked))
+                }
+            }
             CollSpec::Scatter { root, chunks } => {
                 let dense_root = members
                     .iter()
@@ -204,8 +243,13 @@ pub struct Msg {
 enum SendData {
     /// The rank's accumulator / working buffer.
     Acc,
+    /// `acc[off .. off + len]` (Rabenseifner segment exchange).
+    AccRange(usize, usize),
     /// Block `i` of the rank's assembled allgather result.
     Block(usize),
+    /// Blocks `start .. start + count` of the assembled result,
+    /// concatenated (recursive-doubling allgather sends runs).
+    Blocks(usize, usize),
     /// The root's scatter chunk destined for rank `i`.
     Chunk(usize),
 }
@@ -215,10 +259,17 @@ enum SendData {
 enum RecvAction {
     /// `acc = op(acc, payload)` elementwise.
     ReduceInto,
+    /// `acc[off ..][.. payload.len()] = op(acc[..], payload)`.
+    ReduceRange(usize),
     /// `acc = payload`.
     Replace,
+    /// `acc[off ..][.. payload.len()] = payload`.
+    ReplaceRange(usize),
     /// Store the payload as block `i` of the assembled result.
     StoreBlock(usize),
+    /// Split the payload into `count` equal blocks stored at
+    /// `start .. start + count`.
+    StoreBlocks(usize, usize),
 }
 
 /// One step of a rank's precomputed schedule.
@@ -262,7 +313,11 @@ impl RankMachine {
                 Step::Send { dst, phase, data } => {
                     let payload = match data {
                         SendData::Acc => self.acc.clone(),
+                        SendData::AccRange(off, len) => self.acc[off..off + len].to_vec(),
                         SendData::Block(i) => self.blocks[i].clone(),
+                        SendData::Blocks(start, count) => {
+                            self.blocks[start..start + count].concat()
+                        }
                         SendData::Chunk(i) => self.blocks[i].clone(),
                     };
                     out.push(Msg {
@@ -288,8 +343,20 @@ impl RankMachine {
     fn apply(&mut self, action: RecvAction, payload: Vec<u8>, dt: Datatype, op: ReduceOp) {
         match action {
             RecvAction::ReduceInto => reduce_into(op, dt, &mut self.acc, &payload),
+            RecvAction::ReduceRange(off) => {
+                reduce_into(op, dt, &mut self.acc[off..off + payload.len()], &payload)
+            }
             RecvAction::Replace => self.acc = payload,
+            RecvAction::ReplaceRange(off) => {
+                self.acc[off..off + payload.len()].copy_from_slice(&payload)
+            }
             RecvAction::StoreBlock(i) => self.blocks[i] = payload,
+            RecvAction::StoreBlocks(start, count) => {
+                let each = payload.len() / count;
+                for (i, chunk) in payload.chunks_exact(each.max(1)).take(count).enumerate() {
+                    self.blocks[start + i] = chunk.to_vec();
+                }
+            }
         }
     }
 
@@ -411,6 +478,105 @@ impl NbColl {
         NbColl::finish(NbKind::Allreduce, ranks, dt, op, 2 * depth)
     }
 
+    /// Non-blocking Rabenseifner allreduce: recursive-halving
+    /// reduce-scatter (phases `0..d`), then recursive-doubling
+    /// allgather over the reduced blocks (phases `d..2d`), with
+    /// `d = log₂ n`. Each rank moves `2·(n−1)/n` of the buffer total —
+    /// the bandwidth-optimal large-message schedule — instead of the
+    /// binomial tree's whole-buffer hops.
+    ///
+    /// # Panics
+    /// Panics if inputs are empty, unequal lengths or partial elements
+    /// (like [`NbColl::iallreduce`]); additionally if the world is not
+    /// a power of two or the buffer does not divide into `n`
+    /// whole-element blocks. [`CollSpec::plan_on`] checks these gates
+    /// and falls back to the binomial schedule.
+    pub fn iallreduce_rsag(dt: Datatype, op: ReduceOp, inputs: Vec<Vec<u8>>) -> NbColl {
+        let n = inputs.len();
+        assert!(n >= 1, "allreduce needs at least one rank");
+        assert!(n.is_power_of_two(), "rsag needs a power-of-two world");
+        let len = inputs[0].len();
+        assert!(
+            inputs.iter().all(|b| b.len() == len),
+            "allreduce inputs must agree on length"
+        );
+        assert_eq!(len % dt.size(), 0, "partial element in allreduce input");
+        assert_eq!(
+            len % (n * dt.size()),
+            0,
+            "rsag needs the buffer to divide into {n} whole-element blocks"
+        );
+        let d = tree_depth(n);
+        let block = len / n;
+        let mut ranks = Vec::with_capacity(n);
+        for (r, input) in inputs.into_iter().enumerate() {
+            let mut script = Vec::new();
+            // Recursive halving: step k pairs ranks across bit
+            // (d−1−k). The partner keeping the low half receives the
+            // other's low-half contribution; offsets accumulate the
+            // bits of r MSB-first, so rank r ends owning fully-reduced
+            // block r at byte offset r·block.
+            let mut off = 0usize;
+            let mut seg = len;
+            for k in 0..d {
+                let mask = 1usize << (d - 1 - k);
+                let partner = r ^ mask;
+                let half = seg / 2;
+                if r & mask == 0 {
+                    script.push(Step::Send {
+                        dst: partner,
+                        phase: k,
+                        data: SendData::AccRange(off + half, half),
+                    });
+                    script.push(Step::Recv {
+                        src: partner,
+                        phase: k,
+                        action: RecvAction::ReduceRange(off),
+                    });
+                } else {
+                    script.push(Step::Send {
+                        dst: partner,
+                        phase: k,
+                        data: SendData::AccRange(off, half),
+                    });
+                    script.push(Step::Recv {
+                        src: partner,
+                        phase: k,
+                        action: RecvAction::ReduceRange(off + half),
+                    });
+                    off += half;
+                }
+                seg = half;
+            }
+            // Recursive doubling allgather: step j exchanges the run of
+            // 2^j reduced blocks each side owns, doubling the run.
+            for j in 0..d {
+                let mask = 1usize << j;
+                let partner = r ^ mask;
+                let own = (r & !(mask - 1)) * block;
+                let partner_run = ((r & !(mask - 1)) ^ mask) * block;
+                script.push(Step::Send {
+                    dst: partner,
+                    phase: d + j,
+                    data: SendData::AccRange(own, mask * block),
+                });
+                script.push(Step::Recv {
+                    src: partner,
+                    phase: d + j,
+                    action: RecvAction::ReplaceRange(partner_run),
+                });
+            }
+            ranks.push(RankMachine {
+                script,
+                cursor: 0,
+                acc: input,
+                blocks: Vec::new(),
+                early: Vec::new(),
+            });
+        }
+        NbColl::finish(NbKind::Allreduce, ranks, dt, op, 2 * d)
+    }
+
     /// Non-blocking ring allgather: every rank ends with the
     /// concatenation of all inputs in rank order.
     ///
@@ -452,6 +618,70 @@ impl NbColl {
             });
         }
         let phases = (n - 1) as u32;
+        NbColl::finish(
+            NbKind::Allgather,
+            ranks,
+            Datatype::Byte,
+            ReduceOp::Sum,
+            phases,
+        )
+    }
+
+    /// Non-blocking recursive-doubling allgather: `log₂ n` phases, each
+    /// exchanging the doubling run of blocks a rank has assembled so
+    /// far. Latency-optimal for small blocks (the ring's `n − 1` phases
+    /// collapse to `log₂ n`), at the cost of requiring a power-of-two
+    /// world.
+    ///
+    /// # Panics
+    /// Panics if inputs are empty or unequal lengths (like
+    /// [`NbColl::iallgather`]); additionally if the world is not a
+    /// power of two. [`CollSpec::plan_on`] checks the gate and falls
+    /// back to the ring.
+    pub fn iallgather_rd(inputs: Vec<Vec<u8>>) -> NbColl {
+        let n = inputs.len();
+        assert!(n >= 1, "allgather needs at least one rank");
+        assert!(
+            n.is_power_of_two(),
+            "recursive-doubling allgather needs a power-of-two world"
+        );
+        let len = inputs[0].len();
+        assert!(
+            inputs.iter().all(|b| b.len() == len),
+            "allgather inputs must agree on length"
+        );
+        let mut ranks = Vec::with_capacity(n);
+        for (r, input) in inputs.into_iter().enumerate() {
+            let mut blocks = vec![Vec::new(); n];
+            blocks[r] = input;
+            let mut script = Vec::new();
+            // Step j: exchange the 2^j-block run each side owns; a
+            // rank's run starts at its rank with the low j bits (and
+            // the exchanged bit, for the partner) cleared.
+            for j in 0..tree_depth(n) {
+                let mask = 1usize << j;
+                let partner = r ^ mask;
+                let own = r & !(mask - 1);
+                script.push(Step::Send {
+                    dst: partner,
+                    phase: j,
+                    data: SendData::Blocks(own, mask),
+                });
+                script.push(Step::Recv {
+                    src: partner,
+                    phase: j,
+                    action: RecvAction::StoreBlocks(own ^ mask, mask),
+                });
+            }
+            ranks.push(RankMachine {
+                script,
+                cursor: 0,
+                acc: Vec::new(),
+                blocks,
+                early: Vec::new(),
+            });
+        }
+        let phases = tree_depth(n);
         NbColl::finish(
             NbKind::Allgather,
             ranks,
@@ -578,12 +808,26 @@ impl NbColl {
                             }
                             _ => m.acc.len(),
                         },
+                        // The exact range length is baked into the step.
+                        SendData::AccRange(_, len) => *len,
                         SendData::Block(i) | SendData::Chunk(i) => self
                             .ranks
                             .iter()
                             .map(|r| r.blocks.get(*i).map_or(0, Vec::len))
                             .max()
                             .unwrap_or(0),
+                        // At construction only the contributing rank has
+                        // each block filled, so size every block in the
+                        // run by its max across ranks.
+                        SendData::Blocks(start, count) => (*start..*start + *count)
+                            .map(|i| {
+                                self.ranks
+                                    .iter()
+                                    .map(|r| r.blocks.get(i).map_or(0, Vec::len))
+                                    .max()
+                                    .unwrap_or(0)
+                            })
+                            .sum(),
                     } as u64;
                 }
             }
@@ -763,18 +1007,91 @@ mod tests {
     }
 
     #[test]
+    fn rsag_allreduce_matches_binomial() {
+        for n in [2usize, 4, 8, 16] {
+            // n elements per rank so the buffer divides into n blocks.
+            let inputs: Vec<Vec<u8>> = (0..n)
+                .map(|r| ints(&(0..n as i32).map(|i| r as i32 + i).collect::<Vec<_>>()))
+                .collect();
+            let mut rsag = NbColl::iallreduce_rsag(Datatype::Int32, ReduceOp::Sum, inputs.clone());
+            let msgs = pump(&mut rsag);
+            let mut binomial = NbColl::iallreduce(Datatype::Int32, ReduceOp::Sum, inputs);
+            pump(&mut binomial);
+            assert_eq!(
+                rsag.outputs(),
+                binomial.outputs(),
+                "world {n} ({msgs} msgs)"
+            );
+            assert_eq!(rsag.phases(), 2 * tree_depth(n));
+        }
+    }
+
+    #[test]
+    fn rsag_allreduce_max_under_lifo_delivery() {
+        // Worst-case delivery order over a non-commutative-looking op
+        // mix: range reduces must land on the right segments.
+        let inputs: Vec<Vec<u8>> = (0..8)
+            .map(|r| ints(&[r, -r, r * 3, 7 - r, r, r, -2 * r, r % 3]))
+            .collect();
+        let mut coll = NbColl::iallreduce_rsag(Datatype::Int32, ReduceOp::Max, inputs.clone());
+        let mut pending = coll.start();
+        while let Some(m) = pending.pop() {
+            pending.extend(coll.deliver(m.src, m.dst, m.phase, m.payload));
+        }
+        assert!(coll.done());
+        let mut want = NbColl::iallreduce(Datatype::Int32, ReduceOp::Max, inputs);
+        pump(&mut want);
+        assert_eq!(coll.outputs(), want.outputs());
+    }
+
+    #[test]
+    fn rd_allgather_assembles_rank_order() {
+        for n in [1usize, 2, 4, 8, 16] {
+            let inputs: Vec<Vec<u8>> = (0..n).map(|r| vec![r as u8; 3]).collect();
+            let want: Vec<u8> = inputs.concat();
+            let mut coll = NbColl::iallgather_rd(inputs);
+            pump(&mut coll);
+            for (r, out) in coll.outputs().iter().enumerate() {
+                assert_eq!(*out, want, "rank {r} of {n}");
+            }
+            // The whole point: log₂ n phases, not the ring's n − 1.
+            assert_eq!(coll.phases(), tree_depth(n).max(1), "world {n}");
+        }
+    }
+
+    #[test]
+    fn rd_allgather_handles_empty_blocks() {
+        let mut coll = NbColl::iallgather_rd(vec![Vec::new(); 4]);
+        pump(&mut coll);
+        assert!(coll.outputs().iter().all(Vec::is_empty));
+    }
+
+    #[test]
     fn nic_bytes_matches_actual_traffic() {
-        for n in [2, 3, 8] {
-            let inputs: Vec<Vec<u8>> = (0..n).map(|r| ints(&[r])).collect();
-            let mut coll = NbColl::iallreduce(Datatype::Int32, ReduceOp::Sum, inputs);
-            let est = coll.nic_bytes();
+        let drive = |coll: &mut NbColl| -> u64 {
             let mut actual = 0u64;
             let mut queue = std::collections::VecDeque::from(coll.start());
             while let Some(m) = queue.pop_front() {
                 actual += m.payload.len() as u64;
                 queue.extend(coll.deliver(m.src, m.dst, m.phase, m.payload));
             }
-            assert_eq!(est, actual, "world {n}");
+            actual
+        };
+        for n in [2, 3, 8] {
+            let inputs: Vec<Vec<u8>> = (0..n).map(|r| ints(&[r])).collect();
+            let mut coll = NbColl::iallreduce(Datatype::Int32, ReduceOp::Sum, inputs);
+            let est = coll.nic_bytes();
+            assert_eq!(est, drive(&mut coll), "binomial world {n}");
+        }
+        for n in [2usize, 8] {
+            let inputs: Vec<Vec<u8>> = (0..n).map(|r| ints(&vec![r as i32; 2 * n])).collect();
+            let mut coll = NbColl::iallreduce_rsag(Datatype::Int32, ReduceOp::Sum, inputs);
+            let est = coll.nic_bytes();
+            assert_eq!(est, drive(&mut coll), "rsag world {n}");
+            let inputs: Vec<Vec<u8>> = (0..n).map(|r| vec![r as u8; 5]).collect();
+            let mut coll = NbColl::iallgather_rd(inputs);
+            let est = coll.nic_bytes();
+            assert_eq!(est, drive(&mut coll), "rd allgather world {n}");
         }
     }
 
@@ -788,6 +1105,51 @@ mod tests {
         let inputs: Vec<Vec<u8>> = (0..64).map(|r| ints(&[r])).collect();
         let coll = NbColl::iallreduce(Datatype::Int32, ReduceOp::Sum, inputs);
         assert!(coll.phases() <= 64);
+        let inputs: Vec<Vec<u8>> = (0..64).map(|r| ints(&vec![r; 64])).collect();
+        let coll = NbColl::iallreduce_rsag(Datatype::Int32, ReduceOp::Sum, inputs);
+        assert!(coll.phases() <= 64, "rsag at the 64-rank cap");
+        let inputs: Vec<Vec<u8>> = (0..64).map(|r| vec![r as u8]).collect();
+        let coll = NbColl::iallgather_rd(inputs);
+        assert!(coll.phases() <= 64, "rd allgather at the 64-rank cap");
+    }
+
+    #[test]
+    fn spec_dispatch_follows_the_switch_points() {
+        // No PIPMCOLL_TUNE_TABLE in the test environment, so the static
+        // constants decide. Small allgather blocks on a power-of-two
+        // world take recursive doubling (log₂ n phases); at or past the
+        // 64 KiB switch the ring (n − 1 phases) comes back.
+        let small = CollSpec::Allgather {
+            inputs: vec![vec![1u8; 16]; 8],
+        };
+        assert_eq!(small.plan().phases(), 3, "recursive doubling");
+        let large = CollSpec::Allgather {
+            inputs: vec![vec![1u8; crate::tuning::MCOLL_ALLGATHER_SWITCH_BYTES]; 8],
+        };
+        assert_eq!(large.plan().phases(), 7, "ring");
+        // Non-power-of-two survivor groups always fall back to the ring.
+        let sub = small.plan_on(&[0, 1, 2, 4, 5, 6, 7]).unwrap();
+        assert_eq!(sub.phases(), 6, "7 survivors ring");
+
+        // Allreduce past the 8 k-count switch plans Rabenseifner when
+        // the gates hold; both plans must agree on the answer.
+        let count = crate::tuning::MCOLL_ALLREDUCE_SWITCH_COUNT + 8;
+        let inputs: Vec<Vec<u8>> = (0..4).map(|r| ints(&vec![r; count])).collect();
+        let spec = CollSpec::Allreduce {
+            dt: Datatype::Int32,
+            op: ReduceOp::Sum,
+            inputs,
+        };
+        let mut planned = spec.plan();
+        let mut queue = std::collections::VecDeque::from(planned.start());
+        while let Some(m) = queue.pop_front() {
+            queue.extend(planned.deliver(m.src, m.dst, m.phase, m.payload));
+        }
+        assert!(planned.done());
+        assert!(planned
+            .outputs()
+            .iter()
+            .all(|o| *o == ints(&vec![1 + 2 + 3; count])));
     }
 
     #[test]

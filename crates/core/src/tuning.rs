@@ -1,15 +1,32 @@
-//! Algorithm switch-points.
+//! Algorithm switch-points — static constants and the measured
+//! [`SelectionTable`] that can override them.
 //!
 //! PiP-MColl's published switch-points (§IV-D): allgather changes to the
 //! large-message algorithm at 64 kB per-process message size (Fig. 13);
 //! allreduce changes at 8 k double counts = 64 kB (Fig. 14). Scatter uses
 //! one algorithm for all sizes (§IV-D1).
 //!
+//! The paper's own Fig. 14 shows the static 8 k allreduce switch losing
+//! 12–50% at 1 k–16 k counts on some machines — the crossover is a
+//! property of the machine, not the algorithm. So dispatch can instead
+//! consult a [`SelectionTable`] measured on the actual host by the
+//! `pipmcoll-tune` bench bin and loaded from the JSON file named by
+//! `PIPMCOLL_TUNE_TABLE` (nearest-measured-size lookup; the static
+//! constants remain the fallback when no table is set or a collective
+//! has no measured points). [`tuned_allreduce_uses_large`] /
+//! [`tuned_allgather_uses_large`] are the drop-in replacements the
+//! dispatch sites call. Malformed tables are a typed [`TableError`] at
+//! explicit load time and a silent static fallback on the hot path — a
+//! worker never panics over a bad file.
+//!
 //! The baseline-library decision rules model MPICH's documented dispatch
 //! (\[23\]): allgather by total received bytes (recursive doubling / Bruck
 //! below 512 kB, ring above), allreduce by message size and count
 //! (recursive doubling below 2 kB or when the count is smaller than the
 //! power-of-two rank count, Rabenseifner otherwise).
+
+use std::fmt;
+use std::sync::OnceLock;
 
 use crate::util::is_pof2;
 
@@ -82,6 +99,509 @@ pub fn mcoll_allreduce_uses_large(count: usize) -> bool {
     count >= MCOLL_ALLREDUCE_SWITCH_COUNT
 }
 
+// ---------------------------------------------------------------------
+// Measured selection table (PIPMCOLL_TUNE_TABLE).
+// ---------------------------------------------------------------------
+
+/// Which of the two PiP-MColl algorithm families a measured point picks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// The small-message algorithm family.
+    Small,
+    /// The large-message algorithm family.
+    Large,
+}
+
+impl Algo {
+    /// Parse the wire spelling (`"small"` / `"large"`).
+    pub fn parse(s: &str) -> Option<Algo> {
+        match s {
+            "small" => Some(Algo::Small),
+            "large" => Some(Algo::Large),
+            _ => None,
+        }
+    }
+
+    /// The wire spelling, for table emission and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Small => "small",
+            Algo::Large => "large",
+        }
+    }
+}
+
+/// Why a selection table failed to load — typed, `fabric::env`-style,
+/// so constructors can fail loudly while hot-path lookups fall back to
+/// the static constants instead of panicking in a worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TableError {
+    /// The file named by `PIPMCOLL_TUNE_TABLE` could not be read.
+    Unreadable {
+        /// The path that failed.
+        path: String,
+        /// The I/O error text.
+        detail: String,
+    },
+    /// The file is not JSON.
+    Parse {
+        /// Where/what failed to parse.
+        detail: String,
+    },
+    /// The JSON does not match the table schema.
+    Schema {
+        /// Which schema rule was violated.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Unreadable { path, detail } => {
+                write!(f, "selection table {path:?} unreadable: {detail}")
+            }
+            TableError::Parse { detail } => {
+                write!(f, "selection table is not JSON: {detail}")
+            }
+            TableError::Schema { detail } => {
+                write!(f, "selection table JSON violates the schema: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A minimal JSON reader for the table schema — the workspace is
+/// std-only, so no serde. Handles objects, arrays, strings (with the
+/// standard escapes), non-negative integers, and the literals; that is
+/// the whole schema.
+mod json {
+    use super::TableError;
+
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn err(&self, what: &str) -> TableError {
+            TableError::Parse {
+                detail: format!("{what} at byte {}", self.pos),
+            }
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn eat(&mut self, b: u8) -> Result<(), TableError> {
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected {:?}", b as char)))
+            }
+        }
+
+        fn peek(&mut self) -> Option<u8> {
+            self.skip_ws();
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn literal(&mut self, lit: &str, v: Value) -> Result<Value, TableError> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(v)
+            } else {
+                Err(self.err("unrecognized literal"))
+            }
+        }
+
+        fn string(&mut self) -> Result<String, TableError> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos).copied() {
+                    None => return Err(self.err("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self.bytes.get(self.pos).copied();
+                        self.pos += 1;
+                        match esc {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .and_then(char::from_u32)
+                                    .ok_or_else(|| self.err("bad \\u escape"))?;
+                                self.pos += 4;
+                                out.push(hex);
+                            }
+                            _ => return Err(self.err("bad escape")),
+                        }
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (the input came from
+                        // a &str, so boundaries are valid).
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| self.err("invalid UTF-8"))?;
+                        let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                        self.pos += c.len_utf8();
+                        out.push(c);
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, TableError> {
+            let start = self.pos;
+            if self.bytes.get(self.pos) == Some(&b'-') {
+                self.pos += 1;
+            }
+            while matches!(
+                self.bytes.get(self.pos),
+                Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            ) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Value::Num)
+                .ok_or_else(|| self.err("malformed number"))
+        }
+
+        fn value(&mut self) -> Result<Value, TableError> {
+            match self.peek() {
+                Some(b'{') => {
+                    self.eat(b'{')?;
+                    let mut fields = Vec::new();
+                    if self.peek() == Some(b'}') {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    loop {
+                        let key = self.string()?;
+                        self.eat(b':')?;
+                        fields.push((key, self.value()?));
+                        match self.peek() {
+                            Some(b',') => self.pos += 1,
+                            Some(b'}') => {
+                                self.pos += 1;
+                                return Ok(Value::Obj(fields));
+                            }
+                            _ => return Err(self.err("expected ',' or '}'")),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    self.eat(b'[')?;
+                    let mut items = Vec::new();
+                    if self.peek() == Some(b']') {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    loop {
+                        items.push(self.value()?);
+                        match self.peek() {
+                            Some(b',') => self.pos += 1,
+                            Some(b']') => {
+                                self.pos += 1;
+                                return Ok(Value::Arr(items));
+                            }
+                            _ => return Err(self.err("expected ',' or ']'")),
+                        }
+                    }
+                }
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(_) => self.number(),
+                None => Err(self.err("unexpected end of input")),
+            }
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Value, TableError> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing garbage"));
+        }
+        Ok(v)
+    }
+}
+
+/// A machine-measured algorithm selection table: for each collective, a
+/// sorted list of `(size, algo)` points measured by `pipmcoll-tune`.
+/// Lookup picks the *nearest measured size* (ties go to the smaller
+/// point), so dispatch interpolates the measured crossover instead of
+/// trusting the paper's hard-coded constant.
+///
+/// JSON schema (`results/tune_table.json`):
+///
+/// ```json
+/// {
+///   "version": 1,
+///   "collectives": [
+///     { "name": "allreduce", "unit": "count",
+///       "points": [ { "size": 1024, "algo": "small" },
+///                   { "size": 16384, "algo": "large" } ] },
+///     { "name": "allgather", "unit": "bytes", "points": [ ... ] }
+///   ]
+/// }
+/// ```
+///
+/// `allreduce` sizes are element counts; `allgather` sizes are
+/// per-process bytes — matching the units of the static constants they
+/// override. Unknown collective names are ignored (forward
+/// compatibility); a collective with no points falls back to its static
+/// constant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SelectionTable {
+    /// `(element count, algo)`, sorted by count.
+    allreduce: Vec<(u64, Algo)>,
+    /// `(per-process bytes, algo)`, sorted by bytes.
+    allgather: Vec<(u64, Algo)>,
+}
+
+impl SelectionTable {
+    /// Build from measured points (any order; sorted and deduplicated
+    /// by size, last write wins).
+    pub fn new(allreduce: Vec<(u64, Algo)>, allgather: Vec<(u64, Algo)>) -> SelectionTable {
+        let norm = |mut v: Vec<(u64, Algo)>| {
+            v.sort_by_key(|&(s, _)| s);
+            v.reverse();
+            v.dedup_by_key(|&mut (s, _)| s);
+            v.reverse();
+            v
+        };
+        SelectionTable {
+            allreduce: norm(allreduce),
+            allgather: norm(allgather),
+        }
+    }
+
+    /// Parse the JSON schema above.
+    pub fn from_json(text: &str) -> Result<SelectionTable, TableError> {
+        let root = json::parse(text)?;
+        if let Some(v) = root.get("version") {
+            if v.as_u64() != Some(1) {
+                return Err(TableError::Schema {
+                    detail: format!("unsupported version {v:?} (expected 1)"),
+                });
+            }
+        }
+        let colls = root
+            .get("collectives")
+            .and_then(|c| c.as_arr())
+            .ok_or_else(|| TableError::Schema {
+                detail: "top level needs a \"collectives\" array".into(),
+            })?;
+        let mut allreduce = Vec::new();
+        let mut allgather = Vec::new();
+        for coll in colls {
+            let name =
+                coll.get("name")
+                    .and_then(|n| n.as_str())
+                    .ok_or_else(|| TableError::Schema {
+                        detail: "collective entry needs a string \"name\"".into(),
+                    })?;
+            let dest = match name {
+                "allreduce" => &mut allreduce,
+                "allgather" => &mut allgather,
+                // Unknown collectives are ignored, not fatal: a newer
+                // tuner may measure more than this build dispatches.
+                _ => continue,
+            };
+            let points =
+                coll.get("points")
+                    .and_then(|p| p.as_arr())
+                    .ok_or_else(|| TableError::Schema {
+                        detail: format!("collective {name:?} needs a \"points\" array"),
+                    })?;
+            for p in points {
+                let size =
+                    p.get("size")
+                        .and_then(|s| s.as_u64())
+                        .ok_or_else(|| TableError::Schema {
+                            detail: format!("a {name} point needs an integer \"size\""),
+                        })?;
+                let algo = p
+                    .get("algo")
+                    .and_then(|a| a.as_str())
+                    .and_then(Algo::parse)
+                    .ok_or_else(|| TableError::Schema {
+                        detail: format!("a {name} point needs \"algo\": \"small\" or \"large\""),
+                    })?;
+                dest.push((size, algo));
+            }
+        }
+        Ok(SelectionTable::new(allreduce, allgather))
+    }
+
+    /// Serialize to the JSON schema above (what `pipmcoll-tune` writes).
+    pub fn to_json(&self) -> String {
+        let points = |v: &[(u64, Algo)]| {
+            v.iter()
+                .map(|&(s, a)| format!("      {{ \"size\": {s}, \"algo\": \"{}\" }}", a.name()))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
+        format!(
+            "{{\n  \"version\": 1,\n  \"collectives\": [\n    {{ \"name\": \"allreduce\", \"unit\": \"count\", \"points\": [\n{}\n    ] }},\n    {{ \"name\": \"allgather\", \"unit\": \"bytes\", \"points\": [\n{}\n    ] }}\n  ]\n}}\n",
+            points(&self.allreduce),
+            points(&self.allgather)
+        )
+    }
+
+    /// Load from a file.
+    pub fn load(path: &str) -> Result<SelectionTable, TableError> {
+        let text = std::fs::read_to_string(path).map_err(|e| TableError::Unreadable {
+            path: path.to_string(),
+            detail: e.to_string(),
+        })?;
+        SelectionTable::from_json(&text)
+    }
+
+    /// Load from the file named by `PIPMCOLL_TUNE_TABLE`. `Ok(None)`
+    /// when the variable is unset.
+    pub fn from_env() -> Result<Option<SelectionTable>, TableError> {
+        match std::env::var("PIPMCOLL_TUNE_TABLE") {
+            Err(_) => Ok(None),
+            Ok(path) => SelectionTable::load(&path).map(Some),
+        }
+    }
+
+    /// The algorithm at the measured point nearest `size` (ties to the
+    /// smaller point); `None` if nothing was measured.
+    fn nearest(points: &[(u64, Algo)], size: u64) -> Option<Algo> {
+        if points.is_empty() {
+            return None;
+        }
+        let i = points.partition_point(|&(s, _)| s < size);
+        let algo = match (points.get(i.wrapping_sub(1)), points.get(i)) {
+            (None, Some(&(_, hi))) => hi,
+            (Some(&(_, lo)), None) => lo,
+            (Some(&(ls, lo)), Some(&(hs, hi))) => {
+                // `ls < size <= hs`; the smaller point wins a tie.
+                if hs - size < size - ls {
+                    hi
+                } else {
+                    lo
+                }
+            }
+            (None, None) => unreachable!("non-empty points"),
+        };
+        Some(algo)
+    }
+
+    /// Measured dispatch for allreduce at `count` elements; `None`
+    /// falls back to [`mcoll_allreduce_uses_large`].
+    pub fn allreduce_uses_large(&self, count: usize) -> Option<bool> {
+        Self::nearest(&self.allreduce, count as u64).map(|a| a == Algo::Large)
+    }
+
+    /// Measured dispatch for allgather at `cb` per-process bytes;
+    /// `None` falls back to [`mcoll_allgather_uses_large`].
+    pub fn allgather_uses_large(&self, cb: usize) -> Option<bool> {
+        Self::nearest(&self.allgather, cb as u64).map(|a| a == Algo::Large)
+    }
+}
+
+/// The process-wide table from `PIPMCOLL_TUNE_TABLE`, loaded once. A
+/// missing or malformed table reads as `None` here — dispatch silently
+/// falls back to the static constants; call [`SelectionTable::from_env`]
+/// directly to surface the typed error.
+pub fn global_table() -> Option<&'static SelectionTable> {
+    static TABLE: OnceLock<Option<SelectionTable>> = OnceLock::new();
+    TABLE
+        .get_or_init(|| SelectionTable::from_env().ok().flatten())
+        .as_ref()
+}
+
+/// [`mcoll_allreduce_uses_large`], overridden by the measured table
+/// when `PIPMCOLL_TUNE_TABLE` supplies allreduce points.
+pub fn tuned_allreduce_uses_large(count: usize) -> bool {
+    global_table()
+        .and_then(|t| t.allreduce_uses_large(count))
+        .unwrap_or_else(|| mcoll_allreduce_uses_large(count))
+}
+
+/// [`mcoll_allgather_uses_large`], overridden by the measured table
+/// when `PIPMCOLL_TUNE_TABLE` supplies allgather points.
+pub fn tuned_allgather_uses_large(cb: usize) -> bool {
+    global_table()
+        .and_then(|t| t.allgather_uses_large(cb))
+        .unwrap_or_else(|| mcoll_allgather_uses_large(cb))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +622,114 @@ mod tests {
         );
         assert_eq!(mpich_allgather_choice(2304, 16), AllgatherChoice::Bruck);
         assert_eq!(mpich_allgather_choice(2304, 4096), AllgatherChoice::Ring);
+    }
+
+    fn golden() -> SelectionTable {
+        SelectionTable::new(
+            vec![
+                (1024, Algo::Small),
+                (4096, Algo::Large),
+                (16384, Algo::Large),
+            ],
+            vec![(8192, Algo::Small), (131072, Algo::Large)],
+        )
+    }
+
+    #[test]
+    fn table_json_round_trips() {
+        let t = golden();
+        let text = t.to_json();
+        let back = SelectionTable::from_json(&text).expect("own output parses");
+        assert_eq!(back, t);
+        // And the emitted text carries the schema markers verbatim.
+        assert!(text.contains("\"version\": 1"), "{text}");
+        assert!(text.contains("\"name\": \"allreduce\""), "{text}");
+        assert!(text.contains("\"unit\": \"count\""), "{text}");
+    }
+
+    #[test]
+    fn table_lookup_at_measured_points() {
+        let t = golden();
+        assert_eq!(t.allreduce_uses_large(1024), Some(false));
+        assert_eq!(t.allreduce_uses_large(4096), Some(true));
+        assert_eq!(t.allgather_uses_large(8192), Some(false));
+        assert_eq!(t.allgather_uses_large(131072), Some(true));
+    }
+
+    #[test]
+    fn table_lookup_between_and_beyond_points() {
+        let t = golden();
+        // 2000 is nearer 1024 (976) than 4096 (2096) → small.
+        assert_eq!(t.allreduce_uses_large(2000), Some(false));
+        // 3500 is nearer 4096 → large.
+        assert_eq!(t.allreduce_uses_large(3500), Some(true));
+        // Equidistant (2560 from both 1024 and 4096) → the smaller
+        // point wins.
+        assert_eq!(t.allreduce_uses_large(2560), Some(false));
+        // Outside the measured range clamps to the nearest endpoint.
+        assert_eq!(t.allreduce_uses_large(1), Some(false));
+        assert_eq!(t.allreduce_uses_large(1 << 30), Some(true));
+    }
+
+    #[test]
+    fn empty_collective_falls_back_to_static() {
+        let t = SelectionTable::new(Vec::new(), vec![(1, Algo::Large)]);
+        assert_eq!(t.allreduce_uses_large(8192), None, "no points measured");
+        assert_eq!(t.allgather_uses_large(64), Some(true));
+        // The tuned_* wrappers resolve a None via the paper constants
+        // (no PIPMCOLL_TUNE_TABLE in the test environment).
+        assert!(tuned_allreduce_uses_large(8192));
+        assert!(!tuned_allreduce_uses_large(4096));
+        assert!(tuned_allgather_uses_large(64 * 1024));
+    }
+
+    #[test]
+    fn malformed_tables_are_typed_errors() {
+        assert!(matches!(
+            SelectionTable::from_json("not json at all"),
+            Err(TableError::Parse { .. })
+        ));
+        assert!(matches!(
+            SelectionTable::from_json("{\"collectives\": 7}"),
+            Err(TableError::Schema { .. })
+        ));
+        assert!(matches!(
+            SelectionTable::from_json(
+                "{\"collectives\": [{\"name\": \"allreduce\", \"points\": [{\"size\": -3, \"algo\": \"small\"}]}]}"
+            ),
+            Err(TableError::Schema { .. })
+        ));
+        assert!(matches!(
+            SelectionTable::from_json(
+                "{\"collectives\": [{\"name\": \"allreduce\", \"points\": [{\"size\": 8, \"algo\": \"huge\"}]}]}"
+            ),
+            Err(TableError::Schema { .. })
+        ));
+        assert!(matches!(
+            SelectionTable::from_json("{\"version\": 2, \"collectives\": []}"),
+            Err(TableError::Schema { .. })
+        ));
+        assert!(matches!(
+            SelectionTable::load("/nonexistent/tune_table.json"),
+            Err(TableError::Unreadable { .. })
+        ));
+        let e = SelectionTable::load("/nonexistent/tune_table.json").unwrap_err();
+        assert!(e.to_string().contains("/nonexistent"), "{e}");
+    }
+
+    #[test]
+    fn unknown_collectives_and_duplicate_sizes_are_tolerated() {
+        let t = SelectionTable::from_json(
+            "{\"version\": 1, \"collectives\": [\
+               {\"name\": \"alltoall\", \"points\": [{\"size\": 1, \"algo\": \"small\"}]},\
+               {\"name\": \"allreduce\", \"points\": [\
+                 {\"size\": 64, \"algo\": \"small\"},\
+                 {\"size\": 64, \"algo\": \"large\"}]}]}",
+        )
+        .expect("unknown names are ignored");
+        // Last write wins on a duplicated size.
+        assert_eq!(t.allreduce_uses_large(64), Some(true));
+        assert_eq!(t.allgather_uses_large(64), None);
     }
 
     #[test]

@@ -166,6 +166,15 @@ pub fn validate() -> Result<(), EnvError> {
             });
         }
     }
+    if let Ok(policy) = std::env::var("PIPMCOLL_LANE_POLICY") {
+        if crate::LanePolicy::parse(&policy).is_none() {
+            return Err(EnvError {
+                var: "PIPMCOLL_LANE_POLICY",
+                value: policy,
+                expected: "\"modulo\" or \"stripe\"",
+            });
+        }
+    }
     read_u64("PIPMCOLL_CHAOS_SEED", "a u64 seed")?;
     read_u64("PIPMCOLL_SVC_NIC_BUDGET", "a bytes-per-second rate")?;
     read_u64("PIPMCOLL_SVC_RETRY_MAX", "a retry count")?;
@@ -222,6 +231,15 @@ mod tests {
         assert_eq!(read_u64("PIPMCOLL_TEST_UNSET_XYZZY", "int"), Ok(None));
         assert_eq!(read_ms("PIPMCOLL_TEST_UNSET_XYZZY", "int"), Ok(None));
         assert_eq!(read_u64_or("PIPMCOLL_TEST_UNSET_XYZZY", 17), 17);
+    }
+
+    #[test]
+    fn lane_policy_spellings() {
+        use crate::LanePolicy;
+        assert_eq!(LanePolicy::parse("modulo"), Some(LanePolicy::Modulo));
+        assert_eq!(LanePolicy::parse(" stripe "), Some(LanePolicy::Stripe));
+        assert_eq!(LanePolicy::parse("striped"), None);
+        assert_eq!(LanePolicy::parse(""), None);
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub use error::{
 pub use inproc::InProcFabric;
 pub use pool::{FrameBuf, FramePool, PoolStats};
 pub use stats::{FabricStats, LaneStats, LatencyHist, LatencySnapshot};
-pub use tcp::{TcpConfig, TcpFabric};
+pub use tcp::{LanePolicy, TcpConfig, TcpFabric};
 pub use timeout::sync_timeout;
 pub use wait::{spin_budget, Spinner};
 

@@ -147,10 +147,19 @@ impl FramePool {
     /// path where bytes are laid out. Every later holder — send queue,
     /// pending table, retransmit — is a refcount on this buffer.
     pub fn encode(&self, frame: &Frame) -> FrameBuf {
-        let mut buf = self.acquire(crate::wire::HEADER_LEN + frame.payload.len());
+        self.encode_seg(frame, &frame.payload)
+    }
+
+    /// [`FramePool::encode`] with the payload taken from `payload`
+    /// instead of `frame.payload`: the stripe send path encodes each
+    /// segment straight from a sub-slice of the caller's message, so a
+    /// split message costs one pooled encode per segment and no
+    /// intermediate per-segment payload allocation.
+    pub fn encode_seg(&self, frame: &Frame, payload: &[u8]) -> FrameBuf {
+        let mut buf = self.acquire(crate::wire::HEADER_LEN + payload.len());
         let inner = Arc::get_mut(buf.arc.as_mut().expect("fresh FrameBuf holds its arc"))
             .expect("freshly acquired buffer is uniquely owned");
-        frame.encode_into(&mut inner.data);
+        frame.encode_into_with(&mut inner.data, payload);
         buf
     }
 
@@ -321,8 +330,23 @@ mod tests {
             tag: 7,
             seq: 3,
             aux: 0,
+            seg_idx: 0,
+            seg_count: 0,
             payload,
         }
+    }
+
+    #[test]
+    fn encode_seg_matches_a_whole_frame_encode() {
+        let pool = FramePool::with_cap(4);
+        let body = [1u8, 2, 3, 4, 5, 6];
+        let mut seg = frame(vec![]);
+        seg.seg_idx = 1;
+        seg.seg_count = 2;
+        let buf = pool.encode_seg(&seg, &body[3..]);
+        let mut whole = seg.clone();
+        whole.payload = body[3..].to_vec();
+        assert_eq!(&*buf, whole.encode().as_slice());
     }
 
     #[test]

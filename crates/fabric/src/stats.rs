@@ -121,6 +121,10 @@ pub struct FabricStats {
     pub retransmits: u64,
     /// Wire re-deliveries suppressed by receiver sequence dedup.
     pub dups_dropped: u64,
+    /// Messages the stripe lane policy split into per-lane segments
+    /// (each still counts once in `lanes[..].msgs`); always 0 under the
+    /// modulo policy.
+    pub striped_msgs: u64,
     /// Round-trip time from first transmission of an eager frame to the
     /// cumulative ack that covered it (never from retransmissions —
     /// their acks are ambiguous).

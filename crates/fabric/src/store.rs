@@ -23,16 +23,72 @@ use crate::error::{BlockedRecv, FabricError, FabricResult, TimeoutDiag};
 use crate::wait::Spinner;
 use crate::ChanKey;
 
+/// One wire arrival: its segment coordinates plus payload. A whole
+/// (unsegmented) message is `seg_count` 0 or 1.
+struct SegFrame {
+    seg_idx: u16,
+    seg_count: u16,
+    payload: Vec<u8>,
+}
+
+/// Reassembly state for a striped message whose segments are still
+/// arriving in sequence order.
+struct Assembly {
+    buf: Vec<u8>,
+    got: u16,
+    count: u16,
+}
+
 #[derive(Default)]
 struct ChanState {
-    /// In-order messages ready to be received.
+    /// In-order *complete* messages ready to be received. Striped
+    /// messages only land here once every segment has been absorbed.
     ready: VecDeque<Vec<u8>>,
-    /// Next wire sequence number expected on this channel.
+    /// Next wire sequence number expected on this channel. Segments of
+    /// a striped message occupy consecutive sequence numbers, so the
+    /// cursor advances per frame, not per message.
     next_seq: u64,
     /// Out-of-order wire arrivals, held until `next_seq` catches up.
-    held: BTreeMap<u64, Vec<u8>>,
+    held: BTreeMap<u64, SegFrame>,
+    /// Partially reassembled striped message (segments are absorbed in
+    /// sequence order, so at most one message is ever in flight here).
+    assembling: Option<Assembly>,
     /// When the current blocked receive started waiting (if any).
     waiting_since: Option<Instant>,
+}
+
+impl ChanState {
+    /// Absorb the next in-sequence frame: whole messages go straight to
+    /// `ready`; segments accumulate in `assembling` until the striped
+    /// message is complete, so FIFO hold-back release only ever exposes
+    /// whole messages.
+    fn absorb(&mut self, f: SegFrame) {
+        if f.seg_count <= 1 {
+            self.ready.push_back(f.payload);
+            return;
+        }
+        match self.assembling.as_mut() {
+            Some(a) if f.seg_idx > 0 => {
+                a.buf.extend_from_slice(&f.payload);
+                a.got += 1;
+            }
+            // First segment (or a defensive restart if a malformed
+            // sender never finished the previous message).
+            _ => {
+                self.assembling = Some(Assembly {
+                    buf: f.payload,
+                    got: 1,
+                    count: f.seg_count,
+                });
+            }
+        }
+        if let Some(a) = self.assembling.as_ref() {
+            if a.got >= a.count {
+                let done = self.assembling.take().expect("checked Some above");
+                self.ready.push_back(done.buf);
+            }
+        }
+    }
 }
 
 /// Per-channel FIFO message store with blocking receive.
@@ -87,6 +143,25 @@ impl MsgStore {
     /// it, so a re-delivery whose original ack was lost re-raises the
     /// ack and unsticks the sender.
     pub fn deliver_seq_watermark(&self, key: ChanKey, seq: u64, payload: Vec<u8>) -> (bool, u64) {
+        self.deliver_seg_watermark(key, seq, 0, 0, payload)
+    }
+
+    /// [`MsgStore::deliver_seq_watermark`] for a frame that may be one
+    /// segment of a striped message (`seg_count > 1`). Segments of one
+    /// message occupy consecutive sequence numbers, so the ordinary
+    /// hold-back/dedup machinery orders and de-duplicates them; in-order
+    /// segments accumulate in a per-channel reassembly buffer and the
+    /// complete message is released to receivers in one piece. The
+    /// watermark still advances per *frame* — the cumulative-ack loop
+    /// never learns about message boundaries.
+    pub fn deliver_seg_watermark(
+        &self,
+        key: ChanKey,
+        seq: u64,
+        seg_idx: u16,
+        seg_count: u16,
+        payload: Vec<u8>,
+    ) -> (bool, u64) {
         let Ok(mut g) = self.lock() else {
             return (false, 0);
         };
@@ -97,17 +172,25 @@ impl MsgStore {
             return (false, st.next_seq);
         }
         if seq == st.next_seq {
-            st.ready.push_back(payload);
+            st.absorb(SegFrame {
+                seg_idx,
+                seg_count,
+                payload,
+            });
             st.next_seq += 1;
             // Drain any arrivals that were waiting on this gap.
-            while let Some(p) = st.held.remove(&st.next_seq) {
-                st.ready.push_back(p);
+            while let Some(f) = st.held.remove(&st.next_seq) {
+                st.absorb(f);
                 st.next_seq += 1;
             }
             self.cv.notify_all();
             (true, st.next_seq)
         } else if let std::collections::btree_map::Entry::Vacant(e) = st.held.entry(seq) {
-            e.insert(payload);
+            e.insert(SegFrame {
+                seg_idx,
+                seg_count,
+                payload,
+            });
             (true, st.next_seq)
         } else {
             // Already held: duplicate of an out-of-order arrival.
@@ -355,6 +438,48 @@ mod tests {
         assert_eq!(s.deliver_seq_watermark(K, 1, vec![1]), (true, 3));
         // A duplicate still reports the watermark (lost-ack recovery).
         assert_eq!(s.deliver_seq_watermark(K, 0, vec![0]), (false, 3));
+    }
+
+    #[test]
+    fn striped_segments_reassemble_into_one_message() {
+        let s = MsgStore::new("test");
+        // Segments arrive out of order across lanes; hold-back puts them
+        // back in sequence and exactly one whole message comes out.
+        assert_eq!(s.deliver_seg_watermark(K, 2, 2, 3, vec![5, 6]), (true, 0));
+        assert_eq!(s.deliver_seg_watermark(K, 0, 0, 3, vec![1, 2]), (true, 1));
+        assert_eq!(s.try_pop(K).unwrap(), None, "incomplete message held");
+        assert_eq!(s.deliver_seg_watermark(K, 1, 1, 3, vec![3, 4]), (true, 3));
+        assert_eq!(
+            s.pop_within(K, Duration::from_secs(1)).unwrap(),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+        assert_eq!(s.try_pop(K).unwrap(), None, "exactly one message");
+    }
+
+    #[test]
+    fn striped_and_whole_messages_interleave_in_fifo_order() {
+        let s = MsgStore::new("test");
+        // Message A: two segments (seqs 0, 1). Message B: whole (seq 2).
+        s.deliver_seg_watermark(K, 0, 0, 2, vec![10]);
+        s.deliver_seg_watermark(K, 2, 0, 0, vec![30]);
+        assert_eq!(s.try_pop(K).unwrap(), None, "B waits behind unfinished A");
+        s.deliver_seg_watermark(K, 1, 1, 2, vec![11]);
+        assert_eq!(
+            s.pop_within(K, Duration::from_secs(1)).unwrap(),
+            vec![10, 11]
+        );
+        assert_eq!(s.pop_within(K, Duration::from_secs(1)).unwrap(), vec![30]);
+    }
+
+    #[test]
+    fn duplicate_segments_are_dropped_not_reassembled_twice() {
+        let s = MsgStore::new("test");
+        assert!(s.deliver_seg_watermark(K, 0, 0, 2, vec![1]).0);
+        // Retransmit of segment 0 after the original was absorbed.
+        assert!(!s.deliver_seg_watermark(K, 0, 0, 2, vec![1]).0);
+        assert_eq!(s.dups_dropped(), 1);
+        assert!(s.deliver_seg_watermark(K, 1, 1, 2, vec![2]).0);
+        assert_eq!(s.pop_within(K, Duration::from_secs(1)).unwrap(), vec![1, 2]);
     }
 
     #[test]

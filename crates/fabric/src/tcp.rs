@@ -104,11 +104,47 @@ use crate::wait::{Spinner, WorkSignal};
 use crate::wire::{Frame, FrameDecoder, FrameKind};
 use crate::{ChanKey, Fabric};
 
+/// How a sender's traffic maps onto the k lanes of a node pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LanePolicy {
+    /// The paper's mapping (Fig. 2): each sending rank pins to one lane
+    /// (`local_of(src)` modulo the surviving lanes), so a node's ranks
+    /// drive distinct lanes and a lone transfer uses one socket.
+    #[default]
+    Modulo,
+    /// Träff's 1/k decomposition (arXiv:1910.13373): a message at or
+    /// above [`TcpConfig::stripe_min`] is split into per-lane segments
+    /// scattered round-robin over every surviving lane, so one large
+    /// transfer drives k sockets — and, when each segment fits
+    /// [`TcpConfig::eager_max`], skips the rendezvous round trip that
+    /// the whole message would have paid. Smaller messages keep the
+    /// allocation-free modulo fast path.
+    Stripe,
+}
+
+impl LanePolicy {
+    /// Parse the `PIPMCOLL_LANE_POLICY` spelling.
+    pub fn parse(s: &str) -> Option<LanePolicy> {
+        match s.trim() {
+            "modulo" => Some(LanePolicy::Modulo),
+            "stripe" => Some(LanePolicy::Stripe),
+            _ => None,
+        }
+    }
+}
+
 /// Tuning knobs for [`TcpFabric`].
 #[derive(Clone, Copy, Debug)]
 pub struct TcpConfig {
     /// Striped connections per node pair (the paper's object count k).
     pub lanes: usize,
+    /// How messages map onto lanes. Default from `PIPMCOLL_LANE_POLICY`
+    /// (`modulo`).
+    pub lane_policy: LanePolicy,
+    /// Smallest payload the stripe policy splits into segments; smaller
+    /// messages stay on the modulo fast path so the small-message rate
+    /// is untouched. Irrelevant under [`LanePolicy::Modulo`].
+    pub stripe_min: usize,
     /// Largest payload sent eagerly; above this the rendezvous handshake
     /// (RTS/CTS/DATA) is used.
     pub eager_max: usize,
@@ -155,10 +191,24 @@ fn env_progress_threads() -> usize {
     *N.get_or_init(|| crate::env::read_usize_or("PIPMCOLL_PROGRESS_THREADS", 0))
 }
 
+/// `PIPMCOLL_LANE_POLICY` (`modulo`/`stripe`), parsed once; same
+/// fallback policy as [`env_heartbeat`].
+fn env_lane_policy() -> LanePolicy {
+    static P: std::sync::OnceLock<LanePolicy> = std::sync::OnceLock::new();
+    *P.get_or_init(|| {
+        std::env::var("PIPMCOLL_LANE_POLICY")
+            .ok()
+            .and_then(|v| LanePolicy::parse(&v))
+            .unwrap_or_default()
+    })
+}
+
 impl Default for TcpConfig {
     fn default() -> Self {
         TcpConfig {
             lanes: 4,
+            lane_policy: env_lane_policy(),
+            stripe_min: 8 * 1024,
             eager_max: 64 * 1024,
             queue_cap: 1024,
             rto: Duration::from_millis(25),
@@ -350,6 +400,10 @@ struct LaneCounters {
 struct RdvMsg {
     chan: ChanKey,
     seq: u64,
+    /// Segments the DATA phase will split into (fixed — and the
+    /// sequence range reserved — at `send` time, so the stripe decision
+    /// cannot drift between RTS and CTS as lanes die).
+    segs: usize,
     payload: Vec<u8>,
 }
 
@@ -485,6 +539,8 @@ struct Mesh {
     rdv_stash: Mutex<HashMap<u64, RdvMsg>>,
     next_rdv: AtomicU64,
     retransmits: AtomicU64,
+    /// Messages the stripe policy split into per-lane segments.
+    striped_msgs: AtomicU64,
     lane_ctrs: Vec<LaneCounters>,
     local_msgs: AtomicU64,
     local_bytes: AtomicU64,
@@ -615,11 +671,43 @@ impl Mesh {
             .collect()
     }
 
+    /// The lane a sending rank nominally stripes onto with every lane
+    /// alive — what a failure diagnostic names when none survive.
+    fn nominal_lane(&self, src: usize) -> usize {
+        self.topo.local_of(src) % self.cfg.lanes
+    }
+
     /// The lane a sending rank's traffic is striped onto right now: its
     /// local id modulo the *surviving* lanes, so killed lanes degrade
     /// onto the rest. `None` only if every lane is dead. Allocation-free
     /// — this sits on the eager send path.
     fn effective_lane(&self, src: usize) -> Option<usize> {
+        self.seg_lane(src, 0)
+    }
+
+    /// [`Mesh::effective_lane`] with the no-survivors case as the typed
+    /// error — the single helper both the send path and the retransmit
+    /// duty report through. (Each used to derive the fallback lane on
+    /// its own, so once lanes had died their diagnostics disagreed
+    /// about which lane was at fault.)
+    fn effective_lane_or_dead(
+        &self,
+        src: usize,
+        detail: impl FnOnce() -> String,
+    ) -> Result<usize, FabricError> {
+        self.effective_lane(src)
+            .ok_or_else(|| FabricError::LaneDead {
+                lane: self.nominal_lane(src),
+                detail: detail(),
+            })
+    }
+
+    /// The lane for segment `i` of a striped message from `src`: the
+    /// sender's stripe rotated round-robin over the surviving lanes
+    /// (segment 0 is exactly [`Mesh::effective_lane`], so an unstriped
+    /// message is the `i == 0` case). Allocation-free — this sits on
+    /// the eager send path.
+    fn seg_lane(&self, src: usize, i: usize) -> Option<usize> {
         let alive = |l: &usize| !self.killed[*l].load(Ordering::Relaxed);
         let count = (0..self.cfg.lanes).filter(alive).count();
         if count == 0 {
@@ -627,7 +715,31 @@ impl Mesh {
         }
         (0..self.cfg.lanes)
             .filter(alive)
-            .nth(self.topo.local_of(src) % count)
+            .nth((self.topo.local_of(src) + i) % count)
+    }
+
+    /// How many segments the lane policy splits a `len`-byte payload
+    /// into: 1 under [`LanePolicy::Modulo`], below
+    /// [`TcpConfig::stripe_min`], or with fewer than two surviving
+    /// lanes; otherwise one segment per surviving lane, renormalized so
+    /// every segment is non-empty and the count fits the u16 wire
+    /// field.
+    fn plan_segments(&self, len: usize) -> usize {
+        if self.cfg.lane_policy != LanePolicy::Stripe || len < self.cfg.stripe_min.max(1) {
+            return 1;
+        }
+        let alive = (0..self.cfg.lanes)
+            .filter(|&l| !self.killed[l].load(Ordering::Relaxed))
+            .count();
+        if alive < 2 {
+            return 1;
+        }
+        let want = alive.min(usize::from(u16::MAX));
+        // Recompute through the chunk size so exactly this many
+        // non-empty chunks come out even when `len` barely clears the
+        // threshold.
+        let seg_len = len.div_ceil(want).max(1);
+        len.div_ceil(seg_len).max(1)
     }
 
     /// Apply a cumulative ack on `chan`: every pending frame below
@@ -766,6 +878,8 @@ impl Mesh {
                 tag: chan.2,
                 seq: wm,
                 aux: 0,
+                seg_idx: 0,
+                seg_count: 0,
                 payload: Vec::new(),
             };
             if !self.push_ctrl_to(from, to, lane, self.pool.encode(&ack)) {
@@ -792,8 +906,13 @@ impl Mesh {
                 // the previous ack may be the thing that was lost, and
                 // the duplicate's watermark re-covers it.
                 let chan = frame.chan();
-                let (_, watermark) =
-                    self.stores[here].deliver_seq_watermark(chan, frame.seq, frame.payload);
+                let (_, watermark) = self.stores[here].deliver_seg_watermark(
+                    chan,
+                    frame.seq,
+                    frame.seg_idx,
+                    frame.seg_count,
+                    frame.payload,
+                );
                 self.note_owed(chan, watermark);
             }
             FrameKind::Data => {
@@ -803,8 +922,13 @@ impl Mesh {
                 // feeds the ack-RTT histogram — rendezvous-dominated
                 // workloads used to record no RTT samples at all.
                 let chan = frame.chan();
-                let (_, watermark) =
-                    self.stores[here].deliver_seq_watermark(chan, frame.seq, frame.payload);
+                let (_, watermark) = self.stores[here].deliver_seg_watermark(
+                    chan,
+                    frame.seq,
+                    frame.seg_idx,
+                    frame.seg_count,
+                    frame.payload,
+                );
                 self.note_owed(chan, watermark);
             }
             FrameKind::Rts => {
@@ -839,21 +963,42 @@ impl Mesh {
                     });
                     return;
                 };
-                let data = Frame {
-                    kind: FrameKind::Data,
-                    src: msg.chan.0 as u32,
-                    dst: msg.chan.1 as u32,
-                    tag: msg.chan.2,
-                    seq: msg.seq,
-                    aux: frame.aux,
-                    payload: msg.payload,
-                };
-                let buf = self.pool.encode(&data);
-                // Retransmit-protect the DATA before it can be lost —
-                // this is what makes a rendezvous transfer ack'd,
-                // measured, and recoverable.
-                self.register_pending(msg.chan, msg.seq, buf.clone());
-                self.push_ctrl_to(here, peer, lane, buf);
+                // The DATA phase honours the segment plan fixed at send
+                // time: `segs` frames on consecutive sequences, each an
+                // ordinary acked/retransmittable frame. Explicit ranges
+                // (not `chunks`) so even a degenerate plan still emits
+                // exactly `segs` frames.
+                let total = msg.payload.len();
+                let segs = msg.segs.max(1);
+                let seg_len = total.div_ceil(segs).max(1);
+                for i in 0..segs {
+                    let lo = (i * seg_len).min(total);
+                    let hi = ((i + 1) * seg_len).min(total);
+                    let data = Frame {
+                        kind: FrameKind::Data,
+                        src: msg.chan.0 as u32,
+                        dst: msg.chan.1 as u32,
+                        tag: msg.chan.2,
+                        seq: msg.seq + i as u64,
+                        aux: frame.aux,
+                        seg_idx: i as u16,
+                        seg_count: if segs > 1 { segs as u16 } else { 0 },
+                        payload: Vec::new(),
+                    };
+                    let buf = self.pool.encode_seg(&data, &msg.payload[lo..hi]);
+                    // Retransmit-protect the DATA before it can be lost
+                    // — this is what makes a rendezvous transfer ack'd,
+                    // measured, and recoverable.
+                    self.register_pending(msg.chan, msg.seq + i as u64, buf.clone());
+                    // Striped DATA scatters like striped eager; a single
+                    // DATA keeps the CTS arrival lane.
+                    let data_lane = if segs > 1 {
+                        self.seg_lane(msg.chan.0, i).unwrap_or(lane)
+                    } else {
+                        lane
+                    };
+                    self.push_ctrl_to(here, peer, data_lane, buf);
+                }
             }
             FrameKind::Ack => {
                 // `seq` is the receiver's next-expected watermark.
@@ -1068,15 +1213,17 @@ fn retransmit_pass(mesh: &Mesh, rng: &mut ChaosRng) {
     for (chan, seq, buf) in due {
         // Route via the *current* surviving-lane stripe, so frames lost
         // on a killed lane migrate to the survivors.
-        let Some(lane) = mesh.effective_lane(chan.0) else {
-            mesh.record(FabricError::LaneDead {
-                lane: 0,
-                detail: format!(
-                    "no surviving lane to retransmit {} -> {} tag {} seq {seq}",
-                    chan.0, chan.1, chan.2
-                ),
-            });
-            continue;
+        let lane = match mesh.effective_lane_or_dead(chan.0, || {
+            format!(
+                "no surviving lane to retransmit {} -> {} tag {} seq {seq}",
+                chan.0, chan.1, chan.2
+            )
+        }) {
+            Ok(l) => l,
+            Err(e) => {
+                mesh.record(e);
+                continue;
+            }
         };
         let from = mesh.topo.node_of(chan.0);
         let to = mesh.topo.node_of(chan.1);
@@ -1125,6 +1272,8 @@ fn heartbeat_pass(mesh: &Mesh) {
                 tag: 0,
                 seq: 0,
                 aux: 0,
+                seg_idx: 0,
+                seg_count: 0,
                 payload: Vec::new(),
             };
             if mesh.push_ctrl_to(a, b, lane, mesh.pool.encode(&beat)) {
@@ -1407,6 +1556,10 @@ impl TcpFabric {
         crate::env::validate()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         assert!(cfg.lanes >= 1, "a fabric needs at least one lane");
+        assert!(
+            cfg.lane_policy == LanePolicy::Modulo || cfg.stripe_min >= 1,
+            "stripe_min 0 would split every message, empty ones included"
+        );
         assert!(cfg.queue_cap >= 1, "send queues need capacity");
         assert!(!cfg.rto.is_zero(), "retransmit timeout must be positive");
         let nodes = topo.nodes();
@@ -1486,6 +1639,7 @@ impl TcpFabric {
             rdv_stash: Mutex::new(HashMap::new()),
             next_rdv: AtomicU64::new(0),
             retransmits: AtomicU64::new(0),
+            striped_msgs: AtomicU64::new(0),
             lane_ctrs,
             local_msgs: AtomicU64::new(0),
             local_bytes: AtomicU64::new(0),
@@ -1662,33 +1816,58 @@ impl Fabric for TcpFabric {
             mesh.stores[node_d].push(key, payload);
             return Ok(());
         }
+        // Fix the segment plan before anything else: it decides how many
+        // sequence numbers this message consumes *and* whether it goes
+        // eager — splitting first can turn a rendezvous-sized message
+        // into eager-sized segments, skipping the RTS/CTS round trip the
+        // whole message would have paid.
+        let segs = mesh.plan_segments(payload.len());
         let seq = {
             let mut g = mesh.seqs.lock().map_err(|_| FabricError::QueuePoisoned {
                 what: "sequence table",
             })?;
             let c = g.entry(key).or_insert(0);
             let s = *c;
-            *c += 1;
+            // Segments occupy consecutive sequences on the channel, so
+            // the receiver's hold-back ordering and cumulative acks see
+            // them as ordinary frames.
+            *c += segs as u64;
             s
         };
-        let Some(lane) = mesh.effective_lane(src) else {
-            return Err(FabricError::LaneDead {
-                lane: mesh.topo.local_of(src) % mesh.cfg.lanes,
-                detail: "no surviving lane".into(),
-            });
-        };
+        let lane = mesh.effective_lane_or_dead(src, || "no surviving lane".into())?;
         // Outbound traffic doubles as this node pair's heartbeat.
         mesh.note_sent(node_s, node_d);
+        // A message counts once, on its sender's primary lane, however
+        // many segments it splits into — stats totals stay message- and
+        // payload-exact under both policies.
         let ctrs = &mesh.lane_ctrs[lane];
         ctrs.msgs.fetch_add(1, Ordering::Relaxed);
         ctrs.bytes
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
-        let eager = payload.len() <= mesh.cfg.eager_max;
-        let frame = if eager {
+        let seg_len = if segs > 1 {
+            payload.len().div_ceil(segs)
+        } else {
+            payload.len()
+        };
+        let eager = seg_len <= mesh.cfg.eager_max;
+        let push_to = |q: &Arc<SendQueue>, lane: usize, buf: FrameBuf| {
+            q.push_user(buf).map_err(|e| match e {
+                PushError::Timeout(waited) => FabricError::PeerHung {
+                    chan: key,
+                    attempts: 0,
+                    detail: format!(
+                        "send queue on lane {lane} stayed full for {waited:?} — receiver not draining"
+                    ),
+                },
+                PushError::Poisoned => FabricError::QueuePoisoned { what: "send queue" },
+            })
+        };
+        if eager {
             // Piggyback any cumulative ack owed on the reverse channel
             // in the spare `aux` field (watermark + 1; 0 = none). The
             // `owed_len` gate keeps the common no-acks-owed case to one
-            // relaxed load.
+            // relaxed load. A striped message carries it on segment 0
+            // only.
             let mut aux = 0;
             if mesh.owed_len.load(Ordering::Relaxed) > 0 {
                 if let Ok(mut owed) = mesh.acks_owed.lock() {
@@ -1698,14 +1877,66 @@ impl Fabric for TcpFabric {
                     }
                 }
             }
-            Frame {
-                kind: FrameKind::Eager,
-                src: src as u32,
-                dst: dst as u32,
-                tag: key.2,
-                seq,
-                aux,
-                payload,
+            if segs > 1 {
+                mesh.striped_msgs.fetch_add(1, Ordering::Relaxed);
+            }
+            let chaos = mesh.chaos.lock().ok().and_then(|g| g.clone());
+            let mut stalled = false;
+            for i in 0..segs {
+                let lo = (i * seg_len).min(payload.len());
+                let hi = ((i + 1) * seg_len).min(payload.len());
+                let seg_seq = seq + i as u64;
+                let frame = Frame {
+                    kind: FrameKind::Eager,
+                    src: src as u32,
+                    dst: dst as u32,
+                    tag: key.2,
+                    seq: seg_seq,
+                    aux: if i == 0 { aux } else { 0 },
+                    seg_idx: i as u16,
+                    seg_count: if segs > 1 { segs as u16 } else { 0 },
+                    payload: Vec::new(),
+                };
+                // The one encode on the eager path: header + payload
+                // laid out into a pooled buffer; every holder below is
+                // a refcount.
+                let buf = mesh.pool.encode_seg(&frame, &payload[lo..hi]);
+                // Scatter: segment i rides lane (stripe + i) over the
+                // survivors; an unstriped message is the i == 0 case on
+                // its usual lane.
+                let seg_lane = mesh.seg_lane(src, i).unwrap_or(lane);
+                let q = mesh
+                    .queues
+                    .get(&(node_s, node_d, seg_lane))
+                    .ok_or_else(|| FabricError::LaneDead {
+                        lane: seg_lane,
+                        detail: "no send queue for this node pair".into(),
+                    })?;
+                // Register for retransmit before the frame can be lost.
+                // The pending queue holds a refcount on the same pooled
+                // bytes — sequence numbers only grow, so the cumulative
+                // ack pops a prefix and the deque keeps its allocation.
+                mesh.register_pending(key, seg_seq, buf.clone());
+                // Chaos rolls a fate per segment: each is an ordinary
+                // frame to lose, duplicate, recover.
+                let fate = chaos.as_ref().map_or(FrameFate::Deliver, |c| c.fate());
+                let pushed = match fate {
+                    // "Lost on the wire": the retransmit duty recovers
+                    // it.
+                    FrameFate::Drop => false,
+                    FrameFate::Dup => {
+                        let a = push_to(q, seg_lane, buf.clone())?;
+                        let b = push_to(q, seg_lane, buf)?;
+                        a || b
+                    }
+                    FrameFate::Deliver => push_to(q, seg_lane, buf)?,
+                };
+                stalled |= pushed;
+                // The frame is queued; wake the worker driving its lane.
+                mesh.notify_owner(node_s, node_d, seg_lane);
+            }
+            if stalled {
+                ctrs.stalls.fetch_add(1, Ordering::Relaxed);
             }
         } else {
             let rdv = mesh.next_rdv.fetch_add(1, Ordering::Relaxed);
@@ -1719,74 +1950,41 @@ impl Fabric for TcpFabric {
                     RdvMsg {
                         chan: key,
                         seq,
+                        segs,
                         payload,
                     },
                 );
-            Frame {
+            if segs > 1 {
+                mesh.striped_msgs.fetch_add(1, Ordering::Relaxed);
+            }
+            let rts = Frame {
                 kind: FrameKind::Rts,
                 src: src as u32,
                 dst: dst as u32,
                 tag: key.2,
                 seq,
                 aux: rdv,
+                seg_idx: 0,
+                seg_count: 0,
                 payload: Vec::new(),
-            }
-        };
-        // The one encode on the eager path: header + payload laid out
-        // into a pooled buffer; every holder below is a refcount.
-        let buf = mesh.pool.encode(&frame);
-        let q = mesh
-            .queues
-            .get(&(node_s, node_d, lane))
-            .ok_or_else(|| FabricError::LaneDead {
-                lane,
-                detail: "no send queue for this node pair".into(),
-            })?;
-        let push = |buf: FrameBuf| {
-            q.push_user(buf).map_err(|e| match e {
-                PushError::Timeout(waited) => FabricError::PeerHung {
-                    chan: key,
-                    attempts: 0,
-                    detail: format!(
-                        "send queue on lane {lane} stayed full for {waited:?} — receiver not draining"
-                    ),
-                },
-                PushError::Poisoned => FabricError::QueuePoisoned { what: "send queue" },
-            })
-        };
-        if eager {
-            // Register for retransmit before the frame can be lost. The
-            // pending queue holds a refcount on the same pooled bytes —
-            // sequence numbers only grow, so the cumulative ack pops a
-            // prefix and the deque keeps its allocation.
-            mesh.register_pending(key, seq, buf.clone());
-            let fate = {
-                let chaos = mesh.chaos.lock().ok().and_then(|g| g.clone());
-                chaos.map_or(FrameFate::Deliver, |c| c.fate())
             };
-            let stalled = match fate {
-                // "Lost on the wire": the retransmit duty recovers it.
-                FrameFate::Drop => false,
-                FrameFate::Dup => {
-                    let a = push(buf.clone())?;
-                    let b = push(buf)?;
-                    a || b
-                }
-                FrameFate::Deliver => push(buf)?,
-            };
-            if stalled {
-                ctrs.stalls.fetch_add(1, Ordering::Relaxed);
-            }
-        } else {
-            // The RTS itself is not retransmitted; the DATA frame it
-            // eventually provokes is (registered at CTS time). A lost
+            let buf = mesh.pool.encode(&rts);
+            let q =
+                mesh.queues
+                    .get(&(node_s, node_d, lane))
+                    .ok_or_else(|| FabricError::LaneDead {
+                        lane,
+                        detail: "no send queue for this node pair".into(),
+                    })?;
+            // The RTS itself is not retransmitted; the DATA frames it
+            // eventually provokes are (registered at CTS time). A lost
             // handshake surfaces as a timeout.
-            if push(buf)? {
+            if push_to(q, lane, buf)? {
                 ctrs.stalls.fetch_add(1, Ordering::Relaxed);
             }
+            // The frame is queued; wake the worker that drives this lane.
+            mesh.notify_owner(node_s, node_d, lane);
         }
-        // The frame is queued; wake the worker that drives this lane.
-        mesh.notify_owner(node_s, node_d, lane);
         Ok(())
     }
 
@@ -1838,6 +2036,7 @@ impl Fabric for TcpFabric {
             local_msgs: mesh.local_msgs.load(Ordering::Relaxed),
             local_bytes: mesh.local_bytes.load(Ordering::Relaxed),
             retransmits: mesh.retransmits.load(Ordering::Relaxed),
+            striped_msgs: mesh.striped_msgs.load(Ordering::Relaxed),
             dups_dropped: mesh.stores.iter().map(|s| s.dups_dropped()).sum(),
             ack_rtt: mesh.ack_rtt.snapshot(),
             ctrl_queue_hwm: mesh
@@ -2313,6 +2512,111 @@ mod tests {
             }
             other => panic!("expected timeout, got {other:?}"),
         }
+    }
+
+    fn striped(lanes: usize, stripe_min: usize, eager_max: usize) -> TcpFabric {
+        TcpFabric::connect(
+            Topology::new(2, 4),
+            TcpConfig {
+                lanes,
+                lane_policy: LanePolicy::Stripe,
+                stripe_min,
+                eager_max,
+                rto: Duration::from_millis(5),
+                ..TcpConfig::default()
+            },
+        )
+        .expect("loopback fabric")
+    }
+
+    #[test]
+    fn striped_eager_message_scatters_over_all_lanes() {
+        let f = striped(4, 16, 64 * 1024);
+        let big: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        f.send((0, 4, 0), big.clone()).unwrap();
+        assert_eq!(f.recv((0, 4, 0)).unwrap(), big);
+        let s = f.stats();
+        assert_eq!(s.total_msgs(), 1, "a striped message still counts once");
+        assert_eq!(s.total_bytes(), 8192);
+        assert_eq!(s.striped_msgs, 1);
+    }
+
+    #[test]
+    fn striping_bypasses_rendezvous_when_segments_fit_eager() {
+        // 8 KiB payload, eager_max 4 KiB: whole-message would go
+        // rendezvous, but 4 lanes make 2 KiB segments — all eager, so
+        // the rendezvous stash is never touched.
+        let f = striped(4, 16, 4 * 1024);
+        let big: Vec<u8> = (0..8192u32).map(|i| (i % 249) as u8).collect();
+        f.send((1, 4, 2), big.clone()).unwrap();
+        assert_eq!(f.recv((1, 4, 2)).unwrap(), big);
+        assert_eq!(f.stats().striped_msgs, 1);
+    }
+
+    #[test]
+    fn striped_rendezvous_payload_is_intact() {
+        // eager_max 16: even 1/4 segments exceed it, so the transfer
+        // takes the RTS/CTS path and DATA itself is striped.
+        let f = striped(4, 16, 16);
+        let big: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        f.send((0, 4, 3), big.clone()).unwrap();
+        assert_eq!(f.recv((0, 4, 3)).unwrap(), big);
+        assert_eq!(f.stats().striped_msgs, 1);
+    }
+
+    #[test]
+    fn small_messages_stay_on_the_modulo_fast_path_under_stripe() {
+        let f = striped(4, 1024, 64 * 1024);
+        for src in 0..4 {
+            f.send((src, 4, 0), vec![src as u8; 8]).unwrap();
+        }
+        for src in 0..4 {
+            assert_eq!(f.recv((src, 4, 0)).unwrap(), vec![src as u8; 8]);
+        }
+        let s = f.stats();
+        assert_eq!(s.striped_msgs, 0, "below stripe_min nothing splits");
+        for lane in 0..4 {
+            assert_eq!(s.lanes[lane].msgs, 1, "one sender per lane");
+        }
+    }
+
+    #[test]
+    fn striped_fifo_survives_interleaving_and_a_lane_kill() {
+        let f = striped(4, 64, 64 * 1024);
+        let mk = |i: u8, n: usize| vec![i; n];
+        for i in 0..6u8 {
+            // Alternate striped (256 B) and unstriped (8 B) messages on
+            // one channel; kill a lane mid-stream.
+            f.send((0, 4, 1), mk(i, if i % 2 == 0 { 256 } else { 8 }))
+                .unwrap();
+            if i == 3 {
+                assert!(f.kill_lane(2));
+            }
+        }
+        for i in 0..6u8 {
+            let want = mk(i, if i % 2 == 0 { 256 } else { 8 });
+            assert_eq!(f.recv((0, 4, 1)).unwrap(), want, "message {i}");
+        }
+    }
+
+    #[test]
+    fn striped_eager_recovers_from_chaos_drops() {
+        let f = striped(2, 64, 64 * 1024);
+        let wire = Arc::new(WireChaos::new(&ChaosConfig {
+            drop: 0.3,
+            seed: 17,
+            ..ChaosConfig::default()
+        }));
+        assert!(f.install_chaos(Arc::clone(&wire)));
+        let msgs: Vec<Vec<u8>> = (0..30u8).map(|i| vec![i; 200]).collect();
+        for m in &msgs {
+            f.send((0, 4, 5), m.clone()).unwrap();
+        }
+        for m in &msgs {
+            assert_eq!(&f.recv((0, 4, 5)).unwrap(), m);
+        }
+        assert!(wire.dropped() > 0, "seed 17 must drop something in 60 segs");
+        assert!(f.drain_errors().is_empty(), "recovery is not an error");
     }
 
     #[test]

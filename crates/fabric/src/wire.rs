@@ -1,7 +1,7 @@
 //! The TCP backend's wire protocol: length-prefixed frames with an
 //! eager/rendezvous split.
 //!
-//! Every frame starts with a fixed 37-byte little-endian header:
+//! Every frame starts with a fixed 41-byte little-endian header:
 //!
 //! ```text
 //! offset  size  field
@@ -11,8 +11,10 @@
 //!      9     4  tag
 //!     13     8  seq         per-channel sequence (EAGER/RTS/DATA/ACK)
 //!     21     8  aux         rendezvous transfer id (RTS/CTS/DATA)
-//!     29     8  payload len
-//!     37     …  payload     (EAGER and DATA only)
+//!     29     2  seg_idx     segment index within a striped message
+//!     31     2  seg_count   total segments (0 or 1 = unsegmented)
+//!     33     8  payload len
+//!     41     …  payload     (EAGER and DATA only)
 //! ```
 //!
 //! Small messages travel as a single `EAGER` frame. Above the eager
@@ -38,6 +40,15 @@
 //! retransmits idempotent, and any later delivery on the channel
 //! re-raises the watermark — so a lost ack costs one duplicate frame,
 //! never a duplicate message, and never a stuck sender.
+//!
+//! Under the stripe lane policy (`tcp::LanePolicy::Stripe`) one large
+//! message is split into up to k segments, each an ordinary sequenced
+//! frame on its own lane. `seg_idx`/`seg_count` tell the receive side
+//! how to reassemble: segments of one message occupy *consecutive*
+//! channel sequence numbers, so the existing hold-back/dedup machinery
+//! orders and de-duplicates them for free, and `store::MsgStore` glues
+//! `seg_count` consecutive deliveries back into one message before FIFO
+//! release. `seg_count` 0 or 1 means the frame carries a whole message.
 
 use std::io::{self, Read};
 
@@ -82,7 +93,7 @@ impl FrameKind {
 }
 
 /// Size of the fixed frame header in bytes.
-pub const HEADER_LEN: usize = 37;
+pub const HEADER_LEN: usize = 41;
 
 /// One wire frame (header fields plus owned payload).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -102,6 +113,12 @@ pub struct Frame {
     /// cumulative ack for the reverse channel (EAGER): `watermark + 1`,
     /// with 0 meaning no ack aboard.
     pub aux: u64,
+    /// Segment index within a striped message (EAGER/DATA under the
+    /// stripe lane policy); 0 otherwise.
+    pub seg_idx: u16,
+    /// Total segments of the striped message this frame belongs to.
+    /// 0 or 1 means the frame carries a whole, unsegmented message.
+    pub seg_count: u16,
     /// Inline payload (EAGER/DATA; empty otherwise).
     pub payload: Vec<u8>,
 }
@@ -118,16 +135,26 @@ impl Frame {
     /// existing capacity — this is how pooled frame buffers avoid a
     /// fresh allocation per message (see `pool::FramePool::encode`).
     pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.encode_into_with(out, &self.payload);
+    }
+
+    /// [`Frame::encode_into`] with the payload supplied as a slice,
+    /// ignoring `self.payload`. This is how the stripe send path encodes
+    /// each segment straight from a sub-slice of the caller's message —
+    /// one header per segment, zero intermediate payload copies.
+    pub fn encode_into_with(&self, out: &mut Vec<u8>, payload: &[u8]) {
         out.clear();
-        out.reserve(HEADER_LEN + self.payload.len());
+        out.reserve(HEADER_LEN + payload.len());
         out.push(self.kind as u8);
         out.extend_from_slice(&self.src.to_le_bytes());
         out.extend_from_slice(&self.dst.to_le_bytes());
         out.extend_from_slice(&self.tag.to_le_bytes());
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&self.aux.to_le_bytes());
-        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&self.seg_idx.to_le_bytes());
+        out.extend_from_slice(&self.seg_count.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload);
     }
 
     /// Read one frame from `r` (blocking). `Err` on EOF or a malformed
@@ -141,7 +168,9 @@ impl Frame {
         let tag = u32::from_le_bytes(h[9..13].try_into().unwrap());
         let seq = u64::from_le_bytes(h[13..21].try_into().unwrap());
         let aux = u64::from_le_bytes(h[21..29].try_into().unwrap());
-        let len = u64::from_le_bytes(h[29..37].try_into().unwrap());
+        let seg_idx = u16::from_le_bytes(h[29..31].try_into().unwrap());
+        let seg_count = u16::from_le_bytes(h[31..33].try_into().unwrap());
+        let len = u64::from_le_bytes(h[33..41].try_into().unwrap());
         let len = usize::try_from(len)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame length overflow"))?;
         let mut payload = vec![0u8; len];
@@ -153,6 +182,8 @@ impl Frame {
             tag,
             seq,
             aux,
+            seg_idx,
+            seg_count,
             payload,
         })
     }
@@ -189,7 +220,7 @@ impl Frame {
             return Ok(None);
         }
         let kind = FrameKind::from_u8(bytes[0])?;
-        let len = u64::from_le_bytes(bytes[29..37].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[33..41].try_into().unwrap());
         let len = usize::try_from(len)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame length overflow"))?;
         let total = HEADER_LEN
@@ -206,6 +237,8 @@ impl Frame {
                 tag: u32::from_le_bytes(bytes[9..13].try_into().unwrap()),
                 seq: u64::from_le_bytes(bytes[13..21].try_into().unwrap()),
                 aux: u64::from_le_bytes(bytes[21..29].try_into().unwrap()),
+                seg_idx: u16::from_le_bytes(bytes[29..31].try_into().unwrap()),
+                seg_count: u16::from_le_bytes(bytes[31..33].try_into().unwrap()),
                 payload: bytes[HEADER_LEN..total].to_vec(),
             },
             total,
@@ -288,6 +321,8 @@ mod tests {
                 tag: 42,
                 seq: 9,
                 aux: 77,
+                seg_idx: 2,
+                seg_count: 5,
                 payload,
             };
             let bytes = f.encode();
@@ -307,6 +342,8 @@ mod tests {
             tag: 0,
             seq: 0,
             aux: 0,
+            seg_idx: 0,
+            seg_count: 0,
             payload: vec![],
         };
         let mut cursor = &f.encode()[..];
@@ -322,11 +359,54 @@ mod tests {
             tag: 3,
             seq: 4,
             aux: 5,
+            seg_idx: 1,
+            seg_count: 2,
             payload: vec![6, 7],
         };
         let mut buf = vec![0xFFu8; 500];
         f.encode_into(&mut buf);
         assert_eq!(buf, f.encode());
+    }
+
+    #[test]
+    fn segment_fields_sit_at_their_documented_offsets() {
+        let f = Frame {
+            kind: FrameKind::Data,
+            src: 1,
+            dst: 2,
+            tag: 3,
+            seq: 10,
+            aux: 4,
+            seg_idx: 3,
+            seg_count: 7,
+            payload: vec![0xAA; 5],
+        };
+        let bytes = f.encode();
+        assert_eq!(u16::from_le_bytes(bytes[29..31].try_into().unwrap()), 3);
+        assert_eq!(u16::from_le_bytes(bytes[31..33].try_into().unwrap()), 7);
+        assert_eq!(u64::from_le_bytes(bytes[33..41].try_into().unwrap()), 5);
+        let back = Frame::read_from(&mut &bytes[..]).unwrap();
+        assert_eq!((back.seg_idx, back.seg_count), (3, 7));
+    }
+
+    #[test]
+    fn encode_into_with_substitutes_the_payload() {
+        let f = Frame {
+            kind: FrameKind::Eager,
+            src: 1,
+            dst: 2,
+            tag: 3,
+            seq: 4,
+            aux: 0,
+            seg_idx: 1,
+            seg_count: 4,
+            payload: vec![],
+        };
+        let mut out = Vec::new();
+        f.encode_into_with(&mut out, &[9, 8, 7]);
+        let mut whole = f.clone();
+        whole.payload = vec![9, 8, 7];
+        assert_eq!(out, whole.encode(), "slice payload encodes identically");
     }
 
     #[test]
@@ -339,6 +419,8 @@ mod tests {
                 tag: 2,
                 seq: i as u64,
                 aux: 0,
+                seg_idx: 0,
+                seg_count: 0,
                 payload: vec![i; 10 + i as usize * 7],
             })
             .collect();
@@ -368,6 +450,8 @@ mod tests {
             tag: 0,
             seq: 0,
             aux: 0,
+            seg_idx: 0,
+            seg_count: 0,
             payload: vec![1, 2],
         }
         .encode();
@@ -389,6 +473,8 @@ mod tests {
             tag: 0,
             seq: 0,
             aux: 0,
+            seg_idx: 0,
+            seg_count: 0,
             payload: vec![],
         }
         .encode();

@@ -10,12 +10,20 @@
 //! A final deterministic-chaos configuration (seeded 5% drop + 2% dup
 //! on eager frames) holds the semantics even while the ack/retransmit
 //! and sequence-dedup recovery machinery is doing real work.
+//!
+//! The whole TCP grid runs once per lane *policy*: modulo (each
+//! channel pinned to one lane) and stripe (messages scattered over
+//! every live lane as per-lane segments and reassembled in order).
+//! The stripe configurations set `stripe_min` to 4 bytes so the
+//! suite's 4–28-byte payloads genuinely split — under the default
+//! 8 KiB floor every message here would ride the modulo fast path and
+//! the striped reassembly/FIFO machinery would go untested.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use pipmcoll_fabric::{
-    ChanKey, ChaosConfig, ChaosFabric, Fabric, InProcFabric, TcpConfig, TcpFabric,
+    ChanKey, ChaosConfig, ChaosFabric, Fabric, InProcFabric, LanePolicy, TcpConfig, TcpFabric,
 };
 use pipmcoll_model::Topology;
 
@@ -24,53 +32,60 @@ fn topo() -> Topology {
     Topology::new(2, 4)
 }
 
+/// A TCP config under `policy`, with `stripe_min` small enough that
+/// this suite's payloads actually stripe.
+fn tcp_config(lanes: usize, policy: LanePolicy) -> TcpConfig {
+    TcpConfig {
+        lanes,
+        lane_policy: policy,
+        stripe_min: 4,
+        ..TcpConfig::default()
+    }
+}
+
 /// Run `check` against every backend configuration.
 fn conformance(check: impl Fn(&dyn Fabric)) {
     let inproc = InProcFabric::new();
     check(&inproc);
-    for lanes in [1, 2, 4] {
-        let tcp = TcpFabric::connect(
+    for policy in [LanePolicy::Modulo, LanePolicy::Stripe] {
+        for lanes in [1, 2, 4] {
+            let tcp =
+                TcpFabric::connect(topo(), tcp_config(lanes, policy)).expect("loopback fabric");
+            check(&tcp);
+        }
+        // Force every payload above 8 bytes through the rendezvous
+        // path (under stripe: striped DATA segments).
+        let rdv = TcpFabric::connect(
             topo(),
             TcpConfig {
-                lanes,
-                ..TcpConfig::default()
+                eager_max: 8,
+                ..tcp_config(2, policy)
             },
         )
         .expect("loopback fabric");
-        check(&tcp);
-    }
-    // Force every payload above 8 bytes through the rendezvous path.
-    let rdv = TcpFabric::connect(
-        topo(),
-        TcpConfig {
-            lanes: 2,
-            eager_max: 8,
-            ..TcpConfig::default()
-        },
-    )
-    .expect("loopback fabric");
-    check(&rdv);
-    // Deterministic chaos over TCP: 5% of eager frames dropped, 2%
-    // duplicated, fixed seed. A fast retransmit clock keeps recovery
-    // inside test time; the semantics must be indistinguishable.
-    let chaotic = ChaosFabric::new(
-        TcpFabric::connect(
-            topo(),
-            TcpConfig {
-                lanes: 2,
-                rto: Duration::from_millis(5),
-                ..TcpConfig::default()
+        check(&rdv);
+        // Deterministic chaos over TCP: 5% of eager frames dropped, 2%
+        // duplicated, fixed seed. A fast retransmit clock keeps
+        // recovery inside test time; the semantics must be
+        // indistinguishable — segment retransmit and dedup included.
+        let chaotic = ChaosFabric::new(
+            TcpFabric::connect(
+                topo(),
+                TcpConfig {
+                    rto: Duration::from_millis(5),
+                    ..tcp_config(2, policy)
+                },
+            )
+            .expect("loopback fabric"),
+            ChaosConfig {
+                drop: 0.05,
+                dup: 0.02,
+                seed: 42,
+                ..ChaosConfig::default()
             },
-        )
-        .expect("loopback fabric"),
-        ChaosConfig {
-            drop: 0.05,
-            dup: 0.02,
-            seed: 42,
-            ..ChaosConfig::default()
-        },
-    );
-    check(&chaotic);
+        );
+        check(&chaotic);
+    }
 }
 
 /// Deterministic payload for message `i` on a channel: identifies both
@@ -363,6 +378,29 @@ fn cumulative_acks_survive_reordered_and_duplicated_frames() {
         "15% drop + 10% dup at n=240 must exercise dedup (got {:?})",
         s
     );
+}
+
+#[test]
+fn stripe_configs_actually_stripe() {
+    // Guard against the whole stripe half of the grid running vacuously
+    // on the modulo fast path: with stripe_min = 4 and 2+ lanes, the
+    // suite's multi-byte payloads must register as striped messages.
+    let f = TcpFabric::connect(topo(), tcp_config(4, LanePolicy::Stripe)).unwrap();
+    let key: ChanKey = (0, 5, 2);
+    for i in 0..20 {
+        f.send(key, payload(key, i)).unwrap();
+    }
+    for i in 0..20 {
+        assert_eq!(f.recv(key).unwrap(), payload(key, i));
+    }
+    let s = f.stats();
+    assert!(
+        s.striped_msgs > 0,
+        "no message striped under LanePolicy::Stripe with stripe_min 4: {s:?}"
+    );
+    // Stats still book each striped message exactly once (on its
+    // primary lane) — the invariant the accounting tests rely on.
+    assert_eq!(s.total_msgs(), 20, "{s:?}");
 }
 
 #[test]
