@@ -144,6 +144,9 @@ pub fn validate() -> Result<(), EnvError> {
     read_usize("PIPMCOLL_POOL_CAP", "a whole number of buffers")?;
     read_ms("PIPMCOLL_HEARTBEAT_MS", "a millisecond count")?;
     read_usize("PIPMCOLL_PROGRESS_THREADS", "a thread count")?;
+    read_ms("PIPMCOLL_BROWNOUT_MS", "a millisecond count (0 disables)")?;
+    read_u64("PIPMCOLL_BROWNOUT_RETRANSMITS", "a retransmit count")?;
+    read_u64("PIPMCOLL_BROWNOUT_P99_MS", "a millisecond count")?;
     if let Some(lanes) = read_usize("PIPMCOLL_FABRIC_LANES", "a positive lane count")? {
         if lanes == 0 {
             return Err(EnvError {

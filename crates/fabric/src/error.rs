@@ -136,13 +136,20 @@ pub enum FabricError {
         /// Which structure.
         what: &'static str,
     },
-    /// A control frame that does not correspond to any in-flight
-    /// transfer (e.g. a CTS naming an unknown rendezvous id).
+    /// A frame (or byte stream) the receiver could not make sense of: a
+    /// control frame naming no in-flight transfer, a garbled stream, or
+    /// a peer speaking a different wire-format version.
     MalformedFrame {
         /// Lane the frame arrived on.
         lane: usize,
         /// What was wrong with it.
         detail: String,
+        /// The wire-format version this build speaks, when the problem
+        /// is a version mismatch (`None` otherwise).
+        expected_version: Option<u8>,
+        /// The version the peer's frame declared, when the problem is a
+        /// version mismatch (`None` otherwise).
+        got: Option<u8>,
     },
     /// A malformed `PIPMCOLL_*` environment variable, caught by
     /// [`crate::env::validate`] at fabric construction — the typo fails
@@ -183,8 +190,17 @@ impl fmt::Display for FabricError {
             FabricError::QueuePoisoned { what } => {
                 write!(f, "{what} poisoned by a panicking thread")
             }
-            FabricError::MalformedFrame { lane, detail } => {
-                write!(f, "malformed frame on lane {lane}: {detail}")
+            FabricError::MalformedFrame {
+                lane,
+                detail,
+                expected_version,
+                got,
+            } => {
+                write!(f, "malformed frame on lane {lane}: {detail}")?;
+                if let (Some(exp), Some(got)) = (expected_version, got) {
+                    write!(f, " (peer speaks wire version {got}, this build {exp})")?;
+                }
+                Ok(())
             }
             FabricError::Config { var, detail } => {
                 write!(f, "bad configuration {var}: {detail}")
@@ -297,10 +313,19 @@ pub struct FabricHealth {
     pub dead_peers: Vec<DeadPeer>,
     /// Lanes currently dead.
     pub dead_lanes: Vec<usize>,
+    /// Lanes demoted by the brownout detector: alive but degraded
+    /// (retransmit rate or ack-RTT p99 over threshold), temporarily
+    /// excluded from lane selection while recovery probes decide
+    /// whether to restore them. Deliberately *not* part of
+    /// [`FabricHealth::is_clean`]: a browned lane is a performance
+    /// state, not a failure — escalating it to the failure detector is
+    /// exactly the gray-failure over-reaction brownout exists to avoid.
+    pub browned_lanes: Vec<usize>,
 }
 
 impl FabricHealth {
-    /// True when nothing is suspected or dead.
+    /// True when nothing is suspected or dead (browned lanes do not
+    /// count — see [`FabricHealth::browned_lanes`]).
     pub fn is_clean(&self) -> bool {
         self.suspected_nodes.is_empty() && self.dead_peers.is_empty() && self.dead_lanes.is_empty()
     }
@@ -392,6 +417,37 @@ mod tests {
         for needle in ["rank 4", "seq 17", "8 attempt"] {
             assert!(msg.contains(needle), "missing {needle:?} in {msg}");
         }
+    }
+
+    #[test]
+    fn malformed_frame_display_types_a_version_mismatch() {
+        let msg = FabricError::MalformedFrame {
+            lane: 2,
+            detail: "unreadable frame from node 1".into(),
+            expected_version: Some(1),
+            got: Some(3),
+        }
+        .to_string();
+        for needle in ["lane 2", "wire version 3", "this build 1"] {
+            assert!(msg.contains(needle), "missing {needle:?} in {msg}");
+        }
+        let plain = FabricError::MalformedFrame {
+            lane: 0,
+            detail: "CTS names unknown transfer 9".into(),
+            expected_version: None,
+            got: None,
+        }
+        .to_string();
+        assert!(!plain.contains("version"), "{plain}");
+    }
+
+    #[test]
+    fn browned_lanes_do_not_dirty_health() {
+        let h = FabricHealth {
+            browned_lanes: vec![1],
+            ..FabricHealth::default()
+        };
+        assert!(h.is_clean(), "brownout is degradation, not failure");
     }
 
     #[test]

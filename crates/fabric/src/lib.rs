@@ -61,7 +61,7 @@ use std::time::Duration;
 
 use pipmcoll_model::Topology;
 
-pub use chaos::{ChaosConfig, ChaosFabric, ChaosRng, WireChaos};
+pub use chaos::{ChaosConfig, ChaosFabric, ChaosRng, FrameFate, WireChaos};
 pub use env::EnvError;
 pub use error::{
     BlockedRecv, DeadPeer, FabricDiag, FabricError, FabricHealth, FabricResult, QueueDiag,
@@ -73,6 +73,7 @@ pub use stats::{FabricStats, LaneStats, LatencyHist, LatencySnapshot};
 pub use tcp::{LanePolicy, TcpConfig, TcpFabric};
 pub use timeout::sync_timeout;
 pub use wait::{spin_budget, Spinner};
+pub use wire::{WireError, WIRE_VERSION};
 
 /// A point-to-point channel: `(src rank, dst rank, tag)`. Matching and
 /// FIFO order are per channel, exactly MPI's non-overtaking rule.

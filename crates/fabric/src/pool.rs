@@ -163,6 +163,20 @@ impl FramePool {
         buf
     }
 
+    /// A pooled copy of already-encoded bytes. The chaos corrupt hook
+    /// uses this to bit-flip a *copy* of a frame for the wire while the
+    /// retransmit pending table keeps a refcount on the pristine
+    /// original — injected corruption must be recoverable by
+    /// retransmit, so the stored bytes must stay clean.
+    pub fn copy_bytes(&self, bytes: &[u8]) -> FrameBuf {
+        let mut buf = self.acquire(bytes.len());
+        let inner = Arc::get_mut(buf.arc.as_mut().expect("fresh FrameBuf holds its arc"))
+            .expect("freshly acquired buffer is uniquely owned");
+        inner.data.clear();
+        inner.data.extend_from_slice(bytes);
+        buf
+    }
+
     /// Point-in-time pool counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
@@ -187,6 +201,14 @@ impl FrameBuf {
         self.arc
             .as_ref()
             .expect("FrameBuf holds its arc until drop")
+    }
+
+    /// Mutable access to the bytes, available only while this handle is
+    /// the sole owner (i.e. before the buffer is shared with a send
+    /// queue or pending table). `None` once cloned — shared frame bytes
+    /// are immutable by construction.
+    pub fn as_mut_slice(&mut self) -> Option<&mut [u8]> {
+        Arc::get_mut(self.arc.as_mut()?).map(|inner| inner.data.as_mut_slice())
     }
 }
 
@@ -376,6 +398,18 @@ mod tests {
         let reused = pool.encode(&small);
         assert_eq!(pool.stats().hits, 1, "must exercise the recycled path");
         assert_eq!(&*reused, small.encode().as_slice());
+    }
+
+    #[test]
+    fn copy_bytes_is_independent_and_mutable_until_shared() {
+        let pool = FramePool::with_cap(4);
+        let original = pool.encode(&frame(vec![7; 24]));
+        let mut copy = pool.copy_bytes(&original);
+        assert_eq!(&*copy, &*original);
+        copy.as_mut_slice().expect("sole owner can mutate")[0] ^= 0xFF;
+        assert_ne!(&*copy, &*original, "the original stays pristine");
+        let _shared = copy.clone();
+        assert!(copy.as_mut_slice().is_none(), "shared bytes are frozen");
     }
 
     #[test]

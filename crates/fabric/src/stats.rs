@@ -43,6 +43,15 @@ impl LatencyHist {
         LatencyHist::default()
     }
 
+    /// Forget every sample. The brownout detector wipes a restored
+    /// lane's history with this, so degraded-era samples cannot keep
+    /// re-demoting a lane that has recovered.
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Record one sample.
     pub fn record(&self, d: Duration) {
         let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).max(1);
@@ -121,6 +130,11 @@ pub struct FabricStats {
     pub retransmits: u64,
     /// Wire re-deliveries suppressed by receiver sequence dedup.
     pub dups_dropped: u64,
+    /// Inbound frames discarded because their CRC-32C failed (line
+    /// noise, real or injected). Each one is recovered by the sender's
+    /// retransmit exactly like a dropped frame — a non-zero count with
+    /// correct results is the integrity layer working.
+    pub corrupt_frames: u64,
     /// Messages the stripe lane policy split into per-lane segments
     /// (each still counts once in `lanes[..].msgs`); always 0 under the
     /// modulo policy.

@@ -101,7 +101,7 @@ use crate::stats::{FabricStats, LaneStats, LatencyHist};
 use crate::store::MsgStore;
 use crate::timeout::sync_timeout;
 use crate::wait::{Spinner, WorkSignal};
-use crate::wire::{Frame, FrameDecoder, FrameKind};
+use crate::wire::{Frame, FrameDecoder, FrameKind, WireError};
 use crate::{ChanKey, Fabric};
 
 /// How a sender's traffic maps onto the k lanes of a node pair.
@@ -174,6 +174,21 @@ pub struct TcpConfig {
     /// a worker with nothing to drive. Default from
     /// `PIPMCOLL_PROGRESS_THREADS` (absent/0 = auto).
     pub progress_threads: usize,
+    /// Gray-failure brownout evaluation window. Every window, worker 0
+    /// scores each lane from its retransmit delta and ack-RTT p99; an
+    /// over-threshold lane is *demoted* (excluded from lane selection,
+    /// reported in [`FabricHealth::browned_lanes`]) but not killed, and
+    /// recovery probes restore it once frames cross it again.
+    /// [`Duration::ZERO`] disables brownout entirely. Default from
+    /// `PIPMCOLL_BROWNOUT_MS` (0 = off).
+    pub brownout_window: Duration,
+    /// Retransmits blamed on one lane within one window that demote it.
+    /// Default from `PIPMCOLL_BROWNOUT_RETRANSMITS` (16).
+    pub brownout_retransmits: u64,
+    /// Per-lane ack-RTT p99 (milliseconds) that demotes a lane; 0 makes
+    /// the score retransmit-only. Default from `PIPMCOLL_BROWNOUT_P99_MS`
+    /// (250).
+    pub brownout_p99_ms: u64,
 }
 
 /// `PIPMCOLL_HEARTBEAT_MS` (0 disables), parsed once. Malformed values
@@ -189,6 +204,27 @@ fn env_heartbeat() -> Duration {
 fn env_progress_threads() -> usize {
     static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *N.get_or_init(|| crate::env::read_usize_or("PIPMCOLL_PROGRESS_THREADS", 0))
+}
+
+/// `PIPMCOLL_BROWNOUT_MS` (0 disables), parsed once; same fallback
+/// policy as [`env_heartbeat`].
+fn env_brownout_window() -> Duration {
+    static W: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
+    *W.get_or_init(|| Duration::from_millis(crate::env::read_u64_or("PIPMCOLL_BROWNOUT_MS", 0)))
+}
+
+/// `PIPMCOLL_BROWNOUT_RETRANSMITS`, parsed once; same fallback policy
+/// as [`env_heartbeat`].
+fn env_brownout_retransmits() -> u64 {
+    static N: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *N.get_or_init(|| crate::env::read_u64_or("PIPMCOLL_BROWNOUT_RETRANSMITS", 16))
+}
+
+/// `PIPMCOLL_BROWNOUT_P99_MS` (0 = retransmit-only scoring), parsed
+/// once; same fallback policy as [`env_heartbeat`].
+fn env_brownout_p99() -> u64 {
+    static P: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *P.get_or_init(|| crate::env::read_u64_or("PIPMCOLL_BROWNOUT_P99_MS", 250))
 }
 
 /// `PIPMCOLL_LANE_POLICY` (`modulo`/`stripe`), parsed once; same
@@ -216,6 +252,9 @@ impl Default for TcpConfig {
             heartbeat: env_heartbeat(),
             heartbeat_misses: 4,
             progress_threads: env_progress_threads(),
+            brownout_window: env_brownout_window(),
+            brownout_retransmits: env_brownout_retransmits(),
+            brownout_p99_ms: env_brownout_p99(),
         }
     }
 }
@@ -425,6 +464,10 @@ struct PendingFrame {
     first_sent: Instant,
     /// Whether `first_sent` has been re-stamped at wire time.
     on_wire: bool,
+    /// The lane this frame was last pushed onto — a retransmit blames
+    /// *this* lane's health score (the lane that lost the frame), then
+    /// re-routes over the current live set and updates it.
+    lane: usize,
 }
 
 /// One lane connection between a node pair (keyed `(lo, hi, lane)` with
@@ -526,6 +569,25 @@ struct Mesh {
     pool: FramePool,
     /// Round-trip from first transmission to the covering ack.
     ack_rtt: LatencyHist,
+    /// Inbound frames discarded on CRC-32C mismatch, summed over every
+    /// endpoint's decoder.
+    corrupt_frames: AtomicU64,
+    /// Retransmits blamed per lane (the lane that lost the frame, not
+    /// the lane the retry rides) — one brownout-score input.
+    lane_retransmits: Vec<AtomicU64>,
+    /// Per-lane ack round-trip histograms — the other brownout input.
+    lane_rtt: Vec<LatencyHist>,
+    /// Per-lane brownout flags: a browned lane is excluded from lane
+    /// selection (gray failure demotion) but its endpoints stay up so
+    /// probes — and restoration — remain possible.
+    browned: Vec<AtomicBool>,
+    /// Nanoseconds (since `started`) each lane was last demoted; a
+    /// frame heard on the lane *after* this instant is the recovery
+    /// evidence that restores it.
+    browned_since: Vec<AtomicU64>,
+    /// Nanoseconds (since `started`) a frame was last decoded on each
+    /// lane, in either direction; 0 = never.
+    lane_heard: Vec<AtomicU64>,
     /// Failures recorded by progress workers, drained by the runtime.
     errors: Mutex<Vec<FabricError>>,
     /// Per-lane kill flags; a killed lane is never repaired.
@@ -533,6 +595,11 @@ struct Mesh {
     shutdown: AtomicBool,
     /// Frame-level fault stream, when a chaos wrapper installed one.
     chaos: Mutex<Option<Arc<WireChaos>>>,
+    /// Lock-free "is chaos installed?" gate: the send path, every
+    /// control-frame push and the ack flush consult chaos, and taking
+    /// the mutex just to find `None` measurably serialized concurrent
+    /// lane workers on the no-fault hot path.
+    chaos_installed: AtomicBool,
     /// Next send sequence per channel.
     seqs: Mutex<HashMap<ChanKey, u64>>,
     /// Rendezvous payloads stashed until the receiver grants CTS.
@@ -573,12 +640,24 @@ struct Mesh {
 
 impl Mesh {
     fn touch(&self) {
-        let nanos = (self.started.elapsed().as_nanos() as u64).max(1);
+        self.touch_at(self.now_nanos());
+    }
+
+    fn touch_at(&self, nanos: u64) {
         self.last_activity.store(nanos, Ordering::Relaxed);
     }
 
     fn now_nanos(&self) -> u64 {
         (self.started.elapsed().as_nanos() as u64).max(1)
+    }
+
+    /// The installed chaos stream, without touching the mutex in the
+    /// common uninstalled case.
+    fn chaos(&self) -> Option<Arc<WireChaos>> {
+        if !self.chaos_installed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.chaos.lock().ok().and_then(|g| g.clone())
     }
 
     fn pair(&self, a: usize, b: usize) -> usize {
@@ -595,7 +674,20 @@ impl Mesh {
 
     /// Push a control frame onto `(from, to, lane)`'s queue and wake the
     /// owning worker. Returns `false` if the queue is missing/poisoned.
+    ///
+    /// This is the single choke point every control path funnels
+    /// through — acks, CTS/DATA replies, retransmits, heartbeats — so a
+    /// chaos link fault or partition is consulted *here*: a partition
+    /// that spared retransmits or heartbeats would not be a partition.
+    /// A cut frame is swallowed (counted, not errored), exactly like a
+    /// wire that ate it.
     fn push_ctrl_to(&self, from: usize, to: usize, lane: usize, buf: FrameBuf) -> bool {
+        if let Some(c) = self.chaos() {
+            if c.cut(from, to) {
+                c.note_cut();
+                return true;
+            }
+        }
         match self.queues.get(&(from, to, lane)) {
             Some(q) => {
                 let ok = q.push_ctrl(buf);
@@ -612,14 +704,45 @@ impl Mesh {
     /// retract any suspicion — arrival is proof of life, which is what
     /// resolves a symmetric false-suspicion partition (both sides keep
     /// beating, both sides clear).
-    fn note_heard(&self, here: usize, peer: usize) {
+    /// A frame arrived from `peer` — proof of life. The clock read is
+    /// hoisted to the caller: the frame decode loop stamps activity,
+    /// peer liveness and lane liveness from ONE `Instant::now()` per
+    /// frame (clock reads are tens to hundreds of ns on virtualized
+    /// hosts, and three per frame showed up on the 64B message-rate
+    /// sweep).
+    fn note_heard_at(&self, here: usize, peer: usize, nanos: u64) {
         let idx = self.pair(here, peer);
-        self.last_heard[idx].store(self.now_nanos(), Ordering::Relaxed);
+        self.last_heard[idx].store(nanos, Ordering::Relaxed);
         self.hb_suspected[idx].store(false, Ordering::Relaxed);
     }
 
     fn note_sent(&self, here: usize, peer: usize) {
         self.last_sent[self.pair(here, peer)].store(self.now_nanos(), Ordering::Relaxed);
+    }
+
+    /// A frame was decoded on `lane` — the arrival evidence the
+    /// brownout duty's restore check reads. Caller supplies the
+    /// timestamp (see [`Mesh::note_heard_at`]).
+    fn note_lane_heard_at(&self, lane: usize, nanos: u64) {
+        if let Some(a) = self.lane_heard.get(lane) {
+            a.store(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether `lane` should carry fresh traffic: neither killed nor
+    /// brownout-demoted.
+    fn lane_usable(&self, lane: usize) -> bool {
+        !self.killed[lane].load(Ordering::Relaxed) && !self.browned[lane].load(Ordering::Relaxed)
+    }
+
+    /// Lanes currently demoted by the brownout duty (killed lanes are
+    /// reported as dead, not browned, even if they browned first).
+    fn browned_lanes(&self) -> Vec<usize> {
+        (0..self.cfg.lanes)
+            .filter(|&l| {
+                self.browned[l].load(Ordering::Relaxed) && !self.killed[l].load(Ordering::Relaxed)
+            })
+            .collect()
     }
 
     /// Record a retransmit-exhaustion death verdict against `peer`.
@@ -703,11 +826,26 @@ impl Mesh {
     }
 
     /// The lane for segment `i` of a striped message from `src`: the
-    /// sender's stripe rotated round-robin over the surviving lanes
-    /// (segment 0 is exactly [`Mesh::effective_lane`], so an unstriped
-    /// message is the `i == 0` case). Allocation-free — this sits on
-    /// the eager send path.
+    /// sender's stripe rotated round-robin over the *usable* lanes —
+    /// neither killed nor brownout-demoted — so a browned lane sheds
+    /// fresh traffic exactly like a dead one (segment 0 is exactly
+    /// [`Mesh::effective_lane`], so an unstriped message is the `i == 0`
+    /// case). If every survivor is browned the stripe falls back to the
+    /// merely-alive set: degraded delivery beats none. Allocation-free —
+    /// this sits on the eager send path.
     fn seg_lane(&self, src: usize, i: usize) -> Option<usize> {
+        let usable = |l: &usize| self.lane_usable(*l);
+        let count = (0..self.cfg.lanes).filter(usable).count();
+        if count == self.cfg.lanes {
+            // No lane killed or browned — the no-fault common case:
+            // plain modulo, no filtered re-scan.
+            return Some((self.topo.local_of(src) + i) % count);
+        }
+        if count > 0 {
+            return (0..self.cfg.lanes)
+                .filter(usable)
+                .nth((self.topo.local_of(src) + i) % count);
+        }
         let alive = |l: &usize| !self.killed[*l].load(Ordering::Relaxed);
         let count = (0..self.cfg.lanes).filter(alive).count();
         if count == 0 {
@@ -728,13 +866,21 @@ impl Mesh {
         if self.cfg.lane_policy != LanePolicy::Stripe || len < self.cfg.stripe_min.max(1) {
             return 1;
         }
-        let alive = (0..self.cfg.lanes)
-            .filter(|&l| !self.killed[l].load(Ordering::Relaxed))
-            .count();
-        if alive < 2 {
+        // Stripe over the lanes fresh traffic can actually use (the
+        // same set `seg_lane` routes over): a browned lane must not
+        // inflate the segment count it will never carry.
+        let usable = (0..self.cfg.lanes).filter(|&l| self.lane_usable(l)).count();
+        let routable = if usable > 0 {
+            usable
+        } else {
+            (0..self.cfg.lanes)
+                .filter(|&l| !self.killed[l].load(Ordering::Relaxed))
+                .count()
+        };
+        if routable < 2 {
             return 1;
         }
-        let want = alive.min(usize::from(u16::MAX));
+        let want = routable.min(usize::from(u16::MAX));
         // Recompute through the chunk size so exactly this many
         // non-empty chunks come out even when `len` barely clears the
         // threshold.
@@ -758,8 +904,13 @@ impl Mesh {
         while q.front().is_some_and(|p| p.seq < watermark) {
             let p = q.pop_front().expect("front just checked");
             if p.attempts == 0 {
-                self.ack_rtt
-                    .record(now.saturating_duration_since(p.first_sent));
+                let rtt = now.saturating_duration_since(p.first_sent);
+                self.ack_rtt.record(rtt);
+                // The same sample attributed to the lane that carried
+                // the frame — the brownout duty's RTT input.
+                if let Some(h) = self.lane_rtt.get(p.lane) {
+                    h.record(rtt);
+                }
             }
         }
     }
@@ -772,7 +923,7 @@ impl Mesh {
     /// sequences were already registered — inserts at its ordered slot,
     /// keeping `apply_ack`'s prefix-pop and the head-of-queue retransmit
     /// scan correct.
-    fn register_pending(&self, chan: ChanKey, seq: u64, buf: FrameBuf) {
+    fn register_pending(&self, chan: ChanKey, seq: u64, buf: FrameBuf, lane: usize) {
         let now = Instant::now();
         let Ok(mut pending) = self.pending.lock() else {
             return;
@@ -792,6 +943,7 @@ impl Mesh {
                 next_at: now + self.cfg.rto,
                 first_sent: now,
                 on_wire: false,
+                lane,
             },
         );
     }
@@ -858,16 +1010,17 @@ impl Mesh {
             self.owed_len.store(0, Ordering::Relaxed);
             owed.drain().collect()
         };
-        let chaos = self.chaos.lock().ok().and_then(|g| g.clone());
+        let chaos = self.chaos();
         for (chan, wm) in drained {
-            if chaos.as_ref().is_some_and(|c| c.ack_fate()) {
-                // Ack eaten by the wire: the sender retransmits, the
-                // receiver dedups, and the duplicate's re-raised
-                // watermark is re-owed — nothing wedges.
-                continue;
-            }
             let from = self.topo.node_of(chan.1);
             let to = self.topo.node_of(chan.0);
+            if chaos.as_ref().is_some_and(|c| c.ack_fate_for(from, to)) {
+                // Ack eaten by the wire (probabilistically, or by a cut
+                // edge): the sender retransmits, the receiver dedups,
+                // and the duplicate's re-raised watermark is re-owed —
+                // nothing wedges.
+                continue;
+            }
             let Some(lane) = self.effective_lane(chan.1) else {
                 continue;
             };
@@ -960,6 +1113,8 @@ impl Mesh {
                             "CTS from node {peer} names unknown rendezvous transfer {}",
                             frame.aux
                         ),
+                        expected_version: None,
+                        got: None,
                     });
                     return;
                 };
@@ -986,10 +1141,6 @@ impl Mesh {
                         payload: Vec::new(),
                     };
                     let buf = self.pool.encode_seg(&data, &msg.payload[lo..hi]);
-                    // Retransmit-protect the DATA before it can be lost
-                    // — this is what makes a rendezvous transfer ack'd,
-                    // measured, and recoverable.
-                    self.register_pending(msg.chan, msg.seq + i as u64, buf.clone());
                     // Striped DATA scatters like striped eager; a single
                     // DATA keeps the CTS arrival lane.
                     let data_lane = if segs > 1 {
@@ -997,6 +1148,10 @@ impl Mesh {
                     } else {
                         lane
                     };
+                    // Retransmit-protect the DATA before it can be lost
+                    // — this is what makes a rendezvous transfer ack'd,
+                    // measured, and recoverable.
+                    self.register_pending(msg.chan, msg.seq + i as u64, buf.clone(), data_lane);
                     self.push_ctrl_to(here, peer, data_lane, buf);
                 }
             }
@@ -1105,9 +1260,13 @@ fn endpoint_step(mesh: &Mesh, ep: &mut Endpoint, stage: usize, scratch: &mut [u8
                 loop {
                     match ep.decoder.next_frame() {
                         Ok(Some(frame)) => {
-                            mesh.touch();
-                            // Any frame is proof of life for the peer.
-                            mesh.note_heard(ep.here, ep.peer);
+                            // Any frame is proof of life for the peer —
+                            // and for its lane (brownout restore). One
+                            // clock read stamps all three signals.
+                            let nanos = mesh.now_nanos();
+                            mesh.touch_at(nanos);
+                            mesh.note_heard_at(ep.here, ep.peer, nanos);
+                            mesh.note_lane_heard_at(ep.lane, nanos);
                             mesh.handle_frame(ep.here, ep.peer, ep.lane, frame);
                             ep.since_flush += 1;
                             // Batch acks: every 32 frames under sustained
@@ -1120,19 +1279,39 @@ fn endpoint_step(mesh: &Mesh, ep: &mut Endpoint, stage: usize, scratch: &mut [u8
                         Ok(None) => break,
                         Err(e) => {
                             // A garbled header cannot be resynced on a
-                            // byte stream; reconnect instead.
+                            // byte stream; reconnect instead. (Checksum
+                            // failures never land here — the decoder
+                            // skips and counts them silently.)
+                            let skipped = ep.decoder.take_corrupt();
+                            if skipped > 0 {
+                                mesh.corrupt_frames.fetch_add(skipped, Ordering::Relaxed);
+                            }
                             if !mesh.shutdown.load(Ordering::Relaxed)
                                 && !mesh.killed[ep.lane].load(Ordering::Relaxed)
                             {
+                                let (expected_version, got) = match e {
+                                    WireError::Version { expected, got } => {
+                                        (Some(expected), Some(got))
+                                    }
+                                    _ => (None, None),
+                                };
                                 mesh.record(FabricError::MalformedFrame {
                                     lane: ep.lane,
                                     detail: format!("unreadable frame from node {}: {e}", ep.peer),
+                                    expected_version,
+                                    got,
                                 });
                             }
                             report_break(mesh, ep);
                             return (false, progressed);
                         }
                     }
+                }
+                // Fold any checksum-dropped frames into the fabric-wide
+                // counter; their payloads come back via retransmit.
+                let skipped = ep.decoder.take_corrupt();
+                if skipped > 0 {
+                    mesh.corrupt_frames.fetch_add(skipped, Ordering::Relaxed);
                 }
                 reads += 1;
                 if reads >= MAX_READS_PER_PASS {
@@ -1165,7 +1344,7 @@ fn endpoint_step(mesh: &Mesh, ep: &mut Endpoint, stage: usize, scratch: &mut [u8
 /// typed [`FabricError::PeerDead`].
 fn retransmit_pass(mesh: &Mesh, rng: &mut ChaosRng) {
     let now = Instant::now();
-    let mut due: Vec<(ChanKey, u64, FrameBuf)> = Vec::new();
+    let mut due: Vec<(ChanKey, usize, FrameBuf)> = Vec::new();
     {
         let Ok(mut pending) = mesh.pending.lock() else {
             mesh.record(FabricError::QueuePoisoned {
@@ -1206,25 +1385,33 @@ fn retransmit_pass(mesh: &Mesh, rng: &mut ChaosRng) {
             // push makes `stats().retransmits` lag what the fabric
             // demonstrably did (a real test flake).
             mesh.retransmits.fetch_add(1, Ordering::Relaxed);
-            // A refcount on the pooled bytes, not a copy.
-            due.push((chan, p.seq, p.buf.clone()));
+            // Blame the lane that *lost* the frame (where it last rode)
+            // — the brownout health score — then re-route via the
+            // current usable-lane stripe, so frames lost on a killed or
+            // browned lane migrate to the healthy survivors.
+            if let Some(ctr) = mesh.lane_retransmits.get(p.lane) {
+                ctr.fetch_add(1, Ordering::Relaxed);
+            }
+            match mesh.effective_lane(chan.0) {
+                Some(lane) => {
+                    p.lane = lane;
+                    // A refcount on the pooled bytes, not a copy.
+                    due.push((chan, lane, p.buf.clone()));
+                }
+                None => {
+                    let seq = p.seq;
+                    mesh.record(FabricError::LaneDead {
+                        lane: mesh.nominal_lane(chan.0),
+                        detail: format!(
+                            "no surviving lane to retransmit {} -> {} tag {} seq {seq}",
+                            chan.0, chan.1, chan.2
+                        ),
+                    });
+                }
+            }
         }
     }
-    for (chan, seq, buf) in due {
-        // Route via the *current* surviving-lane stripe, so frames lost
-        // on a killed lane migrate to the survivors.
-        let lane = match mesh.effective_lane_or_dead(chan.0, || {
-            format!(
-                "no surviving lane to retransmit {} -> {} tag {} seq {seq}",
-                chan.0, chan.1, chan.2
-            )
-        }) {
-            Ok(l) => l,
-            Err(e) => {
-                mesh.record(e);
-                continue;
-            }
-        };
+    for (chan, lane, buf) in due {
         let from = mesh.topo.node_of(chan.0);
         let to = mesh.topo.node_of(chan.1);
         mesh.push_ctrl_to(from, to, lane, buf);
@@ -1262,7 +1449,12 @@ fn heartbeat_pass(mesh: &Mesh) {
             if Duration::from_nanos(now.saturating_sub(sent)) < interval {
                 continue;
             }
-            let Some(lane) = mesh.alive_lanes().first().copied() else {
+            // Beat over a healthy lane when one exists; a browned lane
+            // only carries beats when nothing better survives.
+            let Some(lane) = (0..mesh.cfg.lanes)
+                .find(|&l| mesh.lane_usable(l))
+                .or_else(|| mesh.alive_lanes().first().copied())
+            else {
                 continue;
             };
             let beat = Frame {
@@ -1278,6 +1470,82 @@ fn heartbeat_pass(mesh: &Mesh) {
             };
             if mesh.push_ctrl_to(a, b, lane, mesh.pool.encode(&beat)) {
                 mesh.note_sent(a, b);
+            }
+        }
+    }
+}
+
+/// Worker 0's brownout duty: one evaluation window of the gray-failure
+/// detector. Per lane, the health score is the retransmit delta blamed
+/// on it this window plus its cumulative ack-RTT p99; an over-threshold
+/// lane is *demoted* — excluded from fresh lane selection via the
+/// usable-lane filter, reported in [`FabricHealth::browned_lanes`] —
+/// but its endpoints stay up. Each window a demoted lane gets a probe
+/// heartbeat; the first frame heard on the lane after demotion is the
+/// recovery evidence that restores it (and wipes its RTT history, so
+/// stale degradation cannot immediately re-demote). Demotion never
+/// takes the last usable lane: with nothing healthy left, degraded
+/// delivery beats none — that escalation belongs to the fail-stop
+/// machinery, not brownout.
+fn brownout_pass(mesh: &Mesh, prev: &mut [u64]) {
+    let nodes = mesh.topo.nodes();
+    let chaos = mesh.chaos();
+    for (lane, prev_rtx) in prev.iter_mut().enumerate().take(mesh.cfg.lanes) {
+        if mesh.killed[lane].load(Ordering::Relaxed) {
+            continue;
+        }
+        let total = mesh.lane_retransmits[lane].load(Ordering::Relaxed);
+        let delta = total.saturating_sub(*prev_rtx);
+        *prev_rtx = total;
+        if mesh.browned[lane].load(Ordering::Relaxed) {
+            let heard = mesh.lane_heard[lane].load(Ordering::Relaxed);
+            let since = mesh.browned_since[lane].load(Ordering::Relaxed);
+            if heard > since {
+                // A frame crossed the lane after demotion: the gray
+                // failure lifted. Restore it and forget the degraded
+                // RTT samples.
+                mesh.browned[lane].store(false, Ordering::Relaxed);
+                mesh.lane_rtt[lane].clear();
+                continue;
+            }
+            // Probe: a heartbeat pushed over the browned lane itself
+            // (regular traffic avoids it, so nothing else would ever
+            // cross it again). The probe rolls the same chaos fate as
+            // data — a still-degraded lane eats it and the lane stays
+            // demoted.
+            if nodes >= 2 {
+                let fate = chaos
+                    .as_ref()
+                    .map_or(FrameFate::Deliver, |c| c.fate_for(0, 1, lane));
+                if fate != FrameFate::Drop {
+                    let beat = Frame {
+                        kind: FrameKind::Heartbeat,
+                        src: mesh.topo.rank_of(0, 0) as u32,
+                        dst: mesh.topo.rank_of(1, 0) as u32,
+                        tag: 0,
+                        seq: 0,
+                        aux: 0,
+                        seg_idx: 0,
+                        seg_count: 0,
+                        payload: Vec::new(),
+                    };
+                    mesh.push_ctrl_to(0, 1, lane, mesh.pool.encode(&beat));
+                }
+            }
+            continue;
+        }
+        let p99_over = mesh.cfg.brownout_p99_ms > 0
+            && mesh.lane_rtt[lane]
+                .snapshot()
+                .p99_us
+                .is_some_and(|p99| p99 >= mesh.cfg.brownout_p99_ms.saturating_mul(1000));
+        if delta >= mesh.cfg.brownout_retransmits.max(1) || p99_over {
+            let usable_others = (0..mesh.cfg.lanes)
+                .filter(|&l| l != lane && mesh.lane_usable(l))
+                .count();
+            if usable_others >= 1 {
+                mesh.browned_since[lane].store(mesh.now_nanos(), Ordering::Relaxed);
+                mesh.browned[lane].store(true, Ordering::Relaxed);
             }
         }
     }
@@ -1440,8 +1708,13 @@ fn worker_loop(mesh: Arc<Mesh>, widx: usize) {
     let rt_tick = (mesh.cfg.rto / 4).max(Duration::from_millis(1));
     let hb_enabled = widx == 0 && !mesh.cfg.heartbeat.is_zero();
     let hb_tick = (mesh.cfg.heartbeat / 2).max(Duration::from_millis(1));
+    let bw_enabled = widx == 0 && !mesh.cfg.brownout_window.is_zero();
+    let bw_tick = mesh.cfg.brownout_window.max(Duration::from_millis(1));
     let mut next_rt = Instant::now() + rt_tick;
     let mut next_hb = Instant::now() + hb_tick;
+    let mut next_bw = Instant::now() + bw_tick;
+    // Per-lane retransmit totals at the last brownout window boundary.
+    let mut bw_prev = vec![0u64; mesh.cfg.lanes];
     // Jitter decorrelates retransmit bursts; a fixed seed keeps runs
     // reproducible.
     let mut rng = ChaosRng::new(0xF0F0_F0F0 ^ widx as u64);
@@ -1468,6 +1741,10 @@ fn worker_loop(mesh: Arc<Mesh>, widx: usize) {
             if hb_enabled && now >= next_hb {
                 heartbeat_pass(&mesh);
                 next_hb = now + hb_tick;
+            }
+            if bw_enabled && now >= next_bw {
+                brownout_pass(&mesh, &mut bw_prev);
+                next_bw = now + bw_tick;
             }
             progressed |= repair_pass(&mesh);
         }
@@ -1505,6 +1782,9 @@ fn worker_loop(mesh: Arc<Mesh>, widx: usize) {
             let mut deadline = next_rt;
             if hb_enabled {
                 deadline = deadline.min(next_hb);
+            }
+            if bw_enabled {
+                deadline = deadline.min(next_bw);
             }
             deadline
                 .saturating_duration_since(Instant::now())
@@ -1631,10 +1911,17 @@ impl TcpFabric {
             owed_len: AtomicUsize::new(0),
             pool: FramePool::new(),
             ack_rtt: LatencyHist::new(),
+            corrupt_frames: AtomicU64::new(0),
+            lane_retransmits: (0..cfg.lanes).map(|_| AtomicU64::new(0)).collect(),
+            lane_rtt: (0..cfg.lanes).map(|_| LatencyHist::new()).collect(),
+            browned: (0..cfg.lanes).map(|_| AtomicBool::new(false)).collect(),
+            browned_since: (0..cfg.lanes).map(|_| AtomicU64::new(0)).collect(),
+            lane_heard: (0..cfg.lanes).map(|_| AtomicU64::new(0)).collect(),
             errors: Mutex::new(Vec::new()),
             killed: (0..cfg.lanes).map(|_| AtomicBool::new(false)).collect(),
             shutdown: AtomicBool::new(false),
             chaos: Mutex::new(None),
+            chaos_installed: AtomicBool::new(false),
             seqs: Mutex::new(HashMap::new()),
             rdv_stash: Mutex::new(HashMap::new()),
             next_rdv: AtomicU64::new(0),
@@ -1850,6 +2137,7 @@ impl Fabric for TcpFabric {
             payload.len()
         };
         let eager = seg_len <= mesh.cfg.eager_max;
+        let chaos = mesh.chaos();
         let push_to = |q: &Arc<SendQueue>, lane: usize, buf: FrameBuf| {
             q.push_user(buf).map_err(|e| match e {
                 PushError::Timeout(waited) => FabricError::PeerHung {
@@ -1880,7 +2168,6 @@ impl Fabric for TcpFabric {
             if segs > 1 {
                 mesh.striped_msgs.fetch_add(1, Ordering::Relaxed);
             }
-            let chaos = mesh.chaos.lock().ok().and_then(|g| g.clone());
             let mut stalled = false;
             for i in 0..segs {
                 let lo = (i * seg_len).min(payload.len());
@@ -1916,10 +2203,13 @@ impl Fabric for TcpFabric {
                 // The pending queue holds a refcount on the same pooled
                 // bytes — sequence numbers only grow, so the cumulative
                 // ack pops a prefix and the deque keeps its allocation.
-                mesh.register_pending(key, seg_seq, buf.clone());
-                // Chaos rolls a fate per segment: each is an ordinary
-                // frame to lose, duplicate, recover.
-                let fate = chaos.as_ref().map_or(FrameFate::Deliver, |c| c.fate());
+                mesh.register_pending(key, seg_seq, buf.clone(), seg_lane);
+                // Chaos rolls a fate per segment (cut edge, degraded
+                // lane, then the per-class streams): each is an
+                // ordinary frame to lose, duplicate, corrupt, recover.
+                let fate = chaos
+                    .as_ref()
+                    .map_or(FrameFate::Deliver, |c| c.fate_for(node_s, node_d, seg_lane));
                 let pushed = match fate {
                     // "Lost on the wire": the retransmit duty recovers
                     // it.
@@ -1928,6 +2218,17 @@ impl Fabric for TcpFabric {
                         let a = push_to(q, seg_lane, buf.clone())?;
                         let b = push_to(q, seg_lane, buf)?;
                         a || b
+                    }
+                    FrameFate::Corrupt => {
+                        // Line noise: a bit-flipped *copy* goes out
+                        // while the pending table keeps the pristine
+                        // bytes for the retransmit the receiver's CRC
+                        // reject will provoke.
+                        let mut copy = mesh.pool.copy_bytes(&buf);
+                        if let (Some(c), Some(bytes)) = (chaos.as_ref(), copy.as_mut_slice()) {
+                            c.corrupt_bytes(bytes);
+                        }
+                        push_to(q, seg_lane, copy)?
                     }
                     FrameFate::Deliver => push_to(q, seg_lane, buf)?,
                 };
@@ -1976,6 +2277,16 @@ impl Fabric for TcpFabric {
                         lane,
                         detail: "no send queue for this node pair".into(),
                     })?;
+            // A cut edge eats the RTS exactly as it would on the wire:
+            // the stash entry ages out with the fabric and the transfer
+            // surfaces as a timeout — the same observable as a lost
+            // handshake.
+            if let Some(c) = chaos.as_ref() {
+                if c.cut(node_s, node_d) {
+                    c.note_cut();
+                    return Ok(());
+                }
+            }
             // The RTS itself is not retransmitted; the DATA frames it
             // eventually provokes are (registered at CTS time). A lost
             // handshake surfaces as a timeout.
@@ -2038,6 +2349,7 @@ impl Fabric for TcpFabric {
             retransmits: mesh.retransmits.load(Ordering::Relaxed),
             striped_msgs: mesh.striped_msgs.load(Ordering::Relaxed),
             dups_dropped: mesh.stores.iter().map(|s| s.dups_dropped()).sum(),
+            corrupt_frames: mesh.corrupt_frames.load(Ordering::Relaxed),
             ack_rtt: mesh.ack_rtt.snapshot(),
             ctrl_queue_hwm: mesh
                 .queues
@@ -2118,6 +2430,7 @@ impl Fabric for TcpFabric {
         match self.mesh.chaos.lock() {
             Ok(mut g) => {
                 *g = Some(chaos);
+                self.mesh.chaos_installed.store(true, Ordering::Release);
                 true
             }
             Err(_) => false,
@@ -2153,6 +2466,7 @@ impl Fabric for TcpFabric {
             suspected_nodes,
             dead_peers,
             dead_lanes: mesh.dead_lanes(),
+            browned_lanes: mesh.browned_lanes(),
         }
     }
 }
@@ -2635,5 +2949,77 @@ mod tests {
             assert_eq!(f.recv((0, 1, 0)).unwrap(), vec![10 + i]);
         }
         assert!(f.drain_errors().is_empty(), "a repaired break is silent");
+    }
+
+    /// Poll the health view until `browned_lanes == want` (the brownout
+    /// duty runs on worker 0's window clock, not the test's).
+    fn wait_browned(f: &TcpFabric, want: &[usize]) -> bool {
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_secs(5) {
+            if f.health().browned_lanes == want {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    #[test]
+    fn gray_failing_lane_is_demoted_and_restored_after_the_fault_clears() {
+        let f = TcpFabric::connect(
+            Topology::new(2, 2),
+            TcpConfig {
+                lanes: 2,
+                rto: Duration::from_millis(5),
+                brownout_window: Duration::from_millis(20),
+                brownout_retransmits: 2,
+                ..TcpConfig::default()
+            },
+        )
+        .expect("loopback fabric");
+        let wire = Arc::new(WireChaos::new(&ChaosConfig::default()));
+        assert!(f.install_chaos(Arc::clone(&wire)));
+        // Gray failure: lane 1 silently eats every frame while its
+        // sockets stay connected — the case fail-stop detection cannot
+        // see (no error, no disconnect, just loss).
+        wire.degrade_lane(1, 1.0);
+        // Sender local rank 1 nominally stripes onto lane 1, so every
+        // first transmission is eaten; each retransmit attempt blames
+        // lane 1 and re-rolls the stripe.
+        for i in 0..8u8 {
+            f.send((1, 3, 7), vec![i]).unwrap();
+        }
+        // Two blamed retransmits inside one 20 ms window demote the
+        // lane: browned, not dead.
+        assert!(
+            wait_browned(&f, &[1]),
+            "lane 1 never browned: health {:?}",
+            f.health().browned_lanes
+        );
+        assert!(
+            f.diag().dead_lanes.is_empty(),
+            "browned is a demotion, not a death"
+        );
+        // The stalled traffic completes: retransmits migrate to the
+        // healthy lane once the browned one leaves the usable stripe.
+        for i in 0..8u8 {
+            assert_eq!(f.recv((1, 3, 7)).unwrap(), vec![i]);
+        }
+        // Fresh sends from the lane-1 sender also avoid the browned
+        // lane while it is demoted.
+        f.send((1, 3, 8), vec![0xAB]).unwrap();
+        assert_eq!(f.recv((1, 3, 8)).unwrap(), vec![0xAB]);
+        assert!(
+            f.drain_errors().is_empty(),
+            "brownout recovery is not an error"
+        );
+        // The gray failure lifts; the next window's probe heartbeat
+        // crosses the lane and restores it.
+        wire.heal_lanes();
+        assert!(
+            wait_browned(&f, &[]),
+            "lane 1 never restored after heal: health {:?}",
+            f.health().browned_lanes
+        );
     }
 }

@@ -140,6 +140,47 @@ pub struct AgreeMsg {
     pub payload: Vec<u8>,
 }
 
+/// The verdict of a completed agreement: either a quorate commit or a
+/// refusal to commit from the minority side of a partition.
+///
+/// The quorum rule closes the split-brain hole in plain sweep gossip:
+/// under a network partition each side's sweeps converge on "the other
+/// side is dead", and without a quorum check both sides would commit
+/// *different* failed sets and shrink onto divergent groups. A core
+/// now commits only when the surviving group (members minus the failed
+/// set) holds **quorum** in the epoch's member group: a strict
+/// majority, or — the standard even-split tie-breaker — exactly half
+/// *including the group's lowest-ranked member*. At most one side of
+/// any partition can satisfy that, so two different failed sets can
+/// never both commit; the tie-breaker keeps a genuine death of half
+/// the group recoverable (the low-rank half continues) without
+/// reopening the divergence hole. The non-quorate side resolves
+/// [`AgreeOutcome::QuorumLost`] instead: a typed refusal that its
+/// driver surfaces as an error rather than retrying into the
+/// partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AgreeOutcome {
+    /// The surviving group is a strict majority: the failed set is
+    /// committed and (if non-empty or anyone saw a fault) a retry on
+    /// the shrunken group is wanted.
+    Commit {
+        /// The agreed failed set.
+        failed: RankSet,
+        /// Whether the epoch must be retried.
+        retry: bool,
+    },
+    /// The reachable group is not a strict majority of the members:
+    /// this core is (or may be) on the minority side of a partition
+    /// and refuses to commit a failed set that could diverge from the
+    /// majority's.
+    QuorumLost {
+        /// Members this core could still reach (itself included).
+        survivors: RankSet,
+        /// The full member group of the epoch.
+        members: RankSet,
+    },
+}
+
 /// What an [`AgreeCore`] driver should do next.
 #[derive(Clone, Debug)]
 pub enum AgreeStep {
@@ -200,7 +241,7 @@ pub struct AgreeCore {
     /// Current sweep finalized (its verdict folded in), padding until
     /// the deadline before the next sweep starts.
     finalized: bool,
-    committed: Option<(RankSet, bool)>,
+    committed: Option<AgreeOutcome>,
 }
 
 impl AgreeCore {
@@ -251,9 +292,11 @@ impl AgreeCore {
         &self.outstanding
     }
 
-    /// The verdict, once [`AgreeStep::Done`]: the committed failed set
-    /// and whether a retry is required.
-    pub fn committed(&self) -> Option<(RankSet, bool)> {
+    /// The verdict, once [`AgreeStep::Done`]: a quorate
+    /// [`AgreeOutcome::Commit`] with the failed set and retry flag, or
+    /// [`AgreeOutcome::QuorumLost`] when this core ended on the
+    /// minority side of a partition.
+    pub fn committed(&self) -> Option<AgreeOutcome> {
         self.committed
     }
 
@@ -306,15 +349,19 @@ impl AgreeCore {
                 && !self.fault_seen
                 && !changed
             {
-                // Fault-free fast path: everyone reported all-zero.
-                self.committed = Some((RankSet::new(), false));
+                // Fault-free fast path: everyone reported all-zero —
+                // every member is reachable, so quorum is trivial.
+                self.committed = Some(AgreeOutcome::Commit {
+                    failed: RankSet::new(),
+                    retry: false,
+                });
                 return AgreeStep::Done;
             }
             if (self.sweep >= 1 && !changed && !self.peer_changed_prev)
                 || self.sweep + 1 >= MAX_SWEEPS
             {
                 let retry = self.want_retry || !self.suspects.is_empty();
-                self.committed = Some((self.suspects, retry));
+                self.committed = Some(self.resolve(self.suspects, retry));
                 return AgreeStep::Done;
             }
             self.changed_prev = changed;
@@ -327,6 +374,37 @@ impl AgreeCore {
         }
         self.sweep += 1;
         AgreeStep::Sweep(self.start_sweep(now))
+    }
+
+    /// Apply the quorum rule to a converged suspect set: commit only
+    /// if the surviving group holds quorum in the epoch's member group
+    /// — a strict majority, or exactly half that includes the group's
+    /// lowest-ranked member (the even-split tie-breaker) — otherwise
+    /// resolve [`AgreeOutcome::QuorumLost`]. At most one side of any
+    /// partition can hold quorum under this rule (the halves of an
+    /// even split are disjoint, so only one contains the lowest rank),
+    /// so two divergent failed sets can never both commit.
+    fn resolve(&self, failed: RankSet, retry: bool) -> AgreeOutcome {
+        let mut members = RankSet::new();
+        for &m in &self.members {
+            if m < 64 {
+                members.insert(m);
+            }
+        }
+        let mut survivors = members;
+        survivors.subtract(failed);
+        let n = members.len();
+        let quorate = survivors.len() * 2 > n
+            || (survivors.len() * 2 == n
+                && members
+                    .ranks()
+                    .first()
+                    .is_some_and(|&lo| survivors.contains(lo)));
+        if quorate {
+            AgreeOutcome::Commit { failed, retry }
+        } else {
+            AgreeOutcome::QuorumLost { survivors, members }
+        }
     }
 
     fn start_sweep(&mut self, now: Instant) -> Vec<AgreeMsg> {
@@ -362,7 +440,9 @@ impl AgreeCore {
 /// for the protocol; the service engine drives the same core from its
 /// non-blocking poll loop).
 ///
-/// Returns the committed failed set and whether a retry is required.
+/// Returns the core's [`AgreeOutcome`]: a quorate commit, or
+/// `QuorumLost` when this member ended on the minority side of a
+/// partition.
 fn agree(
     fabric: &Arc<dyn Fabric>,
     me: usize,
@@ -371,7 +451,7 @@ fn agree(
     want_retry: bool,
     epoch: u32,
     op_timeout: Duration,
-) -> (RankSet, bool) {
+) -> AgreeOutcome {
     let poll = (op_timeout / 32).clamp(Duration::from_millis(1), Duration::from_millis(10));
     let mut core = AgreeCore::new(me, members.to_vec(), seed, want_retry, op_timeout * 2);
     let mut to_send = core.begin(Instant::now());
@@ -407,9 +487,22 @@ fn agree(
 }
 
 /// The per-attempt outcome one live member reports to the coordinator.
-struct Verdict {
-    agreed: RankSet,
-    retry: bool,
+enum Verdict {
+    /// This member committed a quorate failed set.
+    Commit { agreed: RankSet, retry: bool },
+    /// This member refused to commit: it could only reach a minority.
+    QuorumLost { survivors: RankSet },
+}
+
+/// Translate a member's [`AgreeOutcome`] into its coordinator verdict.
+fn verdict_of(outcome: AgreeOutcome) -> Verdict {
+    match outcome {
+        AgreeOutcome::Commit { failed, retry } => Verdict::Commit {
+            agreed: failed,
+            retry,
+        },
+        AgreeOutcome::QuorumLost { survivors, .. } => Verdict::QuorumLost { survivors },
+    }
 }
 
 /// Result of a fault-tolerant cluster run.
@@ -426,6 +519,12 @@ pub struct FtResult {
     /// Every survivor's entry must be identical — that is the whole
     /// point.
     pub committed: Vec<Option<Vec<usize>>>,
+    /// Ranks that resolved [`AgreeOutcome::QuorumLost`] — they could
+    /// only reach a minority and refused to commit a failed set. They
+    /// stop participating (no divergent shrink) and their entry in
+    /// [`FtResult::committed`] stays whatever earlier quorate epochs
+    /// committed.
+    pub quorum_lost: Vec<usize>,
     /// Ranks killed by the fault plan, in the order they died.
     pub killed: Vec<usize>,
     /// Attempts executed (1 = clean first try).
@@ -482,6 +581,7 @@ where
     let mut committed: Vec<Option<RankSet>> = vec![None; world];
     let mut failures: Vec<RankFailure> = Vec::new();
     let mut failed_total = RankSet::new();
+    let mut quorum_lost_total = RankSet::new();
     let mut members: Vec<usize> = (0..world).collect();
     let mut epoch: u32 = 0;
 
@@ -525,11 +625,10 @@ where
                             }
                             comm.mark_failed(panic_detail(payload));
                         }
-                        let seed = gather_suspects(&comm.suspected(), fabric, topo, rank);
+                        let seed = gather_suspects(&comm.suspected(), fabric, topo, rank, members);
                         let want_retry = comm.failed() || !seed.is_empty();
-                        let (agreed, retry) =
-                            agree(fabric, rank, members, seed, want_retry, 0, op_timeout);
-                        verdicts.lock().unwrap()[rank] = Some(Verdict { agreed, retry });
+                        let outcome = agree(fabric, rank, members, seed, want_retry, 0, op_timeout);
+                        verdicts.lock().unwrap()[rank] = Some(verdict_of(outcome));
                     });
                 }
             });
@@ -598,11 +697,11 @@ where
                         // Health evidence is phrased in original-topology
                         // node pairs and rank ids, so map it with the
                         // original topology even on a shrunken attempt.
-                        let seed = gather_suspects(&comm.suspected(), fabric, topo, old);
+                        let seed = gather_suspects(&comm.suspected(), fabric, topo, old, members);
                         let want_retry = comm.failed.is_some() || !seed.is_empty();
-                        let (agreed, retry) =
+                        let outcome =
                             agree(fabric, old, members, seed, want_retry, epoch, op_timeout);
-                        verdicts.lock().unwrap()[old] = Some(Verdict { agreed, retry });
+                        verdicts.lock().unwrap()[old] = Some(verdict_of(outcome));
                         if let Some(detail) = comm.failed.take() {
                             failures_mx.lock().unwrap().push(RankFailure {
                                 rank: Some(old),
@@ -618,23 +717,47 @@ where
         epoch += 1;
 
         // Coordinate: every member that completed agreement must have
-        // committed the same verdict.
+        // committed the same verdict. A member that resolved
+        // QuorumLost committed nothing — it drops out of the run (no
+        // divergent shrink) with a per-rank failure record.
         let verdicts = verdicts.into_inner().unwrap_or_else(|e| e.into_inner());
         let mut agreed: Option<RankSet> = None;
         let mut retry = false;
         let mut split = false;
+        let mut lost_now = RankSet::new();
         for (r, v) in verdicts.iter().enumerate() {
             let Some(v) = v else { continue };
-            let mut total = committed[r].unwrap_or_default();
-            total.union(v.agreed);
-            committed[r] = Some(total);
-            retry |= v.retry;
-            match agreed {
-                None => agreed = Some(v.agreed),
-                Some(a) if a != v.agreed => split = true,
-                Some(_) => {}
+            match v {
+                Verdict::Commit {
+                    agreed: a,
+                    retry: rt,
+                } => {
+                    let mut total = committed[r].unwrap_or_default();
+                    total.union(*a);
+                    committed[r] = Some(total);
+                    retry |= rt;
+                    match agreed {
+                        None => agreed = Some(*a),
+                        Some(x) if x != *a => split = true,
+                        Some(_) => {}
+                    }
+                }
+                Verdict::QuorumLost { survivors } => {
+                    lost_now.insert(r);
+                    failures.push(RankFailure {
+                        rank: Some(r),
+                        detail: format!(
+                            "quorum lost at epoch {}: only {:?} of {} members reachable — \
+                             refusing to commit a minority failed set",
+                            epoch - 1,
+                            survivors.ranks(),
+                            members.len()
+                        ),
+                    });
+                }
             }
         }
+        quorum_lost_total.union(lost_now);
         let agreed = agreed.unwrap_or_default();
         if split {
             failures.push(RankFailure {
@@ -655,8 +778,13 @@ where
             }
             s
         };
-        members.retain(|&r| !agreed.contains(r) && !killed_now.contains(r));
+        members
+            .retain(|&r| !agreed.contains(r) && !killed_now.contains(r) && !lost_now.contains(r));
         if !retry {
+            // No quorate member wants a retry. A symmetric partition
+            // lands here with every member having resolved QuorumLost:
+            // nothing was committed, nothing diverged, the run ends
+            // with the refusals on record.
             break;
         }
         if members.is_empty() {
@@ -699,6 +827,7 @@ where
             .into_iter()
             .map(|c| c.map(|s| s.ranks()))
             .collect(),
+        quorum_lost: quorum_lost_total.ranks(),
         killed: killed_log.iter().map(|k| k.rank).collect(),
         epochs: epoch as usize,
         elapsed: t0.elapsed(),
@@ -710,7 +839,19 @@ where
 /// Merge a rank's own suspicion evidence with the fabric's health view:
 /// peers whose retransmits exhausted, plus every rank on a node the
 /// heartbeat sideband reports silent (from this rank's node's view).
-fn gather_suspects(own: &[usize], fabric: &Arc<dyn Fabric>, topo: Topology, me: usize) -> RankSet {
+///
+/// Only current `members` can be suspected: the fabric keeps reporting
+/// a partitioned-away or long-dead node as silent forever, and seeding
+/// agreement with ranks that were already committed dead would demand a
+/// retry every epoch — spinning the runner to [`MAX_EPOCHS`] after the
+/// surviving group has already completed cleanly.
+fn gather_suspects(
+    own: &[usize],
+    fabric: &Arc<dyn Fabric>,
+    topo: Topology,
+    me: usize,
+    members: &[usize],
+) -> RankSet {
     let mut s = RankSet::new();
     for &r in own {
         if r < 64 {
@@ -732,7 +873,19 @@ fn gather_suspects(own: &[usize], fabric: &Arc<dyn Fabric>, topo: Topology, me: 
         }
     }
     s.remove(me);
-    s
+    let mut live = RankSet::new();
+    for &m in members {
+        if m < 64 {
+            live.insert(m);
+        }
+    }
+    let mut out = RankSet::new();
+    for r in s.ranks() {
+        if live.contains(r) {
+            out.insert(r);
+        }
+    }
+    out
 }
 
 /// Per-request state of a [`ShrunkComm`] (sends complete at issue).
@@ -1119,7 +1272,7 @@ mod tests {
         let members = [0usize, 1, 2, 3];
         let op_timeout = Duration::from_millis(200);
         let t0 = Instant::now();
-        let results: Vec<(RankSet, bool)> = std::thread::scope(|s| {
+        let results: Vec<AgreeOutcome> = std::thread::scope(|s| {
             let handles: Vec<_> = members
                 .iter()
                 .map(|&me| {
@@ -1132,8 +1285,11 @@ mod tests {
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        for (set, retry) in results {
-            assert!(set.is_empty());
+        for outcome in results {
+            let AgreeOutcome::Commit { failed, retry } = outcome else {
+                panic!("clean run must commit, got {outcome:?}");
+            };
+            assert!(failed.is_empty());
             assert!(!retry);
         }
         // Fast path: no padding, well under one sweep window.
@@ -1163,9 +1319,11 @@ mod tests {
                         if me == 1 {
                             seed.insert(dead);
                         }
-                        let (set, retry) =
-                            agree(fabric, me, members, seed, want_retry, 1, op_timeout);
-                        (me, set, retry)
+                        let outcome = agree(fabric, me, members, seed, want_retry, 1, op_timeout);
+                        let AgreeOutcome::Commit { failed, retry } = outcome else {
+                            panic!("3-of-4 is a majority, got {outcome:?}");
+                        };
+                        (me, failed, retry)
                     })
                 })
                 .collect();
@@ -1200,9 +1358,11 @@ mod tests {
                             seed.insert(0);
                         }
                         let want_retry = !seed.is_empty();
-                        let (set, retry) =
-                            agree(fabric, me, members, seed, want_retry, 2, op_timeout);
-                        (me, set, retry)
+                        let outcome = agree(fabric, me, members, seed, want_retry, 2, op_timeout);
+                        let AgreeOutcome::Commit { failed, retry } = outcome else {
+                            panic!("refuted suspicion keeps everyone: {outcome:?}");
+                        };
+                        (me, failed, retry)
                     })
                 })
                 .collect();
@@ -1294,9 +1454,156 @@ mod tests {
             }
             let want: Vec<usize> = dead.into_iter().collect();
             for (me, core) in &cores {
-                let (set, retry) = core.committed().expect("all cores done");
-                assert_eq!(set.ranks(), want, "rank {me} (dead={dead:?})");
+                let outcome = core.committed().expect("all cores done");
+                let AgreeOutcome::Commit { failed, retry } = outcome else {
+                    panic!("rank {me}: a single death keeps quorum, got {outcome:?}");
+                };
+                assert_eq!(failed.ranks(), want, "rank {me} (dead={dead:?})");
                 assert_eq!(retry, dead.is_some(), "rank {me} retry flag");
+            }
+        }
+    }
+
+    /// Drive one [`AgreeCore`] per member from a single thread while a
+    /// partition silently eats every cross-side gossip message —
+    /// exactly what a `part:` chaos spec does to the wire. Returns
+    /// each member's final outcome.
+    fn drive_partitioned(members: &[usize], side_a: &[usize]) -> Vec<(usize, AgreeOutcome)> {
+        let fabric: Arc<dyn Fabric> = Arc::new(InProcFabric::new());
+        let same_side = |x: usize, y: usize| side_a.contains(&x) == side_a.contains(&y);
+        let delta = Duration::from_millis(50);
+        let mut cores: Vec<(usize, AgreeCore)> = members
+            .iter()
+            .map(|&me| {
+                // Each member enters agreement already suspecting the
+                // other side (its attempt timed out against them).
+                let mut seed = RankSet::new();
+                for &q in members {
+                    if !same_side(me, q) {
+                        seed.insert(q);
+                    }
+                }
+                (me, AgreeCore::new(me, members.to_vec(), seed, true, delta))
+            })
+            .collect();
+        let send = |from: usize, m: &AgreeMsg| {
+            if !same_side(from, m.to) {
+                return; // the partition eats it
+            }
+            let tag = pipmcoll_fabric::tag::agree(11, m.sweep);
+            fabric.send((from, m.to, tag), m.payload.clone()).unwrap();
+        };
+        for (me, core) in cores.iter_mut() {
+            for m in core.begin(Instant::now()) {
+                send(*me, &m);
+            }
+        }
+        let t0 = Instant::now();
+        loop {
+            let mut all_done = true;
+            for (me, core) in cores.iter_mut() {
+                loop {
+                    match core.step(Instant::now()) {
+                        AgreeStep::Done => break,
+                        AgreeStep::Pad(_) => {
+                            all_done = false;
+                            break;
+                        }
+                        AgreeStep::Sweep(msgs) => {
+                            for m in msgs {
+                                send(*me, &m);
+                            }
+                        }
+                        AgreeStep::Poll => {
+                            let tag = pipmcoll_fabric::tag::agree(11, core.sweep());
+                            let mut got = false;
+                            for q in core.outstanding().to_vec() {
+                                if let Ok(Some(p)) = fabric.try_recv((q, *me, tag)) {
+                                    core.deliver(q, &p);
+                                    got = true;
+                                }
+                            }
+                            if !got {
+                                all_done = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(10), "agreement hangs");
+            std::thread::yield_now();
+        }
+        cores
+            .iter()
+            .map(|(me, c)| (*me, c.committed().expect("all cores done")))
+            .collect()
+    }
+
+    /// Split brain, symmetric: a 2|2 partition splits the group into
+    /// equal halves, the exact case where naive sweep gossip commits
+    /// two *different* failed sets (each side: "the other two are
+    /// dead"). The even-split tie-breaker awards quorum to the half
+    /// holding the lowest-ranked member, so exactly one side commits
+    /// and the other resolves `QuorumLost` — never a divergent pair.
+    #[test]
+    fn symmetric_partition_never_commits_divergent_sets() {
+        let members = [0usize, 1, 2, 3];
+        let side_a = [0usize, 1];
+        let mut committed_sets: Vec<Vec<usize>> = Vec::new();
+        for (me, outcome) in drive_partitioned(&members, &side_a) {
+            if side_a.contains(&me) {
+                // The half with rank 0 holds the tie-break quorum.
+                let AgreeOutcome::Commit { failed, retry } = outcome else {
+                    panic!("rank {me} holds the tie-break, got {outcome:?}");
+                };
+                committed_sets.push(failed.ranks());
+                assert!(retry, "rank {me} must want a retry");
+            } else {
+                let AgreeOutcome::QuorumLost {
+                    survivors,
+                    members: m,
+                } = outcome
+                else {
+                    panic!("rank {me} committed without quorum: {outcome:?}");
+                };
+                assert_eq!(survivors.ranks(), vec![2, 3], "rank {me} survivors");
+                assert_eq!(m.ranks(), members.to_vec(), "rank {me} member group");
+            }
+        }
+        // The whole point: every committed set is the same one.
+        committed_sets.dedup();
+        assert_eq!(
+            committed_sets,
+            vec![vec![2, 3]],
+            "exactly one failed set may ever commit"
+        );
+    }
+
+    /// Split brain, asymmetric: in a 3|2 partition only the 3-side
+    /// holds a strict majority. It commits exactly the unreachable
+    /// minority; the minority resolves `QuorumLost` and commits
+    /// nothing — so the only failed set ever committed is the
+    /// majority's, never two divergent ones.
+    #[test]
+    fn asymmetric_partition_minority_resolves_quorum_lost() {
+        let members = [0usize, 1, 2, 3, 4];
+        let side_a = [0usize, 1, 2];
+        for (me, outcome) in drive_partitioned(&members, &side_a) {
+            if side_a.contains(&me) {
+                let AgreeOutcome::Commit { failed, retry } = outcome else {
+                    panic!("majority rank {me} must commit, got {outcome:?}");
+                };
+                assert_eq!(failed.ranks(), vec![3, 4], "rank {me} failed set");
+                assert!(retry, "rank {me} must want a retry on the survivors");
+            } else {
+                let AgreeOutcome::QuorumLost { survivors, .. } = outcome else {
+                    panic!("minority rank {me} must refuse, got {outcome:?}");
+                };
+                assert_eq!(survivors.ranks(), vec![3, 4], "rank {me} survivors");
             }
         }
     }

@@ -67,4 +67,6 @@ pub use cluster::{
 };
 pub use comm::RtComm;
 pub use fault::{FaultComm, FaultPlan, KillSpec, OpClass, OpCounters, RankKilled};
-pub use ft::{run_cluster_ft, AgreeCore, AgreeMsg, AgreeStep, FtResult, RankSet, MAX_EPOCHS};
+pub use ft::{
+    run_cluster_ft, AgreeCore, AgreeMsg, AgreeOutcome, AgreeStep, FtResult, RankSet, MAX_EPOCHS,
+};

@@ -58,7 +58,7 @@ use std::time::{Duration, Instant};
 
 use pipmcoll_core::nb::{CollSpec, Msg, NbColl, PlanError};
 use pipmcoll_fabric::{sync_timeout, tag, ChanKey, Fabric, FabricError};
-use pipmcoll_rt::{AgreeCore, AgreeStep, KillSpec, OpClass, RankSet};
+use pipmcoll_rt::{AgreeCore, AgreeOutcome, AgreeStep, KillSpec, OpClass, RankSet};
 
 use crate::admission::{DrrLane, TokenBucket};
 use crate::tagspace::TagSpace;
@@ -153,6 +153,12 @@ struct Engine {
     /// Monotone counter naming each agreement's tag epoch.
     agree_seq: u32,
     agree: Option<AgreeRun>,
+    /// Admission frozen: the last agreement resolved `QuorumLost` (the
+    /// engine may be on the minority side of a partition). Suspicion
+    /// evidence is deliberately kept, so detection keeps re-running
+    /// agreement after each cooldown — the first one that commits
+    /// (quorum regained) unfreezes admission.
+    frozen: bool,
     /// Cooldown after a commit so still-draining state can't spark an
     /// immediate re-agreement.
     no_detect_until: Instant,
@@ -193,6 +199,7 @@ impl Engine {
             evidence: RankSet::new(),
             agree_seq: 0,
             agree: None,
+            frozen: false,
             no_detect_until: now,
             next_reap: now,
             rng: 0x9E37_79B9_7F4A_7C15,
@@ -220,9 +227,11 @@ impl Engine {
                 self.drive_agreement(now);
             }
             // Admission pauses during agreement (the member set is
-            // about to change); polling never does — unaffected jobs
-            // keep completing collectives throughout.
-            if self.agree.is_none() {
+            // about to change) and while frozen by a lost quorum
+            // (admitting would retry into the partition); polling
+            // never does — unaffected jobs keep completing
+            // collectives throughout.
+            if self.agree.is_none() && !self.frozen {
                 self.admit(now);
             }
             let progressed = self.poll(now);
@@ -375,11 +384,20 @@ impl Engine {
         self.evidence.union(self.killed);
         // A collective silent past the suspicion window: suspect every
         // rank it spans. Refutable — agreement receipts are proof of
-        // life, so live members are cleared by sweep 0.
+        // life, so live members are cleared by sweep 0. Gray-failure
+        // gate: while the fabric has a lane browned out, the stall is
+        // more likely the degraded lane than a dead rank — the lane
+        // remap gets one extra window to clear the stall before it
+        // escalates to rank suspicion.
         let suspect_after = self.shared.cfg.suspect_after;
+        let stall_cut = if h.browned_lanes.is_empty() {
+            suspect_after
+        } else {
+            suspect_after * 2
+        };
         for act in &self.active {
             if !act.outstanding.is_empty()
-                && now.saturating_duration_since(act.last_progress) > suspect_after
+                && now.saturating_duration_since(act.last_progress) > stall_cut
             {
                 for &r in &act.map {
                     self.evidence.insert(r);
@@ -454,19 +472,49 @@ impl Engine {
         // Survivor commit: a core that is itself in someone's committed
         // set is dead (only reachable when a member died mid-agreement)
         // and its verdict is discarded; the protocol guarantees the
-        // survivors' sets are identical.
+        // surviving committers' sets are identical. A core that
+        // resolved QuorumLost committed nothing — if NO core committed
+        // (a symmetric partition), the engine freezes admission
+        // instead of shrinking, because any set it picked could
+        // diverge from what the other side of the partition decides.
         let mut union = RankSet::new();
         for (_, c) in &run.cores {
-            union.union(c.committed().expect("all cores done").0);
-        }
-        let mut committed = RankSet::new();
-        for (r, c) in &run.cores {
-            if !union.contains(*r) {
-                committed.union(c.committed().expect("all cores done").0);
+            if let AgreeOutcome::Commit { failed, .. } = c.committed().expect("all cores done") {
+                union.union(failed);
             }
         }
-        self.evidence = RankSet::new();
+        let mut committed = RankSet::new();
+        let mut any_commit = false;
+        let mut lost: Option<(RankSet, RankSet)> = None;
+        for (r, c) in &run.cores {
+            if union.contains(*r) {
+                continue;
+            }
+            match c.committed().expect("all cores done") {
+                AgreeOutcome::Commit { failed, .. } => {
+                    committed.union(failed);
+                    any_commit = true;
+                }
+                AgreeOutcome::QuorumLost { survivors, members } => {
+                    if lost.is_none() {
+                        lost = Some((survivors, members));
+                    }
+                }
+            }
+        }
         self.no_detect_until = now + self.shared.cfg.suspect_after;
+        if !any_commit {
+            if let Some((survivors, members)) = lost {
+                self.freeze(survivors, members);
+                return;
+            }
+        }
+        // A commit — even of the empty set — proves quorum: unfreeze.
+        self.evidence = RankSet::new();
+        if self.frozen {
+            self.frozen = false;
+            self.shared.frozen.store(false, Ordering::Relaxed);
+        }
         if !committed.is_empty() {
             self.failed.union(committed);
             self.members.retain(|r| !committed.contains(*r));
@@ -485,6 +533,36 @@ impl Engine {
                     p.plan = None;
                 }
             }
+        }
+    }
+
+    /// Quorum lost: resolve every affected active with the typed
+    /// [`SvcError::QuorumLost`] (retrying would just stall against the
+    /// unreachable side again) and freeze admission. Suspicion
+    /// evidence is kept so detection re-runs agreement after each
+    /// cooldown; the first commit — quorum regained — unfreezes.
+    fn freeze(&mut self, survivors: RankSet, members: RankSet) {
+        self.frozen = true;
+        self.shared.frozen.store(true, Ordering::Relaxed);
+        let err = SvcError::QuorumLost {
+            survivors: survivors.ranks(),
+            members: members.len(),
+        };
+        let mut i = 0;
+        while i < self.active.len() {
+            let affected = {
+                let a = &self.active[i];
+                a.wounded || a.map.iter().any(|r| !survivors.contains(*r))
+            };
+            if !affected {
+                i += 1;
+                continue;
+            }
+            let act = self.active.swap_remove(i);
+            self.bucket.refund(act.cost.saturating_sub(act.sent_bytes));
+            let sched = self.jobs.get_mut(&act.comm).expect("job exists");
+            sched.counters.failed.fetch_add(1, Ordering::Relaxed);
+            act.resolve(err.clone(), sched);
         }
     }
 

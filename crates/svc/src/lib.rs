@@ -112,6 +112,18 @@ pub enum SvcError {
         /// Re-plans performed before giving up.
         attempts: u32,
     },
+    /// The failed-set agreement could only reach a minority of the
+    /// member group — the service is (or may be) on the minority side
+    /// of a network partition. Nothing was committed: rather than
+    /// shrink onto a failed set that could diverge from the majority's,
+    /// affected requests resolve with this error and admission freezes
+    /// until a later agreement regains quorum.
+    QuorumLost {
+        /// Members still reachable, ascending rank order.
+        survivors: Vec<usize>,
+        /// Size of the full member group the agreement ran over.
+        members: usize,
+    },
 }
 
 impl fmt::Display for SvcError {
@@ -137,6 +149,11 @@ impl fmt::Display for SvcError {
             SvcError::RetriesExhausted { attempts } => {
                 write!(f, "retries exhausted after {attempts} re-plan(s)")
             }
+            SvcError::QuorumLost { survivors, members } => write!(
+                f,
+                "quorum lost: only {survivors:?} of {members} members reachable — \
+                 refusing to commit a minority failed set; admission frozen"
+            ),
         }
     }
 }
@@ -326,6 +343,11 @@ pub struct SvcStats {
     pub epoch: u64,
     /// The committed failed set, ascending rank order.
     pub failed: Vec<usize>,
+    /// Whether admission is frozen because the last failed-set
+    /// agreement resolved [`SvcError::QuorumLost`] (the service can
+    /// only reach a minority of its members). Clears automatically
+    /// when a later agreement commits — i.e. quorum is regained.
+    pub admission_frozen: bool,
 }
 
 /// What a request is waiting on.
@@ -482,6 +504,8 @@ pub(crate) struct Shared {
     pub epoch: AtomicU64,
     /// Committed failed set as a rank bitmap (engine-maintained).
     pub failed_bits: AtomicU64,
+    /// Admission frozen by a quorum-lost agreement (engine-maintained).
+    pub frozen: std::sync::atomic::AtomicBool,
 }
 
 /// The service: one engine thread driving every job's collectives over
@@ -510,6 +534,7 @@ impl Svc {
             inflight: AtomicUsize::new(0),
             epoch: AtomicU64::new(0),
             failed_bits: AtomicU64::new(0),
+            frozen: std::sync::atomic::AtomicBool::new(false),
         });
         let eng = Arc::clone(&shared);
         let engine = std::thread::Builder::new()
@@ -580,6 +605,7 @@ impl Svc {
                 self.shared.failed_bits.load(Ordering::Relaxed),
             )
             .ranks(),
+            admission_frozen: self.shared.frozen.load(Ordering::Relaxed),
         }
     }
 }

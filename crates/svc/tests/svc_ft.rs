@@ -363,3 +363,56 @@ fn cancel_after_completion_keeps_the_result() {
     assert_eq!(from_ints(&out[0]), want);
     assert_eq!(svc.stats().jobs[0].completed, 1);
 }
+
+/// Killing exactly half the members — the half holding the lowest
+/// rank — leaves the survivors without quorum: the even-split
+/// tie-breaker awards the partition side that contains the lowest
+/// member, and {2, 3} does not. Agreement must NOT commit a failed
+/// set (the other side of a real partition would commit the mirror
+/// image); instead every affected request resolves the typed
+/// [`SvcError::QuorumLost`] and admission freezes.
+#[test]
+fn losing_the_tie_break_half_freezes_admission_with_quorum_lost() {
+    let world = 4;
+    let cfg = ft_cfg(world, "kill:rank=0@submit=1;kill:rank=1@submit=1");
+    let slot_cap = 1usize << cfg.seq_bits;
+    let svc = Svc::new(inproc(), cfg).unwrap();
+    let job = svc.job().unwrap();
+    let inputs = allreduce_inputs(world, 5);
+    let start = Instant::now();
+    let req = job.iallreduce(Datatype::Int32, ReduceOp::Sum, inputs);
+    let err = req.wait().expect_err("minority side must not complete");
+    assert!(
+        start.elapsed() < sync_timeout() * 3,
+        "quorum loss must resolve promptly, took {:?}",
+        start.elapsed()
+    );
+    assert_eq!(
+        err,
+        SvcError::QuorumLost {
+            survivors: vec![2, 3],
+            members: world,
+        }
+    );
+
+    let stats = svc.stats();
+    assert!(stats.admission_frozen, "no quorum => admission frozen");
+    assert_eq!(
+        stats.epoch, 0,
+        "freezing must not commit a failure epoch the other side could contradict"
+    );
+    assert!(
+        stats.failed.is_empty(),
+        "no failed set may be committed without quorum, got {:?}",
+        stats.failed
+    );
+    assert_eq!(stats.inflight, 0);
+    let j = &stats.jobs[0];
+    assert_eq!(j.failed, 1);
+    assert_eq!(j.slots_held, 0, "quorum-lost resolution leaked a slot");
+    assert_eq!(
+        j.slots_free + j.slots_quarantined,
+        slot_cap,
+        "slot conservation"
+    );
+}

@@ -13,7 +13,7 @@ use std::time::Instant;
 use pipmcoll_core::{
     build_schedule, AllgatherParams, AllreduceParams, CollectiveSpec, LibraryProfile, ScatterParams,
 };
-use pipmcoll_fabric::{InProcFabric, TcpConfig, TcpFabric};
+use pipmcoll_fabric::{ChaosConfig, ChaosFabric, InProcFabric, TcpConfig, TcpFabric};
 use pipmcoll_model::Topology;
 use pipmcoll_rt::{run_cluster_ft, run_cluster_verified_on, Algo, FaultPlan};
 use pipmcoll_sched::verify::pattern;
@@ -260,4 +260,124 @@ fn seeded_kill_grid_survives_across_collectives_and_lanes() {
             );
         }
     }
+}
+
+/// Split-brain e2e: a symmetric network partition (node 0 vs node 1,
+/// three ranks a side) severs every internode frame — data, heartbeats
+/// and agreement gossip alike. Each side detects the other as silent
+/// and runs agreement among the ranks it can still reach, so without a
+/// quorum rule the two sides would commit *divergent* failed sets and
+/// both "survive" with different worlds. The quorum tie-breaker gives
+/// the half holding rank 0 the right to commit; the other half must
+/// refuse — resolving `QuorumLost` instead of shrinking — and the
+/// committed side completes the collective among itself with bytes
+/// identical to the in-process reference.
+#[test]
+fn symmetric_partition_commits_one_side_and_minority_resolves_quorum_lost() {
+    init();
+    let topo = Topology::new(2, 3);
+    let lib = LibraryProfile::PipMColl;
+    let spec = CollectiveSpec::Allgather(AllgatherParams { cb: 48 });
+    let tcp = TcpFabric::connect(
+        topo,
+        TcpConfig {
+            lanes: 2,
+            ..TcpConfig::default()
+        },
+    )
+    .expect("loopback fabric");
+    // Node-index bitmasks: node 0 on one side, node 1 on the other —
+    // the wire equivalent of `PIPMCOLL_CHAOS=part:0|1`.
+    let fabric = Arc::new(ChaosFabric::new(
+        tcp,
+        ChaosConfig {
+            part_a: 1 << 0,
+            part_b: 1 << 1,
+            seed: 42,
+            ..ChaosConfig::default()
+        },
+    ));
+    let algo = LibAlgo { lib, spec };
+    let orig_sizes = sizes_for(lib, topo, &spec);
+    let orig_sizes = &orig_sizes;
+    let t0 = Instant::now();
+    let res = run_cluster_ft(
+        fabric,
+        topo,
+        |t, r| {
+            if t == topo {
+                orig_sizes[r]
+            } else {
+                sizes_for(lib, t, &spec)[r]
+            }
+        },
+        |r| pattern(r, orig_sizes[r].send),
+        &algo,
+        &FaultPlan::none(),
+    );
+    let elapsed = t0.elapsed();
+
+    // Nobody died — the partition manufactured the suspicion. The side
+    // holding rank 0 (the group's lowest member, so the tie-break
+    // winner of a 3-vs-3 split) commits the unreachable half; the
+    // unreachable half refuses to commit a minority view.
+    assert!(res.killed.is_empty(), "no rank was actually killed");
+    assert_eq!(
+        res.failed,
+        vec![3, 4, 5],
+        "the rank-0 side must commit exactly the other side: {:?}",
+        res.failures
+    );
+    assert_eq!(
+        res.quorum_lost,
+        vec![3, 4, 5],
+        "the minority side must resolve QuorumLost, not commit"
+    );
+    // The acceptance property: no two ranks ever committed *different*
+    // failed sets. The majority all committed {3,4,5}; the minority
+    // committed nothing at all.
+    for r in 0..3 {
+        assert_eq!(
+            res.committed[r].as_deref(),
+            Some(&[3usize, 4, 5][..]),
+            "majority rank {r} committed a different set"
+        );
+    }
+    for r in 3..6 {
+        assert_eq!(
+            res.committed[r], None,
+            "minority rank {r} must never commit a failed set"
+        );
+        assert!(
+            res.recv[r].is_none(),
+            "minority rank {r} must produce no output"
+        );
+        assert!(
+            res.failures
+                .iter()
+                .any(|f| f.rank == Some(r) && f.detail.contains("quorum lost")),
+            "rank {r} must record a typed quorum-lost failure: {:?}",
+            res.failures
+        );
+    }
+    // The committed side re-runs on its own three ranks (all intranode,
+    // untouched by the partition) and must match the clean reference.
+    let reference = reference_on_survivors(lib, spec, &[0, 1, 2]);
+    for (r, want) in reference.iter().enumerate() {
+        assert_eq!(
+            res.recv[r].as_deref(),
+            Some(&want[..]),
+            "majority rank {r} bytes diverge from the inproc survivor run"
+        );
+    }
+    assert_eq!(res.epochs, 2, "one partitioned attempt, one clean retry");
+    // Detection (≤ sync_timeout of silence), bounded agreement sweeps
+    // and the intranode retry must all fit the survive-and-complete
+    // budget; the minority's QuorumLost resolution happens strictly
+    // inside it.
+    let budget = pipmcoll_fabric::sync_timeout() * 3;
+    assert!(
+        elapsed < budget,
+        "partitioned run took {elapsed:?}, budget {budget:?}"
+    );
 }
